@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! Adaptive and partially-parallel reconstruction strategies.
+//!
+//! The paper's design is fully non-adaptive: all `m` queries are fixed a
+//! priori and run in one parallel round, which costs a factor 2 in queries
+//! against the sequential bound (Eq. 2 vs Eq. 1) but only one round of
+//! latency. Its §VI asks what happens in between — "suppose `L` processing
+//! units can be used to evaluate queries in parallel … analyze the
+//! trade-offs". This crate implements the strategy spectrum:
+//!
+//! | strategy | queries | rounds |
+//! |---|---|---|
+//! | fully parallel MN (the paper) | `Θ(k·ln(n/k))` | 1 |
+//! | anytime MN ([`anytime`]) | adaptive stop ≤ cap | ≤ r |
+//! | two-round hybrid ([`hybrid`]) | `m₁ + O(k)` | 2 |
+//! | counting Dorfman ([`dorfman`]) | `≈ 2√(nk)` | 2 |
+//! | quantitative bisection ([`bisect`]) | `≈ 2k·log₂(n/k)` | `≈ log₂ n` |
+//!
+//! All strategies run against the query-counting [`oracle::CountOracle`],
+//! recover `σ` exactly (deterministically for bisection/Dorfman, with a
+//! sound certificate for anytime/hybrid), and report per-round query
+//! counts so the [`tradeoff`] module can convert them into makespans on
+//! `L` units.
+//!
+//! ```
+//! use pooled_adaptive::{quantitative_bisect, CountOracle};
+//! use pooled_core::Signal;
+//! use pooled_rng::SeedSequence;
+//!
+//! let sigma = Signal::random(4096, 12, &mut SeedSequence::new(7).rng());
+//! let mut oracle = CountOracle::new(&sigma);
+//! let res = quantitative_bisect(&mut oracle);
+//! assert_eq!(res.estimate, sigma);          // exact, always
+//! assert!(res.queries < 300);               // ≈ 2k·log₂(n/k)
+//! ```
+
+pub mod anytime;
+pub mod bisect;
+pub mod dorfman;
+pub mod hybrid;
+pub mod oracle;
+pub mod tradeoff;
+
+pub use anytime::{anytime_mn, AnytimeConfig, AnytimeResult};
+pub use bisect::{quantitative_bisect, BisectResult};
+pub use dorfman::{counting_dorfman, expected_dorfman_queries, optimal_group_size, DorfmanResult};
+pub use hybrid::{two_round_hybrid, HybridConfig, HybridResult};
+pub use oracle::CountOracle;
+pub use tradeoff::{makespan_fixed_latency, makespan_with_latency, StrategyReport};

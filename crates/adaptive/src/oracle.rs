@@ -1,0 +1,146 @@
+//! The additive query oracle for adaptive strategies.
+//!
+//! Adaptive algorithms choose later pools after seeing earlier results, so
+//! they interact with the signal through an *oracle* rather than a fixed
+//! design. [`CountOracle`] answers additive queries over index ranges and
+//! explicit sets, counts how many queries were issued, and (for honest
+//! accounting) lets the caller mark round boundaries — queries inside one
+//! round are those an `L`-unit laboratory could run concurrently.
+//!
+//! Range queries are answered from a precomputed prefix-sum in `O(1)`, so
+//! simulating bisection over `n = 10⁶` costs microseconds; the *accounting*
+//! is identical to issuing the physical query.
+
+use pooled_core::Signal;
+
+/// An additive-query oracle over a fixed hidden signal.
+#[derive(Debug)]
+pub struct CountOracle<'a> {
+    sigma: &'a Signal,
+    prefix: Vec<u64>,
+    per_round: Vec<usize>,
+}
+
+impl<'a> CountOracle<'a> {
+    /// Wrap a signal. The oracle starts in round 0 with zero queries.
+    pub fn new(sigma: &'a Signal) -> Self {
+        let mut prefix = Vec::with_capacity(sigma.n() + 1);
+        prefix.push(0u64);
+        let mut acc = 0u64;
+        for i in 0..sigma.n() {
+            acc += sigma.get(i) as u64;
+            prefix.push(acc);
+        }
+        Self { sigma, prefix, per_round: vec![0] }
+    }
+
+    /// Signal length `n`.
+    pub fn n(&self) -> usize {
+        self.sigma.n()
+    }
+
+    /// Number of one-entries in `lo..hi` (one additive query).
+    ///
+    /// # Panics
+    /// Panics if `hi > n` or `lo > hi`.
+    pub fn count_range(&mut self, lo: usize, hi: usize) -> u64 {
+        assert!(lo <= hi && hi <= self.sigma.n(), "bad range {lo}..{hi}");
+        *self.per_round.last_mut().expect("round list never empty") += 1;
+        self.prefix[hi] - self.prefix[lo]
+    }
+
+    /// Number of one-entries in an explicit pool (one additive query).
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    pub fn count_set(&mut self, pool: &[usize]) -> u64 {
+        *self.per_round.last_mut().expect("round list never empty") += 1;
+        pool.iter().map(|&i| self.sigma.get(i) as u64).sum()
+    }
+
+    /// Close the current round; subsequent queries belong to the next one.
+    /// Empty rounds are coalesced (calling this twice is harmless).
+    pub fn next_round(&mut self) {
+        if *self.per_round.last().expect("round list never empty") > 0 {
+            self.per_round.push(0);
+        }
+    }
+
+    /// Total queries issued so far.
+    pub fn queries(&self) -> usize {
+        self.per_round.iter().sum()
+    }
+
+    /// Queries per (non-empty) round, in order.
+    pub fn per_round(&self) -> Vec<usize> {
+        let mut v = self.per_round.clone();
+        if v.last() == Some(&0) && v.len() > 1 {
+            v.pop();
+        }
+        v
+    }
+
+    /// Number of non-empty rounds.
+    pub fn rounds(&self) -> usize {
+        self.per_round.iter().filter(|&&q| q > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_counts_match_signal() {
+        let sigma = Signal::from_support(10, vec![1, 4, 9]);
+        let mut o = CountOracle::new(&sigma);
+        assert_eq!(o.count_range(0, 10), 3);
+        assert_eq!(o.count_range(0, 5), 2);
+        assert_eq!(o.count_range(5, 9), 0);
+        assert_eq!(o.count_range(9, 10), 1);
+        assert_eq!(o.count_range(3, 3), 0);
+        assert_eq!(o.queries(), 5);
+    }
+
+    #[test]
+    fn set_counts_match_signal() {
+        let sigma = Signal::from_support(6, vec![0, 5]);
+        let mut o = CountOracle::new(&sigma);
+        assert_eq!(o.count_set(&[0, 5]), 2);
+        assert_eq!(o.count_set(&[1, 2, 3]), 0);
+        assert_eq!(o.count_set(&[]), 0);
+        assert_eq!(o.queries(), 3);
+    }
+
+    #[test]
+    fn round_accounting() {
+        let sigma = Signal::from_support(4, vec![2]);
+        let mut o = CountOracle::new(&sigma);
+        o.count_range(0, 4);
+        o.count_range(0, 2);
+        o.next_round();
+        o.count_set(&[2]);
+        o.next_round();
+        o.next_round(); // coalesced
+        assert_eq!(o.per_round(), vec![2, 1]);
+        assert_eq!(o.rounds(), 2);
+        assert_eq!(o.queries(), 3);
+    }
+
+    #[test]
+    fn fresh_oracle_has_no_rounds() {
+        let sigma = Signal::from_support(4, vec![]);
+        let o = CountOracle::new(&sigma);
+        assert_eq!(o.queries(), 0);
+        assert_eq!(o.rounds(), 0);
+        assert_eq!(o.per_round(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn rejects_inverted_range() {
+        let sigma = Signal::from_support(4, vec![]);
+        let mut o = CountOracle::new(&sigma);
+        let _ = o.count_range(3, 2);
+    }
+}

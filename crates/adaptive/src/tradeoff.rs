@@ -1,0 +1,163 @@
+//! The rounds/queries/makespan trade-off — §VI's question, quantified.
+//!
+//! A laboratory with `L` units runs one *batch* of up to `L` queries at a
+//! time; a strategy with per-round query counts `(q₁, …, q_r)` therefore
+//! finishes in `Σᵢ ⌈qᵢ/L⌉` batches (rounds are barriers: batch `i+1`'s
+//! pools depend on batch `i`'s results). With a fixed per-batch latency τ
+//! the makespan is `τ·Σᵢ ⌈qᵢ/L⌉` — the quantity the `adaptive_tradeoff`
+//! experiment tabulates across strategies and `L`. For stochastic
+//! per-query durations, [`makespan_with_latency`] schedules each round on
+//! `pooled_lab`'s Graham list scheduler instead.
+
+use pooled_lab::LatencyModel;
+use pooled_rng::SeedSequence;
+
+/// Summary of one strategy's cost profile.
+#[derive(Clone, Debug)]
+pub struct StrategyReport {
+    /// Human-readable strategy name (CSV column).
+    pub name: String,
+    /// Total queries issued.
+    pub queries: usize,
+    /// Adaptive rounds (barriers between query batches).
+    pub rounds: usize,
+    /// Queries in each round.
+    pub per_round: Vec<usize>,
+    /// Whether the strategy recovered the signal exactly.
+    pub exact: bool,
+}
+
+impl StrategyReport {
+    /// Build a report, checking the per-round counts add up.
+    ///
+    /// # Panics
+    /// Panics if `per_round` does not sum to `queries`.
+    pub fn new(
+        name: impl Into<String>,
+        per_round: Vec<usize>,
+        exact: bool,
+    ) -> Self {
+        let queries = per_round.iter().sum();
+        Self { name: name.into(), queries, rounds: per_round.len(), per_round, exact }
+    }
+
+    /// Makespan on `L` units at per-batch latency `tau`.
+    pub fn makespan(&self, units: usize, tau: f64) -> f64 {
+        makespan_fixed_latency(&self.per_round, units, tau)
+    }
+}
+
+/// `τ·Σᵢ ⌈qᵢ/L⌉`: makespan of a round-structured strategy on `L` units
+/// with fixed per-batch latency.
+///
+/// # Panics
+/// Panics if `units == 0` or `tau < 0`.
+pub fn makespan_fixed_latency(per_round: &[usize], units: usize, tau: f64) -> f64 {
+    assert!(units >= 1, "need at least one processing unit");
+    assert!(tau >= 0.0, "latency cannot be negative");
+    per_round.iter().map(|&q| q.div_ceil(units) as f64).sum::<f64>() * tau
+}
+
+/// Makespan under a stochastic per-query [`LatencyModel`], scheduling each
+/// round's queries greedily on `L` units with `pooled_lab`'s Graham list
+/// scheduler and summing round makespans (rounds are barriers).
+///
+/// Durations for round `r` are drawn from `seeds.child("round", r)`, so
+/// the result is a deterministic function of `(per_round, units, model,
+/// seeds)`. With `LatencyModel::Fixed(τ)` this equals
+/// [`makespan_fixed_latency`] exactly.
+///
+/// # Panics
+/// Panics if `units == 0`.
+pub fn makespan_with_latency(
+    per_round: &[usize],
+    units: usize,
+    model: &LatencyModel,
+    seeds: &SeedSequence,
+) -> f64 {
+    assert!(units >= 1, "need at least one processing unit");
+    per_round
+        .iter()
+        .enumerate()
+        .map(|(r, &q)| {
+            if q == 0 {
+                return 0.0;
+            }
+            let durations = model.sample_many(q, &seeds.child("round", r as u64));
+            pooled_lab::schedule(&durations, units).makespan
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fully_parallel_single_round() {
+        // m queries, 1 round: L ≥ m ⇒ one batch; L = 1 ⇒ m batches.
+        assert_eq!(makespan_fixed_latency(&[300], 300, 1.0), 1.0);
+        assert_eq!(makespan_fixed_latency(&[300], 1000, 1.0), 1.0);
+        assert_eq!(makespan_fixed_latency(&[300], 1, 1.0), 300.0);
+        assert_eq!(makespan_fixed_latency(&[300], 100, 2.0), 6.0);
+    }
+
+    #[test]
+    fn rounds_are_barriers() {
+        // 3 rounds of 10 on L=20: each round still costs one batch.
+        assert_eq!(makespan_fixed_latency(&[10, 10, 10], 20, 1.0), 3.0);
+        // Against one round of 30 on L=20: 2 batches.
+        assert_eq!(makespan_fixed_latency(&[30], 20, 1.0), 2.0);
+    }
+
+    #[test]
+    fn empty_strategy_has_zero_makespan() {
+        assert_eq!(makespan_fixed_latency(&[], 4, 1.0), 0.0);
+    }
+
+    #[test]
+    fn report_accounting() {
+        let r = StrategyReport::new("bisect", vec![1, 2, 4, 8], true);
+        assert_eq!(r.queries, 15);
+        assert_eq!(r.rounds, 4);
+        assert_eq!(r.makespan(4, 1.0), 1.0 + 1.0 + 1.0 + 2.0);
+        assert!(r.exact);
+    }
+
+    #[test]
+    fn stochastic_makespan_with_fixed_model_matches_closed_form() {
+        let seeds = SeedSequence::new(1);
+        for per_round in [vec![300usize], vec![10, 10, 10], vec![7, 0, 13]] {
+            for units in [1usize, 4, 64] {
+                let a = makespan_with_latency(&per_round, units, &LatencyModel::Fixed(2.5), &seeds);
+                let b = makespan_fixed_latency(&per_round, units, 2.5);
+                assert!((a - b).abs() < 1e-9, "{per_round:?} on {units}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn stochastic_makespan_is_deterministic_and_tail_sensitive() {
+        let seeds = SeedSequence::new(2);
+        let heavy = LatencyModel::LogNormal { mu: 0.0, sigma: 1.0 };
+        let a = makespan_with_latency(&[100, 50], 8, &heavy, &seeds);
+        let b = makespan_with_latency(&[100, 50], 8, &heavy, &seeds);
+        assert_eq!(a, b, "same seeds ⇒ same makespan");
+        // A heavy tail must cost more than the median-latency fixed model
+        // on the same unit count (stragglers block the barrier).
+        let fixed = makespan_with_latency(&[100, 50], 8, &LatencyModel::Fixed(1.0), &seeds);
+        assert!(a > fixed, "log-normal {a} not above fixed-median {fixed}");
+    }
+
+    #[test]
+    fn crossover_between_parallel_and_adaptive() {
+        // The experiment's headline: with many units the 1-round design
+        // wins; with few units the query-frugal adaptive strategy wins.
+        let parallel = StrategyReport::new("parallel", vec![1200], true);
+        let adaptive = StrategyReport::new("bisect", vec![1; 17].iter().map(|_| 16).collect(), true);
+        // L = 1200: parallel 1 batch vs adaptive 17 batches.
+        assert!(parallel.makespan(1200, 1.0) < adaptive.makespan(1200, 1.0));
+        // L = 4: parallel 300 batches vs adaptive 17·4 = 68 batches.
+        assert!(adaptive.makespan(4, 1.0) < parallel.makespan(4, 1.0));
+    }
+}

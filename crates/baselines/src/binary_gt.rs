@@ -1,0 +1,169 @@
+//! Binary (OR-channel) group testing: COMP and DD.
+//!
+//! The Discussion (§I-D) compares pooled data against classic group testing,
+//! where a query only reports *whether* the pool contains a positive. We
+//! implement the two standard non-adaptive decoders from the Aldridge–
+//! Johnson–Scarlett survey:
+//!
+//! * **COMP** — every entry appearing in a negative pool is zero; all
+//!   others are declared positive. No false negatives.
+//! * **DD** — run COMP, then declare positive only those COMP candidates
+//!   that appear in some positive pool whose other members are all
+//!   COMP-cleared zeros. No false positives.
+//!
+//! The right design for the OR channel uses pools of size `≈ n·ln2/k`
+//! ([`gt_design_for`]), not the additive channel's `n/2`.
+
+use pooled_core::signal::Signal;
+use pooled_design::csr::CsrDesign;
+use pooled_design::PoolingDesign;
+use pooled_rng::SeedSequence;
+
+/// Execute queries through the OR channel: `y_q = 1{pool contains a one}`.
+pub fn execute_or(design: &CsrDesign, sigma: &Signal) -> Vec<bool> {
+    assert_eq!(design.n(), sigma.n(), "design and signal disagree on n");
+    (0..design.m())
+        .map(|q| {
+            let (entries, _) = design.query_row(q);
+            entries.iter().any(|&e| sigma.is_one(e as usize))
+        })
+        .collect()
+}
+
+/// Bernoulli-style design tuned for the OR channel: pool size
+/// `Γ = n·ln2/k` (clamped into `[1, n]`).
+pub fn gt_design_for(n: usize, m: usize, k: usize, seeds: &SeedSequence) -> CsrDesign {
+    assert!(k >= 1, "group-testing design needs k ≥ 1");
+    let gamma =
+        ((n as f64 * std::f64::consts::LN_2 / k as f64).round() as usize).clamp(1, n);
+    CsrDesign::sample(n, m, gamma, seeds)
+}
+
+/// COMP: everything not ruled out by a negative pool is declared positive.
+pub fn comp(design: &CsrDesign, or_results: &[bool]) -> Signal {
+    assert_eq!(or_results.len(), design.m(), "result length must equal m");
+    let n = design.n();
+    let mut cleared = vec![false; n];
+    for (q, &positive) in or_results.iter().enumerate() {
+        if !positive {
+            let (entries, _) = design.query_row(q);
+            for &e in entries {
+                cleared[e as usize] = true;
+            }
+        }
+    }
+    let support: Vec<usize> = (0..n).filter(|&i| !cleared[i]).collect();
+    Signal::from_support(n, support)
+}
+
+/// DD (definite defectives): the subset of COMP candidates provably
+/// positive. Never produces false positives.
+pub fn dd(design: &CsrDesign, or_results: &[bool]) -> Signal {
+    let candidates = comp(design, or_results);
+    let n = design.n();
+    let mut definite = vec![false; n];
+    for (q, &positive) in or_results.iter().enumerate() {
+        if positive {
+            let (entries, _) = design.query_row(q);
+            let live: Vec<usize> = entries
+                .iter()
+                .map(|&e| e as usize)
+                .filter(|&e| candidates.is_one(e))
+                .collect();
+            // A positive pool whose only candidate member is `e` proves `e`.
+            if let [only] = live.as_slice() {
+                definite[*only] = true;
+            }
+        }
+    }
+    let support: Vec<usize> = (0..n).filter(|&i| definite[i]).collect();
+    Signal::from_support(n, support)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_rng::SeedSequence;
+
+    fn setup(n: usize, k: usize, m: usize, seed: u64) -> (CsrDesign, Signal, Vec<bool>) {
+        let seeds = SeedSequence::new(seed);
+        let d = gt_design_for(n, m, k, &seeds.child("design", 0));
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let or = execute_or(&d, &sigma);
+        (d, sigma, or)
+    }
+
+    #[test]
+    fn or_channel_semantics() {
+        let d = CsrDesign::from_pools(4, &[vec![0, 1], vec![2, 3], vec![3]]);
+        let sigma = Signal::from_support(4, vec![0, 3]);
+        assert_eq!(execute_or(&d, &sigma), vec![true, true, true]);
+        let zero = Signal::from_support(4, vec![]);
+        assert_eq!(execute_or(&d, &zero), vec![false, false, false]);
+    }
+
+    #[test]
+    fn comp_has_no_false_negatives() {
+        for seed in 0..6 {
+            let (d, sigma, or) = setup(500, 10, 120, seed);
+            let est = comp(&d, &or);
+            for &i in sigma.support() {
+                assert!(est.is_one(i), "seed {seed}: COMP dropped one-entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dd_has_no_false_positives() {
+        for seed in 0..6 {
+            let (d, sigma, or) = setup(500, 10, 120, seed);
+            let est = dd(&d, &or);
+            for &i in est.support() {
+                assert!(sigma.is_one(i), "seed {seed}: DD invented one-entry {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn comp_recovers_with_generous_tests() {
+        // m well above the COMP threshold e·k·ln(n/k)… use 3·k·log2(n).
+        let n = 300;
+        let k = 5;
+        let m = (3.0 * k as f64 * (n as f64).log2()).ceil() as usize;
+        let mut exact = 0;
+        for seed in 0..6 {
+            let (d, sigma, or) = setup(n, k, m, 50 + seed);
+            if comp(&d, &or) == sigma {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 4, "{exact}/6 COMP recoveries at m={m}");
+    }
+
+    #[test]
+    fn dd_subset_of_comp() {
+        let (d, _, or) = setup(400, 8, 60, 9);
+        let c = comp(&d, &or);
+        let def = dd(&d, &or);
+        for &i in def.support() {
+            assert!(c.is_one(i));
+        }
+    }
+
+    #[test]
+    fn all_negative_results_clear_everything() {
+        let (d, _, _) = setup(100, 3, 40, 11);
+        let all_neg = vec![false; d.m()];
+        let est = comp(&d, &all_neg);
+        // Entries never touched by any pool stay candidates; with pools of
+        // size ~n·ln2/k = 23 and 40 queries, every entry should be touched.
+        assert!(est.weight() <= 5, "weight {}", est.weight());
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal m")]
+    fn comp_checks_result_length() {
+        let d = CsrDesign::sample(10, 3, 5, &SeedSequence::new(1));
+        let _ = comp(&d, &[true]);
+    }
+}

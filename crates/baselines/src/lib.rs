@@ -1,0 +1,120 @@
+#![warn(missing_docs)]
+
+//! Baseline decoders: every comparator the paper's related-work section
+//! discusses, implemented from the published descriptions.
+//!
+//! | Module | Algorithm | Paper reference |
+//! |---|---|---|
+//! | [`omp`] | Orthogonal Matching Pursuit | Pati et al. '93, §I-B |
+//! | [`basis_pursuit`] | ℓ1-minimization / Basis Pursuit via LP | Donoho–Tanner '06, Foucart–Rauhut '13 |
+//! | [`amp`] | Approximate Message Passing | Alaoui et al. '19 |
+//! | [`peeling`] | Sparse-graph peeling decoder | Karimi et al. '19 (graph-code family) |
+//! | [`binary_gt`] | COMP / DD on OR queries | Aldridge et al. '19 survey, §I-D discussion |
+//! | [`control`] | Random guess + Ψ-only ablation | — |
+//!
+//! All additive-channel baselines implement [`AdditiveDecoder`] so the
+//! comparison experiment (`baselines_table`) can sweep them uniformly. The
+//! OR-channel group-testing decoders and the peeling decoder come with their
+//! own channels/designs, mirroring how the original papers set them up.
+
+use pooled_core::signal::Signal;
+use pooled_design::csr::CsrDesign;
+use pooled_design::PoolingDesign;
+use pooled_linalg::Matrix;
+
+pub mod amp;
+pub mod basis_pursuit;
+pub mod binary_gt;
+pub mod control;
+pub mod omp;
+pub mod peeling;
+
+/// A decoder for the additive (counting) channel on the paper's design.
+pub trait AdditiveDecoder {
+    /// Short identifier used in experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Reconstruct a weight-`k` signal from `(G, y)`.
+    fn reconstruct(&self, design: &CsrDesign, y: &[u64], k: usize) -> Signal;
+}
+
+/// Materialize the multiplicity-weighted biadjacency matrix `A (m×n)` used
+/// by the dense compressed-sensing baselines.
+///
+/// Row `q` holds the multiplicities `A_iq`; memory is `m·n` doubles, so this
+/// is only for baseline-scale instances (the MN path never densifies).
+pub fn dense_biadjacency(design: &CsrDesign) -> Matrix {
+    let (m, n) = (design.m(), design.n());
+    let mut a = Matrix::zeros(m, n);
+    for q in 0..m {
+        let (entries, mults) = design.query_row(q);
+        for (&e, &c) in entries.iter().zip(mults) {
+            a[(q, e as usize)] = c as f64;
+        }
+    }
+    a
+}
+
+/// Center the biadjacency columns and the observation vector: subtracts the
+/// per-column draw expectation `Γ/n` from `A` and the signal contribution
+/// `k·Γ/n` from `y`. The CS baselines need this because raw pooling columns
+/// all share the mean direction, which swamps correlation screening.
+pub fn centered_system(design: &CsrDesign, y: &[u64], k: usize) -> (Matrix, Vec<f64>) {
+    let mut a = dense_biadjacency(design);
+    let mean = design.gamma() as f64 / design.n() as f64;
+    for r in 0..a.rows() {
+        for c in 0..a.cols() {
+            a[(r, c)] -= mean;
+        }
+    }
+    let shift = k as f64 * mean;
+    let yc: Vec<f64> = y.iter().map(|&v| v as f64 - shift).collect();
+    (a, yc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_core::query::execute_queries;
+    use pooled_rng::SeedSequence;
+
+    #[test]
+    fn dense_biadjacency_matches_query_semantics() {
+        let seeds = SeedSequence::new(1);
+        let d = CsrDesign::sample(40, 12, 20, &seeds);
+        let sigma = Signal::random(40, 5, &mut seeds.child("s", 0).rng());
+        let a = dense_biadjacency(&d);
+        let y = execute_queries(&d, &sigma);
+        let x: Vec<f64> = sigma.dense().iter().map(|&b| b as f64).collect();
+        let ax = a.matvec(&x);
+        for (yi, axi) in y.iter().zip(&ax) {
+            assert!((*yi as f64 - axi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn centered_system_has_near_zero_y_mean_for_typical_signal() {
+        let seeds = SeedSequence::new(2);
+        let (n, k, m) = (200usize, 20usize, 60usize);
+        let d = CsrDesign::sample(n, m, n / 2, &seeds);
+        let sigma = Signal::random(n, k, &mut seeds.child("s", 0).rng());
+        let y = execute_queries(&d, &sigma);
+        let (_, yc) = centered_system(&d, &y, k);
+        let mean = yc.iter().sum::<f64>() / yc.len() as f64;
+        // y_q ≈ k·Γ/n = 10 ⇒ centered mean near 0 (within a few std errs).
+        assert!(mean.abs() < 3.0, "centered mean {mean}");
+    }
+
+    #[test]
+    fn centered_matrix_row_sums_are_centered() {
+        let seeds = SeedSequence::new(3);
+        let d = CsrDesign::sample(50, 8, 25, &seeds);
+        let y = vec![0u64; 8];
+        let (a, _) = centered_system(&d, &y, 0);
+        for r in 0..a.rows() {
+            let s: f64 = a.row(r).iter().sum();
+            // Each row sums to Γ − n·(Γ/n) = 0 exactly.
+            assert!(s.abs() < 1e-9, "row {r} sums to {s}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Orthogonal Matching Pursuit (Pati, Rezaiifar & Krishnaprasad 1993).
+//!
+//! Greedy compressed sensing: repeatedly pick the (centered) design column
+//! best correlated with the residual, re-project onto the selected columns,
+//! and iterate `k` times. The selected column set is the support estimate.
+//! The paper quotes OMP at `(2+o(1))·k·ln n` queries — noticeably above MN
+//! on this design, which the `baselines_table` experiment reproduces.
+
+use pooled_core::signal::Signal;
+use pooled_design::csr::CsrDesign;
+use pooled_design::PoolingDesign;
+use pooled_linalg::lstsq::{residual, solve_least_squares};
+use pooled_linalg::Matrix;
+
+use crate::{centered_system, AdditiveDecoder};
+
+/// OMP decoder configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OmpDecoder {
+    /// Stop early when the residual norm² falls below this (0 disables).
+    pub residual_tol: f64,
+}
+
+impl OmpDecoder {
+    /// Default decoder (runs the full `k` iterations).
+    pub fn new() -> Self {
+        Self { residual_tol: 1e-9 }
+    }
+}
+
+impl AdditiveDecoder for OmpDecoder {
+    fn name(&self) -> &'static str {
+        "omp"
+    }
+
+    fn reconstruct(&self, design: &CsrDesign, y: &[u64], k: usize) -> Signal {
+        let n = design.n();
+        let k = k.min(n);
+        if k == 0 {
+            return Signal::from_support(n, vec![]);
+        }
+        let (a, yc) = centered_system(design, y, k);
+        let col_norms: Vec<f64> = (0..n)
+            .map(|j| (0..a.rows()).map(|r| a[(r, j)] * a[(r, j)]).sum::<f64>().sqrt())
+            .collect();
+        let mut selected: Vec<usize> = Vec::with_capacity(k);
+        let mut in_set = vec![false; n];
+        let mut r = yc.clone();
+        for _ in 0..k.min(a.rows()) {
+            // Correlation screening.
+            let corr = a.matvec_t(&r);
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..n {
+                if in_set[j] || col_norms[j] < 1e-12 {
+                    continue;
+                }
+                let score = corr[j].abs() / col_norms[j];
+                if best.is_none_or(|(_, b)| score > b) {
+                    best = Some((j, score));
+                }
+            }
+            let Some((j, _)) = best else { break };
+            selected.push(j);
+            in_set[j] = true;
+            // Re-project: least squares on the selected columns.
+            let sub = submatrix(&a, &selected);
+            let x = solve_least_squares(&sub, &yc);
+            r = residual(&sub, &x, &yc);
+            if pooled_linalg::lstsq::norm2_sq(&r) < self.residual_tol {
+                break;
+            }
+        }
+        // If early exit left fewer than k entries, the estimate is smaller —
+        // that is the honest OMP output (it found a consistent sparser fit).
+        selected.sort_unstable();
+        Signal::from_support(n, selected)
+    }
+}
+
+fn submatrix(a: &Matrix, cols: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), cols.len());
+    for r in 0..a.rows() {
+        for (cc, &j) in cols.iter().enumerate() {
+            out[(r, cc)] = a[(r, j)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_core::metrics::overlap_fraction;
+    use pooled_core::query::execute_queries;
+    use pooled_rng::SeedSequence;
+
+    fn run(n: usize, k: usize, m: usize, seed: u64) -> (Signal, Signal) {
+        let seeds = SeedSequence::new(seed);
+        let d = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let y = execute_queries(&d, &sigma);
+        let est = OmpDecoder::new().reconstruct(&d, &y, k);
+        (sigma, est)
+    }
+
+    #[test]
+    fn recovers_with_generous_queries() {
+        // m = 3·k·ln n queries: OMP's comfortable regime.
+        let (n, k) = (200usize, 4usize);
+        let m = (3.0 * k as f64 * (n as f64).ln()).ceil() as usize;
+        let mut total_overlap = 0.0;
+        for seed in 0..5 {
+            let (sigma, est) = run(n, k, m, seed);
+            total_overlap += overlap_fraction(&sigma, &est);
+        }
+        assert!(total_overlap / 5.0 > 0.8, "mean overlap {}", total_overlap / 5.0);
+    }
+
+    #[test]
+    fn estimate_weight_bounded_by_k() {
+        let (_, est) = run(100, 5, 80, 42);
+        assert!(est.weight() <= 5);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let seeds = SeedSequence::new(1);
+        let d = CsrDesign::sample(50, 10, 25, &seeds);
+        let est = OmpDecoder::new().reconstruct(&d, &[0; 10], 0);
+        assert_eq!(est.weight(), 0);
+    }
+
+    #[test]
+    fn degrades_with_too_few_queries() {
+        // A handful of queries cannot drive OMP to exact recovery reliably.
+        let mut exact = 0;
+        for seed in 0..5 {
+            let (sigma, est) = run(200, 6, 5, 100 + seed);
+            if sigma == est {
+                exact += 1;
+            }
+        }
+        assert!(exact <= 1, "{exact}/5 exact with m=5");
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(OmpDecoder::new().name(), "omp");
+    }
+}

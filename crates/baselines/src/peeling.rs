@@ -1,0 +1,218 @@
+//! Sparse-graph peeling decoder — the Karimi et al. (2019) family.
+//!
+//! Karimi et al. decode quantitative group tests over *sparse* graph codes:
+//! pools are small enough that many queries are fully determined
+//! (“saturated” or “empty”) and resolving their members triggers a peeling
+//! cascade, exactly like LT/LDPC erasure decoding. Two rules drive it:
+//!
+//! * residual count 0 ⇒ every unresolved member is a **zero**;
+//! * residual count = total multiplicity of unresolved members ⇒ every
+//!   unresolved member is a **one**.
+//!
+//! Each resolution updates the member's other queries, possibly unlocking
+//! them. The decoder either resolves everything (success) or stalls on a
+//! core (failure / partial output).
+//!
+//! Unlike the MN pipeline this needs a *sparse* design: pool size
+//! `Γ' = ν·n/k` for a constant ν (≈1–2), so a pool holds O(1) positives.
+//! [`sparse_design_for`] picks that design; the decoder itself runs on any
+//! [`CsrDesign`].
+
+use pooled_core::signal::Signal;
+use pooled_design::csr::CsrDesign;
+use pooled_design::PoolingDesign;
+use pooled_rng::SeedSequence;
+
+/// Result of a peeling run.
+#[derive(Clone, Debug)]
+pub struct PeelOutcome {
+    /// Per-entry resolution: `Some(true)` = one, `Some(false)` = zero,
+    /// `None` = stuck in the core.
+    pub resolved: Vec<Option<bool>>,
+    /// Whether every entry was resolved.
+    pub complete: bool,
+    /// Number of peeling steps performed (resolved queries).
+    pub steps: usize,
+}
+
+impl PeelOutcome {
+    /// Convert to a signal; unresolved entries default to zero (the
+    /// Bayes-optimal guess in the sparse regime).
+    pub fn to_signal(&self) -> Signal {
+        let support: Vec<usize> = self
+            .resolved
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| matches!(r, Some(true)).then_some(i))
+            .collect();
+        Signal::from_support(self.resolved.len(), support)
+    }
+}
+
+/// Recommended sparse design for peeling: pool size `ν·n/k` (clamped to
+/// `[1, n]`), same seed contract as every other design.
+pub fn sparse_design_for(n: usize, m: usize, k: usize, nu: f64, seeds: &SeedSequence) -> CsrDesign {
+    assert!(k >= 1, "peeling design needs k ≥ 1");
+    assert!(nu > 0.0, "pool-size factor must be positive");
+    let gamma = ((nu * n as f64 / k as f64).round() as usize).clamp(1, n);
+    CsrDesign::sample(n, m, gamma, seeds)
+}
+
+/// Run the peeling decoder on `(G, y)`.
+///
+/// # Panics
+/// Panics if `y.len() != design.m()`.
+pub fn peel(design: &CsrDesign, y: &[u64]) -> PeelOutcome {
+    let (n, m) = (design.n(), design.m());
+    assert_eq!(y.len(), m, "result vector length must equal m");
+    let mut resolved: Vec<Option<bool>> = vec![None; n];
+    // Per-query residual state.
+    let mut residual: Vec<i64> = y.iter().map(|&v| v as i64).collect();
+    let mut unresolved_mult: Vec<i64> = (0..m)
+        .map(|q| {
+            let (_, mults) = design.query_row(q);
+            mults.iter().map(|&c| c as i64).sum()
+        })
+        .collect();
+    let mut queue: Vec<usize> = (0..m).collect();
+    let mut in_queue = vec![true; m];
+    let mut steps = 0usize;
+    while let Some(q) = queue.pop() {
+        in_queue[q] = false;
+        let decide = if residual[q] == 0 {
+            Some(false)
+        } else if residual[q] == unresolved_mult[q] && unresolved_mult[q] > 0 {
+            Some(true)
+        } else {
+            None
+        };
+        let Some(value) = decide else { continue };
+        steps += 1;
+        // Resolve every still-unresolved member of q to `value`.
+        let (entries, _) = design.query_row(q);
+        let to_resolve: Vec<usize> = entries
+            .iter()
+            .map(|&e| e as usize)
+            .filter(|&e| resolved[e].is_none())
+            .collect();
+        for e in to_resolve {
+            resolved[e] = Some(value);
+            let (qs, mults) = design.entry_row(e);
+            for (&qq, &c) in qs.iter().zip(mults) {
+                let qq = qq as usize;
+                unresolved_mult[qq] -= c as i64;
+                if value {
+                    residual[qq] -= c as i64;
+                }
+                debug_assert!(unresolved_mult[qq] >= 0);
+                if !in_queue[qq] {
+                    in_queue[qq] = true;
+                    queue.push(qq);
+                }
+            }
+        }
+    }
+    let complete = resolved.iter().all(|r| r.is_some());
+    PeelOutcome { resolved, complete, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_core::metrics::overlap_fraction;
+    use pooled_core::query::execute_queries;
+
+    fn run(n: usize, k: usize, m: usize, nu: f64, seed: u64) -> (Signal, PeelOutcome) {
+        let seeds = SeedSequence::new(seed);
+        let d = sparse_design_for(n, m, k, nu, &seeds.child("design", 0));
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let y = execute_queries(&d, &sigma);
+        (sigma, peel(&d, &y))
+    }
+
+    #[test]
+    fn hand_example_resolves_fully() {
+        // Queries: {0,1} y=1, {1} y=1, {2} y=0.
+        // {1}=1 resolves entry 1 ⇒ {0,1} residual 0 resolves 0 ⇒ done.
+        let d = CsrDesign::from_pools(3, &[vec![0, 1], vec![1], vec![2]]);
+        let sigma = Signal::from_support(3, vec![1]);
+        let y = execute_queries(&d, &sigma);
+        let out = peel(&d, &y);
+        assert!(out.complete);
+        assert_eq!(out.to_signal(), sigma);
+    }
+
+    #[test]
+    fn multiplicity_aware_saturation() {
+        // Query {0,0,1} with y = 2 is *not* saturated (needs y = 3); with
+        // σ = {0} only, y = 2 and peeling must not mark entry 1 as one.
+        let d = CsrDesign::from_pools(2, &[vec![0, 0, 1], vec![0]]);
+        let sigma = Signal::from_support(2, vec![0]);
+        let y = execute_queries(&d, &sigma);
+        assert_eq!(y, vec![2, 1]);
+        let out = peel(&d, &y);
+        assert!(out.complete);
+        assert_eq!(out.to_signal(), sigma);
+    }
+
+    #[test]
+    fn recovers_sparse_instances_whp() {
+        // n=400, k=8, pools of ~50, m=160 ⇒ plenty of empty/saturated pools.
+        let mut exact = 0;
+        for seed in 0..6 {
+            let (sigma, out) = run(400, 8, 160, 1.0, seed);
+            if out.complete && out.to_signal() == sigma {
+                exact += 1;
+            }
+        }
+        assert!(exact >= 4, "{exact}/6 complete peels");
+    }
+
+    #[test]
+    fn stalls_gracefully_with_too_few_queries() {
+        let (sigma, out) = run(400, 20, 10, 1.0, 77);
+        // Must not crash; partial output still has no false claims among
+        // resolved entries... verify resolved-one entries are truly ones.
+        for (i, r) in out.resolved.iter().enumerate() {
+            if let Some(v) = r {
+                assert_eq!(*v, sigma.is_one(i), "entry {i} mis-resolved");
+            }
+        }
+    }
+
+    #[test]
+    fn peeling_never_misclassifies_on_exact_data() {
+        for seed in 0..8 {
+            let (sigma, out) = run(300, 10, 120, 1.5, 200 + seed);
+            for (i, r) in out.resolved.iter().enumerate() {
+                if let Some(v) = r {
+                    assert_eq!(*v, sigma.is_one(i), "seed {seed} entry {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_output_overlap_reasonable() {
+        let (sigma, out) = run(500, 12, 100, 1.0, 5);
+        let est = out.to_signal();
+        // Unresolved default to zero, so overlap counts resolved ones only.
+        let ov = overlap_fraction(&sigma, &est);
+        assert!((0.0..=1.0).contains(&ov));
+    }
+
+    #[test]
+    fn empty_query_set_resolves_nothing() {
+        let d = CsrDesign::sample(10, 0, 5, &SeedSequence::new(1));
+        let out = peel(&d, &[]);
+        assert!(!out.complete);
+        assert!(out.resolved.iter().all(|r| r.is_none()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal m")]
+    fn length_mismatch_panics() {
+        let d = CsrDesign::sample(10, 3, 5, &SeedSequence::new(1));
+        let _ = peel(&d, &[0, 0]);
+    }
+}

@@ -1,0 +1,54 @@
+//! EXT-ADPT bench: simulator throughput of the adaptive strategies.
+//!
+//! Queries are free in simulation (prefix sums), so this measures the
+//! *orchestration* cost — frontier bookkeeping, design sampling for the
+//! hybrid's screening round, decoding — which is what bounds large
+//! parameter sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_adaptive::{
+    counting_dorfman, optimal_group_size, quantitative_bisect, two_round_hybrid, CountOracle,
+    HybridConfig,
+};
+use pooled_core::signal::Signal;
+use pooled_rng::SeedSequence;
+use pooled_theory::thresholds::{k_of, m_mn_finite};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_strategies");
+    group.sample_size(10);
+    let (n, theta) = (100_000usize, 0.3);
+    let k = k_of(n, theta);
+    let seeds = SeedSequence::new(1905);
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let g_star = optimal_group_size(n, k);
+    let hybrid_cfg = HybridConfig {
+        m1: (0.7 * m_mn_finite(n, theta)).round() as usize,
+        candidate_mult: 12,
+    };
+
+    group.bench_function("bisect", |b| {
+        b.iter(|| {
+            let mut oracle = CountOracle::new(&sigma);
+            black_box(quantitative_bisect(&mut oracle))
+        });
+    });
+    group.bench_function("dorfman", |b| {
+        b.iter(|| {
+            let mut oracle = CountOracle::new(&sigma);
+            black_box(counting_dorfman(&mut oracle, g_star))
+        });
+    });
+    group.bench_function("hybrid", |b| {
+        b.iter(|| {
+            let mut oracle = CountOracle::new(&sigma);
+            black_box(two_round_hybrid(&mut oracle, k, &hybrid_cfg, &seeds))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Decode-path ablation: scatter vs gather accumulation × top-k vs
+//! full-sort selection — the design choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_core::mn::{DecodeStrategy, MnDecoder, SelectionMethod};
+use pooled_core::query::execute_queries;
+use pooled_core::signal::Signal;
+use pooled_design::multigraph::{RandomRegularDesign, StorageMode};
+use pooled_rng::SeedSequence;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_ablation");
+    group.sample_size(10);
+    let n = 50_000;
+    let k = 25; // ≈ n^0.3
+    let m = 1500;
+    let seeds = SeedSequence::new(1905);
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let design = RandomRegularDesign::sample_with(
+        n,
+        m,
+        n / 2,
+        &seeds.child("design", 0),
+        StorageMode::Materialized,
+    );
+    let y = execute_queries(&design, &sigma);
+
+    let cases: [(&str, DecodeStrategy, SelectionMethod); 4] = [
+        ("scatter_topk", DecodeStrategy::Scatter, SelectionMethod::TopK),
+        ("scatter_fullsort", DecodeStrategy::Scatter, SelectionMethod::FullSort),
+        ("gather_topk", DecodeStrategy::Gather, SelectionMethod::TopK),
+        ("gather_fullsort", DecodeStrategy::Gather, SelectionMethod::FullSort),
+    ];
+    for (name, strategy, selection) in cases {
+        group.bench_function(name, |b| {
+            let decoder = MnDecoder::new(k).with_strategy(strategy).with_selection(selection);
+            b.iter(|| black_box(decoder.decode_design(&design, &y)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! EXT-DSGN bench: sampling and Γ-general decoding cost per design family
+//! at matched density.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_core::mn_general::GeneralMnDecoder;
+use pooled_core::query::execute_queries;
+use pooled_core::signal::Signal;
+use pooled_design::{DesignKind, PoolingDesign};
+use pooled_rng::SeedSequence;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("designs_compare");
+    group.sample_size(10);
+    let (n, k, m) = (20_000usize, 20usize, 1200usize);
+    let seeds = SeedSequence::new(1905);
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+
+    for kind in DesignKind::ALL {
+        group.bench_function(format!("sample_{}", kind.name()), |b| {
+            b.iter(|| black_box(kind.sample(n, m, 0.5, &seeds.child("d", 0))));
+        });
+        let design = kind.sample(n, m, 0.5, &seeds.child("d", 0));
+        let y = execute_queries(&design, &sigma);
+        assert_eq!(y.len(), design.m());
+        group.bench_function(format!("decode_{}", kind.name()), |b| {
+            let dec = GeneralMnDecoder::new(k);
+            b.iter(|| black_box(dec.decode(&design, &y)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! FIG2 workload bench: the cost of one phase-transition probe (sample a
+//! design at the threshold scale, execute, decode) for each θ of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pooled_rng::SeedSequence;
+use pooled_stats::replicate::mn_trial;
+use pooled_theory::thresholds::{k_of, m_mn_finite};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_transition_probe");
+    group.sample_size(10);
+    let n = 10_000;
+    for &theta in &[0.1f64, 0.2, 0.3, 0.4] {
+        let k = k_of(n, theta);
+        let m = m_mn_finite(n, theta).ceil() as usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_theta{theta}")),
+            &theta,
+            |b, _| {
+                let seeds = SeedSequence::new(1905);
+                let mut trial = 0u64;
+                b.iter(|| {
+                    trial += 1;
+                    black_box(mn_trial(n, k, m, &seeds.child("t", trial)))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! FIG3/FIG4 workload bench: one full MN trial per grid point of the
+//! success-rate and overlap sweeps (n = 1000, m across the panel range).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use pooled_rng::SeedSequence;
+use pooled_stats::replicate::mn_trial;
+use pooled_theory::thresholds::k_of;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_fig4_trial");
+    group.sample_size(10);
+    let n = 1000;
+    let k = k_of(n, 0.3);
+    for &m in &[200usize, 600, 1000] {
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("m{m}")), &m, |b, &m| {
+            let seeds = SeedSequence::new(1905);
+            let mut trial = 0u64;
+            b.iter(|| {
+                trial += 1;
+                black_box(mn_trial(n, k, m, &seeds.child("t", trial)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Selection-step ablation, extended: LSD radix ranking vs the comparison
+//! sorts vs top-k selection on decoder-shaped score arrays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_par::radix::radix_rank_desc;
+use pooled_par::sort::{par_merge_sort, par_sample_sort};
+use pooled_par::topk::top_k_indices;
+use pooled_rng::{Rng64, SeedSequence};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radix_vs_merge");
+    group.sample_size(10);
+    let n = 1_000_000usize;
+    let k = 63; // ≈ n^0.3
+    let mut rng = SeedSequence::new(1905).rng();
+    // Decoder-shaped scores: integer, roughly centered, modest spread.
+    let scores: Vec<i64> =
+        (0..n).map(|_| (rng.next_u64() % 20_001) as i64 - 10_000).collect();
+
+    group.bench_function("radix_rank_desc", |b| {
+        b.iter(|| black_box(radix_rank_desc(&scores)));
+    });
+    group.bench_function("merge_sort_rank", |b| {
+        b.iter(|| {
+            let mut pairs: Vec<(i64, u32)> =
+                scores.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+            par_merge_sort(&mut pairs, |&(s, i)| (std::cmp::Reverse(s), i));
+            black_box(pairs)
+        });
+    });
+    group.bench_function("sample_sort_rank", |b| {
+        b.iter(|| {
+            let mut pairs: Vec<(i64, u32)> =
+                scores.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
+            par_sample_sort(&mut pairs, |&(s, i)| (std::cmp::Reverse(s), i));
+            black_box(pairs)
+        });
+    });
+    group.bench_function("topk_only", |b| {
+        b.iter(|| black_box(top_k_indices(&scores, k)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

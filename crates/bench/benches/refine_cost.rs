@@ -1,0 +1,40 @@
+//! EXT-REFINE bench: what the refinement stage costs next to the decode
+//! it follows, across the regimes it encounters (consistent input, light
+//! repair, heavy repair below threshold).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_core::mn::MnDecoder;
+use pooled_core::query::execute_queries;
+use pooled_core::refine::{refine, RefineConfig};
+use pooled_core::signal::Signal;
+use pooled_design::CsrDesign;
+use pooled_rng::SeedSequence;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refine_cost");
+    group.sample_size(10);
+    let (n, k) = (20_000usize, 20usize);
+    let seeds = SeedSequence::new(1905);
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let cfg = RefineConfig::default();
+
+    // Three budgets: comfortable (no swaps), marginal, deep sub-threshold.
+    for (label, m) in [("consistent", 1800usize), ("marginal", 900), ("subthreshold", 450)] {
+        let design = CsrDesign::sample(n, m, n / 2, &seeds.child(label, 0));
+        let y = execute_queries(&design, &sigma);
+        let out = MnDecoder::new(k).decode(&design, &y);
+        group.bench_function(format!("decode_{label}"), |b| {
+            let dec = MnDecoder::new(k);
+            b.iter(|| black_box(dec.decode(&design, &y)));
+        });
+        group.bench_function(format!("refine_{label}"), |b| {
+            b.iter(|| black_box(refine(&design, &y, &out.scores, &out.estimate, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

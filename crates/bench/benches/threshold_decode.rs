@@ -1,0 +1,50 @@
+//! EXT-THR bench: threshold-channel execution and decoding wall-clock,
+//! against the additive channel at the same dimensions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_core::mn::MnDecoder;
+use pooled_core::query::execute_queries;
+use pooled_core::signal::Signal;
+use pooled_design::CsrDesign;
+use pooled_rng::SeedSequence;
+use pooled_theory::threshold_gt::recommended_gamma;
+use pooled_threshold::{recommended_design, ThresholdChannel, ThresholdMnDecoder};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_decode");
+    group.sample_size(10);
+    let (n, k, t, m) = (50_000usize, 25usize, 2u64, 3000usize);
+    let seeds = SeedSequence::new(1905);
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let (gamma, _) = recommended_gamma(n, k, t);
+    eprintln!("threshold_decode: Γ* = {gamma}");
+
+    let design = recommended_design(n, k, t, m, &seeds.child("design", 0));
+    let channel = ThresholdChannel::new(t);
+    let bits = channel.execute(&design, &sigma);
+
+    group.bench_function("execute_threshold", |b| {
+        b.iter(|| black_box(channel.execute(&design, &sigma)));
+    });
+    group.bench_function("decode_threshold_mn", |b| {
+        let dec = ThresholdMnDecoder::new(k);
+        b.iter(|| black_box(dec.decode(&design, &bits)));
+    });
+
+    // Additive comparison at the same (n, m): pool size n/2.
+    let add_design = CsrDesign::sample(n, m, n / 2, &seeds.child("add", 0));
+    let y = execute_queries(&add_design, &sigma);
+    group.bench_function("execute_additive", |b| {
+        b.iter(|| black_box(execute_queries(&add_design, &sigma)));
+    });
+    group.bench_function("decode_additive_mn", |b| {
+        let dec = MnDecoder::new(k);
+        b.iter(|| black_box(dec.decode(&add_design, &y)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+#![warn(missing_docs)]
+
+//! Benchmark crate: all targets live under `benches/`.
+//!
+//! | Bench | Regenerates |
+//! |---|---|
+//! | `fig2_points` | Fig. 2 workload: per-trial transition search cells |
+//! | `fig3_fig4_points` | Figs. 3–4 workload: one MN trial per (n, θ, m) |
+//! | `decode_ablation` | scatter vs gather vs top-k vs full-sort decode |
+//! | `design_sampling` | CSR materialization vs streaming regeneration |
+//! | `sort_topk` | parallel sorts vs top-k selection on score vectors |
+//! | `baselines` | MN vs OMP vs AMP vs peeling wall-clock |
+//! | `thread_scaling` | decode throughput at 1/2/4/8 rayon workers |

@@ -1,0 +1,210 @@
+//! The information-theoretic decoder of Theorem 2.
+//!
+//! Theorem 2 is a statement about *uniqueness*: above `m_IT`, the ground
+//! truth is w.h.p. the only weight-`k` vector consistent with `(G, y)`, so
+//! an exhaustive search reconstructs it (computational cost notwithstanding).
+//! This module implements that search for small instances — it enumerates
+//! all `C(n,k)` supports in parallel and counts the consistent ones, which
+//! is exactly the quantity `Z_k(G, y)` the proof bounds.
+
+use rayon::prelude::*;
+
+use pooled_design::csr::CsrDesign;
+use pooled_design::PoolingDesign;
+
+use crate::signal::Signal;
+
+/// Outcome of the exhaustive consistency search.
+#[derive(Clone, Debug)]
+pub struct ExhaustiveOutcome {
+    /// Number of weight-`k` vectors consistent with the observations
+    /// (`Z_k(G, y)` in the paper; includes the ground truth).
+    pub consistent_count: u64,
+    /// One consistent signal, if any (the lexicographically first found).
+    pub witness: Option<Signal>,
+}
+
+impl ExhaustiveOutcome {
+    /// Whether the observations identify the signal uniquely.
+    pub fn is_unique(&self) -> bool {
+        self.consistent_count == 1
+    }
+}
+
+/// Practical safety cap: `C(n,k)` above this refuses to run.
+const ENUMERATION_CAP: f64 = 5e8;
+
+/// Enumerate all weight-`k` signals and count those consistent with `y`.
+///
+/// # Panics
+/// Panics if `y.len() != design.m()`, if `k > n`, or if `C(n,k)` exceeds the
+/// enumeration cap (~5·10⁸ candidates).
+pub fn exhaustive_search(design: &CsrDesign, y: &[u64], k: usize) -> ExhaustiveOutcome {
+    let n = design.n();
+    assert_eq!(y.len(), design.m(), "result vector length must equal m");
+    assert!(k <= n, "k={k} exceeds n={n}");
+    let log_count = pooled_theory::special::ln_choose(n as u64, k as u64);
+    assert!(
+        log_count < ENUMERATION_CAP.ln(),
+        "C({n},{k}) too large for exhaustive enumeration"
+    );
+    if k == 0 {
+        let consistent = y.iter().all(|&v| v == 0);
+        return ExhaustiveOutcome {
+            consistent_count: consistent as u64,
+            witness: consistent.then(|| Signal::from_support(n, vec![])),
+        };
+    }
+    // Parallelize over the first support element; enumerate the rest
+    // recursively. Each task owns a scratch support vector.
+    let results: Vec<(u64, Option<Vec<usize>>)> = (0..=n - k)
+        .into_par_iter()
+        .map(|first| {
+            let mut support = Vec::with_capacity(k);
+            support.push(first);
+            let mut count = 0u64;
+            let mut witness: Option<Vec<usize>> = None;
+            enumerate_rest(design, y, k, n, &mut support, &mut count, &mut witness);
+            (count, witness)
+        })
+        .collect();
+    let consistent_count: u64 = results.iter().map(|(c, _)| c).sum();
+    let witness = results
+        .into_iter()
+        .filter_map(|(_, w)| w)
+        .next()
+        .map(|s| Signal::from_support(n, s));
+    ExhaustiveOutcome { consistent_count, witness }
+}
+
+fn enumerate_rest(
+    design: &CsrDesign,
+    y: &[u64],
+    k: usize,
+    n: usize,
+    support: &mut Vec<usize>,
+    count: &mut u64,
+    witness: &mut Option<Vec<usize>>,
+) {
+    if support.len() == k {
+        if is_consistent(design, y, support) {
+            *count += 1;
+            if witness.is_none() {
+                *witness = Some(support.clone());
+            }
+        }
+        return;
+    }
+    let last = *support.last().unwrap();
+    let remaining = k - support.len();
+    for next in (last + 1)..=(n - remaining) {
+        support.push(next);
+        enumerate_rest(design, y, k, n, support, count, witness);
+        support.pop();
+    }
+}
+
+/// Check whether the support reproduces every query result.
+fn is_consistent(design: &CsrDesign, y: &[u64], support: &[usize]) -> bool {
+    // Sum each member's multiplicity column; early-out is impractical
+    // per-query without a transpose walk, so accumulate per query.
+    let mut acc = vec![0u64; design.m()];
+    for &i in support {
+        let (qs, mults) = design.entry_row(i);
+        for (&q, &c) in qs.iter().zip(mults) {
+            acc[q as usize] += c as u64;
+            if acc[q as usize] > y[q as usize] {
+                return false;
+            }
+        }
+    }
+    acc == y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::execute_queries;
+    use pooled_rng::SeedSequence;
+
+    fn setup(n: usize, k: usize, m: usize, seed: u64) -> (CsrDesign, Signal, Vec<u64>) {
+        let seeds = SeedSequence::new(seed);
+        let d = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let y = execute_queries(&d, &sigma);
+        (d, sigma, y)
+    }
+
+    #[test]
+    fn ground_truth_is_always_counted() {
+        let (d, sigma, y) = setup(16, 3, 12, 1);
+        let out = exhaustive_search(&d, &y, 3);
+        assert!(out.consistent_count >= 1);
+        if out.is_unique() {
+            assert_eq!(out.witness.unwrap(), sigma);
+        }
+    }
+
+    #[test]
+    fn many_queries_force_uniqueness() {
+        // m = 40 queries on n = 16 is far above the IT threshold.
+        let (d, sigma, y) = setup(16, 3, 40, 2);
+        let out = exhaustive_search(&d, &y, 3);
+        assert!(out.is_unique(), "count = {}", out.consistent_count);
+        assert_eq!(out.witness.unwrap(), sigma);
+    }
+
+    #[test]
+    fn single_query_leaves_ambiguity() {
+        // One query cannot identify a weight-2 signal in n = 12.
+        let (d, _, y) = setup(12, 2, 1, 3);
+        let out = exhaustive_search(&d, &y, 2);
+        assert!(out.consistent_count > 1, "count = {}", out.consistent_count);
+    }
+
+    #[test]
+    fn k_zero_cases() {
+        let seeds = SeedSequence::new(4);
+        let d = CsrDesign::sample(8, 5, 4, &seeds);
+        let zero_y = vec![0u64; 5];
+        let out = exhaustive_search(&d, &zero_y, 0);
+        assert_eq!(out.consistent_count, 1);
+        assert_eq!(out.witness.unwrap().weight(), 0);
+        // Inconsistent y for k = 0:
+        let bad_y = vec![1u64, 0, 0, 0, 0];
+        assert_eq!(exhaustive_search(&d, &bad_y, 0).consistent_count, 0);
+    }
+
+    #[test]
+    fn wrong_weight_hypothesis_finds_nothing_or_impostors() {
+        // Searching k+1 with y from weight k: counts impostors only; the
+        // truth itself is not in the candidate set.
+        let (d, sigma, y) = setup(14, 2, 30, 5);
+        let out = exhaustive_search(&d, &y, 3);
+        if let Some(w) = &out.witness {
+            assert_ne!(w, &sigma);
+        }
+    }
+
+    #[test]
+    fn consistency_check_respects_multiplicity() {
+        // Query (1,1,2): y=2 under {1}, y=1 under {2} — not interchangeable.
+        let d = CsrDesign::from_pools(4, &[vec![1, 1, 2]]);
+        let s1 = Signal::from_support(4, vec![1]);
+        let y1 = execute_queries(&d, &s1);
+        assert_eq!(y1, vec![2]);
+        let out = exhaustive_search(&d, &y1, 1);
+        // {1} gives 2 ✓; {2} gives 1 ✗; {0},{3} give 0 ✗.
+        assert_eq!(out.consistent_count, 1);
+        assert_eq!(out.witness.unwrap(), s1);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn enumeration_cap_guards() {
+        let seeds = SeedSequence::new(6);
+        let d = CsrDesign::sample(100, 2, 50, &seeds);
+        let y = vec![0u64; 2];
+        let _ = exhaustive_search(&d, &y, 50);
+    }
+}

@@ -1,0 +1,132 @@
+//! Recovery metrics used by every figure of the evaluation.
+//!
+//! * Fig. 3 plots the **success rate**: the fraction of trials with
+//!   `σ̃ = σ` exactly ([`exact_recovery`]).
+//! * Fig. 4 plots the **overlap**: the fraction of one-entries correctly
+//!   classified, `|supp(σ̃) ∩ supp(σ)| / k` ([`overlap_fraction`]).
+
+use crate::signal::Signal;
+
+/// Exact recovery indicator: `σ̃ = σ`.
+pub fn exact_recovery(truth: &Signal, estimate: &Signal) -> bool {
+    truth == estimate
+}
+
+/// The paper's overlap metric: fraction of true one-entries present in the
+/// estimate. Returns 1.0 for the degenerate `k = 0` case (nothing to find).
+pub fn overlap_fraction(truth: &Signal, estimate: &Signal) -> f64 {
+    if truth.weight() == 0 {
+        return 1.0;
+    }
+    truth.overlap(estimate) as f64 / truth.weight() as f64
+}
+
+/// Confusion counts of a reconstruction, for the extension experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Confusion {
+    /// One-entries correctly recovered.
+    pub true_positives: usize,
+    /// Zero-entries wrongly reported as ones.
+    pub false_positives: usize,
+    /// One-entries missed.
+    pub false_negatives: usize,
+    /// Zero-entries correctly left out.
+    pub true_negatives: usize,
+}
+
+impl Confusion {
+    /// Compare an estimate against the ground truth.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn compare(truth: &Signal, estimate: &Signal) -> Self {
+        assert_eq!(truth.n(), estimate.n(), "signals must have equal length");
+        let tp = truth.overlap(estimate);
+        let fp = estimate.weight() - tp;
+        let fne = truth.weight() - tp;
+        let tn = truth.n() - tp - fp - fne;
+        Self { true_positives: tp, false_positives: fp, false_negatives: fne, true_negatives: tn }
+    }
+
+    /// Precision `tp / (tp + fp)`; 1.0 when nothing was reported.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 1.0 when there was nothing to find.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_recovery_detects_equality() {
+        let a = Signal::from_support(10, vec![1, 2]);
+        let b = Signal::from_support(10, vec![1, 2]);
+        let c = Signal::from_support(10, vec![1, 3]);
+        assert!(exact_recovery(&a, &b));
+        assert!(!exact_recovery(&a, &c));
+    }
+
+    #[test]
+    fn overlap_fraction_examples() {
+        let truth = Signal::from_support(10, vec![0, 1, 2, 3]);
+        let half = Signal::from_support(10, vec![0, 1, 8, 9]);
+        assert_eq!(overlap_fraction(&truth, &half), 0.5);
+        assert_eq!(overlap_fraction(&truth, &truth), 1.0);
+    }
+
+    #[test]
+    fn overlap_empty_truth_is_one() {
+        let truth = Signal::from_support(5, vec![]);
+        let est = Signal::from_support(5, vec![2]);
+        assert_eq!(overlap_fraction(&truth, &est), 1.0);
+    }
+
+    #[test]
+    fn confusion_counts_add_up() {
+        let truth = Signal::from_support(8, vec![0, 1, 2]);
+        let est = Signal::from_support(8, vec![1, 2, 3]);
+        let c = Confusion::compare(&truth, &est);
+        assert_eq!(c.true_positives, 2);
+        assert_eq!(c.false_positives, 1);
+        assert_eq!(c.false_negatives, 1);
+        assert_eq!(c.true_negatives, 4);
+        assert_eq!(
+            c.true_positives + c.false_positives + c.false_negatives + c.true_negatives,
+            8
+        );
+    }
+
+    #[test]
+    fn precision_recall_values() {
+        let truth = Signal::from_support(8, vec![0, 1, 2, 3]);
+        let est = Signal::from_support(8, vec![0, 1]);
+        let c = Confusion::compare(&truth, &est);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.5);
+    }
+
+    #[test]
+    fn empty_estimate_has_full_precision() {
+        let truth = Signal::from_support(4, vec![0]);
+        let est = Signal::from_support(4, vec![]);
+        let c = Confusion::compare(&truth, &est);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 0.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Residual-guided local search: a second stage after the MN decoder.
+//!
+//! The paper's §VI names the gap between the algorithmic threshold
+//! (Theorem 1, `Θ(k·ln(n/k)·ln k)` queries… sic: `c(n) = Θ(ln n)`) and the
+//! information-theoretic threshold (Theorem 2) as *the* open problem. This
+//! module implements the natural greedy attack on that gap: keep querying
+//! nothing, but spend post-processing time.
+//!
+//! Starting from the MN estimate `σ̃`, compute the residual `r = y − ŷ(σ̃)`
+//! and greedily swap a weak in-support entry for a strong out-of-support
+//! entry whenever the swap reduces `‖r‖₁`, until the estimate is consistent
+//! (`r = 0`) or no candidate swap improves. Above the IT threshold a
+//! consistent vector is unique w.h.p. (Theorem 2), so reaching `r = 0`
+//! *certifies* exact recovery there.
+//!
+//! Candidates are ranked by the MN scores — the entries the decoder was
+//! least sure about — which keeps each round at `O(W²·(Δ*))` for a window
+//! of `W` candidates per side, evaluated in parallel. The `refinement_gain`
+//! experiment measures how far this pushes the empirical transition below
+//! Theorem 1's prediction.
+
+use rayon::prelude::*;
+
+use pooled_design::csr::CsrDesign;
+use pooled_design::PoolingDesign;
+
+use crate::query::execute_queries;
+use crate::signal::Signal;
+
+/// Tuning knobs for the local search.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineConfig {
+    /// Candidates considered on each side of a swap (weakest in-support ×
+    /// strongest out-of-support). `W² ` pairs are scored per round.
+    pub window: usize,
+    /// Hard cap on applied swaps (each round applies at most one).
+    pub max_swaps: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        Self { window: 24, max_swaps: 256 }
+    }
+}
+
+/// Result of the refinement stage.
+#[derive(Clone, Debug)]
+pub struct RefineOutput {
+    /// The (possibly improved) estimate; weight equals the input weight.
+    pub estimate: Signal,
+    /// `‖y − ŷ‖₁` before refinement.
+    pub initial_residual: u64,
+    /// `‖y − ŷ‖₁` after refinement.
+    pub final_residual: u64,
+    /// Number of swaps applied.
+    pub swaps: usize,
+    /// Whether the final estimate reproduces `y` exactly. Above the IT
+    /// threshold this certifies `estimate == σ` w.h.p. (Theorem 2).
+    pub consistent: bool,
+}
+
+/// Greedily swap support entries to reduce the query residual.
+///
+/// `scores` are the per-entry MN scores used to shortlist candidates
+/// (`MnOutput::scores`); they are read-only and may be stale after swaps —
+/// they only steer the shortlist, correctness comes from exact residual
+/// recomputation per candidate pair.
+///
+/// # Panics
+/// Panics if `y`, `scores`, or `estimate` disagree with the design's
+/// dimensions.
+pub fn refine(
+    design: &CsrDesign,
+    y: &[u64],
+    scores: &[i64],
+    estimate: &Signal,
+    cfg: &RefineConfig,
+) -> RefineOutput {
+    assert_eq!(y.len(), design.m(), "result vector length must equal m");
+    assert_eq!(scores.len(), design.n(), "score vector length must equal n");
+    assert_eq!(estimate.n(), design.n(), "estimate length must equal n");
+    let n = design.n();
+    let y_hat = execute_queries(design, estimate);
+    let mut r: Vec<i64> = y.iter().zip(&y_hat).map(|(&a, &b)| a as i64 - b as i64).collect();
+    let initial_residual: u64 = r.iter().map(|&v| v.unsigned_abs()).sum();
+    let mut dense = estimate.dense().to_vec();
+    let mut residual = initial_residual;
+    let mut swaps = 0usize;
+
+    while residual > 0 && swaps < cfg.max_swaps {
+        // Shortlist: weakest in-support, strongest out-of-support.
+        let mut ins: Vec<usize> = (0..n).filter(|&i| dense[i] == 1).collect();
+        let mut outs: Vec<usize> = (0..n).filter(|&i| dense[i] == 0).collect();
+        if ins.is_empty() || outs.is_empty() {
+            break;
+        }
+        ins.sort_by_key(|&i| (scores[i], i));
+        outs.sort_by_key(|&i| (std::cmp::Reverse(scores[i]), i));
+        ins.truncate(cfg.window);
+        outs.truncate(cfg.window);
+        let pairs: Vec<(usize, usize)> =
+            ins.iter().flat_map(|&i| outs.iter().map(move |&j| (i, j))).collect();
+        // Exact Δ‖r‖₁ per candidate pair, in parallel; deterministic best.
+        let best = pairs
+            .par_iter()
+            .map(|&(i, j)| (swap_delta(design, &r, i, j), i, j))
+            .min_by_key(|&(d, i, j)| (d, i, j))
+            .expect("candidate set is nonempty");
+        let (delta, i, j) = best;
+        if delta >= 0 {
+            break; // local minimum of ‖r‖₁
+        }
+        // Apply: remove i (ŷ loses A_iq ⇒ r gains), insert j (r loses A_jq).
+        let (qs_i, ms_i) = design.entry_row(i);
+        for (&q, &c) in qs_i.iter().zip(ms_i) {
+            r[q as usize] += c as i64;
+        }
+        let (qs_j, ms_j) = design.entry_row(j);
+        for (&q, &c) in qs_j.iter().zip(ms_j) {
+            r[q as usize] -= c as i64;
+        }
+        dense[i] = 0;
+        dense[j] = 1;
+        residual = (residual as i64 + delta) as u64;
+        debug_assert_eq!(residual, r.iter().map(|&v| v.unsigned_abs()).sum::<u64>());
+        swaps += 1;
+    }
+
+    RefineOutput {
+        estimate: Signal::from_dense(&dense),
+        initial_residual,
+        final_residual: residual,
+        swaps,
+        consistent: residual == 0,
+    }
+}
+
+/// Exact change of `‖r‖₁` if entry `i` leaves the support and `j` joins:
+/// only queries in `∂*x_i ∪ ∂*x_j` change, by `+A_iq − A_jq`.
+fn swap_delta(design: &CsrDesign, r: &[i64], i: usize, j: usize) -> i64 {
+    let (qi, mi) = design.entry_row(i);
+    let (qj, mj) = design.entry_row(j);
+    let mut delta = 0i64;
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < qi.len() || b < qj.len() {
+        let (q, add, sub) = match (qi.get(a), qj.get(b)) {
+            (Some(&x), Some(&y)) if x == y => {
+                let t = (x, mi[a] as i64, mj[b] as i64);
+                a += 1;
+                b += 1;
+                t
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                let t = (x, mi[a] as i64, 0);
+                a += 1;
+                t
+            }
+            (Some(_), Some(&y)) => {
+                let t = (y, 0, mj[b] as i64);
+                b += 1;
+                t
+            }
+            (Some(&x), None) => {
+                let t = (x, mi[a] as i64, 0);
+                a += 1;
+                t
+            }
+            (None, Some(&y)) => {
+                let t = (y, 0, mj[b] as i64);
+                b += 1;
+                t
+            }
+            (None, None) => unreachable!("loop guard"),
+        };
+        let old = r[q as usize];
+        delta += (old + add - sub).abs() - old.abs();
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mn::MnDecoder;
+    use pooled_rng::SeedSequence;
+    use pooled_theory::thresholds::{k_of, m_mn_finite};
+
+    fn setup(n: usize, k: usize, m: usize, seed: u64) -> (Signal, CsrDesign, Vec<u64>) {
+        let seeds = SeedSequence::new(seed);
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+        let y = execute_queries(&design, &sigma);
+        (sigma, design, y)
+    }
+
+    #[test]
+    fn exact_estimate_is_left_untouched() {
+        let (sigma, design, y) = setup(400, 6, 200, 31);
+        let out = MnDecoder::new(6).decode(&design, &y);
+        assert_eq!(out.estimate, sigma, "pick m high enough for this test");
+        let refined = refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+        assert!(refined.consistent);
+        assert_eq!(refined.swaps, 0);
+        assert_eq!(refined.estimate, sigma);
+        assert_eq!(refined.initial_residual, 0);
+    }
+
+    #[test]
+    fn fixes_a_planted_single_swap_error() {
+        let (sigma, design, y) = setup(500, 8, 250, 32);
+        // Corrupt the truth by one swap.
+        let mut dense = sigma.dense().to_vec();
+        let out_i = sigma.support()[3];
+        let in_j = (0..500).find(|&i| dense[i] == 0).unwrap();
+        dense[out_i] = 0;
+        dense[in_j] = 1;
+        let corrupted = Signal::from_dense(&dense);
+        // Static scores from a fresh decode steer the shortlist.
+        let scores = MnDecoder::new(8).decode(&design, &y).scores;
+        let refined = refine(&design, &y, &scores, &corrupted, &RefineConfig::default());
+        assert!(refined.consistent, "residual {} after refine", refined.final_residual);
+        assert_eq!(refined.estimate, sigma);
+        assert_eq!(refined.swaps, 1);
+    }
+
+    #[test]
+    fn never_increases_residual() {
+        for seed in 40..46 {
+            // Deliberately below threshold so MN errs.
+            let (_, design, y) = setup(600, 10, 120, seed);
+            let out = MnDecoder::new(10).decode(&design, &y);
+            let refined =
+                refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+            assert!(refined.final_residual <= refined.initial_residual, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn improves_success_rate_below_threshold() {
+        // At ~70% of the finite-size MN threshold, plain MN misses often;
+        // refinement must recover at least as many instances.
+        let n = 1000;
+        let k = k_of(n, 0.3);
+        let m = (0.7 * m_mn_finite(n, 0.3)).round() as usize;
+        let (mut plain_ok, mut refined_ok) = (0, 0);
+        for seed in 0..15 {
+            let (sigma, design, y) = setup(n, k, m, 100 + seed);
+            let out = MnDecoder::new(k).decode(&design, &y);
+            let refined =
+                refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+            plain_ok += (out.estimate == sigma) as u32;
+            refined_ok += (refined.estimate == sigma) as u32;
+            assert!(
+                refined.estimate == sigma || out.estimate != sigma,
+                "refinement broke a correct estimate (seed {seed})"
+            );
+        }
+        assert!(refined_ok >= plain_ok, "refined {refined_ok} < plain {plain_ok}");
+        assert!(refined_ok > plain_ok, "expected a strict gain at m={m} ({plain_ok} both)");
+    }
+
+    #[test]
+    fn respects_max_swaps_cap() {
+        let (_, design, y) = setup(600, 10, 90, 60);
+        let out = MnDecoder::new(10).decode(&design, &y);
+        let cfg = RefineConfig { window: 8, max_swaps: 2 };
+        let refined = refine(&design, &y, &out.scores, &out.estimate, &cfg);
+        assert!(refined.swaps <= 2);
+    }
+
+    #[test]
+    fn weight_is_invariant() {
+        let (_, design, y) = setup(500, 7, 100, 61);
+        let out = MnDecoder::new(7).decode(&design, &y);
+        let refined = refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+        assert_eq!(refined.estimate.weight(), 7);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (_, design, y) = setup(500, 7, 130, 62);
+        let out = MnDecoder::new(7).decode(&design, &y);
+        let a = refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+        let b = refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+        assert_eq!(a.estimate, b.estimate);
+        assert_eq!(a.swaps, b.swaps);
+        assert_eq!(a.final_residual, b.final_residual);
+    }
+
+    #[test]
+    fn consistency_certificate_matches_zero_residual() {
+        for seed in 70..76 {
+            let (_, design, y) = setup(400, 6, 150, seed);
+            let out = MnDecoder::new(6).decode(&design, &y);
+            let refined =
+                refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+            let y_check = execute_queries(&design, &refined.estimate);
+            let res: u64 =
+                y.iter().zip(&y_check).map(|(&a, &b)| a.abs_diff(b)).sum();
+            assert_eq!(res, refined.final_residual, "seed {seed}");
+            assert_eq!(refined.consistent, res == 0, "seed {seed}");
+        }
+    }
+}

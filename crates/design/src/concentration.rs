@@ -1,0 +1,118 @@
+//! The high-probability event `R` of Lemma 3.
+//!
+//! `R` asserts that for **every** entry `i`,
+//! `Δ_i = mΓ/n + O(√(m ln n))` and `Δ*_i = (1 − e^{−Γ/n})·m + O(√(m ln n))`.
+//! The paper conditions all of its analysis on `R`; this module measures how
+//! far a sampled design actually strays, which the experiments use both as a
+//! sanity check and to illustrate why the finite-`n` Remark (§V) predicts
+//! the simulation/theory gap at small `n`.
+
+use crate::degrees::DegreeStats;
+use crate::PoolingDesign;
+
+/// Measured concentration of a design relative to Lemma 3's expectations.
+#[derive(Clone, Copy, Debug)]
+pub struct ConcentrationReport {
+    /// Expected multiplicity degree `mΓ/n`.
+    pub expect_delta: f64,
+    /// Expected distinct degree `m(1 − (1−1/n)^Γ)`.
+    pub expect_delta_star: f64,
+    /// `max_i |Δ_i − E[Δ]| / √(m ln n)` — the constant hidden in the `O(·)`.
+    pub delta_constant: f64,
+    /// `max_i |Δ*_i − E[Δ*]| / √(m ln n)` — same for distinct degrees.
+    pub delta_star_constant: f64,
+    /// The normalizer `√(m ln n)` itself.
+    pub normalizer: f64,
+}
+
+impl ConcentrationReport {
+    /// Whether both deviation constants stay below `c`.
+    ///
+    /// Lemma 3 guarantees constants `O(1)` w.h.p.; empirical designs at the
+    /// paper's scales satisfy `c = 4` with large margin.
+    pub fn holds_with_constant(&self, c: f64) -> bool {
+        self.delta_constant <= c && self.delta_star_constant <= c
+    }
+}
+
+/// Measure the event `R` on a sampled design.
+pub fn check_concentration<D: PoolingDesign + ?Sized>(design: &D) -> ConcentrationReport {
+    let stats = DegreeStats::compute(design);
+    report_from_stats(design.n(), design.m(), design.gamma(), &stats)
+}
+
+/// Measure the event `R` from precomputed degree statistics.
+pub fn report_from_stats(
+    n: usize,
+    m: usize,
+    gamma: usize,
+    stats: &DegreeStats,
+) -> ConcentrationReport {
+    let n_f = n as f64;
+    let m_f = m as f64;
+    let expect_delta = m_f * gamma as f64 / n_f;
+    let p = 1.0 - (1.0 - 1.0 / n_f).powi(gamma.min(i32::MAX as usize) as i32);
+    let expect_delta_star = m_f * p;
+    // √(m ln n); guard the degenerate n = 1, m = 0 corners.
+    let normalizer = (m_f * n_f.max(2.0).ln()).sqrt().max(f64::MIN_POSITIVE);
+    ConcentrationReport {
+        expect_delta,
+        expect_delta_star,
+        delta_constant: stats.max_delta_deviation(expect_delta) / normalizer,
+        delta_star_constant: stats.max_delta_star_deviation(expect_delta_star) / normalizer,
+        normalizer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrDesign;
+    use pooled_rng::SeedSequence;
+
+    #[test]
+    fn sampled_designs_concentrate() {
+        // At n=4000, m=600, Lemma 3's constants should be small.
+        let n = 4000;
+        let d = CsrDesign::sample(n, 600, n / 2, &SeedSequence::new(10));
+        let report = check_concentration(&d);
+        assert!(
+            report.holds_with_constant(4.0),
+            "Δ-constant {} Δ*-constant {}",
+            report.delta_constant,
+            report.delta_star_constant
+        );
+    }
+
+    #[test]
+    fn expectations_are_sane() {
+        let n = 1000;
+        let d = CsrDesign::sample(n, 100, n / 2, &SeedSequence::new(11));
+        let r = check_concentration(&d);
+        assert!((r.expect_delta - 50.0).abs() < 1e-9);
+        let want_star = 100.0 * (1.0 - (-gamma_ratio_to_log(n, n / 2)).exp());
+        // within rounding of the (1−1/n)^Γ vs e^{−Γ/n} approximation
+        assert!((r.expect_delta_star - want_star).abs() < 0.5);
+    }
+
+    fn gamma_ratio_to_log(n: usize, gamma: usize) -> f64 {
+        -(gamma as f64) * (1.0 - 1.0 / n as f64).ln()
+    }
+
+    #[test]
+    fn pathological_design_fails_concentration() {
+        // All queries contain only entry 0: Δ_0 deviates maximally.
+        let pools: Vec<Vec<usize>> = (0..100).map(|_| vec![0usize; 50]).collect();
+        let d = CsrDesign::from_pools(100, &pools);
+        let report = check_concentration(&d);
+        assert!(!report.holds_with_constant(4.0));
+    }
+
+    #[test]
+    fn zero_queries_trivially_concentrates() {
+        let d = CsrDesign::sample(10, 0, 5, &SeedSequence::new(1));
+        let report = check_concentration(&d);
+        assert_eq!(report.delta_constant, 0.0);
+        assert_eq!(report.delta_star_constant, 0.0);
+    }
+}

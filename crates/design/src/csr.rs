@@ -1,0 +1,362 @@
+//! Materialized CSR storage of a pooling design.
+//!
+//! Per query we store the *distinct* member entries together with their draw
+//! multiplicities (run-length encoding of the `Γ` draws), plus the transposed
+//! entry→queries adjacency used by the decoder's gather path. Construction is
+//! parallel over queries; the transpose is built with a count → scan →
+//! scatter pass using atomic write cursors.
+
+use rayon::prelude::*;
+
+use pooled_par::scan::exclusive_scan_u64;
+use pooled_par::scatter::AtomicCounters;
+use pooled_rng::bounded::FixedBound;
+use pooled_rng::SeedSequence;
+
+use crate::PoolingDesign;
+
+/// Compressed sparse rows for both orientations of the bipartite multigraph.
+#[derive(Clone, Debug)]
+pub struct CsrDesign {
+    n: usize,
+    m: usize,
+    gamma: usize,
+    /// Row offsets into `entries`/`mults`, length `m + 1`.
+    q_offsets: Vec<u64>,
+    /// Distinct entries of each query, ascending within a row.
+    entries: Vec<u32>,
+    /// Draw multiplicities matching `entries` (`A_iq ≥ 1`).
+    mults: Vec<u32>,
+    /// Transpose row offsets, length `n + 1`.
+    e_offsets: Vec<u64>,
+    /// Distinct queries of each entry (ascending within a row).
+    queries: Vec<u32>,
+    /// Multiplicities matching `queries`.
+    t_mults: Vec<u32>,
+}
+
+impl CsrDesign {
+    /// Sample the paper's design: `m` queries of `Γ = gamma` uniform draws
+    /// with replacement from `{0, …, n−1}`, materialized.
+    ///
+    /// Query `q` draws from the substream `seeds.child("query", q)`, which is
+    /// the exact contract [`crate::streaming::StreamingDesign`] follows — the
+    /// two representations are bit-identical.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn sample(n: usize, m: usize, gamma: usize, seeds: &SeedSequence) -> Self {
+        assert!(n > 0, "design needs at least one entry");
+        // Pass 1 (parallel): per-query sorted RLE pools.
+        let pools: Vec<Vec<(u32, u32)>> = (0..m)
+            .into_par_iter()
+            .map(|q| sample_query_rle(n, gamma, seeds, q))
+            .collect();
+        Self::from_rle_pools(n, gamma, pools)
+    }
+
+    /// Build a design from explicit pools given as entry lists **with
+    /// repetitions** (multi-edges), e.g. the worked example of Fig. 1.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, or any entry index is out of range.
+    pub fn from_pools(n: usize, pools: &[Vec<usize>]) -> Self {
+        assert!(n > 0, "design needs at least one entry");
+        let gamma = pools.first().map_or(0, |p| p.len());
+        let rle: Vec<Vec<(u32, u32)>> = pools
+            .iter()
+            .map(|pool| {
+                let mut draws: Vec<u32> = pool
+                    .iter()
+                    .map(|&e| {
+                        assert!(e < n, "entry {e} out of range for n={n}");
+                        e as u32
+                    })
+                    .collect();
+                draws.sort_unstable();
+                run_length_encode(&draws)
+            })
+            .collect();
+        Self::from_rle_pools(n, gamma, rle)
+    }
+
+    fn from_rle_pools(n: usize, gamma: usize, pools: Vec<Vec<(u32, u32)>>) -> Self {
+        let m = pools.len();
+        // Assemble forward CSR.
+        let mut q_offsets: Vec<u64> = Vec::with_capacity(m + 1);
+        q_offsets.extend(pools.iter().map(|p| p.len() as u64));
+        q_offsets.push(0);
+        let nnz = exclusive_scan_u64(&mut q_offsets) as usize;
+        // exclusive_scan leaves offsets[m] = 0-based start of a phantom row;
+        // fix the final fencepost.
+        q_offsets[m] = nnz as u64;
+        let mut entries = vec![0u32; nnz];
+        let mut mults = vec![0u32; nnz];
+        for (q, pool) in pools.iter().enumerate() {
+            let start = q_offsets[q] as usize;
+            for (j, &(e, c)) in pool.iter().enumerate() {
+                entries[start + j] = e;
+                mults[start + j] = c;
+            }
+        }
+        // Transpose: count, scan, scatter.
+        let degree = AtomicCounters::new(n);
+        entries.par_iter().for_each(|&e| degree.incr(e as usize));
+        let mut e_offsets = degree.into_vec();
+        e_offsets.push(0);
+        let t_nnz = exclusive_scan_u64(&mut e_offsets) as usize;
+        e_offsets[n] = t_nnz as u64;
+        debug_assert_eq!(t_nnz, nnz);
+        let mut queries = vec![0u32; nnz];
+        let mut t_mults = vec![0u32; nnz];
+        // Sequential scatter keeps rows ascending by query (stable order).
+        let mut cursors: Vec<u64> = e_offsets[..n].to_vec();
+        for q in 0..m {
+            let (s, e) = (q_offsets[q] as usize, q_offsets[q + 1] as usize);
+            for j in s..e {
+                let ent = entries[j] as usize;
+                let at = cursors[ent] as usize;
+                queries[at] = q as u32;
+                t_mults[at] = mults[j];
+                cursors[ent] += 1;
+            }
+        }
+        Self { n, m, gamma, q_offsets, entries, mults, e_offsets, queries, t_mults }
+    }
+
+    /// Distinct entries of query `q` (ascending) with multiplicities.
+    #[inline]
+    pub fn query_row(&self, q: usize) -> (&[u32], &[u32]) {
+        let (s, e) = (self.q_offsets[q] as usize, self.q_offsets[q + 1] as usize);
+        (&self.entries[s..e], &self.mults[s..e])
+    }
+
+    /// Distinct queries containing entry `i` (ascending) with multiplicities.
+    #[inline]
+    pub fn entry_row(&self, i: usize) -> (&[u32], &[u32]) {
+        let (s, e) = (self.e_offsets[i] as usize, self.e_offsets[i + 1] as usize);
+        (&self.queries[s..e], &self.t_mults[s..e])
+    }
+
+    /// Total number of stored (entry, query) incidences (distinct pairs).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Gather-based Ψ/Δ* accumulation using the transpose (no atomics):
+    /// `psi[i] = Σ_{q ∋ i} w[q]`, `dstar[i] = |∂*x_i|`.
+    pub fn gather_distinct_u64(&self, w: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        assert_eq!(w.len(), self.m, "weight vector length must equal m");
+        let mut psi = vec![0u64; self.n];
+        let mut dstar = vec![0u64; self.n];
+        psi.par_iter_mut().zip(dstar.par_iter_mut()).enumerate().for_each(
+            |(i, (p, d))| {
+                let (qs, _) = self.entry_row(i);
+                let mut acc = 0u64;
+                for &q in qs {
+                    acc += w[q as usize];
+                }
+                *p = acc;
+                *d = qs.len() as u64;
+            },
+        );
+        (psi, dstar)
+    }
+}
+
+/// Draw one query's pool and return it as sorted `(entry, multiplicity)`.
+pub(crate) fn sample_query_rle(
+    n: usize,
+    gamma: usize,
+    seeds: &SeedSequence,
+    q: usize,
+) -> Vec<(u32, u32)> {
+    let mut rng = seeds.child("query", q as u64).rng();
+    let fb = FixedBound::new(n as u64);
+    let mut draws: Vec<u32> = Vec::with_capacity(gamma);
+    for _ in 0..gamma {
+        draws.push(fb.sample(&mut rng) as u32);
+    }
+    draws.sort_unstable();
+    run_length_encode(&draws)
+}
+
+fn run_length_encode(sorted: &[u32]) -> Vec<(u32, u32)> {
+    let mut out: Vec<(u32, u32)> = Vec::with_capacity(sorted.len());
+    for &x in sorted {
+        match out.last_mut() {
+            Some((v, c)) if *v == x => *c += 1,
+            _ => out.push((x, 1)),
+        }
+    }
+    out
+}
+
+impl PoolingDesign for CsrDesign {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn m(&self) -> usize {
+        self.m
+    }
+
+    fn gamma(&self) -> usize {
+        self.gamma
+    }
+
+    fn for_each_draw(&self, q: usize, f: &mut dyn FnMut(usize)) {
+        let (es, cs) = self.query_row(q);
+        for (&e, &c) in es.iter().zip(cs) {
+            for _ in 0..c {
+                f(e as usize);
+            }
+        }
+    }
+
+    fn for_each_distinct(&self, q: usize, f: &mut dyn FnMut(usize, u32)) {
+        let (es, cs) = self.query_row(q);
+        for (&e, &c) in es.iter().zip(cs) {
+            f(e as usize, c);
+        }
+    }
+
+    fn distinct_len(&self, q: usize) -> usize {
+        (self.q_offsets[q + 1] - self.q_offsets[q]) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_design() -> CsrDesign {
+        CsrDesign::sample(50, 20, 25, &SeedSequence::new(42))
+    }
+
+    #[test]
+    fn multiplicities_sum_to_gamma() {
+        let d = small_design();
+        for q in 0..d.m() {
+            let (_, cs) = d.query_row(q);
+            let total: u32 = cs.iter().sum();
+            assert_eq!(total as usize, d.gamma(), "query {q}");
+        }
+    }
+
+    #[test]
+    fn rows_are_strictly_ascending() {
+        let d = small_design();
+        for q in 0..d.m() {
+            let (es, _) = d.query_row(q);
+            assert!(es.windows(2).all(|w| w[0] < w[1]), "query {q}: {es:?}");
+        }
+        for i in 0..d.n() {
+            let (qs, _) = d.entry_row(i);
+            assert!(qs.windows(2).all(|w| w[0] < w[1]), "entry {i}: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        let d = small_design();
+        for q in 0..d.m() {
+            let (es, cs) = d.query_row(q);
+            for (&e, &c) in es.iter().zip(cs) {
+                let (qs, tcs) = d.entry_row(e as usize);
+                let pos = qs.binary_search(&(q as u32)).expect("missing transpose edge");
+                assert_eq!(tcs[pos], c, "multiplicity mismatch at ({e},{q})");
+            }
+        }
+        let forward_nnz: usize = (0..d.m()).map(|q| d.query_row(q).0.len()).sum();
+        let backward_nnz: usize = (0..d.n()).map(|i| d.entry_row(i).0.len()).sum();
+        assert_eq!(forward_nnz, backward_nnz);
+        assert_eq!(forward_nnz, d.nnz());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_in_seed() {
+        let a = CsrDesign::sample(100, 30, 50, &SeedSequence::new(7));
+        let b = CsrDesign::sample(100, 30, 50, &SeedSequence::new(7));
+        assert_eq!(a.entries, b.entries);
+        assert_eq!(a.mults, b.mults);
+        let c = CsrDesign::sample(100, 30, 50, &SeedSequence::new(8));
+        assert_ne!(a.entries, c.entries);
+    }
+
+    #[test]
+    fn from_pools_fig1_example() {
+        // Fig. 1 of the paper: n=7, queries with multi-edges; the dashed
+        // double edge means an entry drawn twice in the same query.
+        let pools = vec![
+            vec![0, 1, 2],
+            vec![0, 1, 3],
+            vec![0, 4, 4, 5], // entry 4 twice (multi-edge)
+            vec![2, 4, 6],
+            vec![4, 5, 6],
+        ];
+        let d = CsrDesign::from_pools(7, &pools);
+        assert_eq!(d.m(), 5);
+        let (es, cs) = d.query_row(2);
+        assert_eq!(es, &[0, 4, 5]);
+        assert_eq!(cs, &[1, 2, 1]);
+        assert_eq!(d.distinct_len(2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_pools_rejects_bad_entry() {
+        let _ = CsrDesign::from_pools(3, &[vec![0, 3]]);
+    }
+
+    #[test]
+    fn for_each_draw_respects_multiplicity() {
+        let d = CsrDesign::from_pools(5, &[vec![1, 1, 1, 4]]);
+        let mut draws = Vec::new();
+        d.for_each_draw(0, &mut |e| draws.push(e));
+        assert_eq!(draws, vec![1, 1, 1, 4]);
+    }
+
+    #[test]
+    fn gather_matches_manual_sum() {
+        let d = small_design();
+        let w: Vec<u64> = (0..d.m() as u64).map(|q| q * q + 1).collect();
+        let (psi, dstar) = d.gather_distinct_u64(&w);
+        for i in 0..d.n() {
+            let (qs, _) = d.entry_row(i);
+            let want: u64 = qs.iter().map(|&q| w[q as usize]).sum();
+            assert_eq!(psi[i], want, "entry {i}");
+            assert_eq!(dstar[i], qs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn empty_design_m_zero() {
+        let d = CsrDesign::sample(10, 0, 5, &SeedSequence::new(1));
+        assert_eq!(d.m(), 0);
+        assert_eq!(d.nnz(), 0);
+        let (psi, dstar) = d.gather_distinct_u64(&[]);
+        assert!(psi.iter().all(|&x| x == 0));
+        assert!(dstar.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn gamma_zero_yields_empty_pools() {
+        let d = CsrDesign::sample(10, 4, 0, &SeedSequence::new(1));
+        for q in 0..4 {
+            assert_eq!(d.distinct_len(q), 0);
+        }
+    }
+
+    #[test]
+    fn distinct_fraction_matches_expectation() {
+        // E[#distinct]/n = 1 − (1−1/n)^Γ ≈ 1 − e^{−1/2} for Γ = n/2.
+        let n = 2000;
+        let d = CsrDesign::sample(n, 200, n / 2, &SeedSequence::new(99));
+        let mean_distinct: f64 =
+            (0..d.m()).map(|q| d.distinct_len(q) as f64).sum::<f64>() / d.m() as f64;
+        let expect = n as f64 * (1.0 - (-0.5f64).exp());
+        let rel = (mean_distinct - expect).abs() / expect;
+        assert!(rel < 0.02, "mean distinct {mean_distinct} vs expected {expect}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Degree statistics `Δ` and `Δ*` of the bipartite multigraph.
+//!
+//! For entry `x_i`, `Δ_i` counts incidences **with multiplicity**
+//! (distributed `Bin(mΓ, 1/n)`) and `Δ*_i` counts *distinct* queries
+//! (`Bin(m, 1 − (1−1/n)^Γ)`). Both appear throughout the paper's analysis:
+//! Algorithm 1 centralizes scores by `Δ*_i · k/2`, and the event `R`
+//! (Lemma 3) asserts their concentration.
+
+use rayon::prelude::*;
+
+use pooled_par::scatter::AtomicCounters;
+
+use crate::PoolingDesign;
+
+/// Per-entry degrees of a design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DegreeStats {
+    /// `Δ_i`: multiplicity-counted degree of each entry.
+    pub delta: Vec<u64>,
+    /// `Δ*_i`: number of distinct queries containing each entry.
+    pub delta_star: Vec<u64>,
+}
+
+impl DegreeStats {
+    /// Compute both degree vectors in one parallel sweep over queries.
+    pub fn compute<D: PoolingDesign + ?Sized>(design: &D) -> Self {
+        let n = design.n();
+        let delta = AtomicCounters::new(n);
+        let delta_star = AtomicCounters::new(n);
+        (0..design.m()).into_par_iter().for_each(|q| {
+            design.for_each_distinct(q, &mut |e, c| {
+                delta.add(e, c as u64);
+                delta_star.incr(e);
+            });
+        });
+        Self { delta: delta.into_vec(), delta_star: delta_star.into_vec() }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Whether the design had zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.delta.is_empty()
+    }
+
+    /// Mean multiplicity-counted degree.
+    pub fn mean_delta(&self) -> f64 {
+        mean(&self.delta)
+    }
+
+    /// Mean distinct degree.
+    pub fn mean_delta_star(&self) -> f64 {
+        mean(&self.delta_star)
+    }
+
+    /// Largest absolute deviation of `Δ_i` from `expect`.
+    pub fn max_delta_deviation(&self, expect: f64) -> f64 {
+        max_abs_dev(&self.delta, expect)
+    }
+
+    /// Largest absolute deviation of `Δ*_i` from `expect`.
+    pub fn max_delta_star_deviation(&self, expect: f64) -> f64 {
+        max_abs_dev(&self.delta_star, expect)
+    }
+}
+
+fn mean(v: &[u64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64
+}
+
+fn max_abs_dev(v: &[u64], expect: f64) -> f64 {
+    v.iter().map(|&x| (x as f64 - expect).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrDesign;
+    use pooled_rng::SeedSequence;
+
+    #[test]
+    fn total_delta_is_m_gamma() {
+        let d = CsrDesign::sample(500, 50, 250, &SeedSequence::new(1));
+        let stats = DegreeStats::compute(&d);
+        let total: u64 = stats.delta.iter().sum();
+        assert_eq!(total, 50 * 250);
+    }
+
+    #[test]
+    fn delta_star_never_exceeds_delta_or_m() {
+        let d = CsrDesign::sample(300, 40, 150, &SeedSequence::new(2));
+        let stats = DegreeStats::compute(&d);
+        for i in 0..stats.len() {
+            assert!(stats.delta_star[i] <= stats.delta[i], "entry {i}");
+            assert!(stats.delta_star[i] <= 40, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn means_match_model_expectations() {
+        // E[Δ_i] = mΓ/n, E[Δ*_i] = m(1 − (1−1/n)^Γ).
+        let (n, m) = (2000usize, 400usize);
+        let gamma = n / 2;
+        let d = CsrDesign::sample(n, m, gamma, &SeedSequence::new(3));
+        let stats = DegreeStats::compute(&d);
+        let want_delta = m as f64 * gamma as f64 / n as f64;
+        let p = 1.0 - (1.0 - 1.0 / n as f64).powi(gamma as i32);
+        let want_star = m as f64 * p;
+        assert!((stats.mean_delta() - want_delta).abs() / want_delta < 0.02);
+        assert!((stats.mean_delta_star() - want_star).abs() / want_star < 0.02);
+    }
+
+    #[test]
+    fn explicit_pool_degrees() {
+        let d = CsrDesign::from_pools(4, &[vec![0, 0, 1], vec![0, 2]]);
+        let stats = DegreeStats::compute(&d);
+        assert_eq!(stats.delta, vec![3, 1, 1, 0]);
+        assert_eq!(stats.delta_star, vec![2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn deviations_zero_when_exact() {
+        let d = CsrDesign::from_pools(2, &[vec![0, 1], vec![0, 1]]);
+        let stats = DegreeStats::compute(&d);
+        assert_eq!(stats.max_delta_deviation(2.0), 0.0);
+        assert_eq!(stats.max_delta_star_deviation(2.0), 0.0);
+    }
+
+    #[test]
+    fn empty_query_set() {
+        let d = CsrDesign::sample(10, 0, 5, &SeedSequence::new(4));
+        let stats = DegreeStats::compute(&d);
+        assert_eq!(stats.delta, vec![0; 10]);
+        assert_eq!(stats.delta_star, vec![0; 10]);
+    }
+}

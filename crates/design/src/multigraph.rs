@@ -1,0 +1,204 @@
+//! The user-facing design constructor.
+//!
+//! [`RandomRegularDesign`] wraps the two physical representations behind one
+//! type and picks between them automatically from a memory estimate: the
+//! expected number of stored incidences is `m · n · (1 − (1−1/n)^Γ)`
+//! (≈ `0.39·n·m` at the paper's `Γ = n/2`), and beyond
+//! [`AUTO_MATERIALIZE_LIMIT`] pairs the streaming representation wins.
+
+use pooled_rng::SeedSequence;
+
+use crate::csr::CsrDesign;
+use crate::streaming::StreamingDesign;
+use crate::PoolingDesign;
+
+/// Above this expected number of (entry, query) incidences, `Auto` storage
+/// switches to streaming regeneration (≈1.6 GiB of CSR at 16 B/pair).
+pub const AUTO_MATERIALIZE_LIMIT: u64 = 100_000_000;
+
+/// Storage policy for [`RandomRegularDesign::sample_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// Choose by memory estimate (default).
+    #[default]
+    Auto,
+    /// Always materialize CSR.
+    Materialized,
+    /// Always regenerate from seeds.
+    Streaming,
+}
+
+/// The paper's random regular pooling design `G(n, m, Γ)` with `Γ = ⌊n/2⌋`
+/// by default.
+#[derive(Clone, Debug)]
+pub enum RandomRegularDesign {
+    /// Materialized CSR representation.
+    Csr(CsrDesign),
+    /// Seed-only streaming representation.
+    Streaming(StreamingDesign),
+}
+
+impl RandomRegularDesign {
+    /// Sample `G(n, m, Γ = ⌊n/2⌋)` with automatic storage choice.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn sample(n: usize, m: usize, seeds: &SeedSequence) -> Self {
+        Self::sample_with(n, m, n / 2, seeds, StorageMode::Auto)
+    }
+
+    /// Sample with explicit pool size and storage mode.
+    pub fn sample_with(
+        n: usize,
+        m: usize,
+        gamma: usize,
+        seeds: &SeedSequence,
+        mode: StorageMode,
+    ) -> Self {
+        assert!(n > 0, "design needs at least one entry");
+        let materialize = match mode {
+            StorageMode::Materialized => true,
+            StorageMode::Streaming => false,
+            StorageMode::Auto => expected_incidences(n, m, gamma) <= AUTO_MATERIALIZE_LIMIT,
+        };
+        if materialize {
+            Self::Csr(CsrDesign::sample(n, m, gamma, seeds))
+        } else {
+            Self::Streaming(StreamingDesign::new(n, m, gamma, seeds))
+        }
+    }
+
+    /// Whether this design is materialized.
+    pub fn is_materialized(&self) -> bool {
+        matches!(self, Self::Csr(_))
+    }
+
+    /// Access the CSR representation, if materialized.
+    pub fn as_csr(&self) -> Option<&CsrDesign> {
+        match self {
+            Self::Csr(c) => Some(c),
+            Self::Streaming(_) => None,
+        }
+    }
+}
+
+/// Expected number of distinct (entry, query) incidences in `G(n, m, Γ)`.
+pub fn expected_incidences(n: usize, m: usize, gamma: usize) -> u64 {
+    let n_f = n as f64;
+    let p_distinct = 1.0 - (1.0 - 1.0 / n_f).powi(gamma.min(i32::MAX as usize) as i32);
+    (m as f64 * n_f * p_distinct).ceil() as u64
+}
+
+impl PoolingDesign for RandomRegularDesign {
+    fn n(&self) -> usize {
+        match self {
+            Self::Csr(d) => d.n(),
+            Self::Streaming(d) => d.n(),
+        }
+    }
+
+    fn m(&self) -> usize {
+        match self {
+            Self::Csr(d) => d.m(),
+            Self::Streaming(d) => d.m(),
+        }
+    }
+
+    fn gamma(&self) -> usize {
+        match self {
+            Self::Csr(d) => d.gamma(),
+            Self::Streaming(d) => d.gamma(),
+        }
+    }
+
+    fn for_each_draw(&self, q: usize, f: &mut dyn FnMut(usize)) {
+        match self {
+            Self::Csr(d) => d.for_each_draw(q, f),
+            Self::Streaming(d) => d.for_each_draw(q, f),
+        }
+    }
+
+    fn for_each_distinct(&self, q: usize, f: &mut dyn FnMut(usize, u32)) {
+        match self {
+            Self::Csr(d) => d.for_each_distinct(q, f),
+            Self::Streaming(d) => d.for_each_distinct(q, f),
+        }
+    }
+
+    fn distinct_len(&self, q: usize) -> usize {
+        match self {
+            Self::Csr(d) => d.distinct_len(q),
+            Self::Streaming(d) => d.distinct_len(q),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_gamma_is_half_n() {
+        let d = RandomRegularDesign::sample(100, 5, &SeedSequence::new(1));
+        assert_eq!(d.gamma(), 50);
+    }
+
+    #[test]
+    fn auto_mode_materializes_small_designs() {
+        let d = RandomRegularDesign::sample(1000, 100, &SeedSequence::new(1));
+        assert!(d.is_materialized());
+        assert!(d.as_csr().is_some());
+    }
+
+    #[test]
+    fn auto_mode_streams_huge_designs() {
+        // n=10⁶, m=20_000 ⇒ ≈ 7.9e9 expected incidences > limit.
+        let d = RandomRegularDesign::sample_with(
+            1_000_000,
+            20_000,
+            500_000,
+            &SeedSequence::new(1),
+            StorageMode::Auto,
+        );
+        assert!(!d.is_materialized());
+    }
+
+    #[test]
+    fn forced_modes_are_respected() {
+        let seeds = SeedSequence::new(2);
+        let c = RandomRegularDesign::sample_with(100, 10, 50, &seeds, StorageMode::Materialized);
+        let s = RandomRegularDesign::sample_with(100, 10, 50, &seeds, StorageMode::Streaming);
+        assert!(c.is_materialized());
+        assert!(!s.is_materialized());
+    }
+
+    #[test]
+    fn representations_agree_on_pools() {
+        let seeds = SeedSequence::new(3);
+        let c = RandomRegularDesign::sample_with(300, 20, 150, &seeds, StorageMode::Materialized);
+        let s = RandomRegularDesign::sample_with(300, 20, 150, &seeds, StorageMode::Streaming);
+        for q in 0..20 {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            c.for_each_distinct(q, &mut |e, cnt| a.push((e, cnt)));
+            s.for_each_distinct(q, &mut |e, cnt| b.push((e, cnt)));
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn expected_incidences_formula() {
+        // Γ = n/2 ⇒ fraction ≈ 1 − e^{−1/2} ≈ 0.3935.
+        let n = 100_000;
+        let est = expected_incidences(n, 1000, n / 2);
+        let want = (1000.0 * n as f64 * 0.3935) as u64;
+        let rel = (est as f64 - want as f64).abs() / want as f64;
+        assert!(rel < 0.01, "est={est} want≈{want}");
+    }
+
+    #[test]
+    fn odd_n_floors_gamma() {
+        let d = RandomRegularDesign::sample(7, 3, &SeedSequence::new(4));
+        assert_eq!(d.gamma(), 3);
+    }
+}

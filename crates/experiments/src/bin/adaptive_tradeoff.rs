@@ -1,0 +1,120 @@
+//! EXT-ADPT: the §VI rounds/queries/makespan trade-off, tabulated.
+//!
+//! Four strategies are run on the same signals: the paper's one-round
+//! design (at `1.1×` the finite-size Theorem 1 budget), the two-round
+//! hybrid (`0.7×` screening + `12k` verification singles), counting
+//! Dorfman at its optimal group size (2 rounds), and quantitative
+//! bisection (`log₂ n` rounds). For each strategy the table reports mean
+//! queries, rounds, exact-recovery rate, and the makespan on `L` units at
+//! unit batch latency — the quantity a laboratory actually minimizes.
+
+use pooled_adaptive::{
+    counting_dorfman, optimal_group_size, quantitative_bisect, two_round_hybrid, CountOracle,
+    HybridConfig, StrategyReport,
+};
+use pooled_core::Signal;
+use pooled_experiments::{output_dir, write_artifacts, Scale, DEFAULT_SEED};
+use pooled_io::csv::fmt_f64;
+use pooled_io::{Args, GnuplotScript, Manifest};
+use pooled_rng::SeedSequence;
+use pooled_stats::replicate::{mn_trial, run_trials};
+use pooled_theory::thresholds::{k_of, m_mn_finite};
+
+const UNITS: [usize; 6] = [1, 4, 16, 64, 256, 1024];
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let scale = Scale::from_args(&args);
+    let seed = args.get_u64("seed", DEFAULT_SEED);
+    let trials = args.get_usize("trials", if scale == Scale::Full { 100 } else { 20 });
+    let n = args.get_usize("n", if scale == Scale::Full { 10_000 } else { 1000 });
+    let theta = args.get_f64("theta", 0.3);
+    let k = k_of(n, theta);
+    let m_full = m_mn_finite(n, theta);
+    let m_one_round = (1.1 * m_full).ceil() as usize;
+    let hybrid_cfg =
+        HybridConfig { m1: (0.7 * m_full).round() as usize, candidate_mult: 12 };
+    let g_star = optimal_group_size(n, k);
+    let master = SeedSequence::new(seed);
+
+    // Per-trial reports for each strategy (parallel over trials).
+    let all: Vec<[StrategyReport; 4]> = run_trials(&master, trials, |_, s| {
+        let sigma = Signal::random(n, k, &mut s.child("signal", 0).rng());
+        // One-round MN (non-adaptive, the paper).
+        let mn = mn_trial(n, k, m_one_round, &s.child("mn", 0));
+        let parallel = StrategyReport::new("one_round_mn", vec![m_one_round], mn.exact);
+        // Two-round hybrid.
+        let mut oracle = CountOracle::new(&sigma);
+        let h = two_round_hybrid(&mut oracle, k, &hybrid_cfg, &s.child("hybrid", 0));
+        let hybrid =
+            StrategyReport::new("hybrid_2round", h.per_round.clone(), h.estimate == sigma);
+        // Counting Dorfman.
+        let mut oracle = CountOracle::new(&sigma);
+        let d = counting_dorfman(&mut oracle, g_star);
+        let dorfman =
+            StrategyReport::new("dorfman_2round", d.per_round.clone(), d.estimate == sigma);
+        // Quantitative bisection.
+        let mut oracle = CountOracle::new(&sigma);
+        let b = quantitative_bisect(&mut oracle);
+        let bisect =
+            StrategyReport::new("bisect_logn", b.per_round.clone(), b.estimate == sigma);
+        [parallel, hybrid, dorfman, bisect]
+    });
+
+    let mut rows = Vec::new();
+    for idx in 0..4 {
+        let name = all[0][idx].name.clone();
+        let mean_q: f64 =
+            all.iter().map(|r| r[idx].queries as f64).sum::<f64>() / trials as f64;
+        let mean_rounds: f64 =
+            all.iter().map(|r| r[idx].rounds as f64).sum::<f64>() / trials as f64;
+        let exact_rate: f64 =
+            all.iter().filter(|r| r[idx].exact).count() as f64 / trials as f64;
+        for &units in &UNITS {
+            let mean_makespan: f64 =
+                all.iter().map(|r| r[idx].makespan(units, 1.0)).sum::<f64>() / trials as f64;
+            rows.push(vec![
+                name.clone(),
+                units.to_string(),
+                fmt_f64(mean_q),
+                fmt_f64(mean_rounds),
+                fmt_f64(exact_rate),
+                fmt_f64(mean_makespan),
+            ]);
+        }
+        eprintln!(
+            "adaptive_tradeoff: {name}: {mean_q:.0} queries, {mean_rounds:.1} rounds, \
+             exact {exact_rate:.2}"
+        );
+    }
+
+    let dir = output_dir(&args);
+    let manifest = Manifest::new(
+        "adaptive_tradeoff",
+        seed,
+        scale.name(),
+        serde_json::json!({
+            "n": n, "theta": theta, "k": k, "trials": trials,
+            "m_one_round": m_one_round, "hybrid_m1": hybrid_cfg.m1,
+            "hybrid_mult": hybrid_cfg.candidate_mult, "dorfman_g": g_star,
+            "units": UNITS,
+        }),
+    );
+    let mut gp = GnuplotScript::new(
+        &format!("EXT-ADPT — makespan over L units (n = {n}, θ = {theta})"),
+        "processing units L",
+        "makespan (batches)",
+    )
+    .logscale("xy");
+    for name in ["one_round_mn", "hybrid_2round", "dorfman_2round", "bisect_logn"] {
+        gp = gp.series(
+            "adaptive_tradeoff.csv",
+            &format!("(strcol(1) eq \"{name}\"?$2:1/0):6"),
+            name,
+            "linespoints",
+        );
+    }
+    let header = ["strategy", "units", "mean_queries", "mean_rounds", "exact_rate", "makespan"];
+    let csv = write_artifacts(&dir, "adaptive_tradeoff", &header, &rows, &manifest, Some(&gp));
+    println!("adaptive_tradeoff: wrote {}", csv.display());
+}

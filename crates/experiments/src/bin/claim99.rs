@@ -1,0 +1,57 @@
+//! CLAIM99: the §VI in-text claim — “on average we correctly identify 99%
+//! of the one-entries when conducting only 220 queries for n = 1000 and
+//! θ = 0.3”.
+
+use pooled_experiments::DEFAULT_SEED;
+use pooled_io::Args;
+use pooled_rng::SeedSequence;
+use pooled_stats::replicate::{mn_trial, run_trials};
+use pooled_stats::Summary;
+use pooled_theory::thresholds::k_of;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let seed = args.get_u64("seed", DEFAULT_SEED);
+    let trials = args.get_usize("trials", 100);
+    let n = args.get_usize("n", 1000);
+    let theta = args.get_f64("theta", 0.3);
+    let m = args.get_usize("m", 220);
+    let k = k_of(n, theta);
+
+    let master = SeedSequence::new(seed);
+    let outcomes = run_trials(&master, trials, |_, seeds| mn_trial(n, k, m, &seeds));
+    let mut overlap = Summary::new();
+    let mut exact = 0usize;
+    for o in &outcomes {
+        overlap.push(o.overlap);
+        exact += o.exact as usize;
+    }
+    println!(
+        "n={n} θ={theta} (k={k}) m={m}: mean overlap {:.4} (min {:.3}), exact {}/{trials}",
+        overlap.mean(),
+        overlap.min(),
+        exact
+    );
+    let claim_holds = overlap.mean() >= 0.99;
+    println!(
+        "paper claim (mean overlap ≥ 0.99 at m={m}): {}",
+        if claim_holds { "REPRODUCED" } else { "not reached at this m" }
+    );
+    if !claim_holds {
+        // Report where our implementation does cross 0.99 so the artifact
+        // quantifies the finite-size offset instead of just failing.
+        let mut probe = m;
+        loop {
+            probe += 20;
+            let outs = run_trials(&master.child("probe", probe as u64), trials, |_, seeds| {
+                mn_trial(n, k, probe, &seeds)
+            });
+            let mean: f64 =
+                outs.iter().map(|o| o.overlap).sum::<f64>() / trials as f64;
+            if mean >= 0.99 || probe > 4 * m {
+                println!("0.99 mean overlap first reached near m = {probe} (measured {mean:.4})");
+                break;
+            }
+        }
+    }
+}

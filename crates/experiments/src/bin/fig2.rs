@@ -1,0 +1,95 @@
+//! FIG2: required number of queries for exact reconstruction vs `n`.
+//!
+//! For every `(n, θ)` on the grid, searches each trial's minimal successful
+//! `m` (ramp + bisection) and reports the distribution, next to the
+//! asymptotic Theorem 1 value and the finite-size corrected value (§V
+//! Remark). Default scale: `n ∈ [10², 10⁴]`, 20 trials. `--full` extends to
+//! the paper grid (`n ≤ 10⁶`, 100 trials; hours of CPU).
+
+use pooled_experiments::{log_grid, output_dir, write_artifacts, Scale, DEFAULT_SEED, PAPER_THETAS};
+use pooled_io::csv::fmt_f64;
+use pooled_io::{Args, GnuplotScript, Manifest};
+use pooled_stats::{find_transition, TransitionConfig};
+use pooled_theory::thresholds::{k_of, m_mn, m_mn_finite};
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let scale = Scale::from_args(&args);
+    let seed = args.get_u64("seed", DEFAULT_SEED);
+    let (n_hi, trials) = match scale {
+        Scale::Default => (10_000, 20),
+        Scale::Full => (1_000_000, 100),
+    };
+    let n_hi = args.get_usize("n-max", n_hi);
+    let trials = args.get_usize("trials", trials);
+    let n_grid = log_grid(100, n_hi, 2);
+
+    let mut rows = Vec::new();
+    for &theta in &PAPER_THETAS {
+        for &n in &n_grid {
+            let k = k_of(n, theta);
+            let theory = m_mn(n, theta);
+            let theory_finite = m_mn_finite(n, theta);
+            let cfg = TransitionConfig {
+                n,
+                k,
+                trials,
+                m_start: (theory_finite / 8.0).ceil().max(2.0) as usize,
+                m_cap: (theory_finite * 16.0).ceil() as usize,
+                master_seed: seed ^ (n as u64) ^ ((theta * 1000.0) as u64) << 32,
+            };
+            let stats = find_transition(&cfg);
+            eprintln!(
+                "θ={theta} n={n}: mean m* = {:.1} (theory {:.1}, finite {:.1}, capped {})",
+                stats.mean, theory, theory_finite, stats.capped
+            );
+            rows.push(vec![
+                n.to_string(),
+                theta.to_string(),
+                k.to_string(),
+                fmt_f64(stats.mean),
+                fmt_f64(stats.median),
+                fmt_f64(stats.quartiles.0),
+                fmt_f64(stats.quartiles.1),
+                fmt_f64(theory),
+                fmt_f64(theory_finite),
+                stats.capped.to_string(),
+            ]);
+        }
+    }
+
+    let dir = output_dir(&args);
+    let manifest = Manifest::new(
+        "fig2",
+        seed,
+        scale.name(),
+        serde_json::json!({"n_grid": n_grid, "thetas": PAPER_THETAS, "trials": trials}),
+    );
+    let mut gp = GnuplotScript::new(
+        "Fig. 2 — required queries until exact reconstruction",
+        "individuals n",
+        "required number of tests m",
+    )
+    .logscale("xy");
+    for (i, &theta) in PAPER_THETAS.iter().enumerate() {
+        // Column layout: 1 n, 2 theta, 4 mean, 8 theory, 9 theory_finite.
+        gp = gp.series(
+            "fig2.csv",
+            &format!("($2=={theta}?$1:1/0):4"),
+            &format!("theta = {theta}"),
+            &format!("points pt {}", i + 4),
+        );
+        gp = gp.series(
+            "fig2.csv",
+            &format!("($2=={theta}?$1:1/0):9"),
+            &format!("theory (finite-n), theta = {theta}"),
+            "lines dashtype 2",
+        );
+    }
+    let header = [
+        "n", "theta", "k", "mean_m", "median_m", "q25_m", "q75_m",
+        "m_mn_asymptotic", "m_mn_finite", "capped",
+    ];
+    let csv = write_artifacts(&dir, "fig2", &header, &rows, &manifest, Some(&gp));
+    println!("fig2: wrote {}", csv.display());
+}

@@ -1,0 +1,145 @@
+//! THM2: empirical check of the information-theoretic threshold on small
+//! instances.
+//!
+//! For a small `n` (exhaustive search is `C(n,k)` candidates) we count, per
+//! trial, the number of weight-`k` vectors consistent with the query
+//! results — `Z_k(G, y)` in the paper — and report the uniqueness frequency
+//! across an `m`-sweep, next to the first-moment prediction (Lemma 8/9).
+//!
+//! A second panel (`--bnb`) repeats the check at `n = 200, k = 6` — where
+//! `C(n,k) ≈ 8·10¹⁰` rules out enumeration — using the branch-and-bound
+//! counter with MN-guided ordering (`pooled-core::bnb`). Trials whose node
+//! budget is exhausted (deep sub-threshold, astronomically many solutions)
+//! are reported separately rather than silently dropped.
+
+use pooled_core::bnb::branch_and_bound;
+use pooled_core::exhaustive::exhaustive_search;
+use pooled_core::mn::MnDecoder;
+use pooled_core::query::execute_queries;
+use pooled_core::signal::Signal;
+use pooled_design::csr::CsrDesign;
+use pooled_experiments::{output_dir, write_artifacts, DEFAULT_SEED};
+use pooled_io::csv::fmt_f64;
+use pooled_io::{render_table, Args, GnuplotScript, Manifest};
+use pooled_rng::SeedSequence;
+use pooled_stats::replicate::run_trials;
+use pooled_theory::moments::{first_moment_threshold, predicts_unique};
+use pooled_theory::thresholds::m_information_theoretic;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let seed = args.get_u64("seed", DEFAULT_SEED);
+    let n = args.get_usize("n", 24);
+    let k = args.get_usize("k", 3);
+    let trials = args.get_usize("trials", 40);
+
+    let m_star = first_moment_threshold(n, k);
+    let m_it = m_information_theoretic(n, k);
+    let m_grid: Vec<usize> =
+        (1..=12).map(|i| ((m_star * i as f64 / 6.0).round() as usize).max(1)).collect();
+    let master = SeedSequence::new(seed);
+
+    let header =
+        ["m", "unique_rate", "mean_consistent", "first_moment_predicts_unique"];
+    let mut rows = Vec::new();
+    for &m in &m_grid {
+        let counts = run_trials(&master.child("m", m as u64), trials, |_, seeds| {
+            let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+            let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+            let y = execute_queries(&design, &sigma);
+            exhaustive_search(&design, &y, k).consistent_count
+        });
+        let unique = counts.iter().filter(|&&c| c == 1).count();
+        let mean_z: f64 =
+            counts.iter().map(|&c| c as f64).sum::<f64>() / trials as f64;
+        rows.push(vec![
+            m.to_string(),
+            fmt_f64(unique as f64 / trials as f64),
+            fmt_f64(mean_z),
+            predicts_unique(n, k, m as f64).to_string(),
+        ]);
+    }
+    println!("Theorem 2 check at n={n}, k={k} (asymptotic m_IT = {m_it:.1}, exact first-moment threshold = {m_star:.1}):");
+    println!("{}", render_table(&header, &rows));
+
+    let dir = output_dir(&args);
+    let manifest = Manifest::new(
+        "it_threshold",
+        seed,
+        "default",
+        serde_json::json!({"n": n, "k": k, "trials": trials, "m_grid": m_grid,
+                           "m_it_asymptotic": m_it, "m_first_moment": m_star}),
+    );
+    let gp = GnuplotScript::new(
+        "Theorem 2 — uniqueness of the consistent vector",
+        "number of tests m",
+        "P[Z_k = 1]",
+    )
+    .vertical_line(m_star, "first-moment threshold")
+    .series("it_threshold.csv", "1:2", "empirical uniqueness", "linespoints");
+    let csv = write_artifacts(&dir, "it_threshold", &header, &rows, &manifest, Some(&gp));
+    println!("it_threshold: wrote {}", csv.display());
+
+    if args.flag("bnb") {
+        bnb_panel(&dir, seed, args.get_usize("bnb-trials", 15));
+    }
+}
+
+/// Large-n uniqueness panel via branch-and-bound (n = 200, k = 6).
+fn bnb_panel(dir: &std::path::Path, seed: u64, trials: usize) {
+    let (n, k) = (200usize, 6usize);
+    let m_star = first_moment_threshold(n, k);
+    let m_grid: Vec<usize> =
+        (2..=10).map(|i| ((m_star * i as f64 / 4.0).round() as usize).max(1)).collect();
+    let master = SeedSequence::new(seed ^ 0xB4B);
+    let header = ["m", "unique_rate", "mean_consistent", "exhausted_rate", "mean_nodes"];
+    let mut rows = Vec::new();
+    for &m in &m_grid {
+        let outcomes = run_trials(&master.child("m", m as u64), trials, |_, seeds| {
+            let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+            let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+            let y = execute_queries(&design, &sigma);
+            let mn = MnDecoder::new(k).decode(&design, &y);
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by_key(|&i| (std::cmp::Reverse(mn.scores[i]), i));
+            branch_and_bound(&design, &y, k, Some(&order), 20_000_000)
+                .map(|o| (o.consistent_count, o.nodes_visited))
+        });
+        let settled: Vec<&(u64, u64)> = outcomes.iter().flatten().collect();
+        let unique = settled.iter().filter(|o| o.0 == 1).count();
+        let mean_z = settled.iter().map(|o| o.0 as f64).sum::<f64>()
+            / settled.len().max(1) as f64;
+        let mean_nodes = settled.iter().map(|o| o.1 as f64).sum::<f64>()
+            / settled.len().max(1) as f64;
+        let exhausted = trials - settled.len();
+        rows.push(vec![
+            m.to_string(),
+            fmt_f64(unique as f64 / settled.len().max(1) as f64),
+            fmt_f64(mean_z),
+            fmt_f64(exhausted as f64 / trials as f64),
+            fmt_f64(mean_nodes),
+        ]);
+        eprintln!("it_threshold/bnb: m={m} unique {unique}/{} (exhausted {exhausted})", settled.len());
+    }
+    println!(
+        "Theorem 2 at n={n}, k={k} via branch-and-bound \
+         (first-moment threshold = {m_star:.1}):"
+    );
+    println!("{}", render_table(&header, &rows));
+    let manifest = Manifest::new(
+        "it_threshold_bnb",
+        seed,
+        "default",
+        serde_json::json!({"n": n, "k": k, "trials": trials, "m_grid": m_grid,
+                           "m_first_moment": m_star, "node_budget": 20_000_000u64}),
+    );
+    let csv = pooled_experiments::write_artifacts(
+        dir,
+        "it_threshold_bnb",
+        &header,
+        &rows,
+        &manifest,
+        None,
+    );
+    println!("it_threshold: wrote {}", csv.display());
+}

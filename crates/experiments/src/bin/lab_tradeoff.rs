@@ -1,0 +1,66 @@
+//! LAB: the queries-vs-wall-time trade-off of partially parallel designs
+//! (§I motivation + §VI open problem).
+//!
+//! Simulates the lab: fully parallel designs pay 2× the queries of a
+//! sequential scheme (Theorem 2 vs Bshouty) but finish in one round. With
+//! `L` processing units and a latency model, the Pareto curve between
+//! rounds, query budget and makespan becomes concrete.
+
+use pooled_experiments::{output_dir, write_artifacts, DEFAULT_SEED};
+use pooled_io::csv::fmt_f64;
+use pooled_io::{render_table, Args, GnuplotScript, Manifest};
+use pooled_lab::stages::tradeoff_curve;
+use pooled_lab::LatencyModel;
+use pooled_rng::SeedSequence;
+use pooled_theory::thresholds::{k_of, m_counting_bound};
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let seed = args.get_u64("seed", DEFAULT_SEED);
+    let n = args.get_usize("n", 10_000);
+    let theta = args.get_f64("theta", 0.3);
+    let units_list: Vec<usize> =
+        vec![args.get_usize("units", 0)].into_iter().filter(|&u| u > 0).collect();
+    let units_list =
+        if units_list.is_empty() { vec![16usize, 64, 256, 1024] } else { units_list };
+    let k = k_of(n, theta);
+    let m_seq = m_counting_bound(n, k).ceil() as usize;
+    let latency = LatencyModel::LogNormal { mu: 0.0, sigma: 0.25 };
+    let master = SeedSequence::new(seed);
+
+    let header = ["units", "rounds", "queries", "makespan"];
+    let mut rows = Vec::new();
+    for &units in &units_list {
+        let curve = tradeoff_curve(m_seq, units, &latency, &master.child("units", units as u64));
+        for p in &curve {
+            rows.push(vec![
+                units.to_string(),
+                p.rounds.to_string(),
+                p.queries.to_string(),
+                fmt_f64(p.makespan),
+            ]);
+        }
+    }
+    println!(
+        "Lab trade-off at n={n}, θ={theta} (k={k}, m_seq={m_seq}), log-normal query latency:"
+    );
+    println!("{}", render_table(&header, &rows));
+
+    let dir = output_dir(&args);
+    let manifest = Manifest::new(
+        "lab_tradeoff",
+        seed,
+        "default",
+        serde_json::json!({"n": n, "theta": theta, "m_seq": m_seq, "units": units_list,
+                           "latency": "lognormal(0, 0.25)"}),
+    );
+    let gp = GnuplotScript::new(
+        "Partially parallel designs — queries vs makespan",
+        "makespan (query-time units)",
+        "total queries",
+    )
+    .logscale("x")
+    .series("lab_tradeoff.csv", "4:3", "Pareto points", "points pt 7");
+    let csv = write_artifacts(&dir, "lab_tradeoff", &header, &rows, &manifest, Some(&gp));
+    println!("lab_tradeoff: wrote {}", csv.display());
+}

@@ -1,0 +1,55 @@
+//! EQ12: the threshold landscape — Eqs. (1)–(2), Theorems 1–2 and the
+//! related-work constants, tabulated over θ at a chosen `n`.
+
+use pooled_experiments::{output_dir, write_artifacts, DEFAULT_SEED};
+use pooled_io::csv::fmt_f64;
+use pooled_io::{render_table, Args, Manifest};
+use pooled_theory::thresholds::{
+    binary_gt_theta_limit, k_of, m_basis_pursuit, m_binary_gt, m_counting_bound,
+    m_information_theoretic, m_karimi_a, m_karimi_b, m_l1, m_mn, m_mn_finite,
+};
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let n = args.get_usize("n", 10_000);
+    let thetas: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
+
+    let header = [
+        "theta", "k", "m_counting", "m_IT_parallel", "m_MN", "m_MN_finite",
+        "m_karimi_a", "m_karimi_b", "m_binary_gt", "m_l1", "m_basis_pursuit",
+    ];
+    let mut rows = Vec::new();
+    for &theta in &thetas {
+        let k = k_of(n, theta);
+        let gt = if theta <= binary_gt_theta_limit() {
+            fmt_f64(m_binary_gt(n, k))
+        } else {
+            "n/a".to_string()
+        };
+        rows.push(vec![
+            theta.to_string(),
+            k.to_string(),
+            fmt_f64(m_counting_bound(n, k)),
+            fmt_f64(m_information_theoretic(n, k)),
+            fmt_f64(m_mn(n, theta)),
+            fmt_f64(m_mn_finite(n, theta)),
+            fmt_f64(m_karimi_a(n, k)),
+            fmt_f64(m_karimi_b(n, k)),
+            gt,
+            fmt_f64(m_l1(n, k)),
+            fmt_f64(m_basis_pursuit(n, k)),
+        ]);
+    }
+    println!("Threshold landscape at n = {n}:");
+    println!("{}", render_table(&header, &rows));
+
+    let dir = output_dir(&args);
+    let manifest = Manifest::new(
+        "thresholds_table",
+        DEFAULT_SEED,
+        "default",
+        serde_json::json!({"n": n, "thetas": thetas}),
+    );
+    let csv = write_artifacts(&dir, "thresholds_table", &header, &rows, &manifest, None);
+    println!("thresholds_table: wrote {}", csv.display());
+}

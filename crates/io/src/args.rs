@@ -1,0 +1,133 @@
+//! Tiny `--key value` / `--flag` command-line parser.
+//!
+//! The experiment binaries need half a dozen numeric options; a hand-rolled
+//! parser keeps the dependency set at the workspace's approved list.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (skip the program name
+    /// before calling, e.g. `Args::parse(std::env::args().skip(1))`).
+    ///
+    /// `--key value` pairs land in the value map; a `--key` followed by
+    /// another `--…` (or nothing) is a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Self {
+        let mut values = BTreeMap::new();
+        let mut flags = Vec::new();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                // Bare tokens are ignored (forward compatibility).
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key.to_owned(), iter.next().unwrap());
+                }
+                _ => flags.push(key.to_owned()),
+            }
+        }
+        Self { values, flags }
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String option with default.
+    pub fn get_str(&self, name: &str, default: &str) -> String {
+        self.values.get(name).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
+    /// `usize` option with default.
+    ///
+    /// # Panics
+    /// Panics with a clear message on unparseable input.
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `u64` option with default.
+    ///
+    /// # Panics
+    /// Panics with a clear message on unparseable input.
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `f64` option with default.
+    ///
+    /// # Panics
+    /// Panics with a clear message on unparseable input.
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse(&["--n", "1000", "--theta", "0.3"]);
+        assert_eq!(a.get_usize("n", 1), 1000);
+        assert_eq!(a.get_f64("theta", 0.0), 0.3);
+    }
+
+    #[test]
+    fn flags_and_defaults() {
+        let a = parse(&["--full", "--trials", "50"]);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.get_usize("trials", 100), 50);
+        assert_eq!(a.get_usize("missing", 7), 7);
+    }
+
+    #[test]
+    fn trailing_flag() {
+        let a = parse(&["--seed", "9", "--verbose"]);
+        assert_eq!(a.get_u64("seed", 0), 9);
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn bare_tokens_ignored() {
+        let a = parse(&["stray", "--x", "1"]);
+        assert_eq!(a.get_usize("x", 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        let a = parse(&["--n", "lots"]);
+        let _ = a.get_usize("n", 0);
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        let a = parse(&["--shift", "-3.5"]);
+        assert_eq!(a.get_f64("shift", 0.0), -3.5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal CSV for numeric experiment tables.
+//!
+//! No quoting/escaping: our tables are numbers and bare identifiers, and the
+//! writer enforces that (commas or newlines in a field are a caller bug).
+
+use std::io::Write;
+use std::path::Path;
+
+/// Write a CSV file with the given header and rows.
+///
+/// # Panics
+/// Panics if any field contains a comma, quote or newline.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_csv<P: AsRef<Path>>(
+    path: P,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    push_row(&mut out, header.iter().copied());
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match header");
+        push_row(&mut out, row.iter().map(|s| s.as_str()));
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(out.as_bytes())
+}
+
+fn push_row<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for f in fields {
+        assert!(
+            !f.contains(',') && !f.contains('"') && !f.contains('\n'),
+            "field {f:?} needs quoting, which this writer refuses by design"
+        );
+        if !first {
+            out.push(',');
+        }
+        out.push_str(f);
+        first = false;
+    }
+    out.push('\n');
+}
+
+/// Read a CSV produced by [`write_csv`]: returns `(header, rows)`.
+///
+/// # Errors
+/// Propagates I/O failures; returns an empty table for an empty file.
+pub fn read_csv<P: AsRef<Path>>(path: P) -> std::io::Result<(Vec<String>, Vec<Vec<String>>)> {
+    let text = std::fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let header: Vec<String> = match lines.next() {
+        Some(h) => h.split(',').map(str::to_owned).collect(),
+        None => return Ok((Vec::new(), Vec::new())),
+    };
+    let rows = lines
+        .filter(|l| !l.is_empty())
+        .map(|l| l.split(',').map(str::to_owned).collect())
+        .collect();
+    Ok((header, rows))
+}
+
+/// Format an `f64` compactly for CSV cells (6 significant digits).
+pub fn fmt_f64(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pooled_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trip() {
+        let path = tmp("roundtrip.csv");
+        let rows = vec![
+            vec!["1".into(), "0.5".into(), "a".into()],
+            vec!["2".into(), "0.25".into(), "b".into()],
+        ];
+        write_csv(&path, &["m", "rate", "tag"], &rows).unwrap();
+        let (header, got) = read_csv(&path).unwrap();
+        assert_eq!(header, vec!["m", "rate", "tag"]);
+        assert_eq!(got, rows);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_rows_ok() {
+        let path = tmp("empty.csv");
+        write_csv(&path, &["a", "b"], &[]).unwrap();
+        let (header, rows) = read_csv(&path).unwrap();
+        assert_eq!(header.len(), 2);
+        assert!(rows.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "needs quoting")]
+    fn commas_rejected() {
+        let path = tmp("bad.csv");
+        let _ = write_csv(&path, &["x"], &[vec!["a,b".into()]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let path = tmp("ragged.csv");
+        let _ = write_csv(&path, &["x", "y"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn f64_formatting() {
+        assert_eq!(fmt_f64(3.0), "3");
+        assert_eq!(fmt_f64(0.5), "0.500000");
+        assert_eq!(fmt_f64(-2.0), "-2");
+    }
+}

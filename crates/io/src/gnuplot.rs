@@ -1,0 +1,150 @@
+//! Gnuplot script emission in the paper's figure style.
+//!
+//! Each experiment binary writes a CSV plus a `.gp` script; running
+//! `gnuplot <file>.gp` regenerates the figure. Styles mirror the paper:
+//! log-log axes with per-θ point series for Fig. 2, linear success/overlap
+//! curves with dashed theory verticals for Figs. 3–4.
+
+/// Builder for a single-plot gnuplot script.
+#[derive(Clone, Debug)]
+pub struct GnuplotScript {
+    title: String,
+    xlabel: String,
+    ylabel: String,
+    logscale: Option<&'static str>,
+    extra: Vec<String>,
+    series: Vec<String>,
+}
+
+impl GnuplotScript {
+    /// Start a script with title and axis labels.
+    pub fn new(title: &str, xlabel: &str, ylabel: &str) -> Self {
+        Self {
+            title: title.to_owned(),
+            xlabel: xlabel.to_owned(),
+            ylabel: ylabel.to_owned(),
+            logscale: None,
+            extra: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Enable log scaling on the given axes (`"x"`, `"y"` or `"xy"`).
+    pub fn logscale(mut self, axes: &'static str) -> Self {
+        assert!(matches!(axes, "x" | "y" | "xy"), "axes must be x, y or xy");
+        self.logscale = Some(axes);
+        self
+    }
+
+    /// Add a raw gnuplot statement before the plot command (ranges, arrows…).
+    pub fn raw(mut self, stmt: &str) -> Self {
+        self.extra.push(stmt.to_owned());
+        self
+    }
+
+    /// Add a dashed vertical line (theory thresholds in Figs. 3–4).
+    pub fn vertical_line(self, x: f64, label: &str) -> Self {
+        let stmt = format!(
+            "set arrow from {x}, graph 0 to {x}, graph 1 nohead dashtype 2 lc rgb 'gray40' # {label}"
+        );
+        self.raw(&stmt)
+    }
+
+    /// Add a data series plotted from a CSV file.
+    ///
+    /// `using` is the gnuplot column spec (e.g. `"1:2"`), `style` e.g.
+    /// `"linespoints"`.
+    pub fn series(mut self, csv: &str, using: &str, title: &str, style: &str) -> Self {
+        self.series.push(format!(
+            "'{csv}' using {using} with {style} title '{title}'"
+        ));
+        self
+    }
+
+    /// Add an analytic function series (theory overlays).
+    pub fn function(mut self, expr: &str, title: &str, style: &str) -> Self {
+        self.series.push(format!("{expr} with {style} title '{title}'"));
+        self
+    }
+
+    /// Render the complete script.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("set datafile separator ','\n");
+        out.push_str("set key top left\n");
+        out.push_str("set grid\n");
+        out.push_str(&format!("set title '{}'\n", self.title));
+        out.push_str(&format!("set xlabel '{}'\n", self.xlabel));
+        out.push_str(&format!("set ylabel '{}'\n", self.ylabel));
+        if let Some(axes) = self.logscale {
+            out.push_str(&format!("set logscale {axes}\n"));
+        }
+        for stmt in &self.extra {
+            out.push_str(stmt);
+            out.push('\n');
+        }
+        if !self.series.is_empty() {
+            out.push_str("plot \\\n    ");
+            out.push_str(&self.series.join(", \\\n    "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the script to disk.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_to<P: AsRef<std::path::Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_sections() {
+        let s = GnuplotScript::new("Fig 2", "individuals n", "required tests m")
+            .logscale("xy")
+            .vertical_line(207.0, "m_MN")
+            .series("fig2.csv", "1:2", "theta=0.1", "points")
+            .series("fig2.csv", "1:3", "theta=0.2", "points")
+            .function("2*x", "theory", "lines dashtype 3")
+            .render();
+        assert!(s.contains("set logscale xy"));
+        assert!(s.contains("set title 'Fig 2'"));
+        assert!(s.contains("fig2.csv"));
+        assert!(s.contains("theta=0.2"));
+        assert!(s.contains("set arrow from 207"));
+        assert!(s.contains("2*x with lines"));
+        // Exactly one plot statement.
+        assert_eq!(s.matches("plot").count(), 1);
+    }
+
+    #[test]
+    fn no_series_means_no_plot_statement() {
+        let s = GnuplotScript::new("t", "x", "y").render();
+        assert!(!s.contains("plot"));
+    }
+
+    #[test]
+    #[should_panic(expected = "axes must be")]
+    fn bad_axes_rejected() {
+        let _ = GnuplotScript::new("t", "x", "y").logscale("z");
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pooled_gp_test_{}.gp", std::process::id()));
+        GnuplotScript::new("t", "x", "y")
+            .series("d.csv", "1:2", "s", "lines")
+            .write_to(&p)
+            .unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("d.csv"));
+        std::fs::remove_file(&p).ok();
+    }
+}

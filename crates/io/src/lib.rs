@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Output substrate: the formats the experiment binaries speak.
+//!
+//! The original authors published gnuplot scripts and helper tools alongside
+//! their C++ simulator; this crate recreates that pipeline:
+//!
+//! * [`csv`] — minimal CSV writing/reading (numeric experiment tables).
+//! * [`gnuplot`] — emit `.gp` scripts that re-draw the paper's figures from
+//!   the CSV the binaries produce.
+//! * [`table`] — aligned ASCII tables for terminal summaries.
+//! * [`manifest`] — JSON experiment manifests (parameters, seed, scale) so
+//!   every committed number can be regenerated exactly.
+//! * [`args`] — a tiny `--key value` CLI parser (no external dependency).
+
+pub mod args;
+pub mod csv;
+pub mod gnuplot;
+pub mod manifest;
+pub mod table;
+
+pub use args::Args;
+pub use csv::{read_csv, write_csv};
+pub use gnuplot::GnuplotScript;
+pub use manifest::Manifest;
+pub use table::render_table;

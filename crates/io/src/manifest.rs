@@ -1,0 +1,102 @@
+//! JSON experiment manifests.
+//!
+//! Every experiment binary writes a manifest next to its CSV so any
+//! committed number is reproducible: the manifest pins the experiment id,
+//! parameters, master seed and scale profile.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Reproducibility record for one experiment run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct Manifest {
+    /// Experiment identifier (e.g. `"fig2"`).
+    pub experiment: String,
+    /// Master seed the run derived all randomness from.
+    pub master_seed: u64,
+    /// Scale profile (`"default"` or `"full"`).
+    pub scale: String,
+    /// Free-form parameter map (n values, θ grid, trials, …).
+    pub params: serde_json::Value,
+    /// Crate version that produced the run.
+    pub version: String,
+}
+
+impl Manifest {
+    /// Build a manifest for an experiment.
+    pub fn new(experiment: &str, master_seed: u64, scale: &str, params: serde_json::Value) -> Self {
+        Self {
+            experiment: experiment.to_owned(),
+            master_seed,
+            scale: scale.to_owned(),
+            params,
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    ///
+    /// # Panics
+    /// Never in practice (the struct is always serializable).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+    }
+
+    /// Write to disk.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn write_to<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load from disk.
+    ///
+    /// # Errors
+    /// I/O or parse failures.
+    pub fn read_from<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn json_round_trip() {
+        let m = Manifest::new(
+            "fig3",
+            1905,
+            "default",
+            json!({"n": [1000, 10000], "thetas": [0.1, 0.2, 0.3, 0.4], "trials": 100}),
+        );
+        let mut p = std::env::temp_dir();
+        p.push(format!("pooled_manifest_{}.json", std::process::id()));
+        m.write_to(&p).unwrap();
+        let back = Manifest::read_from(&p).unwrap();
+        assert_eq!(m, back);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn contains_version_and_fields() {
+        let m = Manifest::new("fig2", 7, "full", json!({}));
+        let j = m.to_json();
+        assert!(j.contains("\"experiment\": \"fig2\""));
+        assert!(j.contains("\"master_seed\": 7"));
+        assert!(j.contains("\"version\""));
+    }
+
+    #[test]
+    fn invalid_json_is_io_error() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pooled_manifest_bad_{}.json", std::process::id()));
+        std::fs::write(&p, "not json").unwrap();
+        assert!(Manifest::read_from(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

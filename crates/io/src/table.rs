@@ -1,0 +1,77 @@
+//! Aligned ASCII tables for terminal summaries.
+
+/// Render a table with a header row, column-aligned with box-drawing rules.
+///
+/// # Panics
+/// Panics on ragged rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let rule = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.extend(std::iter::repeat_n('-', w + 2));
+        }
+        out.push_str("+\n");
+    };
+    let line = |out: &mut String, cells: &[String]| {
+        for (w, cell) in widths.iter().zip(cells) {
+            out.push_str("| ");
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', w - cell.chars().count() + 1));
+        }
+        out.push_str("|\n");
+    };
+    rule(&mut out);
+    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    rule(&mut out);
+    for row in rows {
+        line(&mut out, row);
+    }
+    rule(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render_table(
+            &["algo", "m", "rate"],
+            &[
+                vec!["mn".into(), "220".into(), "0.99".into()],
+                vec!["basis-pursuit".into(), "1000".into(), "0.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        // 3 rules + header + 2 rows.
+        assert_eq!(lines.len(), 6);
+        // All lines same display width.
+        let w = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == w), "{t}");
+        assert!(t.contains("basis-pursuit"));
+    }
+
+    #[test]
+    fn empty_body_ok() {
+        let t = render_table(&["a"], &[]);
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,145 @@
+//! A minimal deterministic discrete-event queue.
+//!
+//! Events carry an `f64` timestamp and a payload; ties are broken by
+//! insertion sequence so simulations are reproducible. NaN timestamps are
+//! rejected at insertion (they would poison the ordering).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Time value that is totally ordered (NaN is banned at construction).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Time(f64);
+
+impl Time {
+    /// Wrap a timestamp.
+    ///
+    /// # Panics
+    /// Panics on NaN.
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "event time must not be NaN");
+        Self(t)
+    }
+
+    /// The raw timestamp.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN excluded by constructor")
+    }
+}
+
+/// Priority queue of timed events, earliest first, FIFO within a timestamp.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    payloads: Vec<Option<T>>,
+    seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), payloads: Vec::new(), seq: 0 }
+    }
+
+    /// Schedule `payload` at time `t`.
+    pub fn push(&mut self, t: f64, payload: T) {
+        let slot = self.payloads.len();
+        self.payloads.push(Some(payload));
+        self.heap.push(Reverse((Time::new(t), self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Pop the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        let Reverse((t, _, slot)) = self.heap.pop()?;
+        let payload = self.payloads[slot].take().expect("payload taken twice");
+        Some((t.value(), payload))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, "c");
+        q.push(1.0, "a");
+        q.push(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_are_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, 1);
+        q.push(1.0, 2);
+        q.push(1.0, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(5.0, "late");
+        q.push(1.0, "early");
+        assert_eq!(q.pop(), Some((1.0, "early")));
+        q.push(2.0, "mid");
+        assert_eq!(q.pop(), Some((2.0, "mid")));
+        assert_eq!(q.pop(), Some((5.0, "late")));
+    }
+
+    #[test]
+    fn len_tracks_content() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(0.0, 0);
+        q.push(1.0, 1);
+        assert_eq!(q.len(), 2);
+        let _ = q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+}

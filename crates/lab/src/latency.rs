@@ -1,0 +1,128 @@
+//! Per-query latency models.
+//!
+//! Defaults reflect the paper's motivating setting: a PCR cycle or robot
+//! pipetting pass takes essentially constant time, while neural-network
+//! pool evaluation has a heavy right tail (log-normal).
+
+use pooled_rng::{Rng64, SeedSequence};
+
+/// Distribution of a single query's execution time (time units arbitrary).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Every query takes exactly this long (PCR plates, robot passes).
+    Fixed(f64),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Log-normal with the given log-space parameters (GPU inference tails).
+    LogNormal {
+        /// Mean of `ln T`.
+        mu: f64,
+        /// Std-dev of `ln T`.
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Sample one query duration. Always strictly positive.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            LatencyModel::Fixed(t) => {
+                assert!(t > 0.0, "fixed latency must be positive");
+                t
+            }
+            LatencyModel::Uniform { lo, hi } => {
+                assert!(0.0 < lo && lo <= hi, "need 0 < lo ≤ hi");
+                lo + (hi - lo) * rng.next_f64()
+            }
+            LatencyModel::LogNormal { mu, sigma } => {
+                assert!(sigma >= 0.0, "sigma must be non-negative");
+                (mu + sigma * standard_normal(rng)).exp()
+            }
+        }
+    }
+
+    /// Sample durations for `m` queries from per-query substreams.
+    pub fn sample_many(&self, m: usize, seeds: &SeedSequence) -> Vec<f64> {
+        (0..m)
+            .map(|q| {
+                let mut rng = seeds.child("latency", q as u64).rng();
+                self.sample(&mut rng)
+            })
+            .collect()
+    }
+
+    /// Expected duration of one query.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Fixed(t) => t,
+            LatencyModel::Uniform { lo, hi } => 0.5 * (lo + hi),
+            LatencyModel::LogNormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
+        }
+    }
+}
+
+/// Box–Muller standard normal.
+fn standard_normal<R: Rng64 + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE); // (0,1]
+    let u2 = rng.next_f64();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SeedSequence::new(1).rng();
+        let m = LatencyModel::Fixed(2.5);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 2.5);
+        }
+        assert_eq!(m.mean(), 2.5);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut rng = SeedSequence::new(2).rng();
+        let m = LatencyModel::Uniform { lo: 1.0, hi: 3.0 };
+        let samples: Vec<f64> = (0..20_000).map(|_| m.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&t| (1.0..=3.0).contains(&t)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        let mut rng = SeedSequence::new(3).rng();
+        let m = LatencyModel::LogNormal { mu: 0.0, sigma: 0.5 };
+        let samples: Vec<f64> = (0..100_000).map(|_| m.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - m.mean()).abs() / m.mean() < 0.02, "mean={mean} want={}", m.mean());
+        assert!(samples.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn sample_many_is_deterministic_per_query() {
+        let seeds = SeedSequence::new(4);
+        let m = LatencyModel::Uniform { lo: 0.5, hi: 1.5 };
+        let a = m.sample_many(50, &seeds);
+        let b = m.sample_many(50, &seeds);
+        assert_eq!(a, b);
+        // Prefixes agree: adding queries never perturbs earlier draws.
+        let c = m.sample_many(60, &seeds);
+        assert_eq!(&c[..50], &a[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fixed_latency_rejected() {
+        let mut rng = SeedSequence::new(5).rng();
+        let _ = LatencyModel::Fixed(0.0).sample(&mut rng);
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation of query execution in a laboratory.
+//!
+//! The paper's motivation (§I) is that *performing queries dominates
+//! reconstruction time*: queries are wet-lab measurements (liquid-handling
+//! robots, PCR runs) or GPU inference batches, so the design executes all of
+//! them in parallel. Its open-problems section (§VI) asks about *partially
+//! parallelizable* designs with `L` processing units. This crate provides
+//! the machinery to study both questions quantitatively:
+//!
+//! * [`latency`] — per-query duration models (fixed, uniform, log-normal).
+//! * [`event`] — a tiny deterministic discrete-event queue.
+//! * [`scheduler`] — greedy list scheduling of `m` queries on `L` units,
+//!   with makespan and utilization accounting.
+//! * [`stages`] — multi-round plans: compare the fully-parallel design
+//!   (2× the queries of a sequential design, 1 round) against sequential
+//!   and `L`-batched alternatives end to end.
+
+pub mod event;
+pub mod latency;
+pub mod scheduler;
+pub mod stages;
+
+pub use latency::LatencyModel;
+pub use scheduler::{schedule, ScheduleReport};
+pub use stages::{stage_plan_makespan, TradeoffPoint};

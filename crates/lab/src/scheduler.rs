@@ -1,0 +1,133 @@
+//! Greedy list scheduling of queries on `L` parallel processing units.
+//!
+//! Queries are non-preemptive jobs with known durations; we assign each, in
+//! submission order, to the unit that frees up first (the classic Graham
+//! list schedule, a 2-approximation of optimal makespan). The event queue
+//! drives the simulation so the same engine can later host adaptive stages.
+
+use crate::event::EventQueue;
+
+/// Outcome of scheduling one batch of queries.
+#[derive(Clone, Debug)]
+pub struct ScheduleReport {
+    /// Total wall-clock time until the last query finishes.
+    pub makespan: f64,
+    /// Per-unit busy time.
+    pub busy: Vec<f64>,
+    /// Start time of each query, in submission order.
+    pub starts: Vec<f64>,
+}
+
+impl ScheduleReport {
+    /// Mean unit utilization in `[0, 1]` (busy time / makespan).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan <= 0.0 || self.busy.is_empty() {
+            return 0.0;
+        }
+        self.busy.iter().sum::<f64>() / (self.makespan * self.busy.len() as f64)
+    }
+}
+
+/// Schedule `durations` on `units` parallel units, FIFO.
+///
+/// # Panics
+/// Panics if `units == 0` or any duration is non-positive/NaN.
+pub fn schedule(durations: &[f64], units: usize) -> ScheduleReport {
+    assert!(units > 0, "need at least one processing unit");
+    for (q, &d) in durations.iter().enumerate() {
+        assert!(d > 0.0 && d.is_finite(), "query {q} has invalid duration {d}");
+    }
+    // Event queue holds unit-free events: (time, unit id).
+    let mut free = EventQueue::new();
+    for u in 0..units {
+        free.push(0.0, u);
+    }
+    let mut busy = vec![0.0; units];
+    let mut starts = Vec::with_capacity(durations.len());
+    let mut makespan = 0.0f64;
+    for &d in durations {
+        let (t, unit) = free.pop().expect("unit pool never empties");
+        starts.push(t);
+        let finish = t + d;
+        busy[unit] += d;
+        makespan = makespan.max(finish);
+        free.push(finish, unit);
+    }
+    ScheduleReport { makespan, busy, starts }
+}
+
+/// Classic lower bound on any schedule: `max(Σd/L, max d)`.
+pub fn makespan_lower_bound(durations: &[f64], units: usize) -> f64 {
+    let total: f64 = durations.iter().sum();
+    let longest = durations.iter().cloned().fold(0.0, f64::max);
+    (total / units as f64).max(longest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_unit_is_sequential_sum() {
+        let d = [1.0, 2.0, 3.0];
+        let r = schedule(&d, 1);
+        assert_eq!(r.makespan, 6.0);
+        assert_eq!(r.starts, vec![0.0, 1.0, 3.0]);
+        assert!((r.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enough_units_is_fully_parallel() {
+        let d = [1.0, 5.0, 2.0];
+        let r = schedule(&d, 3);
+        assert_eq!(r.makespan, 5.0);
+        assert!(r.starts.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn two_units_interleave() {
+        // Jobs 3,3,3 on 2 units: makespan 6 (3+3 on one unit).
+        let r = schedule(&[3.0, 3.0, 3.0], 2);
+        assert_eq!(r.makespan, 6.0);
+    }
+
+    #[test]
+    fn graham_bound_holds() {
+        // List schedule ≤ 2·LB, and ≥ LB.
+        let durations: Vec<f64> =
+            (0..200).map(|i| 0.5 + ((i * 37) % 11) as f64).collect();
+        for units in [1usize, 2, 4, 7, 16] {
+            let r = schedule(&durations, units);
+            let lb = makespan_lower_bound(&durations, units);
+            assert!(r.makespan >= lb - 1e-9, "units={units}");
+            assert!(r.makespan <= 2.0 * lb + 1e-9, "units={units}");
+        }
+    }
+
+    #[test]
+    fn busy_times_sum_to_total_work() {
+        let durations = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let r = schedule(&durations, 3);
+        let total: f64 = r.busy.iter().sum();
+        assert!((total - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let r = schedule(&[], 4);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.utilization(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_units_rejected() {
+        let _ = schedule(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_rejected() {
+        let _ = schedule(&[1.0, -2.0], 2);
+    }
+}

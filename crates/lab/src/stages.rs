@@ -1,0 +1,152 @@
+//! Multi-round (partially adaptive) designs and the queries-vs-makespan
+//! trade-off of the paper's open-problems section.
+//!
+//! A *stage plan* splits the query budget into rounds; queries within a
+//! round run on the `L` available units, and a round can only start after
+//! the previous one finished (its design may depend on earlier results).
+//! Three canonical plans:
+//!
+//! * **fully parallel** — one round of `m_para ≈ 2·m_seq` queries
+//!   (Theorem 2: parallel designs pay a factor 2 in queries);
+//! * **fully sequential** — `m_seq` rounds of one query each (Bshouty's
+//!   regime: information-optimal query count, maximal wall time);
+//! * **batched** — `r` rounds of `m_r` queries; interpolates between them.
+
+use pooled_rng::SeedSequence;
+
+use crate::latency::LatencyModel;
+use crate::scheduler::schedule;
+
+/// Makespan of a staged plan on `units` parallel units.
+///
+/// `stage_sizes[r]` is the number of queries in round `r`; rounds are
+/// serialized, queries inside a round are scheduled greedily.
+///
+/// # Panics
+/// Panics if `units == 0`.
+pub fn stage_plan_makespan(
+    stage_sizes: &[usize],
+    units: usize,
+    latency: &LatencyModel,
+    seeds: &SeedSequence,
+) -> f64 {
+    assert!(units > 0, "need at least one processing unit");
+    let mut total = 0.0;
+    for (r, &size) in stage_sizes.iter().enumerate() {
+        let durations = latency.sample_many(size, &seeds.child("stage", r as u64));
+        total += schedule(&durations, units).makespan;
+    }
+    total
+}
+
+/// One point on the queries-vs-makespan Pareto curve.
+#[derive(Clone, Copy, Debug)]
+pub struct TradeoffPoint {
+    /// Number of rounds in the plan.
+    pub rounds: usize,
+    /// Total queries spent.
+    pub queries: usize,
+    /// Simulated wall-clock makespan.
+    pub makespan: f64,
+}
+
+/// Build the canonical trade-off curve between the fully parallel design
+/// (`m_para` queries, 1 round) and the sequential design (`m_seq` queries,
+/// `m_seq` rounds), interpolating the query cost linearly in the number of
+/// rounds on a log grid.
+///
+/// The interpolation reflects the theory: with `r` adaptive rounds the
+/// required query count falls from `2·m_seq` (r = 1, Theorem 2) toward
+/// `m_seq` (fully adaptive, Bshouty) — we model the intermediate regime as
+/// `m(r) = m_seq·(1 + 1/r)`, the standard multi-stage bound shape.
+pub fn tradeoff_curve(
+    m_seq: usize,
+    units: usize,
+    latency: &LatencyModel,
+    seeds: &SeedSequence,
+) -> Vec<TradeoffPoint> {
+    assert!(m_seq > 0, "sequential query count must be positive");
+    let mut points = Vec::new();
+    let mut r = 1usize;
+    while r <= m_seq {
+        let queries = (m_seq as f64 * (1.0 + 1.0 / r as f64)).ceil() as usize;
+        // Spread queries as evenly as possible over the rounds.
+        let base = queries / r;
+        let extra = queries % r;
+        let sizes: Vec<usize> =
+            (0..r).map(|i| base + usize::from(i < extra)).collect();
+        let makespan = stage_plan_makespan(&sizes, units, latency, &seeds.child("plan", r as u64));
+        points.push(TradeoffPoint { rounds: r, queries, makespan });
+        r *= 2;
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_round_equals_plain_schedule() {
+        let seeds = SeedSequence::new(1);
+        let lat = LatencyModel::Fixed(1.0);
+        // 10 queries, 4 units, fixed latency 1 ⇒ ⌈10/4⌉ = 3 time units.
+        let ms = stage_plan_makespan(&[10], 4, &lat, &seeds);
+        assert_eq!(ms, 3.0);
+    }
+
+    #[test]
+    fn rounds_serialize() {
+        let seeds = SeedSequence::new(2);
+        let lat = LatencyModel::Fixed(2.0);
+        // Two rounds of 4 queries on 4 units: 2 + 2.
+        let ms = stage_plan_makespan(&[4, 4], 4, &lat, &seeds);
+        assert_eq!(ms, 4.0);
+        // Same queries in one round: also 4 (2 waves)… but with 8 units: 2.
+        assert_eq!(stage_plan_makespan(&[8], 8, &lat, &seeds), 2.0);
+    }
+
+    #[test]
+    fn tradeoff_curve_shape() {
+        let seeds = SeedSequence::new(3);
+        let lat = LatencyModel::Fixed(1.0);
+        let m_seq = 64;
+        let units = 1024; // unit-rich: round count dominates makespan
+        let curve = tradeoff_curve(m_seq, units, &lat, &seeds);
+        // More rounds ⇒ fewer queries but longer makespan.
+        for w in curve.windows(2) {
+            assert!(w[1].queries <= w[0].queries, "queries should fall");
+            assert!(w[1].makespan >= w[0].makespan, "makespan should rise");
+        }
+        // End points: 1 round costs 2·m_seq queries; last point ≈ m_seq.
+        assert_eq!(curve[0].rounds, 1);
+        assert_eq!(curve[0].queries, 2 * m_seq);
+        let last = curve.last().unwrap();
+        assert!(last.queries <= m_seq + m_seq / 16 + 1);
+    }
+
+    #[test]
+    fn unit_starved_plans_balance() {
+        // With L=1 the makespan equals total queries (fixed latency 1).
+        let seeds = SeedSequence::new(4);
+        let lat = LatencyModel::Fixed(1.0);
+        let curve = tradeoff_curve(16, 1, &lat, &seeds);
+        for p in &curve {
+            assert!((p.makespan - p.queries as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let lat = LatencyModel::Uniform { lo: 0.5, hi: 1.5 };
+        let a = stage_plan_makespan(&[20, 20], 4, &lat, &SeedSequence::new(5));
+        let b = stage_plan_makespan(&[20, 20], 4, &lat, &SeedSequence::new(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn empty_mseq_rejected() {
+        let _ = tradeoff_curve(0, 1, &LatencyModel::Fixed(1.0), &SeedSequence::new(6));
+    }
+}

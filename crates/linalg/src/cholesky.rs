@@ -1,0 +1,121 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+
+use crate::matrix::Matrix;
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factor an SPD matrix.
+    ///
+    /// Returns `None` when the matrix is not (numerically) positive
+    /// definite — callers fall back to QR in that case.
+    pub fn factor(a: &Matrix) -> Option<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return None;
+        }
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for p in 0..j {
+                    sum -= l[(i, p)] * l[(j, p)];
+                }
+                if i == j {
+                    if sum <= 1e-12 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(Self { l })
+    }
+
+    /// Solve `A·x = b` via forward/back substitution.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` differs from the matrix order.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "rhs length must equal matrix order");
+        // Forward: L·z = b.
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * z[j];
+            }
+            z[i] = acc / self.l[(i, i)];
+        }
+        // Backward: Lᵀ·x = z.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = z[i];
+            for j in i + 1..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.0],
+            vec![0.6, 1.0, 3.0],
+        ]);
+        let ch = Cholesky::factor(&a).expect("SPD");
+        let llt = ch.l().matmul(&ch.l().transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_known_solution() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&[1.0, 2.0]);
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!(Cholesky::factor(&a).is_none());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Cholesky::factor(&Matrix::zeros(2, 3)).is_none());
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let ch = Cholesky::factor(&Matrix::identity(4)).unwrap();
+        let b = vec![1.0, -2.0, 3.0, 0.5];
+        assert_eq!(ch.solve(&b), b);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Dense linear algebra substrate for the baseline decoders.
+//!
+//! The compressed-sensing baselines the paper cites (§I-B) need exactly
+//! three kernels, all implemented here from scratch:
+//!
+//! * [`matrix`] — a row-major dense `f64` matrix with the usual products.
+//! * [`qr`]/[`lstsq`] — Householder QR and least-squares solves (for
+//!   Orthogonal Matching Pursuit's restricted projections).
+//! * [`cholesky`] — SPD solves (for AMP's occasional normal equations and
+//!   as a faster least-squares path).
+//! * [`simplex`] — a two-phase dense simplex LP solver with Bland's rule
+//!   (for Basis Pursuit: `min Σx` s.t. `Ax = y`, `0 ≤ x ≤ 1`).
+//!
+//! Sizes are modest (baselines run at `n ≤ a few thousand`), so clarity and
+//! numerical robustness win over blocking/SIMD here; the hot reconstruction
+//! path of the paper (MN) never touches this crate.
+
+// Indexed loops mirror the textbook formulations of these kernels;
+// iterator rewrites obscure the triangular index structure.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cholesky;
+pub mod lstsq;
+pub mod matrix;
+pub mod qr;
+pub mod simplex;
+
+pub use matrix::Matrix;
+pub use simplex::{LpOutcome, LpProblem};

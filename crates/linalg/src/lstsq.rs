@@ -1,0 +1,91 @@
+//! Least-squares front door.
+//!
+//! Tries the fast normal-equations path (`AᵀA x = Aᵀb` via Cholesky) and
+//! falls back to Householder QR when the Gram matrix is not numerically
+//! positive definite. OMP calls this once per selected column.
+
+use crate::cholesky::Cholesky;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+
+/// Solve `min ‖Ax − b‖₂` for tall `A`.
+///
+/// # Panics
+/// Panics if `A` has fewer rows than columns or is rank-deficient, or if
+/// `b.len() != rows`.
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Vec<f64> {
+    assert_eq!(b.len(), a.rows(), "rhs length must equal rows");
+    assert!(a.rows() >= a.cols(), "least squares needs rows ≥ cols");
+    let gram = a.gram();
+    if let Some(ch) = Cholesky::factor(&gram) {
+        let atb = a.matvec_t(b);
+        return ch.solve(&atb);
+    }
+    Qr::factor(a).solve(b)
+}
+
+/// Residual vector `b − Ax`.
+pub fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> Vec<f64> {
+    let ax = a.matvec(x);
+    b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect()
+}
+
+/// Squared ℓ2 norm.
+pub fn norm2_sq(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_recovered() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        let truth = [3.0, -2.0];
+        let b = a.matvec(&truth);
+        let x = solve_least_squares(&a, &b);
+        assert!((x[0] - 3.0).abs() < 1e-10 && (x[1] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_orthogonality() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![0.5, 0.5],
+            vec![-1.0, 1.0],
+        ]);
+        let b = vec![1.0, 0.0, 2.0, 1.0];
+        let x = solve_least_squares(&a, &b);
+        let r = residual(&a, &x, &b);
+        let atr = a.matvec_t(&r);
+        assert!(atr.iter().all(|v| v.abs() < 1e-9), "{atr:?}");
+    }
+
+    #[test]
+    fn norm_helper() {
+        assert_eq!(norm2_sq(&[3.0, 4.0]), 25.0);
+        assert_eq!(norm2_sq(&[]), 0.0);
+    }
+
+    #[test]
+    fn qr_fallback_on_ill_conditioned_gram() {
+        // Nearly collinear columns make the Gram matrix borderline; the
+        // solver must still return a valid least-squares solution.
+        let eps = 1e-7;
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0 + eps],
+            vec![1.0, 1.0],
+            vec![1.0, 1.0 - eps],
+        ]);
+        let b = vec![1.0, 1.0, 1.0];
+        let x = solve_least_squares(&a, &b);
+        let r = residual(&a, &x, &b);
+        assert!(norm2_sq(&r) < 1e-9);
+    }
+}

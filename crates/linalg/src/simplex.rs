@@ -1,0 +1,359 @@
+//! Two-phase dense simplex for standard-form linear programs.
+//!
+//! Solves `min cᵀx` subject to `Ax = b`, `x ≥ 0`. Pivot selection is
+//! Dantzig's rule with an automatic switch to Bland's rule after a run of
+//! degenerate pivots, which makes termination guaranteed while keeping the
+//! typical-case speed. Used by the Basis Pursuit baseline
+//! (`min Σx` s.t. `Mᵀx = y`, `0 ≤ x ≤ 1`, with the box encoded by slacks).
+
+use crate::matrix::Matrix;
+
+/// A standard-form LP: `min cᵀx` s.t. `Ax = b`, `x ≥ 0`.
+#[derive(Clone, Debug)]
+pub struct LpProblem {
+    /// Constraint matrix (m×n).
+    pub a: Matrix,
+    /// Right-hand side (length m).
+    pub b: Vec<f64>,
+    /// Objective coefficients (length n).
+    pub c: Vec<f64>,
+}
+
+/// Solver outcome.
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Optimal primal point.
+        x: Vec<f64>,
+        /// Objective value `cᵀx`.
+        objective: f64,
+    },
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// Iteration limit hit (returns no point; callers treat as failure).
+    IterationLimit,
+}
+
+const EPS: f64 = 1e-9;
+/// Degenerate-pivot streak length that triggers Bland's rule.
+const BLAND_TRIGGER: usize = 64;
+
+struct Tableau {
+    /// (m+1) × (ncols+1): constraint rows then the objective row;
+    /// the last column is the RHS.
+    t: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    ncols: usize,
+}
+
+impl Tableau {
+    fn rhs(&self, row: usize) -> f64 {
+        self.t[row][self.ncols]
+    }
+
+    fn pivot(&mut self, prow: usize, pcol: usize) {
+        let piv = self.t[prow][pcol];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for v in self.t[prow].iter_mut() {
+            *v *= inv;
+        }
+        let prow_vals = self.t[prow].clone();
+        for (r, row) in self.t.iter_mut().enumerate() {
+            if r == prow {
+                continue;
+            }
+            let factor = row[pcol];
+            if factor.abs() <= EPS {
+                row[pcol] = 0.0;
+                continue;
+            }
+            for (v, &p) in row.iter_mut().zip(&prow_vals) {
+                *v -= factor * p;
+            }
+            row[pcol] = 0.0;
+        }
+        self.basis[prow] = pcol;
+    }
+
+    /// Run simplex until optimality; `allowed` masks columns that may enter.
+    fn optimize(&mut self, allowed: &[bool], max_iters: usize) -> LpOutcome {
+        let m = self.basis.len();
+        let obj_row = m;
+        let mut degenerate_streak = 0usize;
+        for _ in 0..max_iters {
+            // Entering column.
+            let use_bland = degenerate_streak >= BLAND_TRIGGER;
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for j in 0..self.ncols {
+                if !allowed[j] {
+                    continue;
+                }
+                let rc = self.t[obj_row][j];
+                if rc < -EPS {
+                    if use_bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(pcol) = enter else {
+                return LpOutcome::Optimal { x: Vec::new(), objective: -self.rhs(obj_row) };
+            };
+            // Leaving row: minimum ratio; ties by smallest basis index
+            // (Bland-compatible).
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..m {
+                let coef = self.t[r][pcol];
+                if coef > EPS {
+                    let ratio = self.rhs(r) / coef;
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - EPS
+                                || (ratio < lratio + EPS && self.basis[r] < self.basis[lr])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((prow, ratio)) = leave else {
+                return LpOutcome::Unbounded;
+            };
+            degenerate_streak = if ratio.abs() <= EPS { degenerate_streak + 1 } else { 0 };
+            self.pivot(prow, pcol);
+        }
+        LpOutcome::IterationLimit
+    }
+}
+
+/// Solve a standard-form LP.
+///
+/// # Panics
+/// Panics on dimension mismatches between `a`, `b` and `c`.
+pub fn solve(problem: &LpProblem) -> LpOutcome {
+    let m = problem.a.rows();
+    let n = problem.a.cols();
+    assert_eq!(problem.b.len(), m, "b length must equal constraint count");
+    assert_eq!(problem.c.len(), n, "c length must equal variable count");
+    let ncols = n + m; // originals + artificials
+    let mut t = vec![vec![0.0; ncols + 1]; m + 1];
+    for r in 0..m {
+        let flip = if problem.b[r] < 0.0 { -1.0 } else { 1.0 };
+        for j in 0..n {
+            t[r][j] = flip * problem.a[(r, j)];
+        }
+        t[r][n + r] = 1.0;
+        t[r][ncols] = flip * problem.b[r];
+    }
+    // Phase-1 objective: minimize Σ artificials ⇒ reduced-cost row equals
+    // −Σ constraint rows over the original columns.
+    for j in 0..=ncols {
+        let mut acc = 0.0;
+        for r in 0..m {
+            acc += t[r][j];
+        }
+        t[m][j] = -acc;
+    }
+    for r in 0..m {
+        t[m][n + r] = 0.0;
+    }
+    let mut tab = Tableau { t, basis: (n..n + m).collect(), ncols };
+    let allowed_p1: Vec<bool> = (0..ncols).map(|j| j < n).collect();
+    let max_iters = 50 * (m + n).max(100);
+    match tab.optimize(&allowed_p1, max_iters) {
+        LpOutcome::Optimal { .. } => {}
+        LpOutcome::IterationLimit => return LpOutcome::IterationLimit,
+        // Phase 1 is bounded below by 0, so Unbounded cannot happen.
+        _ => unreachable!("phase 1 is bounded"),
+    }
+    if tab.rhs(m).abs() > 1e-6 {
+        return LpOutcome::Infeasible;
+    }
+    // Drive any basic artificials out where possible.
+    for r in 0..m {
+        if tab.basis[r] >= n {
+            if let Some(j) = (0..n).find(|&j| tab.t[r][j].abs() > 1e-7) {
+                tab.pivot(r, j);
+            }
+        }
+    }
+    // Phase 2: rebuild the objective row from the original costs.
+    for j in 0..=ncols {
+        tab.t[m][j] = 0.0;
+    }
+    for j in 0..n {
+        tab.t[m][j] = problem.c[j];
+    }
+    // Express the objective in terms of non-basic variables.
+    for r in 0..m {
+        let bj = tab.basis[r];
+        if bj < n {
+            let cost = problem.c[bj];
+            if cost != 0.0 {
+                let row = tab.t[r].clone();
+                for (v, &p) in tab.t[m].iter_mut().zip(&row) {
+                    *v -= cost * p;
+                }
+            }
+        }
+    }
+    match tab.optimize(&allowed_p1, max_iters) {
+        LpOutcome::Optimal { .. } => {
+            let mut x = vec![0.0; n];
+            for r in 0..m {
+                if tab.basis[r] < n {
+                    x[tab.basis[r]] = tab.rhs(r);
+                }
+            }
+            let objective = problem.c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+            LpOutcome::Optimal { x, objective }
+        }
+        other => other,
+    }
+}
+
+/// Convenience: `min Σ x` s.t. `Ex = y`, `0 ≤ x ≤ u` (box via slacks).
+///
+/// Encodes `x_i + s_i = u_i` with slack variables, then calls [`solve`].
+pub fn solve_box_min_sum(e: &Matrix, y: &[f64], upper: f64) -> LpOutcome {
+    let m = e.rows();
+    let n = e.cols();
+    let rows_total = m + n;
+    let cols_total = 2 * n;
+    let mut a = Matrix::zeros(rows_total, cols_total);
+    for r in 0..m {
+        for j in 0..n {
+            a[(r, j)] = e[(r, j)];
+        }
+    }
+    for i in 0..n {
+        a[(m + i, i)] = 1.0;
+        a[(m + i, n + i)] = 1.0;
+    }
+    let mut b = y.to_vec();
+    b.extend(std::iter::repeat_n(upper, n));
+    let mut c = vec![1.0; n];
+    c.extend(std::iter::repeat_n(0.0, n));
+    match solve(&LpProblem { a, b, c }) {
+        LpOutcome::Optimal { x, objective } => {
+            LpOutcome::Optimal { x: x[..n].to_vec(), objective }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(outcome: LpOutcome) -> (Vec<f64>, f64) {
+        match outcome {
+            LpOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_lp() {
+        // min −3x₁ − 5x₂ s.t. x₁ ≤ 4, 2x₂ ≤ 12, 3x₁+2x₂ ≤ 18 (with slacks)
+        // Optimum at (2, 6), objective −36.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0, 0.0, 0.0],
+            vec![0.0, 2.0, 0.0, 1.0, 0.0],
+            vec![3.0, 2.0, 0.0, 0.0, 1.0],
+        ]);
+        let b = vec![4.0, 12.0, 18.0];
+        let c = vec![-3.0, -5.0, 0.0, 0.0, 0.0];
+        let (x, obj) = optimal(solve(&LpProblem { a, b, c }));
+        assert!((x[0] - 2.0).abs() < 1e-8 && (x[1] - 6.0).abs() < 1e-8, "{x:?}");
+        assert!((obj + 36.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x₁ = 1 and x₁ = 2 simultaneously.
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]);
+        let b = vec![1.0, 2.0];
+        let c = vec![0.0];
+        assert!(matches!(solve(&LpProblem { a, b, c }), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min −x₁ s.t. x₁ − x₂ = 0 (x₁ can grow with x₂).
+        let a = Matrix::from_rows(&[vec![1.0, -1.0]]);
+        let b = vec![0.0];
+        let c = vec![-1.0, 0.0];
+        assert!(matches!(solve(&LpProblem { a, b, c }), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // −x₁ = −3 ⇒ x₁ = 3.
+        let a = Matrix::from_rows(&[vec![-1.0]]);
+        let b = vec![-3.0];
+        let c = vec![1.0];
+        let (x, obj) = optimal(solve(&LpProblem { a, b, c }));
+        assert!((x[0] - 3.0).abs() < 1e-9);
+        assert!((obj - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Multiple redundant constraints through the origin.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0, 1.0, 0.0],
+            vec![1.0, 1.0, 0.0, 1.0],
+            vec![2.0, 2.0, 1.0, 1.0],
+        ]);
+        let b = vec![1.0, 1.0, 2.0];
+        let c = vec![-1.0, -2.0, 0.0, 0.0];
+        let (x, _) = optimal(solve(&LpProblem { a, b, c }));
+        assert!((x[1] - 1.0).abs() < 1e-8, "{x:?}");
+    }
+
+    #[test]
+    fn box_min_sum_recovers_sparse_binary() {
+        // x* = (1,0,1): the first constraint x₁+x₃ = 2 pins both to the box
+        // ceiling, then x₂ = 0 follows. Unique minimizer with objective 2.
+        let e = Matrix::from_rows(&[
+            vec![1.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+        ]);
+        let y = vec![2.0, 1.0, 1.0];
+        let (x, obj) = optimal(solve_box_min_sum(&e, &y, 1.0));
+        assert!((obj - 2.0).abs() < 1e-8, "objective {obj}");
+        assert!((x[0] - 1.0).abs() < 1e-6 && x[1].abs() < 1e-6 && (x[2] - 1.0).abs() < 1e-6,
+            "{x:?}");
+    }
+
+    #[test]
+    fn box_constraint_binds() {
+        // Single constraint 2x₁ = 2 with u = 1 forces x₁ = 1 exactly.
+        let e = Matrix::from_rows(&[vec![2.0, 0.0]]);
+        let (x, _) = optimal(solve_box_min_sum(&e, &[2.0], 1.0));
+        assert!((x[0] - 1.0).abs() < 1e-8);
+        assert!(x.iter().all(|&v| (-1e-8..=1.0 + 1e-8).contains(&v)));
+    }
+
+    #[test]
+    fn box_infeasible_when_rhs_exceeds_capacity() {
+        let e = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        assert!(matches!(
+            solve_box_min_sum(&e, &[3.0], 1.0),
+            LpOutcome::Infeasible
+        ));
+    }
+}

@@ -1,0 +1,102 @@
+//! Deterministic work partitioning.
+//!
+//! Experiments must produce identical output regardless of worker count, so
+//! all parallel loops in the workspace are expressed over *fixed* index
+//! ranges rather than rayon's adaptive splitting whenever the loop body
+//! carries RNG state. `even_ranges` is the single source of truth for that
+//! partitioning.
+
+use std::ops::Range;
+
+/// Split `0..len` into at most `parts` contiguous ranges whose lengths differ
+/// by at most one. Returns fewer ranges when `len < parts`; never returns an
+/// empty range.
+///
+/// ```
+/// use pooled_par::chunks::even_ranges;
+/// assert_eq!(even_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+/// assert_eq!(even_ranges(2, 8).len(), 2);
+/// ```
+pub fn even_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    out
+}
+
+/// Number of chunks to use for `len` items given a per-chunk work target.
+///
+/// Caps at the available parallelism so tiny inputs do not pay the
+/// fork/join overhead.
+pub fn chunk_count(len: usize, min_per_chunk: usize) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let by_grain = len.div_ceil(min_per_chunk.max(1));
+    by_grain.min(rayon::current_num_threads().max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_whole_range_without_overlap() {
+        for len in [0usize, 1, 2, 7, 100, 101, 1024] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let rs = even_ranges(len, parts);
+                let total: usize = rs.iter().map(|r| r.len()).sum();
+                assert_eq!(total, len, "len={len} parts={parts}");
+                for w in rs.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "gap/overlap in {rs:?}");
+                }
+                if let (Some(first), Some(last)) = (rs.first(), rs.last()) {
+                    assert_eq!(first.start, 0);
+                    assert_eq!(last.end, len);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let rs = even_ranges(103, 8);
+        let min = rs.iter().map(|r| r.len()).min().unwrap();
+        let max = rs.iter().map(|r| r.len()).max().unwrap();
+        assert!(max - min <= 1, "imbalance: {rs:?}");
+    }
+
+    #[test]
+    fn no_empty_ranges() {
+        for len in 1..40usize {
+            for parts in 1..40usize {
+                assert!(even_ranges(len, parts).iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_inputs_yield_no_ranges() {
+        assert!(even_ranges(0, 4).is_empty());
+        assert!(even_ranges(4, 0).is_empty());
+    }
+
+    #[test]
+    fn chunk_count_respects_grain() {
+        assert_eq!(chunk_count(0, 100), 0);
+        assert_eq!(chunk_count(50, 100), 1);
+        assert!(chunk_count(10_000, 100) >= 1);
+        assert!(chunk_count(10_000, 100) <= rayon::current_num_threads());
+    }
+}

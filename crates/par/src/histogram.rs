@@ -1,0 +1,171 @@
+//! Parallel histograms.
+//!
+//! Counting occurrences per bin is the inner step of the radix sort
+//! ([`crate::radix`]), the degree statistics of the design crate, and
+//! several experiment summaries. The parallel strategy is the standard
+//! privatized one: each worker fills a thread-local count vector over its
+//! chunk, then the per-chunk vectors are summed. No atomics, no contention,
+//! and the result is independent of the chunking.
+
+use rayon::prelude::*;
+
+use crate::chunks::{chunk_count, even_ranges};
+
+/// Minimum elements per chunk before the parallel path engages.
+const PAR_GRAIN: usize = 1 << 14;
+
+/// Count how many items fall into each of `bins` buckets.
+///
+/// `bin_of` maps an item to its bucket index and must return values in
+/// `0..bins`.
+///
+/// # Panics
+/// Panics (in debug builds at the offending index, in release via the
+/// indexed add) if `bin_of` returns an out-of-range bucket.
+pub fn par_histogram<T, F>(data: &[T], bins: usize, bin_of: F) -> Vec<u64>
+where
+    T: Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    let parts = chunk_count(data.len(), PAR_GRAIN);
+    if parts <= 1 {
+        let mut counts = vec![0u64; bins];
+        for x in data {
+            counts[bin_of(x)] += 1;
+        }
+        return counts;
+    }
+    even_ranges(data.len(), parts)
+        .into_par_iter()
+        .map(|r| {
+            let mut counts = vec![0u64; bins];
+            for x in &data[r] {
+                counts[bin_of(x)] += 1;
+            }
+            counts
+        })
+        .reduce(
+            || vec![0u64; bins],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(&b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+/// Per-chunk histograms laid out as a `chunks × bins` row-major matrix,
+/// plus the chunk ranges used. This is the building block of counting
+/// sorts: the column-major exclusive scan of the matrix gives each chunk a
+/// private, disjoint write cursor per bin.
+pub fn chunked_histogram<T, F>(
+    data: &[T],
+    bins: usize,
+    parts: usize,
+    bin_of: F,
+) -> (Vec<u64>, Vec<std::ops::Range<usize>>)
+where
+    T: Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    let ranges = even_ranges(data.len(), parts.max(1));
+    let mut matrix = vec![0u64; ranges.len() * bins];
+    matrix
+        .par_chunks_mut(bins)
+        .zip(ranges.par_iter())
+        .for_each(|(row, r)| {
+            for x in &data[r.clone()] {
+                row[bin_of(x)] += 1;
+            }
+        });
+    (matrix, ranges)
+}
+
+/// Turn a `chunks × bins` count matrix into write cursors, in place:
+/// afterwards `matrix[c*bins + d]` is the first output index for chunk `c`,
+/// digit `d`, under the ordering (all of digit 0, then digit 1, …; within a
+/// digit, chunk 0 first). Returns the grand total.
+pub fn cursors_from_counts(matrix: &mut [u64], bins: usize) -> u64 {
+    if bins == 0 {
+        return 0;
+    }
+    let chunks = matrix.len() / bins;
+    debug_assert_eq!(chunks * bins, matrix.len());
+    let mut acc = 0u64;
+    for d in 0..bins {
+        for c in 0..chunks {
+            let at = c * bins + d;
+            let count = matrix[at];
+            matrix[at] = acc;
+            acc += count;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_count() {
+        let data: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2654435761)).collect();
+        let bins = 64;
+        let par = par_histogram(&data, bins, |&x| (x % 64) as usize);
+        let mut seq = vec![0u64; bins];
+        for &x in &data {
+            seq[(x % 64) as usize] += 1;
+        }
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn empty_input_gives_zero_bins() {
+        let h = par_histogram::<u32, _>(&[], 8, |_| 0);
+        assert_eq!(h, vec![0u64; 8]);
+    }
+
+    #[test]
+    fn total_count_is_len() {
+        let data: Vec<u64> = (0..50_000).collect();
+        let h = par_histogram(&data, 10, |&x| (x % 10) as usize);
+        assert_eq!(h.iter().sum::<u64>(), 50_000);
+    }
+
+    #[test]
+    fn single_bin_counts_everything() {
+        let data = vec![7u8; 1000];
+        assert_eq!(par_histogram(&data, 1, |_| 0), vec![1000]);
+    }
+
+    #[test]
+    fn chunked_matrix_columns_sum_to_histogram() {
+        let data: Vec<u64> = (0..40_000u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        let bins = 16;
+        let (matrix, ranges) = chunked_histogram(&data, bins, 7, |&x| (x % 16) as usize);
+        assert_eq!(matrix.len(), ranges.len() * bins);
+        let flat = par_histogram(&data, bins, |&x| (x % 16) as usize);
+        for d in 0..bins {
+            let col: u64 = (0..ranges.len()).map(|c| matrix[c * bins + d]).sum();
+            assert_eq!(col, flat[d], "digit {d}");
+        }
+    }
+
+    #[test]
+    fn cursors_are_exclusive_scan_in_digit_major_order() {
+        // 2 chunks × 3 bins: counts [[1,2,3],[4,5,6]].
+        let mut m = vec![1, 2, 3, 4, 5, 6];
+        let total = cursors_from_counts(&mut m, 3);
+        assert_eq!(total, 21);
+        // Order: (c0,d0)=0, (c1,d0)=1, (c0,d1)=5, (c1,d1)=7, (c0,d2)=12,
+        // (c1,d2)=15.
+        assert_eq!(m, vec![0, 5, 12, 1, 7, 15]);
+    }
+
+    #[test]
+    fn cursors_handle_zero_bins() {
+        let mut m: Vec<u64> = Vec::new();
+        assert_eq!(cursors_from_counts(&mut m, 0), 0);
+    }
+}

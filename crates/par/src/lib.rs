@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Parallel primitives used by the pooled-data reconstruction pipeline.
+//!
+//! The paper observes (§I-C, “Parallelized Reconstruction”) that the MN
+//! decoder is two sparse matrix–vector products followed by a sort, all of
+//! which parallelize. This crate supplies those building blocks on top of
+//! rayon, each with a sequential reference implementation that the tests and
+//! property suites check against:
+//!
+//! * [`chunks`] — deterministic chunking of index ranges across workers.
+//! * [`scan`] — parallel prefix sums (the classic two-pass blocked scan).
+//! * [`sort`] — parallel merge sort and sample sort over `Copy` keys.
+//! * [`radix`] — LSD radix sort for integer keys (the non-comparison
+//!   alternative for the score-ranking step).
+//! * [`histogram`] — privatized parallel histograms (radix passes, degree
+//!   statistics).
+//! * [`topk`] — parallel top-k selection (what Algorithm 1's final sort
+//!   actually needs: the k largest scores).
+//! * [`scatter`] — atomic scatter-add accumulators for the Ψ/Δ* sums.
+//! * [`pool`] — scoped rayon thread-pool helpers for the ablation benches.
+
+pub mod chunks;
+pub mod histogram;
+pub mod pool;
+pub mod radix;
+pub mod scan;
+pub mod scatter;
+pub mod sort;
+pub mod topk;
+
+pub use chunks::even_ranges;
+pub use histogram::par_histogram;
+pub use radix::{par_radix_sort_pairs, radix_rank_desc};
+pub use scatter::AtomicCounters;
+pub use topk::top_k_indices;

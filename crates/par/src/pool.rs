@@ -1,0 +1,60 @@
+//! Scoped thread-pool helpers.
+//!
+//! The thread-scaling ablation bench runs the same decode under 1, 2, 4, …
+//! workers; rayon's global pool cannot be resized, so the bench builds
+//! throwaway pools through this module. Experiment binaries also use
+//! [`install_with_threads`] to honour a `--threads` flag.
+
+use rayon::ThreadPoolBuilder;
+
+/// Run `op` inside a fresh rayon pool with exactly `threads` workers.
+///
+/// `threads == 0` means "use the default parallelism". Building a pool costs
+/// ~100 µs; callers in hot paths should reuse pools instead.
+pub fn install_with_threads<R: Send>(threads: usize, op: impl FnOnce() -> R + Send) -> R {
+    if threads == 0 {
+        return op();
+    }
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .thread_name(|i| format!("pooled-worker-{i}"))
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(op)
+}
+
+/// The effective parallelism of the current context.
+pub fn current_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn install_limits_worker_count() {
+        for t in [1usize, 2, 4] {
+            let seen = install_with_threads(t, rayon::current_num_threads);
+            assert_eq!(seen, t);
+        }
+    }
+
+    #[test]
+    fn zero_uses_ambient_pool() {
+        let ambient = rayon::current_num_threads();
+        let seen = install_with_threads(0, rayon::current_num_threads);
+        assert_eq!(seen, ambient);
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let data: Vec<u64> = (0..100_000).collect();
+        let sums: Vec<u64> = [1usize, 3, 8]
+            .iter()
+            .map(|&t| install_with_threads(t, || data.par_iter().sum::<u64>()))
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0] == w[1]));
+    }
+}

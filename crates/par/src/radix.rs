@@ -1,0 +1,193 @@
+//! Radix sort for integer keys.
+//!
+//! The decoder's final ranking step sorts `(score, index)` pairs whose keys
+//! are machine integers, which is exactly where an LSD radix sort shines:
+//! `O(n)` work per 8-bit digit pass instead of `O(n log n)` comparisons.
+//! The paper's §I-C points at the GPU sorting literature for this step; this
+//! module is the CPU counterpart the ablation benches compare against the
+//! comparison sorts in [`crate::sort`].
+//!
+//! Parallelism mirrors [`crate::sort::par_sample_sort`]: the digit
+//! *histograms* are computed in parallel over fixed chunks
+//! ([`crate::histogram::chunked_histogram`]), while the scatter itself is a
+//! sequential cursor walk — it is memory-bound, and keeping it sequential
+//! keeps the implementation free of `unsafe` (a workspace-wide invariant).
+//! Passes whose digit is constant across all keys are skipped, which on the
+//! decoder's score distributions removes most of the eight passes.
+
+use rayon::prelude::*;
+
+use crate::histogram::{chunked_histogram, cursors_from_counts};
+
+/// Number of distinct 8-bit digits.
+const RADIX: usize = 256;
+/// Below this length the standard-library sort wins.
+const SEQ_CUTOFF: usize = 1 << 12;
+/// Histogram chunking grain (items per chunk).
+const PAR_GRAIN: usize = 1 << 15;
+
+/// Stable ascending sort of `(key, payload)` pairs by `key`.
+///
+/// Equal keys keep their input order, so combined with a payload that is the
+/// original index the result is a deterministic total order.
+pub fn par_radix_sort_pairs(data: &mut [(u64, u32)]) {
+    if data.len() <= SEQ_CUTOFF {
+        data.sort_by_key(|&(k, _)| k);
+        return;
+    }
+    // Which digit positions actually vary? byte p varies iff the OR and AND
+    // of all keys disagree there.
+    let (or_all, and_all) = data
+        .par_iter()
+        .map(|&(k, _)| (k, k))
+        .reduce(|| (0u64, u64::MAX), |(o1, a1), (o2, a2)| (o1 | o2, a1 & a2));
+    let mut buf: Vec<(u64, u32)> = vec![(0, 0); data.len()];
+    let mut src_is_data = true;
+    for pass in 0..8 {
+        let shift = 8 * pass;
+        if (or_all >> shift) & 0xFF == (and_all >> shift) & 0xFF {
+            continue; // digit constant across all keys — nothing to do
+        }
+        {
+            let (src, dst): (&mut [(u64, u32)], &mut [(u64, u32)]) = if src_is_data {
+                (data, &mut buf)
+            } else {
+                (&mut buf, data)
+            };
+            scatter_pass(src, dst, shift);
+        }
+        src_is_data = !src_is_data;
+    }
+    if !src_is_data {
+        data.copy_from_slice(&buf);
+    }
+}
+
+/// One counting-sort pass on the 8-bit digit at `shift`.
+fn scatter_pass(src: &[(u64, u32)], dst: &mut [(u64, u32)], shift: u32) {
+    let parts = crate::chunks::chunk_count(src.len(), PAR_GRAIN).max(1);
+    let digit = |&(k, _): &(u64, u32)| ((k >> shift) & 0xFF) as usize;
+    let (mut cursors, ranges) = chunked_histogram(src, RADIX, parts, digit);
+    let total = cursors_from_counts(&mut cursors, RADIX);
+    debug_assert_eq!(total as usize, src.len());
+    for (c, r) in ranges.iter().enumerate() {
+        let row = &mut cursors[c * RADIX..(c + 1) * RADIX];
+        for &item in &src[r.clone()] {
+            let d = ((item.0 >> shift) & 0xFF) as usize;
+            dst[row[d] as usize] = item;
+            row[d] += 1;
+        }
+    }
+}
+
+/// Indices `0..scores.len()` ranked by `(score desc, index asc)` — the
+/// decoder's canonical ordering — computed with the radix sort.
+///
+/// Agrees element-for-element with sorting `(Reverse(score), index)`; the
+/// property tests pin the equivalence against [`crate::topk::top_k_indices`].
+pub fn radix_rank_desc(scores: &[i64]) -> Vec<u32> {
+    // Map i64 → u64 order-preservingly (flip the sign bit), then invert so
+    // that ascending radix order equals descending score order. Payload is
+    // the index; stability turns ties into ascending-index order.
+    let mut pairs: Vec<(u64, u32)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (!((s as u64) ^ (1u64 << 63)), i as u32))
+        .collect();
+    par_radix_sort_pairs(&mut pairs);
+    pairs.into_iter().map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference_sorted(mut v: Vec<(u64, u32)>) -> Vec<(u64, u32)> {
+        v.sort_by_key(|&(k, _)| k);
+        v
+    }
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<(u64, u32)> {
+        let mut state = seed;
+        (0..len)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state, i as u32)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_random_keys() {
+        for len in [0usize, 1, 2, 100, SEQ_CUTOFF + 1, 100_000] {
+            let mut v = pseudo_random(len, 42);
+            let want = reference_sorted(v.clone());
+            par_radix_sort_pairs(&mut v);
+            assert_eq!(v, want, "len={len}");
+        }
+    }
+
+    #[test]
+    fn stable_on_equal_keys() {
+        // All keys equal: payload order must be preserved.
+        let mut v: Vec<(u64, u32)> = (0..20_000).map(|i| (7, i)).collect();
+        par_radix_sort_pairs(&mut v);
+        assert!(v.iter().enumerate().all(|(i, &(k, p))| k == 7 && p == i as u32));
+    }
+
+    #[test]
+    fn stable_on_few_distinct_keys() {
+        let mut v: Vec<(u64, u32)> = (0..30_000u32).map(|i| ((i % 3) as u64, i)).collect();
+        par_radix_sort_pairs(&mut v);
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn handles_extreme_keys() {
+        let mut v =
+            vec![(u64::MAX, 0u32), (0, 1), (u64::MAX - 1, 2), (1, 3), (u64::MAX, 4), (0, 5)];
+        par_radix_sort_pairs(&mut v);
+        assert_eq!(v, vec![(0, 1), (0, 5), (1, 3), (u64::MAX - 1, 2), (u64::MAX, 0), (u64::MAX, 4)]);
+    }
+
+    #[test]
+    fn skip_pass_correct_when_high_bytes_constant() {
+        // Keys fit in one byte: 7 of 8 passes skip.
+        let mut v = pseudo_random(50_000, 9);
+        for (k, _) in v.iter_mut() {
+            *k &= 0xFF;
+        }
+        let want = reference_sorted(v.clone());
+        par_radix_sort_pairs(&mut v);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn rank_desc_matches_comparison_sort() {
+        let mut state = 1905u64;
+        let scores: Vec<i64> = (0..30_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state as i64) >> 32 // mix of positive and negative
+            })
+            .collect();
+        let got = radix_rank_desc(&scores);
+        let mut want: Vec<u32> = (0..scores.len() as u32).collect();
+        want.sort_by_key(|&i| (std::cmp::Reverse(scores[i as usize]), i));
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rank_desc_negative_and_positive_scores() {
+        let scores = vec![-5i64, 10, 0, 10, i64::MIN, i64::MAX, -5];
+        let got = radix_rank_desc(&scores);
+        assert_eq!(got, vec![5, 1, 3, 2, 0, 6, 4]);
+    }
+
+    #[test]
+    fn rank_desc_empty() {
+        assert!(radix_rank_desc(&[]).is_empty());
+    }
+}

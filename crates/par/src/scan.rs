@@ -1,0 +1,167 @@
+//! Parallel prefix sums.
+//!
+//! Used to build CSR offset arrays from per-row counts (design crate) and to
+//! turn per-chunk histogram counts into write cursors (sample sort). The
+//! implementation is the textbook two-pass blocked scan: local sums, then an
+//! exclusive scan of block totals, then a local fix-up pass.
+
+use rayon::prelude::*;
+
+use crate::chunks::{chunk_count, even_ranges};
+
+/// Minimum elements per block before the parallel path engages.
+const PAR_GRAIN: usize = 1 << 14;
+
+/// In-place **exclusive** prefix sum; returns the grand total.
+///
+/// `[3, 1, 4]` becomes `[0, 3, 4]` with total `8`.
+pub fn exclusive_scan_u64(data: &mut [u64]) -> u64 {
+    if data.len() < PAR_GRAIN {
+        let mut acc = 0u64;
+        for v in data.iter_mut() {
+            let next = acc + *v;
+            *v = acc;
+            acc = next;
+        }
+        return acc;
+    }
+    let ranges = even_ranges(data.len(), chunk_count(data.len(), PAR_GRAIN));
+    // Pass 1: block totals.
+    let totals: Vec<u64> = {
+        // Split into disjoint slices so each task owns its block.
+        let blocks = split_by_ranges(data, &ranges);
+        blocks.into_par_iter().map(|b| b.iter().sum()).collect()
+    };
+    // Scan of block totals (small, sequential).
+    let mut offsets = totals;
+    let mut acc = 0u64;
+    for v in offsets.iter_mut() {
+        let next = acc + *v;
+        *v = acc;
+        acc = next;
+    }
+    // Pass 2: local exclusive scans seeded by block offsets.
+    let blocks = split_by_ranges(data, &ranges);
+    blocks.into_par_iter().zip(offsets.par_iter()).for_each(|(block, &seed)| {
+        let mut local = seed;
+        for v in block.iter_mut() {
+            let next = local + *v;
+            *v = local;
+            local = next;
+        }
+    });
+    acc
+}
+
+/// In-place **inclusive** prefix sum; returns the grand total.
+pub fn inclusive_scan_u64(data: &mut [u64]) -> u64 {
+    if data.is_empty() {
+        return 0;
+    }
+    // inclusive[i] = exclusive[i] + original[i]; cheaper to just shift:
+    let originals_last = *data.last().unwrap();
+    let total = exclusive_scan_u64(data);
+    // data now holds the exclusive scan; rebuild inclusive in one pass.
+    // exclusive[i+1] = inclusive[i], so shift left and append total.
+    let len = data.len();
+    data.copy_within(1..len, 0);
+    data[len - 1] = total;
+    debug_assert!(total >= originals_last);
+    total
+}
+
+/// Carve a mutable slice into the given contiguous, gap-free ranges.
+fn split_by_ranges<'a, T>(
+    mut data: &'a mut [T],
+    ranges: &[std::ops::Range<usize>],
+) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0;
+    for r in ranges {
+        debug_assert_eq!(r.start, consumed, "ranges must be contiguous from 0");
+        let (head, tail) = data.split_at_mut(r.len());
+        out.push(head);
+        data = tail;
+        consumed = r.end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_rng::SplitMix64;
+    use pooled_rng::Rng64 as _;
+
+    fn reference_exclusive(v: &[u64]) -> (Vec<u64>, u64) {
+        let mut out = Vec::with_capacity(v.len());
+        let mut acc = 0u64;
+        for &x in v {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn exclusive_small_matches_reference() {
+        let mut v = vec![3u64, 1, 4, 1, 5, 9, 2, 6];
+        let (want, want_total) = reference_exclusive(&v);
+        let total = exclusive_scan_u64(&mut v);
+        assert_eq!(v, want);
+        assert_eq!(total, want_total);
+    }
+
+    #[test]
+    fn exclusive_large_matches_reference() {
+        let mut rng = SplitMix64::new(5);
+        let orig: Vec<u64> = (0..100_000).map(|_| rng.below(1000)).collect();
+        let (want, want_total) = reference_exclusive(&orig);
+        let mut v = orig.clone();
+        let total = exclusive_scan_u64(&mut v);
+        assert_eq!(total, want_total);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn exclusive_empty_and_single() {
+        let mut empty: Vec<u64> = vec![];
+        assert_eq!(exclusive_scan_u64(&mut empty), 0);
+        let mut one = vec![7u64];
+        assert_eq!(exclusive_scan_u64(&mut one), 7);
+        assert_eq!(one, vec![0]);
+    }
+
+    #[test]
+    fn inclusive_matches_manual() {
+        let mut v = vec![1u64, 2, 3, 4];
+        let total = inclusive_scan_u64(&mut v);
+        assert_eq!(v, vec![1, 3, 6, 10]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn inclusive_large_matches_reference() {
+        let mut rng = SplitMix64::new(9);
+        let orig: Vec<u64> = (0..50_000).map(|_| rng.below(10)).collect();
+        let mut want = Vec::with_capacity(orig.len());
+        let mut acc = 0u64;
+        for &x in &orig {
+            acc += x;
+            want.push(acc);
+        }
+        let mut v = orig.clone();
+        let total = inclusive_scan_u64(&mut v);
+        assert_eq!(total, acc);
+        assert_eq!(v, want);
+    }
+
+    #[test]
+    fn csr_offsets_use_case() {
+        // counts -> offsets -> the last offset equals total nnz.
+        let mut counts = vec![2u64, 0, 3, 1];
+        let nnz = exclusive_scan_u64(&mut counts);
+        assert_eq!(counts, vec![0, 2, 2, 5]);
+        assert_eq!(nnz, 6);
+    }
+}

@@ -1,0 +1,260 @@
+//! Parallel sorting.
+//!
+//! Algorithm 1 sorts the `n` coordinate scores; the paper points at the GPU
+//! sorting literature for this step. We implement two classic parallel sorts
+//! so the benches can compare them against rayon's built-in and against the
+//! top-k shortcut:
+//!
+//! * [`par_merge_sort`] — recursive merge sort with a parallel two-way merge
+//!   (split at the median of the longer run). Stable, O(n log n) work,
+//!   O(log² n) depth.
+//! * [`par_sample_sort`] — sample sort: pick splitters from a random-ish
+//!   stride sample, bucket in parallel, sort buckets in parallel.
+//!   Unstable, near-perfect balance for the integer score distributions
+//!   the decoder produces.
+
+use rayon::prelude::*;
+
+/// Below this length the sequential standard-library sort wins.
+const SEQ_CUTOFF: usize = 1 << 13;
+/// Runs shorter than this are merged sequentially.
+const MERGE_CUTOFF: usize = 1 << 12;
+
+/// Stable parallel merge sort by a key function.
+pub fn par_merge_sort<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    let mut buf: Vec<T> = data.to_vec();
+    sort_into(data, &mut buf, &key);
+}
+
+fn sort_into<T, K, F>(data: &mut [T], buf: &mut [T], key: &F)
+where
+    T: Copy + Send + Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    debug_assert_eq!(data.len(), buf.len());
+    if data.len() <= SEQ_CUTOFF {
+        data.sort_by_key(key);
+        return;
+    }
+    let mid = data.len() / 2;
+    let (dl, dr) = data.split_at_mut(mid);
+    let (bl, br) = buf.split_at_mut(mid);
+    rayon::join(|| sort_into(dl, bl, key), || sort_into(dr, br, key));
+    // Merge dl, dr into buf, then copy back.
+    par_merge(dl, dr, buf, key);
+    data.copy_from_slice(buf);
+}
+
+/// Merge two sorted runs into `out` in parallel.
+fn par_merge<T, K, F>(left: &[T], right: &[T], out: &mut [T], key: &F)
+where
+    T: Copy + Send + Sync,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    debug_assert_eq!(left.len() + right.len(), out.len());
+    if out.len() <= MERGE_CUTOFF {
+        seq_merge(left, right, out, key);
+        return;
+    }
+    // Split at the median of the longer run; binary-search the partner.
+    let (l_split, r_split) = if left.len() >= right.len() {
+        let lm = left.len() / 2;
+        let pivot = key(&left[lm]);
+        let rm = right.partition_point(|x| key(x) < pivot);
+        (lm, rm)
+    } else {
+        let rm = right.len() / 2;
+        let pivot = key(&right[rm]);
+        // For stability, equal keys from `left` must come first.
+        let lm = left.partition_point(|x| key(x) <= pivot);
+        (lm, rm)
+    };
+    let (out_lo, out_hi) = out.split_at_mut(l_split + r_split);
+    rayon::join(
+        || par_merge(&left[..l_split], &right[..r_split], out_lo, key),
+        || par_merge(&left[l_split..], &right[r_split..], out_hi, key),
+    );
+}
+
+fn seq_merge<T, K, F>(left: &[T], right: &[T], out: &mut [T], key: &F)
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        // `<=` keeps stability: ties favour the left (earlier) run.
+        let take_left = i < left.len() && (j >= right.len() || key(&left[i]) <= key(&right[j]));
+        if take_left {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+/// Unstable parallel sample sort by a key function.
+pub fn par_sample_sort<T, K, F>(data: &mut [T], key: F)
+where
+    T: Copy + Send + Sync + Default,
+    K: Ord + Send + Sync + Clone,
+    F: Fn(&T) -> K + Sync,
+{
+    let n = data.len();
+    if n <= SEQ_CUTOFF {
+        data.sort_unstable_by_key(&key);
+        return;
+    }
+    let buckets = rayon::current_num_threads().clamp(2, 64);
+    // Oversampled stride sample → splitters.
+    let oversample = 8;
+    let step = (n / (buckets * oversample)).max(1);
+    let mut sample: Vec<K> = data.iter().step_by(step).map(&key).collect();
+    sample.sort_unstable();
+    let splitters: Vec<K> = (1..buckets)
+        .map(|b| sample[(b * sample.len() / buckets).min(sample.len() - 1)].clone())
+        .collect();
+    // Classify every element (parallel), then histogram → offsets.
+    let classes: Vec<u32> = data
+        .par_iter()
+        .map(|x| splitters.partition_point(|s| *s <= key(x)) as u32)
+        .collect();
+    let mut counts = vec![0u64; buckets];
+    for &c in &classes {
+        counts[c as usize] += 1;
+    }
+    let mut offsets = counts.clone();
+    crate::scan::exclusive_scan_u64(&mut offsets);
+    // Scatter into a scratch buffer (sequential pass keeps it simple and is
+    // memory-bound anyway), then sort each bucket in parallel.
+    let mut scratch: Vec<T> = vec![T::default(); n];
+    let mut cursors = offsets.clone();
+    for (idx, &c) in classes.iter().enumerate() {
+        let at = cursors[c as usize] as usize;
+        scratch[at] = data[idx];
+        cursors[c as usize] += 1;
+    }
+    let mut slices: Vec<&mut [T]> = Vec::with_capacity(buckets);
+    let mut rest: &mut [T] = &mut scratch;
+    #[allow(clippy::needless_range_loop)] // cursor walk over two arrays
+    for b in 0..buckets {
+        let len = counts[b] as usize;
+        let (head, tail) = rest.split_at_mut(len);
+        slices.push(head);
+        rest = tail;
+    }
+    slices.into_par_iter().for_each(|s| s.sort_unstable_by_key(&key));
+    data.copy_from_slice(&scratch);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_rng::{Rng64, SplitMix64};
+
+    fn random_vec(n: usize, seed: u64) -> Vec<i64> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n).map(|_| rng.next_u64() as i64 % 10_000).collect()
+    }
+
+    #[test]
+    fn merge_sort_matches_std_small() {
+        let mut a = random_vec(100, 1);
+        let mut b = a.clone();
+        par_merge_sort(&mut a, |x| *x);
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_sort_matches_std_large() {
+        let mut a = random_vec(200_000, 2);
+        let mut b = a.clone();
+        par_merge_sort(&mut a, |x| *x);
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_sort_is_stable() {
+        // Key only on the first tuple element; payload must keep input order.
+        let mut rng = SplitMix64::new(3);
+        let mut v: Vec<(u8, u32)> =
+            (0..100_000u32).map(|i| ((rng.below(4)) as u8, i)).collect();
+        par_merge_sort(&mut v, |x| x.0);
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_sort_descending_key() {
+        let mut a = random_vec(50_000, 4);
+        let mut b = a.clone();
+        par_merge_sort(&mut a, |x| std::cmp::Reverse(*x));
+        b.sort_by_key(|x| std::cmp::Reverse(*x));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_sort_matches_std() {
+        for seed in 0..4 {
+            let mut a = random_vec(150_000, 10 + seed);
+            let mut b = a.clone();
+            par_sample_sort(&mut a, |x| *x);
+            b.sort_unstable();
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sample_sort_constant_input() {
+        let mut a = vec![7i64; 100_000];
+        par_sample_sort(&mut a, |x| *x);
+        assert!(a.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn sample_sort_already_sorted() {
+        let mut a: Vec<i64> = (0..120_000).collect();
+        let want = a.clone();
+        par_sample_sort(&mut a, |x| *x);
+        assert_eq!(a, want);
+    }
+
+    #[test]
+    fn sorts_handle_empty_and_tiny() {
+        let mut empty: Vec<i64> = vec![];
+        par_merge_sort(&mut empty, |x| *x);
+        par_sample_sort(&mut empty, |x| *x);
+        let mut one = vec![5i64];
+        par_merge_sort(&mut one, |x| *x);
+        par_sample_sort(&mut one, |x| *x);
+        assert_eq!(one, vec![5]);
+    }
+
+    #[test]
+    fn score_shape_input() {
+        // (score, index) pairs as produced by the MN decoder: sort by
+        // descending score, ascending index.
+        let mut rng = SplitMix64::new(6);
+        let mut v: Vec<(i64, u32)> =
+            (0..80_000u32).map(|i| ((rng.below(500) as i64) - 250, i)).collect();
+        let mut want = v.clone();
+        par_merge_sort(&mut v, |&(s, i)| (std::cmp::Reverse(s), i));
+        want.sort_by_key(|&(s, i)| (std::cmp::Reverse(s), i));
+        assert_eq!(v, want);
+    }
+}

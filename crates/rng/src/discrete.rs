@@ -1,0 +1,287 @@
+//! Discrete distributions used by the theory checks and noise models.
+//!
+//! The binomial sampler matters twice in this workspace: query noise
+//! (`y' = y + Bin(n, p) − np` style perturbations) and the empirical
+//! verification of the paper's Lemma 3 / Corollary 4 distributional claims.
+//! It uses exact inversion (stable PMF recurrence) for small means and a
+//! normal-approximation with exact correction (rejection against the true
+//! PMF ratio is unnecessary at our accuracy targets; we instead switch to a
+//! binary-splitting recursion that preserves exactness) for large `n`.
+
+use crate::Rng64;
+
+/// Bernoulli distribution with success probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Create a Bernoulli(p) sampler; `p` is clamped into `[0, 1]`.
+    pub fn new(p: f64) -> Self {
+        Self { p: p.clamp(0.0, 1.0) }
+    }
+
+    /// The success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draw a sample.
+    #[inline]
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_f64() < self.p
+    }
+}
+
+/// Geometric distribution on `{0, 1, 2, …}`: number of failures before the
+/// first success with per-trial success probability `p`.
+#[derive(Clone, Copy, Debug)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Create a Geometric(p) sampler.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p <= 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1], got {p}");
+        Self { p }
+    }
+
+    /// Draw a sample via inversion of the closed-form CDF.
+    #[inline]
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        let u = 1.0 - rng.next_f64(); // in (0, 1]
+        (u.ln() / (1.0 - self.p).ln()).floor() as u64
+    }
+}
+
+/// Binomial distribution `Bin(n, p)`.
+///
+/// Sampling is exact for all parameter ranges:
+/// * `n ≤ 64` — bit-population of Bernoulli words would be biased for
+///   general `p`, so we use per-trial Bernoulli draws.
+/// * small mean — inversion along the PMF recurrence
+///   `P(X = x+1) = P(X = x) · (n−x)/(x+1) · p/(1−p)`.
+/// * otherwise — exact binary splitting: `Bin(n,p)` decomposes around a
+///   Beta-distributed pivot; we use the simpler recursive halving
+///   `Bin(n,p) = Bin(n/2,p) + Bin(n−n/2,p)` until the mean is small enough
+///   for inversion. Depth is logarithmic, so the cost is O(log n) inversions.
+#[derive(Clone, Copy, Debug)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+/// Mean threshold below which plain inversion is both exact and fast.
+const INVERSION_MEAN_LIMIT: f64 = 64.0;
+/// Trial-count threshold below which per-trial Bernoulli draws win.
+const DIRECT_TRIALS_LIMIT: u64 = 64;
+
+impl Binomial {
+    /// Create a `Bin(n, p)` sampler; `p` is clamped into `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Self {
+        Self { n, p: p.clamp(0.0, 1.0) }
+    }
+
+    /// Number of trials.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean `np`.
+    pub fn mean(&self) -> f64 {
+        self.n as f64 * self.p
+    }
+
+    /// Draw a sample.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R) -> u64 {
+        sample_binomial(self.n, self.p, rng)
+    }
+}
+
+fn sample_binomial<R: Rng64 + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Exploit symmetry so the inversion walk starts from the short side.
+    if p > 0.5 {
+        return n - sample_binomial(n, 1.0 - p, rng);
+    }
+    if n <= DIRECT_TRIALS_LIMIT {
+        return (0..n).filter(|_| rng.next_f64() < p).count() as u64;
+    }
+    if n as f64 * p <= INVERSION_MEAN_LIMIT {
+        return sample_inversion(n, p, rng);
+    }
+    // Binary splitting: halve trial counts until inversion applies.
+    let half = n / 2;
+    sample_binomial(half, p, rng) + sample_binomial(n - half, p, rng)
+}
+
+/// Inversion sampling: walk the CDF from 0 using the PMF recurrence.
+fn sample_inversion<R: Rng64 + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    // P(X = 0) = q^n, computed in log space for stability.
+    let mut pmf = (n as f64 * q.ln()).exp();
+    let mut cdf = pmf;
+    let mut u = rng.next_f64();
+    // Guard: astronomically unlikely tail overflow falls back to the mode.
+    let mut x: u64 = 0;
+    while u > cdf {
+        if x >= n {
+            return n;
+        }
+        pmf *= s * (n - x) as f64 / (x + 1) as f64;
+        x += 1;
+        cdf += pmf;
+        if pmf < f64::MIN_POSITIVE && cdf < u {
+            // Numerical tail exhausted; re-draw (probability ~0).
+            x = 0;
+            pmf = (n as f64 * q.ln()).exp();
+            cdf = pmf;
+            u = rng.next_f64();
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mt19937_64;
+
+    fn mean_var(samples: &[u64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let mut rng = Mt19937_64::new(1);
+        let d = Bernoulli::new(0.3);
+        let hits = (0..50_000).filter(|_| d.sample(&mut rng)).count();
+        let f = hits as f64 / 50_000.0;
+        assert!((f - 0.3).abs() < 0.01, "freq={f}");
+    }
+
+    #[test]
+    fn bernoulli_clamps_out_of_range() {
+        assert_eq!(Bernoulli::new(2.0).p(), 1.0);
+        assert_eq!(Bernoulli::new(-1.0).p(), 0.0);
+    }
+
+    #[test]
+    fn geometric_mean_matches_theory() {
+        // E[X] = (1-p)/p = 4 for p = 0.2.
+        let mut rng = Mt19937_64::new(2);
+        let d = Geometric::new(0.2);
+        let samples: Vec<u64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = mean_var(&samples);
+        assert!((mean - 4.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_constant_zero() {
+        let mut rng = Mt19937_64::new(3);
+        let d = Geometric::new(1.0);
+        assert!((0..100).all(|_| d.sample(&mut rng) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn geometric_rejects_zero_p() {
+        let _ = Geometric::new(0.0);
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = Mt19937_64::new(4);
+        assert_eq!(Binomial::new(0, 0.5).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(100, 0.0).sample(&mut rng), 0);
+        assert_eq!(Binomial::new(100, 1.0).sample(&mut rng), 100);
+    }
+
+    #[test]
+    fn binomial_small_n_moments() {
+        let mut rng = Mt19937_64::new(5);
+        let d = Binomial::new(20, 0.25);
+        let samples: Vec<u64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - 5.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 3.75).abs() < 0.1, "var={var}");
+    }
+
+    #[test]
+    fn binomial_inversion_regime_moments() {
+        // n=1000, p=0.01 ⇒ mean 10, var 9.9 (inversion path).
+        let mut rng = Mt19937_64::new(6);
+        let d = Binomial::new(1000, 0.01);
+        let samples: Vec<u64> = (0..60_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - 10.0).abs() < 0.1, "mean={mean}");
+        assert!((var - 9.9).abs() < 0.35, "var={var}");
+    }
+
+    #[test]
+    fn binomial_splitting_regime_moments() {
+        // n=100_000, p=0.3 ⇒ mean 30_000, var 21_000 (splitting path).
+        let mut rng = Mt19937_64::new(7);
+        let d = Binomial::new(100_000, 0.3);
+        let samples: Vec<u64> = (0..4_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - 30_000.0).abs() < 30.0, "mean={mean}");
+        assert!((var - 21_000.0).abs() < 2_500.0, "var={var}");
+    }
+
+    #[test]
+    fn binomial_symmetry_path_moments() {
+        // p > 0.5 goes through the reflection branch.
+        let mut rng = Mt19937_64::new(8);
+        let d = Binomial::new(1000, 0.9);
+        let samples: Vec<u64> = (0..60_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - 900.0).abs() < 1.0, "mean={mean}");
+        assert!((var - 90.0).abs() < 4.0, "var={var}");
+    }
+
+    #[test]
+    fn binomial_never_exceeds_n() {
+        let mut rng = Mt19937_64::new(9);
+        for &(n, p) in &[(1u64, 0.5), (10, 0.99), (1000, 0.5), (1 << 20, 0.001)] {
+            let d = Binomial::new(n, p);
+            for _ in 0..200 {
+                assert!(d.sample(&mut rng) <= n);
+            }
+        }
+    }
+
+    /// The design's Δ_i degree is Bin(mΓ, 1/n); sanity-check that regime.
+    #[test]
+    fn binomial_design_degree_regime() {
+        let mut rng = Mt19937_64::new(10);
+        // n=1000, m=300, Γ=500 ⇒ Δ_i ~ Bin(150_000, 0.001), mean 150.
+        let d = Binomial::new(150_000, 0.001);
+        let samples: Vec<u64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_var(&samples);
+        assert!((mean - 150.0).abs() < 0.5, "mean={mean}");
+        assert!((var - 149.85).abs() < 7.0, "var={var}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-trial phase-transition search (Fig. 2).
+//!
+//! Fig. 2 plots “the required number of queries until σ can be exactly
+//! reconstructed”. Per trial we search the smallest `m` at which the MN
+//! decoder succeeds *for that trial's seed path*: an exponential ramp
+//! brackets the transition, then bisection narrows it. Success at a probed
+//! `m` uses a design freshly sampled from the trial's `(m)`-indexed
+//! substream, so probes are independent but reproducible.
+
+use pooled_rng::SeedSequence;
+
+use crate::replicate::{mn_trial, run_trials};
+use crate::summary::{quantile, Summary};
+
+/// Transition-search parameters.
+#[derive(Clone, Debug)]
+pub struct TransitionConfig {
+    /// Signal length.
+    pub n: usize,
+    /// Signal weight.
+    pub k: usize,
+    /// Trials (the paper uses 100).
+    pub trials: usize,
+    /// Initial probe for the ramp (e.g. the theory value / 4).
+    pub m_start: usize,
+    /// Hard cap on probed `m` (panic-free failure bound).
+    pub m_cap: usize,
+    /// Master seed.
+    pub master_seed: u64,
+}
+
+/// Aggregated minimal-`m` statistics across trials.
+#[derive(Clone, Debug)]
+pub struct TransitionStats {
+    /// Per-trial minimal `m` values (trial order).
+    pub per_trial: Vec<usize>,
+    /// Mean minimal `m`.
+    pub mean: f64,
+    /// Standard deviation.
+    pub stddev: f64,
+    /// Median.
+    pub median: f64,
+    /// 25%/75% quantiles.
+    pub quartiles: (f64, f64),
+    /// Number of trials that hit the cap without succeeding.
+    pub capped: usize,
+}
+
+/// Probe one `(trial, m)` cell: fresh design + signal from the trial's
+/// m-indexed substream.
+fn probe(n: usize, k: usize, m: usize, trial_node: &SeedSequence) -> bool {
+    mn_trial(n, k, m, &trial_node.child("probe", m as u64)).exact
+}
+
+/// Minimal `m` for one trial by ramp + bisection. Returns `m_cap` when even
+/// the cap fails.
+fn minimal_m(cfg: &TransitionConfig, trial_node: &SeedSequence) -> usize {
+    let mut hi = cfg.m_start.max(2);
+    // Exponential ramp until success (or cap).
+    while !probe(cfg.n, cfg.k, hi, trial_node) {
+        if hi >= cfg.m_cap {
+            return cfg.m_cap;
+        }
+        hi = (hi * 2).min(cfg.m_cap);
+    }
+    let mut lo = hi / 2; // last known failure scale (or below start)
+    if lo < 1 {
+        return hi;
+    }
+    // Bisect the bracket [lo (fail-ish), hi (success)].
+    while hi - lo > 1 + hi / 64 {
+        let mid = lo + (hi - lo) / 2;
+        if probe(cfg.n, cfg.k, mid, trial_node) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Run the full transition search across trials (parallel).
+pub fn find_transition(cfg: &TransitionConfig) -> TransitionStats {
+    assert!(cfg.trials > 0, "need at least one trial");
+    assert!(cfg.m_start >= 1 && cfg.m_cap >= cfg.m_start, "bad m bracket");
+    let master = SeedSequence::new(cfg.master_seed);
+    let per_trial = run_trials(&master, cfg.trials, |_, node| minimal_m(cfg, &node));
+    let capped = per_trial.iter().filter(|&&m| m >= cfg.m_cap).count();
+    let mut summary = Summary::new();
+    let as_f64: Vec<f64> = per_trial.iter().map(|&m| m as f64).collect();
+    for &x in &as_f64 {
+        summary.push(x);
+    }
+    TransitionStats {
+        mean: summary.mean(),
+        stddev: summary.stddev(),
+        median: quantile(&as_f64, 0.5),
+        quartiles: (quantile(&as_f64, 0.25), quantile(&as_f64, 0.75)),
+        per_trial,
+        capped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_theory::thresholds::{k_of, m_mn_finite};
+
+    #[test]
+    fn transition_sits_near_finite_size_theory() {
+        // n=300, θ=0.3: the measured transition should land within a factor
+        // ~[0.3, 1.6] of the finite-size MN threshold (small-n regime).
+        let n = 300;
+        let theta = 0.3;
+        let k = k_of(n, theta);
+        let theory = m_mn_finite(n, theta);
+        let cfg = TransitionConfig {
+            n,
+            k,
+            trials: 12,
+            m_start: (theory / 8.0).ceil() as usize,
+            m_cap: (theory * 8.0).ceil() as usize,
+            master_seed: 1905,
+        };
+        let stats = find_transition(&cfg);
+        assert_eq!(stats.capped, 0, "some trials never succeeded");
+        let ratio = stats.mean / theory;
+        assert!((0.2..1.8).contains(&ratio), "mean {} vs theory {theory}", stats.mean);
+        // Quartiles ordered.
+        assert!(stats.quartiles.0 <= stats.median && stats.median <= stats.quartiles.1);
+    }
+
+    #[test]
+    fn deterministic_given_master_seed() {
+        let cfg = TransitionConfig {
+            n: 200,
+            k: 4,
+            trials: 6,
+            m_start: 8,
+            m_cap: 2000,
+            master_seed: 3,
+        };
+        let a = find_transition(&cfg);
+        let b = find_transition(&cfg);
+        assert_eq!(a.per_trial, b.per_trial);
+    }
+
+    #[test]
+    fn cap_is_reported() {
+        // Absurd cap of 2 queries for k=4 in n=200: every trial caps.
+        let cfg = TransitionConfig {
+            n: 200,
+            k: 4,
+            trials: 4,
+            m_start: 1,
+            m_cap: 2,
+            master_seed: 5,
+        };
+        let stats = find_transition(&cfg);
+        assert_eq!(stats.capped, 4);
+        assert!(stats.per_trial.iter().all(|&m| m == 2));
+    }
+
+    #[test]
+    fn larger_theta_needs_more_queries() {
+        let mk_cfg = |theta: f64| {
+            let n = 300;
+            let k = k_of(n, theta);
+            let theory = m_mn_finite(n, theta);
+            TransitionConfig {
+                n,
+                k,
+                trials: 8,
+                m_start: (theory / 8.0).ceil().max(2.0) as usize,
+                m_cap: (theory * 8.0).ceil() as usize,
+                master_seed: 11,
+            }
+        };
+        let low = find_transition(&mk_cfg(0.2));
+        let high = find_transition(&mk_cfg(0.5));
+        assert!(
+            high.mean > low.mean,
+            "θ=0.5 mean {} should exceed θ=0.2 mean {}",
+            high.mean,
+            low.mean
+        );
+    }
+}

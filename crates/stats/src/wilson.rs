@@ -1,0 +1,69 @@
+//! Wilson score intervals for empirical success probabilities.
+//!
+//! Preferred over the normal (Wald) interval because success rates in the
+//! phase-transition region sit near 0 or 1 where Wald collapses.
+
+/// Two-sided Wilson interval for `successes` out of `trials` at confidence
+/// `z` standard deviations (z = 1.96 for 95%).
+///
+/// Returns `(lo, hi)` clamped to `[0, 1]`; `(0, 1)` when `trials == 0`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(successes <= trials, "successes cannot exceed trials");
+    assert!(z > 0.0, "z must be positive");
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_point_estimate() {
+        for &(s, t) in &[(0u64, 10u64), (5, 10), (10, 10), (50, 100)] {
+            let (lo, hi) = wilson_interval(s, t, 1.96);
+            let p = s as f64 / t as f64;
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "({s},{t}): [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn zero_successes_lower_bound_is_zero() {
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.1);
+    }
+
+    #[test]
+    fn full_successes_upper_bound_is_one() {
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(hi > 1.0 - 1e-12, "hi={hi}");
+        assert!(lo > 0.9);
+    }
+
+    #[test]
+    fn interval_shrinks_with_trials() {
+        let (lo1, hi1) = wilson_interval(5, 10, 1.96);
+        let (lo2, hi2) = wilson_interval(500, 1000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    fn no_trials_is_vacuous() {
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn more_successes_than_trials_rejected() {
+        let _ = wilson_interval(2, 1, 1.96);
+    }
+}

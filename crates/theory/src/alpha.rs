@@ -1,0 +1,119 @@
+//! Corollary 6: the score-threshold optimization behind Theorem 1.
+//!
+//! With `m = d·k·ln(n/k)` queries, the MN proof separates one-entry scores
+//! from zero-entry scores with a threshold placed at `(1−α)m/2` above the
+//! conditional mean. Separation holds w.h.p. when both
+//!
+//! ```text
+//! (θ−1)·α²·d / (4γ) + θ < 0        (one-entries stay above)      — (6)
+//! (θ−1)·(1−α)²·d / (4γ) + 1 < 0    (zero-entries stay below)     — (7)
+//! ```
+//!
+//! The first is decreasing in α, the second increasing; equalizing them
+//! gives `α = (d − 4γ)/(2d)` … wait — solving the paper's balance equation
+//! yields `α*` below, and the minimal feasible `d` is
+//! `d(θ) = 4γ·(1+√θ)/(1−√θ)`, which is exactly Theorem 1's constant.
+
+use crate::thresholds::GAMMA_STAR;
+
+/// Exponent of condition (6): negative ⇔ all one-entries clear the
+/// threshold w.h.p.
+pub fn one_entry_exponent(theta: f64, alpha: f64, d: f64) -> f64 {
+    (theta - 1.0) * alpha * alpha * d / (4.0 * GAMMA_STAR) + theta
+}
+
+/// Exponent of condition (7): negative ⇔ all zero-entries stay below the
+/// threshold w.h.p.
+pub fn zero_entry_exponent(theta: f64, alpha: f64, d: f64) -> f64 {
+    (theta - 1.0) * (1.0 - alpha) * (1.0 - alpha) * d / (4.0 * GAMMA_STAR) + 1.0
+}
+
+/// The balancing `α` that makes the two exponents equal:
+/// from `(θ−1)α²d/(4γ) + θ = (θ−1)(1−α)²d/(4γ) + 1` one gets
+/// `α = (d − 4γ)/(2d)` … in the paper's `o(1)`-free form
+/// `α* = (d − 4γ)/(2d)`.
+pub fn optimal_alpha(d: f64) -> f64 {
+    (d - 4.0 * GAMMA_STAR) / (2.0 * d)
+}
+
+/// The minimal query constant `d(θ) = 4γ(1+√θ)/(1−√θ)` of Theorem 1.
+///
+/// # Panics
+/// Panics if `θ ∉ (0, 1)`.
+pub fn d_min(theta: f64) -> f64 {
+    assert!(theta > 0.0 && theta < 1.0, "need 0 < θ < 1, got {theta}");
+    4.0 * GAMMA_STAR * (1.0 + theta.sqrt()) / (1.0 - theta.sqrt())
+}
+
+/// Whether any `α ∈ (0,1)` satisfies both separation conditions at `(θ, d)`.
+pub fn separation_feasible(theta: f64, d: f64) -> bool {
+    let alpha = optimal_alpha(d);
+    if !(0.0..1.0).contains(&alpha) {
+        return false;
+    }
+    one_entry_exponent(theta, alpha, d) < 0.0 && zero_entry_exponent(theta, alpha, d) < 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponents_balance_at_optimal_alpha() {
+        for theta in [0.1, 0.3, 0.5, 0.7] {
+            let d = d_min(theta) * 1.3;
+            let a = optimal_alpha(d);
+            let e1 = one_entry_exponent(theta, a, d);
+            let e0 = zero_entry_exponent(theta, a, d);
+            assert!((e1 - e0).abs() < 1e-12, "θ={theta}: {e1} vs {e0}");
+        }
+    }
+
+    #[test]
+    fn feasible_just_above_threshold() {
+        for theta in [0.1, 0.2, 0.3, 0.4, 0.6, 0.8] {
+            let d = d_min(theta) * 1.01;
+            assert!(separation_feasible(theta, d), "θ={theta}");
+        }
+    }
+
+    #[test]
+    fn infeasible_below_threshold() {
+        for theta in [0.1, 0.2, 0.3, 0.4, 0.6, 0.8] {
+            let d = d_min(theta) * 0.99;
+            // Not just the balanced α — *no* α may work below d(θ).
+            let works = (1..100)
+                .map(|i| i as f64 / 100.0)
+                .any(|a| {
+                    one_entry_exponent(theta, a, d) < 0.0
+                        && zero_entry_exponent(theta, a, d) < 0.0
+                });
+            assert!(!works, "θ={theta}: separation should fail below d_min");
+        }
+    }
+
+    #[test]
+    fn d_min_matches_theorem1_prefactor() {
+        // Theorem 1: m_MN = d(θ)·k·ln(n/k) with d(θ) = 4γ(1+√θ)/(1−√θ).
+        let theta = 0.3;
+        let d = d_min(theta);
+        let expect = 4.0 * GAMMA_STAR * (1.0 + theta.sqrt()) / (1.0 - theta.sqrt());
+        assert!((d - expect).abs() < 1e-15);
+        assert!((d - 5.386).abs() < 1e-2, "d(0.3)={d}");
+    }
+
+    #[test]
+    fn d_min_diverges_toward_theta_one() {
+        assert!(d_min(0.99) > d_min(0.9));
+        assert!(d_min(0.999) > 1000.0 * GAMMA_STAR);
+    }
+
+    #[test]
+    fn optimal_alpha_in_unit_interval_when_d_large() {
+        for theta in [0.1, 0.5, 0.9] {
+            let d = d_min(theta) * 1.5;
+            let a = optimal_alpha(d);
+            assert!((0.0..1.0).contains(&a), "θ={theta} α={a}");
+        }
+    }
+}

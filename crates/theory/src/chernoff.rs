@@ -1,0 +1,124 @@
+//! Lemma 12: multiplicative Chernoff bounds, plus the union-bound helpers
+//! the proofs of Lemma 3 and Corollary 6 chain them with.
+
+/// Upper-tail bound: `P[X > (1+δ)np] ≤ exp(−npδ²/(2+δ))` for
+/// `X ~ Bin(n, p)` and `δ > 0`.
+pub fn upper_tail(np: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0, "upper tail needs δ > 0");
+    (-np * delta * delta / (2.0 + delta)).exp()
+}
+
+/// Lower-tail bound: `P[X < (1−δ)np] ≤ exp(−npδ²/2)` for `δ ∈ (0, 1)`.
+pub fn lower_tail(np: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "lower tail needs δ ∈ (0,1)");
+    (-np * delta * delta / 2.0).exp()
+}
+
+/// Two-sided bound via both tails.
+pub fn two_sided(np: f64, delta: f64) -> f64 {
+    (upper_tail(np, delta) + lower_tail(np, delta)).min(1.0)
+}
+
+/// The deviation `δ` that makes the union bound over `count` events vanish
+/// at rate `n^{−extra}`: solves `count · exp(−np·δ²/2) = n^{−extra}`.
+pub fn union_bound_delta(np: f64, count: f64, n: f64, extra: f64) -> f64 {
+    assert!(np > 0.0 && count >= 1.0 && n > 1.0);
+    ((2.0 / np) * (count.ln() + extra * n.ln())).sqrt()
+}
+
+/// Lemma 3's concrete instantiation: the `O(√(m ln n))` deviation window for
+/// the degrees `Δ_i ~ Bin(mΓ, 1/n)` that fails with probability `n^{−ω(1)}`.
+pub fn degree_window(m: f64, n: f64, c: f64) -> f64 {
+    (c * m * n.ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_probabilities() {
+        for np in [1.0, 10.0, 1000.0] {
+            for delta in [0.1, 0.5, 0.9] {
+                assert!((0.0..=1.0).contains(&upper_tail(np, delta)));
+                assert!((0.0..=1.0).contains(&lower_tail(np, delta)));
+                assert!((0.0..=1.0).contains(&two_sided(np, delta)));
+            }
+        }
+    }
+
+    #[test]
+    fn tails_shrink_with_mean_and_delta() {
+        assert!(upper_tail(100.0, 0.5) < upper_tail(10.0, 0.5));
+        assert!(upper_tail(100.0, 0.9) < upper_tail(100.0, 0.1));
+        assert!(lower_tail(100.0, 0.5) < lower_tail(10.0, 0.5));
+    }
+
+    #[test]
+    fn lower_tail_is_tighter_than_upper() {
+        // exp(−npδ²/2) ≤ exp(−npδ²/(2+δ)).
+        for delta in [0.1, 0.5, 0.9] {
+            assert!(lower_tail(50.0, delta) <= upper_tail(50.0, delta));
+        }
+    }
+
+    #[test]
+    fn union_bound_delta_suffices() {
+        let np = 10_000.0;
+        let n = 1_000_000.0;
+        let delta = union_bound_delta(np, n, n, 1.0);
+        let failure = n * lower_tail(np, delta.min(0.999));
+        assert!(failure <= 1.0 / n * 1.001, "union bound failed: {failure}");
+    }
+
+    #[test]
+    fn degree_window_matches_lemma3_shape() {
+        // Window grows like √m and √ln n.
+        let w1 = degree_window(100.0, 1000.0, 1.0);
+        let w2 = degree_window(400.0, 1000.0, 1.0);
+        assert!((w2 / w1 - 2.0).abs() < 1e-12);
+        let w3 = degree_window(100.0, 1000.0 * 1000.0, 1.0);
+        assert!((w3 / w1 - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_binomial_respects_chernoff() {
+        // Monte-Carlo check: frequency of exceeding (1+δ)np never beats the
+        // bound by more than statistical noise.
+        use pooled_rng_test_support::simple_binomial;
+        let (n_trials, p, delta) = (2000u64, 0.05, 0.5);
+        let np = n_trials as f64 * p;
+        let bound = upper_tail(np, delta);
+        let mut exceed = 0u32;
+        let reps = 2000;
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..reps {
+            let x = simple_binomial(n_trials, p, &mut state);
+            if (x as f64) > (1.0 + delta) * np {
+                exceed += 1;
+            }
+        }
+        let freq = exceed as f64 / reps as f64;
+        assert!(freq <= bound * 3.0 + 0.01, "freq={freq} bound={bound}");
+    }
+
+    /// Tiny self-contained binomial sampler so this dependency-free crate
+    /// can Monte-Carlo its own bounds in tests.
+    mod pooled_rng_test_support {
+        pub fn simple_binomial(n: u64, p: f64, state: &mut u64) -> u64 {
+            let mut count = 0;
+            for _ in 0..n {
+                // xorshift64*
+                *state ^= *state >> 12;
+                *state ^= *state << 25;
+                *state ^= *state >> 27;
+                let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64
+                    / (1u64 << 53) as f64;
+                if u < p {
+                    count += 1;
+                }
+            }
+            count
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Entropy and divergence in natural logarithms.
+//!
+//! The paper's rate-function computation (Lemma 9) uses the natural-log
+//! entropy `H(p) = −p ln p − (1−p) ln(1−p)` through the standard asymptotic
+//! `n⁻¹ ln C(n, np) → H(p)`. We also expose the exact normalized log
+//! binomial so tests can quantify how fast that asymptotic kicks in.
+
+use crate::special::ln_choose;
+
+/// Natural-log binary entropy `H(p)`, with the convention `0 ln 0 = 0`.
+///
+/// Inputs outside `[0, 1]` are a caller bug; the function panics to surface
+/// it rather than silently returning NaN.
+pub fn h(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "entropy argument {p} outside [0,1]");
+    let mut acc = 0.0;
+    if p > 0.0 {
+        acc -= p * p.ln();
+    }
+    if p < 1.0 {
+        acc -= (1.0 - p) * (1.0 - p).ln();
+    }
+    acc
+}
+
+/// KL divergence `D(p‖q)` in nats (with the usual 0-conventions).
+///
+/// # Panics
+/// Panics when the divergence is infinite (`p > 0` where `q = 0`).
+pub fn kl(p: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&q));
+    let term = |a: f64, b: f64| {
+        if a == 0.0 {
+            0.0
+        } else {
+            assert!(b > 0.0, "infinite divergence: mass {a} where q is 0");
+            a * (a / b).ln()
+        }
+    };
+    term(p, q) + term(1.0 - p, 1.0 - q)
+}
+
+/// Exact `n⁻¹ ln C(n, k)` — the finite-`n` quantity `H(k/n)` approximates.
+pub fn normalized_ln_choose(n: u64, k: u64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    ln_choose(n, k) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_endpoints_are_zero() {
+        assert_eq!(h(0.0), 0.0);
+        assert_eq!(h(1.0), 0.0);
+    }
+
+    #[test]
+    fn entropy_max_at_half() {
+        assert!((h(0.5) - std::f64::consts::LN_2).abs() < 1e-15);
+        for p in [0.1, 0.3, 0.49, 0.7, 0.99] {
+            assert!(h(p) <= h(0.5));
+        }
+    }
+
+    #[test]
+    fn entropy_symmetry() {
+        for p in [0.0, 0.1, 0.25, 0.4] {
+            assert!((h(p) - h(1.0 - p)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn entropy_rejects_invalid_input() {
+        let _ = h(1.5);
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        for p in [0.2, 0.5, 0.9] {
+            assert!(kl(p, p).abs() < 1e-15);
+        }
+        assert!(kl(0.3, 0.6) > 0.0);
+        assert!(kl(0.6, 0.3) > 0.0);
+    }
+
+    #[test]
+    fn kl_asymmetry_example() {
+        assert!((kl(0.1, 0.5) - kl(0.5, 0.1)).abs() > 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite divergence")]
+    fn kl_detects_support_mismatch() {
+        let _ = kl(0.5, 0.0);
+    }
+
+    #[test]
+    fn normalized_choose_converges_to_entropy() {
+        // |n⁻¹ ln C(n, pn) − H(p)| = O(ln n / n).
+        let p = 0.3;
+        let mut last_err = f64::INFINITY;
+        for n in [100u64, 1_000, 10_000, 100_000] {
+            let k = (p * n as f64).round() as u64;
+            let err = (normalized_ln_choose(n, k) - h(k as f64 / n as f64)).abs();
+            assert!(err < last_err, "error not shrinking at n={n}");
+            last_err = err;
+        }
+        assert!(last_err < 1e-4);
+    }
+}

@@ -1,0 +1,236 @@
+//! Pool-size generalization of Theorem 1 — and a correction the
+//! generalization surfaces.
+//!
+//! The paper fixes the pool size at `Γ = n/2` "for concreteness"; nothing in
+//! the Chernoff analysis of §III requires that choice. Redoing Corollary 6
+//! for an arbitrary pool fraction `c = Γ/n` (so `γ(c) = 1 − e^{−c}` replaces
+//! `1 − 1/√e` and `E[Δ_i] = c·m` replaces `m/2`) gives the **verbatim
+//! extension** of the paper's constant,
+//!
+//! ```text
+//! d_ext(c, θ) = (2γ(c)/c) · (1+√θ)/(1−√θ),          (paper's route)
+//! ```
+//!
+//! which recovers Theorem 1's `4(1−1/√e)(1+√θ)/(1−√θ)` at `c = 1/2` and is
+//! *decreasing* in `c` — it predicts that bigger pools always help.
+//!
+//! Simulation says the opposite (see the `gamma_sweep` experiment and the
+//! `pooled-core::mn_general` tests): at fixed `m`, recovery degrades
+//! monotonically as `c` grows. The discrepancy sits in the paper's Eq. (5),
+//! which assigns one- and zero-entries a *common* conditional mean
+//! `(1±δ)γkm/2`. By the paper's own Corollary 4 the means differ — a
+//! one-entry's neighborhood draws aim at `k−1` remaining one-entries, not
+//! `k` — which shifts the usable score separation from `c·m` down to
+//!
+//! ```text
+//! separation = c·m·(1 − γ(c)),
+//! ```
+//!
+//! a `Θ(m)` correction that the `(1+o(1))` in Eq. (5) silently absorbs. It
+//! is harmless at small `c` (the regime the paper simulates: `1−γ(1/2) ≈
+//! 0.61`) but dominant for `c ≥ 1`. Propagating it through the same
+//! Chernoff optimization yields the **shift-corrected constant**
+//!
+//! ```text
+//! d_cor(c, θ) = (2γ(c) / (c·(1−γ(c))²)) · (1+√θ)/(1−√θ),
+//! ```
+//!
+//! which is *increasing* in `c`: per query, smaller pools are never worse
+//! in this model, and the paper's `c = 1/2` costs ≈ 2.1× more queries than
+//! the `c → 0` limit while `c = 1` costs ≈ 2.2× more than `c = 1/2`.
+//! Both formulas come from upper-bound arguments (Chernoff + union bound),
+//! so their absolute level is conservative; what simulation can and does
+//! verify is the **shape** `m*(c)/m*(1/2)`, which follows `d_cor`, not
+//! `d_ext`.
+
+/// Distinct-query fraction `γ(c) = 1 − e^{−c}` at pool fraction `c = Γ/n`:
+/// the probability that a given entry lands in a given query at least once.
+pub fn gamma_of(c: f64) -> f64 {
+    assert!(c > 0.0, "pool fraction must be positive, got {c}");
+    -(-c).exp_m1()
+}
+
+/// The verbatim pool-size extension of Theorem 1's constant,
+/// `d_ext(c, θ) = (2γ(c)/c)·(1+√θ)/(1−√θ)` — the paper's own derivation
+/// with `1/2` replaced by `c`. Decreasing in `c`; known-optimistic for
+/// large `c` (see the module docs).
+///
+/// # Panics
+/// Panics if `θ ∉ (0, 1)` or `c ≤ 0`.
+pub fn d_paper_extension(c: f64, theta: f64) -> f64 {
+    assert!(theta > 0.0 && theta < 1.0, "need 0 < θ < 1, got {theta}");
+    2.0 * gamma_of(c) / c * (1.0 + theta.sqrt()) / (1.0 - theta.sqrt())
+}
+
+/// The mean-shift-corrected constant
+/// `d_cor(c, θ) = (2γ(c)/(c·(1−γ(c))²))·(1+√θ)/(1−√θ)`, obtained by using
+/// Corollary 4's exact conditional means (separation `c·m·(1−γ(c))`)
+/// instead of Eq. (5)'s common approximation. Increasing in `c`.
+///
+/// # Panics
+/// Panics if `θ ∉ (0, 1)` or `c ≤ 0`.
+pub fn d_shift_corrected(c: f64, theta: f64) -> f64 {
+    assert!(theta > 0.0 && theta < 1.0, "need 0 < θ < 1, got {theta}");
+    let g = gamma_of(c);
+    2.0 * g / (c * (1.0 - g) * (1.0 - g)) * (1.0 + theta.sqrt()) / (1.0 - theta.sqrt())
+}
+
+/// Query threshold from the paper-extension constant:
+/// `m = d_ext(c,θ)·k·ln(n/k)`. Recovers `thresholds::m_mn` at `c = 1/2`.
+pub fn m_mn_extension(n: usize, theta: f64, c: f64) -> f64 {
+    let k = crate::thresholds::k_of(n, theta) as f64;
+    d_paper_extension(c, theta) * k * (n as f64 / k).ln()
+}
+
+/// The empirically testable *shape*: predicted query-count ratio
+/// `m*(c)/m*(1/2) = d_cor(c,θ)/d_cor(1/2,θ)` at matched `(n, θ)`.
+pub fn relative_cost_vs_half(c: f64, theta: f64) -> f64 {
+    d_shift_corrected(c, theta) / d_shift_corrected(0.5, theta)
+}
+
+/// The optimal score-split point of the generalized Corollary 6 at
+/// separation budget `d`: `α = (d − d₀/ (1+√θ)·…)`… evaluated directly as
+/// `α = √θ/(1+√θ)` at the minimal `d` and clamped linear interpolation
+/// otherwise: `α(c, d) = (d − d_min·(1−√θ)/(1+√θ))/(2d)·(1+√θ)²/…`.
+///
+/// In practice the decoder never needs `α` (it ranks, it does not
+/// threshold); this is exposed for the threshold-visualization experiment.
+/// At `d = d_cor(c, θ)` it returns exactly `√θ/(1+√θ)`.
+pub fn alpha_general(c: f64, theta: f64, d: f64) -> f64 {
+    // Both Chernoff conditions use A = (1−θ)·d/d_unit with d_unit(c) the
+    // θ-free part of d_cor; equality of the two conditions gives
+    // α = (1 − √(θ_eff))-style split. Solve the same quadratic as the
+    // paper: α²·A = θ, (1−α)²·A = 1 ⇒ at the critical A, α = √θ/(1+√θ);
+    // above it, α can sit anywhere in the feasible window — return the
+    // midpoint of that window.
+    let g = gamma_of(c);
+    let unit = 2.0 * g / (c * (1.0 - g) * (1.0 - g));
+    let a_cap = (1.0 - theta) * d / unit;
+    let lo = (theta / a_cap).sqrt().min(1.0); // smallest feasible α
+    let hi = 1.0 - (1.0 / a_cap).sqrt().max(0.0); // largest feasible α
+    ((lo + hi) / 2.0).clamp(0.0, 1.0)
+}
+
+/// Grid-search the pool fraction minimizing `d_cor(c, θ)` over
+/// `[c_min, c_max]`. Returns `(c*, d_cor(c*, θ))`.
+///
+/// Because `d_cor` is strictly increasing, the minimizer is always `c_min`
+/// — the function exists so experiments *demonstrate* the monotonicity
+/// (and its direction, which contradicts the naive extension) rather than
+/// assume it.
+pub fn optimal_pool_fraction(theta: f64, c_min: f64, c_max: f64, grid: usize) -> (f64, f64) {
+    assert!(c_min > 0.0 && c_max >= c_min && grid >= 2, "bad pool-fraction grid");
+    let mut best = (c_min, d_shift_corrected(c_min, theta));
+    for i in 0..=grid {
+        let c = c_min + (c_max - c_min) * i as f64 / grid as f64;
+        let d = d_shift_corrected(c, theta);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thresholds::{m_mn, GAMMA_STAR};
+
+    #[test]
+    fn gamma_of_half_is_gamma_star() {
+        assert!((gamma_of(0.5) - GAMMA_STAR).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gamma_of_limits() {
+        assert!(gamma_of(1e-9) < 2e-9); // γ(c) ≈ c for small c
+        assert!((gamma_of(50.0) - 1.0).abs() < 1e-15); // saturates at 1
+    }
+
+    #[test]
+    fn extension_recovers_theorem_1_at_half() {
+        for theta in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let d = d_paper_extension(0.5, theta);
+            let want = 4.0 * GAMMA_STAR * (1.0 + theta.sqrt()) / (1.0 - theta.sqrt());
+            assert!((d - want).abs() < 1e-12, "θ={theta}: {d} vs {want}");
+        }
+        let (a, b) = (m_mn_extension(1000, 0.3, 0.5), m_mn(1000, 0.3));
+        assert!((a - b).abs() / b < 1e-12);
+    }
+
+    #[test]
+    fn extension_is_decreasing_but_corrected_is_increasing() {
+        let mut ext_last = f64::INFINITY;
+        let mut cor_last = 0.0f64;
+        for i in 1..=40 {
+            let c = i as f64 / 10.0; // 0.1 … 4.0
+            let ext = d_paper_extension(c, 0.3);
+            let cor = d_shift_corrected(c, 0.3);
+            assert!(ext < ext_last, "d_ext({c}) = {ext} not below {ext_last}");
+            assert!(cor > cor_last, "d_cor({c}) = {cor} not above {cor_last}");
+            ext_last = ext;
+            cor_last = cor;
+        }
+    }
+
+    #[test]
+    fn corrected_exceeds_extension_by_inverse_shift_factor() {
+        for c in [0.1, 0.5, 1.0, 2.0] {
+            let ratio = d_shift_corrected(c, 0.3) / d_paper_extension(c, 0.3);
+            let want = 1.0 / ((1.0 - gamma_of(c)) * (1.0 - gamma_of(c)));
+            assert!((ratio - want).abs() < 1e-12, "c={c}");
+        }
+    }
+
+    #[test]
+    fn relative_cost_matches_simulation_direction() {
+        // The mn_general tests measure: c = 1 clearly worse than c = 1/2,
+        // c = 1/4 slightly better, c = 1/8 better still.
+        assert!(relative_cost_vs_half(1.0, 0.3) > 2.0);
+        assert!(relative_cost_vs_half(0.25, 0.3) < 0.75);
+        assert!(relative_cost_vs_half(0.125, 0.3) < relative_cost_vs_half(0.25, 0.3));
+        assert!((relative_cost_vs_half(0.5, 0.3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_pool_limit_of_corrected_constant() {
+        // c → 0: γ(c)/c → 1 and (1−γ)² → 1, so the θ-free unit → 2.
+        let unit = d_shift_corrected(1e-6, 0.3) / ((1.0 + 0.3f64.sqrt()) / (1.0 - 0.3f64.sqrt()));
+        assert!((unit - 2.0).abs() < 1e-4, "unit={unit}");
+    }
+
+    #[test]
+    fn optimal_pool_fraction_is_the_floor() {
+        let (c_star, d_star) = optimal_pool_fraction(0.3, 0.05, 2.0, 200);
+        assert!((c_star - 0.05).abs() < 1e-12);
+        assert!((d_star - d_shift_corrected(0.05, 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_at_critical_d_is_sqrt_theta_split() {
+        for theta in [0.1, 0.3, 0.5] {
+            for c in [0.25, 0.5, 1.0] {
+                let d = d_shift_corrected(c, theta);
+                let a = alpha_general(c, theta, d);
+                let want = theta.sqrt() / (1.0 + theta.sqrt());
+                assert!((a - want).abs() < 1e-9, "θ={theta} c={c}: α={a} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_window_widens_above_critical_d() {
+        let d_crit = d_shift_corrected(0.5, 0.3);
+        let a_crit = alpha_general(0.5, 0.3, d_crit);
+        let a_wide = alpha_general(0.5, 0.3, 4.0 * d_crit);
+        // Midpoint moves but stays in (0, 1).
+        assert!(a_wide > 0.0 && a_wide < 1.0);
+        assert!((a_crit - a_wide).abs() > 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < θ < 1")]
+    fn rejects_theta_out_of_range() {
+        let _ = d_paper_extension(0.5, 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Closed-form theory from *“On the Parallel Reconstruction from Pooled
+//! Data”*: every threshold, bound and rate function the paper derives,
+//! evaluated numerically so the experiment harness can overlay theory on
+//! simulation and cross-check the phase-transition locations.
+//!
+//! Contents map directly onto the paper:
+//!
+//! * [`thresholds`] — Eq. (1) sequential counting bound, Eq. (2) / Theorem 2
+//!   parallel information-theoretic threshold, Theorem 1's MN threshold with
+//!   the finite-size Remark of §V, plus the related-work constants (Karimi
+//!   et al., binary group testing, Basis Pursuit).
+//! * [`entropy`] — natural-log entropy `H(p)`, KL divergence, and exact
+//!   `ln C(n,k)` via a Lanczos log-gamma ([`special`]).
+//! * [`rate_function`] — Lemma 9's annealed rate `f_{n,k}(ℓ)`, its maximizer
+//!   and the critical constant `c` of Lemma 10 (→ 2 as `n → ∞`).
+//! * [`alpha`] — Corollary 6's score-threshold optimization: conditions (6)
+//!   and (7), the optimal `α`, and the minimal query constant `d(θ)`.
+//! * [`chernoff`] — Lemma 12 tail bounds and union-bound helpers.
+//! * [`moments`] — first-moment curves `E[Z_{k,ℓ}]` (Lemma 8/9) used by the
+//!   Theorem 2 empirical check.
+//!
+//! Two modules extend the analysis to the paper's own §VI open problems:
+//!
+//! * [`gamma_opt`] — Theorem 1 redone for an arbitrary pool fraction
+//!   `c = Γ/n`: the generalized constant `d(c,θ) = (2γ(c)/c)·(1+√θ)/(1−√θ)`
+//!   and the (monotone) pool-size trade-off behind the `gamma_sweep`
+//!   experiment.
+//! * [`threshold_gt`] — trigger probabilities, score separation and
+//!   pool-size/query-count design formulas for threshold group testing.
+//!
+//! The crate is dependency-free and entirely deterministic, so every other
+//! crate can call into it from tests.
+
+pub mod alpha;
+pub mod chernoff;
+pub mod entropy;
+pub mod gamma_opt;
+pub mod moments;
+pub mod rate_function;
+pub mod special;
+pub mod threshold_gt;
+pub mod thresholds;
+
+pub use thresholds::{
+    k_of, m_information_theoretic, m_mn, m_mn_finite, GAMMA_STAR,
+};

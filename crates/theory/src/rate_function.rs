@@ -1,0 +1,209 @@
+//! Lemma 9's annealed rate function and Lemma 10's critical constant.
+//!
+//! For `m = c·k·ln(n/k)/ln k` queries, the expected number of consistent
+//! impostor vectors with overlap `ℓ` satisfies
+//! `n⁻¹·ln E[Z_{k,ℓ}] ≤ f_{n,k}(ℓ)` with
+//!
+//! ```text
+//! f_{n,k}(ℓ) = (k/n)·H(ℓ/k) + (1−k/n)·H((k−ℓ)/(n−k))
+//!              − (c·k/n·ln(n/k) / (2·ln k)) · ln(2π·(1−ℓ/k)·k)
+//! ```
+//!
+//! Reconstruction is unique w.h.p. when `sup_ℓ f < 0` over the small-overlap
+//! regime `0 ≤ ℓ ≤ k − γ·ln k` (large overlaps are excluded separately by
+//! the coupon-collector argument, Proposition 11). Lemma 10 shows the sup
+//! turns negative exactly when `c > 2 + o(1)` — the Theorem 2 threshold.
+
+use crate::entropy::h;
+use crate::thresholds::GAMMA_STAR;
+
+/// Convert a query count `m` into the paper's constant
+/// `c = m·ln k / (k·ln(n/k))`.
+///
+/// # Panics
+/// Panics unless `2 ≤ k < n` (the parameterization needs `ln k > 0`).
+pub fn c_of_m(n: usize, k: usize, m: f64) -> f64 {
+    assert!(k >= 2 && k < n, "need 2 ≤ k < n, got k={k}, n={n}");
+    m * (k as f64).ln() / (k as f64 * (n as f64 / k as f64).ln())
+}
+
+/// Inverse of [`c_of_m`].
+pub fn m_of_c(n: usize, k: usize, c: f64) -> f64 {
+    assert!(k >= 2 && k < n, "need 2 ≤ k < n, got k={k}, n={n}");
+    c * k as f64 * (n as f64 / k as f64).ln() / (k as f64).ln()
+}
+
+/// Largest overlap covered by the first-moment regime:
+/// `ℓ_max = k − γ·ln k` (clamped to `[0, k−1]`).
+pub fn l_max(k: usize) -> usize {
+    let cut = k as f64 - GAMMA_STAR * (k as f64).ln();
+    (cut.floor().max(0.0) as usize).min(k.saturating_sub(1))
+}
+
+/// Evaluate `f_{n,k}(ℓ)` at overlap `ℓ` for `m` queries.
+///
+/// # Panics
+/// Panics unless `2 ≤ k < n` and `ℓ < k`.
+pub fn rate(n: usize, k: usize, m: f64, l: usize) -> f64 {
+    assert!(l < k, "rate function needs ℓ < k, got ℓ={l}, k={k}");
+    let c = c_of_m(n, k, m);
+    let (n_f, k_f, l_f) = (n as f64, k as f64, l as f64);
+    let kn = k_f / n_f;
+    let entropy_terms =
+        kn * h(l_f / k_f) + (1.0 - kn) * h((k_f - l_f) / (n_f - k_f));
+    let penalty = c * kn * (n_f / k_f).ln() / (2.0 * k_f.ln())
+        * (2.0 * std::f64::consts::PI * (1.0 - l_f / k_f) * k_f).ln();
+    entropy_terms - penalty
+}
+
+/// Maximize `f_{n,k}` over the valid overlap range; returns `(ℓ*, f(ℓ*))`.
+///
+/// The proof of Lemma 10 shows `f` is unimodal with maximizer at
+/// `ℓ = Θ(k²/n)`; we scan a logarithmic grid around that scale plus the
+/// boundary points, then refine with a local integer hill-climb. Exact
+/// enough for the harness overlays (and cheap at any `n`).
+pub fn sup_rate(n: usize, k: usize, m: f64) -> (usize, f64) {
+    let lmax = l_max(k);
+    let mut candidates: Vec<usize> = vec![0, lmax];
+    // Logarithmic grid over [1, lmax].
+    let mut x = 1.0f64;
+    while (x as usize) <= lmax {
+        candidates.push(x as usize);
+        x *= 1.5;
+    }
+    // The analytic maximizer scale.
+    let hat = (k as f64 * k as f64 / n as f64).round() as usize;
+    for delta in 0..4 {
+        candidates.push((hat + delta).min(lmax));
+        candidates.push(hat.saturating_sub(delta).min(lmax));
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for &l in &candidates {
+        let v = rate(n, k, m, l);
+        if v > best.1 {
+            best = (l, v);
+        }
+    }
+    // Local refinement.
+    loop {
+        let (l, v) = best;
+        let mut improved = false;
+        for cand in [l.saturating_sub(1), l + 1] {
+            if cand <= lmax && cand != l {
+                let w = rate(n, k, m, cand);
+                if w > v {
+                    best = (cand, w);
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Whether the annealed bound predicts unique reconstruction at `m` queries.
+pub fn predicts_unique(n: usize, k: usize, m: f64) -> bool {
+    sup_rate(n, k, m).1 < 0.0
+}
+
+/// The critical constant `c*(n, k)`: smallest `c` with `sup_ℓ f < 0`,
+/// found by bisection. Lemma 10: `c*(n,k) → 2` as `n → ∞`.
+pub fn critical_c(n: usize, k: usize) -> f64 {
+    let (mut lo, mut hi) = (1e-3, 64.0);
+    debug_assert!(!predicts_unique(n, k, m_of_c(n, k, lo)));
+    debug_assert!(predicts_unique(n, k, m_of_c(n, k, hi)));
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if predicts_unique(n, k, m_of_c(n, k, mid)) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::thresholds::k_of;
+
+    #[test]
+    fn c_and_m_are_inverse() {
+        let (n, k) = (100_000, 32);
+        for c in [0.5, 1.0, 2.0, 3.7] {
+            let m = m_of_c(n, k, c);
+            assert!((c_of_m(n, k, m) - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rate_decreases_with_m() {
+        let (n, k) = (100_000, 32);
+        for l in [0usize, 4, 16, 25] {
+            let lo = rate(n, k, 200.0, l);
+            let hi = rate(n, k, 400.0, l);
+            assert!(hi < lo, "ℓ={l}");
+        }
+    }
+
+    #[test]
+    fn sup_is_at_least_every_grid_point() {
+        let (n, k) = (10_000, 100);
+        let m = 500.0;
+        let (_, sup) = sup_rate(n, k, m);
+        for l in 0..l_max(k) {
+            assert!(rate(n, k, m, l) <= sup + 1e-12, "ℓ={l} beats the sup");
+        }
+    }
+
+    #[test]
+    fn critical_c_near_two_and_converging() {
+        // Lemma 10: c* → 2. The finite-size c* differs; it must approach 2
+        // as n grows with θ fixed.
+        let theta = 0.5;
+        let c_small = critical_c(10_000, k_of(10_000, theta));
+        let c_large = critical_c(10_000_000_000, k_of(10_000_000_000, theta));
+        assert!((c_large - 2.0).abs() < (c_small - 2.0).abs() + 1e-9,
+            "c*(10^4)={c_small}, c*(10^10)={c_large}");
+        assert!((0.8..4.0).contains(&c_small), "c_small={c_small}");
+        assert!((1.2..3.0).contains(&c_large), "c_large={c_large}");
+    }
+
+    #[test]
+    fn uniqueness_monotone_in_m() {
+        let (n, k) = (1_000_000, 1000);
+        let mstar = m_of_c(n, k, critical_c(n, k));
+        assert!(!predicts_unique(n, k, mstar * 0.9));
+        assert!(predicts_unique(n, k, mstar * 1.1));
+    }
+
+    #[test]
+    fn l_max_leaves_headroom_below_k() {
+        for k in [2usize, 8, 100, 10_000] {
+            let lm = l_max(k);
+            assert!(lm < k);
+        }
+        // γ ln k below k.
+        assert_eq!(l_max(100), (100.0 - GAMMA_STAR * 100f64.ln()).floor() as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "ℓ < k")]
+    fn rate_rejects_l_equal_k() {
+        let _ = rate(1000, 10, 100.0, 10);
+    }
+
+    #[test]
+    fn predicts_failure_at_counting_bound() {
+        // At m just above the *sequential* counting bound (half the parallel
+        // threshold), the annealed bound must still see impostors.
+        let (n, k) = (1_000_000, 1000);
+        let m_seq = crate::thresholds::m_counting_bound(n, k);
+        assert!(!predicts_unique(n, k, m_seq));
+    }
+}

@@ -1,0 +1,283 @@
+//! Design guidance for **threshold group testing**, the open problem the
+//! paper's §VI singles out: a query returns `1` iff the number of one-entries
+//! in its pool reaches a threshold `T ≥ 1` (additive counts degrade to one
+//! bit per query; `T = 1` is classical binary group testing).
+//!
+//! The paper conjectures that its score-and-threshold technique transfers.
+//! The `pooled-threshold` crate implements that transfer; this module
+//! supplies the probabilistic quantities the transferred decoder needs:
+//!
+//! * `p1` / `p0` — the probability that a pool containing a specific one-
+//!   entry (resp. zero-entry) triggers the threshold, under the binomial
+//!   pool model `count ≈ Bin(Γ−1, k/n) + 1{entry is one}`.
+//! * the **separation** `p1 − p0`, which plays the role of the score gap of
+//!   Corollary 6: an entry's positive-neighborhood fraction concentrates at
+//!   `p1` or `p0`, so top-k selection succeeds once the per-entry degree
+//!   satisfies a Hoeffding condition in `(p1 − p0)²`.
+//! * the separation-maximizing pool size `Γ*(n, k, T)` — the analogue of the
+//!   paper's `Γ = n/2` convention. For `T = 1` it lands near the classical
+//!   `n·ln2/k`; for larger `T` it grows like `(T − ½)·n/k`.
+//!
+//! These are heuristic design formulas (Hoeffding + union bound), not sharp
+//! constants: the experiment harness measures where the empirical transition
+//! actually sits relative to them.
+
+use crate::special::ln_choose;
+
+/// `P(Bin(n, p) ≥ t)`, numerically stable across the whole range.
+///
+/// Sums the probability mass from the side of `t` that avoids catastrophic
+/// underflow: upward from `t` when `t` is above the mean (terms decay), and
+/// as `1 − P(Bin < t)` with a downward sum otherwise.
+pub fn binomial_tail_geq(n: u64, p: f64, t: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p={p} outside [0,1]");
+    if t == 0 {
+        return 1.0;
+    }
+    if t > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return 0.0; // t ≥ 1 mass impossible
+    }
+    if p >= 1.0 {
+        return 1.0; // all mass at n ≥ t
+    }
+    let q = 1.0 - p;
+    let ln_pmf = |j: u64| ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * q.ln();
+    let mean = n as f64 * p;
+    if t as f64 > mean {
+        // Sum upward: terms decrease past the mode.
+        let mut term = ln_pmf(t).exp();
+        let mut acc = 0.0f64;
+        let mut j = t;
+        while j <= n {
+            acc += term;
+            if term < acc * 1e-17 && j as f64 > mean {
+                break;
+            }
+            if j == n {
+                break;
+            }
+            term *= (n - j) as f64 / (j + 1) as f64 * (p / q);
+            j += 1;
+        }
+        acc.min(1.0)
+    } else {
+        // 1 − P(Bin ≤ t−1), summing downward from t−1 (terms decrease).
+        let mut term = ln_pmf(t - 1).exp();
+        let mut acc = 0.0f64;
+        let mut j = t - 1;
+        loop {
+            acc += term;
+            if term < acc * 1e-17 || j == 0 {
+                break;
+            }
+            term *= j as f64 / (n - j + 1) as f64 * (q / p);
+            j -= 1;
+        }
+        (1.0 - acc).clamp(0.0, 1.0)
+    }
+}
+
+/// `p1`: probability that a pool of `gamma` draws containing a specific
+/// **one**-entry reaches threshold `t` — `P(1 + Bin(Γ−1, (k−1)/(n−1)) ≥ t)`.
+///
+/// # Panics
+/// Panics if `gamma == 0`, `k == 0` or `k > n`.
+pub fn p_trigger_one(n: usize, k: usize, gamma: usize, t: u64) -> f64 {
+    assert!(gamma >= 1 && k >= 1 && k <= n, "need 1 ≤ k ≤ n and Γ ≥ 1");
+    let p = (k - 1) as f64 / (n - 1).max(1) as f64;
+    binomial_tail_geq((gamma - 1) as u64, p, t.saturating_sub(1))
+}
+
+/// `p0`: probability that a pool of `gamma` draws containing a specific
+/// **zero**-entry reaches threshold `t` — `P(Bin(Γ−1, k/(n−1)) ≥ t)`.
+pub fn p_trigger_zero(n: usize, k: usize, gamma: usize, t: u64) -> f64 {
+    assert!(gamma >= 1 && k >= 1 && k <= n, "need 1 ≤ k ≤ n and Γ ≥ 1");
+    let p = k as f64 / (n - 1).max(1) as f64;
+    binomial_tail_geq((gamma - 1) as u64, p, t)
+}
+
+/// The score separation `p1 − p0 ∈ [0, 1]` at pool size `gamma`.
+pub fn separation(n: usize, k: usize, gamma: usize, t: u64) -> f64 {
+    (p_trigger_one(n, k, gamma, t) - p_trigger_zero(n, k, gamma, t)).max(0.0)
+}
+
+/// The pool size minimizing the Hoeffding query estimate — equivalently,
+/// maximizing the *efficiency* `Γ·(p1−p0)²`. (Maximizing the raw separation
+/// alone is degenerate: at `T = 1` it favours single-entry pools, which
+/// separate perfectly but carry almost no coverage per query.)
+///
+/// Found by a log-spaced scan around the `(T − ½)·n/k` heuristic center
+/// with a linear refine. Returns `(Γ*, separation(Γ*))`.
+pub fn recommended_gamma(n: usize, k: usize, t: u64) -> (usize, f64) {
+    assert!(k >= 1 && k <= n, "need 1 ≤ k ≤ n");
+    let efficiency = |gamma: usize| {
+        let s = separation(n, k, gamma, t);
+        gamma as f64 * s * s
+    };
+    let center = ((t as f64 - 0.5) * n as f64 / k as f64).max(1.0);
+    let lo = ((center / 8.0) as usize).max(1);
+    let hi = ((center * 8.0) as usize).min(n).max(lo + 1);
+    let mut best = (lo, efficiency(lo));
+    // Coarse multiplicative scan …
+    let steps = 96usize;
+    let ratio = (hi as f64 / lo as f64).powf(1.0 / steps as f64);
+    let mut g = lo as f64;
+    for _ in 0..=steps {
+        let gamma = (g.round() as usize).clamp(1, n);
+        let e = efficiency(gamma);
+        if e > best.1 {
+            best = (gamma, e);
+        }
+        g *= ratio;
+    }
+    // … then a local linear refine around the coarse winner.
+    let span = ((best.0 as f64 * (ratio - 1.0)).ceil() as usize).max(2);
+    for gamma in best.0.saturating_sub(span).max(1)..=(best.0 + span).min(n) {
+        let e = efficiency(gamma);
+        if e > best.1 {
+            best = (gamma, e);
+        }
+    }
+    (best.0, separation(n, k, best.0, t))
+}
+
+/// Hoeffding estimate of the queries a score decoder needs at pool size
+/// `gamma`: per-entry degree `d = Γm/n` must satisfy
+/// `d·(p1−p0)²/2 > ln n` (midpoint test + union bound), so
+/// `m ≈ 2·n·ln n / (Γ·(p1−p0)²)`.
+///
+/// Returns `f64::INFINITY` when the separation vanishes.
+pub fn m_threshold_estimate(n: usize, k: usize, gamma: usize, t: u64) -> f64 {
+    let s = separation(n, k, gamma, t);
+    if s <= 0.0 {
+        return f64::INFINITY;
+    }
+    2.0 * n as f64 * (n as f64).ln() / (gamma as f64 * s * s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact tail by direct summation in log space (small n only).
+    fn naive_tail(n: u64, p: f64, t: u64) -> f64 {
+        (t..=n)
+            .map(|j| {
+                (ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn tail_matches_naive_summation() {
+        for n in [1u64, 5, 20, 100] {
+            for p in [0.01, 0.3, 0.5, 0.9] {
+                for t in [0u64, 1, n / 2, n] {
+                    let got = binomial_tail_geq(n, p, t);
+                    let want = naive_tail(n, p, t).min(1.0);
+                    assert!(
+                        (got - want).abs() < 1e-10,
+                        "n={n} p={p} t={t}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tail_edge_cases() {
+        assert_eq!(binomial_tail_geq(10, 0.5, 0), 1.0);
+        assert_eq!(binomial_tail_geq(10, 0.5, 11), 0.0);
+        assert_eq!(binomial_tail_geq(10, 0.0, 1), 0.0);
+        assert_eq!(binomial_tail_geq(10, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    fn tail_is_stable_for_huge_n() {
+        // t far below the mean: tail ≈ 1 without underflow.
+        let tail = binomial_tail_geq(500_000, 0.5, 1);
+        assert!((tail - 1.0).abs() < 1e-12, "tail={tail}");
+        // t far above the mean: tail ≈ 0 without overflow.
+        assert!(binomial_tail_geq(500_000, 0.001, 5_000) < 1e-12);
+        // Near the mean: a sane middle value.
+        let mid = binomial_tail_geq(1_000_000, 0.5, 500_000);
+        assert!((0.4..0.6).contains(&mid), "mid={mid}");
+    }
+
+    #[test]
+    fn tail_monotone_in_t() {
+        let mut last = 1.0f64;
+        for t in 0..=60 {
+            let v = binomial_tail_geq(60, 0.4, t);
+            assert!(v <= last + 1e-15, "t={t}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn one_entry_triggers_more_often_than_zero_entry() {
+        let (n, k) = (10_000usize, 16usize);
+        for t in [1u64, 2, 4, 8] {
+            for gamma in [100usize, 500, 2000, 5000] {
+                let p1 = p_trigger_one(n, k, gamma, t);
+                let p0 = p_trigger_zero(n, k, gamma, t);
+                assert!(p1 >= p0, "t={t} Γ={gamma}: p1={p1} < p0={p0}");
+            }
+        }
+    }
+
+    #[test]
+    fn t_equals_one_matches_binary_group_testing() {
+        // For T = 1, a pool containing a one-entry is always positive.
+        let p1 = p_trigger_one(1000, 8, 200, 1);
+        assert!((p1 - 1.0).abs() < 1e-12, "p1={p1}");
+        // A pool with a zero-entry is positive iff it caught another one.
+        let p0 = p_trigger_zero(1000, 8, 200, 1);
+        let want = 1.0 - (1.0 - 8.0 / 999.0f64).powi(199);
+        assert!((p0 - want).abs() < 1e-9, "{p0} vs {want}");
+    }
+
+    #[test]
+    fn recommended_gamma_t1_near_classical_scale() {
+        // Binary GT pools are classically sized at Γ ≈ n·ln2/k (so that
+        // P(positive) ≈ ½); the Hoeffding-efficiency optimum Γ = n/(2k)
+        // sits at the same n/k scale, a factor ~1.4 below. Accept the
+        // window [¼, 2]× the classical rule.
+        let (n, k) = (10_000usize, 16usize);
+        let (g, s) = recommended_gamma(n, k, 1);
+        let classical = n as f64 * std::f64::consts::LN_2 / k as f64;
+        assert!(
+            (g as f64) > 0.25 * classical && (g as f64) < 2.0 * classical,
+            "Γ*={g} vs classical {classical}"
+        );
+        // Closed form for T=1: maximize Γ·q^{2(Γ−1)} ⇒ Γ* ≈ −1/(2 ln q).
+        let q = 1.0 - k as f64 / (n as f64 - 1.0);
+        let closed = -1.0 / (2.0 * q.ln());
+        assert!(
+            ((g as f64) - closed).abs() / closed < 0.25,
+            "Γ*={g} vs closed-form {closed}"
+        );
+        assert!(s > 0.3, "separation {s} too small at the optimum");
+    }
+
+    #[test]
+    fn recommended_gamma_grows_with_t() {
+        let (n, k) = (10_000usize, 16usize);
+        let g1 = recommended_gamma(n, k, 1).0;
+        let g4 = recommended_gamma(n, k, 4).0;
+        let g8 = recommended_gamma(n, k, 8).0;
+        assert!(g1 < g4 && g4 < g8, "Γ* sequence {g1}, {g4}, {g8}");
+    }
+
+    #[test]
+    fn m_estimate_finite_at_optimum_and_infinite_at_zero_separation() {
+        let (n, k) = (1000usize, 8usize);
+        let (g, _) = recommended_gamma(n, k, 2);
+        assert!(m_threshold_estimate(n, k, g, 2).is_finite());
+        // Tiny pools at high threshold never trigger: zero separation.
+        assert!(m_threshold_estimate(n, k, 1, 5).is_infinite());
+    }
+}

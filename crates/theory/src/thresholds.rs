@@ -1,0 +1,235 @@
+//! Every query-count threshold the paper states, as executable formulas.
+//!
+//! All counts are returned as `f64` — the experiment harness decides how to
+//! round. Thresholds follow the paper's parameterization `k = n^θ` but also
+//! accept explicit `k` so that the simulator's integer rounding (the source
+//! of the visible discontinuities in Fig. 2's theory curves) is reproduced
+//! faithfully.
+
+use crate::special::ln_choose;
+
+/// `γ = 1 − e^{−1/2} = 1 − 1/√e ≈ 0.3935`, the distinct-query fraction of
+/// the design, appearing in every algorithmic constant.
+pub const GAMMA_STAR: f64 = 0.393_469_340_287_366_6;
+
+/// Number of non-zero entries `k = n^θ`, rounded to the nearest integer and
+/// clamped into `[1, n]` (the paper rounds k to the closest integer).
+pub fn k_of(n: usize, theta: f64) -> usize {
+    assert!(n > 0, "n must be positive");
+    assert!((0.0..=1.0).contains(&theta), "θ={theta} outside [0,1]");
+    let k = (n as f64).powf(theta).round() as usize;
+    k.clamp(1, n)
+}
+
+/// Eq. (1): the sequential counting lower bound
+/// `m ≥ (1−o(1)) · k·ln(n/k)/ln k` (asymptotic form; `ln k` guarded).
+pub fn m_counting_bound(n: usize, k: usize) -> f64 {
+    let (n_f, k_f) = (n as f64, k as f64);
+    k_f * (n_f / k_f).ln() / k_f.ln().max(f64::MIN_POSITIVE)
+}
+
+/// Exact counting bound `ln C(n,k) / ln(k+1)`: a pooling design with `m`
+/// queries distinguishes at most `(k+1)^m` outcomes, which must reach
+/// `C(n,k)`. Well-defined for every `n, k ≥ 1` (unlike the asymptotic form
+/// at `k = 1`).
+pub fn m_counting_bound_exact(n: usize, k: usize) -> f64 {
+    ln_choose(n as u64, k as u64) / ((k as f64) + 1.0).ln()
+}
+
+/// Eq. (2) / Theorem 2: the **parallel** information-theoretic threshold
+/// `m_IT = 2·k·ln(n/k)/ln k`; in the `k = n^θ` parameterization this equals
+/// `2(1−θ)/θ · k`.
+pub fn m_information_theoretic(n: usize, k: usize) -> f64 {
+    2.0 * m_counting_bound(n, k)
+}
+
+/// Theorem 2's threshold in the θ-parameterization: `2(1−θ)/θ · k`.
+pub fn m_information_theoretic_theta(n: usize, theta: f64) -> f64 {
+    let k = k_of(n, theta) as f64;
+    2.0 * (1.0 - theta) / theta * k
+}
+
+/// Theorem 1: the MN-algorithm threshold
+/// `m_MN = 4(1 − 1/√e) · (1+√θ)/(1−√θ) · k·ln(n/k)`.
+///
+/// # Panics
+/// Panics if `θ ∉ (0, 1)` (the prefactor diverges at θ = 1).
+pub fn m_mn(n: usize, theta: f64) -> f64 {
+    assert!(theta > 0.0 && theta < 1.0, "Theorem 1 needs 0 < θ < 1, got {theta}");
+    let k = k_of(n, theta) as f64;
+    let prefactor = 4.0 * GAMMA_STAR * (1.0 + theta.sqrt()) / (1.0 - theta.sqrt());
+    prefactor * k * (n as f64 / k).ln()
+}
+
+/// Theorem 1's threshold with the finite-size correction of the §V Remark:
+/// `m ≥ m_MN · (1 + √(2 ln n)·(4γ·m·k)^{−1/2})`, solved by fixed-point
+/// iteration (the correction depends on `m` itself).
+pub fn m_mn_finite(n: usize, theta: f64) -> f64 {
+    let base = m_mn(n, theta);
+    let k = k_of(n, theta) as f64;
+    let ln_n = (n as f64).ln();
+    let mut m = base;
+    for _ in 0..64 {
+        let correction = 1.0 + (2.0 * ln_n).sqrt() / (4.0 * GAMMA_STAR * m * k).sqrt();
+        let next = base * correction;
+        if (next - m).abs() < 1e-9 * m {
+            return next;
+        }
+        m = next;
+    }
+    m
+}
+
+/// Karimi et al. (2019a), graph-code construction: `1.72·k·ln(n/k)`.
+pub fn m_karimi_a(n: usize, k: usize) -> f64 {
+    1.72 * k as f64 * (n as f64 / k as f64).ln()
+}
+
+/// Karimi et al. (2019b), improved construction: `1.515·k·ln(n/k)`.
+pub fn m_karimi_b(n: usize, k: usize) -> f64 {
+    1.515 * k as f64 * (n as f64 / k as f64).ln()
+}
+
+/// Optimal *binary* group testing (Coja-Oghlan et al.), quoted in the
+/// Discussion: `m_GT ∼ ln⁻¹(2)·k·ln(n/k)`, efficient for
+/// `θ ≤ ln 2/(1+ln 2) ≈ 0.409`.
+pub fn m_binary_gt(n: usize, k: usize) -> f64 {
+    k as f64 * (n as f64 / k as f64).ln() / std::f64::consts::LN_2
+}
+
+/// θ-range where the binary group-testing comparison applies.
+pub fn binary_gt_theta_limit() -> f64 {
+    std::f64::consts::LN_2 / (1.0 + std::f64::consts::LN_2)
+}
+
+/// Basis Pursuit (Foucart–Rauhut, quoted in §I-B): `(2+o(1))·k·ln n`,
+/// i.e. `2/(1−θ)·k·ln(n/k)` in the sparse parameterization.
+pub fn m_basis_pursuit(n: usize, k: usize) -> f64 {
+    2.0 * k as f64 * (n as f64).ln()
+}
+
+/// ℓ1-minimization / Donoho–Tanner (quoted in §I-B): `(2+o(1))·k·ln(n/k)`.
+pub fn m_l1(n: usize, k: usize) -> f64 {
+    2.0 * k as f64 * (n as f64 / k as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_star_value() {
+        assert!((GAMMA_STAR - (1.0 - (-0.5f64).exp())).abs() < 1e-15);
+        assert!((GAMMA_STAR - (1.0 - 1.0 / std::f64::consts::E.sqrt())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn k_of_matches_paper_examples() {
+        // §I-D: n = 10⁴, θ = 0.3 “describes the situation quite well”
+        // with ≈16 positives.
+        assert_eq!(k_of(10_000, 0.3), 16);
+        assert_eq!(k_of(1000, 0.3), 8);
+        assert_eq!(k_of(100, 0.5), 10);
+    }
+
+    #[test]
+    fn k_of_clamps_to_valid_range() {
+        assert_eq!(k_of(10, 0.0), 1);
+        assert_eq!(k_of(10, 1.0), 10);
+        assert_eq!(k_of(1, 0.5), 1);
+    }
+
+    #[test]
+    fn theorem2_theta_form_matches_general_form() {
+        // 2k·ln(n/k)/ln k = 2(1−θ)/θ·k when k = n^θ exactly.
+        let n = 1_000_000usize; // k = 1000 at θ = 0.5 exactly
+        let theta = 0.5;
+        let k = k_of(n, theta);
+        let a = m_information_theoretic(n, k);
+        let b = m_information_theoretic_theta(n, theta);
+        assert!((a - b).abs() / b < 1e-12, "a={a} b={b}");
+    }
+
+    #[test]
+    fn parallel_threshold_is_twice_sequential() {
+        let (n, k) = (10_000, 16);
+        assert!((m_information_theoretic(n, k) - 2.0 * m_counting_bound(n, k)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_counting_bound_close_to_asymptotic() {
+        let (n, k) = (1_000_000, 1000);
+        let exact = m_counting_bound_exact(n, k);
+        let asym = m_counting_bound(n, k);
+        assert!((exact - asym).abs() / asym < 0.2, "exact={exact} asym={asym}");
+    }
+
+    #[test]
+    fn mn_threshold_reference_values() {
+        // Hand-evaluated: n=1000, θ=0.3 ⇒ k=8, ln(n/k)=ln 125≈4.828,
+        // prefactor = 4γ(1+√0.3)/(1−√0.3) ≈ 1.5739·3.4094 ≈ 5.3661,
+        // m_MN ≈ 5.3661·8·4.828 ≈ 207.3.
+        let m = m_mn(1000, 0.3);
+        assert!((m - 207.3).abs() < 1.0, "m_MN={m}");
+    }
+
+    #[test]
+    fn mn_threshold_monotone_in_theta() {
+        let mut last = 0.0;
+        for theta in [0.1, 0.2, 0.3, 0.4, 0.5, 0.6] {
+            let m = m_mn(100_000, theta);
+            assert!(m > last, "m_MN should grow with θ (more positives)");
+            last = m;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem 1 needs")]
+    fn mn_threshold_rejects_theta_one() {
+        let _ = m_mn(1000, 1.0);
+    }
+
+    #[test]
+    fn finite_size_correction_exceeds_asymptotic() {
+        for n in [100usize, 1000, 10_000, 100_000] {
+            let base = m_mn(n, 0.3);
+            let fin = m_mn_finite(n, 0.3);
+            assert!(fin > base, "n={n}");
+        }
+    }
+
+    #[test]
+    fn finite_size_correction_vanishes_asymptotically() {
+        let ratio_small = m_mn_finite(1_000, 0.3) / m_mn(1_000, 0.3);
+        let ratio_large = m_mn_finite(10_000_000, 0.3) / m_mn(10_000_000, 0.3);
+        assert!(ratio_small > ratio_large, "{ratio_small} vs {ratio_large}");
+        assert!(ratio_large < 1.2);
+    }
+
+    #[test]
+    fn related_work_ordering_at_small_theta() {
+        // For θ < 0.409: binary GT (1.44) < Karimi-b (1.515) < Karimi-a
+        // (1.72) < ℓ1 (2.0) < MN; IT threshold is far below all of them.
+        let (n, theta) = (100_000usize, 0.3);
+        let k = k_of(n, theta);
+        let gt = m_binary_gt(n, k);
+        let kb = m_karimi_b(n, k);
+        let ka = m_karimi_a(n, k);
+        let l1 = m_l1(n, k);
+        let mn = m_mn(n, theta);
+        let it = m_information_theoretic(n, k);
+        assert!(it < gt && gt < kb && kb < ka && ka < l1 && l1 < mn);
+    }
+
+    #[test]
+    fn theta_limit_value() {
+        assert!((binary_gt_theta_limit() - 0.4093).abs() < 1e-3);
+    }
+
+    #[test]
+    fn basis_pursuit_dominates_l1_form() {
+        // (2+o(1))k ln n ≥ (2+o(1))k ln(n/k).
+        let (n, k) = (10_000, 16);
+        assert!(m_basis_pursuit(n, k) > m_l1(n, k));
+    }
+}

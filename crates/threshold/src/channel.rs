@@ -1,0 +1,214 @@
+//! Threshold query channels.
+//!
+//! A pool's *load* is its number of **distinct** one-entries (a specimen
+//! present twice in a pool is still one infected specimen — the wet-lab
+//! semantics; multi-edges are collapsed, unlike the additive channel where
+//! they count with multiplicity). The plain channel reports `load ≥ T`; the
+//! gapped channel reports `0` below `L`, `1` at or above `U`, and an
+//! undetermined (seeded pseudo-random) bit inside `[L, U)`.
+
+use rayon::prelude::*;
+
+use pooled_core::Signal;
+use pooled_design::PoolingDesign;
+use pooled_rng::SeedSequence;
+
+/// The plain threshold channel: `bit_q = 1{load_q ≥ T}`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThresholdChannel {
+    t: u64,
+}
+
+impl ThresholdChannel {
+    /// Channel with threshold `t ≥ 1`.
+    ///
+    /// # Panics
+    /// Panics if `t == 0` (every pool would be positive).
+    pub fn new(t: u64) -> Self {
+        assert!(t >= 1, "threshold must be at least 1");
+        Self { t }
+    }
+
+    /// The threshold `T`.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Execute all queries in parallel, returning one bit per query.
+    pub fn execute<D: PoolingDesign + ?Sized>(&self, design: &D, sigma: &Signal) -> Vec<u8> {
+        let loads = pool_loads(design, sigma);
+        loads.into_iter().map(|c| u8::from(c >= self.t)).collect()
+    }
+}
+
+/// The gapped threshold channel: `0` if `load < L`, `1` if `load ≥ U`, and
+/// a seeded pseudo-random bit for loads in the gap `[L, U)`.
+#[derive(Clone, Debug)]
+pub struct GappedChannel {
+    l: u64,
+    u: u64,
+    seeds: SeedSequence,
+}
+
+impl GappedChannel {
+    /// Channel answering `0` below `l` and `1` at or above `u`; loads in
+    /// `[l, u)` produce a deterministic-given-seed coin flip per query.
+    ///
+    /// # Panics
+    /// Panics if `l == 0` or `l > u`.
+    pub fn new(l: u64, u: u64, seeds: SeedSequence) -> Self {
+        assert!(l >= 1 && l <= u, "need 1 ≤ L ≤ U, got L={l} U={u}");
+        Self { l, u, seeds }
+    }
+
+    /// Lower edge `L` (first undetermined load).
+    pub fn l(&self) -> u64 {
+        self.l
+    }
+
+    /// Upper edge `U` (first certainly-positive load).
+    pub fn u(&self) -> u64 {
+        self.u
+    }
+
+    /// Execute all queries in parallel, returning one bit per query.
+    pub fn execute<D: PoolingDesign + ?Sized>(&self, design: &D, sigma: &Signal) -> Vec<u8> {
+        let loads = pool_loads(design, sigma);
+        loads
+            .into_iter()
+            .enumerate()
+            .map(|(q, c)| {
+                if c < self.l {
+                    0
+                } else if c >= self.u {
+                    1
+                } else {
+                    // Undetermined band: seeded per-query coin.
+                    (self.seeds.child("gap", q as u64).rng().next_u64() & 1) as u8
+                }
+            })
+            .collect()
+    }
+}
+
+/// Distinct one-entry loads of every pool, in parallel.
+pub fn pool_loads<D: PoolingDesign + ?Sized>(design: &D, sigma: &Signal) -> Vec<u64> {
+    assert_eq!(design.n(), sigma.n(), "design and signal disagree on n");
+    let dense = sigma.dense();
+    (0..design.m())
+        .into_par_iter()
+        .map(|q| {
+            let mut load = 0u64;
+            design.for_each_distinct(q, &mut |e, _| {
+                load += dense[e] as u64;
+            });
+            load
+        })
+        .collect()
+}
+
+// `Rng64` must be in scope for `next_u64` on the child generator.
+use pooled_rng::Rng64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_design::CsrDesign;
+
+    fn fig1() -> (Signal, CsrDesign) {
+        let sigma = Signal::from_dense(&[1, 1, 0, 0, 1, 0, 0]);
+        let pools = vec![
+            vec![0, 1, 3],
+            vec![1, 1, 2], // entry 1 twice: load counts it once
+            vec![0, 1, 4],
+            vec![4, 5],
+            vec![4, 6],
+        ];
+        (sigma, CsrDesign::from_pools(7, &pools))
+    }
+
+    #[test]
+    fn loads_collapse_multi_edges() {
+        let (sigma, d) = fig1();
+        // Additive results were (2,2,3,1,1); distinct loads are (2,1,3,1,1).
+        assert_eq!(pool_loads(&d, &sigma), vec![2, 1, 3, 1, 1]);
+    }
+
+    #[test]
+    fn t1_is_the_or_channel() {
+        let (sigma, d) = fig1();
+        let bits = ThresholdChannel::new(1).execute(&d, &sigma);
+        assert_eq!(bits, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn t2_and_t3_bits() {
+        let (sigma, d) = fig1();
+        assert_eq!(ThresholdChannel::new(2).execute(&d, &sigma), vec![1, 0, 1, 0, 0]);
+        assert_eq!(ThresholdChannel::new(3).execute(&d, &sigma), vec![0, 0, 1, 0, 0]);
+        assert_eq!(ThresholdChannel::new(4).execute(&d, &sigma), vec![0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn positives_monotone_decreasing_in_t() {
+        let seeds = SeedSequence::new(3);
+        let d = CsrDesign::sample(300, 60, 80, &seeds);
+        let sigma = Signal::random(300, 20, &mut seeds.child("sig", 0).rng());
+        let mut last = u32::MAX;
+        for t in 1..=6 {
+            let pos: u32 =
+                ThresholdChannel::new(t).execute(&d, &sigma).iter().map(|&b| b as u32).sum();
+            assert!(pos <= last, "T={t}");
+            last = pos;
+        }
+    }
+
+    #[test]
+    fn zero_signal_all_negative() {
+        let seeds = SeedSequence::new(4);
+        let d = CsrDesign::sample(100, 20, 50, &seeds);
+        let sigma = Signal::from_support(100, vec![]);
+        assert!(ThresholdChannel::new(1).execute(&d, &sigma).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_threshold() {
+        let _ = ThresholdChannel::new(0);
+    }
+
+    #[test]
+    fn gapped_is_certain_outside_the_band() {
+        let (sigma, d) = fig1();
+        // Loads (2,1,3,1,1); L=2, U=3: query 2 (load 3) certain positive,
+        // queries 1,3,4 (load 1) certain negative, query 0 (load 2) in-gap.
+        let ch = GappedChannel::new(2, 3, SeedSequence::new(5));
+        let bits = ch.execute(&d, &sigma);
+        assert_eq!(bits[2], 1);
+        assert_eq!(bits[1], 0);
+        assert_eq!(bits[3], 0);
+        assert_eq!(bits[4], 0);
+    }
+
+    #[test]
+    fn gapped_bits_are_deterministic_given_seed() {
+        let (sigma, d) = fig1();
+        let a = GappedChannel::new(1, 3, SeedSequence::new(6)).execute(&d, &sigma);
+        let b = GappedChannel::new(1, 3, SeedSequence::new(6)).execute(&d, &sigma);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gapped_with_l_equals_u_is_plain_threshold() {
+        let (sigma, d) = fig1();
+        let plain = ThresholdChannel::new(2).execute(&d, &sigma);
+        let gapped = GappedChannel::new(2, 2, SeedSequence::new(7)).execute(&d, &sigma);
+        assert_eq!(plain, gapped);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ L ≤ U")]
+    fn gapped_rejects_inverted_band() {
+        let _ = GappedChannel::new(3, 2, SeedSequence::new(8));
+    }
+}

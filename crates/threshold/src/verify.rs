@@ -1,0 +1,107 @@
+//! Consistency checking for threshold estimates.
+//!
+//! The additive model has a residual norm; the threshold model only has
+//! agreement bits. An estimate is *consistent* when every pool's threshold
+//! bit matches the bit its estimated load implies. Unlike the additive
+//! case, consistency is weaker evidence here (each query only constrains
+//! one bit), so the report also exposes the two error directions — pools
+//! the estimate over-fills and pools it under-fills — which the tests use
+//! to characterize *how* sub-threshold decoding fails.
+
+use pooled_core::Signal;
+use pooled_design::PoolingDesign;
+
+use crate::channel::pool_loads;
+
+/// Agreement between observed threshold bits and an estimate's implied bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConsistencyReport {
+    /// Queries whose observed and implied bits agree.
+    pub agreements: usize,
+    /// Observed `1`, implied `0`: the estimate under-fills these pools.
+    pub missed_positives: usize,
+    /// Observed `0`, implied `1`: the estimate over-fills these pools.
+    pub false_positives: usize,
+}
+
+impl ConsistencyReport {
+    /// Whether every query agrees.
+    pub fn is_consistent(&self) -> bool {
+        self.missed_positives == 0 && self.false_positives == 0
+    }
+
+    /// Total queries covered by the report.
+    pub fn total(&self) -> usize {
+        self.agreements + self.missed_positives + self.false_positives
+    }
+}
+
+/// Compare observed bits against the bits implied by `estimate` at
+/// threshold `t`.
+///
+/// # Panics
+/// Panics if `bits.len() != design.m()`.
+pub fn consistency_report<D: PoolingDesign + ?Sized>(
+    design: &D,
+    bits: &[u8],
+    estimate: &Signal,
+    t: u64,
+) -> ConsistencyReport {
+    assert_eq!(bits.len(), design.m(), "bit vector length must equal m");
+    let implied = pool_loads(design, estimate);
+    let mut report =
+        ConsistencyReport { agreements: 0, missed_positives: 0, false_positives: 0 };
+    for (&observed, load) in bits.iter().zip(implied) {
+        let implied_bit = u8::from(load >= t);
+        match (observed, implied_bit) {
+            (1, 0) => report.missed_positives += 1,
+            (0, 1) => report.false_positives += 1,
+            _ => report.agreements += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ThresholdChannel;
+    use pooled_design::CsrDesign;
+    use pooled_rng::SeedSequence;
+
+    #[test]
+    fn truth_is_always_consistent() {
+        let seeds = SeedSequence::new(1);
+        let d = CsrDesign::sample(200, 50, 60, &seeds);
+        let sigma = Signal::random(200, 10, &mut seeds.child("sig", 0).rng());
+        for t in [1u64, 2, 3] {
+            let bits = ThresholdChannel::new(t).execute(&d, &sigma);
+            let rep = consistency_report(&d, &bits, &sigma, t);
+            assert!(rep.is_consistent(), "T={t}: {rep:?}");
+            assert_eq!(rep.total(), 50);
+        }
+    }
+
+    #[test]
+    fn wrong_estimate_shows_both_error_directions() {
+        let d = CsrDesign::from_pools(6, &[vec![0, 1], vec![2, 3], vec![4, 5]]);
+        let sigma = Signal::from_support(6, vec![0, 1]);
+        let bits = ThresholdChannel::new(1).execute(&d, &sigma); // (1,0,0)
+        // Estimate puts the ones in pool 1 instead of pool 0.
+        let wrong = Signal::from_support(6, vec![2, 3]);
+        let rep = consistency_report(&d, &bits, &wrong, 1);
+        assert_eq!(rep.missed_positives, 1); // pool 0 observed 1, implied 0
+        assert_eq!(rep.false_positives, 1); // pool 1 observed 0, implied 1
+        assert_eq!(rep.agreements, 1); // pool 2 agrees (both 0)
+        assert!(!rep.is_consistent());
+    }
+
+    #[test]
+    fn empty_design_is_trivially_consistent() {
+        let d = CsrDesign::sample(10, 0, 5, &SeedSequence::new(2));
+        let sigma = Signal::from_support(10, vec![1]);
+        let rep = consistency_report(&d, &[], &sigma, 1);
+        assert!(rep.is_consistent());
+        assert_eq!(rep.total(), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Neural group testing: pooled inference on an expensive classifier.
+//!
+//! Liang & Zou (the paper's reference [20]) accelerate deep-learning
+//! inference by feeding *merged* samples through the network and only
+//! recursing on positive pools — each query is a forward pass, so queries
+//! dominate wall-clock exactly as in the paper's wet-lab story. This
+//! example simulates a GPU that evaluates pools in fixed-size batches and
+//! compares three strategies end-to-end on wall-clock *and* forward-pass
+//! counts:
+//!
+//! * per-sample inference (no pooling),
+//! * the paper's one-round pooled design + MN decoding,
+//! * two-round counting Dorfman (pool, then resolve flagged pools).
+//!
+//! ```sh
+//! cargo run --release --example neural_group_testing
+//! ```
+
+use pooled_data::adaptive::{
+    counting_dorfman, makespan_fixed_latency, optimal_group_size, CountOracle,
+};
+use pooled_data::io::render_table;
+use pooled_data::prelude::*;
+use pooled_data::stats::replicate::{mn_trial, run_trials};
+
+fn main() {
+    // A screening corpus: n items, a rare positive class (θ = 0.25).
+    let n = 10_000;
+    let theta = 0.25;
+    let k = thresholds::k_of(n, theta); // 10 positives
+    let seeds = SeedSequence::new(2021);
+    let trials = 15;
+    // GPU model: batches of `batch` forward passes, `tau` ms per batch.
+    let (batch, tau) = (64usize, 30.0);
+
+    println!("neural group testing: n = {n} samples, k = {k} positives");
+    println!("GPU batch = {batch} forward passes, {tau} ms per batch\n");
+
+    let m_pooled = (1.2 * thresholds::m_mn_finite(n, theta)).ceil() as usize;
+    let g_star = optimal_group_size(n, k);
+
+    // Strategy A: per-sample inference — n forward passes, 1 round.
+    let individual_ms = makespan_fixed_latency(&[n], batch, tau);
+
+    // Strategy B: one-round pooled design + MN.
+    let pooled_outs = run_trials(&seeds.child("mn", 0), trials, |_, node| {
+        mn_trial(n, k, m_pooled, &node)
+    });
+    let pooled_success =
+        pooled_outs.iter().filter(|o| o.exact).count() as f64 / trials as f64;
+    let pooled_ms = makespan_fixed_latency(&[m_pooled], batch, tau);
+
+    // Strategy C: counting Dorfman (2 rounds, adaptive).
+    let dorfman_outs = run_trials(&seeds.child("dorf", 0), trials, |_, node| {
+        let sigma = Signal::random(n, k, &mut node.child("signal", 0).rng());
+        let mut oracle = CountOracle::new(&sigma);
+        let res = counting_dorfman(&mut oracle, g_star);
+        (res.estimate == sigma, res.queries, res.per_round)
+    });
+    let dorfman_queries =
+        dorfman_outs.iter().map(|o| o.1 as f64).sum::<f64>() / trials as f64;
+    let dorfman_ms = dorfman_outs
+        .iter()
+        .map(|o| makespan_fixed_latency(&o.2, batch, tau))
+        .sum::<f64>()
+        / trials as f64;
+
+    let header = ["strategy", "forward passes", "rounds", "wall-clock (ms)", "exact"];
+    let rows = vec![
+        vec![
+            "per-sample".into(),
+            n.to_string(),
+            "1".into(),
+            format!("{individual_ms:.0}"),
+            "always".into(),
+        ],
+        vec![
+            "one-round MN (paper)".into(),
+            m_pooled.to_string(),
+            "1".into(),
+            format!("{pooled_ms:.0}"),
+            format!("{pooled_success:.2}"),
+        ],
+        vec![
+            format!("Dorfman g*={g_star}"),
+            format!("{dorfman_queries:.0}"),
+            "2".into(),
+            format!("{dorfman_ms:.0}"),
+            "always".into(),
+        ],
+    ];
+    println!("{}", render_table(&header, &rows));
+    let ratio = dorfman_queries / m_pooled as f64;
+    println!(
+        "\npooling cuts forward passes {:.0}× against per-sample inference.\n\
+         the adaptive scheme is deterministic-exact at {:.1}× the one-round pass\n\
+         count plus a pipeline stall between rounds; the one-round design is\n\
+         fastest but succeeds with probability {:.2} at this budget — the §VI\n\
+         trade-off in one table.",
+        n as f64 / m_pooled as f64,
+        ratio,
+        pooled_success
+    );
+}

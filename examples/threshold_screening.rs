@@ -1,0 +1,87 @@
+//! Threshold screening: pooled tests whose readout is one bit.
+//!
+//! Many assays cannot report an exact count — a PCR pool fluoresces once
+//! the viral load crosses a detection limit, a sensor trips above a
+//! concentration. This is exactly the threshold group-testing setting the
+//! paper's §VI names as an open problem. The example screens a population
+//! with detectors of threshold T ∈ {1, 2, 4}, sizes the pools with the
+//! separation-efficiency rule, decodes with the Threshold-MN decoder, and
+//! shows what the lost count information costs relative to the additive
+//! channel — including a detector with a *gap* (loads just under T
+//! sometimes trip it).
+//!
+//! ```sh
+//! cargo run --release --example threshold_screening
+//! ```
+
+use pooled_data::io::render_table;
+use pooled_data::prelude::*;
+use pooled_data::stats::replicate::run_trials;
+use pooled_data::theory::threshold_gt::{m_threshold_estimate, recommended_gamma};
+use pooled_data::threshold::{
+    consistency_report, recommended_design, GappedChannel, ThresholdChannel, ThresholdMnDecoder,
+};
+
+fn main() {
+    let n = 2000;
+    let theta = 0.3;
+    let k = thresholds::k_of(n, theta);
+    let seeds = SeedSequence::new(2022);
+    let trials = 20;
+    println!("threshold screening: n = {n} specimens, k = {k} positives\n");
+
+    let header =
+        ["T", "pool size Γ*", "m (tests)", "success", "mean overlap", "consistent"];
+    let mut rows = Vec::new();
+    for t in [1u64, 2, 4] {
+        let (gamma, _) = recommended_gamma(n, k, t);
+        let m = (1.3 * m_threshold_estimate(n, k, gamma, t)).ceil() as usize;
+        let outs = run_trials(&seeds.child("t", t), trials, |_, node| {
+            let sigma = Signal::random(n, k, &mut node.child("signal", 0).rng());
+            let design = recommended_design(n, k, t, m, &node.child("design", 0));
+            let bits = ThresholdChannel::new(t).execute(&design, &sigma);
+            let out = ThresholdMnDecoder::new(k).decode(&design, &bits);
+            let consistent =
+                consistency_report(&design, &bits, &out.estimate, t).is_consistent();
+            let overlap = out.estimate.overlap(&sigma) as f64 / k as f64;
+            (out.estimate == sigma, overlap, consistent)
+        });
+        let success = outs.iter().filter(|o| o.0).count() as f64 / trials as f64;
+        let overlap = outs.iter().map(|o| o.1).sum::<f64>() / trials as f64;
+        let consistent = outs.iter().filter(|o| o.2).count() as f64 / trials as f64;
+        rows.push(vec![
+            t.to_string(),
+            gamma.to_string(),
+            m.to_string(),
+            format!("{success:.2}"),
+            format!("{overlap:.4}"),
+            format!("{consistent:.2}"),
+        ]);
+    }
+    println!("{}", render_table(&header, &rows));
+    println!(
+        "\nthe additive channel needs ≈ {:.0} tests here (m_MN finite-n);\n\
+         one-bit readouts pay roughly the Γ/separation² premium above.\n",
+        thresholds::m_mn_finite(n, theta)
+    );
+
+    // A leaky detector: loads in [T−1, T) trip it half the time.
+    let t = 2u64;
+    let (gamma, _) = recommended_gamma(n, k, t);
+    let m = (1.6 * m_threshold_estimate(n, k, gamma, t)).ceil() as usize;
+    let outs = run_trials(&seeds.child("gap", 0), trials, |_, node| {
+        let sigma = Signal::random(n, k, &mut node.child("signal", 0).rng());
+        let design = recommended_design(n, k, t, m, &node.child("design", 0));
+        let channel = GappedChannel::new(t - 1, t, node.child("channel", 0));
+        let bits = channel.execute(&design, &sigma);
+        let out = ThresholdMnDecoder::new(k).decode(&design, &bits);
+        out.estimate == sigma
+    });
+    let success = outs.iter().filter(|&&e| e).count() as f64 / trials as f64;
+    println!(
+        "leaky detector (gap [{}, {}), T = {t}, m = {m}): success {success:.2} — \
+         the score decoder absorbs gap noise with a constant-factor budget bump",
+        t - 1,
+        t
+    );
+}

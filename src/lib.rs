@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+
+//! # pooled-data — Parallel Reconstruction from Pooled Data
+//!
+//! Facade crate re-exporting the whole workspace behind one dependency.
+//! See the README for the architecture overview and the per-crate docs for
+//! details. The typical entry points are:
+//!
+//! * [`design`] — sample a random regular pooling design `G(n, m, Γ)`.
+//! * [`core`] — generate signals, execute additive queries, decode with the
+//!   Maximum Neighborhood algorithm.
+//! * [`theory`] — closed-form thresholds from the paper.
+//! * [`baselines`] — comparator decoders (OMP, LP, AMP, peeling, COMP/DD).
+//! * [`lab`] — discrete-event simulation of parallel query execution.
+//! * [`threshold`] — threshold group testing (§VI open problem): one-bit
+//!   channels, the Threshold-MN decoder, pool-size selection.
+//! * [`adaptive`] — partially-parallel strategies (§VI open problem):
+//!   quantitative bisection, counting Dorfman, the two-round hybrid, and
+//!   the rounds/queries/makespan trade-off.
+//!
+//! ```
+//! use pooled_data::prelude::*;
+//!
+//! let seeds = SeedSequence::new(1905);
+//! let n = 512;
+//! let k = 6;
+//! let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+//! let m = 400;
+//! let design = RandomRegularDesign::sample(n, m, &seeds.child("design", 0));
+//! let y = execute_queries(&design, &sigma);
+//! let decoded = MnDecoder::new(k).decode(&design, &y);
+//! assert_eq!(decoded.estimate, sigma);
+//! ```
+
+pub use pooled_adaptive as adaptive;
+pub use pooled_baselines as baselines;
+pub use pooled_core as core;
+pub use pooled_design as design;
+pub use pooled_io as io;
+pub use pooled_lab as lab;
+pub use pooled_linalg as linalg;
+pub use pooled_par as par;
+pub use pooled_rng as rng;
+pub use pooled_stats as stats;
+pub use pooled_theory as theory;
+pub use pooled_threshold as threshold;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use pooled_core::mn::MnDecoder;
+    pub use pooled_core::query::execute_queries;
+    pub use pooled_core::signal::Signal;
+    pub use pooled_design::multigraph::RandomRegularDesign;
+    pub use pooled_design::PoolingDesign;
+    pub use pooled_rng::{Rng64, SeedSequence};
+    pub use pooled_theory::thresholds;
+}

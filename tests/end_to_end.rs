@@ -1,0 +1,98 @@
+//! Cross-crate integration tests: the full pipeline from design sampling
+//! through decoding, exercising both storage modes and both decode paths.
+
+use pooled_data::core::metrics::overlap_fraction;
+use pooled_data::core::mn::{DecodeStrategy, MnDecoder, SelectionMethod};
+use pooled_data::design::multigraph::StorageMode;
+use pooled_data::prelude::*;
+use pooled_data::stats::replicate::{mn_trial, run_trials};
+use pooled_data::theory::thresholds::{k_of, m_mn_finite};
+
+#[test]
+fn recovery_at_theorem1_scale_multiple_thetas() {
+    for &theta in &[0.2, 0.3, 0.4] {
+        let n = 1500;
+        let k = k_of(n, theta);
+        let m = (1.4 * m_mn_finite(n, theta)).ceil() as usize;
+        let master = SeedSequence::new(100 + (theta * 10.0) as u64);
+        let outs = run_trials(&master, 8, |_, seeds| mn_trial(n, k, m, &seeds));
+        let successes = outs.iter().filter(|o| o.exact).count();
+        assert!(successes >= 6, "θ={theta}: only {successes}/8 recoveries at m={m}");
+    }
+}
+
+#[test]
+fn pipeline_equivalence_csr_vs_streaming_and_all_decode_paths() {
+    let seeds = SeedSequence::new(555);
+    let n = 1200;
+    let k = 9;
+    let m = 420;
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let csr =
+        RandomRegularDesign::sample_with(n, m, n / 2, &seeds.child("design", 0), StorageMode::Materialized);
+    let stream =
+        RandomRegularDesign::sample_with(n, m, n / 2, &seeds.child("design", 0), StorageMode::Streaming);
+    let y1 = execute_queries(&csr, &sigma);
+    let y2 = execute_queries(&stream, &sigma);
+    assert_eq!(y1, y2, "storage modes must produce identical observations");
+
+    let mut estimates = Vec::new();
+    for strategy in [DecodeStrategy::Scatter, DecodeStrategy::Gather, DecodeStrategy::Auto] {
+        for selection in [SelectionMethod::TopK, SelectionMethod::FullSort] {
+            let out = MnDecoder::new(k)
+                .with_strategy(strategy)
+                .with_selection(selection)
+                .decode_design(&csr, &y1);
+            estimates.push(out.estimate);
+        }
+    }
+    let out_stream = MnDecoder::new(k).decode_design(&stream, &y2);
+    estimates.push(out_stream.estimate);
+    for w in estimates.windows(2) {
+        assert_eq!(w[0], w[1], "decode paths disagree");
+    }
+}
+
+#[test]
+fn overlap_grows_monotonically_with_m_on_average() {
+    let n = 800;
+    let k = 7;
+    let master = SeedSequence::new(77);
+    let mut means = Vec::new();
+    for &m in &[20usize, 80, 240, 480] {
+        let outs =
+            run_trials(&master.child("m", m as u64), 10, |_, seeds| mn_trial(n, k, m, &seeds));
+        means.push(outs.iter().map(|o| o.overlap).sum::<f64>() / 10.0);
+    }
+    assert!(means[3] > means[0] + 0.3, "no learning curve: {means:?}");
+    assert!(means.windows(2).filter(|w| w[1] + 0.10 < w[0]).count() == 0,
+        "overlap regressed sharply along m: {means:?}");
+}
+
+#[test]
+fn facade_prelude_round_trip() {
+    // The README example, verbatim semantics.
+    let seeds = SeedSequence::new(1905);
+    let n = 512;
+    let k = 6;
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let design = RandomRegularDesign::sample(n, 400, &seeds.child("design", 0));
+    let y = execute_queries(&design, &sigma);
+    let decoded = MnDecoder::new(k).decode_design(&design, &y);
+    assert_eq!(decoded.estimate, sigma);
+}
+
+#[test]
+fn weight_mismatch_degrades_gracefully() {
+    // Decoder told k+2: estimate has k+2 ones but must contain the truth
+    // at generous m.
+    let seeds = SeedSequence::new(31);
+    let n = 600;
+    let k = 5;
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let design = RandomRegularDesign::sample(n, 500, &seeds.child("design", 0));
+    let y = execute_queries(&design, &sigma);
+    let out = MnDecoder::new(k + 2).decode_design(&design, &y);
+    assert_eq!(out.estimate.weight(), k + 2);
+    assert_eq!(overlap_fraction(&sigma, &out.estimate), 1.0, "true support must be included");
+}

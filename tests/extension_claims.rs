@@ -1,0 +1,85 @@
+//! Regression pins for the extension experiments' headline findings, at
+//! reduced trial counts. Each test encodes a *direction* the full-scale
+//! experiment measured (EXPERIMENTS.md records the full numbers); if a
+//! refactor flips one of these, something real broke.
+
+use pooled_data::core::mn_general::GeneralMnDecoder;
+use pooled_data::core::refine::{refine, RefineConfig};
+use pooled_data::design::{CsrDesign, DesignKind};
+use pooled_data::prelude::*;
+
+fn success_count<F>(trials: u64, base_seed: u64, mut trial: F) -> u32
+where
+    F: FnMut(SeedSequence) -> bool,
+{
+    (0..trials).filter(|&t| trial(SeedSequence::new(base_seed + t))) .count() as u32
+}
+
+/// EXT-GAMMA headline: at fixed sub-threshold m the paper's Γ = n/2 beats
+/// Γ = 2n decisively (measured m50: 201 vs 539 at n = 1000, θ = 0.3).
+#[test]
+fn gamma_half_beats_gamma_two_n() {
+    let (n, k, m, trials) = (1000usize, 8usize, 260usize, 12u64);
+    let run = |gamma: usize, base: u64| {
+        success_count(trials, base, |seeds| {
+            let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+            let d = CsrDesign::sample(n, m, gamma, &seeds.child("design", 0));
+            let y = execute_queries(&d, &sigma);
+            GeneralMnDecoder::new(k).decode(&d, &y).estimate == sigma
+        })
+    };
+    let (half, double) = (run(n / 2, 60_000), run(2 * n, 60_000));
+    assert!(
+        half >= double + 3,
+        "Γ=n/2: {half}/{trials} should clearly beat Γ=2n: {double}/{trials}"
+    );
+}
+
+/// EXT-REFINE headline: at m = 150 (half the finite-size MN threshold)
+/// refinement lifts the success rate from ~0.2 to ~1.0.
+#[test]
+fn refinement_dominates_at_half_threshold() {
+    let (n, k, m, trials) = (1000usize, 8usize, 150usize, 12u64);
+    let mut plain = 0u32;
+    let refined = success_count(trials, 61_000, |seeds| {
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let d = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+        let y = execute_queries(&d, &sigma);
+        let out = MnDecoder::new(k).decode(&d, &y);
+        plain += (out.estimate == sigma) as u32;
+        let r = refine(&d, &y, &out.scores, &out.estimate, &RefineConfig::default());
+        r.estimate == sigma
+    });
+    assert!(
+        refined >= plain + 4,
+        "refined {refined}/{trials} should clearly beat plain {plain}/{trials} at m={m}"
+    );
+}
+
+/// EXT-DSGN headline: without-replacement pools are never worse than the
+/// paper's with-replacement pools at matched density (measured m50: 178
+/// vs 207), and entry-regular is the weakest family (m50: 237).
+#[test]
+fn design_family_ordering() {
+    let (n, k, m, trials) = (1000usize, 8usize, 205usize, 16u64);
+    let run = |kind: DesignKind, base: u64| {
+        success_count(trials, base, |seeds| {
+            let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+            let d = kind.sample(n, m, 0.5, &seeds.child(kind.name(), 0));
+            let y = execute_queries(&d, &sigma);
+            GeneralMnDecoder::new(k).decode(&d, &y).estimate == sigma
+        })
+    };
+    let no_replace = run(DesignKind::NoReplace, 62_000);
+    let regular = run(DesignKind::RandomRegular, 62_000);
+    let entry_regular = run(DesignKind::EntryRegular, 62_000);
+    // Allow 2 trials of noise on each comparison.
+    assert!(
+        no_replace + 2 >= regular,
+        "no_replace {no_replace} vs random_regular {regular}"
+    );
+    assert!(
+        regular + 2 >= entry_regular,
+        "random_regular {regular} vs entry_regular {entry_regular}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Cross-crate integration tests for the §VI-extension stack: threshold
+//! group testing, adaptive strategies, alternative designs, and the
+//! refinement stage, all driven through the facade crate.
+
+use pooled_data::adaptive::{
+    counting_dorfman, optimal_group_size, quantitative_bisect, two_round_hybrid, CountOracle,
+    HybridConfig, StrategyReport,
+};
+use pooled_data::core::mn_general::GeneralMnDecoder;
+use pooled_data::core::refine::{refine, RefineConfig};
+use pooled_data::design::{CsrDesign, DesignKind};
+use pooled_data::prelude::*;
+use pooled_data::theory::threshold_gt::{m_threshold_estimate, recommended_gamma};
+use pooled_data::threshold::{
+    consistency_report, recommended_design, ThresholdChannel, ThresholdMnDecoder,
+};
+
+/// The full threshold pipeline at T = 2 — design selection from theory,
+/// channel execution, decoding, and the consistency certificate.
+#[test]
+fn threshold_pipeline_end_to_end() {
+    let (n, k, t) = (800usize, 7usize, 2u64);
+    let (gamma, _) = recommended_gamma(n, k, t);
+    let m = (1.3 * m_threshold_estimate(n, k, gamma, t)).ceil() as usize;
+    let mut ok = 0;
+    for seed in 0..6u64 {
+        let seeds = SeedSequence::new(9000 + seed);
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let design = recommended_design(n, k, t, m, &seeds.child("design", 0));
+        let bits = ThresholdChannel::new(t).execute(&design, &sigma);
+        let out = ThresholdMnDecoder::new(k).decode(&design, &bits);
+        if out.estimate == sigma {
+            ok += 1;
+            assert!(consistency_report(&design, &bits, &out.estimate, t).is_consistent());
+        }
+    }
+    assert!(ok >= 5, "threshold pipeline recovered {ok}/6");
+}
+
+/// Every adaptive strategy recovers the same signal exactly, and their
+/// cost profiles are ordered the way the trade-off table claims.
+#[test]
+fn adaptive_strategies_agree_and_rank() {
+    let (n, k) = (4096usize, 12usize);
+    let seeds = SeedSequence::new(777);
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+
+    let mut o1 = CountOracle::new(&sigma);
+    let bis = quantitative_bisect(&mut o1);
+    assert_eq!(bis.estimate, sigma);
+
+    let g = optimal_group_size(n, k);
+    let mut o2 = CountOracle::new(&sigma);
+    let dorf = counting_dorfman(&mut o2, g);
+    assert_eq!(dorf.estimate, sigma);
+
+    // Query ordering: bisect ≪ dorfman ≪ individual testing.
+    assert!(bis.queries < dorf.queries, "{} vs {}", bis.queries, dorf.queries);
+    assert!(dorf.queries < n / 2);
+    // Round ordering: dorfman (2) < bisect (log n).
+    assert!(dorf.rounds <= 2);
+    assert!(bis.rounds > dorf.rounds);
+
+    // Makespans honour the barrier semantics on few units vs many.
+    let b = StrategyReport::new("bisect", bis.per_round.clone(), true);
+    let d = StrategyReport::new("dorfman", dorf.per_round.clone(), true);
+    assert!(b.makespan(10_000, 1.0) >= d.makespan(10_000, 1.0), "rounds dominate at L=∞");
+}
+
+/// The hybrid's screening round uses the same oracle accounting as the
+/// other strategies and its capture certificate is sound.
+#[test]
+fn hybrid_certificate_is_sound() {
+    let (n, k) = (1000usize, 8usize);
+    for seed in 0..8u64 {
+        let seeds = SeedSequence::new(31_000 + seed);
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let mut oracle = CountOracle::new(&sigma);
+        let cfg = HybridConfig { m1: 150, candidate_mult: 8 };
+        let res = two_round_hybrid(&mut oracle, k, &cfg, &seeds);
+        assert_eq!(res.queries, oracle.queries());
+        if res.captured {
+            assert_eq!(res.estimate, sigma, "captured must imply exact (seed {seed})");
+        } else {
+            assert_ne!(res.estimate, sigma);
+        }
+    }
+}
+
+/// All four design families drive the same Γ-general decoder to exact
+/// recovery at a generous budget — the families are interchangeable
+/// behind the `PoolingDesign` trait.
+#[test]
+fn all_design_families_interchangeable() {
+    let (n, k, m) = (600usize, 6usize, 400usize);
+    for kind in DesignKind::ALL {
+        let seeds = SeedSequence::new(4242);
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let design = kind.sample(n, m, 0.5, &seeds.child(kind.name(), 0));
+        let y = execute_queries(&design, &sigma);
+        let out = GeneralMnDecoder::new(k).decode(&design, &y);
+        assert_eq!(out.estimate, sigma, "{} failed at m={m}", kind.name());
+    }
+}
+
+/// Refinement strictly extends the decoder's working range: below the MN
+/// threshold it repairs estimates, and its certificate (zero residual at
+/// m above the IT threshold) never lies over a full seed sweep.
+#[test]
+fn refinement_certificate_never_lies() {
+    let (n, k, m) = (1000usize, 8usize, 150usize); // between m_IT and m_MN
+    let mut certified = 0;
+    for seed in 0..10u64 {
+        let seeds = SeedSequence::new(88_000 + seed);
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+        let y = execute_queries(&design, &sigma);
+        let out = MnDecoder::new(k).decode(&design, &y);
+        let refined = refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+        if refined.consistent {
+            certified += 1;
+            assert_eq!(refined.estimate, sigma, "certificate lied at seed {seed}");
+        }
+    }
+    assert!(certified >= 6, "only {certified}/10 certified at m={m}");
+}
+
+/// The threshold decoder degrades to the additive decoder's answer as
+/// T-channel bits carry less information: additive success dominates
+/// threshold success at the same (n, m).
+#[test]
+fn additive_channel_dominates_threshold_channel() {
+    let (n, k, t) = (1000usize, 8usize, 2u64);
+    let m = 420; // comfortable for additive, hopeless for 1-bit queries
+    let (mut add_ok, mut thr_ok) = (0, 0);
+    for seed in 0..6u64 {
+        let seeds = SeedSequence::new(55_000 + seed);
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let add_design = CsrDesign::sample(n, m, n / 2, &seeds.child("add", 0));
+        let y = execute_queries(&add_design, &sigma);
+        add_ok += (MnDecoder::new(k).decode(&add_design, &y).estimate == sigma) as u32;
+        let thr_design = recommended_design(n, k, t, m, &seeds.child("thr", 0));
+        let bits = ThresholdChannel::new(t).execute(&thr_design, &sigma);
+        thr_ok += (ThresholdMnDecoder::new(k).decode(&thr_design, &bits).estimate == sigma)
+            as u32;
+    }
+    assert!(add_ok >= thr_ok, "additive {add_ok}/6 vs threshold {thr_ok}/6");
+    assert_eq!(add_ok, 6, "m=420 should be comfortable for the additive channel");
+}

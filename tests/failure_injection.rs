@@ -1,0 +1,122 @@
+//! Failure injection: corrupt inputs, adversarial results, and robustness
+//! envelopes across the decoder stack.
+
+use pooled_data::core::refine::{refine, RefineConfig};
+use pooled_data::design::CsrDesign;
+use pooled_data::prelude::*;
+use pooled_data::threshold::{ThresholdChannel, ThresholdMnDecoder};
+
+fn setup(n: usize, k: usize, m: usize, seed: u64) -> (Signal, CsrDesign, Vec<u64>) {
+    let seeds = SeedSequence::new(seed);
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+    let y = execute_queries(&design, &sigma);
+    (sigma, design, y)
+}
+
+/// A handful of corrupted query results degrade MN gracefully: the decoder
+/// still recovers when the budget has slack, because each entry's score
+/// averages over ~0.39·m queries.
+#[test]
+fn mn_tolerates_sparse_corruption() {
+    let (n, k, m) = (1000usize, 8usize, 450usize);
+    let mut ok = 0;
+    for seed in 0..8u64 {
+        let (sigma, design, mut y) = setup(n, k, m, 17_000 + seed);
+        // Corrupt 2% of the results by ±k (worst-case magnitude for a
+        // query's one-count).
+        let mut rng = SeedSequence::new(seed).child("corrupt", 0).rng();
+        for _ in 0..m / 50 {
+            let q = rng.index(m);
+            y[q] = y[q].saturating_add_signed(if rng.flip() { k as i64 } else { -(k as i64) });
+        }
+        let out = MnDecoder::new(k).decode(&design, &y);
+        ok += (out.estimate == sigma) as u32;
+    }
+    assert!(ok >= 7, "only {ok}/8 under 2% corruption");
+}
+
+/// Total corruption is not survivable — and must not panic either.
+#[test]
+fn mn_survives_garbage_input_without_panicking() {
+    let (_, design, _) = setup(500, 6, 100, 3);
+    let garbage: Vec<u64> = (0..100).map(|q| (q * 7919) as u64 % 251).collect();
+    let out = MnDecoder::new(6).decode(&design, &garbage);
+    assert_eq!(out.estimate.weight(), 6, "weight contract holds even on garbage");
+}
+
+/// Refinement on corrupted results still never *increases* the residual,
+/// and stays within its swap budget.
+#[test]
+fn refine_is_safe_under_corruption() {
+    let (_, design, mut y) = setup(800, 9, 200, 4);
+    for q in (0..200).step_by(17) {
+        y[q] += 3;
+    }
+    let out = MnDecoder::new(9).decode(&design, &y);
+    let cfg = RefineConfig { window: 16, max_swaps: 40 };
+    let refined = refine(&design, &y, &out.scores, &out.estimate, &cfg);
+    assert!(refined.final_residual <= refined.initial_residual);
+    assert!(refined.swaps <= 40);
+    // With inconsistent y there may be no consistent vector at all; the
+    // refiner must terminate and say so rather than loop.
+    if refined.final_residual > 0 {
+        assert!(!refined.consistent);
+    }
+}
+
+/// Flipped threshold bits: the score decoder degrades smoothly — a few
+/// flipped bits leave recovery intact at a generous budget.
+#[test]
+fn threshold_decoder_tolerates_bit_flips() {
+    let (n, k, t, m) = (800usize, 7usize, 2u64, 1800usize);
+    let mut ok = 0;
+    for seed in 0..8u64 {
+        let seeds = SeedSequence::new(23_000 + seed);
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+        let design =
+            pooled_data::threshold::recommended_design(n, k, t, m, &seeds.child("design", 0));
+        let mut bits = ThresholdChannel::new(t).execute(&design, &sigma);
+        let mut rng = seeds.child("flips", 0).rng();
+        for _ in 0..m / 100 {
+            let q = rng.index(m);
+            bits[q] ^= 1;
+        }
+        let out = ThresholdMnDecoder::new(k).decode(&design, &bits);
+        ok += (out.estimate == sigma) as u32;
+    }
+    assert!(ok >= 7, "only {ok}/8 with 1% flipped bits");
+}
+
+/// Dimension mismatches fail loudly everywhere, not silently.
+#[test]
+fn dimension_mismatches_panic() {
+    let (_, design, y) = setup(300, 5, 60, 5);
+    let r1 = std::panic::catch_unwind(|| {
+        let _ = MnDecoder::new(5).decode(&design, &y[..59]);
+    });
+    assert!(r1.is_err(), "short y must panic");
+    let sigma_wrong = Signal::from_support(301, vec![0]);
+    let r2 = std::panic::catch_unwind(|| {
+        let _ = execute_queries(&design, &sigma_wrong);
+    });
+    assert!(r2.is_err(), "wrong-n signal must panic");
+}
+
+/// k mis-specification: decoding with k′ > k yields a weight-k′ estimate
+/// that still contains (nearly) the whole support — capturing all of it is
+/// harder than ranking it first (the subset-select effect), so the
+/// contract is "no more than one straggler" at a generous budget.
+#[test]
+fn overestimated_k_still_captures_support() {
+    let mut worst = 8usize;
+    for seed in 0..6u64 {
+        let (sigma, design, y) = setup(1000, 8, 600, 6 + seed);
+        let out = MnDecoder::new(16).decode(&design, &y); // k′ = 2k
+        assert_eq!(out.estimate.weight(), 16);
+        let captured =
+            sigma.support().iter().filter(|&&i| out.estimate.is_one(i)).count();
+        worst = worst.min(captured);
+    }
+    assert!(worst >= 7, "a top-2k list lost {} true ones", 8 - worst);
+}

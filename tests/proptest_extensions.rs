@@ -1,0 +1,168 @@
+//! Property-based invariants for the extension stack (threshold, adaptive,
+//! alternative designs, radix/histogram primitives).
+
+use proptest::prelude::*;
+
+use pooled_data::adaptive::{counting_dorfman, quantitative_bisect, CountOracle};
+use pooled_data::core::mn_general::GeneralMnDecoder;
+use pooled_data::design::{CsrDesign, DesignKind, PoolingDesign};
+use pooled_data::par::histogram::par_histogram;
+use pooled_data::par::radix::{par_radix_sort_pairs, radix_rank_desc};
+use pooled_data::prelude::*;
+use pooled_data::threshold::ThresholdChannel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Radix sort agrees with the standard library on arbitrary inputs.
+    #[test]
+    fn radix_sort_matches_std(mut keys in proptest::collection::vec(any::<u64>(), 0..3000)) {
+        let mut pairs: Vec<(u64, u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        par_radix_sort_pairs(&mut pairs);
+        keys.sort_unstable();
+        prop_assert!(pairs.iter().map(|&(k, _)| k).eq(keys.iter().copied()));
+        // Stability: ties keep ascending payload order.
+        for w in pairs.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1);
+            }
+        }
+    }
+
+    /// Descending score ranking agrees with a comparison sort.
+    #[test]
+    fn radix_rank_matches_comparison(scores in proptest::collection::vec(any::<i64>(), 0..2000)) {
+        let got = radix_rank_desc(&scores);
+        let mut want: Vec<u32> = (0..scores.len() as u32).collect();
+        want.sort_by_key(|&i| (std::cmp::Reverse(scores[i as usize]), i));
+        prop_assert_eq!(got, want);
+    }
+
+    /// Histogram counts are exact for any bin function.
+    #[test]
+    fn histogram_matches_sequential(
+        data in proptest::collection::vec(any::<u32>(), 0..5000),
+        bins in 1usize..64,
+    ) {
+        let par = par_histogram(&data, bins, |&x| x as usize % bins);
+        let mut seq = vec![0u64; bins];
+        for &x in &data {
+            seq[x as usize % bins] += 1;
+        }
+        prop_assert_eq!(par, seq);
+    }
+
+    /// Quantitative bisection is exact on arbitrary signals and respects
+    /// its query bound.
+    #[test]
+    fn bisect_exact_on_arbitrary_signals(
+        n in 1usize..600,
+        seed in any::<u64>(),
+        density in 0.0f64..1.0,
+    ) {
+        let k = ((n as f64) * density) as usize;
+        let sigma = Signal::random(n, k.min(n), &mut SeedSequence::new(seed).rng());
+        let mut oracle = CountOracle::new(&sigma);
+        let res = quantitative_bisect(&mut oracle);
+        prop_assert_eq!(&res.estimate, &sigma);
+        let bound = 1 + 2 * n; // trivial upper bound: every split queries once
+        prop_assert!(res.queries <= bound);
+    }
+
+    /// Counting Dorfman is exact for every group size.
+    #[test]
+    fn dorfman_exact_for_any_group_size(
+        n in 1usize..400,
+        g in 1usize..50,
+        seed in any::<u64>(),
+        density in 0.0f64..1.0,
+    ) {
+        let k = (((n as f64) * density) as usize).min(n);
+        let sigma = Signal::random(n, k, &mut SeedSequence::new(seed).rng());
+        let mut oracle = CountOracle::new(&sigma);
+        let res = counting_dorfman(&mut oracle, g);
+        prop_assert_eq!(&res.estimate, &sigma);
+        prop_assert!(res.rounds <= 2);
+    }
+
+    /// Threshold bits are monotone in T and match the load definition.
+    #[test]
+    fn threshold_bits_monotone_and_faithful(
+        n in 2usize..200,
+        m in 1usize..30,
+        seed in any::<u64>(),
+    ) {
+        let seeds = SeedSequence::new(seed);
+        let k = (n / 4).max(1);
+        let sigma = Signal::random(n, k, &mut seeds.child("sig", 0).rng());
+        let design = CsrDesign::sample(n, m, (n / 2).max(1), &seeds.child("d", 0));
+        let mut prev: Option<Vec<u8>> = None;
+        for t in 1..=4u64 {
+            let bits = ThresholdChannel::new(t).execute(&design, &sigma);
+            // Faithfulness against a direct load computation.
+            for q in 0..m {
+                let mut load = 0u64;
+                design.for_each_distinct(q, &mut |e, _| load += sigma.get(e) as u64);
+                prop_assert_eq!(bits[q], u8::from(load >= t));
+            }
+            if let Some(p) = prev {
+                // Monotone: raising T can only turn bits off.
+                prop_assert!(p.iter().zip(&bits).all(|(&a, &b)| a >= b));
+            }
+            prev = Some(bits);
+        }
+    }
+
+    /// Every design family conserves its own pool-size accounting: draws
+    /// visited equal `pool_len`, distinct ≤ draws, and multiplicities sum
+    /// to the draw count.
+    #[test]
+    fn design_families_conserve_draws(
+        n in 2usize..300,
+        m in 1usize..25,
+        seed in any::<u64>(),
+        kind_idx in 0usize..4,
+    ) {
+        let kind = DesignKind::ALL[kind_idx];
+        let d = kind.sample(n, m, 0.5, &SeedSequence::new(seed));
+        for q in 0..d.m() {
+            let mut draws = 0usize;
+            d.for_each_draw(q, &mut |_| draws += 1);
+            prop_assert_eq!(draws, d.pool_len(q));
+            let mut mult_sum = 0usize;
+            let mut distinct = 0usize;
+            d.for_each_distinct(q, &mut |_, c| {
+                mult_sum += c as usize;
+                distinct += 1;
+            });
+            prop_assert_eq!(mult_sum, draws);
+            prop_assert!(distinct <= draws.max(1));
+            prop_assert_eq!(distinct, d.distinct_len(q));
+        }
+    }
+
+    /// The Γ-general decoder ranks identically to the classic decoder on
+    /// the paper's design whenever `Γ = n/2` **exactly** (even `n`): then
+    /// `n·Ψ − kΓΔ* = (n/2)·(2Ψ − kΔ*)`. For odd `n` the classic score's
+    /// `k/2` centering assumes a pool fraction the design cannot provide
+    /// (`⌊n/2⌋/n ≠ 1/2`) and the two decoders may legitimately disagree on
+    /// marginal instances — the general decoder is the exactly-centered
+    /// one.
+    #[test]
+    fn general_and_classic_decoders_rank_identically(
+        half_n in 5usize..150,
+        m in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let n = 2 * half_n;
+        let seeds = SeedSequence::new(seed);
+        let k = (n / 10).max(1);
+        let sigma = Signal::random(n, k, &mut seeds.child("sig", 0).rng());
+        let design = CsrDesign::sample(n, m, n / 2, &seeds.child("d", 0));
+        let y = execute_queries(&design, &sigma);
+        let classic = MnDecoder::new(k).decode(&design, &y);
+        let general = GeneralMnDecoder::new(k).decode(&design, &y);
+        prop_assert_eq!(classic.estimate, general.estimate);
+    }
+}
