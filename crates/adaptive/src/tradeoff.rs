@@ -154,7 +154,7 @@ mod tests {
         // The experiment's headline: with many units the 1-round design
         // wins; with few units the query-frugal adaptive strategy wins.
         let parallel = StrategyReport::new("parallel", vec![1200], true);
-        let adaptive = StrategyReport::new("bisect", vec![1; 17].iter().map(|_| 16).collect(), true);
+        let adaptive = StrategyReport::new("bisect", [1; 17].iter().map(|_| 16).collect(), true);
         // L = 1200: parallel 1 batch vs adaptive 17 batches.
         assert!(parallel.makespan(1200, 1.0) < adaptive.makespan(1200, 1.0));
         // L = 4: parallel 300 batches vs adaptive 17·4 = 68 batches.

@@ -1,0 +1,91 @@
+//! Fused single-pass decode vs the seed two-pass composition.
+//!
+//! `two_pass` is the seed hot path: `pool_sums_u64` (y = Aᵀσ) followed by
+//! `scatter_distinct_u64` (Ψ, Δ*) — two traversals of the design plus three
+//! fresh allocations per decode. `fused_ws` computes the same three vectors
+//! in one traversal into reusable workspace buffers
+//! (`pooled_design::fused::decode_sums_fused`). `decode_repeat_*` measures
+//! the replicate-loop view: 100 decodes of the same instance through the
+//! allocating API vs a held `MnWorkspace`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_core::mn::MnDecoder;
+use pooled_core::workspace::MnWorkspace;
+use pooled_design::csr::CsrDesign;
+use pooled_design::fused::{decode_sums_fused, FusedArena};
+use pooled_design::matvec::{pool_sums_u64, scatter_distinct_u64};
+use pooled_rng::SeedSequence;
+
+fn dense_signal(n: usize, k: usize, seeds: &SeedSequence) -> Vec<u64> {
+    let sigma = pooled_core::signal::Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    sigma.dense().iter().map(|&b| b as u64).collect()
+}
+
+fn bench_sums(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_fused");
+    group.sample_size(12);
+    // (n, m, Γ) points: the paper regime Γ = n/2 at two scales, plus a
+    // query-heavy point.
+    let points =
+        [(20_000usize, 800usize, 10_000usize), (50_000, 1500, 25_000), (8_000, 2_000, 4_000)];
+    for &(n, m, gamma) in &points {
+        let seeds = SeedSequence::new(1905);
+        let design = CsrDesign::sample(n, m, gamma, &seeds.child("design", 0));
+        let x = dense_signal(n, (n as f64).powf(0.3) as usize, &seeds);
+
+        group.bench_function(format!("two_pass/n{n}_m{m}_g{gamma}"), |b| {
+            b.iter(|| {
+                let y = pool_sums_u64(&design, &x);
+                let (psi, dstar) = scatter_distinct_u64(&design, &y);
+                black_box((y, psi, dstar))
+            });
+        });
+
+        let mut y = vec![0u64; m];
+        let mut psi = vec![0u64; n];
+        let mut dstar = vec![0u64; n];
+        let mut arena = FusedArena::new();
+        group.bench_function(format!("fused_ws/n{n}_m{m}_g{gamma}"), |b| {
+            b.iter(|| {
+                decode_sums_fused(&design, &x, &mut y, &mut psi, &mut dstar, &mut arena);
+                black_box((y.first().copied(), psi.first().copied()))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_repeated_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode_repeat");
+    group.sample_size(10);
+    let (n, m, k) = (50_000usize, 1500usize, 25usize);
+    let seeds = SeedSequence::new(7);
+    let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+    let sigma = pooled_core::signal::Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let y = pooled_core::query::execute_queries(&design, &sigma);
+    let decoder = MnDecoder::new(k);
+
+    group.bench_function("allocating_100x", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                black_box(decoder.decode(&design, &y).estimate.weight());
+            }
+        });
+    });
+
+    let mut ws = MnWorkspace::new();
+    group.bench_function("workspace_100x", |b| {
+        b.iter(|| {
+            for _ in 0..100 {
+                decoder.decode_with(&design, &y, &mut ws);
+                black_box(ws.support().len());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sums, bench_repeated_decode);
+criterion_main!(benches);

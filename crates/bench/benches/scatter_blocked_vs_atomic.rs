@@ -1,0 +1,80 @@
+//! Privatized blocked scatter vs the atomic accumulator, across the density
+//! regimes the `choose_scatter` heuristic separates.
+//!
+//! The workload is the decoder's exact access pattern: for every query,
+//! scatter its weight into the Ψ slot of each distinct member entry (plus a
+//! Δ* increment). Dense regime: the paper's `Γ = n/2` design, every entry
+//! hit `≈ 0.39·m` times. Sparse regime: tiny pools, where the `t·n`
+//! zero+merge cost of privatization dominates and atomics win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_design::csr::CsrDesign;
+use pooled_design::fused::{scatter_distinct_into, FusedArena};
+use pooled_design::matvec::scatter_distinct_u64;
+use pooled_design::PoolingDesign;
+use pooled_par::blocked::BlockedScatter;
+use pooled_par::scatter::AtomicCounters;
+use pooled_rng::SeedSequence;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scatter_blocked_vs_atomic");
+    group.sample_size(12);
+    // (label, n, m, Γ): dense (paper) and sparse (peeling-like) shapes.
+    let shapes = [("dense", 50_000usize, 1500usize, 25_000usize), ("sparse", 50_000, 1500, 64)];
+    for (label, n, m, gamma) in shapes {
+        let design = CsrDesign::sample(n, m, gamma, &SeedSequence::new(1905));
+        let w: Vec<u64> = (0..m as u64).map(|q| 3 * q + 1).collect();
+
+        group.bench_function(format!("atomic/{label}"), |b| {
+            b.iter(|| {
+                let psi = AtomicCounters::new(n);
+                let dstar = AtomicCounters::new(n);
+                use rayon::prelude::*;
+                (0..m).into_par_iter().for_each(|q| {
+                    let wq = w[q];
+                    design.for_each_distinct(q, &mut |e, _| {
+                        psi.add(e, wq);
+                        dstar.incr(e);
+                    });
+                });
+                black_box(psi.get(0))
+            });
+        });
+
+        let mut blocked = BlockedScatter::new();
+        let mut psi = vec![0u64; n];
+        let mut dstar = vec![0u64; n];
+        group.bench_function(format!("blocked/{label}"), |b| {
+            b.iter(|| {
+                blocked.scatter_pair(&mut psi, &mut dstar, m, |a, bb, range| {
+                    for q in range {
+                        let wq = w[q];
+                        design.for_each_distinct(q, &mut |e, _| {
+                            a[e] += wq;
+                            bb[e] += 1;
+                        });
+                    }
+                });
+                black_box(psi[0])
+            });
+        });
+
+        let mut arena = FusedArena::new();
+        group.bench_function(format!("heuristic/{label}"), |b| {
+            b.iter(|| {
+                scatter_distinct_into(&design, &w, &mut psi, &mut dstar, &mut arena);
+                black_box(psi[0])
+            });
+        });
+
+        group.bench_function(format!("seed_allocating/{label}"), |b| {
+            b.iter(|| black_box(scatter_distinct_u64(&design, &w)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

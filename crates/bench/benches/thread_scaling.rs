@@ -1,5 +1,9 @@
 //! Thread-scaling of the parallel reconstruction (§I-C “Parallelized
 //! Reconstruction”): the same decode under 1, 2, 4, 8 rayon workers.
+//!
+//! Pools come from `pooled_par::pool::pool_with_threads`, the process-wide
+//! memoized cache — building a rayon pool costs ~100 µs, which would
+//! otherwise be charged to every measured iteration.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -8,7 +12,7 @@ use pooled_core::mn::MnDecoder;
 use pooled_core::query::execute_queries;
 use pooled_core::signal::Signal;
 use pooled_design::multigraph::{RandomRegularDesign, StorageMode};
-use pooled_par::pool::install_with_threads;
+use pooled_par::pool::pool_with_threads;
 use pooled_rng::SeedSequence;
 
 fn bench(c: &mut Criterion) {
@@ -28,14 +32,13 @@ fn bench(c: &mut Criterion) {
     );
     let y = execute_queries(&design, &sigma);
     for &threads in &[1usize, 2, 4, 8] {
+        let pool = pool_with_threads(threads);
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,
-            |b, &threads| {
+            |b, &_threads| {
                 b.iter(|| {
-                    install_with_threads(threads, || {
-                        black_box(MnDecoder::new(k).decode_design(&design, &y))
-                    })
+                    pool.install(|| black_box(MnDecoder::new(k).decode_design(&design, &y)))
                 });
             },
         );

@@ -23,6 +23,8 @@
 //!   alternative design families (per-query centering, `i128` scores).
 //! * [`refine`] — residual-guided swap search after MN, attacking the §VI
 //!   algorithmic-vs-IT gap without extra queries.
+//! * [`workspace`] — the reusable decode workspace behind the `*_with`
+//!   entry points; Monte-Carlo loops decode allocation-free with it.
 //! * [`noise`] — noisy query channels for the robustness extension.
 //! * [`subset_select`] — the Subset Select relaxation (Feige–Lellouche):
 //!   return only high-confidence one-entries.
@@ -52,13 +54,17 @@ pub mod query;
 pub mod refine;
 pub mod signal;
 pub mod subset_select;
+pub mod workspace;
 
-pub use metrics::{exact_recovery, overlap_fraction};
+pub use metrics::{
+    exact_recovery, exact_recovery_dense, overlap_fraction, overlap_fraction_dense,
+};
 pub use mn::{DecodeStrategy, MnDecoder, MnOutput, SelectionMethod};
 pub use mn_general::{GeneralMnDecoder, GeneralMnOutput};
 pub use query::execute_queries;
-pub use refine::{refine, RefineConfig, RefineOutput};
+pub use refine::{refine, refine_with, RefineConfig, RefineOutput, RefineStats};
 pub use signal::Signal;
+pub use workspace::MnWorkspace;
 
 /// Re-export of the closed-form thresholds (Theorems 1–2 and related work)
 /// so downstream users need only this crate.

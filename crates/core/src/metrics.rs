@@ -21,6 +21,22 @@ pub fn overlap_fraction(truth: &Signal, estimate: &Signal) -> f64 {
     truth.overlap(estimate) as f64 / truth.weight() as f64
 }
 
+/// Dense-slice variant of [`exact_recovery`] for workspace estimates
+/// (`MnWorkspace::estimate_dense`), avoiding a `Signal` round trip.
+pub fn exact_recovery_dense(truth: &Signal, estimate_dense: &[u8]) -> bool {
+    truth.dense() == estimate_dense
+}
+
+/// Dense-slice variant of [`overlap_fraction`]; same `k = 0 ⇒ 1.0`
+/// convention.
+pub fn overlap_fraction_dense(truth: &Signal, estimate_dense: &[u8]) -> f64 {
+    if truth.weight() == 0 {
+        return 1.0;
+    }
+    let hits = truth.support().iter().filter(|&&i| estimate_dense[i] == 1).count();
+    hits as f64 / truth.weight() as f64
+}
+
 /// Confusion counts of a reconstruction, for the extension experiments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Confusion {

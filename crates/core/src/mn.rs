@@ -18,12 +18,13 @@
 //!   selection. Identical results (deterministic tie-break by index).
 
 use pooled_design::csr::CsrDesign;
-use pooled_design::matvec::scatter_distinct_u64;
+use pooled_design::fused::scatter_distinct_into;
 use pooled_design::{PoolingDesign, RandomRegularDesign};
 use pooled_par::sort::par_merge_sort;
-use pooled_par::topk::top_k_indices;
+use pooled_par::topk::top_k_into;
 
 use crate::signal::Signal;
+use crate::workspace::MnWorkspace;
 
 /// How Ψ and Δ* are accumulated.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -94,51 +95,123 @@ impl MnDecoder {
 
     /// Run Algorithm 1 on the query results `y`.
     ///
+    /// Thin wrapper over [`Self::decode_with`] on a fresh workspace; hot
+    /// loops should hold an [`MnWorkspace`] and call `decode_with` directly
+    /// so repeated decodes reuse memory.
+    ///
     /// # Panics
     /// Panics if `y.len() != design.m()`.
     pub fn decode<D: PoolingDesign + ?Sized>(&self, design: &D, y: &[u64]) -> MnOutput {
+        let mut ws = MnWorkspace::new();
+        self.decode_with(design, y, &mut ws);
+        ws_into_output(design.n(), ws)
+    }
+
+    /// Workspace decode: identical results to [`Self::decode`], but every
+    /// buffer (Ψ, Δ*, scores, selection scratch, estimate) lives in `ws`
+    /// and is reused across calls. With one rayon worker installed, this
+    /// path performs zero heap allocations after warm-up.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != design.m()`.
+    pub fn decode_with<D: PoolingDesign + ?Sized>(
+        &self,
+        design: &D,
+        y: &[u64],
+        ws: &mut MnWorkspace,
+    ) {
         assert_eq!(y.len(), design.m(), "result vector length must equal m");
-        let (psi, delta_star) = scatter_distinct_u64(design, y);
-        self.finish(design.n(), psi, delta_star)
+        let n = design.n();
+        ws.prepare(n);
+        let (psi, dstar, arena) = ws.sums_mut();
+        scatter_distinct_into(design, y, psi, dstar, arena);
+        self.finish_with(n, ws);
     }
 
     /// Gather-path decode for materialized designs (no atomics).
     pub fn decode_csr(&self, design: &CsrDesign, y: &[u64]) -> MnOutput {
+        let mut ws = MnWorkspace::new();
+        self.decode_csr_with(design, y, &mut ws);
+        ws_into_output(design.n(), ws)
+    }
+
+    /// Workspace variant of [`Self::decode_csr`].
+    ///
+    /// # Panics
+    /// Panics if `y.len() != design.m()`.
+    pub fn decode_csr_with(&self, design: &CsrDesign, y: &[u64], ws: &mut MnWorkspace) {
         assert_eq!(y.len(), design.m(), "result vector length must equal m");
-        let (psi, delta_star) = design.gather_distinct_u64(y);
-        self.finish(design.n(), psi, delta_star)
+        let n = design.n();
+        ws.prepare(n);
+        design.gather_distinct_into(y, &mut ws.psi, &mut ws.dstar);
+        self.finish_with(n, ws);
     }
 
     /// Strategy-dispatching decode for the wrapper design type.
     pub fn decode_design(&self, design: &RandomRegularDesign, y: &[u64]) -> MnOutput {
+        let mut ws = MnWorkspace::new();
+        self.decode_design_with(design, y, &mut ws);
+        ws_into_output(design.n(), ws)
+    }
+
+    /// Workspace variant of [`Self::decode_design`].
+    pub fn decode_design_with(
+        &self,
+        design: &RandomRegularDesign,
+        y: &[u64],
+        ws: &mut MnWorkspace,
+    ) {
         match (self.strategy, design) {
-            (DecodeStrategy::Scatter, _) => self.decode(design, y),
+            (DecodeStrategy::Scatter, _) => self.decode_with(design, y, ws),
             (DecodeStrategy::Gather | DecodeStrategy::Auto, RandomRegularDesign::Csr(c)) => {
-                self.decode_csr(c, y)
+                self.decode_csr_with(c, y, ws)
             }
-            (_, d) => self.decode(d, y),
+            (_, d) => self.decode_with(d, y, ws),
         }
     }
 
-    fn finish(&self, n: usize, psi: Vec<u64>, delta_star: Vec<u64>) -> MnOutput {
+    /// Complete Algorithm 1 (scores + selection + estimate) from the Ψ/Δ*
+    /// sums already accumulated in `ws` — the entry point for external
+    /// accumulation kernels like `pooled_design::fused::decode_sums_fused`.
+    ///
+    /// # Panics
+    /// Panics if `ws` was not prepared for exactly this `n` (a stale
+    /// workspace would otherwise decode over leftover prefix sums).
+    pub fn finish_with(&self, n: usize, ws: &mut MnWorkspace) {
+        assert_eq!(ws.n(), n, "workspace not prepared for this n");
         let k64 = self.k as i64;
-        let scores: Vec<i64> = psi
-            .iter()
-            .zip(&delta_star)
-            .map(|(&p, &d)| 2 * p as i64 - k64 * d as i64)
-            .collect();
-        let chosen = match self.selection {
-            SelectionMethod::TopK => top_k_indices(&scores, self.k),
-            SelectionMethod::FullSort => {
-                let mut order: Vec<(i64, u32)> =
-                    scores.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
-                par_merge_sort(&mut order, |&(s, i)| (std::cmp::Reverse(s), i));
-                order.truncate(self.k.min(n));
-                order.into_iter().map(|(_, i)| i as usize).collect()
+        let scores = &mut ws.scores[..n];
+        for ((score, &p), &d) in scores.iter_mut().zip(&ws.psi[..n]).zip(&ws.dstar[..n]) {
+            *score = 2 * p as i64 - k64 * d as i64;
+        }
+        match self.selection {
+            SelectionMethod::TopK => {
+                top_k_into(&ws.scores[..n], self.k, &mut ws.support, &mut ws.topk);
             }
-        };
-        let estimate = Signal::from_support(n, chosen);
-        MnOutput { estimate, scores, psi, delta_star }
+            SelectionMethod::FullSort => {
+                ws.order.clear();
+                ws.order.extend(ws.scores[..n].iter().enumerate().map(|(i, &s)| (s, i as u32)));
+                par_merge_sort(&mut ws.order, |&(s, i)| (std::cmp::Reverse(s), i));
+                ws.order.truncate(self.k.min(n));
+                ws.support.clear();
+                ws.support.extend(ws.order.iter().map(|&(_, i)| i as usize));
+            }
+        }
+        let estimate = &mut ws.estimate[..n];
+        estimate.fill(0);
+        for &i in &ws.support {
+            estimate[i] = 1;
+        }
+    }
+}
+
+/// Move a decoded workspace's buffers into the allocating output type.
+fn ws_into_output(n: usize, mut ws: MnWorkspace) -> MnOutput {
+    MnOutput {
+        estimate: ws.take_estimate_signal(n),
+        scores: std::mem::take(&mut ws.scores),
+        psi: std::mem::take(&mut ws.psi),
+        delta_star: std::mem::take(&mut ws.dstar),
     }
 }
 

@@ -16,11 +16,12 @@
 //! (n/2)·(2Ψ_i − k·Δ*_i)` at `Γ = n/2` — a positive multiple of the classic
 //! score, so the two decoders rank identically (property-tested).
 
-use pooled_design::matvec::scatter_distinct_u64;
+use pooled_design::fused::scatter_distinct_into;
 use pooled_design::PoolingDesign;
 use pooled_par::sort::par_merge_sort;
 
 use crate::signal::Signal;
+use crate::workspace::MnWorkspace;
 
 /// MN decoding for designs with arbitrary (even per-query) pool sizes.
 #[derive(Clone, Copy, Debug)]
@@ -54,31 +55,78 @@ impl GeneralMnDecoder {
 
     /// Run the Γ-general MN algorithm on the query results `y`.
     ///
+    /// Thin wrapper over [`Self::decode_with`] on a fresh workspace.
+    ///
     /// # Panics
     /// Panics if `y.len() != design.m()`.
     pub fn decode<D: PoolingDesign + ?Sized>(&self, design: &D, y: &[u64]) -> GeneralMnOutput {
-        assert_eq!(y.len(), design.m(), "result vector length must equal m");
+        let mut ws = MnWorkspace::new();
+        self.decode_with(design, y, &mut ws);
         let n = design.n();
-        let (psi, delta_star) = scatter_distinct_u64(design, y);
+        GeneralMnOutput {
+            estimate: ws.take_estimate_signal(n),
+            scores: std::mem::take(&mut ws.scores_wide),
+            psi: std::mem::take(&mut ws.psi),
+            delta_star: std::mem::take(&mut ws.dstar),
+        }
+    }
+
+    /// Workspace decode: identical results to [`Self::decode`] with all
+    /// buffers (including the exact `i128` scores, read back via
+    /// [`MnWorkspace::scores_wide`]) reused across calls.
+    ///
+    /// # Panics
+    /// Panics if `y.len() != design.m()`.
+    pub fn decode_with<D: PoolingDesign + ?Sized>(
+        &self,
+        design: &D,
+        y: &[u64],
+        ws: &mut MnWorkspace,
+    ) {
+        assert_eq!(y.len(), design.m(), "result vector length must equal m");
+        let (n, m) = (design.n(), design.m());
+        ws.prepare(n);
+        {
+            let (psi, dstar, arena) = ws.sums_mut();
+            scatter_distinct_into(design, y, psi, dstar, arena);
+        }
         // Per-entry sum of neighbor pool sizes: reuse the Ψ kernel with the
-        // pool sizes as the query weights.
-        let pool_lens: Vec<u64> = (0..design.m()).map(|q| design.pool_len(q) as u64).collect();
-        let (gamma_sums, _) = scatter_distinct_u64(design, &pool_lens);
+        // pool sizes as the query weights (Δ* recomputed into scratch).
+        ws.pool_lens.clear();
+        ws.pool_lens.extend((0..m).map(|q| design.pool_len(q) as u64));
+        ws.gamma_sums.clear();
+        ws.gamma_sums.resize(n, 0);
+        ws.dstar_scratch.clear();
+        ws.dstar_scratch.resize(n, 0);
+        scatter_distinct_into(
+            design,
+            &ws.pool_lens,
+            &mut ws.gamma_sums,
+            &mut ws.dstar_scratch,
+            &mut ws.arena,
+        );
         let (n_i, k_i) = (n as i128, self.k as i128);
-        let scores: Vec<i128> = psi
-            .iter()
-            .zip(&gamma_sums)
-            .map(|(&p, &g)| n_i * p as i128 - k_i * g as i128)
-            .collect();
+        ws.scores_wide.clear();
+        ws.scores_wide.extend(
+            ws.psi[..n]
+                .iter()
+                .zip(&ws.gamma_sums[..n])
+                .map(|(&p, &g)| n_i * p as i128 - k_i * g as i128),
+        );
         // Rank by (score desc, index asc); the general decoder keeps the
         // faithful full sort (scores are i128, outside the top-k kernel's
         // i64 domain).
-        let mut order: Vec<(i128, u32)> =
-            scores.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
-        par_merge_sort(&mut order, |&(s, i)| (std::cmp::Reverse(s), i));
-        order.truncate(self.k.min(n));
-        let chosen: Vec<usize> = order.into_iter().map(|(_, i)| i as usize).collect();
-        GeneralMnOutput { estimate: Signal::from_support(n, chosen), scores, psi, delta_star }
+        ws.order_wide.clear();
+        ws.order_wide.extend(ws.scores_wide.iter().enumerate().map(|(i, &s)| (s, i as u32)));
+        par_merge_sort(&mut ws.order_wide, |&(s, i)| (std::cmp::Reverse(s), i));
+        ws.order_wide.truncate(self.k.min(n));
+        ws.support.clear();
+        ws.support.extend(ws.order_wide.iter().map(|&(_, i)| i as usize));
+        let estimate = &mut ws.estimate[..n];
+        estimate.fill(0);
+        for &i in &ws.support {
+            estimate[i] = 1;
+        }
     }
 }
 

@@ -24,18 +24,33 @@ use crate::signal::Signal;
 
 /// Execute all queries in parallel: `y_q = Σ_i A_iq · σ_i`.
 pub fn execute_queries<D: PoolingDesign + ?Sized>(design: &D, sigma: &Signal) -> Vec<u64> {
+    let mut y = Vec::new();
+    execute_queries_into(design, sigma, &mut y);
+    y
+}
+
+/// Workspace variant of [`execute_queries`]: writes into `y` (resized to
+/// `m`), reusing its capacity — allocation-free in replicate loops after
+/// warm-up.
+///
+/// # Panics
+/// Panics if the design and signal disagree on `n`.
+pub fn execute_queries_into<D: PoolingDesign + ?Sized>(
+    design: &D,
+    sigma: &Signal,
+    y: &mut Vec<u64>,
+) {
     assert_eq!(design.n(), sigma.n(), "design and signal disagree on n");
     let dense = sigma.dense();
-    (0..design.m())
-        .into_par_iter()
-        .map(|q| {
-            let mut acc = 0u64;
-            design.for_each_distinct(q, &mut |e, c| {
-                acc += dense[e] as u64 * c as u64;
-            });
-            acc
-        })
-        .collect()
+    y.clear();
+    y.resize(design.m(), 0);
+    y.par_iter_mut().enumerate().for_each(|(q, slot)| {
+        let mut acc = 0u64;
+        design.for_each_distinct(q, &mut |e, c| {
+            acc += dense[e] as u64 * c as u64;
+        });
+        *slot = acc;
+    });
 }
 
 /// Sparse execution path: iterate the support's query lists instead of every

@@ -24,8 +24,8 @@ use rayon::prelude::*;
 use pooled_design::csr::CsrDesign;
 use pooled_design::PoolingDesign;
 
-use crate::query::execute_queries;
 use crate::signal::Signal;
+use crate::workspace::MnWorkspace;
 
 /// Tuning knobs for the local search.
 #[derive(Clone, Copy, Debug)]
@@ -59,12 +59,28 @@ pub struct RefineOutput {
     pub consistent: bool,
 }
 
+/// Statistics of a workspace refinement run ([`refine_with`]); the refined
+/// estimate itself stays in the workspace's dense buffer.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineStats {
+    /// `‖y − ŷ‖₁` before refinement.
+    pub initial_residual: u64,
+    /// `‖y − ŷ‖₁` after refinement.
+    pub final_residual: u64,
+    /// Number of swaps applied.
+    pub swaps: usize,
+    /// Whether the final estimate reproduces `y` exactly.
+    pub consistent: bool,
+}
+
 /// Greedily swap support entries to reduce the query residual.
 ///
 /// `scores` are the per-entry MN scores used to shortlist candidates
 /// (`MnOutput::scores`); they are read-only and may be stale after swaps —
 /// they only steer the shortlist, correctness comes from exact residual
 /// recomputation per candidate pair.
+///
+/// Thin wrapper over [`refine_with`] on a fresh workspace.
 ///
 /// # Panics
 /// Panics if `y`, `scores`, or `estimate` disagree with the design's
@@ -76,34 +92,82 @@ pub fn refine(
     estimate: &Signal,
     cfg: &RefineConfig,
 ) -> RefineOutput {
-    assert_eq!(y.len(), design.m(), "result vector length must equal m");
     assert_eq!(scores.len(), design.n(), "score vector length must equal n");
     assert_eq!(estimate.n(), design.n(), "estimate length must equal n");
     let n = design.n();
-    let y_hat = execute_queries(design, estimate);
-    let mut r: Vec<i64> = y.iter().zip(&y_hat).map(|(&a, &b)| a as i64 - b as i64).collect();
-    let initial_residual: u64 = r.iter().map(|&v| v.unsigned_abs()).sum();
-    let mut dense = estimate.dense().to_vec();
+    let mut ws = MnWorkspace::new();
+    ws.prepare(n);
+    ws.scores[..n].copy_from_slice(scores);
+    ws.estimate[..n].copy_from_slice(estimate.dense());
+    let stats = refine_with(design, y, cfg, &mut ws);
+    RefineOutput {
+        estimate: Signal::from_dense(&ws.estimate[..n]),
+        initial_residual: stats.initial_residual,
+        final_residual: stats.final_residual,
+        swaps: stats.swaps,
+        consistent: stats.consistent,
+    }
+}
+
+/// Workspace refinement: refines the estimate left in `ws` by the preceding
+/// [`crate::mn::MnDecoder::decode_with`] (shortlists steered by
+/// `ws.scores()`), mutating `ws`'s dense estimate in place. All candidate
+/// and residual buffers are reused across calls.
+///
+/// # Panics
+/// Panics if `y.len() != design.m()` or the workspace was prepared for a
+/// different `n`.
+pub fn refine_with(
+    design: &CsrDesign,
+    y: &[u64],
+    cfg: &RefineConfig,
+    ws: &mut MnWorkspace,
+) -> RefineStats {
+    assert_eq!(y.len(), design.m(), "result vector length must equal m");
+    assert_eq!(ws.n(), design.n(), "workspace not prepared for this design");
+    let n = design.n();
+    // ŷ from the current dense estimate, then r = y − ŷ.
+    let dense_now = &ws.estimate[..n];
+    ws.y_hat.clear();
+    ws.y_hat.resize(design.m(), 0);
+    ws.y_hat.par_iter_mut().enumerate().for_each(|(q, slot)| {
+        let (entries, mults) = design.query_row(q);
+        let mut acc = 0u64;
+        for (&e, &c) in entries.iter().zip(mults) {
+            acc += dense_now[e as usize] as u64 * c as u64;
+        }
+        *slot = acc;
+    });
+    ws.residual.clear();
+    ws.residual.extend(y.iter().zip(&ws.y_hat).map(|(&a, &b)| a as i64 - b as i64));
+    let initial_residual: u64 = ws.residual.iter().map(|&v| v.unsigned_abs()).sum();
     let mut residual = initial_residual;
     let mut swaps = 0usize;
 
     while residual > 0 && swaps < cfg.max_swaps {
         // Shortlist: weakest in-support, strongest out-of-support.
-        let mut ins: Vec<usize> = (0..n).filter(|&i| dense[i] == 1).collect();
-        let mut outs: Vec<usize> = (0..n).filter(|&i| dense[i] == 0).collect();
-        if ins.is_empty() || outs.is_empty() {
+        let dense = &ws.estimate[..n];
+        let scores = &ws.scores[..n];
+        ws.ins.clear();
+        ws.ins.extend((0..n).filter(|&i| dense[i] == 1));
+        ws.outs.clear();
+        ws.outs.extend((0..n).filter(|&i| dense[i] == 0));
+        if ws.ins.is_empty() || ws.outs.is_empty() {
             break;
         }
-        ins.sort_by_key(|&i| (scores[i], i));
-        outs.sort_by_key(|&i| (std::cmp::Reverse(scores[i]), i));
-        ins.truncate(cfg.window);
-        outs.truncate(cfg.window);
-        let pairs: Vec<(usize, usize)> =
-            ins.iter().flat_map(|&i| outs.iter().map(move |&j| (i, j))).collect();
+        ws.ins.sort_by_key(|&i| (scores[i], i));
+        ws.outs.sort_by_key(|&i| (std::cmp::Reverse(scores[i]), i));
+        ws.ins.truncate(cfg.window);
+        ws.outs.truncate(cfg.window);
+        ws.pairs.clear();
+        ws.pairs
+            .extend(ws.ins.iter().flat_map(|&i| ws.outs.iter().map(move |&j| (i, j))));
         // Exact Δ‖r‖₁ per candidate pair, in parallel; deterministic best.
-        let best = pairs
+        let r = &ws.residual;
+        let best = ws
+            .pairs
             .par_iter()
-            .map(|&(i, j)| (swap_delta(design, &r, i, j), i, j))
+            .map(|&(i, j)| (swap_delta(design, r, i, j), i, j))
             .min_by_key(|&(d, i, j)| (d, i, j))
             .expect("candidate set is nonempty");
         let (delta, i, j) = best;
@@ -113,21 +177,23 @@ pub fn refine(
         // Apply: remove i (ŷ loses A_iq ⇒ r gains), insert j (r loses A_jq).
         let (qs_i, ms_i) = design.entry_row(i);
         for (&q, &c) in qs_i.iter().zip(ms_i) {
-            r[q as usize] += c as i64;
+            ws.residual[q as usize] += c as i64;
         }
         let (qs_j, ms_j) = design.entry_row(j);
         for (&q, &c) in qs_j.iter().zip(ms_j) {
-            r[q as usize] -= c as i64;
+            ws.residual[q as usize] -= c as i64;
         }
-        dense[i] = 0;
-        dense[j] = 1;
+        ws.estimate[i] = 0;
+        ws.estimate[j] = 1;
         residual = (residual as i64 + delta) as u64;
-        debug_assert_eq!(residual, r.iter().map(|&v| v.unsigned_abs()).sum::<u64>());
+        debug_assert_eq!(
+            residual,
+            ws.residual.iter().map(|&v| v.unsigned_abs()).sum::<u64>()
+        );
         swaps += 1;
     }
 
-    RefineOutput {
-        estimate: Signal::from_dense(&dense),
+    RefineStats {
         initial_residual,
         final_residual: residual,
         swaps,
@@ -182,6 +248,7 @@ fn swap_delta(design: &CsrDesign, r: &[i64], i: usize, j: usize) -> i64 {
 mod tests {
     use super::*;
     use crate::mn::MnDecoder;
+    use crate::query::execute_queries;
     use pooled_rng::SeedSequence;
     use pooled_theory::thresholds::{k_of, m_mn_finite};
 

@@ -162,6 +162,28 @@ impl CsrDesign {
         );
         (psi, dstar)
     }
+
+    /// Workspace variant of [`Self::gather_distinct_u64`]: writes into
+    /// caller-provided buffers, allocation-free (entry-parallel, no
+    /// atomics).
+    ///
+    /// # Panics
+    /// Panics if `w.len() != m` or the outputs are shorter than `n`.
+    pub fn gather_distinct_into(&self, w: &[u64], psi: &mut [u64], dstar: &mut [u64]) {
+        assert_eq!(w.len(), self.m, "weight vector length must equal m");
+        assert!(psi.len() >= self.n && dstar.len() >= self.n, "psi/dstar must have length n");
+        psi[..self.n].par_iter_mut().zip(dstar[..self.n].par_iter_mut()).enumerate().for_each(
+            |(i, (p, d))| {
+                let (qs, _) = self.entry_row(i);
+                let mut acc = 0u64;
+                for &q in qs {
+                    acc += w[q as usize];
+                }
+                *p = acc;
+                *d = qs.len() as u64;
+            },
+        );
+    }
 }
 
 /// Draw one query's pool and return it as sorted `(entry, multiplicity)`.

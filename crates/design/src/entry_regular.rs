@@ -42,7 +42,7 @@ impl EntryRegularDesign {
         // One stub per (entry, repetition) pair.
         let mut stubs: Vec<u32> = Vec::with_capacity(n * delta);
         for i in 0..n as u32 {
-            stubs.extend(std::iter::repeat(i).take(delta));
+            stubs.extend(std::iter::repeat_n(i, delta));
         }
         let mut rng = seeds.child("stubs", 0).rng();
         fisher_yates(&mut stubs, &mut rng);

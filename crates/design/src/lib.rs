@@ -36,6 +36,7 @@ pub mod csr;
 pub mod degrees;
 pub mod entry_regular;
 pub mod factory;
+pub mod fused;
 pub mod matvec;
 pub mod multigraph;
 pub mod noreplace;
@@ -44,6 +45,7 @@ pub mod streaming;
 pub use bernoulli::BernoulliDesign;
 pub use concentration::{check_concentration, ConcentrationReport};
 pub use csr::CsrDesign;
+pub use fused::{decode_sums_fused, decode_sums_fused_stream, scatter_distinct_into, FusedArena};
 pub use degrees::DegreeStats;
 pub use entry_regular::EntryRegularDesign;
 pub use factory::{AnyDesign, DesignKind};

@@ -4,14 +4,27 @@
 //! `Ψ = M·y` where `M` is the unweighted (distinct-incidence) biadjacency
 //! matrix, plus the query execution itself, `y = Aᵀσ`, with `A` the
 //! multiplicity-weighted matrix. These kernels are the hot path of the whole
-//! simulator and come in two parallel flavours:
+//! simulator.
 //!
-//! * **query-parallel** (scatter): parallelize over queries, atomically add
-//!   into per-entry slots — works on *any* [`PoolingDesign`], including
-//!   streaming ones.
-//! * **entry-parallel** (gather): parallelize over entries using the CSR
-//!   transpose — no atomics, but needs materialized storage
-//!   (see [`crate::csr::CsrDesign::gather_distinct_u64`]).
+//! # Choosing a kernel
+//!
+//! | kernel | entry point | parallelism | atomics | passes over design | allocation |
+//! |---|---|---|---|---|---|
+//! | scatter (atomic) | [`scatter_distinct_u64`] | query-parallel | yes | 1 (+1 for `y`) | per call |
+//! | scatter (blocked) | [`crate::fused::scatter_distinct_into`] | query-parallel, privatized | no | 1 (+1 for `y`) | arena, reused |
+//! | gather | [`crate::csr::CsrDesign::gather_distinct_u64`] | entry-parallel over transpose | no | 1 (+1 for `y`) | per call (`_into` variant: none) |
+//! | fused | [`crate::fused::decode_sums_fused`] | query-parallel, privatized | no | **1 total** (`y`, Ψ, Δ*) | arena, reused |
+//!
+//! Trade-offs: atomic scatter works on *any* [`PoolingDesign`] (including
+//! streaming) with zero extra memory but serializes on hot slots; blocked
+//! scatter privatizes per-worker planes (`t·n` words) and wins once the
+//! update density `m·Γ/n` clears `pooled_par::blocked::choose_scatter`'s
+//! threshold; gather needs the materialized CSR transpose but is contention
+//! free by construction; the fused kernel is the Monte-Carlo hot path —
+//! one traversal produces all three vectors into reusable buffers
+//! (streaming variant regenerates each query's pool once instead of twice).
+//! All four produce bit-identical results (exact `u64` sums, property
+//! tested).
 
 use rayon::prelude::*;
 
@@ -188,7 +201,7 @@ mod tests {
     fn atomic_f64_accumulates_concurrently() {
         let acc = super::parking_lot_free::AtomicF64::new(0.0);
         use rayon::prelude::*;
-        (0..10_000).into_par_iter().for_each(|_| acc.add(0.5));
+        (0..10_000u64).into_par_iter().for_each(|_| acc.add(0.5));
         assert!((acc.get() - 5_000.0).abs() < 1e-6);
     }
 }

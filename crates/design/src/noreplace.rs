@@ -96,7 +96,7 @@ mod tests {
     fn gamma_equal_n_gives_full_pools() {
         let d = NoReplaceDesign::sample(20, 5, 20, &SeedSequence::new(2));
         for q in 0..5 {
-            let mut seen = vec![false; 20];
+            let mut seen = [false; 20];
             d.for_each_distinct(q, &mut |e, _| seen[e] = true);
             assert!(seen.iter().all(|&s| s), "query {q} must contain every entry");
         }

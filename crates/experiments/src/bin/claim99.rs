@@ -5,7 +5,7 @@
 use pooled_experiments::DEFAULT_SEED;
 use pooled_io::Args;
 use pooled_rng::SeedSequence;
-use pooled_stats::replicate::{mn_trial, run_trials};
+use pooled_stats::replicate::{mn_trial_with, run_trials_with, MnTrialWorkspace};
 use pooled_stats::Summary;
 use pooled_theory::thresholds::k_of;
 
@@ -19,7 +19,9 @@ fn main() {
     let k = k_of(n, theta);
 
     let master = SeedSequence::new(seed);
-    let outcomes = run_trials(&master, trials, |_, seeds| mn_trial(n, k, m, &seeds));
+    let outcomes = run_trials_with(&master, trials, MnTrialWorkspace::new, |_, seeds, ws| {
+        mn_trial_with(n, k, m, &seeds, ws)
+    });
     let mut overlap = Summary::new();
     let mut exact = 0usize;
     for o in &outcomes {
@@ -43,9 +45,12 @@ fn main() {
         let mut probe = m;
         loop {
             probe += 20;
-            let outs = run_trials(&master.child("probe", probe as u64), trials, |_, seeds| {
-                mn_trial(n, k, probe, &seeds)
-            });
+            let outs = run_trials_with(
+                &master.child("probe", probe as u64),
+                trials,
+                MnTrialWorkspace::new,
+                |_, seeds, ws| mn_trial_with(n, k, probe, &seeds, ws),
+            );
             let mean: f64 =
                 outs.iter().map(|o| o.overlap).sum::<f64>() / trials as f64;
             if mean >= 0.99 || probe > 4 * m {

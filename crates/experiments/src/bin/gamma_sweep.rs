@@ -15,13 +15,15 @@
 //! in the paper's Eq. (5) hides a `Θ(m)` separation loss for large pools.
 
 use pooled_core::mn_general::GeneralMnDecoder;
-use pooled_core::{exact_recovery, execute_queries, Signal};
+use pooled_core::query::execute_queries_into;
+use pooled_core::workspace::MnWorkspace;
+use pooled_core::{exact_recovery_dense, Signal};
 use pooled_design::CsrDesign;
 use pooled_experiments::{output_dir, write_artifacts, Scale, DEFAULT_SEED};
 use pooled_io::csv::fmt_f64;
 use pooled_io::{Args, GnuplotScript, Manifest};
 use pooled_rng::SeedSequence;
-use pooled_stats::replicate::run_trials;
+use pooled_stats::replicate::run_trials_with;
 use pooled_stats::sweep::linear_grid;
 use pooled_theory::gamma_opt::relative_cost_vs_half;
 use pooled_theory::thresholds::{k_of, m_mn_finite};
@@ -47,12 +49,18 @@ fn main() {
         let mut curve: Vec<(usize, f64)> = Vec::new();
         for m in linear_grid(m_hi / 24, m_hi, 24) {
             let master = SeedSequence::new(seed ^ ((c * 4096.0) as u64) ^ ((m as u64) << 20));
-            let outcomes = run_trials(&master, trials, |_, s| {
-                let sigma = Signal::random(n, k, &mut s.child("signal", 0).rng());
-                let design = CsrDesign::sample(n, m, gamma, &s.child("design", 0));
-                let y = execute_queries(&design, &sigma);
-                exact_recovery(&sigma, &GeneralMnDecoder::new(k).decode(&design, &y).estimate)
-            });
+            let outcomes = run_trials_with(
+                &master,
+                trials,
+                || (MnWorkspace::new(), Vec::new()),
+                |_, s, (ws, y)| {
+                    let sigma = Signal::random(n, k, &mut s.child("signal", 0).rng());
+                    let design = CsrDesign::sample(n, m, gamma, &s.child("design", 0));
+                    execute_queries_into(&design, &sigma, y);
+                    GeneralMnDecoder::new(k).decode_with(&design, y, ws);
+                    exact_recovery_dense(&sigma, ws.estimate_dense())
+                },
+            );
             let rate = outcomes.iter().filter(|&&e| e).count() as f64 / trials as f64;
             curve.push((m, rate));
             rows.push(vec![

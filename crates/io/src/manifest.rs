@@ -4,11 +4,11 @@
 //! committed number is reproducible: the manifest pins the experiment id,
 //! parameters, master seed and scale profile.
 
-use serde::{Deserialize, Serialize};
+use serde_json::Value;
 use std::path::Path;
 
 /// Reproducibility record for one experiment run.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Manifest {
     /// Experiment identifier (e.g. `"fig2"`).
     pub experiment: String,
@@ -39,7 +39,14 @@ impl Manifest {
     /// # Panics
     /// Never in practice (the struct is always serializable).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("manifest serialization cannot fail")
+        let value = serde_json::json!({
+            "experiment": self.experiment.as_str(),
+            "master_seed": self.master_seed,
+            "scale": self.scale.as_str(),
+            "params": &self.params,
+            "version": self.version.as_str(),
+        });
+        serde_json::to_string_pretty(&value).expect("manifest serialization cannot fail")
     }
 
     /// Write to disk.
@@ -56,8 +63,20 @@ impl Manifest {
     /// I/O or parse failures.
     pub fn read_from<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
         let text = std::fs::read_to_string(path)?;
-        serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let value = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Self::from_value(&value)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad manifest"))
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(Self {
+            experiment: value.get("experiment")?.as_str()?.to_owned(),
+            master_seed: value.get("master_seed")?.as_u64()?,
+            scale: value.get("scale")?.as_str()?.to_owned(),
+            params: value.get("params")?.clone(),
+            version: value.get("version")?.as_str()?.to_owned(),
+        })
     }
 }
 

@@ -1,0 +1,362 @@
+//! Privatized, cache-blocked scatter accumulation — the contention-free
+//! alternative to [`crate::scatter::AtomicCounters`].
+//!
+//! The decoder's Ψ/Δ* sums scatter `m·Γ` updates into `n` slots. The atomic
+//! accumulator serializes on hot slots (every update is a `fetch_add` on a
+//! shared cache line); this module removes the contention entirely by
+//! *privatizing*: each worker counts into its own dense buffer, then the
+//! buffers are merged block-by-block in parallel (each output block is owned
+//! by exactly one merging worker, so the merge is also write-contention
+//! free and streams through the buffers cache-line by cache-line).
+//!
+//! # Choosing a kernel
+//!
+//! | kernel | memory | wins when |
+//! |---|---|---|
+//! | direct (sequential) | — | 1 worker: plain adds beat any machinery |
+//! | blocked (this module) | `t·n` words/plane | dense updates, `m·Γ ≳ 4·t·n` |
+//! | atomic ([`crate::scatter`]) | none extra | sparse updates or huge `n` |
+//!
+//! The crossover is a cost model: privatization pays `O(t·n)` for zeroing
+//! and merging regardless of the update count, while atomics pay per update.
+//! [`choose_scatter`] encodes the `m·Γ / n` density heuristic; callers can
+//! override it.
+//!
+//! [`BlockedScatter`] doubles as a reusable scratch arena: buffers persist
+//! across calls, so Monte-Carlo replicate loops allocate only on the first
+//! decode (warm-up) and run allocation-free afterwards.
+
+use rayon::prelude::*;
+
+use crate::chunks::even_ranges;
+
+/// Merge granularity: 8K slots (64 KiB of `u64`) per merge block, sized to
+/// stay resident in L2 while `t` source buffers stream through it.
+const MERGE_BLOCK: usize = 1 << 13;
+
+/// Density threshold for [`choose_scatter`]: privatize when the update count
+/// exceeds this multiple of `threads · slots`.
+const BLOCKED_DENSITY: usize = 4;
+
+/// Which scatter kernel a workload should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScatterKind {
+    /// Single worker: write straight into the output, no machinery.
+    Direct,
+    /// Privatized per-worker buffers with a blocked parallel merge.
+    Blocked,
+    /// Shared atomic accumulator ([`crate::scatter::AtomicCounters`]).
+    Atomic,
+}
+
+/// Pick a scatter kernel from the workload shape.
+///
+/// `slots` is the output length (`n` for the decoder), `updates` the total
+/// scatter-add count (`m·Γ` for the decoder; the `m·Γ/n` density of the
+/// paper's design). Privatization needs `updates` to dominate the `t·n`
+/// zero-and-merge overhead; sparse workloads keep the atomic kernel.
+pub fn choose_scatter(slots: usize, updates: usize, threads: usize) -> ScatterKind {
+    if threads <= 1 {
+        ScatterKind::Direct
+    } else if updates >= BLOCKED_DENSITY * threads * slots.max(1) {
+        ScatterKind::Blocked
+    } else {
+        ScatterKind::Atomic
+    }
+}
+
+/// Reusable privatized accumulator with two planes (the decoder needs Ψ and
+/// Δ* from the same traversal; single-plane users just take plane A).
+///
+/// All buffers are kept across calls — create one [`BlockedScatter`] per
+/// worker/replicate loop and reuse it.
+#[derive(Default)]
+pub struct BlockedScatter {
+    plane_a: Vec<Vec<u64>>,
+    plane_b: Vec<Vec<u64>>,
+    parts: usize,
+    len: usize,
+}
+
+impl BlockedScatter {
+    /// New arena with no buffers; they grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Zeroed per-part buffers for both planes: `parts` buffers of `len`
+    /// slots each. Reuses existing allocations whenever possible.
+    ///
+    /// Returns `(plane_a, plane_b)`; index them `[part][slot]`.
+    pub fn planes(&mut self, parts: usize, len: usize) -> (&mut [Vec<u64>], &mut [Vec<u64>]) {
+        prepare_plane(&mut self.plane_a, parts, len);
+        prepare_plane(&mut self.plane_b, parts, len);
+        self.parts = parts;
+        self.len = len;
+        (&mut self.plane_a[..parts], &mut self.plane_b[..parts])
+    }
+
+    /// Zeroed single-plane buffers (plane A only).
+    pub fn plane(&mut self, parts: usize, len: usize) -> &mut [Vec<u64>] {
+        prepare_plane(&mut self.plane_a, parts, len);
+        self.parts = parts;
+        self.len = len;
+        &mut self.plane_a[..parts]
+    }
+
+    /// Merge both planes into the outputs: `out_a[j] = Σ_p plane_a[p][j]`,
+    /// blocked over `j` and parallel across blocks.
+    ///
+    /// # Panics
+    /// Panics if the outputs are shorter than the prepared plane length.
+    pub fn merge_pair_into(&self, out_a: &mut [u64], out_b: &mut [u64]) {
+        assert!(out_a.len() >= self.len && out_b.len() >= self.len, "merge output too short");
+        let (parts, len) = (self.parts, self.len);
+        out_a[..len]
+            .par_chunks_mut(MERGE_BLOCK)
+            .zip(out_b[..len].par_chunks_mut(MERGE_BLOCK))
+            .enumerate()
+            .for_each(|(block, (dst_a, dst_b))| {
+                let base = block * MERGE_BLOCK;
+                dst_a.copy_from_slice(&self.plane_a[0][base..base + dst_a.len()]);
+                dst_b.copy_from_slice(&self.plane_b[0][base..base + dst_b.len()]);
+                for p in 1..parts {
+                    let src_a = &self.plane_a[p][base..base + dst_a.len()];
+                    let src_b = &self.plane_b[p][base..base + dst_b.len()];
+                    for (d, s) in dst_a.iter_mut().zip(src_a) {
+                        *d += s;
+                    }
+                    for (d, s) in dst_b.iter_mut().zip(src_b) {
+                        *d += s;
+                    }
+                }
+            });
+    }
+
+    /// Merge plane A into `out` (single-plane workloads).
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than the prepared plane length.
+    pub fn merge_into(&self, out: &mut [u64]) {
+        assert!(out.len() >= self.len, "merge output too short");
+        let (parts, len) = (self.parts, self.len);
+        out[..len].par_chunks_mut(MERGE_BLOCK).enumerate().for_each(|(block, dst)| {
+            let base = block * MERGE_BLOCK;
+            dst.copy_from_slice(&self.plane_a[0][base..base + dst.len()]);
+            for p in 1..parts {
+                let src = &self.plane_a[p][base..base + dst.len()];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        });
+    }
+
+    /// Convenience driver for the common pattern: partition `items` work
+    /// units across workers, let `fill(part_buffer_a, part_buffer_b, range)`
+    /// scatter each range into its private buffers, merge into the outputs.
+    ///
+    /// Runs the `Direct` kernel (no buffers, no parallelism, no allocation)
+    /// when only one worker is available.
+    pub fn scatter_pair<F>(&mut self, out_a: &mut [u64], out_b: &mut [u64], items: usize, fill: F)
+    where
+        F: Fn(&mut [u64], &mut [u64], std::ops::Range<usize>) + Sync,
+    {
+        let threads = rayon::current_num_threads().max(1);
+        let parts = threads.min(items.max(1));
+        if parts <= 1 {
+            out_a.fill(0);
+            out_b.fill(0);
+            fill(out_a, out_b, 0..items);
+            return;
+        }
+        let len = out_a.len();
+        let (plane_a, plane_b) = self.planes(parts, len);
+        let ranges = even_ranges(items, parts);
+        plane_a
+            .par_iter_mut()
+            .zip(plane_b.par_iter_mut())
+            .zip(ranges.into_par_iter())
+            .for_each(|((buf_a, buf_b), range)| fill(buf_a, buf_b, range));
+        self.merge_pair_into(out_a, out_b);
+    }
+
+    /// Single-plane variant of [`Self::scatter_pair`].
+    pub fn scatter<F>(&mut self, out: &mut [u64], items: usize, fill: F)
+    where
+        F: Fn(&mut [u64], std::ops::Range<usize>) + Sync,
+    {
+        let threads = rayon::current_num_threads().max(1);
+        let parts = threads.min(items.max(1));
+        if parts <= 1 {
+            out.fill(0);
+            fill(out, 0..items);
+            return;
+        }
+        let len = out.len();
+        let plane = self.plane(parts, len);
+        let ranges = even_ranges(items, parts);
+        plane
+            .par_iter_mut()
+            .zip(ranges.into_par_iter())
+            .for_each(|(buf, range)| fill(buf, range));
+        self.merge_into(out);
+    }
+}
+
+/// Grow a plane to `parts` buffers of `len` zeroed slots, reusing existing
+/// allocations (zeroing is parallel: each buffer is owned by one worker).
+fn prepare_plane(plane: &mut Vec<Vec<u64>>, parts: usize, len: usize) {
+    if plane.len() < parts {
+        plane.resize_with(parts, Vec::new);
+    }
+    plane[..parts].par_iter_mut().for_each(|buf| {
+        if buf.len() != len {
+            buf.clear();
+            buf.resize(len, 0);
+        } else {
+            buf.fill(0);
+        }
+    });
+}
+
+impl std::fmt::Debug for BlockedScatter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockedScatter")
+            .field("parts", &self.parts)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scatter::AtomicCounters;
+
+    fn reference(pairs: &[(usize, u64)], slots: usize) -> Vec<u64> {
+        let mut out = vec![0u64; slots];
+        for &(s, w) in pairs {
+            out[s] += w;
+        }
+        out
+    }
+
+    fn test_pairs(count: usize, slots: usize) -> Vec<(usize, u64)> {
+        (0..count).map(|i| ((i * 2654435761) % slots, (i % 7 + 1) as u64)).collect()
+    }
+
+    #[test]
+    fn matches_reference_and_atomic() {
+        let slots = 1000;
+        let pairs = test_pairs(200_000, slots);
+        let want = reference(&pairs, slots);
+
+        let mut blocked = BlockedScatter::new();
+        let mut out = vec![0u64; slots];
+        blocked.scatter(&mut out, pairs.len(), |buf, range| {
+            for &(s, w) in &pairs[range] {
+                buf[s] += w;
+            }
+        });
+        assert_eq!(out, want);
+
+        let atomic = AtomicCounters::new(slots);
+        for &(s, w) in &pairs {
+            atomic.add(s, w);
+        }
+        assert_eq!(atomic.into_vec(), want);
+    }
+
+    #[test]
+    fn pair_planes_accumulate_independently() {
+        let slots = 500;
+        let pairs = test_pairs(50_000, slots);
+        let want_a = reference(&pairs, slots);
+        let want_b: Vec<u64> = {
+            let mut out = vec![0u64; slots];
+            for &(s, _) in &pairs {
+                out[s] += 1;
+            }
+            out
+        };
+        let mut blocked = BlockedScatter::new();
+        let mut out_a = vec![0u64; slots];
+        let mut out_b = vec![0u64; slots];
+        blocked.scatter_pair(&mut out_a, &mut out_b, pairs.len(), |a, b, range| {
+            for &(s, w) in &pairs[range] {
+                a[s] += w;
+                b[s] += 1;
+            }
+        });
+        assert_eq!(out_a, want_a);
+        assert_eq!(out_b, want_b);
+    }
+
+    #[test]
+    fn reuse_across_different_shapes() {
+        let mut blocked = BlockedScatter::new();
+        for (slots, count) in [(100usize, 10_000usize), (1 << 14, 200_000), (100, 5_000)] {
+            let pairs = test_pairs(count, slots);
+            let mut out = vec![0u64; slots];
+            blocked.scatter(&mut out, pairs.len(), |buf, range| {
+                for &(s, w) in &pairs[range] {
+                    buf[s] += w;
+                }
+            });
+            assert_eq!(out, reference(&pairs, slots), "slots={slots}");
+        }
+    }
+
+    #[test]
+    fn single_threaded_direct_path() {
+        let slots = 64;
+        let pairs = test_pairs(5_000, slots);
+        let want = reference(&pairs, slots);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            let mut blocked = BlockedScatter::new();
+            let mut out = vec![0u64; slots];
+            blocked.scatter(&mut out, pairs.len(), |buf, range| {
+                for &(s, w) in &pairs[range] {
+                    buf[s] += w;
+                }
+            });
+            assert_eq!(out, want);
+        });
+    }
+
+    #[test]
+    fn empty_work_is_fine() {
+        let mut blocked = BlockedScatter::new();
+        let mut out = vec![7u64; 10];
+        blocked.scatter(&mut out, 0, |_, _| {});
+        assert_eq!(out, vec![0u64; 10]);
+    }
+
+    #[test]
+    fn heuristic_prefers_direct_then_density() {
+        assert_eq!(choose_scatter(1000, 1_000_000, 1), ScatterKind::Direct);
+        assert_eq!(choose_scatter(1000, 1_000_000, 8), ScatterKind::Blocked);
+        assert_eq!(choose_scatter(1_000_000, 10_000, 8), ScatterKind::Atomic);
+        // Boundary: updates == 4·t·slots engages privatization.
+        assert_eq!(choose_scatter(100, 4 * 8 * 100, 8), ScatterKind::Blocked);
+        assert_eq!(choose_scatter(100, 4 * 8 * 100 - 1, 8), ScatterKind::Atomic);
+    }
+
+    #[test]
+    fn merge_block_boundaries_are_exact() {
+        // Slot count straddling several merge blocks, all slots hit once.
+        let slots = MERGE_BLOCK * 2 + 37;
+        let mut blocked = BlockedScatter::new();
+        let mut out = vec![0u64; slots];
+        blocked.scatter(&mut out, slots, |buf, range| {
+            for s in range {
+                buf[s] += s as u64;
+            }
+        });
+        for (s, &v) in out.iter().enumerate() {
+            assert_eq!(v, s as u64);
+        }
+    }
+}

@@ -18,8 +18,27 @@
 //! * [`topk`] — parallel top-k selection (what Algorithm 1's final sort
 //!   actually needs: the k largest scores).
 //! * [`scatter`] — atomic scatter-add accumulators for the Ψ/Δ* sums.
-//! * [`pool`] — scoped rayon thread-pool helpers for the ablation benches.
+//! * [`blocked`] — privatized, cache-blocked scatter accumulation (the
+//!   contention-free alternative), plus the kernel-choice heuristic.
+//! * [`pool`] — scoped rayon thread-pool helpers for the ablation benches,
+//!   with a process-wide memoized pool cache.
+//!
+//! # Choosing a scatter/gather kernel
+//!
+//! The Ψ/Δ* accumulation (`m·Γ` updates into `n` slots) has four kernels
+//! across this crate and `pooled_design`:
+//!
+//! | kernel | where | atomics | extra memory | wins when |
+//! |---|---|---|---|---|
+//! | scatter (atomic) | [`scatter::AtomicCounters`] | yes | none | sparse updates (`m·Γ ≪ t·n`), streaming designs |
+//! | scatter (blocked) | [`blocked::BlockedScatter`] | no | `t·n` words/plane | dense updates (`m·Γ ≳ 4·t·n`), replicate loops (buffers reused) |
+//! | gather | `CsrDesign::gather_distinct_u64` | no | none | materialized CSR with a transpose already built |
+//! | fused | `pooled_design::fused` | no | arena (reused) | Monte-Carlo trials: `y`, Ψ and Δ* from **one** traversal |
+//!
+//! [`blocked::choose_scatter`] encodes the density heuristic; the fused
+//! kernels in `pooled_design` call it internally.
 
+pub mod blocked;
 pub mod chunks;
 pub mod histogram;
 pub mod pool;
@@ -29,8 +48,10 @@ pub mod scatter;
 pub mod sort;
 pub mod topk;
 
+pub use blocked::{choose_scatter, BlockedScatter, ScatterKind};
 pub use chunks::even_ranges;
 pub use histogram::par_histogram;
+pub use pool::{install_with_threads, pool_with_threads};
 pub use radix::{par_radix_sort_pairs, radix_rank_desc};
 pub use scatter::AtomicCounters;
-pub use topk::top_k_indices;
+pub use topk::{top_k_indices, top_k_into, TopKScratch};

@@ -2,25 +2,53 @@
 //!
 //! The thread-scaling ablation bench runs the same decode under 1, 2, 4, …
 //! workers; rayon's global pool cannot be resized, so the bench builds
-//! throwaway pools through this module. Experiment binaries also use
+//! pools through this module. Experiment binaries also use
 //! [`install_with_threads`] to honour a `--threads` flag.
+//!
+//! Pools are memoized process-wide by worker count ([`pool_with_threads`]):
+//! building a rayon pool costs ~100 µs, which used to dominate short
+//! ablation iterations that rebuilt the pool per measurement.
 
-use rayon::ThreadPoolBuilder;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// Run `op` inside a fresh rayon pool with exactly `threads` workers.
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+/// Process-wide cache of pools keyed by worker count.
+static POOL_CACHE: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+
+/// The memoized pool with exactly `threads` workers, built on first request
+/// and shared for the process lifetime.
 ///
-/// `threads == 0` means "use the default parallelism". Building a pool costs
-/// ~100 µs; callers in hot paths should reuse pools instead.
+/// # Panics
+/// Panics if the pool cannot be built (thread spawn failure).
+pub fn pool_with_threads(threads: usize) -> Arc<ThreadPool> {
+    let cache = POOL_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(pool) = cache.lock().expect("pool cache poisoned").get(&threads) {
+        return Arc::clone(pool);
+    }
+    // Build outside the critical section: a failed build must not poison
+    // the cache for thread counts whose pools already exist. Two racing
+    // builders are harmless — the loser's pool is dropped.
+    let pool = Arc::new(
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .thread_name(|i| format!("pooled-worker-{i}"))
+            .build()
+            .expect("failed to build rayon pool"),
+    );
+    let mut cache = cache.lock().expect("pool cache poisoned");
+    Arc::clone(cache.entry(threads).or_insert(pool))
+}
+
+/// Run `op` inside the memoized rayon pool with exactly `threads` workers.
+///
+/// `threads == 0` means "use the default parallelism".
 pub fn install_with_threads<R: Send>(threads: usize, op: impl FnOnce() -> R + Send) -> R {
     if threads == 0 {
         return op();
     }
-    let pool = ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .thread_name(|i| format!("pooled-worker-{i}"))
-        .build()
-        .expect("failed to build rayon pool");
-    pool.install(op)
+    pool_with_threads(threads).install(op)
 }
 
 /// The effective parallelism of the current context.
@@ -39,6 +67,15 @@ mod tests {
             let seen = install_with_threads(t, rayon::current_num_threads);
             assert_eq!(seen, t);
         }
+    }
+
+    #[test]
+    fn pools_are_memoized_per_thread_count() {
+        let a = pool_with_threads(2);
+        let b = pool_with_threads(2);
+        assert!(Arc::ptr_eq(&a, &b), "same worker count must share one pool");
+        let c = pool_with_threads(3);
+        assert!(!Arc::ptr_eq(&a, &c), "different worker counts get distinct pools");
     }
 
     #[test]

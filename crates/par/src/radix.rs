@@ -49,7 +49,8 @@ pub fn par_radix_sort_pairs(data: &mut [(u64, u32)]) {
             continue; // digit constant across all keys — nothing to do
         }
         {
-            let (src, dst): (&mut [(u64, u32)], &mut [(u64, u32)]) = if src_is_data {
+            type PairSlices<'a> = (&'a mut [(u64, u32)], &'a mut [(u64, u32)]);
+            let (src, dst): PairSlices = if src_is_data {
                 (data, &mut buf)
             } else {
                 (&mut buf, data)

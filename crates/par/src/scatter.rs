@@ -59,6 +59,17 @@ impl AtomicCounters {
         self.slots.iter().map(|a| a.load(Ordering::Relaxed)).collect()
     }
 
+    /// Copy all counters into `out` without allocating (workspace path).
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.len()`.
+    pub fn copy_into(&self, out: &mut [u64]) {
+        assert_eq!(out.len(), self.len(), "output length must match counter count");
+        for (dst, slot) in out.iter_mut().zip(&self.slots) {
+            *dst = slot.load(Ordering::Relaxed);
+        }
+    }
+
     /// Reset every counter to zero (requires exclusive access).
     pub fn reset(&mut self) {
         for s in self.slots.iter_mut() {

@@ -78,6 +78,18 @@ pub fn top_k_indices(scores: &[i64], k: usize) -> Vec<usize> {
 
 fn chunk_top_k(scores: &[i64], range: std::ops::Range<usize>, k: usize) -> Vec<Weakest> {
     let mut heap: BinaryHeap<Weakest> = BinaryHeap::with_capacity(k + 1);
+    select_into_heap(&mut heap, scores, range, k);
+    heap.into_vec()
+}
+
+/// The one selection loop both paths share: keep the `k` best of `range`
+/// in `heap` under the deterministic `(score desc, index asc)` ranking.
+fn select_into_heap(
+    heap: &mut BinaryHeap<Weakest>,
+    scores: &[i64],
+    range: std::ops::Range<usize>,
+    k: usize,
+) {
     for i in range {
         let cand = Weakest { score: scores[i], index: i };
         if heap.len() < k {
@@ -92,7 +104,68 @@ fn chunk_top_k(scores: &[i64], range: std::ops::Range<usize>, k: usize) -> Vec<W
             }
         }
     }
-    heap.into_vec()
+}
+
+/// Reusable scratch for [`top_k_into`]: holds the selection heap's backing
+/// storage across calls so repeated selections allocate nothing after
+/// warm-up.
+#[derive(Default)]
+pub struct TopKScratch {
+    heap_buf: Vec<Weakest>,
+    merge_buf: Vec<Weakest>,
+}
+
+impl TopKScratch {
+    /// Empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl std::fmt::Debug for TopKScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopKScratch").field("capacity", &self.heap_buf.capacity()).finish()
+    }
+}
+
+/// Workspace variant of [`top_k_indices`]: writes the result into `out`
+/// (cleared first) and reuses `scratch` for the selection heap.
+///
+/// Identical output to [`top_k_indices`] — deterministic `(score desc,
+/// index asc)` ranking. Allocation-free once `out` and `scratch` have grown
+/// to the workload's `k` (single-worker sequential selection; with more
+/// workers it currently delegates to the parallel path, which allocates its
+/// per-chunk heaps).
+pub fn top_k_into(scores: &[i64], k: usize, out: &mut Vec<usize>, scratch: &mut TopKScratch) {
+    out.clear();
+    let n = scores.len();
+    let k = k.min(n);
+    if k == 0 {
+        return;
+    }
+    if chunk_count(n, PAR_GRAIN.max(k)) > 1 {
+        // Parallel regime: reuse the multi-chunk kernel.
+        out.extend(top_k_indices(scores, k));
+        return;
+    }
+    // Sequential selection on the reusable heap buffer (cleared *before*
+    // the conversion so no stale elements get heapified).
+    let mut heap_vec = std::mem::take(&mut scratch.heap_buf);
+    heap_vec.clear();
+    let mut heap = BinaryHeap::from(heap_vec);
+    // `reserve` takes an *additional* count (len is 0 here), so this
+    // guarantees capacity ≥ k+1 outright — no mid-selection regrowth.
+    heap.reserve(k + 1);
+    select_into_heap(&mut heap, scores, 0..n, k);
+    let mut merged = std::mem::take(&mut scratch.merge_buf);
+    merged.clear();
+    let mut heap_vec = heap.into_vec();
+    merged.extend_from_slice(&heap_vec);
+    heap_vec.clear();
+    scratch.heap_buf = heap_vec;
+    merged.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.index.cmp(&b.index)));
+    out.extend(merged.iter().map(|w| w.index));
+    scratch.merge_buf = merged;
 }
 
 /// Reference sequential implementation (full sort) used by tests and the

@@ -18,6 +18,9 @@ pub mod sweep;
 pub mod transition;
 pub mod wilson;
 
+pub use replicate::{
+    mn_trial, mn_trial_with, run_trials, run_trials_with, MnTrialWorkspace, TrialOutcome,
+};
 pub use summary::Summary;
 pub use sweep::{run_mn_sweep, SweepConfig, SweepRow};
 pub use transition::{find_transition, TransitionConfig, TransitionStats};

@@ -7,7 +7,7 @@
 
 use pooled_rng::SeedSequence;
 
-use crate::replicate::{mn_trial, run_trials};
+use crate::replicate::{mn_trial_with, run_trials_with, MnTrialWorkspace};
 use crate::summary::Summary;
 use crate::wilson::wilson_interval;
 
@@ -53,9 +53,10 @@ pub fn run_mn_sweep(cfg: &SweepConfig) -> Vec<SweepRow> {
         .iter()
         .map(|&m| {
             let node = master.child("m", m as u64);
-            let outcomes = run_trials(&node, cfg.trials, |_, seeds| {
-                mn_trial(cfg.n, cfg.k, m, &seeds)
-            });
+            let outcomes =
+                run_trials_with(&node, cfg.trials, MnTrialWorkspace::new, |_, seeds, ws| {
+                    mn_trial_with(cfg.n, cfg.k, m, &seeds, ws)
+                });
             let successes = outcomes.iter().filter(|o| o.exact).count() as u64;
             let mut overlap = Summary::new();
             for o in &outcomes {

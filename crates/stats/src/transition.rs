@@ -9,7 +9,7 @@
 
 use pooled_rng::SeedSequence;
 
-use crate::replicate::{mn_trial, run_trials};
+use crate::replicate::{mn_trial_with, run_trials_with, MnTrialWorkspace};
 use crate::summary::{quantile, Summary};
 
 /// Transition-search parameters.
@@ -48,16 +48,22 @@ pub struct TransitionStats {
 
 /// Probe one `(trial, m)` cell: fresh design + signal from the trial's
 /// m-indexed substream.
-fn probe(n: usize, k: usize, m: usize, trial_node: &SeedSequence) -> bool {
-    mn_trial(n, k, m, &trial_node.child("probe", m as u64)).exact
+fn probe(
+    n: usize,
+    k: usize,
+    m: usize,
+    trial_node: &SeedSequence,
+    ws: &mut MnTrialWorkspace,
+) -> bool {
+    mn_trial_with(n, k, m, &trial_node.child("probe", m as u64), ws).exact
 }
 
 /// Minimal `m` for one trial by ramp + bisection. Returns `m_cap` when even
 /// the cap fails.
-fn minimal_m(cfg: &TransitionConfig, trial_node: &SeedSequence) -> usize {
+fn minimal_m(cfg: &TransitionConfig, trial_node: &SeedSequence, ws: &mut MnTrialWorkspace) -> usize {
     let mut hi = cfg.m_start.max(2);
     // Exponential ramp until success (or cap).
-    while !probe(cfg.n, cfg.k, hi, trial_node) {
+    while !probe(cfg.n, cfg.k, hi, trial_node, ws) {
         if hi >= cfg.m_cap {
             return cfg.m_cap;
         }
@@ -70,7 +76,7 @@ fn minimal_m(cfg: &TransitionConfig, trial_node: &SeedSequence) -> usize {
     // Bisect the bracket [lo (fail-ish), hi (success)].
     while hi - lo > 1 + hi / 64 {
         let mid = lo + (hi - lo) / 2;
-        if probe(cfg.n, cfg.k, mid, trial_node) {
+        if probe(cfg.n, cfg.k, mid, trial_node, ws) {
             hi = mid;
         } else {
             lo = mid;
@@ -79,12 +85,15 @@ fn minimal_m(cfg: &TransitionConfig, trial_node: &SeedSequence) -> usize {
     hi
 }
 
-/// Run the full transition search across trials (parallel).
+/// Run the full transition search across trials (parallel). Each worker
+/// reuses one [`MnTrialWorkspace`] across all its trials' probes.
 pub fn find_transition(cfg: &TransitionConfig) -> TransitionStats {
     assert!(cfg.trials > 0, "need at least one trial");
     assert!(cfg.m_start >= 1 && cfg.m_cap >= cfg.m_start, "bad m bracket");
     let master = SeedSequence::new(cfg.master_seed);
-    let per_trial = run_trials(&master, cfg.trials, |_, node| minimal_m(cfg, &node));
+    let per_trial = run_trials_with(&master, cfg.trials, MnTrialWorkspace::new, |_, node, ws| {
+        minimal_m(cfg, &node, ws)
+    });
     let capped = per_trial.iter().filter(|&&m| m >= cfg.m_cap).count();
     let mut summary = Summary::new();
     let as_f64: Vec<f64> = per_trial.iter().map(|&m| m as f64).collect();

@@ -1,0 +1,323 @@
+//! Offline stand-in for [criterion](https://docs.rs/criterion) with the same
+//! macro and builder surface the workspace's benches use.
+//!
+//! Each benchmark is timed with a short calibration phase (to pick an
+//! iteration count that fills ~`measurement_time`), then `sample_size`
+//! batches are measured and the min / median / max batch means are printed in
+//! criterion's familiar `time: [low mid high]` format.
+//!
+//! Machine-readable output: set `BENCH_JSON=/path/to/file.json` and every
+//! completed benchmark appends one JSON object per line
+//! (`{"id": …, "mean_ns": …, "median_ns": …, "samples": …}`), which is what
+//! the repo's `BENCH_*.json` trajectory tracking consumes.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(900),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a routine under a bare id.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, self.sample_size, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Set the target measurement time for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Record throughput metadata (accepted; not used in reports).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Benchmark a routine that receives an input by reference.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a printable benchmark id.
+pub trait IntoBenchmarkId {
+    /// Render the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput metadata, mirroring `criterion::Throughput`.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs and times the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<f64>,
+    mode: BencherMode,
+}
+
+enum BencherMode {
+    Calibrate(Duration),
+    Measure,
+}
+
+impl Bencher {
+    /// Time `routine`, running it many times per measured sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            BencherMode::Calibrate(budget) => {
+                // Double the iteration count until one batch costs at least
+                // ~1/50 of the measurement budget, so a sample is long enough
+                // to be meaningful but short enough for sample_size batches.
+                let floor = budget.as_secs_f64() / 50.0;
+                let mut iters = 1u64;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(routine());
+                    }
+                    let elapsed = start.elapsed().as_secs_f64();
+                    if elapsed >= floor || iters >= 1 << 20 {
+                        self.iters_per_sample = iters;
+                        break;
+                    }
+                    iters *= 2;
+                }
+            }
+            BencherMode::Measure => {
+                let iters = self.iters_per_sample.max(1);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let per_iter = start.elapsed().as_secs_f64() / iters as f64;
+                self.samples.push(per_iter);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up + calibration pass.
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: BencherMode::Calibrate(measurement.max(warm_up)),
+    };
+    f(&mut b);
+    let iters = b.iters_per_sample;
+
+    // Measured samples.
+    let mut b = Bencher { iters_per_sample: iters, samples: Vec::new(), mode: BencherMode::Measure };
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_by(f64::total_cmp);
+    let low = sorted.first().copied().unwrap_or(0.0);
+    let high = sorted.last().copied().unwrap_or(0.0);
+    let median = if sorted.is_empty() { 0.0 } else { sorted[sorted.len() / 2] };
+    let mean = if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
+
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        format_time(low),
+        format_time(median),
+        format_time(high)
+    );
+
+    if let Ok(path) = std::env::var("BENCH_JSON") {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(
+                file,
+                "{{\"id\": \"{id}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"samples\": {}}}",
+                mean * 1e9,
+                median * 1e9,
+                sorted.len()
+            );
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    let ns = seconds * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

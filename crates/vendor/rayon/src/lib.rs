@@ -1,0 +1,921 @@
+//! Offline stand-in for [rayon](https://docs.rs/rayon), implementing exactly
+//! the subset of its API this workspace uses, on top of `std::thread::scope`.
+//!
+//! This build environment has no access to a crate registry, so the workspace
+//! vendors a data-parallel core with rayon's import surface:
+//!
+//! * [`prelude`] — `par_iter` / `par_iter_mut` / `into_par_iter` /
+//!   `par_chunks_mut` over slices, vectors and integer ranges, with the
+//!   `map` / `zip` / `enumerate` / `for_each` / `collect` / `sum` / `reduce` /
+//!   `min_by_key` combinators.
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — scoped worker-count
+//!   control via a thread-local, honoured by every parallel drive.
+//! * [`join`] / [`current_num_threads`].
+//!
+//! Every parallel iterator here is *indexed* (exact length, contiguous
+//! `split_at`), which is all the workspace needs: the sources are ranges,
+//! slices and vectors. A drive fans the iterator out into one contiguous
+//! chunk per worker and runs each chunk sequentially on a scoped thread;
+//! worker threads report `current_num_threads() == 1` so nested parallelism
+//! degrades to sequential execution instead of oversubscribing.
+//!
+//! Determinism: chunk boundaries depend only on `(len, current_num_threads)`,
+//! and order-sensitive consumers (`collect`, `sum`, `reduce`) combine chunk
+//! results in chunk order, so outputs are identical across thread counts for
+//! associative operations — the property the workspace's tests pin down.
+
+use std::cell::Cell;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// 0 = unset (use the machine default); otherwise the installed count.
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(usize::from).unwrap_or(1)
+}
+
+/// The effective parallelism of the current context.
+pub fn current_num_threads() -> usize {
+    let v = CURRENT_THREADS.with(Cell::get);
+    if v == 0 {
+        default_threads()
+    } else {
+        v
+    }
+}
+
+fn with_thread_count<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_THREADS.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(CURRENT_THREADS.with(|c| c.replace(n)));
+    op()
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A handle fixing the worker count for scoped regions.
+///
+/// Threads are not pre-spawned: `install` records the count in a
+/// thread-local and every parallel drive inside `op` fans out to exactly
+/// that many scoped workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count installed.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        with_thread_count(self.threads, op)
+    }
+
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker count (`0` keeps the machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; worker threads are scoped and unnamed.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: Fn(usize) -> String,
+    {
+        self
+    }
+
+    /// Build the pool handle (infallible in this implementation).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = match self.threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Run both closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(|| with_thread_count(1, b));
+        let ra = a();
+        (ra, hb.join().expect("joined closure panicked"))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The indexed parallel-iterator core.
+// ---------------------------------------------------------------------------
+
+/// An indexed parallel iterator: exact length, contiguous splitting, and a
+/// sequential drain. Everything the workspace parallelizes over fits this
+/// (ranges, slices, vectors), which keeps the fan-out machinery tiny.
+pub trait ParallelIterator: Sized + Send {
+    /// The element type.
+    type Item: Send;
+
+    /// Exact number of remaining items.
+    fn len(&self) -> usize;
+
+    /// Whether no items remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, index)` and `[index, len)` halves.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Drain sequentially into `sink`, in index order.
+    fn drive_seq(self, sink: &mut impl FnMut(Self::Item));
+
+    // -- combinators ------------------------------------------------------
+
+    /// Map each item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync + Send,
+    {
+        Map { base: self, f: Arc::new(f) }
+    }
+
+    /// Map with per-chunk mutable state created by `init` (mirrors rayon's
+    /// `map_init`): each sequential chunk builds one `state` and threads it
+    /// through its items — the cheap way to reuse scratch buffers across a
+    /// parallel loop.
+    fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> MapInit<Self, INIT, F>
+    where
+        S: Send,
+        R: Send,
+        INIT: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, Self::Item) -> R + Sync + Send,
+    {
+        MapInit { base: self, init: Arc::new(init), f: Arc::new(f) }
+    }
+
+    /// Pair with another indexed iterator, truncating to the shorter.
+    fn zip<Z>(self, other: Z) -> Zip<Self, Z::Iter>
+    where
+        Z: IntoParallelIterator,
+    {
+        Zip { a: self, b: other.into_par_iter() }
+    }
+
+    /// Attach the global index to each item.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self, offset: 0 }
+    }
+
+    /// Run `f` on every item, in parallel chunks.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        drive_chunks(self, &|chunk: Self| chunk.drive_seq(&mut |x| f(x)));
+    }
+
+    /// Collect into a container, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sum the items, combining per-chunk partial sums in chunk order.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>,
+    {
+        map_chunks(self, &|chunk: Self| {
+            let mut items = Vec::with_capacity(chunk.len());
+            chunk.drive_seq(&mut |x| items.push(x));
+            items.into_iter().sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Reduce with an identity factory, like `rayon::iter::ParallelIterator::reduce`.
+    fn reduce<OP, ID>(self, identity: ID, op: OP) -> Self::Item
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        ID: Fn() -> Self::Item + Sync + Send,
+    {
+        map_chunks(self, &|chunk: Self| {
+            let mut acc: Option<Self::Item> = None;
+            chunk.drive_seq(&mut |x| {
+                acc = Some(match acc.take() {
+                    Some(prev) => op(prev, x),
+                    None => x,
+                });
+            });
+            acc.unwrap_or_else(&identity)
+        })
+        .into_iter()
+        .fold(identity(), &op)
+    }
+
+    /// Minimum by key with rayon's tie-breaking (first minimal in index order).
+    fn min_by_key<K, F>(self, f: F) -> Option<Self::Item>
+    where
+        K: Ord + Send,
+        F: Fn(&Self::Item) -> K + Sync + Send,
+    {
+        map_chunks(self, &|chunk: Self| {
+            let mut best: Option<(K, Self::Item)> = None;
+            chunk.drive_seq(&mut |x| {
+                let k = f(&x);
+                match &best {
+                    Some((bk, _)) if *bk <= k => {}
+                    _ => best = Some((k, x)),
+                }
+            });
+            best
+        })
+        .into_iter()
+        .flatten()
+        .reduce(|a, b| if a.0 <= b.0 { a } else { b })
+        .map(|(_, x)| x)
+    }
+
+    /// Maximum by key with rayon's tie-breaking (last maximal in index order).
+    fn max_by_key<K, F>(self, f: F) -> Option<Self::Item>
+    where
+        K: Ord + Send,
+        F: Fn(&Self::Item) -> K + Sync + Send,
+    {
+        map_chunks(self, &|chunk: Self| {
+            let mut best: Option<(K, Self::Item)> = None;
+            chunk.drive_seq(&mut |x| {
+                let k = f(&x);
+                match &best {
+                    Some((bk, _)) if *bk > k => {}
+                    _ => best = Some((k, x)),
+                }
+            });
+            best
+        })
+        .into_iter()
+        .flatten()
+        .reduce(|a, b| if b.0 >= a.0 { b } else { a })
+        .map(|(_, x)| x)
+    }
+}
+
+/// Split into at most `parts` contiguous pieces of near-equal size.
+fn split_even<P: ParallelIterator>(iter: P, parts: usize) -> Vec<P> {
+    let mut out = Vec::with_capacity(parts);
+    let mut rest = iter;
+    for part in 0..parts.saturating_sub(1) {
+        let remaining = rest.len();
+        let remaining_parts = parts - part;
+        let take = remaining.div_ceil(remaining_parts);
+        let (head, tail) = rest.split_at(take);
+        out.push(head);
+        rest = tail;
+    }
+    out.push(rest);
+    out
+}
+
+/// Fan `iter` out into per-worker chunks and run `consume` on each.
+fn drive_chunks<P, C>(iter: P, consume: &C)
+where
+    P: ParallelIterator,
+    C: Fn(P) + Sync,
+{
+    let threads = current_num_threads();
+    let len = iter.len();
+    if threads <= 1 || len <= 1 {
+        consume(iter);
+        return;
+    }
+    let chunks = split_even(iter, threads.min(len));
+    std::thread::scope(|s| {
+        let mut chunks = chunks.into_iter();
+        let first = chunks.next().expect("split_even returns at least one chunk");
+        for chunk in chunks {
+            s.spawn(move || with_thread_count(1, || consume(chunk)));
+        }
+        // The calling thread is a worker too: it must see a thread count of
+        // 1 so nested parallelism degrades to sequential like the spawned
+        // chunks.
+        with_thread_count(1, || consume(first));
+    });
+}
+
+/// Fan out and collect one result per chunk, in chunk order.
+fn map_chunks<P, R, C>(iter: P, consume: &C) -> Vec<R>
+where
+    P: ParallelIterator,
+    R: Send,
+    C: Fn(P) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let len = iter.len();
+    if threads <= 1 || len <= 1 {
+        return vec![consume(iter)];
+    }
+    let chunks = split_even(iter, threads.min(len));
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || with_thread_count(1, || consume(chunk))))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("parallel worker panicked")).collect()
+    })
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<P: ParallelIterator> IntoParallelIterator for P {
+    type Iter = P;
+    type Item = P::Item;
+
+    fn into_par_iter(self) -> P {
+        self
+    }
+}
+
+/// `.par_iter()` on anything whose reference converts (mirrors rayon).
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a shared reference).
+    type Item: Send + 'a;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `.par_iter_mut()` on anything whose mutable reference converts.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type (a mutable reference).
+    type Item: Send + 'a;
+    /// Mutably borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoParallelIterator,
+{
+    type Iter = <&'a mut C as IntoParallelIterator>::Iter;
+    type Item = <&'a mut C as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collection from a parallel iterator (mirrors rayon's trait).
+pub trait FromParallelIterator<T: Send> {
+    /// Build the container from `iter`, preserving index order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        let len = iter.len();
+        let threads = current_num_threads();
+        if threads <= 1 || len <= 1 {
+            let mut out = Vec::with_capacity(len);
+            iter.drive_seq(&mut |x| out.push(x));
+            return out;
+        }
+        let parts = map_chunks(iter, &|chunk: P| {
+            let mut part = Vec::with_capacity(chunk.len());
+            chunk.drive_seq(&mut |x| part.push(x));
+            part
+        });
+        let mut out = Vec::with_capacity(len);
+        for part in parts {
+            out.extend(part);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
+    f: Arc<F>,
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (Map { base: a, f: Arc::clone(&self.f) }, Map { base: b, f: self.f })
+    }
+
+    fn drive_seq(self, sink: &mut impl FnMut(R)) {
+        let f = self.f;
+        self.base.drive_seq(&mut |x| sink(f(x)));
+    }
+}
+
+/// See [`ParallelIterator::map_init`].
+pub struct MapInit<P, INIT, F> {
+    base: P,
+    init: Arc<INIT>,
+    f: Arc<F>,
+}
+
+impl<P, S, R, INIT, F> ParallelIterator for MapInit<P, INIT, F>
+where
+    P: ParallelIterator,
+    S: Send,
+    R: Send,
+    INIT: Fn() -> S + Sync + Send,
+    F: Fn(&mut S, P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            MapInit { base: a, init: Arc::clone(&self.init), f: Arc::clone(&self.f) },
+            MapInit { base: b, init: self.init, f: self.f },
+        )
+    }
+
+    fn drive_seq(self, sink: &mut impl FnMut(R)) {
+        let mut state = (self.init)();
+        let f = self.f;
+        self.base.drive_seq(&mut |x| sink(f(&mut state, x)));
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a1, a2) = self.a.split_at(index);
+        let (b1, b2) = self.b.split_at(index);
+        (Zip { a: a1, b: b1 }, Zip { a: a2, b: b2 })
+    }
+
+    fn drive_seq(self, sink: &mut impl FnMut(Self::Item)) {
+        // Heap-allocation-free pairing: halve recursively until a chunk fits
+        // the stack buffer, then drain the right side into it and replay the
+        // left side against it. Keeps workspace decode paths that zip two
+        // `par_iter_mut`s allocation-free, as their callers document.
+        const CHUNK: usize = 64;
+        let n = self.a.len().min(self.b.len());
+        if n == 0 {
+            return;
+        }
+        if n <= CHUNK {
+            let mut buf: [Option<B::Item>; CHUNK] = [const { None }; CHUNK];
+            let mut i = 0usize;
+            self.b.drive_seq(&mut |y| {
+                if i < n {
+                    buf[i] = Some(y);
+                }
+                i += 1;
+            });
+            let mut j = 0usize;
+            self.a.drive_seq(&mut |x| {
+                if j < n {
+                    if let Some(y) = buf[j].take() {
+                        sink((x, y));
+                    }
+                }
+                j += 1;
+            });
+            return;
+        }
+        let mid = n / 2;
+        let (a1, a2) = self.a.split_at(mid);
+        let (b1, b2) = self.b.split_at(mid);
+        Zip { a: a1, b: b1 }.drive_seq(sink);
+        Zip { a: a2, b: b2 }.drive_seq(sink);
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Enumerate { base: a, offset: self.offset },
+            Enumerate { base: b, offset: self.offset + index },
+        )
+    }
+
+    fn drive_seq(self, sink: &mut impl FnMut(Self::Item)) {
+        let mut i = self.offset;
+        self.base.drive_seq(&mut |x| {
+            sink((i, x));
+            i += 1;
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources: ranges, slices, vectors.
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    end: T,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$t> {
+            type Item = $t;
+
+            fn len(&self) -> usize {
+                if self.end > self.start { (self.end - self.start) as usize } else { 0 }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $t;
+                debug_assert!(mid <= self.end);
+                (RangeIter { start: self.start, end: mid }, RangeIter { start: mid, end: self.end })
+            }
+
+            fn drive_seq(self, sink: &mut impl FnMut($t)) {
+                for v in self.start..self.end {
+                    sink(v);
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                RangeIter { start: self.start, end: self.end }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Iter = RangeIter<$t>;
+            type Item = $t;
+
+            fn into_par_iter(self) -> RangeIter<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(end < <$t>::MAX, "inclusive range ending at MAX is unsupported");
+                if start > end {
+                    RangeIter { start, end: start }
+                } else {
+                    RangeIter { start, end: end + 1 }
+                }
+            }
+        }
+    )*};
+}
+
+impl_range_source!(usize, u32, u64, i32, i64);
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (SliceIter { slice: a }, SliceIter { slice: b })
+    }
+
+    fn drive_seq(self, sink: &mut impl FnMut(&'a T)) {
+        for x in self.slice {
+            sink(x);
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct SliceIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (SliceIterMut { slice: a }, SliceIterMut { slice: b })
+    }
+
+    fn drive_seq(self, sink: &mut impl FnMut(&'a mut T)) {
+        for x in self.slice {
+            sink(x);
+        }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> SliceIterMut<'a, T> {
+        SliceIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over mutable, non-overlapping chunks of a slice.
+pub struct ChunksMutIter<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> ParallelIterator for ChunksMutIter<'a, T> {
+    type Item = &'a mut [T];
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (ChunksMutIter { slice: a, chunk: self.chunk }, ChunksMutIter { slice: b, chunk: self.chunk })
+    }
+
+    fn drive_seq(self, sink: &mut impl FnMut(&'a mut [T])) {
+        for c in self.slice.chunks_mut(self.chunk) {
+            sink(c);
+        }
+    }
+}
+
+/// `par_chunks_mut` over slices (mirrors `rayon::slice::ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Mutable chunks of `chunk_size` elements (last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutIter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMutIter<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be nonzero");
+        ChunksMutIter { slice: self, chunk: chunk_size }
+    }
+}
+
+/// Owning parallel iterator over a vector.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, VecIter { vec: tail })
+    }
+
+    fn drive_seq(self, sink: &mut impl FnMut(T)) {
+        for x in self.vec {
+            sink(x);
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { vec: self }
+    }
+}
+
+/// One-stop imports mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator,
+        IntoParallelRefMutIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_and_enumerate_line_up() {
+        let a = vec![10u64, 20, 30, 40];
+        let mut b = vec![0u64; 4];
+        b.par_iter_mut().zip(a.par_iter()).enumerate().for_each(|(i, (dst, src))| {
+            *dst = *src + i as u64;
+        });
+        assert_eq!(b, vec![10, 21, 32, 43]);
+    }
+
+    #[test]
+    fn sum_and_reduce_match_sequential() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let s: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(s, data.iter().sum::<u64>());
+        let (or_all, and_all) = data
+            .par_iter()
+            .map(|&k| (k, k))
+            .reduce(|| (0u64, u64::MAX), |(o1, a1), (o2, a2)| (o1 | o2, a1 & a2));
+        assert_eq!(or_all, data.iter().fold(0, |a, &b| a | b));
+        assert_eq!(and_all, data.iter().fold(u64::MAX, |a, &b| a & b));
+    }
+
+    #[test]
+    fn min_by_key_is_deterministic_on_ties() {
+        let data: Vec<(i64, usize)> = (0..100).map(|i| (i as i64 % 5, i)).collect();
+        let got = data.par_iter().map(|&p| p).min_by_key(|&(k, i)| (k, i));
+        assert_eq!(got, Some((0, 0)));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        let outer = current_num_threads();
+        assert!(outer >= 1);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn chunks_mut_covers_all_elements() {
+        let mut data = vec![0u64; 1003];
+        data.par_chunks_mut(100).enumerate().for_each(|(ci, chunk)| {
+            for x in chunk {
+                *x = ci as u64;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[999], 9);
+        assert_eq!(data[1002], 10);
+    }
+}

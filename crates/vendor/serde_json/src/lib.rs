@@ -1,0 +1,758 @@
+//! Offline stand-in for [serde_json](https://docs.rs/serde_json): the
+//! [`Value`] tree, the [`json!`] macro (literal keys, expression values),
+//! pretty printing and parsing. No serde derive — the one consumer
+//! (`pooled_io::manifest`) converts explicitly through [`Value`].
+//!
+//! Object key order is preserved (insertion order), numbers keep their
+//! integer/float identity, and `parse(render(v)) == v` for every value the
+//! workspace produces — the manifest round-trip tests pin this down.
+
+use std::fmt;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+impl Number {
+    fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U(v) => v as f64,
+            Number::I(v) => v as f64,
+            Number::F(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::U(a), Number::U(b)) => a == b,
+            (Number::I(a), Number::I(b)) => a == b,
+            (Number::F(a), Number::F(b)) => a == b,
+            // Cross-variant: compare numerically (parsing may change variant).
+            (Number::U(a), Number::I(b)) | (Number::I(b), Number::U(a)) => {
+                b >= 0 && a == b as u64
+            }
+            (a, b) => a.as_f64() == b.as_f64(),
+        }
+    }
+}
+
+/// A JSON value tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => {
+                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(v)) => Some(*v),
+            Value::Number(Number::I(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I(v)) => Some(*v),
+            Value::Number(Number::U(v)) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversions feeding the `json!` macro.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::U(v as u64)) }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 { Value::Number(Number::U(v as u64)) }
+                else { Value::Number(Number::I(v as i64)) }
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+impl_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+impl<T> From<Vec<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T> From<&[T]> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(items: &[T]) -> Value {
+        Value::Array(items.iter().cloned().map(Value::from).collect())
+    }
+}
+
+impl<T, const N: usize> From<[T; N]> for Value
+where
+    Value: From<T>,
+{
+    fn from(items: [T; N]) -> Value {
+        Value::Array(items.into_iter().map(Value::from).collect())
+    }
+}
+
+impl<T, const N: usize> From<&[T; N]> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(items: &[T; N]) -> Value {
+        Value::Array(items.iter().cloned().map(Value::from).collect())
+    }
+}
+
+impl<T> From<&Vec<T>> for Value
+where
+    T: Clone,
+    Value: From<T>,
+{
+    fn from(items: &Vec<T>) -> Value {
+        Value::Array(items.iter().cloned().map(Value::from).collect())
+    }
+}
+
+/// Borrowing conversion into [`Value`] — what the [`json!`] macro calls, so
+/// that (like real serde_json) `json!({"xs": xs})` does not move `xs`.
+pub trait ToValue {
+    /// Convert a borrowed value.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_to_value_copy {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value { Value::from(*self) }
+        }
+    )*};
+}
+
+impl_to_value_copy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue, const N: usize> ToValue for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: ToValue, B: ToValue> ToValue for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: ToValue, B: ToValue, C: ToValue> ToValue for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Build a [`Value`] from JSON-ish syntax. Object keys must be string
+/// literals; values are arbitrary expressions converted by reference via
+/// [`ToValue`].
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $(($key.to_string(), $crate::ToValue::to_value(&$value))),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::ToValue::to_value(&$value)),* ])
+    };
+    ($other:expr) => { $crate::ToValue::to_value(&$other) };
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::U(v) => out.push_str(&v.to_string()),
+        Number::I(v) => out.push_str(&v.to_string()),
+        Number::F(v) => {
+            if v.is_finite() {
+                let s = format!("{v}");
+                out.push_str(&s);
+                // Keep float identity through a parse round trip.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn render(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => render_number(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                render(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push(']');
+        }
+        Value::Object(members) => {
+            if members.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, level + 1);
+                escape_into(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(out, item, indent, level + 1);
+            }
+            newline_indent(out, indent, level);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * level));
+    }
+}
+
+/// Render compactly (no whitespace).
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&mut out, value, None, 0);
+    Ok(out)
+}
+
+/// Render with two-space indentation, like serde_json's pretty printer.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&mut out, value, Some(2), 0);
+    Ok(out)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        render(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing.
+// ---------------------------------------------------------------------------
+
+/// Parse error with byte offset.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+    offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, Error> {
+        Err(Error { message: message.to_owned(), offset: self.pos })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected '{}'", b as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{word}'"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                    .map_err(|_| Error {
+                                        message: "invalid \\u escape".into(),
+                                        offset: self.pos,
+                                    })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| Error {
+                                message: "invalid \\u escape".into(),
+                                offset: self.pos,
+                            })?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 starting at the byte we consumed.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    if start + len > self.bytes.len() {
+                        return self.err("truncated UTF-8");
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| Error { message: "invalid UTF-8".into(), offset: start })?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error { message: "invalid number".into(), offset: start })?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Value::Number(Number::F(v))),
+            Err(_) => self.err("malformed number"),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(members));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parse a JSON document.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing characters");
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let v = json!({
+            "name": "fig2",
+            "seed": 1905u64,
+            "grid": [1000, 10000],
+            "thetas": [0.1, 0.2],
+            "flag": true,
+            "nothing": json!(null),
+        });
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+        let compact = to_string(&v).unwrap();
+        assert_eq!(from_str(&compact).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_json_style() {
+        let v = json!({"a": 1});
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let v = json!({"seed": u64::MAX});
+        let s = to_string(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap().get("seed").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        let v = json!([-5, 2.5, 1.0]);
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[-5,2.5,1.0]");
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = json!({"s": "a\"b\\c\nd\tü"});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn invalid_input_is_an_error() {
+        assert!(from_str("not json").is_err());
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2").is_err());
+    }
+
+    #[test]
+    fn from_vec_and_arrays() {
+        let grid: Vec<usize> = vec![1, 2, 3];
+        let v = json!({"grid": grid, "arr": [1.0f64, 2.0]});
+        assert_eq!(v.get("grid").unwrap().as_array().unwrap().len(), 3);
+    }
+}

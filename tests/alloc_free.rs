@@ -1,0 +1,111 @@
+//! Allocation accounting for the workspace decode path.
+//!
+//! The acceptance bar for the workspace refactor: after warm-up, a
+//! 100-replicate repeated decode through `MnDecoder::decode_with` performs
+//! **zero** heap allocations. A counting wrapper around the system
+//! allocator pins this down exactly (single-worker pool: with more workers
+//! the scoped-thread fan-out itself allocates, which is outside the decode
+//! path's contract).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+use pooled_data::core::mn::MnDecoder;
+use pooled_data::core::query::execute_queries;
+use pooled_data::core::workspace::MnWorkspace;
+use pooled_data::design::csr::CsrDesign;
+use pooled_data::par::pool::pool_with_threads;
+use pooled_data::prelude::*;
+
+#[test]
+fn workspace_decode_is_allocation_free_after_warmup() {
+    let (n, m, k) = (20_000usize, 600usize, 12usize);
+    let seeds = SeedSequence::new(1905);
+    let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let y = execute_queries(&design, &sigma);
+    let decoder = MnDecoder::new(k);
+    let reference = decoder.decode(&design, &y);
+
+    let pool = pool_with_threads(1);
+    pool.install(|| {
+        let mut ws = MnWorkspace::new();
+        // Warm-up: grows every buffer to the workload's shape.
+        decoder.decode_with(&design, &y, &mut ws);
+        decoder.decode_with(&design, &y, &mut ws);
+
+        let before = allocation_count();
+        for _ in 0..100 {
+            decoder.decode_with(&design, &y, &mut ws);
+        }
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "workspace decode allocated {} times across 100 replicates",
+            after - before
+        );
+
+        // And it still computes the right answer.
+        assert_eq!(ws.estimate_dense(), reference.estimate.dense());
+        assert_eq!(ws.scores(), &reference.scores[..]);
+
+        // The gather path (entry-parallel over the CSR transpose) must be
+        // allocation-free too.
+        decoder.decode_csr_with(&design, &y, &mut ws);
+        let before = allocation_count();
+        for _ in 0..100 {
+            decoder.decode_csr_with(&design, &y, &mut ws);
+        }
+        let after = allocation_count();
+        assert_eq!(
+            after - before,
+            0,
+            "gather-path decode allocated {} times across 100 replicates",
+            after - before
+        );
+        assert_eq!(ws.estimate_dense(), reference.estimate.dense());
+    });
+}
+
+#[test]
+fn allocating_api_allocates_per_decode() {
+    // Sanity check on the counter itself: the one-shot API must allocate.
+    let (n, m, k) = (2_000usize, 100usize, 6usize);
+    let seeds = SeedSequence::new(3);
+    let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+    let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
+    let y = execute_queries(&design, &sigma);
+    let decoder = MnDecoder::new(k);
+    let before = allocation_count();
+    std::hint::black_box(decoder.decode(&design, &y));
+    let after = allocation_count();
+    assert!(after > before, "counting allocator must observe the allocating path");
+}

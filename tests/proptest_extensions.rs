@@ -101,6 +101,7 @@ proptest! {
         for t in 1..=4u64 {
             let bits = ThresholdChannel::new(t).execute(&design, &sigma);
             // Faithfulness against a direct load computation.
+            #[allow(clippy::needless_range_loop)]
             for q in 0..m {
                 let mut load = 0u64;
                 design.for_each_distinct(q, &mut |e, _| load += sigma.get(e) as u64);
