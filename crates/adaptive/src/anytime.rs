@@ -177,8 +177,7 @@ mod tests {
         let seeds = SeedSequence::new(43_000);
         let sigma = Signal::random(600, k, &mut seeds.child("signal", 0).rng());
         let m_max = (1.5 * m_mn_finite(600, 0.3)).ceil() as usize;
-        let cfg =
-            AnytimeConfig { m_round: m_max, m_max, refine: RefineConfig::default() };
+        let cfg = AnytimeConfig { m_round: m_max, m_max, refine: RefineConfig::default() };
         let mut oracle = CountOracle::new(&sigma);
         let res = anytime_mn(&mut oracle, k, &cfg, &seeds);
         assert_eq!(res.rounds, 1);
@@ -190,11 +189,7 @@ mod tests {
     fn rejects_round_larger_than_cap() {
         let sigma = Signal::from_support(10, vec![1]);
         let mut oracle = CountOracle::new(&sigma);
-        let cfg = AnytimeConfig {
-            m_round: 11,
-            m_max: 10,
-            refine: RefineConfig::default(),
-        };
+        let cfg = AnytimeConfig { m_round: 11, m_max: 10, refine: RefineConfig::default() };
         let _ = anytime_mn(&mut oracle, 1, &cfg, &SeedSequence::new(1));
     }
 

@@ -53,7 +53,10 @@ pub fn quantitative_bisect(oracle: &mut CountOracle) -> BisectResult {
     oracle.next_round();
     // Frontier of unresolved segments (lo, hi, count), 0 < count < hi−lo.
     let mut frontier: Vec<(usize, usize, u64)> = Vec::new();
-    let admit = |lo: usize, hi: usize, c: u64, ones: &mut Vec<usize>,
+    let admit = |lo: usize,
+                 hi: usize,
+                 c: u64,
+                 ones: &mut Vec<usize>,
                  frontier: &mut Vec<(usize, usize, u64)>| {
         if c == 0 {
             return;
@@ -155,11 +158,7 @@ mod tests {
         // queries vs the paper's m_MN ≈ 1.3·10³.
         let (_, res) = run(100_000, 10, 50);
         let m_mn = pooled_theory::thresholds::m_mn(100_000, 0.2);
-        assert!(
-            (res.queries as f64) < 0.5 * m_mn,
-            "adaptive {} vs parallel {m_mn}",
-            res.queries
-        );
+        assert!((res.queries as f64) < 0.5 * m_mn, "adaptive {} vs parallel {m_mn}", res.queries);
     }
 
     #[test]

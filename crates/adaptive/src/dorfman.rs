@@ -93,8 +93,10 @@ pub fn expected_dorfman_queries(n: usize, k: usize, g: usize) -> f64 {
     while lo < n {
         let s = g.min(n - lo);
         // P(count = 0) = C(n−s, k)/C(n, k); P(count = s) = C(n−s, k−s)/C(n,k).
-        let p0 = if k <= n - s { (ln_choose((n - s) as u64, k as u64) - ln_total).exp() } else { 0.0 };
-        let ps = if k >= s { (ln_choose((n - s) as u64, (k - s) as u64) - ln_total).exp() } else { 0.0 };
+        let p0 =
+            if k <= n - s { (ln_choose((n - s) as u64, k as u64) - ln_total).exp() } else { 0.0 };
+        let ps =
+            if k >= s { (ln_choose((n - s) as u64, (k - s) as u64) - ln_total).exp() } else { 0.0 };
         expected += 1.0 + (1.0 - p0 - ps) * (s as f64 - 1.0);
         lo += s;
     }
@@ -188,10 +190,7 @@ mod tests {
             total += res.queries;
         }
         let mean = total as f64 / trials as f64;
-        assert!(
-            (mean - want).abs() / want < 0.05,
-            "simulated {mean} vs expected {want}"
-        );
+        assert!((mean - want).abs() / want < 0.05, "simulated {mean} vs expected {want}");
     }
 
     #[test]

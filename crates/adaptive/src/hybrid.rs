@@ -157,8 +157,7 @@ mod tests {
         let k = k_of(n, 0.3);
         let m_full = m_mn_finite(n, 0.3);
         let count = |frac: f64| {
-            let cfg =
-                HybridConfig { m1: (frac * m_full).round() as usize, candidate_mult: 8 };
+            let cfg = HybridConfig { m1: (frac * m_full).round() as usize, candidate_mult: 8 };
             (0..12).filter(|&seed| run(n, k, &cfg, 200 + seed).1.captured).count()
         };
         let (low, high) = (count(0.25), count(0.9));

@@ -32,11 +32,7 @@ impl StrategyReport {
     ///
     /// # Panics
     /// Panics if `per_round` does not sum to `queries`.
-    pub fn new(
-        name: impl Into<String>,
-        per_round: Vec<usize>,
-        exact: bool,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, per_round: Vec<usize>, exact: bool) -> Self {
         let queries = per_round.iter().sum();
         Self { name: name.into(), queries, rounds: per_round.len(), per_round, exact }
     }

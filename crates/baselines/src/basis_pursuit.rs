@@ -45,8 +45,7 @@ impl AdditiveDecoder for BasisPursuitDecoder {
         // Round: the k largest fractional coordinates.
         let scores: Vec<i64> = x.iter().map(|&v| (v * 1e12) as i64).collect();
         let support = pooled_par::topk::top_k_indices(&scores, k);
-        let mut support: Vec<usize> =
-            support.into_iter().filter(|&i| x[i] > 1e-6).collect();
+        let mut support: Vec<usize> = support.into_iter().filter(|&i| x[i] > 1e-6).collect();
         support.sort_unstable();
         Signal::from_support(n, support)
     }

@@ -34,8 +34,7 @@ pub fn execute_or(design: &CsrDesign, sigma: &Signal) -> Vec<bool> {
 /// `Γ = n·ln2/k` (clamped into `[1, n]`).
 pub fn gt_design_for(n: usize, m: usize, k: usize, seeds: &SeedSequence) -> CsrDesign {
     assert!(k >= 1, "group-testing design needs k ≥ 1");
-    let gamma =
-        ((n as f64 * std::f64::consts::LN_2 / k as f64).round() as usize).clamp(1, n);
+    let gamma = ((n as f64 * std::f64::consts::LN_2 / k as f64).round() as usize).clamp(1, n);
     CsrDesign::sample(n, m, gamma, seeds)
 }
 
@@ -65,11 +64,8 @@ pub fn dd(design: &CsrDesign, or_results: &[bool]) -> Signal {
     for (q, &positive) in or_results.iter().enumerate() {
         if positive {
             let (entries, _) = design.query_row(q);
-            let live: Vec<usize> = entries
-                .iter()
-                .map(|&e| e as usize)
-                .filter(|&e| candidates.is_one(e))
-                .collect();
+            let live: Vec<usize> =
+                entries.iter().map(|&e| e as usize).filter(|&e| candidates.is_one(e)).collect();
             // A positive pool whose only candidate member is `e` proves `e`.
             if let [only] = live.as_slice() {
                 definite[*only] = true;

@@ -7,8 +7,8 @@
 
 use pooled_core::signal::Signal;
 use pooled_design::csr::CsrDesign;
-use pooled_design::PoolingDesign;
 use pooled_design::matvec::scatter_distinct_u64;
+use pooled_design::PoolingDesign;
 use pooled_rng::SeedSequence;
 
 use crate::AdditiveDecoder;

@@ -90,11 +90,8 @@ pub fn peel(design: &CsrDesign, y: &[u64]) -> PeelOutcome {
         steps += 1;
         // Resolve every still-unresolved member of q to `value`.
         let (entries, _) = design.query_row(q);
-        let to_resolve: Vec<usize> = entries
-            .iter()
-            .map(|&e| e as usize)
-            .filter(|&e| resolved[e].is_none())
-            .collect();
+        let to_resolve: Vec<usize> =
+            entries.iter().map(|&e| e as usize).filter(|&e| resolved[e].is_none()).collect();
         for e in to_resolve {
             resolved[e] = Some(value);
             let (qs, mults) = design.entry_row(e);

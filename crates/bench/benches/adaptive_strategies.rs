@@ -24,10 +24,8 @@ fn bench(c: &mut Criterion) {
     let seeds = SeedSequence::new(1905);
     let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
     let g_star = optimal_group_size(n, k);
-    let hybrid_cfg = HybridConfig {
-        m1: (0.7 * m_mn_finite(n, theta)).round() as usize,
-        candidate_mult: 12,
-    };
+    let hybrid_cfg =
+        HybridConfig { m1: (0.7 * m_mn_finite(n, theta)).round() as usize, candidate_mult: 12 };
 
     group.bench_function("bisect", |b| {
         b.iter(|| {

@@ -1,0 +1,83 @@
+//! Serving throughput of the reconstruction engine: jobs/sec as a
+//! function of worker count, cold vs warm design cache.
+//!
+//! Pure-CPU jobs (no simulated query latency) so the numbers isolate the
+//! engine's own overheads: queue traffic, cache lookups, scratch reuse
+//! and shard scheduling. On a single-core host the worker sweep shows the
+//! coordination cost of extra shards instead of speedup — the latency
+//! overlap that motivates multiple shards is measured end-to-end by
+//! `engine_load`, which simulates the paper's dominant query cost.
+//!
+//! * `warm/` — every job shares one cached design: the steady-state
+//!   serving hot path (allocation-free after warm-up).
+//! * `cold/` — every job references a distinct design key with a tiny
+//!   cache, so each job pays a full design regeneration: the cache-miss
+//!   worst case the LRU protects against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_engine::engine::{Engine, EngineConfig};
+use pooled_engine::job::DecoderKind;
+use pooled_engine::traffic::LoadProfile;
+
+const JOBS_PER_BATCH: usize = 32;
+
+fn profile(distinct_designs: u64) -> LoadProfile {
+    LoadProfile {
+        distinct_designs,
+        decoders: vec![DecoderKind::Mn],
+        query_cost: None,
+        ..LoadProfile::default_mix(1000, 8, 330, 1905)
+    }
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(12);
+
+    for workers in [1usize, 2, 4] {
+        // Warm cache: one design key, pre-warmed before measurement.
+        let warm = profile(1);
+        let specs = warm.specs(JOBS_PER_BATCH);
+        let engine = Engine::start(EngineConfig {
+            workers,
+            queue_capacity: 64,
+            results_capacity: 64,
+            design_cache_capacity: 8,
+        });
+        let mut out = Vec::with_capacity(JOBS_PER_BATCH);
+        engine.run_batch(&specs, &mut out); // warm the cache and scratch
+        group.bench_function(format!("warm/{JOBS_PER_BATCH}jobs_w{workers}"), |b| {
+            b.iter(|| {
+                out.clear();
+                engine.run_batch(&specs, &mut out);
+                black_box(out.len())
+            });
+        });
+        engine.shutdown();
+
+        // Cold cache: 64 distinct keys cycling through a 2-entry cache, so
+        // (nearly) every job samples its design from scratch.
+        let cold = profile(64);
+        let specs = cold.specs(JOBS_PER_BATCH);
+        let engine = Engine::start(EngineConfig {
+            workers,
+            queue_capacity: 64,
+            results_capacity: 64,
+            design_cache_capacity: 2,
+        });
+        group.bench_function(format!("cold/{JOBS_PER_BATCH}jobs_w{workers}"), |b| {
+            b.iter(|| {
+                out.clear();
+                engine.run_batch(&specs, &mut out);
+                black_box(out.len())
+            });
+        });
+        engine.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

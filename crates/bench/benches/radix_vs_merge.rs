@@ -16,8 +16,7 @@ fn bench(c: &mut Criterion) {
     let k = 63; // ≈ n^0.3
     let mut rng = SeedSequence::new(1905).rng();
     // Decoder-shaped scores: integer, roughly centered, modest spread.
-    let scores: Vec<i64> =
-        (0..n).map(|_| (rng.next_u64() % 20_001) as i64 - 10_000).collect();
+    let scores: Vec<i64> = (0..n).map(|_| (rng.next_u64() % 20_001) as i64 - 10_000).collect();
 
     group.bench_function("radix_rank_desc", |b| {
         b.iter(|| black_box(radix_rank_desc(&scores)));

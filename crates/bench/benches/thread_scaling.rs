@@ -33,15 +33,9 @@ fn bench(c: &mut Criterion) {
     let y = execute_queries(&design, &sigma);
     for &threads in &[1usize, 2, 4, 8] {
         let pool = pool_with_threads(threads);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &_threads| {
-                b.iter(|| {
-                    pool.install(|| black_box(MnDecoder::new(k).decode_design(&design, &y)))
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &_threads| {
+            b.iter(|| pool.install(|| black_box(MnDecoder::new(k).decode_design(&design, &y))));
+        });
     }
     group.finish();
 }

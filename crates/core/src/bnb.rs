@@ -106,12 +106,10 @@ pub fn branch_and_bound(
     if state.dfs(0) {
         Some(BnbOutcome {
             consistent_count: state.count,
-            witness: state
-                .witness
-                .map(|mut s| {
-                    s.sort_unstable();
-                    Signal::from_support(n, s)
-                }),
+            witness: state.witness.map(|mut s| {
+                s.sort_unstable();
+                Signal::from_support(n, s)
+            }),
             nodes_visited: state.nodes,
         })
     } else {
@@ -255,10 +253,7 @@ mod tests {
                 let exact = exhaustive_search(&d, &y, 3);
                 let bnb = branch_and_bound(&d, &y, 3, None, u64::MAX)
                     .expect("unbounded budget cannot exhaust");
-                assert_eq!(
-                    bnb.consistent_count, exact.consistent_count,
-                    "seed {seed} m={m}"
-                );
+                assert_eq!(bnb.consistent_count, exact.consistent_count, "seed {seed} m={m}");
                 assert_eq!(bnb.is_unique(), exact.is_unique());
             }
         }

@@ -44,10 +44,7 @@ pub fn exhaustive_search(design: &CsrDesign, y: &[u64], k: usize) -> ExhaustiveO
     assert_eq!(y.len(), design.m(), "result vector length must equal m");
     assert!(k <= n, "k={k} exceeds n={n}");
     let log_count = pooled_theory::special::ln_choose(n as u64, k as u64);
-    assert!(
-        log_count < ENUMERATION_CAP.ln(),
-        "C({n},{k}) too large for exhaustive enumeration"
-    );
+    assert!(log_count < ENUMERATION_CAP.ln(), "C({n},{k}) too large for exhaustive enumeration");
     if k == 0 {
         let consistent = y.iter().all(|&v| v == 0);
         return ExhaustiveOutcome {
@@ -69,11 +66,8 @@ pub fn exhaustive_search(design: &CsrDesign, y: &[u64], k: usize) -> ExhaustiveO
         })
         .collect();
     let consistent_count: u64 = results.iter().map(|(c, _)| c).sum();
-    let witness = results
-        .into_iter()
-        .filter_map(|(_, w)| w)
-        .next()
-        .map(|s| Signal::from_support(n, s));
+    let witness =
+        results.into_iter().filter_map(|(_, w)| w).next().map(|s| Signal::from_support(n, s));
     ExhaustiveOutcome { consistent_count, witness }
 }
 

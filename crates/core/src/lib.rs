@@ -56,9 +56,7 @@ pub mod signal;
 pub mod subset_select;
 pub mod workspace;
 
-pub use metrics::{
-    exact_recovery, exact_recovery_dense, overlap_fraction, overlap_fraction_dense,
-};
+pub use metrics::{exact_recovery, exact_recovery_dense, overlap_fraction, overlap_fraction_dense};
 pub use mn::{DecodeStrategy, MnDecoder, MnOutput, SelectionMethod};
 pub use mn_general::{GeneralMnDecoder, GeneralMnOutput};
 pub use query::execute_queries;

@@ -122,10 +122,7 @@ mod tests {
         assert_eq!(c.false_positives, 1);
         assert_eq!(c.false_negatives, 1);
         assert_eq!(c.true_negatives, 4);
-        assert_eq!(
-            c.true_positives + c.false_positives + c.false_negatives + c.true_negatives,
-            8
-        );
+        assert_eq!(c.true_positives + c.false_positives + c.false_negatives + c.true_negatives, 8);
     }
 
     #[test]

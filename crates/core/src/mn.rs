@@ -20,7 +20,7 @@
 use pooled_design::csr::CsrDesign;
 use pooled_design::fused::scatter_distinct_into;
 use pooled_design::{PoolingDesign, RandomRegularDesign};
-use pooled_par::sort::par_merge_sort;
+use pooled_par::sort::par_merge_sort_with;
 use pooled_par::topk::top_k_into;
 
 use crate::signal::Signal;
@@ -191,7 +191,9 @@ impl MnDecoder {
             SelectionMethod::FullSort => {
                 ws.order.clear();
                 ws.order.extend(ws.scores[..n].iter().enumerate().map(|(i, &s)| (s, i as u32)));
-                par_merge_sort(&mut ws.order, |&(s, i)| (std::cmp::Reverse(s), i));
+                par_merge_sort_with(&mut ws.order, &mut ws.order_scratch, |&(s, i)| {
+                    (std::cmp::Reverse(s), i)
+                });
                 ws.order.truncate(self.k.min(n));
                 ws.support.clear();
                 ws.support.extend(ws.order.iter().map(|&(_, i)| i as usize));
@@ -274,8 +276,13 @@ mod tests {
         let seeds = SeedSequence::new(9);
         let n = 600;
         let sigma = Signal::random(n, 10, &mut seeds.child("signal", 0).rng());
-        let design =
-            RandomRegularDesign::sample_with(n, 300, n / 2, &seeds.child("design", 0), StorageMode::Materialized);
+        let design = RandomRegularDesign::sample_with(
+            n,
+            300,
+            n / 2,
+            &seeds.child("design", 0),
+            StorageMode::Materialized,
+        );
         let y = execute_queries(&design, &sigma);
         let dec = MnDecoder::new(10);
         let a = dec.with_strategy(DecodeStrategy::Scatter).decode_design(&design, &y);
@@ -303,9 +310,19 @@ mod tests {
         let n = 400;
         let sigma = Signal::random(n, 6, &mut seeds.child("signal", 0).rng());
         let csr = RandomRegularDesign::sample_with(
-            n, 150, n / 2, &seeds.child("design", 0), StorageMode::Materialized);
+            n,
+            150,
+            n / 2,
+            &seeds.child("design", 0),
+            StorageMode::Materialized,
+        );
         let stream = RandomRegularDesign::sample_with(
-            n, 150, n / 2, &seeds.child("design", 0), StorageMode::Streaming);
+            n,
+            150,
+            n / 2,
+            &seeds.child("design", 0),
+            StorageMode::Streaming,
+        );
         let y_c = execute_queries(&csr, &sigma);
         let y_s = execute_queries(&stream, &sigma);
         assert_eq!(y_c, y_s);
@@ -384,8 +401,7 @@ mod tests {
         // With enough tiny queries on n=7, MN finds σ = (1,1,0,0,1,0,0).
         let sigma = Signal::from_dense(&[1, 1, 0, 0, 1, 0, 0]);
         let seeds = SeedSequence::new(17);
-        let design = RandomRegularDesign::sample_with(
-            7, 60, 3, &seeds, StorageMode::Materialized);
+        let design = RandomRegularDesign::sample_with(7, 60, 3, &seeds, StorageMode::Materialized);
         let y = execute_queries(&design, &sigma);
         let out = MnDecoder::new(3).decode_design(&design, &y);
         assert_eq!(out.estimate, sigma);

@@ -18,7 +18,7 @@
 
 use pooled_design::fused::scatter_distinct_into;
 use pooled_design::PoolingDesign;
-use pooled_par::sort::par_merge_sort;
+use pooled_par::sort::par_merge_sort_with;
 
 use crate::signal::Signal;
 use crate::workspace::MnWorkspace;
@@ -118,7 +118,9 @@ impl GeneralMnDecoder {
         // i64 domain).
         ws.order_wide.clear();
         ws.order_wide.extend(ws.scores_wide.iter().enumerate().map(|(i, &s)| (s, i as u32)));
-        par_merge_sort(&mut ws.order_wide, |&(s, i)| (std::cmp::Reverse(s), i));
+        par_merge_sort_with(&mut ws.order_wide, &mut ws.order_wide_scratch, |&(s, i)| {
+            (std::cmp::Reverse(s), i)
+        });
         ws.order_wide.truncate(self.k.min(n));
         ws.support.clear();
         ws.support.extend(ws.order_wide.iter().map(|&(_, i)| i as usize));

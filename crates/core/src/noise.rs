@@ -123,11 +123,8 @@ mod tests {
     #[test]
     fn symmetric_noise_is_mean_preserving() {
         let y = vec![100u64; 4000];
-        let noisy = apply_noise(
-            &y,
-            NoiseModel::SymmetricBinomial { lambda: 8 },
-            &SeedSequence::new(3),
-        );
+        let noisy =
+            apply_noise(&y, NoiseModel::SymmetricBinomial { lambda: 8 }, &SeedSequence::new(3));
         let mean: f64 = noisy.iter().map(|&v| v as f64).sum::<f64>() / noisy.len() as f64;
         assert!((mean - 100.0).abs() < 0.3, "mean={mean}");
         assert!(noisy.iter().any(|&v| v != 100), "noise never fired");

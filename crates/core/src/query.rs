@@ -41,7 +41,21 @@ pub fn execute_queries_into<D: PoolingDesign + ?Sized>(
     y: &mut Vec<u64>,
 ) {
     assert_eq!(design.n(), sigma.n(), "design and signal disagree on n");
-    let dense = sigma.dense();
+    execute_queries_dense_into(design, sigma.dense(), y);
+}
+
+/// [`execute_queries_into`] over a raw dense 0/1 slice, for callers (the
+/// serving engine's workers) that keep the signal in a reusable buffer
+/// instead of a [`Signal`].
+///
+/// # Panics
+/// Panics if `dense.len() != design.n()`.
+pub fn execute_queries_dense_into<D: PoolingDesign + ?Sized>(
+    design: &D,
+    dense: &[u8],
+    y: &mut Vec<u64>,
+) {
+    assert_eq!(design.n(), dense.len(), "design and dense signal disagree on n");
     y.clear();
     y.resize(design.m(), 0);
     y.par_iter_mut().enumerate().for_each(|(q, slot)| {
@@ -96,6 +110,16 @@ mod tests {
     }
 
     #[test]
+    fn dense_slice_path_matches_signal_path() {
+        let d = CsrDesign::sample(200, 40, 100, &SeedSequence::new(9));
+        let sigma = Signal::random(200, 7, &mut SeedSequence::new(9).child("s", 0).rng());
+        let want = execute_queries(&d, &sigma);
+        let mut y = Vec::new();
+        execute_queries_dense_into(&d, sigma.dense(), &mut y);
+        assert_eq!(y, want);
+    }
+
+    #[test]
     fn multiplicity_counts() {
         // Fig. 1 semantics: an entry drawn twice contributes twice.
         let d = CsrDesign::from_pools(7, &[vec![0, 4, 4, 5]]);
@@ -108,11 +132,11 @@ mod tests {
         // The paper's running example: queries produce (2, 2, 3, 1, 1).
         let sigma = Signal::from_dense(&[1, 1, 0, 0, 1, 0, 0]);
         let pools = vec![
-            vec![0, 1, 3],       // σ0+σ1 = 2
-            vec![1, 1, 2],       // σ1 twice = 2
-            vec![0, 1, 4],       // 3
-            vec![4, 5],          // 1
-            vec![4, 6],          // 1
+            vec![0, 1, 3], // σ0+σ1 = 2
+            vec![1, 1, 2], // σ1 twice = 2
+            vec![0, 1, 4], // 3
+            vec![4, 5],    // 1
+            vec![4, 6],    // 1
         ];
         let d = CsrDesign::from_pools(7, &pools);
         assert_eq!(execute_queries(&d, &sigma), vec![2, 2, 3, 1, 1]);

@@ -160,8 +160,7 @@ pub fn refine_with(
         ws.ins.truncate(cfg.window);
         ws.outs.truncate(cfg.window);
         ws.pairs.clear();
-        ws.pairs
-            .extend(ws.ins.iter().flat_map(|&i| ws.outs.iter().map(move |&j| (i, j))));
+        ws.pairs.extend(ws.ins.iter().flat_map(|&i| ws.outs.iter().map(move |&j| (i, j))));
         // Exact Δ‖r‖₁ per candidate pair, in parallel; deterministic best.
         let r = &ws.residual;
         let best = ws
@@ -186,19 +185,11 @@ pub fn refine_with(
         ws.estimate[i] = 0;
         ws.estimate[j] = 1;
         residual = (residual as i64 + delta) as u64;
-        debug_assert_eq!(
-            residual,
-            ws.residual.iter().map(|&v| v.unsigned_abs()).sum::<u64>()
-        );
+        debug_assert_eq!(residual, ws.residual.iter().map(|&v| v.unsigned_abs()).sum::<u64>());
         swaps += 1;
     }
 
-    RefineStats {
-        initial_residual,
-        final_residual: residual,
-        swaps,
-        consistent: residual == 0,
-    }
+    RefineStats { initial_residual, final_residual: residual, swaps, consistent: residual == 0 }
 }
 
 /// Exact change of `‖r‖₁` if entry `i` leaves the support and `j` joins:
@@ -296,8 +287,7 @@ mod tests {
             // Deliberately below threshold so MN errs.
             let (_, design, y) = setup(600, 10, 120, seed);
             let out = MnDecoder::new(10).decode(&design, &y);
-            let refined =
-                refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+            let refined = refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
             assert!(refined.final_residual <= refined.initial_residual, "seed {seed}");
         }
     }
@@ -313,8 +303,7 @@ mod tests {
         for seed in 0..15 {
             let (sigma, design, y) = setup(n, k, m, 100 + seed);
             let out = MnDecoder::new(k).decode(&design, &y);
-            let refined =
-                refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+            let refined = refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
             plain_ok += (out.estimate == sigma) as u32;
             refined_ok += (refined.estimate == sigma) as u32;
             assert!(
@@ -359,11 +348,9 @@ mod tests {
         for seed in 70..76 {
             let (_, design, y) = setup(400, 6, 150, seed);
             let out = MnDecoder::new(6).decode(&design, &y);
-            let refined =
-                refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
+            let refined = refine(&design, &y, &out.scores, &out.estimate, &RefineConfig::default());
             let y_check = execute_queries(&design, &refined.estimate);
-            let res: u64 =
-                y.iter().zip(&y_check).map(|(&a, &b)| a.abs_diff(b)).sum();
+            let res: u64 = y.iter().zip(&y_check).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert_eq!(res, refined.final_residual, "seed {seed}");
             assert_eq!(refined.consistent, res == 0, "seed {seed}");
         }

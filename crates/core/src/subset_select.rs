@@ -58,19 +58,11 @@ impl SubsetSelectDecoder {
         let ranked = pooled_par::topk::top_k_indices(&out.scores, (2 * k).min(n));
         let kth = out.scores[ranked[k - 1]];
         // Bulk top: best score *outside* the top-k.
-        let bulk_top = if ranked.len() > k {
-            out.scores[ranked[k]]
-        } else {
-            i64::MIN / 2
-        };
+        let bulk_top = if ranked.len() > k { out.scores[ranked[k]] } else { i64::MIN / 2 };
         let gap = (kth - bulk_top).max(0);
         let cutoff = bulk_top + ((self.margin * gap as f64).ceil() as i64).max(1);
-        let mut selected: Vec<usize> = ranked
-            .iter()
-            .take(k)
-            .copied()
-            .filter(|&i| out.scores[i] >= cutoff)
-            .collect();
+        let mut selected: Vec<usize> =
+            ranked.iter().take(k).copied().filter(|&i| out.scores[i] >= cutoff).collect();
         selected.sort_unstable();
         SubsetOutput { selected, cutoff }
     }

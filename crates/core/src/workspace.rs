@@ -30,11 +30,14 @@ pub struct MnWorkspace {
     pub(crate) scores: Vec<i64>,
     pub(crate) support: Vec<usize>,
     pub(crate) estimate: Vec<u8>,
-    /// Full-sort selection scratch.
+    /// Full-sort selection scratch (pairs plus merge-sort ping-pong
+    /// buffer, so repeated full sorts stay allocation-free).
     pub(crate) order: Vec<(i64, u32)>,
+    pub(crate) order_scratch: Vec<(i64, u32)>,
     /// Γ-general decoder: exact wide scores and their sort scratch.
     pub(crate) scores_wide: Vec<i128>,
     pub(crate) order_wide: Vec<(i128, u32)>,
+    pub(crate) order_wide_scratch: Vec<(i128, u32)>,
     pub(crate) pool_lens: Vec<u64>,
     pub(crate) gamma_sums: Vec<u64>,
     /// Secondary Δ* buffer for the Γ-sum accumulation (values discarded).

@@ -144,7 +144,8 @@ mod tests {
     fn subset_size_concentrates_around_pn() {
         let mut rng = SplitMix64::new(3);
         let trials = 2000;
-        let total: usize = (0..trials).map(|_| sample_bernoulli_subset(500, 0.4, &mut rng).len()).sum();
+        let total: usize =
+            (0..trials).map(|_| sample_bernoulli_subset(500, 0.4, &mut rng).len()).sum();
         let mean = total as f64 / trials as f64;
         assert!((mean - 200.0).abs() < 5.0, "mean pool size {mean}");
     }

@@ -48,10 +48,8 @@ impl CsrDesign {
     pub fn sample(n: usize, m: usize, gamma: usize, seeds: &SeedSequence) -> Self {
         assert!(n > 0, "design needs at least one entry");
         // Pass 1 (parallel): per-query sorted RLE pools.
-        let pools: Vec<Vec<(u32, u32)>> = (0..m)
-            .into_par_iter()
-            .map(|q| sample_query_rle(n, gamma, seeds, q))
-            .collect();
+        let pools: Vec<Vec<(u32, u32)>> =
+            (0..m).into_par_iter().map(|q| sample_query_rle(n, gamma, seeds, q)).collect();
         Self::from_rle_pools(n, gamma, pools)
     }
 
@@ -149,17 +147,15 @@ impl CsrDesign {
         assert_eq!(w.len(), self.m, "weight vector length must equal m");
         let mut psi = vec![0u64; self.n];
         let mut dstar = vec![0u64; self.n];
-        psi.par_iter_mut().zip(dstar.par_iter_mut()).enumerate().for_each(
-            |(i, (p, d))| {
-                let (qs, _) = self.entry_row(i);
-                let mut acc = 0u64;
-                for &q in qs {
-                    acc += w[q as usize];
-                }
-                *p = acc;
-                *d = qs.len() as u64;
-            },
-        );
+        psi.par_iter_mut().zip(dstar.par_iter_mut()).enumerate().for_each(|(i, (p, d))| {
+            let (qs, _) = self.entry_row(i);
+            let mut acc = 0u64;
+            for &q in qs {
+                acc += w[q as usize];
+            }
+            *p = acc;
+            *d = qs.len() as u64;
+        });
         (psi, dstar)
     }
 

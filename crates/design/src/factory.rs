@@ -14,7 +14,9 @@ use crate::noreplace::NoReplaceDesign;
 use crate::PoolingDesign;
 
 /// The pooling-design families the workspace implements.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Hash` so the engine's design cache can key on the family directly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum DesignKind {
     /// The paper's design: `Γ = c·n` draws per query, with replacement.
     RandomRegular,
@@ -59,7 +61,9 @@ impl DesignKind {
             DesignKind::RandomRegular => {
                 AnyDesign::RandomRegular(CsrDesign::sample(n, m, gamma, seeds))
             }
-            DesignKind::NoReplace => AnyDesign::NoReplace(NoReplaceDesign::sample(n, m, gamma, seeds)),
+            DesignKind::NoReplace => {
+                AnyDesign::NoReplace(NoReplaceDesign::sample(n, m, gamma, seeds))
+            }
             DesignKind::Bernoulli => AnyDesign::Bernoulli(BernoulliDesign::sample(n, m, c, seeds)),
             DesignKind::EntryRegular => {
                 let delta = EntryRegularDesign::matching_delta(m, c);

@@ -217,27 +217,19 @@ pub fn decode_sums_fused_stream<D: PoolingDesign + ?Sized>(
     if pools.len() < parts {
         pools.resize_with(parts, Vec::new);
     }
-    fused_drive(
-        scatter,
-        &mut pools[..parts],
-        n,
-        y,
-        psi,
-        dstar,
-        |pool, q, psi_buf, dstar_buf| {
-            pool.clear();
-            design.for_each_distinct(q, &mut |e, c| pool.push((e as u32, c)));
-            let mut acc = 0u64;
-            for &(e, c) in pool.iter() {
-                acc += x[e as usize] * c as u64;
-            }
-            for &(e, _) in pool.iter() {
-                psi_buf[e as usize] += acc;
-                dstar_buf[e as usize] += 1;
-            }
-            acc
-        },
-    );
+    fused_drive(scatter, &mut pools[..parts], n, y, psi, dstar, |pool, q, psi_buf, dstar_buf| {
+        pool.clear();
+        design.for_each_distinct(q, &mut |e, c| pool.push((e as u32, c)));
+        let mut acc = 0u64;
+        for &(e, c) in pool.iter() {
+            acc += x[e as usize] * c as u64;
+        }
+        for &(e, _) in pool.iter() {
+            psi_buf[e as usize] += acc;
+            dstar_buf[e as usize] += 1;
+        }
+        acc
+    });
 }
 
 /// Workspace version of [`crate::matvec::scatter_distinct_u64`]: accumulate

@@ -45,10 +45,10 @@ pub mod streaming;
 pub use bernoulli::BernoulliDesign;
 pub use concentration::{check_concentration, ConcentrationReport};
 pub use csr::CsrDesign;
-pub use fused::{decode_sums_fused, decode_sums_fused_stream, scatter_distinct_into, FusedArena};
 pub use degrees::DegreeStats;
 pub use entry_regular::EntryRegularDesign;
 pub use factory::{AnyDesign, DesignKind};
+pub use fused::{decode_sums_fused, decode_sums_fused_stream, scatter_distinct_into, FusedArena};
 pub use multigraph::RandomRegularDesign;
 pub use noreplace::NoReplaceDesign;
 pub use streaming::StreamingDesign;

@@ -1,0 +1,166 @@
+//! The shared design cache: sampled pooling designs keyed by their spec.
+//!
+//! Sampling a design is the most expensive allocating step of a job
+//! (`O(m·Γ)` draws plus CSR construction + transpose), and real traffic
+//! repeats design keys constantly — a tenant reuses its design across
+//! thousands of reconstructions. The cache memoizes `spec → Arc<design>`
+//! under the workspace-wide LRU policy ([`pooled_par::lru::LruCache`], the
+//! same one bounding the thread-pool memo), so repeated traffic never
+//! regenerates pools and a key sweep cannot grow memory without limit.
+//!
+//! Hits are allocation-free (`Arc` clone under a mutex); misses sample
+//! *outside* the lock so one tenant's cold key never stalls another
+//! tenant's hot path. Two workers racing on the same cold key may both
+//! sample; the loser's copy is dropped — wasted work, never wrong results
+//! (sampling is a pure function of the key).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use pooled_design::factory::{AnyDesign, DesignKind};
+use pooled_par::lru::LruCache;
+use pooled_rng::SeedSequence;
+
+use crate::job::JobSpec;
+
+/// Full identity of a sampled design. Equal keys ⇒ bit-identical designs
+/// (sampling derives everything from the key's fields).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct DesignKey {
+    /// Number of entries.
+    pub n: usize,
+    /// Number of queries.
+    pub m: usize,
+    /// Design family.
+    pub kind: DesignKind,
+    /// Density in thousandths.
+    pub c_milli: u32,
+    /// Design seed.
+    pub seed: u64,
+}
+
+impl DesignKey {
+    /// The design key a job resolves to.
+    pub fn of(spec: &JobSpec) -> Self {
+        Self {
+            n: spec.n,
+            m: spec.m,
+            kind: spec.design.kind,
+            c_milli: spec.design.c_milli,
+            seed: spec.design.seed,
+        }
+    }
+
+    /// Sample the design this key identifies (pure function of the key).
+    pub fn sample(&self) -> AnyDesign {
+        let seeds = SeedSequence::new(self.seed);
+        self.kind.sample(self.n, self.m, self.c_milli as f64 / 1000.0, &seeds.child("design", 0))
+    }
+}
+
+/// Bounded, thread-safe `DesignKey → Arc<AnyDesign>` memo.
+pub struct DesignCache {
+    inner: Mutex<LruCache<DesignKey, Arc<AnyDesign>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl DesignCache {
+    /// Cache holding at most `capacity` designs.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LruCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The design for `key`: cached on a hit, sampled (outside the lock)
+    /// and inserted on a miss.
+    pub fn get_or_sample(&self, key: &DesignKey) -> Arc<AnyDesign> {
+        if let Some(d) = self.inner.lock().expect("design cache poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(d);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let fresh = Arc::new(key.sample());
+        let mut cache = self.inner.lock().expect("design cache poisoned");
+        // A racing sampler may have inserted meanwhile; keep the cached
+        // copy so every holder shares one allocation.
+        cache.get_or_insert_with(key, || fresh)
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Number of cached designs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("design cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of cached designs.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("design cache poisoned").capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pooled_design::PoolingDesign;
+
+    fn key(seed: u64) -> DesignKey {
+        DesignKey { n: 100, m: 20, kind: DesignKind::RandomRegular, c_milli: 500, seed }
+    }
+
+    #[test]
+    fn hit_returns_the_same_design_instance() {
+        let cache = DesignCache::new(4);
+        let a = cache.get_or_sample(&key(1));
+        let b = cache.get_or_sample(&key(1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_key() {
+        // Even after eviction, a re-miss reproduces the identical design.
+        let cache = DesignCache::new(1);
+        let first = cache.get_or_sample(&key(7));
+        let _evictor = cache.get_or_sample(&key(8));
+        let again = cache.get_or_sample(&key(7));
+        assert!(!Arc::ptr_eq(&first, &again), "evicted entry must be resampled");
+        assert_eq!(first.csr().n(), again.csr().n());
+        for q in 0..first.m() {
+            assert_eq!(first.csr().query_row(q), again.csr().query_row(q));
+        }
+    }
+
+    #[test]
+    fn capacity_bounds_resident_designs() {
+        let cache = DesignCache::new(3);
+        for s in 0..10 {
+            let _ = cache.get_or_sample(&key(s));
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats(), (0, 10));
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_designs() {
+        let cache = DesignCache::new(4);
+        let a = cache.get_or_sample(&key(1));
+        let b = cache.get_or_sample(&key(2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        // Same shape, different pools.
+        let differ = (0..a.m()).any(|q| a.csr().query_row(q) != b.csr().query_row(q));
+        assert!(differ, "different seeds produced identical designs");
+    }
+}

@@ -1,0 +1,486 @@
+//! The engine proper: worker shards around the job/result queues.
+//!
+//! ```text
+//!  submit ──► [ jobs: BoundedQueue ] ──► worker 0 ─┐
+//!   (backpressure when full)      ├──► worker 1 ─┼──► [ results ] ──► drain
+//!                                 └──► worker L ─┘
+//!                      each worker: design cache → scratch → decode
+//! ```
+//!
+//! Every worker pins its *inner* rayon parallelism to 1 — shard-level
+//! parallelism comes from running `L` workers side by side, which is both
+//! faster for many small jobs (no fan-out overhead) and the configuration
+//! under which the decode path is allocation-free. Determinism therefore
+//! holds by construction: a job's result depends only on its spec, never
+//! on which shard ran it or how many shards exist.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use pooled_lab::histogram::LatencyHistogram;
+use pooled_stats::summary::Summary;
+use rayon::ThreadPoolBuilder;
+
+use crate::cache::{DesignCache, DesignKey};
+use crate::job::{JobResult, JobSpec};
+use crate::queue::{BoundedQueue, TryPushError};
+use crate::worker::{process_job, WorkerScratch};
+
+/// Engine sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker shards (`L` in the paper's partial-parallelism question).
+    pub workers: usize,
+    /// Submission queue bound — how many jobs may wait before `submit`
+    /// blocks (backpressure).
+    pub queue_capacity: usize,
+    /// Completion queue bound.
+    pub results_capacity: usize,
+    /// Design cache capacity (distinct designs resident at once).
+    pub design_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        Self { workers, queue_capacity: 256, results_capacity: 256, design_cache_capacity: 16 }
+    }
+}
+
+impl EngineConfig {
+    /// Default sizing with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        Self { workers, ..Self::default() }
+    }
+}
+
+/// Aggregate serving telemetry (see [`Engine::stats`]).
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Jobs fully served.
+    pub jobs_completed: u64,
+    /// Of those, exact recoveries.
+    pub exact_recoveries: u64,
+    /// Per-job sojourn latency (µs): queue wait + service.
+    pub total_latency: Summary,
+    /// Decode-stage per-job latency (µs).
+    pub decode_latency: Summary,
+    /// Log₂-bucketed sojourn-latency histogram (tail shape).
+    pub histogram: LatencyHistogram,
+    /// Design-cache hits.
+    pub cache_hits: u64,
+    /// Design-cache misses (cold samples).
+    pub cache_misses: u64,
+    /// Designs currently resident.
+    pub cache_len: usize,
+    /// Jobs waiting in the submission queue.
+    pub queued_jobs: usize,
+    /// Results waiting to be drained.
+    pub pending_results: usize,
+    /// Worker shards.
+    pub workers: usize,
+}
+
+/// Telemetry the workers fold into under a mutex (one short lock per job).
+struct Telemetry {
+    jobs_completed: u64,
+    exact_recoveries: u64,
+    total_latency: Summary,
+    decode_latency: Summary,
+    histogram: LatencyHistogram,
+}
+
+impl Telemetry {
+    fn new() -> Self {
+        Self {
+            jobs_completed: 0,
+            exact_recoveries: 0,
+            total_latency: Summary::new(),
+            decode_latency: Summary::new(),
+            histogram: LatencyHistogram::new(),
+        }
+    }
+
+    fn record(&mut self, result: &JobResult) {
+        self.jobs_completed += 1;
+        self.exact_recoveries += result.exact as u64;
+        self.total_latency.push(result.total_micros as f64);
+        self.decode_latency.push(result.decode_micros as f64);
+        self.histogram.record_micros(result.total_micros);
+    }
+}
+
+/// A submitted job plus its enqueue instant, so sojourn time (queue
+/// wait plus service) is measurable — under open-loop overload the wait
+/// *is* the latency story.
+#[derive(Clone, Copy)]
+struct QueuedJob {
+    spec: JobSpec,
+    enqueued: std::time::Instant,
+}
+
+struct Shared {
+    jobs: BoundedQueue<QueuedJob>,
+    results: BoundedQueue<JobResult>,
+    cache: DesignCache,
+    telemetry: Mutex<Telemetry>,
+    active_workers: AtomicUsize,
+    /// Serializes `run_batch` callers: a batch owns the completion stream
+    /// while it runs (interleaved batches would steal each other's
+    /// results).
+    batch_lock: Mutex<()>,
+}
+
+/// Error: the engine is shutting down; the rejected spec is handed back.
+#[derive(Debug, PartialEq)]
+pub struct EngineClosed(pub JobSpec);
+
+/// Outcome of a non-blocking submission.
+#[derive(Debug, PartialEq)]
+pub enum SubmitError {
+    /// Submission queue full — backpressure; retry after draining.
+    Backpressure(JobSpec),
+    /// Engine shutting down.
+    Closed(JobSpec),
+}
+
+/// A running reconstruction engine. See the module docs for the shape.
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Start `config.workers` shards.
+    ///
+    /// # Panics
+    /// Panics if `config.workers == 0` or a worker thread cannot spawn.
+    pub fn start(config: EngineConfig) -> Self {
+        assert!(config.workers > 0, "engine needs at least one worker");
+        let shared = Arc::new(Shared {
+            jobs: BoundedQueue::new(config.queue_capacity),
+            results: BoundedQueue::new(config.results_capacity),
+            cache: DesignCache::new(config.design_cache_capacity),
+            telemetry: Mutex::new(Telemetry::new()),
+            active_workers: AtomicUsize::new(config.workers),
+            batch_lock: Mutex::new(()),
+        });
+        let handles = (0..config.workers as u32)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{idx}"))
+                    .spawn(move || worker_main(&shared, idx))
+                    .expect("failed to spawn engine worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of worker shards.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Blocking submission: waits under backpressure, errs on shutdown.
+    ///
+    /// # Panics
+    /// Panics if the spec is infeasible ([`JobSpec::validate`]).
+    pub fn submit(&self, spec: JobSpec) -> Result<(), EngineClosed> {
+        spec.validate();
+        let queued = QueuedJob { spec, enqueued: std::time::Instant::now() };
+        self.shared.jobs.push(queued).map_err(|c| EngineClosed(c.0.spec))
+    }
+
+    /// Non-blocking submission; `Backpressure` when the queue is full.
+    ///
+    /// # Panics
+    /// Panics if the spec is infeasible ([`JobSpec::validate`]).
+    pub fn try_submit(&self, spec: JobSpec) -> Result<(), SubmitError> {
+        spec.validate();
+        let queued = QueuedJob { spec, enqueued: std::time::Instant::now() };
+        self.shared.jobs.try_push(queued).map_err(|e| match e {
+            TryPushError::Full(q) => SubmitError::Backpressure(q.spec),
+            TryPushError::Closed(q) => SubmitError::Closed(q.spec),
+        })
+    }
+
+    /// Non-blocking receive of one completed result.
+    ///
+    /// The completion stream is shared: concurrent receivers each see an
+    /// arbitrary subset of results (route by [`JobResult::id`] if several
+    /// tenants share one engine).
+    pub fn try_recv(&self) -> Option<JobResult> {
+        self.shared.results.try_pop()
+    }
+
+    /// Blocking receive; `None` only after shutdown has drained everything.
+    /// Same shared-stream caveat as [`Self::try_recv`].
+    pub fn recv(&self) -> Option<JobResult> {
+        self.shared.results.pop()
+    }
+
+    /// Serve a whole batch: submit every spec (draining completions
+    /// whenever backpressure pushes back, so the pair of bounded queues
+    /// can never deadlock), then collect exactly `specs.len()` results.
+    /// Results are appended to `out` sorted by job id — deterministic
+    /// regardless of worker count. Allocation-free when `out` has
+    /// capacity.
+    ///
+    /// Batches are serialized: a second `run_batch` caller blocks until
+    /// the first finishes (a batch owns the completion stream while it
+    /// runs). Don't mix `run_batch` with concurrent `recv` callers.
+    ///
+    /// # Panics
+    /// Panics if the engine shuts down mid-batch (a batch is a unit of
+    /// work; losing part of it is a caller bug, not a recoverable state).
+    pub fn run_batch(&self, specs: &[JobSpec], out: &mut Vec<JobResult>) {
+        let _batch = self.shared.batch_lock.lock().expect("batch lock poisoned");
+        let start = out.len();
+        let mut collected = 0usize;
+        for &spec in specs {
+            let mut pending = spec;
+            loop {
+                match self.try_submit(pending) {
+                    Ok(()) => break,
+                    Err(SubmitError::Backpressure(s)) => {
+                        pending = s;
+                        // Safe to block: a full submission queue means jobs
+                        // are in flight, and a worker stuck on a full
+                        // results queue implies try-before-block would have
+                        // succeeded — so a completion is always coming.
+                        match self.recv() {
+                            Some(r) => {
+                                out.push(r);
+                                collected += 1;
+                            }
+                            None => panic!("engine closed mid-batch"),
+                        }
+                    }
+                    Err(SubmitError::Closed(_)) => panic!("engine closed mid-batch"),
+                }
+            }
+        }
+        while collected < specs.len() {
+            let r = self.recv().expect("engine closed mid-batch");
+            out.push(r);
+            collected += 1;
+        }
+        out[start..].sort_unstable_by_key(|r| r.id);
+    }
+
+    /// Current aggregate telemetry.
+    pub fn stats(&self) -> EngineStats {
+        let (cache_hits, cache_misses) = self.shared.cache.stats();
+        let t = self.shared.telemetry.lock().expect("telemetry poisoned");
+        EngineStats {
+            jobs_completed: t.jobs_completed,
+            exact_recoveries: t.exact_recoveries,
+            total_latency: t.total_latency,
+            decode_latency: t.decode_latency,
+            histogram: t.histogram,
+            cache_hits,
+            cache_misses,
+            cache_len: self.shared.cache.len(),
+            queued_jobs: self.shared.jobs.len(),
+            pending_results: self.shared.results.len(),
+            workers: self.handles.len(),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting jobs, let the shards finish
+    /// everything already queued, and join them. Undelivered results are
+    /// appended to `out` (sorted by id).
+    pub fn shutdown_into(mut self, out: &mut Vec<JobResult>) -> EngineStats {
+        let start = out.len();
+        let workers = self.handles.len();
+        self.shared.jobs.close();
+        // Drain until the last exiting worker closes the completion queue
+        // (see `ExitGuard`): keeps the queue flowing so a full `results`
+        // can never wedge a worker finishing queued jobs, without a spin.
+        while let Some(r) = self.shared.results.pop() {
+            out.push(r);
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("engine worker panicked");
+        }
+        out[start..].sort_unstable_by_key(|r| r.id);
+        self.shared.results.close();
+        let mut stats = self.stats();
+        stats.workers = workers;
+        stats
+    }
+
+    /// Graceful shutdown discarding undelivered results (batch callers
+    /// have already drained theirs).
+    pub fn shutdown(self) -> EngineStats {
+        let mut discard = Vec::new();
+        self.shutdown_into(&mut discard)
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // A dropped engine must not leave shards parked on the queues.
+        self.shared.jobs.close();
+        self.shared.results.close();
+    }
+}
+
+fn worker_main(shared: &Shared, idx: u32) {
+    // Runs on every exit path, panicking included: a shard that dies
+    // mid-job must still decrement the active count and — on panic —
+    // close both queues, so `run_batch`/`shutdown` fail fast instead of
+    // waiting forever on a result that will never come. The last shard
+    // out closes the completion queue either way, which is what ends
+    // `shutdown_into`'s drain (workers only exit once `jobs` is closed).
+    struct ExitGuard<'a>(&'a Shared);
+    impl Drop for ExitGuard<'_> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                self.0.jobs.close();
+                self.0.results.close();
+            }
+            if self.0.active_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.0.results.close();
+            }
+        }
+    }
+    let _guard = ExitGuard(shared);
+
+    // Pin inner rayon parallelism to 1: shard-level parallelism is the
+    // engine's own, and single-threaded decode is the allocation-free
+    // configuration. Each shard owns a *private* 1-thread pool: under
+    // the vendored rayon (a thread-count marker) this is free, and under
+    // real rayon it keeps shards independent instead of funneling every
+    // worker through one shared pool thread.
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .thread_name(move |i| format!("engine-shard-{idx}-rayon-{i}"))
+        .build()
+        .expect("failed to build shard pool");
+    pool.install(|| {
+        let mut scratch = WorkerScratch::new(idx);
+        while let Some(QueuedJob { spec, enqueued }) = shared.jobs.pop() {
+            let queue_micros = enqueued.elapsed().as_micros() as u64;
+            let design = shared.cache.get_or_sample(&DesignKey::of(&spec));
+            let mut result = process_job(&spec, &design, &mut scratch);
+            result.queue_micros = queue_micros;
+            result.total_micros += queue_micros;
+            shared.telemetry.lock().expect("telemetry poisoned").record(&result);
+            if shared.results.push(result).is_err() {
+                break; // results closed: shutdown discards the rest
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{DecoderKind, DesignSpec};
+
+    fn spec(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            n: 300,
+            k: 5,
+            m: 200,
+            design: DesignSpec::random_regular(3),
+            decoder: DecoderKind::Mn,
+            seed: 1000 + id,
+            query_cost_micros: 0,
+        }
+    }
+
+    #[test]
+    fn batch_results_are_sorted_and_complete() {
+        let engine = Engine::start(EngineConfig {
+            workers: 3,
+            queue_capacity: 4,
+            results_capacity: 4,
+            design_cache_capacity: 2,
+        });
+        let specs: Vec<JobSpec> = (0..40).map(spec).collect();
+        let mut out = Vec::new();
+        engine.run_batch(&specs, &mut out);
+        assert_eq!(out.len(), 40);
+        assert!(out.windows(2).all(|w| w[0].id < w[1].id));
+        let stats = engine.shutdown();
+        assert_eq!(stats.jobs_completed, 40);
+        // Workers racing on the single cold key may each sample it once
+        // (documented cache race); afterwards everything hits.
+        assert!((1..=3).contains(&stats.cache_misses), "misses={}", stats.cache_misses);
+        assert_eq!(stats.cache_hits + stats.cache_misses, 40);
+    }
+
+    #[test]
+    fn tiny_queues_exercise_backpressure_without_deadlock() {
+        let engine = Engine::start(EngineConfig {
+            workers: 2,
+            queue_capacity: 1,
+            results_capacity: 1,
+            design_cache_capacity: 1,
+        });
+        let specs: Vec<JobSpec> = (0..25).map(spec).collect();
+        let mut out = Vec::new();
+        engine.run_batch(&specs, &mut out);
+        assert_eq!(out.len(), 25);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_finishes_queued_jobs() {
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 32,
+            results_capacity: 32,
+            design_cache_capacity: 2,
+        });
+        for id in 0..10 {
+            engine.submit(spec(id)).unwrap();
+        }
+        let mut out = Vec::new();
+        let stats = engine.shutdown_into(&mut out);
+        assert_eq!(out.len(), 10, "graceful shutdown serves everything accepted");
+        assert!(out.windows(2).all(|w| w[0].id < w[1].id));
+        assert_eq!(stats.jobs_completed, 10);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let engine = Engine::start(EngineConfig::with_workers(1));
+        let shared = Arc::clone(&engine.shared);
+        engine.shutdown();
+        let queued = QueuedJob { spec: spec(0), enqueued: std::time::Instant::now() };
+        assert!(shared.jobs.push(queued).is_err());
+    }
+
+    #[test]
+    fn telemetry_counts_latency_and_recoveries() {
+        let engine = Engine::start(EngineConfig::with_workers(2));
+        let specs: Vec<JobSpec> = (0..12).map(spec).collect();
+        let mut out = Vec::new();
+        engine.run_batch(&specs, &mut out);
+        let stats = engine.stats();
+        assert_eq!(stats.jobs_completed, 12);
+        assert_eq!(stats.total_latency.count(), 12);
+        assert_eq!(stats.histogram.count(), 12);
+        assert!(stats.total_latency.mean() > 0.0);
+        assert!(stats.exact_recoveries as usize == out.iter().filter(|r| r.exact).count());
+        engine.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Engine::start(EngineConfig {
+            workers: 0,
+            queue_capacity: 1,
+            results_capacity: 1,
+            design_cache_capacity: 1,
+        });
+    }
+}

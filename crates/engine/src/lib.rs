@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+
+//! `pooled_engine` — a sharded, batched reconstruction **service engine**.
+//!
+//! The paper's premise is that queries dominate reconstruction time, so a
+//! production system must organize decoding around *throughput*: many
+//! reconstruction jobs in flight, worker shards that overlap the slow
+//! query-execution stage, and no per-job setup cost on the hot path. This
+//! crate is that serving layer over the workspace's decode kernels:
+//!
+//! * [`job`] — `Copy` wire types: [`job::JobSpec`] in,
+//!   [`job::JobResult`] out, with compact result digests so bit-exact
+//!   determinism is checkable across worker counts.
+//! * [`queue`] — bounded MPMC queues; a full submission queue *blocks the
+//!   submitter* (backpressure) instead of growing memory.
+//! * [`cache`] — the LRU design cache: repeated traffic never regenerates
+//!   pooling designs, bounded by the same policy as the thread-pool memo.
+//! * [`registry`] — every decoder (classic MN, Γ-general MN,
+//!   threshold-MN, and the baseline family) behind one trait object.
+//! * [`worker`] — per-shard scratch reuse; the MN paths serve jobs with
+//!   **zero heap allocations** after warm-up (`tests/alloc_free.rs`).
+//! * [`engine`] — the shards themselves: graceful shutdown, per-job
+//!   latency/throughput telemetry ([`pooled_stats::summary::Summary`] +
+//!   [`pooled_lab::histogram::LatencyHistogram`]).
+//! * [`traffic`] — deterministic load profiles and Poisson arrivals for
+//!   the `engine_load` generator and the throughput benches.
+//!
+//! ```
+//! use pooled_engine::engine::{Engine, EngineConfig};
+//! use pooled_engine::traffic::LoadProfile;
+//!
+//! let profile = LoadProfile { query_cost: None, ..LoadProfile::default_mix(400, 5, 200, 7) };
+//! let engine = Engine::start(EngineConfig::with_workers(2));
+//! let mut results = Vec::new();
+//! engine.run_batch(&profile.specs(16), &mut results);
+//! assert_eq!(results.len(), 16);
+//! let stats = engine.shutdown();
+//! assert_eq!(stats.jobs_completed, 16);
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod job;
+pub mod queue;
+pub mod registry;
+pub mod traffic;
+pub mod worker;
+
+pub use cache::{DesignCache, DesignKey};
+pub use engine::{Engine, EngineConfig, EngineStats};
+pub use job::{DecoderKind, DesignSpec, JobResult, JobSpec};
+pub use queue::BoundedQueue;
+pub use registry::{decoder, DecodeScratch, EngineDecoder};
+pub use traffic::{poisson_arrivals, LoadProfile};

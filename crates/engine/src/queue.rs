@@ -1,0 +1,240 @@
+//! Bounded multi-producer/multi-consumer queue with blocking backpressure.
+//!
+//! The engine's submission and completion channels. A plain
+//! `Mutex<VecDeque>` + two condvars is deliberately boring: the queue is
+//! touched once per job (milliseconds of work), so lock cost is noise,
+//! and the `VecDeque` is preallocated at construction — pushes within
+//! capacity never allocate, which the engine's steady-state
+//! zero-allocation contract depends on.
+//!
+//! Semantics:
+//!
+//! * [`BoundedQueue::push`] blocks while the queue is full (backpressure
+//!   propagates to the submitter) and fails only once the queue is closed.
+//! * [`BoundedQueue::pop`] blocks while the queue is empty and returns
+//!   `None` only when the queue is closed **and** drained — consumers see
+//!   every item accepted before the close (graceful shutdown).
+//! * [`BoundedQueue::close`] is idempotent and wakes all waiters.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Error: the queue was closed; the rejected item is handed back.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Closed<T>(pub T);
+
+/// Outcome of a non-blocking push.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// Queue at capacity; retry later (backpressure signal).
+    Full(T),
+    /// Queue closed; the item will never be accepted.
+    Closed(T),
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC queue. See the module docs for semantics.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items, preallocated.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue needs capacity at least 1");
+        Self {
+            capacity,
+            state: Mutex::new(State { buf: VecDeque::with_capacity(capacity), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Maximum number of buffered items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of buffered items.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").buf.len()
+    }
+
+    /// Whether no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking push: waits while full, errs once closed.
+    pub fn push(&self, item: T) -> Result<(), Closed<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if state.closed {
+                return Err(Closed(item));
+            }
+            if state.buf.len() < self.capacity {
+                state.buf.push_back(item);
+                drop(state);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking push: `Full` when at capacity, `Closed` after close.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if state.buf.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        state.buf.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop: waits while empty; `None` once closed **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = state.buf.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let item = state.buf.pop_front();
+        drop(state);
+        if item.is_some() {
+            self.not_full.notify_one();
+        }
+        item
+    }
+
+    /// Close the queue: no further pushes are accepted, buffered items
+    /// remain poppable, all waiters wake. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue poisoned").closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.try_push(9), Err(TryPushError::Full(9)));
+        assert_eq!((0..4).map(|_| q.try_pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert!(q.try_pop().is_none());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(TryPushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1).is_ok());
+        // Give the producer time to block, then make room.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(0));
+        assert!(producer.join().unwrap());
+        assert_eq!(q.pop(), Some(1));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn many_producers_many_consumers_deliver_exactly_once() {
+        let q = Arc::new(BoundedQueue::new(8));
+        let mut handles = Vec::new();
+        for p in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = Arc::clone(&q);
+            consumers.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let mut all: Vec<u64> = consumers.into_iter().flat_map(|c| c.join().unwrap()).collect();
+        all.sort_unstable();
+        let want: Vec<u64> = (0..4u64).flat_map(|p| (0..100).map(move |i| p * 1000 + i)).collect();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = BoundedQueue::<u8>::new(0);
+    }
+}

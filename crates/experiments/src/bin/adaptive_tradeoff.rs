@@ -32,8 +32,7 @@ fn main() {
     let k = k_of(n, theta);
     let m_full = m_mn_finite(n, theta);
     let m_one_round = (1.1 * m_full).ceil() as usize;
-    let hybrid_cfg =
-        HybridConfig { m1: (0.7 * m_full).round() as usize, candidate_mult: 12 };
+    let hybrid_cfg = HybridConfig { m1: (0.7 * m_full).round() as usize, candidate_mult: 12 };
     let g_star = optimal_group_size(n, k);
     let master = SeedSequence::new(seed);
 
@@ -46,8 +45,7 @@ fn main() {
         // Two-round hybrid.
         let mut oracle = CountOracle::new(&sigma);
         let h = two_round_hybrid(&mut oracle, k, &hybrid_cfg, &s.child("hybrid", 0));
-        let hybrid =
-            StrategyReport::new("hybrid_2round", h.per_round.clone(), h.estimate == sigma);
+        let hybrid = StrategyReport::new("hybrid_2round", h.per_round.clone(), h.estimate == sigma);
         // Counting Dorfman.
         let mut oracle = CountOracle::new(&sigma);
         let d = counting_dorfman(&mut oracle, g_star);
@@ -56,20 +54,17 @@ fn main() {
         // Quantitative bisection.
         let mut oracle = CountOracle::new(&sigma);
         let b = quantitative_bisect(&mut oracle);
-        let bisect =
-            StrategyReport::new("bisect_logn", b.per_round.clone(), b.estimate == sigma);
+        let bisect = StrategyReport::new("bisect_logn", b.per_round.clone(), b.estimate == sigma);
         [parallel, hybrid, dorfman, bisect]
     });
 
     let mut rows = Vec::new();
     for idx in 0..4 {
         let name = all[0][idx].name.clone();
-        let mean_q: f64 =
-            all.iter().map(|r| r[idx].queries as f64).sum::<f64>() / trials as f64;
+        let mean_q: f64 = all.iter().map(|r| r[idx].queries as f64).sum::<f64>() / trials as f64;
         let mean_rounds: f64 =
             all.iter().map(|r| r[idx].rounds as f64).sum::<f64>() / trials as f64;
-        let exact_rate: f64 =
-            all.iter().filter(|r| r[idx].exact).count() as f64 / trials as f64;
+        let exact_rate: f64 = all.iter().filter(|r| r[idx].exact).count() as f64 / trials as f64;
         for &units in &UNITS {
             let mean_makespan: f64 =
                 all.iter().map(|r| r[idx].makespan(units, 1.0)).sum::<f64>() / trials as f64;

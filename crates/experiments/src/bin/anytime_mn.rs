@@ -31,11 +31,8 @@ fn main() {
 
     let mut rows = Vec::new();
     for &r in &ROUND_COUNTS {
-        let cfg = AnytimeConfig {
-            m_round: m_max.div_ceil(r),
-            m_max,
-            refine: RefineConfig::default(),
-        };
+        let cfg =
+            AnytimeConfig { m_round: m_max.div_ceil(r), m_max, refine: RefineConfig::default() };
         let master = SeedSequence::new(seed ^ ((r as u64) << 24));
         let outcomes = run_trials(&master, trials, |_, s| {
             let sigma = Signal::random(n, k, &mut s.child("signal", 0).rng());

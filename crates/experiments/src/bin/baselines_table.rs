@@ -63,8 +63,11 @@ fn main() {
             let node = master.child("random", (f * 100.0) as u64);
             let outs = run_trials(&node, trials, |_, seeds| {
                 let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
-                let est = RandomGuessDecoder::new(seeds.child("dec", 0))
-                    .reconstruct(&CsrDesign::sample(n, 1, 1, &seeds), &[0], k);
+                let est = RandomGuessDecoder::new(seeds.child("dec", 0)).reconstruct(
+                    &CsrDesign::sample(n, 1, 1, &seeds),
+                    &[0],
+                    k,
+                );
                 summarize(&sigma, &est)
             });
             rows.push(row("random-guess", m, f, &aggregate(&outs)));
@@ -151,11 +154,5 @@ fn aggregate(outs: &[(bool, f64)]) -> CellStats {
 }
 
 fn row(name: &str, m: usize, f: f64, s: &CellStats) -> Vec<String> {
-    vec![
-        name.to_string(),
-        m.to_string(),
-        fmt_f64(f),
-        fmt_f64(s.success),
-        fmt_f64(s.overlap),
-    ]
+    vec![name.to_string(), m.to_string(), fmt_f64(f), fmt_f64(s.success), fmt_f64(s.overlap)]
 }

@@ -51,8 +51,7 @@ fn main() {
                 MnTrialWorkspace::new,
                 |_, seeds, ws| mn_trial_with(n, k, probe, &seeds, ws),
             );
-            let mean: f64 =
-                outs.iter().map(|o| o.overlap).sum::<f64>() / trials as f64;
+            let mean: f64 = outs.iter().map(|o| o.overlap).sum::<f64>() / trials as f64;
             if mean >= 0.99 || probe > 4 * m {
                 println!("0.99 mean overlap first reached near m = {probe} (measured {mean:.4})");
                 break;

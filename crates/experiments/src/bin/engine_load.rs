@@ -1,0 +1,270 @@
+//! ENGINE-LOAD: load generator for the `pooled_engine` serving layer.
+//!
+//! Replays a deterministic traffic mix against the engine and measures
+//! serving behaviour the figure binaries cannot see:
+//!
+//! 1. **Closed-loop worker sweep** — the same job batch at 1, 2, 4, …,
+//!    `--workers` shards, cold pass (empty design cache) then warm pass.
+//!    Reports jobs/sec and checks that every worker count produced
+//!    **bit-identical** result fingerprints (the engine's determinism
+//!    contract).
+//! 2. **Open-loop Poisson replay** — arrivals at `--rate` jobs/sec that
+//!    do not wait for completions; `try_submit` under backpressure, shed
+//!    jobs counted, p50/p95/p99 latency from the engine histogram.
+//!
+//! Jobs carry a simulated query-execution cost (`--latency-micros`,
+//! default 2000): the paper's premise is that queries dominate
+//! reconstruction time, and overlapping that cost across shards is
+//! exactly where the multi-worker speedup comes from.
+//!
+//! Emits `BENCH_ENGINE.json` (`--out` to relocate) with the sweep table,
+//! the speedup at the top worker count, and the open-loop tail latencies.
+//! Exits non-zero if any worker count broke determinism.
+
+use std::time::Instant;
+
+use pooled_engine::engine::{Engine, EngineConfig};
+use pooled_engine::job::{DecoderKind, JobResult};
+use pooled_engine::traffic::{poisson_arrivals, LoadProfile};
+use pooled_engine::JobSpec;
+use pooled_experiments::DEFAULT_SEED;
+use pooled_io::Args;
+use pooled_lab::latency::LatencyModel;
+use pooled_rng::SeedSequence;
+use pooled_theory::thresholds::m_mn_finite;
+
+/// One measured closed-loop pass.
+struct Pass {
+    workers: usize,
+    cold_jobs_per_sec: f64,
+    warm_jobs_per_sec: f64,
+    exact_rate: f64,
+    cache_misses: u64,
+    fingerprint: u64,
+}
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let seed = args.get_u64("seed", DEFAULT_SEED);
+    let jobs = args.get_usize("jobs", 256);
+    let max_workers = args.get_usize("workers", 8);
+    let n = args.get_usize("n", 1000);
+    let theta = args.get_f64("theta", 0.3);
+    let k = args.get_usize("k", (n as f64).powf(theta).round() as usize);
+    let m = args.get_usize("m", (1.5 * m_mn_finite(n, theta)).ceil() as usize);
+    // Default 4 ms: queries must dominate decode CPU for shard scaling to
+    // show (the paper's regime); `--latency-micros 0` gives pure-CPU jobs.
+    let latency_micros = args.get_u64("latency-micros", 4000);
+    let rate = args.get_f64("rate", 1500.0);
+    let queue = args.get_usize("queue", 64);
+    let cache = args.get_usize("cache", 16);
+    let distinct_designs = args.get_u64("designs", 1);
+    let decoders = parse_decoders(&args.get_str("decoders", "mn"));
+    let out_path = args.get_str("out", "BENCH_ENGINE.json");
+
+    let profile = LoadProfile {
+        distinct_designs,
+        decoders,
+        query_cost: (latency_micros > 0).then_some(LatencyModel::Fixed(latency_micros as f64)),
+        ..LoadProfile::default_mix(n, k, m, seed)
+    };
+    let specs = profile.specs(jobs);
+    eprintln!(
+        "engine_load: {jobs} jobs, n={n} k={k} m={m}, {} design(s), query cost {latency_micros}µs",
+        distinct_designs
+    );
+
+    // --- 1. Closed-loop worker sweep -------------------------------------
+    let sweep: Vec<usize> = std::iter::successors(Some(1usize), |w| Some(w * 2))
+        .take_while(|&w| w < max_workers)
+        .chain(std::iter::once(max_workers))
+        .collect();
+    let mut passes = Vec::new();
+    println!("workers  cold jobs/s  warm jobs/s  speedup(warm)  exact%  cache-miss");
+    for &workers in &sweep {
+        let pass = run_closed_loop(workers, queue, cache, &specs);
+        let base = passes.first().map_or(pass.warm_jobs_per_sec, |p: &Pass| p.warm_jobs_per_sec);
+        println!(
+            "{:<8} {:<12.1} {:<12.1} {:<14.2} {:<7.1} {}",
+            pass.workers,
+            pass.cold_jobs_per_sec,
+            pass.warm_jobs_per_sec,
+            pass.warm_jobs_per_sec / base,
+            100.0 * pass.exact_rate,
+            pass.cache_misses,
+        );
+        passes.push(pass);
+    }
+    let deterministic = passes.iter().all(|p| p.fingerprint == passes[0].fingerprint);
+    if !deterministic {
+        eprintln!("engine_load: DETERMINISM VIOLATION — fingerprints differ across worker counts");
+    }
+    let speedup = passes.last().unwrap().warm_jobs_per_sec / passes[0].warm_jobs_per_sec;
+    println!(
+        "warm-cache speedup at {} workers: {speedup:.2}x  |  bit-identical across counts: {}",
+        max_workers,
+        if deterministic { "yes" } else { "NO" }
+    );
+
+    // --- 2. Open-loop Poisson replay -------------------------------------
+    let open = run_open_loop(max_workers, queue, cache, &profile, jobs, rate, seed);
+    println!(
+        "open-loop @ {rate:.0}/s: served {} shed {} | latency p50 {}µs p95 {}µs p99 {}µs",
+        open.served, open.shed, open.p50, open.p95, open.p99
+    );
+
+    // --- 3. Emit BENCH_ENGINE.json ---------------------------------------
+    let sweep_rows: Vec<serde_json::Value> = passes
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "workers": p.workers,
+                "cold_jobs_per_sec": p.cold_jobs_per_sec,
+                "warm_jobs_per_sec": p.warm_jobs_per_sec,
+                "exact_rate": p.exact_rate,
+                "cache_misses": p.cache_misses,
+                "fingerprint": p.fingerprint,
+            })
+        })
+        .collect();
+    let params = serde_json::json!({
+        "jobs": jobs, "n": n, "k": k, "m": m,
+        "distinct_designs": distinct_designs,
+        "query_cost_micros": latency_micros,
+        "queue_capacity": queue, "design_cache_capacity": cache,
+    });
+    let open_loop = serde_json::json!({
+        "rate_per_sec": rate,
+        "served": open.served,
+        "shed": open.shed,
+        "latency_p50_micros": open.p50,
+        "latency_p95_micros": open.p95,
+        "latency_p99_micros": open.p99,
+    });
+    let report = serde_json::json!({
+        "experiment": "engine_load",
+        "seed": seed,
+        "params": params,
+        "closed_loop": sweep_rows,
+        "warm_speedup_at_max_workers": speedup,
+        "deterministic_across_worker_counts": deterministic,
+        "open_loop": open_loop,
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serializable"))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("engine_load: wrote {out_path}");
+    if !deterministic {
+        std::process::exit(1);
+    }
+}
+
+/// Two batch passes (cold cache, then warm) at a fixed worker count.
+fn run_closed_loop(workers: usize, queue: usize, cache: usize, specs: &[JobSpec]) -> Pass {
+    let engine = Engine::start(EngineConfig {
+        workers,
+        queue_capacity: queue,
+        results_capacity: queue,
+        design_cache_capacity: cache,
+    });
+    let mut results = Vec::with_capacity(specs.len());
+
+    let cold_start = Instant::now();
+    engine.run_batch(specs, &mut results);
+    let cold = cold_start.elapsed().as_secs_f64();
+    let fingerprint = batch_fingerprint(&results);
+    let cache_misses = engine.stats().cache_misses;
+
+    results.clear();
+    let warm_start = Instant::now();
+    engine.run_batch(specs, &mut results);
+    let warm = warm_start.elapsed().as_secs_f64();
+    assert_eq!(
+        batch_fingerprint(&results),
+        fingerprint,
+        "cold and warm passes disagree at {workers} workers"
+    );
+
+    let exact = results.iter().filter(|r| r.exact).count() as f64 / results.len() as f64;
+    engine.shutdown();
+    Pass {
+        workers,
+        cold_jobs_per_sec: specs.len() as f64 / cold,
+        warm_jobs_per_sec: specs.len() as f64 / warm,
+        exact_rate: exact,
+        cache_misses,
+        fingerprint,
+    }
+}
+
+struct OpenLoopReport {
+    served: u64,
+    shed: u64,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+}
+
+/// Open-loop replay: submit on the Poisson schedule, never wait for
+/// completions; full queue ⇒ the job is shed (load-shedding telemetry).
+fn run_open_loop(
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    profile: &LoadProfile,
+    jobs: usize,
+    rate: f64,
+    seed: u64,
+) -> OpenLoopReport {
+    let engine = Engine::start(EngineConfig {
+        workers,
+        queue_capacity: queue,
+        results_capacity: jobs.max(1),
+        design_cache_capacity: cache,
+    });
+    let arrivals = poisson_arrivals(rate, jobs, &SeedSequence::new(seed ^ 0xA11));
+    // Pregenerate the specs so spec-derivation cost never skews the
+    // replayed arrival schedule.
+    let specs = profile.specs(jobs);
+    let started = Instant::now();
+    let mut shed = 0u64;
+    for (&spec, &at) in specs.iter().zip(&arrivals) {
+        let wait = at - started.elapsed().as_secs_f64();
+        if wait > 0.0 {
+            std::thread::sleep(std::time::Duration::from_secs_f64(wait));
+        }
+        if engine.try_submit(spec).is_err() {
+            shed += 1;
+        }
+    }
+    let mut leftovers = Vec::new();
+    let stats = engine.shutdown_into(&mut leftovers);
+    let (p50, p95, p99) = if stats.histogram.count() > 0 {
+        (
+            stats.histogram.quantile_micros(0.50),
+            stats.histogram.quantile_micros(0.95),
+            stats.histogram.quantile_micros(0.99),
+        )
+    } else {
+        (0, 0, 0)
+    };
+    OpenLoopReport { served: stats.jobs_completed, shed, p50, p95, p99 }
+}
+
+/// Fingerprint of a batch: order-sensitive chaining over results, which
+/// `run_batch` hands back sorted by id — so equal batches ⇔ equal values.
+fn batch_fingerprint(results: &[JobResult]) -> u64 {
+    let mut d = pooled_engine::job::Digest::new();
+    for r in results {
+        d.push(r.fingerprint());
+    }
+    d.finish()
+}
+
+fn parse_decoders(raw: &str) -> Vec<DecoderKind> {
+    raw.split(',')
+        .map(|name| {
+            DecoderKind::from_name(name.trim())
+                .unwrap_or_else(|| panic!("unknown decoder {name:?} (see DecoderKind::ALL)"))
+        })
+        .collect()
+}

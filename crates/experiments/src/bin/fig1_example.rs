@@ -15,13 +15,7 @@ fn main() {
     let sigma = Signal::from_dense(&[1, 1, 0, 0, 1, 0, 0]);
     // Fig. 1's queries; query a2 contains x2 twice (the dashed multi-edge),
     // and the result vector matches the figure: (2, 2, 3, 1, 1).
-    let pools = vec![
-        vec![0, 1, 3],
-        vec![1, 1, 2],
-        vec![0, 1, 4],
-        vec![4, 5],
-        vec![4, 6],
-    ];
+    let pools = vec![vec![0, 1, 3], vec![1, 1, 2], vec![0, 1, 4], vec![4, 5], vec![4, 6]];
     let design = CsrDesign::from_pools(7, &pools);
     let y = execute_queries(&design, &sigma);
     println!("signal σ = {:?}  (support {:?})", sigma.dense(), sigma.support());
@@ -41,10 +35,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(&["entry", "σ", "Ψ", "Δ*", "2Ψ−kΔ*", "σ̃"], &rows)
-    );
+    println!("{}", render_table(&["entry", "σ", "Ψ", "Δ*", "2Ψ−kΔ*", "σ̃"], &rows));
     println!(
         "exact recovery: {}",
         if out.estimate == sigma { "yes" } else { "no (m=5 queries is tiny)" }

@@ -6,7 +6,9 @@
 //! Remark). Default scale: `n ∈ [10², 10⁴]`, 20 trials. `--full` extends to
 //! the paper grid (`n ≤ 10⁶`, 100 trials; hours of CPU).
 
-use pooled_experiments::{log_grid, output_dir, write_artifacts, Scale, DEFAULT_SEED, PAPER_THETAS};
+use pooled_experiments::{
+    log_grid, output_dir, write_artifacts, Scale, DEFAULT_SEED, PAPER_THETAS,
+};
 use pooled_io::csv::fmt_f64;
 use pooled_io::{Args, GnuplotScript, Manifest};
 use pooled_stats::{find_transition, TransitionConfig};
@@ -87,8 +89,16 @@ fn main() {
         );
     }
     let header = [
-        "n", "theta", "k", "mean_m", "median_m", "q25_m", "q75_m",
-        "m_mn_asymptotic", "m_mn_finite", "capped",
+        "n",
+        "theta",
+        "k",
+        "mean_m",
+        "median_m",
+        "q25_m",
+        "q75_m",
+        "m_mn_asymptotic",
+        "m_mn_finite",
+        "capped",
     ];
     let csv = write_artifacts(&dir, "fig2", &header, &rows, &manifest, Some(&gp));
     println!("fig2: wrote {}", csv.display());

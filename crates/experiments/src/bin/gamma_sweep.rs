@@ -63,11 +63,7 @@ fn main() {
             );
             let rate = outcomes.iter().filter(|&&e| e).count() as f64 / trials as f64;
             curve.push((m, rate));
-            rows.push(vec![
-                fmt_f64(c),
-                m.to_string(),
-                fmt_f64(rate),
-            ]);
+            rows.push(vec![fmt_f64(c), m.to_string(), fmt_f64(rate)]);
         }
         let crossing = interpolate_half(&curve);
         m50.push((c, crossing));
@@ -120,14 +116,8 @@ fn main() {
         &manifest,
         Some(&gp),
     );
-    let csv = write_artifacts(
-        &dir,
-        "gamma_sweep",
-        &["c", "m", "success_rate"],
-        &rows,
-        &manifest,
-        None,
-    );
+    let csv =
+        write_artifacts(&dir, "gamma_sweep", &["c", "m", "success_rate"], &rows, &manifest, None);
     println!("gamma_sweep: wrote {}", csv.display());
 }
 

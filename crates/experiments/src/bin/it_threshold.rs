@@ -39,8 +39,7 @@ fn main() {
         (1..=12).map(|i| ((m_star * i as f64 / 6.0).round() as usize).max(1)).collect();
     let master = SeedSequence::new(seed);
 
-    let header =
-        ["m", "unique_rate", "mean_consistent", "first_moment_predicts_unique"];
+    let header = ["m", "unique_rate", "mean_consistent", "first_moment_predicts_unique"];
     let mut rows = Vec::new();
     for &m in &m_grid {
         let counts = run_trials(&master.child("m", m as u64), trials, |_, seeds| {
@@ -50,8 +49,7 @@ fn main() {
             exhaustive_search(&design, &y, k).consistent_count
         });
         let unique = counts.iter().filter(|&&c| c == 1).count();
-        let mean_z: f64 =
-            counts.iter().map(|&c| c as f64).sum::<f64>() / trials as f64;
+        let mean_z: f64 = counts.iter().map(|&c| c as f64).sum::<f64>() / trials as f64;
         rows.push(vec![
             m.to_string(),
             fmt_f64(unique as f64 / trials as f64),
@@ -107,10 +105,9 @@ fn bnb_panel(dir: &std::path::Path, seed: u64, trials: usize) {
         });
         let settled: Vec<&(u64, u64)> = outcomes.iter().flatten().collect();
         let unique = settled.iter().filter(|o| o.0 == 1).count();
-        let mean_z = settled.iter().map(|o| o.0 as f64).sum::<f64>()
-            / settled.len().max(1) as f64;
-        let mean_nodes = settled.iter().map(|o| o.1 as f64).sum::<f64>()
-            / settled.len().max(1) as f64;
+        let mean_z = settled.iter().map(|o| o.0 as f64).sum::<f64>() / settled.len().max(1) as f64;
+        let mean_nodes =
+            settled.iter().map(|o| o.1 as f64).sum::<f64>() / settled.len().max(1) as f64;
         let exhausted = trials - settled.len();
         rows.push(vec![
             m.to_string(),
@@ -119,7 +116,10 @@ fn bnb_panel(dir: &std::path::Path, seed: u64, trials: usize) {
             fmt_f64(exhausted as f64 / trials as f64),
             fmt_f64(mean_nodes),
         ]);
-        eprintln!("it_threshold/bnb: m={m} unique {unique}/{} (exhausted {exhausted})", settled.len());
+        eprintln!(
+            "it_threshold/bnb: m={m} unique {unique}/{} (exhausted {exhausted})",
+            settled.len()
+        );
     }
     println!(
         "Theorem 2 at n={n}, k={k} via branch-and-bound \

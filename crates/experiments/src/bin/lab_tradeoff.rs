@@ -21,8 +21,7 @@ fn main() {
     let theta = args.get_f64("theta", 0.3);
     let units_list: Vec<usize> =
         vec![args.get_usize("units", 0)].into_iter().filter(|&u| u > 0).collect();
-    let units_list =
-        if units_list.is_empty() { vec![16usize, 64, 256, 1024] } else { units_list };
+    let units_list = if units_list.is_empty() { vec![16usize, 64, 256, 1024] } else { units_list };
     let k = k_of(n, theta);
     let m_seq = m_counting_bound(n, k).ceil() as usize;
     let latency = LatencyModel::LogNormal { mu: 0.0, sigma: 0.25 };
@@ -41,9 +40,7 @@ fn main() {
             ]);
         }
     }
-    println!(
-        "Lab trade-off at n={n}, θ={theta} (k={k}, m_seq={m_seq}), log-normal query latency:"
-    );
+    println!("Lab trade-off at n={n}, θ={theta} (k={k}, m_seq={m_seq}), log-normal query latency:");
     println!("{}", render_table(&header, &rows));
 
     let dir = output_dir(&args);

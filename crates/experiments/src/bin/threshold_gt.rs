@@ -41,15 +41,9 @@ fn main() {
         for m in linear_grid((m_hi / 16).max(4), m_hi, 16) {
             let master = SeedSequence::new(seed ^ (t << 48) ^ (m as u64));
             let outcomes = run_trials(&master, trials, |_, s| {
-                let sigma =
-                    pooled_core::Signal::random(n, k, &mut s.child("signal", 0).rng());
-                let design = pooled_threshold::recommended_design(
-                    n,
-                    k,
-                    t,
-                    m,
-                    &s.child("design", 0),
-                );
+                let sigma = pooled_core::Signal::random(n, k, &mut s.child("signal", 0).rng());
+                let design =
+                    pooled_threshold::recommended_design(n, k, t, m, &s.child("design", 0));
                 let bits = ThresholdChannel::new(t).execute(&design, &sigma);
                 let out = ThresholdMnDecoder::new(k).decode(&design, &bits);
                 let refined = pooled_threshold::refine_bits(
@@ -67,17 +61,14 @@ fn main() {
                 )
             });
             let successes = outcomes.iter().filter(|o| o.0).count() as u64;
-            let refined_rate =
-                outcomes.iter().filter(|o| o.2).count() as f64 / trials as f64;
-            let overlap: f64 =
-                outcomes.iter().map(|o| o.1).sum::<f64>() / outcomes.len() as f64;
+            let refined_rate = outcomes.iter().filter(|o| o.2).count() as f64 / trials as f64;
+            let overlap: f64 = outcomes.iter().map(|o| o.1).sum::<f64>() / outcomes.len() as f64;
             let (lo, hi) = wilson_interval(successes, trials as u64, 1.96);
             // Additive ceiling: the paper's decoder at the same budget.
             let additive = run_trials(&master.child("additive", 0), trials, |_, s| {
                 mn_trial(n, k, m, &s).exact
             });
-            let additive_rate =
-                additive.iter().filter(|&&e| e).count() as f64 / trials as f64;
+            let additive_rate = additive.iter().filter(|&&e| e).count() as f64 / trials as f64;
             rows.push(vec![
                 t.to_string(),
                 gamma.to_string(),
@@ -114,8 +105,16 @@ fn main() {
         );
     }
     let header = [
-        "T", "gamma_star", "m", "success_rate", "ci_lo", "ci_hi", "mean_overlap",
-        "refined_success", "additive_success", "m_estimate",
+        "T",
+        "gamma_star",
+        "m",
+        "success_rate",
+        "ci_lo",
+        "ci_hi",
+        "mean_overlap",
+        "refined_success",
+        "additive_success",
+        "m_estimate",
     ];
     let csv = write_artifacts(&dir, "threshold_gt", &header, &rows, &manifest, Some(&gp));
     println!("threshold_gt: wrote {}", csv.display());

@@ -15,8 +15,17 @@ fn main() {
     let thetas: Vec<f64> = (1..=9).map(|i| i as f64 / 10.0).collect();
 
     let header = [
-        "theta", "k", "m_counting", "m_IT_parallel", "m_MN", "m_MN_finite",
-        "m_karimi_a", "m_karimi_b", "m_binary_gt", "m_l1", "m_basis_pursuit",
+        "theta",
+        "k",
+        "m_counting",
+        "m_IT_parallel",
+        "m_MN",
+        "m_MN_finite",
+        "m_karimi_a",
+        "m_karimi_b",
+        "m_binary_gt",
+        "m_l1",
+        "m_basis_pursuit",
     ];
     let mut rows = Vec::new();
     for &theta in &thetas {

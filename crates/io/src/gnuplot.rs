@@ -55,9 +55,7 @@ impl GnuplotScript {
     /// `using` is the gnuplot column spec (e.g. `"1:2"`), `style` e.g.
     /// `"linespoints"`.
     pub fn series(mut self, csv: &str, using: &str, title: &str, style: &str) -> Self {
-        self.series.push(format!(
-            "'{csv}' using {using} with {style} title '{title}'"
-        ));
+        self.series.push(format!("'{csv}' using {using} with {style} title '{title}'"));
         self
     }
 

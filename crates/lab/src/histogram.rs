@@ -1,0 +1,190 @@
+//! Fixed-footprint latency histograms for serving telemetry.
+//!
+//! The reconstruction engine records one latency observation per job on
+//! its hot path, so the recorder must be allocation-free and O(1): a
+//! power-of-two bucketing over microseconds (bucket `i` covers
+//! `[2^i, 2^{i+1})` µs, bucket 0 covers `[0, 2)` µs) in a fixed 64-slot
+//! array. Quantiles come back as the upper edge of the covering bucket —
+//! at most 2× off, which is the right fidelity for p50/p95/p99 dashboards
+//! and costs nothing to maintain. Exact moments live in
+//! `pooled_stats::summary::Summary`; this type complements it with tail
+//! shape.
+
+/// Number of power-of-two buckets; covers the whole `u64` microsecond range.
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// An allocation-free log₂-bucketed histogram of microsecond latencies.
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_micros: u64,
+    max_micros: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self { buckets: [0; LATENCY_BUCKETS], count: 0, sum_micros: 0, max_micros: 0 }
+    }
+
+    /// Record one observation in microseconds. O(1), no allocation.
+    pub fn record_micros(&mut self, micros: u64) {
+        self.buckets[bucket_of(micros)] += 1;
+        self.count += 1;
+        self.sum_micros = self.sum_micros.saturating_add(micros);
+        self.max_micros = self.max_micros.max(micros);
+    }
+
+    /// Record one observation in seconds (duration models and
+    /// `Instant::elapsed` both speak seconds).
+    pub fn record_secs(&mut self, secs: f64) {
+        assert!(secs >= 0.0 && secs.is_finite(), "latency must be a finite non-negative time");
+        self.record_micros((secs * 1e6).round() as u64);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded observation in microseconds.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile (conservative:
+    /// the true quantile is at most this, within the bucket's 2× width).
+    ///
+    /// # Panics
+    /// Panics if the histogram is empty or `q ∉ [0, 1]`.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        assert!(self.count > 0, "quantile of an empty histogram");
+        assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_micros);
+            }
+        }
+        self.max_micros
+    }
+
+    /// Fold another histogram into this one (parallel-reduction support:
+    /// per-worker histograms merge into the engine-wide view).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+}
+
+/// Bucket index of a microsecond value: `floor(log2(max(v, 1)))`.
+fn bucket_of(micros: u64) -> usize {
+    (63 - micros.max(1).leading_zeros()) as usize
+}
+
+/// Exclusive upper edge of bucket `i`, saturating at `u64::MAX`.
+fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn quantiles_bound_the_truth_within_a_bucket() {
+        let mut h = LatencyHistogram::new();
+        for v in [100u64, 200, 300, 400, 1000, 2000, 4000, 50_000] {
+            h.record_micros(v);
+        }
+        assert_eq!(h.count(), 8);
+        // p50 falls in the bucket of 300–400 ([256, 512)); upper edge 511.
+        let p50 = h.quantile_micros(0.5);
+        assert!((400..=511).contains(&p50), "p50={p50}");
+        // The max is exact.
+        assert_eq!(h.quantile_micros(1.0), 50_000);
+        assert_eq!(h.max_micros(), 50_000);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30] {
+            h.record_micros(v);
+        }
+        assert_eq!(h.mean_micros(), 20.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let values: Vec<u64> = (0..500).map(|i| (i * 37) % 10_000).collect();
+        let mut whole = LatencyHistogram::new();
+        let mut left = LatencyHistogram::new();
+        let mut right = LatencyHistogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record_micros(v);
+            if i < 200 {
+                left.record_micros(v)
+            } else {
+                right.record_micros(v)
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert_eq!(left.mean_micros(), whole.mean_micros());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(left.quantile_micros(q), whole.quantile_micros(q));
+        }
+    }
+
+    #[test]
+    fn record_secs_converts_to_micros() {
+        let mut h = LatencyHistogram::new();
+        h.record_secs(0.002); // 2 ms
+        assert_eq!(h.max_micros(), 2000);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_of_empty_panics() {
+        let _ = LatencyHistogram::new().quantile_micros(0.5);
+    }
+}

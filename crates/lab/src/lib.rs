@@ -10,6 +10,8 @@
 //! the machinery to study both questions quantitatively:
 //!
 //! * [`latency`] — per-query duration models (fixed, uniform, log-normal).
+//! * [`histogram`] — allocation-free log₂-bucketed latency histograms for
+//!   serving telemetry (the reconstruction engine records one per job).
 //! * [`event`] — a tiny deterministic discrete-event queue.
 //! * [`scheduler`] — greedy list scheduling of `m` queries on `L` units,
 //!   with makespan and utilization accounting.
@@ -18,10 +20,12 @@
 //!   and `L`-batched alternatives end to end.
 
 pub mod event;
+pub mod histogram;
 pub mod latency;
 pub mod scheduler;
 pub mod stages;
 
+pub use histogram::LatencyHistogram;
 pub use latency::LatencyModel;
 pub use scheduler::{schedule, ScheduleReport};
 pub use stages::{stage_plan_makespan, TradeoffPoint};

@@ -94,8 +94,7 @@ mod tests {
     #[test]
     fn graham_bound_holds() {
         // List schedule ≤ 2·LB, and ≥ LB.
-        let durations: Vec<f64> =
-            (0..200).map(|i| 0.5 + ((i * 37) % 11) as f64).collect();
+        let durations: Vec<f64> = (0..200).map(|i| 0.5 + ((i * 37) % 11) as f64).collect();
         for units in [1usize, 2, 4, 7, 16] {
             let r = schedule(&durations, units);
             let lb = makespan_lower_bound(&durations, units);

@@ -73,8 +73,7 @@ pub fn tradeoff_curve(
         // Spread queries as evenly as possible over the rounds.
         let base = queries / r;
         let extra = queries % r;
-        let sizes: Vec<usize> =
-            (0..r).map(|i| base + usize::from(i < extra)).collect();
+        let sizes: Vec<usize> = (0..r).map(|i| base + usize::from(i < extra)).collect();
         let makespan = stage_plan_makespan(&sizes, units, latency, &seeds.child("plan", r as u64));
         points.push(TradeoffPoint { rounds: r, queries, makespan });
         r *= 2;

@@ -78,11 +78,7 @@ mod tests {
 
     #[test]
     fn factor_reconstructs_matrix() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 2.0, 0.6],
-            vec![2.0, 5.0, 1.0],
-            vec![0.6, 1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![4.0, 2.0, 0.6], vec![2.0, 5.0, 1.0], vec![0.6, 1.0, 3.0]]);
         let ch = Cholesky::factor(&a).expect("SPD");
         let llt = ch.l().matmul(&ch.l().transpose());
         for i in 0..3 {

@@ -41,11 +41,7 @@ mod tests {
 
     #[test]
     fn exact_system_recovered() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 1.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
         let truth = [3.0, -2.0];
         let b = a.matvec(&truth);
         let x = solve_least_squares(&a, &b);
@@ -54,12 +50,8 @@ mod tests {
 
     #[test]
     fn residual_orthogonality() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 1.0],
-            vec![0.5, 0.5],
-            vec![-1.0, 1.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0], vec![0.5, 0.5], vec![-1.0, 1.0]]);
         let b = vec![1.0, 0.0, 2.0, 1.0];
         let x = solve_least_squares(&a, &b);
         let r = residual(&a, &x, &b);
@@ -78,11 +70,7 @@ mod tests {
         // Nearly collinear columns make the Gram matrix borderline; the
         // solver must still return a valid least-squares solution.
         let eps = 1e-7;
-        let a = Matrix::from_rows(&[
-            vec![1.0, 1.0 + eps],
-            vec![1.0, 1.0],
-            vec![1.0, 1.0 - eps],
-        ]);
+        let a = Matrix::from_rows(&[vec![1.0, 1.0 + eps], vec![1.0, 1.0], vec![1.0, 1.0 - eps]]);
         let b = vec![1.0, 1.0, 1.0];
         let x = solve_least_squares(&a, &b);
         let r = residual(&a, &x, &b);

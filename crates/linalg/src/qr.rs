@@ -152,12 +152,8 @@ mod tests {
 
     #[test]
     fn residual_is_orthogonal_to_columns() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 0.5],
-            vec![0.0, 2.0],
-            vec![1.0, 1.0],
-            vec![3.0, -1.0],
-        ]);
+        let a =
+            Matrix::from_rows(&[vec![1.0, 0.5], vec![0.0, 2.0], vec![1.0, 1.0], vec![3.0, -1.0]]);
         let b = vec![1.0, -2.0, 0.5, 4.0];
         let x = Qr::factor(&a).solve(&b);
         let ax = a.matvec(&x);

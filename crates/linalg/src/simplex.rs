@@ -246,9 +246,7 @@ pub fn solve_box_min_sum(e: &Matrix, y: &[f64], upper: f64) -> LpOutcome {
     let mut c = vec![1.0; n];
     c.extend(std::iter::repeat_n(0.0, n));
     match solve(&LpProblem { a, b, c }) {
-        LpOutcome::Optimal { x, objective } => {
-            LpOutcome::Optimal { x: x[..n].to_vec(), objective }
-        }
+        LpOutcome::Optimal { x, objective } => LpOutcome::Optimal { x: x[..n].to_vec(), objective },
         other => other,
     }
 }
@@ -327,16 +325,14 @@ mod tests {
     fn box_min_sum_recovers_sparse_binary() {
         // x* = (1,0,1): the first constraint x₁+x₃ = 2 pins both to the box
         // ceiling, then x₂ = 0 follows. Unique minimizer with objective 2.
-        let e = Matrix::from_rows(&[
-            vec![1.0, 0.0, 1.0],
-            vec![1.0, 1.0, 0.0],
-            vec![0.0, 1.0, 1.0],
-        ]);
+        let e = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![1.0, 1.0, 0.0], vec![0.0, 1.0, 1.0]]);
         let y = vec![2.0, 1.0, 1.0];
         let (x, obj) = optimal(solve_box_min_sum(&e, &y, 1.0));
         assert!((obj - 2.0).abs() < 1e-8, "objective {obj}");
-        assert!((x[0] - 1.0).abs() < 1e-6 && x[1].abs() < 1e-6 && (x[2] - 1.0).abs() < 1e-6,
-            "{x:?}");
+        assert!(
+            (x[0] - 1.0).abs() < 1e-6 && x[1].abs() < 1e-6 && (x[2] - 1.0).abs() < 1e-6,
+            "{x:?}"
+        );
     }
 
     #[test]
@@ -351,9 +347,6 @@ mod tests {
     #[test]
     fn box_infeasible_when_rhs_exceeds_capacity() {
         let e = Matrix::from_rows(&[vec![1.0, 1.0]]);
-        assert!(matches!(
-            solve_box_min_sum(&e, &[3.0], 1.0),
-            LpOutcome::Infeasible
-        ));
+        assert!(matches!(solve_box_min_sum(&e, &[3.0], 1.0), LpOutcome::Infeasible));
     }
 }

@@ -196,10 +196,7 @@ impl BlockedScatter {
         let len = out.len();
         let plane = self.plane(parts, len);
         let ranges = even_ranges(items, parts);
-        plane
-            .par_iter_mut()
-            .zip(ranges.into_par_iter())
-            .for_each(|(buf, range)| fill(buf, range));
+        plane.par_iter_mut().zip(ranges.into_par_iter()).for_each(|(buf, range)| fill(buf, range));
         self.merge_into(out);
     }
 }

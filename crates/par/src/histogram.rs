@@ -71,14 +71,11 @@ where
 {
     let ranges = even_ranges(data.len(), parts.max(1));
     let mut matrix = vec![0u64; ranges.len() * bins];
-    matrix
-        .par_chunks_mut(bins)
-        .zip(ranges.par_iter())
-        .for_each(|(row, r)| {
-            for x in &data[r.clone()] {
-                row[bin_of(x)] += 1;
-            }
-        });
+    matrix.par_chunks_mut(bins).zip(ranges.par_iter()).for_each(|(row, r)| {
+        for x in &data[r.clone()] {
+            row[bin_of(x)] += 1;
+        }
+    });
     (matrix, ranges)
 }
 

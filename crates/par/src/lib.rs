@@ -41,6 +41,7 @@
 pub mod blocked;
 pub mod chunks;
 pub mod histogram;
+pub mod lru;
 pub mod pool;
 pub mod radix;
 pub mod scan;
@@ -51,7 +52,9 @@ pub mod topk;
 pub use blocked::{choose_scatter, BlockedScatter, ScatterKind};
 pub use chunks::even_ranges;
 pub use histogram::par_histogram;
+pub use lru::LruCache;
 pub use pool::{install_with_threads, pool_with_threads};
 pub use radix::{par_radix_sort_pairs, radix_rank_desc};
 pub use scatter::AtomicCounters;
+pub use sort::{par_merge_sort, par_merge_sort_with};
 pub use topk::{top_k_indices, top_k_into, TopKScratch};

@@ -7,23 +7,35 @@
 //!
 //! Pools are memoized process-wide by worker count ([`pool_with_threads`]):
 //! building a rayon pool costs ~100 µs, which used to dominate short
-//! ablation iterations that rebuilt the pool per measurement.
+//! ablation iterations that rebuilt the pool per measurement. The memo is
+//! a bounded [`LruCache`] (the same policy the reconstruction engine uses
+//! for pooling designs): a long sweep over many worker counts keeps at
+//! most [`POOL_CACHE_CAPACITY`] pools alive instead of growing without
+//! limit. Evicted pools stay valid for existing holders — the `Arc` keeps
+//! them alive until the last clone drops.
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
-/// Process-wide cache of pools keyed by worker count.
-static POOL_CACHE: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+use crate::lru::LruCache;
+
+/// Bound on the number of distinct worker counts memoized at once. Sweeps
+/// use powers of two up to the machine width, so a handful of entries
+/// covers every realistic caller; anything beyond that rebuilds on demand.
+pub const POOL_CACHE_CAPACITY: usize = 8;
+
+/// Process-wide LRU of pools keyed by worker count.
+static POOL_CACHE: OnceLock<Mutex<LruCache<usize, Arc<ThreadPool>>>> = OnceLock::new();
 
 /// The memoized pool with exactly `threads` workers, built on first request
-/// and shared for the process lifetime.
+/// and shared while it stays among the [`POOL_CACHE_CAPACITY`]
+/// most-recently-used worker counts.
 ///
 /// # Panics
 /// Panics if the pool cannot be built (thread spawn failure).
 pub fn pool_with_threads(threads: usize) -> Arc<ThreadPool> {
-    let cache = POOL_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = POOL_CACHE.get_or_init(|| Mutex::new(LruCache::new(POOL_CACHE_CAPACITY)));
     if let Some(pool) = cache.lock().expect("pool cache poisoned").get(&threads) {
         return Arc::clone(pool);
     }
@@ -38,7 +50,7 @@ pub fn pool_with_threads(threads: usize) -> Arc<ThreadPool> {
             .expect("failed to build rayon pool"),
     );
     let mut cache = cache.lock().expect("pool cache poisoned");
-    Arc::clone(cache.entry(threads).or_insert(pool))
+    cache.get_or_insert_with(&threads, || pool)
 }
 
 /// Run `op` inside the memoized rayon pool with exactly `threads` workers.
@@ -61,6 +73,10 @@ mod tests {
     use super::*;
     use rayon::prelude::*;
 
+    /// The memoization and eviction tests share the process-wide cache;
+    /// serialize them so the eviction sweep cannot race the identity check.
+    static CACHE_TESTS: Mutex<()> = Mutex::new(());
+
     #[test]
     fn install_limits_worker_count() {
         for t in [1usize, 2, 4] {
@@ -71,11 +87,29 @@ mod tests {
 
     #[test]
     fn pools_are_memoized_per_thread_count() {
+        let _guard = CACHE_TESTS.lock().unwrap();
         let a = pool_with_threads(2);
         let b = pool_with_threads(2);
         assert!(Arc::ptr_eq(&a, &b), "same worker count must share one pool");
         let c = pool_with_threads(3);
         assert!(!Arc::ptr_eq(&a, &c), "different worker counts get distinct pools");
+    }
+
+    #[test]
+    fn cache_is_bounded_and_evicted_pools_still_work() {
+        let _guard = CACHE_TESTS.lock().unwrap();
+        // Sweep far past the capacity; every pool handed out stays usable
+        // even after the cache drops its own reference.
+        let held: Vec<Arc<ThreadPool>> =
+            (1..=2 * POOL_CACHE_CAPACITY).map(pool_with_threads).collect();
+        let cache = POOL_CACHE.get().expect("cache initialized by the sweep");
+        assert!(cache.lock().unwrap().len() <= POOL_CACHE_CAPACITY);
+        for (i, pool) in held.iter().enumerate() {
+            assert_eq!(pool.install(rayon::current_num_threads), i + 1);
+        }
+        // A re-request for an evicted count rebuilds rather than panics.
+        let again = pool_with_threads(1);
+        assert_eq!(again.install(rayon::current_num_threads), 1);
     }
 
     #[test]

@@ -50,11 +50,8 @@ pub fn par_radix_sort_pairs(data: &mut [(u64, u32)]) {
         }
         {
             type PairSlices<'a> = (&'a mut [(u64, u32)], &'a mut [(u64, u32)]);
-            let (src, dst): PairSlices = if src_is_data {
-                (data, &mut buf)
-            } else {
-                (&mut buf, data)
-            };
+            let (src, dst): PairSlices =
+                if src_is_data { (data, &mut buf) } else { (&mut buf, data) };
             scatter_pass(src, dst, shift);
         }
         src_is_data = !src_is_data;
@@ -90,11 +87,8 @@ pub fn radix_rank_desc(scores: &[i64]) -> Vec<u32> {
     // Map i64 → u64 order-preservingly (flip the sign bit), then invert so
     // that ascending radix order equals descending score order. Payload is
     // the index; stability turns ties into ascending-index order.
-    let mut pairs: Vec<(u64, u32)> = scores
-        .iter()
-        .enumerate()
-        .map(|(i, &s)| (!((s as u64) ^ (1u64 << 63)), i as u32))
-        .collect();
+    let mut pairs: Vec<(u64, u32)> =
+        scores.iter().enumerate().map(|(i, &s)| (!((s as u64) ^ (1u64 << 63)), i as u32)).collect();
     par_radix_sort_pairs(&mut pairs);
     pairs.into_iter().map(|(_, i)| i).collect()
 }
@@ -150,7 +144,10 @@ mod tests {
         let mut v =
             vec![(u64::MAX, 0u32), (0, 1), (u64::MAX - 1, 2), (1, 3), (u64::MAX, 4), (0, 5)];
         par_radix_sort_pairs(&mut v);
-        assert_eq!(v, vec![(0, 1), (0, 5), (1, 3), (u64::MAX - 1, 2), (u64::MAX, 0), (u64::MAX, 4)]);
+        assert_eq!(
+            v,
+            vec![(0, 1), (0, 5), (1, 3), (u64::MAX - 1, 2), (u64::MAX, 0), (u64::MAX, 4)]
+        );
     }
 
     #[test]

@@ -90,8 +90,8 @@ fn split_by_ranges<'a, T>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pooled_rng::SplitMix64;
     use pooled_rng::Rng64 as _;
+    use pooled_rng::SplitMix64;
 
     fn reference_exclusive(v: &[u64]) -> (Vec<u64>, u64) {
         let mut out = Vec::with_capacity(v.len());

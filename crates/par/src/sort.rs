@@ -31,6 +31,23 @@ where
     sort_into(data, &mut buf, &key);
 }
 
+/// [`par_merge_sort`] with a caller-owned scratch buffer (resized to
+/// `data.len()`, capacity reused): repeated sorts at a stable shape touch
+/// the heap only on the first call. The serving engine's Γ-general decode
+/// path sorts per job through this entry point.
+pub fn par_merge_sort_with<T, K, F>(data: &mut [T], scratch: &mut Vec<T>, key: F)
+where
+    T: Copy + Send + Sync + Default,
+    K: Ord + Send,
+    F: Fn(&T) -> K + Sync,
+{
+    // No clear(): sort_into fully overwrites the scratch during merging,
+    // so shrinking truncates for free and growth default-fills only the
+    // new tail — re-sorts at a stable shape write nothing here.
+    scratch.resize(data.len(), T::default());
+    sort_into(data, scratch, &key);
+}
+
 fn sort_into<T, K, F>(data: &mut [T], buf: &mut [T], key: &F)
 where
     T: Copy + Send + Sync,
@@ -39,7 +56,10 @@ where
 {
     debug_assert_eq!(data.len(), buf.len());
     if data.len() <= SEQ_CUTOFF {
-        data.sort_by_key(key);
+        // Bottom-up stable merge sort into the provided scratch: unlike
+        // the standard library's stable sort this never allocates, which
+        // the engine's steady-state zero-allocation contract needs.
+        seq_bottom_up_merge_sort(data, buf, key);
         return;
     }
     let mid = data.len() / 2;
@@ -49,6 +69,71 @@ where
     // Merge dl, dr into buf, then copy back.
     par_merge(dl, dr, buf, key);
     data.copy_from_slice(buf);
+}
+
+/// Leaf width below which runs are insertion-sorted in place before the
+/// bottom-up merging starts (branch-friendly for nearly-sorted runs).
+const RUN_WIDTH: usize = 32;
+
+/// Stable, allocation-free bottom-up merge sort using `buf` as ping-pong
+/// scratch.
+fn seq_bottom_up_merge_sort<T, K, F>(data: &mut [T], buf: &mut [T], key: &F)
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let n = data.len();
+    for start in (0..n).step_by(RUN_WIDTH) {
+        insertion_sort(&mut data[start..(start + RUN_WIDTH).min(n)], key);
+    }
+    let mut width = RUN_WIDTH;
+    let mut in_data = true;
+    while width < n {
+        if in_data {
+            merge_pass(data, buf, width, key);
+        } else {
+            merge_pass(buf, data, width, key);
+        }
+        in_data = !in_data;
+        width *= 2;
+    }
+    if !in_data {
+        data.copy_from_slice(buf);
+    }
+}
+
+/// One bottom-up pass: merge adjacent `width`-runs of `src` into `dst`.
+fn merge_pass<T, K, F>(src: &[T], dst: &mut [T], width: usize, key: &F)
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    let n = src.len();
+    let mut i = 0;
+    while i < n {
+        let mid = (i + width).min(n);
+        let end = (i + 2 * width).min(n);
+        seq_merge(&src[i..mid], &src[mid..end], &mut dst[i..end], key);
+        i = end;
+    }
+}
+
+/// Stable in-place insertion sort (tiny runs only).
+fn insertion_sort<T, K, F>(run: &mut [T], key: &F)
+where
+    T: Copy,
+    K: Ord,
+    F: Fn(&T) -> K,
+{
+    for i in 1..run.len() {
+        let mut j = i;
+        while j > 0 && key(&run[j - 1]) > key(&run[j]) {
+            run.swap(j - 1, j);
+            j -= 1;
+        }
+    }
 }
 
 /// Merge two sorted runs into `out` in parallel.
@@ -125,10 +210,8 @@ where
         .map(|b| sample[(b * sample.len() / buckets).min(sample.len() - 1)].clone())
         .collect();
     // Classify every element (parallel), then histogram → offsets.
-    let classes: Vec<u32> = data
-        .par_iter()
-        .map(|x| splitters.partition_point(|s| *s <= key(x)) as u32)
-        .collect();
+    let classes: Vec<u32> =
+        data.par_iter().map(|x| splitters.partition_point(|s| *s <= key(x)) as u32).collect();
     let mut counts = vec![0u64; buckets];
     for &c in &classes {
         counts[c as usize] += 1;
@@ -189,9 +272,39 @@ mod tests {
     fn merge_sort_is_stable() {
         // Key only on the first tuple element; payload must keep input order.
         let mut rng = SplitMix64::new(3);
-        let mut v: Vec<(u8, u32)> =
-            (0..100_000u32).map(|i| ((rng.below(4)) as u8, i)).collect();
+        let mut v: Vec<(u8, u32)> = (0..100_000u32).map(|i| ((rng.below(4)) as u8, i)).collect();
         par_merge_sort(&mut v, |x| x.0);
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_reuses_capacity() {
+        let mut scratch = Vec::new();
+        for (n, seed) in [(100usize, 7u64), (5_000, 8), (60_000, 9)] {
+            let mut a = random_vec(n, seed);
+            let mut b = a.clone();
+            par_merge_sort_with(&mut a, &mut scratch, |x| *x);
+            b.sort();
+            assert_eq!(a, b, "n={n}");
+        }
+        // At a fixed shape, repeated sorts never regrow the scratch.
+        let cap = scratch.capacity();
+        for seed in 20..25 {
+            let mut a = random_vec(60_000, seed);
+            par_merge_sort_with(&mut a, &mut scratch, |x| *x);
+            assert_eq!(scratch.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn scratch_variant_is_stable() {
+        let mut rng = SplitMix64::new(13);
+        let mut v: Vec<(u8, u32)> = (0..50_000u32).map(|i| ((rng.below(4)) as u8, i)).collect();
+        par_merge_sort_with(&mut v, &mut Vec::new(), |x| x.0);
         for w in v.windows(2) {
             if w[0].0 == w[1].0 {
                 assert!(w[0].1 < w[1].1, "stability violated: {w:?}");

@@ -32,10 +32,7 @@ impl Ord for Weakest {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; we want the root to be the entry that
         // loses first, i.e. smallest score, largest index on ties.
-        other
-            .score
-            .cmp(&self.score)
-            .then_with(|| self.index.cmp(&other.index))
+        other.score.cmp(&self.score).then_with(|| self.index.cmp(&other.index))
     }
 }
 
@@ -61,10 +58,8 @@ pub fn top_k_indices(scores: &[i64], k: usize) -> Vec<usize> {
         chunk_top_k(scores, 0..n, k)
     } else {
         let ranges = even_ranges(n, parts);
-        let locals: Vec<Vec<Weakest>> = ranges
-            .into_par_iter()
-            .map(|r| chunk_top_k(scores, r, k))
-            .collect();
+        let locals: Vec<Vec<Weakest>> =
+            ranges.into_par_iter().map(|r| chunk_top_k(scores, r, k)).collect();
         let mut all: Vec<Weakest> = locals.into_iter().flatten().collect();
         // Global cut: rank and keep the best k.
         all.sort_unstable_by(|a, b| b.score.cmp(&a.score).then(a.index.cmp(&b.index)));
@@ -96,8 +91,8 @@ fn select_into_heap(
             heap.push(cand);
         } else if let Some(&root) = heap.peek() {
             // Candidate beats the weakest member under (score desc, idx asc)?
-            let beats = cand.score > root.score
-                || (cand.score == root.score && cand.index < root.index);
+            let beats =
+                cand.score > root.score || (cand.score == root.score && cand.index < root.index);
             if beats {
                 heap.pop();
                 heap.push(cand);
@@ -194,11 +189,7 @@ mod tests {
         let mut rng = SplitMix64::new(12);
         let scores: Vec<i64> = (0..300_000).map(|_| rng.below(1000) as i64 - 500).collect();
         for k in [1usize, 7, 64, 1000] {
-            assert_eq!(
-                top_k_indices(&scores, k),
-                top_k_indices_by_sort(&scores, k),
-                "k={k}"
-            );
+            assert_eq!(top_k_indices(&scores, k), top_k_indices_by_sort(&scores, k), "k={k}");
         }
     }
 

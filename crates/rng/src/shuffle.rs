@@ -48,6 +48,44 @@ pub fn sample_distinct_floyd<R: Rng64 + ?Sized>(n: usize, k: usize, rng: &mut R)
     out
 }
 
+/// Sample `k` distinct values from `{0, …, n−1}` into `out` (ascending),
+/// reusing its capacity — the allocation-free twin of
+/// [`sample_distinct_floyd`] for serving loops that draw one signal per
+/// job.
+///
+/// Same Floyd recursion, but membership is tracked by sorted insertion
+/// into `out` itself (binary search + `O(k)` shift) instead of a hash
+/// set: `O(k²)` worst case, which for the sparse supports this repo draws
+/// (`k = n^θ`, tens to hundreds) is faster than hashing and touches no
+/// heap after `out` has grown once.
+///
+/// Note: the *set* of sampled values is distributed identically to
+/// [`sample_distinct_floyd`], but for a given RNG stream the two draws
+/// differ (the hash-set variant resolves collisions in iteration order).
+///
+/// # Panics
+/// Panics if `k > n`.
+pub fn sample_distinct_floyd_into<R: Rng64 + ?Sized>(
+    n: usize,
+    k: usize,
+    rng: &mut R,
+    out: &mut Vec<usize>,
+) {
+    assert!(k <= n, "cannot sample {k} distinct values from a universe of {n}");
+    out.clear();
+    out.reserve(k);
+    for j in (n - k)..n {
+        let t = rng.below(j as u64 + 1) as usize;
+        match out.binary_search(&t) {
+            Err(pos) => out.insert(pos, t),
+            Ok(_) => {
+                let pos = out.binary_search(&j).expect_err("j exceeds every prior draw");
+                out.insert(pos, j);
+            }
+        }
+    }
+}
+
 /// Single-pass reservoir sample of `k` items from an iterator (Algorithm R).
 ///
 /// Returns fewer than `k` items if the iterator is shorter than `k`. Order of
@@ -152,6 +190,50 @@ mod tests {
             let p = h as f64 / trials as f64;
             assert!((p - 0.5).abs() < 0.02, "element {i} hit with p={p}");
         }
+    }
+
+    #[test]
+    fn floyd_into_returns_k_distinct_sorted_and_reuses_buffer() {
+        let mut rng = Mt19937_64::new(7);
+        let mut out = Vec::new();
+        for (n, k) in [(100, 10), (100, 100), (10, 0), (1, 1), (1_000_000, 50)] {
+            sample_distinct_floyd_into(n, k, &mut rng, &mut out);
+            assert_eq!(out.len(), k);
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+            assert!(out.iter().all(|&x| x < n));
+        }
+        // Repeated draws at a fixed shape never grow the buffer again.
+        sample_distinct_floyd_into(500, 20, &mut rng, &mut out);
+        let cap = out.capacity();
+        for _ in 0..50 {
+            sample_distinct_floyd_into(500, 20, &mut rng, &mut out);
+            assert_eq!(out.capacity(), cap);
+        }
+    }
+
+    #[test]
+    fn floyd_into_is_approximately_uniform() {
+        let mut rng = Mt19937_64::new(321);
+        let mut hits = [0u32; 10];
+        let mut out = Vec::new();
+        let trials = 20_000;
+        for _ in 0..trials {
+            sample_distinct_floyd_into(10, 5, &mut rng, &mut out);
+            for &x in &out {
+                hits[x] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let p = h as f64 / trials as f64;
+            assert!((p - 0.5).abs() < 0.02, "element {i} hit with p={p}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn floyd_into_rejects_oversized_k() {
+        let mut rng = SplitMix64::new(1);
+        sample_distinct_floyd_into(3, 4, &mut rng, &mut Vec::new());
     }
 
     #[test]

@@ -67,12 +67,8 @@ mod tests {
     #[test]
     fn reference_vector_seed_zero() {
         let mut rng = SplitMix64::new(0);
-        let expected: [u64; 4] = [
-            0xE220A8397B1DCDAF,
-            0x6E789E6AA1B965F4,
-            0x06C45D188009454F,
-            0xF88BB8A8724C81EC,
-        ];
+        let expected: [u64; 4] =
+            [0xE220A8397B1DCDAF, 0x6E789E6AA1B965F4, 0x06C45D188009454F, 0xF88BB8A8724C81EC];
         for (i, &want) in expected.iter().enumerate() {
             assert_eq!(rng.next_u64(), want, "output #{i}");
         }
@@ -115,10 +111,7 @@ mod tests {
             buckets[(rng.next_u64() >> 60) as usize] += 1;
         }
         for (i, &b) in buckets.iter().enumerate() {
-            assert!(
-                (60_000..65_000).contains(&b),
-                "bucket {i} holds {b} draws"
-            );
+            assert!((60_000..65_000).contains(&b), "bucket {i} holds {b} draws");
         }
     }
 }

@@ -27,10 +27,7 @@ where
     T: Send,
     F: Fn(usize, SeedSequence) -> T + Sync,
 {
-    (0..trials)
-        .into_par_iter()
-        .map(|t| trial_fn(t, master.child("trial", t as u64)))
-        .collect()
+    (0..trials).into_par_iter().map(|t| trial_fn(t, master.child("trial", t as u64))).collect()
 }
 
 /// Workspace variant of [`run_trials`]: each parallel worker builds one
@@ -206,8 +203,7 @@ mod tests {
     fn run_trials_with_matches_run_trials() {
         let master = SeedSequence::new(77);
         let stateless = run_trials(&master, 24, |t, seeds| (t, seeds.seed()));
-        let stateful =
-            run_trials_with(&master, 24, || 0u64, |t, seeds, _ws| (t, seeds.seed()));
+        let stateful = run_trials_with(&master, 24, || 0u64, |t, seeds, _ws| (t, seeds.seed()));
         assert_eq!(stateless, stateful);
     }
 

@@ -77,9 +77,7 @@ pub fn run_mn_sweep(cfg: &SweepConfig) -> Vec<SweepRow> {
 /// Evenly spaced `points` query counts from `lo` to `hi` inclusive.
 pub fn linear_grid(lo: usize, hi: usize, points: usize) -> Vec<usize> {
     assert!(points >= 2 && hi > lo, "need points ≥ 2 and hi > lo");
-    (0..points)
-        .map(|i| lo + (hi - lo) * i / (points - 1))
-        .collect()
+    (0..points).map(|i| lo + (hi - lo) * i / (points - 1)).collect()
 }
 
 #[cfg(test)]
@@ -101,13 +99,8 @@ mod tests {
         let n = 300;
         let k = k_of(n, 0.3);
         let m_hi = (1.8 * m_mn_finite(n, 0.3)).ceil() as usize;
-        let cfg = SweepConfig {
-            n,
-            k,
-            m_grid: vec![5, m_hi / 3, m_hi],
-            trials: 20,
-            master_seed: 1905,
-        };
+        let cfg =
+            SweepConfig { n, k, m_grid: vec![5, m_hi / 3, m_hi], trials: 20, master_seed: 1905 };
         let rows = run_mn_sweep(&cfg);
         assert_eq!(rows.len(), 3);
         // Monotone trend: the top of the grid beats the bottom.
@@ -123,13 +116,7 @@ mod tests {
 
     #[test]
     fn sweep_is_reproducible() {
-        let cfg = SweepConfig {
-            n: 200,
-            k: 4,
-            m_grid: vec![30, 60],
-            trials: 10,
-            master_seed: 7,
-        };
+        let cfg = SweepConfig { n: 200, k: 4, m_grid: vec![30, 60], trials: 10, master_seed: 7 };
         let a = run_mn_sweep(&cfg);
         let b = run_mn_sweep(&cfg);
         for (x, y) in a.iter().zip(&b) {

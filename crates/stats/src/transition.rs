@@ -60,7 +60,11 @@ fn probe(
 
 /// Minimal `m` for one trial by ramp + bisection. Returns `m_cap` when even
 /// the cap fails.
-fn minimal_m(cfg: &TransitionConfig, trial_node: &SeedSequence, ws: &mut MnTrialWorkspace) -> usize {
+fn minimal_m(
+    cfg: &TransitionConfig,
+    trial_node: &SeedSequence,
+    ws: &mut MnTrialWorkspace,
+) -> usize {
     let mut hi = cfg.m_start.max(2);
     // Exponential ramp until success (or cap).
     while !probe(cfg.n, cfg.k, hi, trial_node, ws) {
@@ -141,14 +145,8 @@ mod tests {
 
     #[test]
     fn deterministic_given_master_seed() {
-        let cfg = TransitionConfig {
-            n: 200,
-            k: 4,
-            trials: 6,
-            m_start: 8,
-            m_cap: 2000,
-            master_seed: 3,
-        };
+        let cfg =
+            TransitionConfig { n: 200, k: 4, trials: 6, m_start: 8, m_cap: 2000, master_seed: 3 };
         let a = find_transition(&cfg);
         let b = find_transition(&cfg);
         assert_eq!(a.per_trial, b.per_trial);
@@ -157,14 +155,8 @@ mod tests {
     #[test]
     fn cap_is_reported() {
         // Absurd cap of 2 queries for k=4 in n=200: every trial caps.
-        let cfg = TransitionConfig {
-            n: 200,
-            k: 4,
-            trials: 4,
-            m_start: 1,
-            m_cap: 2,
-            master_seed: 5,
-        };
+        let cfg =
+            TransitionConfig { n: 200, k: 4, trials: 4, m_start: 1, m_cap: 2, master_seed: 5 };
         let stats = find_transition(&cfg);
         assert_eq!(stats.capped, 4);
         assert!(stats.per_trial.iter().all(|&m| m == 2));

@@ -82,12 +82,9 @@ mod tests {
         for theta in [0.1, 0.2, 0.3, 0.4, 0.6, 0.8] {
             let d = d_min(theta) * 0.99;
             // Not just the balanced α — *no* α may work below d(θ).
-            let works = (1..100)
-                .map(|i| i as f64 / 100.0)
-                .any(|a| {
-                    one_entry_exponent(theta, a, d) < 0.0
-                        && zero_entry_exponent(theta, a, d) < 0.0
-                });
+            let works = (1..100).map(|i| i as f64 / 100.0).any(|a| {
+                one_entry_exponent(theta, a, d) < 0.0 && zero_entry_exponent(theta, a, d) < 0.0
+            });
             assert!(!works, "θ={theta}: separation should fail below d_min");
         }
     }

@@ -112,8 +112,7 @@ mod tests {
                 *state ^= *state >> 12;
                 *state ^= *state << 25;
                 *state ^= *state >> 27;
-                let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64
-                    / (1u64 << 53) as f64;
+                let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
                 if u < p {
                     count += 1;
                 }

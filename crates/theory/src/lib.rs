@@ -43,6 +43,4 @@ pub mod special;
 pub mod threshold_gt;
 pub mod thresholds;
 
-pub use thresholds::{
-    k_of, m_information_theoretic, m_mn, m_mn_finite, GAMMA_STAR,
-};
+pub use thresholds::{k_of, m_information_theoretic, m_mn, m_mn_finite, GAMMA_STAR};

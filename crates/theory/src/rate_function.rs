@@ -49,8 +49,7 @@ pub fn rate(n: usize, k: usize, m: f64, l: usize) -> f64 {
     let c = c_of_m(n, k, m);
     let (n_f, k_f, l_f) = (n as f64, k as f64, l as f64);
     let kn = k_f / n_f;
-    let entropy_terms =
-        kn * h(l_f / k_f) + (1.0 - kn) * h((k_f - l_f) / (n_f - k_f));
+    let entropy_terms = kn * h(l_f / k_f) + (1.0 - kn) * h((k_f - l_f) / (n_f - k_f));
     let penalty = c * kn * (n_f / k_f).ln() / (2.0 * k_f.ln())
         * (2.0 * std::f64::consts::PI * (1.0 - l_f / k_f) * k_f).ln();
     entropy_terms - penalty
@@ -168,8 +167,10 @@ mod tests {
         let theta = 0.5;
         let c_small = critical_c(10_000, k_of(10_000, theta));
         let c_large = critical_c(10_000_000_000, k_of(10_000_000_000, theta));
-        assert!((c_large - 2.0).abs() < (c_small - 2.0).abs() + 1e-9,
-            "c*(10^4)={c_small}, c*(10^10)={c_large}");
+        assert!(
+            (c_large - 2.0).abs() < (c_small - 2.0).abs() + 1e-9,
+            "c*(10^4)={c_small}, c*(10^10)={c_large}"
+        );
         assert!((0.8..4.0).contains(&c_small), "c_small={c_small}");
         assert!((1.2..3.0).contains(&c_large), "c_large={c_large}");
     }

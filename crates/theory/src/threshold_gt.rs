@@ -165,9 +165,7 @@ mod tests {
     /// Exact tail by direct summation in log space (small n only).
     fn naive_tail(n: u64, p: f64, t: u64) -> f64 {
         (t..=n)
-            .map(|j| {
-                (ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp()
-            })
+            .map(|j| (ln_choose(n, j) + j as f64 * p.ln() + (n - j) as f64 * (1.0 - p).ln()).exp())
             .sum()
     }
 
@@ -178,10 +176,7 @@ mod tests {
                 for t in [0u64, 1, n / 2, n] {
                     let got = binomial_tail_geq(n, p, t);
                     let want = naive_tail(n, p, t).min(1.0);
-                    assert!(
-                        (got - want).abs() < 1e-10,
-                        "n={n} p={p} t={t}: {got} vs {want}"
-                    );
+                    assert!((got - want).abs() < 1e-10, "n={n} p={p} t={t}: {got} vs {want}");
                 }
             }
         }
@@ -256,10 +251,7 @@ mod tests {
         // Closed form for T=1: maximize Γ·q^{2(Γ−1)} ⇒ Γ* ≈ −1/(2 ln q).
         let q = 1.0 - k as f64 / (n as f64 - 1.0);
         let closed = -1.0 / (2.0 * q.ln());
-        assert!(
-            ((g as f64) - closed).abs() / closed < 0.25,
-            "Γ*={g} vs closed-form {closed}"
-        );
+        assert!(((g as f64) - closed).abs() / closed < 0.25, "Γ*={g} vs closed-form {closed}");
         assert!(s > 0.3, "separation {s} too small at the optimum");
     }
 

@@ -139,8 +139,7 @@ mod tests {
     fn one_entries_outscore_zero_entries_on_average() {
         let (sigma, out) = run(600, 6, 2, 500, 7);
         let avg = |keep: &dyn Fn(usize) -> bool| {
-            let v: Vec<f64> =
-                (0..600).filter(|&i| keep(i)).map(|i| out.scores[i] as f64).collect();
+            let v: Vec<f64> = (0..600).filter(|&i| keep(i)).map(|i| out.scores[i] as f64).collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
         let one = avg(&|i| sigma.is_one(i));

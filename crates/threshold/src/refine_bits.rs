@@ -124,14 +124,7 @@ pub fn refine_bits(
 /// Exact change in disagreements if `i` leaves the support and `j` joins:
 /// loads change by −1 on `∂*x_i`, +1 on `∂*x_j` (distinct membership; a
 /// pool member counts once regardless of multi-edges).
-fn swap_delta(
-    design: &CsrDesign,
-    loads: &[u64],
-    bits: &[u8],
-    t: u64,
-    i: usize,
-    j: usize,
-) -> i64 {
+fn swap_delta(design: &CsrDesign, loads: &[u64], bits: &[u8], t: u64, i: usize, j: usize) -> i64 {
     let (qi, _) = design.entry_row(i);
     let (qj, _) = design.entry_row(j);
     let eval = |q: u32, load_delta: i64| -> i64 {
@@ -180,13 +173,7 @@ mod tests {
     use pooled_rng::SeedSequence;
     use pooled_theory::threshold_gt::recommended_gamma;
 
-    fn setup(
-        n: usize,
-        k: usize,
-        t: u64,
-        m: usize,
-        seed: u64,
-    ) -> (Signal, CsrDesign, Vec<u8>) {
+    fn setup(n: usize, k: usize, t: u64, m: usize, seed: u64) -> (Signal, CsrDesign, Vec<u8>) {
         let seeds = SeedSequence::new(seed);
         let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
         let (gamma, _) = recommended_gamma(n, k, t);
@@ -227,8 +214,7 @@ mod tests {
         for seed in 10..16 {
             let (_, design, bits) = setup(600, 8, 2, 120, seed);
             let out = ThresholdMnDecoder::new(8).decode(&design, &bits);
-            let r =
-                refine_bits(&design, &bits, 2, &out.scores, &out.estimate, &Default::default());
+            let r = refine_bits(&design, &bits, 2, &out.scores, &out.estimate, &Default::default());
             assert!(r.final_disagreements <= r.initial_disagreements, "seed {seed}");
         }
     }
@@ -240,15 +226,11 @@ mod tests {
         for seed in 20..40 {
             let (sigma, design, bits) = setup(n, k, t, m, seed);
             let out = ThresholdMnDecoder::new(k).decode(&design, &bits);
-            let r =
-                refine_bits(&design, &bits, t, &out.scores, &out.estimate, &Default::default());
+            let r = refine_bits(&design, &bits, t, &out.scores, &out.estimate, &Default::default());
             plain_ok += (out.estimate == sigma) as u32;
             refined_ok += (r.estimate == sigma) as u32;
         }
-        assert!(
-            refined_ok >= plain_ok,
-            "refined {refined_ok}/20 below plain {plain_ok}/20"
-        );
+        assert!(refined_ok >= plain_ok, "refined {refined_ok}/20 below plain {plain_ok}/20");
     }
 
     #[test]
@@ -268,8 +250,7 @@ mod tests {
         for seed in 60..66 {
             let (_, design, bits) = setup(500, 6, 2, 260, seed);
             let out = ThresholdMnDecoder::new(6).decode(&design, &bits);
-            let r =
-                refine_bits(&design, &bits, 2, &out.scores, &out.estimate, &Default::default());
+            let r = refine_bits(&design, &bits, 2, &out.scores, &out.estimate, &Default::default());
             let rep = consistency_report(&design, &bits, &r.estimate, 2);
             assert_eq!(r.consistent, rep.is_consistent(), "seed {seed}");
             assert_eq!(

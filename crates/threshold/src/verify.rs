@@ -49,8 +49,7 @@ pub fn consistency_report<D: PoolingDesign + ?Sized>(
 ) -> ConsistencyReport {
     assert_eq!(bits.len(), design.m(), "bit vector length must equal m");
     let implied = pool_loads(design, estimate);
-    let mut report =
-        ConsistencyReport { agreements: 0, missed_positives: 0, false_positives: 0 };
+    let mut report = ConsistencyReport { agreements: 0, missed_positives: 0, false_positives: 0 };
     for (&observed, load) in bits.iter().zip(implied) {
         let implied_bit = u8::from(load >= t);
         match (observed, implied_bit) {
@@ -87,7 +86,7 @@ mod tests {
         let d = CsrDesign::from_pools(6, &[vec![0, 1], vec![2, 3], vec![4, 5]]);
         let sigma = Signal::from_support(6, vec![0, 1]);
         let bits = ThresholdChannel::new(1).execute(&d, &sigma); // (1,0,0)
-        // Estimate puts the ones in pool 1 instead of pool 0.
+                                                                 // Estimate puts the ones in pool 1 instead of pool 0.
         let wrong = Signal::from_support(6, vec![2, 3]);
         let rep = consistency_report(&d, &bits, &wrong, 1);
         assert_eq!(rep.missed_positives, 1); // pool 0 observed 1, implied 0

@@ -250,7 +250,8 @@ fn run_benchmark<F>(
     let iters = b.iters_per_sample;
 
     // Measured samples.
-    let mut b = Bencher { iters_per_sample: iters, samples: Vec::new(), mode: BencherMode::Measure };
+    let mut b =
+        Bencher { iters_per_sample: iters, samples: Vec::new(), mode: BencherMode::Measure };
     for _ in 0..sample_size {
         f(&mut b);
     }
@@ -259,14 +260,10 @@ fn run_benchmark<F>(
     let low = sorted.first().copied().unwrap_or(0.0);
     let high = sorted.last().copied().unwrap_or(0.0);
     let median = if sorted.is_empty() { 0.0 } else { sorted[sorted.len() / 2] };
-    let mean = if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
+    let mean =
+        if sorted.is_empty() { 0.0 } else { sorted.iter().sum::<f64>() / sorted.len() as f64 };
 
-    println!(
-        "{id:<50} time: [{} {} {}]",
-        format_time(low),
-        format_time(median),
-        format_time(high)
-    );
+    println!("{id:<50} time: [{} {} {}]", format_time(low), format_time(median), format_time(high));
 
     if let Ok(path) = std::env::var("BENCH_JSON") {
         use std::io::Write;

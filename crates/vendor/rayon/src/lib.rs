@@ -786,7 +786,10 @@ impl<'a, T: Send> ParallelIterator for ChunksMutIter<'a, T> {
     fn split_at(self, index: usize) -> (Self, Self) {
         let mid = (index * self.chunk).min(self.slice.len());
         let (a, b) = self.slice.split_at_mut(mid);
-        (ChunksMutIter { slice: a, chunk: self.chunk }, ChunksMutIter { slice: b, chunk: self.chunk })
+        (
+            ChunksMutIter { slice: a, chunk: self.chunk },
+            ChunksMutIter { slice: b, chunk: self.chunk },
+        )
     }
 
     fn drive_seq(self, sink: &mut impl FnMut(&'a mut [T])) {

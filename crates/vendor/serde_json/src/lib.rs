@@ -37,9 +37,7 @@ impl PartialEq for Number {
             (Number::I(a), Number::I(b)) => a == b,
             (Number::F(a), Number::F(b)) => a == b,
             // Cross-variant: compare numerically (parsing may change variant).
-            (Number::U(a), Number::I(b)) | (Number::I(b), Number::U(a)) => {
-                b >= 0 && a == b as u64
-            }
+            (Number::U(a), Number::I(b)) | (Number::I(b), Number::U(a)) => b >= 0 && a == b as u64,
             (a, b) => a.as_f64() == b.as_f64(),
         }
     }
@@ -66,9 +64,7 @@ impl Value {
     /// Member lookup on objects.
     pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
-            Value::Object(members) => {
-                members.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-            }
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -554,12 +550,11 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 > self.bytes.len() {
                                 return self.err("truncated \\u escape");
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| Error {
-                                        message: "invalid \\u escape".into(),
-                                        offset: self.pos,
-                                    })?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error {
+                                    message: "invalid \\u escape".into(),
+                                    offset: self.pos,
+                                })?;
                             let code = u32::from_str_radix(hex, 16).map_err(|_| Error {
                                 message: "invalid \\u escape".into(),
                                 offset: self.pos,

@@ -29,8 +29,7 @@ fn main() {
 
     // Prevalence grows sub-linearly: θ ramps 0.20 → 0.45 over six weeks.
     let weeks: Vec<f64> = (0..6).map(|w| 0.20 + 0.05 * w as f64).collect();
-    let header =
-        ["week", "true k", "measured k", "m (tests)", "exact", "overlap", "certified"];
+    let header = ["week", "true k", "measured k", "m (tests)", "exact", "overlap", "certified"];
     let mut rows = Vec::new();
     let mut total_tests = 0usize;
 

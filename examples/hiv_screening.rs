@@ -35,9 +35,8 @@ fn main() {
     let mut rows = Vec::new();
     for factor in [0.8, 1.0, 1.2, 1.5] {
         let m = (factor * thresholds::m_mn_finite(n, theta)).ceil() as usize;
-        let outs = run_trials(&seeds.child("m", m as u64), trials, |_, node| {
-            mn_trial(n, k, m, &node)
-        });
+        let outs =
+            run_trials(&seeds.child("m", m as u64), trials, |_, node| mn_trial(n, k, m, &node));
         let success = outs.iter().filter(|o| o.exact).count() as f64 / trials as f64;
         let overlap = outs.iter().map(|o| o.overlap).sum::<f64>() / trials as f64;
         rows.push(vec![

@@ -43,11 +43,9 @@ fn main() {
     let individual_ms = makespan_fixed_latency(&[n], batch, tau);
 
     // Strategy B: one-round pooled design + MN.
-    let pooled_outs = run_trials(&seeds.child("mn", 0), trials, |_, node| {
-        mn_trial(n, k, m_pooled, &node)
-    });
-    let pooled_success =
-        pooled_outs.iter().filter(|o| o.exact).count() as f64 / trials as f64;
+    let pooled_outs =
+        run_trials(&seeds.child("mn", 0), trials, |_, node| mn_trial(n, k, m_pooled, &node));
+    let pooled_success = pooled_outs.iter().filter(|o| o.exact).count() as f64 / trials as f64;
     let pooled_ms = makespan_fixed_latency(&[m_pooled], batch, tau);
 
     // Strategy C: counting Dorfman (2 rounds, adaptive).
@@ -57,13 +55,10 @@ fn main() {
         let res = counting_dorfman(&mut oracle, g_star);
         (res.estimate == sigma, res.queries, res.per_round)
     });
-    let dorfman_queries =
-        dorfman_outs.iter().map(|o| o.1 as f64).sum::<f64>() / trials as f64;
-    let dorfman_ms = dorfman_outs
-        .iter()
-        .map(|o| makespan_fixed_latency(&o.2, batch, tau))
-        .sum::<f64>()
-        / trials as f64;
+    let dorfman_queries = dorfman_outs.iter().map(|o| o.1 as f64).sum::<f64>() / trials as f64;
+    let dorfman_ms =
+        dorfman_outs.iter().map(|o| makespan_fixed_latency(&o.2, batch, tau)).sum::<f64>()
+            / trials as f64;
 
     let header = ["strategy", "forward passes", "rounds", "wall-clock (ms)", "exact"];
     let rows = vec![

@@ -30,11 +30,7 @@ fn main() {
         let rows: Vec<Vec<String>> = curve
             .iter()
             .map(|p| {
-                vec![
-                    p.rounds.to_string(),
-                    p.queries.to_string(),
-                    format!("{:.1}", p.makespan),
-                ]
+                vec![p.rounds.to_string(), p.queries.to_string(), format!("{:.1}", p.makespan)]
             })
             .collect();
         println!("L = {units} robots:");

@@ -30,8 +30,7 @@ fn main() {
     let trials = 20;
     println!("threshold screening: n = {n} specimens, k = {k} positives\n");
 
-    let header =
-        ["T", "pool size Γ*", "m (tests)", "success", "mean overlap", "consistent"];
+    let header = ["T", "pool size Γ*", "m (tests)", "success", "mean overlap", "consistent"];
     let mut rows = Vec::new();
     for t in [1u64, 2, 4] {
         let (gamma, _) = recommended_gamma(n, k, t);
@@ -41,8 +40,7 @@ fn main() {
             let design = recommended_design(n, k, t, m, &node.child("design", 0));
             let bits = ThresholdChannel::new(t).execute(&design, &sigma);
             let out = ThresholdMnDecoder::new(k).decode(&design, &bits);
-            let consistent =
-                consistency_report(&design, &bits, &out.estimate, t).is_consistent();
+            let consistent = consistency_report(&design, &bits, &out.estimate, t).is_consistent();
             let overlap = out.estimate.overlap(&sigma) as f64 / k as f64;
             (out.estimate == sigma, overlap, consistent)
         });

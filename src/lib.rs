@@ -17,6 +17,9 @@
 //! * [`adaptive`] — partially-parallel strategies (§VI open problem):
 //!   quantitative bisection, counting Dorfman, the two-round hybrid, and
 //!   the rounds/queries/makespan trade-off.
+//! * [`engine`] — the serving layer: a sharded, batched reconstruction
+//!   engine with a design cache, worker shards over the allocation-free
+//!   decode workspace, backpressure and telemetry.
 //!
 //! ```
 //! use pooled_data::prelude::*;
@@ -36,6 +39,7 @@ pub use pooled_adaptive as adaptive;
 pub use pooled_baselines as baselines;
 pub use pooled_core as core;
 pub use pooled_design as design;
+pub use pooled_engine as engine;
 pub use pooled_io as io;
 pub use pooled_lab as lab;
 pub use pooled_linalg as linalg;

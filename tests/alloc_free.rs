@@ -41,6 +41,9 @@ use pooled_data::core::mn::MnDecoder;
 use pooled_data::core::query::execute_queries;
 use pooled_data::core::workspace::MnWorkspace;
 use pooled_data::design::csr::CsrDesign;
+use pooled_data::engine::engine::{Engine, EngineConfig};
+use pooled_data::engine::job::DecoderKind;
+use pooled_data::engine::traffic::LoadProfile;
 use pooled_data::par::pool::pool_with_threads;
 use pooled_data::prelude::*;
 
@@ -93,6 +96,60 @@ fn workspace_decode_is_allocation_free_after_warmup() {
         );
         assert_eq!(ws.estimate_dense(), reference.estimate.dense());
     });
+}
+
+#[test]
+fn engine_steady_state_serving_is_allocation_free_after_warmup() {
+    // The full serving path — submission queue, design-cache hit, signal
+    // draw, query execution, workspace decode, telemetry, completion
+    // queue, batch drain — performs zero heap allocations per job once
+    // every worker has warmed its scratch to the traffic's shape. This is
+    // the engine's core scaling contract: steady-state throughput cannot
+    // degrade from allocator pressure.
+    let profile = LoadProfile {
+        distinct_designs: 1,
+        decoders: vec![DecoderKind::Mn, DecoderKind::GeneralMn],
+        query_cost: None,
+        ..LoadProfile::default_mix(2000, 9, 300, 77)
+    };
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 32,
+        results_capacity: 32,
+        design_cache_capacity: 4,
+    });
+    let specs = profile.specs(24);
+    let mut results = Vec::with_capacity(256);
+
+    // Warm-up: several passes so *both* workers have served both decoder
+    // kinds at this shape (work stealing is nondeterministic, so one pass
+    // is not a guarantee) and every queue/scratch buffer has grown.
+    for _ in 0..6 {
+        results.clear();
+        engine.run_batch(&specs, &mut results);
+    }
+    let reference: Vec<(u64, u64)> = results.iter().map(|r| (r.id, r.fingerprint())).collect();
+
+    results.clear();
+    let before = allocation_count();
+    for _ in 0..4 {
+        engine.run_batch(&specs, &mut results);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state engine serving allocated {} times across {} jobs",
+        after - before,
+        4 * specs.len()
+    );
+
+    // And the served results are still correct and deterministic.
+    for pass in results.chunks(specs.len()) {
+        let got: Vec<(u64, u64)> = pass.iter().map(|r| (r.id, r.fingerprint())).collect();
+        assert_eq!(got, reference);
+    }
+    engine.shutdown();
 }
 
 #[test]

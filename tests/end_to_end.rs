@@ -28,10 +28,20 @@ fn pipeline_equivalence_csr_vs_streaming_and_all_decode_paths() {
     let k = 9;
     let m = 420;
     let sigma = Signal::random(n, k, &mut seeds.child("signal", 0).rng());
-    let csr =
-        RandomRegularDesign::sample_with(n, m, n / 2, &seeds.child("design", 0), StorageMode::Materialized);
-    let stream =
-        RandomRegularDesign::sample_with(n, m, n / 2, &seeds.child("design", 0), StorageMode::Streaming);
+    let csr = RandomRegularDesign::sample_with(
+        n,
+        m,
+        n / 2,
+        &seeds.child("design", 0),
+        StorageMode::Materialized,
+    );
+    let stream = RandomRegularDesign::sample_with(
+        n,
+        m,
+        n / 2,
+        &seeds.child("design", 0),
+        StorageMode::Streaming,
+    );
     let y1 = execute_queries(&csr, &sigma);
     let y2 = execute_queries(&stream, &sigma);
     assert_eq!(y1, y2, "storage modes must produce identical observations");
@@ -65,8 +75,10 @@ fn overlap_grows_monotonically_with_m_on_average() {
         means.push(outs.iter().map(|o| o.overlap).sum::<f64>() / 10.0);
     }
     assert!(means[3] > means[0] + 0.3, "no learning curve: {means:?}");
-    assert!(means.windows(2).filter(|w| w[1] + 0.10 < w[0]).count() == 0,
-        "overlap regressed sharply along m: {means:?}");
+    assert!(
+        means.windows(2).filter(|w| w[1] + 0.10 < w[0]).count() == 0,
+        "overlap regressed sharply along m: {means:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,123 @@
+//! The engine's determinism contract, property-tested: a traffic mix
+//! served by 1 worker and by `L` workers produces **bit-identical**
+//! [`JobResult`] fingerprints for the same seeds — placement, scheduling,
+//! queue sizing and cache temperature must all be invisible in results.
+//!
+//! Style follows `tests/proptest_kernels.rs`: randomized shapes, exact
+//! equality everywhere (digests are `u64`s; no tolerances).
+
+use proptest::prelude::*;
+
+use pooled_data::design::factory::DesignKind;
+use pooled_data::engine::engine::{Engine, EngineConfig};
+use pooled_data::engine::job::{DecoderKind, JobResult};
+use pooled_data::engine::traffic::LoadProfile;
+
+/// Serve `specs`-worth of the profile on a fresh engine and return the
+/// results (sorted by id — `run_batch` guarantees it).
+fn serve(profile: &LoadProfile, jobs: usize, workers: usize, queue: usize) -> Vec<JobResult> {
+    let engine = Engine::start(EngineConfig {
+        workers,
+        queue_capacity: queue,
+        results_capacity: queue,
+        design_cache_capacity: 4,
+    });
+    let mut out = Vec::new();
+    engine.run_batch(&profile.specs(jobs), &mut out);
+    engine.shutdown();
+    out
+}
+
+/// The deterministic projection of a result list.
+fn fingerprints(results: &[JobResult]) -> Vec<(u64, u64)> {
+    results.iter().map(|r| (r.id, r.fingerprint())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// 1 worker vs L workers: bit-identical results for every decoder mix
+    /// and design family, under deliberately tight queues (backpressure
+    /// reordering must not leak into results either).
+    #[test]
+    fn one_worker_and_l_workers_agree(
+        seed in any::<u64>(),
+        workers in 2usize..5,
+        queue in 1usize..8,
+        n in 150usize..400,
+        design_idx in 0usize..4,
+        jobs in 10usize..40,
+    ) {
+        let k = 4 + (seed % 4) as usize;
+        let profile = LoadProfile {
+            design_kind: DesignKind::ALL[design_idx],
+            distinct_designs: 3,
+            decoders: vec![
+                DecoderKind::Mn,
+                DecoderKind::GeneralMn,
+                DecoderKind::ThresholdMn,
+                DecoderKind::PsiOnly,
+            ],
+            query_cost: None,
+            ..LoadProfile::default_mix(n, k, n / 2, seed)
+        };
+        let serial = serve(&profile, jobs, 1, queue);
+        let sharded = serve(&profile, jobs, workers, queue);
+        prop_assert_eq!(serial.len(), jobs);
+        prop_assert_eq!(fingerprints(&serial), fingerprints(&sharded));
+    }
+
+    /// Cache temperature is invisible: replaying the same batch on the
+    /// same (now warm) engine reproduces the cold-pass results exactly.
+    #[test]
+    fn warm_cache_replay_is_bit_identical(
+        seed in any::<u64>(),
+        workers in 1usize..4,
+        jobs in 8usize..24,
+    ) {
+        let profile = LoadProfile {
+            distinct_designs: 2,
+            decoders: vec![DecoderKind::Mn, DecoderKind::GeneralMn],
+            query_cost: None,
+            ..LoadProfile::default_mix(250, 5, 120, seed)
+        };
+        let engine = Engine::start(EngineConfig {
+            workers,
+            queue_capacity: 8,
+            results_capacity: 8,
+            design_cache_capacity: 2,
+        });
+        let specs = profile.specs(jobs);
+        let mut cold = Vec::new();
+        engine.run_batch(&specs, &mut cold);
+        let mut warm = Vec::new();
+        engine.run_batch(&specs, &mut warm);
+        let stats = engine.shutdown();
+        prop_assert_eq!(fingerprints(&cold), fingerprints(&warm));
+        // The second pass must have been served from cache: at most one
+        // cold sample per design key per racing worker.
+        prop_assert!(stats.cache_misses <= 2 * workers as u64);
+    }
+}
+
+/// Deterministic spot check with the exact acceptance-shaped mix (all six
+/// registry decoders on a small instance, including the dense OMP
+/// baseline) — slower than the proptest shapes, so one fixed case.
+#[test]
+fn full_registry_mix_is_worker_count_invariant() {
+    let profile = LoadProfile {
+        distinct_designs: 2,
+        decoders: DecoderKind::ALL.to_vec(),
+        query_cost: None,
+        ..LoadProfile::default_mix(120, 4, 80, 1905)
+    };
+    let a = serve(&profile, 18, 1, 4);
+    let b = serve(&profile, 18, 3, 4);
+    let c = serve(&profile, 18, 2, 2);
+    assert_eq!(fingerprints(&a), fingerprints(&b));
+    assert_eq!(fingerprints(&a), fingerprints(&c));
+    // Every decoder actually ran.
+    for kind in DecoderKind::ALL {
+        assert!(a.iter().any(|r| r.decoder == kind), "{} never served", kind.name());
+    }
+}

@@ -12,7 +12,7 @@ fn success_count<F>(trials: u64, base_seed: u64, mut trial: F) -> u32
 where
     F: FnMut(SeedSequence) -> bool,
 {
-    (0..trials).filter(|&t| trial(SeedSequence::new(base_seed + t))) .count() as u32
+    (0..trials).filter(|&t| trial(SeedSequence::new(base_seed + t))).count() as u32
 }
 
 /// EXT-GAMMA headline: at fixed sub-threshold m the paper's Γ = n/2 beats
@@ -74,10 +74,7 @@ fn design_family_ordering() {
     let regular = run(DesignKind::RandomRegular, 62_000);
     let entry_regular = run(DesignKind::EntryRegular, 62_000);
     // Allow 2 trials of noise on each comparison.
-    assert!(
-        no_replace + 2 >= regular,
-        "no_replace {no_replace} vs random_regular {regular}"
-    );
+    assert!(no_replace + 2 >= regular, "no_replace {no_replace} vs random_regular {regular}");
     assert!(
         regular + 2 >= entry_regular,
         "random_regular {regular} vs entry_regular {entry_regular}"

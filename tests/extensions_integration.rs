@@ -141,8 +141,7 @@ fn additive_channel_dominates_threshold_channel() {
         add_ok += (MnDecoder::new(k).decode(&add_design, &y).estimate == sigma) as u32;
         let thr_design = recommended_design(n, k, t, m, &seeds.child("thr", 0));
         let bits = ThresholdChannel::new(t).execute(&thr_design, &sigma);
-        thr_ok += (ThresholdMnDecoder::new(k).decode(&thr_design, &bits).estimate == sigma)
-            as u32;
+        thr_ok += (ThresholdMnDecoder::new(k).decode(&thr_design, &bits).estimate == sigma) as u32;
     }
     assert!(add_ok >= thr_ok, "additive {add_ok}/6 vs threshold {thr_ok}/6");
     assert_eq!(add_ok, 6, "m=420 should be comfortable for the additive channel");

@@ -114,8 +114,7 @@ fn overestimated_k_still_captures_support() {
         let (sigma, design, y) = setup(1000, 8, 600, 6 + seed);
         let out = MnDecoder::new(16).decode(&design, &y); // k′ = 2k
         assert_eq!(out.estimate.weight(), 16);
-        let captured =
-            sigma.support().iter().filter(|&&i| out.estimate.is_one(i)).count();
+        let captured = sigma.support().iter().filter(|&&i| out.estimate.is_one(i)).count();
         worst = worst.min(captured);
     }
     assert!(worst >= 7, "a top-2k list lost {} true ones", 8 - worst);

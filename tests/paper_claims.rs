@@ -43,10 +43,7 @@ fn fig3_phase_transition_location() {
     let cfg = SweepConfig {
         n,
         k,
-        m_grid: vec![
-            (0.3 * m_theory) as usize,
-            (1.6 * m_theory) as usize,
-        ],
+        m_grid: vec![(0.3 * m_theory) as usize, (1.6 * m_theory) as usize],
         trials: 30,
         master_seed: 1905,
     };
@@ -75,11 +72,7 @@ fn fig2_transition_tracks_theory() {
         let stats = find_transition(&cfg);
         assert_eq!(stats.capped, 0, "n={n}: trials capped");
         let ratio = stats.mean / theory;
-        assert!(
-            (0.2..1.6).contains(&ratio),
-            "n={n}: transition {} vs theory {theory}",
-            stats.mean
-        );
+        assert!((0.2..1.6).contains(&ratio), "n={n}: transition {} vs theory {theory}", stats.mean);
         assert!(stats.mean > last_mean, "m* should grow with n");
         last_mean = stats.mean;
     }
