@@ -1,0 +1,97 @@
+//! Per-job fused decode vs the design-major batched kernel.
+//!
+//! `per_job_fused/B{B}` runs `B` independent jobs through the single-job
+//! fused kernel (`decode_sums_fused`) — `B` traversals of the design's
+//! CSR index arrays. `batched/B{B}` serves the same `B` jobs through
+//! `decode_sums_fused_batch` — one traversal with lane-major planes and a
+//! shared Δ*. Same design, same signals, bit-identical outputs; the
+//! difference is pure index-stream amortization, which is what the
+//! engine's design-affinity batcher and the batched Monte-Carlo executor
+//! buy per batch. `finish/B{B}` adds the per-lane selection tail
+//! (`decode_batch_with` semantics) so the end-to-end decode is covered.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use pooled_core::batch::BatchWorkspace;
+use pooled_core::mn::MnDecoder;
+use pooled_core::signal::Signal;
+use pooled_design::batched::decode_sums_fused_batch;
+use pooled_design::csr::CsrDesign;
+use pooled_design::fused::{decode_sums_fused, FusedArena};
+use pooled_rng::SeedSequence;
+
+const BATCHES: [usize; 4] = [1, 4, 16, 64];
+
+fn lane_signals(n: usize, k: usize, lanes: usize, seeds: &SeedSequence) -> Vec<u8> {
+    let mut xs = vec![0u8; lanes * n];
+    for b in 0..lanes {
+        let sigma = Signal::random(n, k, &mut seeds.child("signal", b as u64).rng());
+        xs[b * n..(b + 1) * n].copy_from_slice(sigma.dense());
+    }
+    xs
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched_decode");
+    group.sample_size(12);
+    // The engine_load shape (n=1000, Γ=n/2) — the serving hot path.
+    let (n, m, k) = (1000usize, 334usize, 8usize);
+    let seeds = SeedSequence::new(1905);
+    let design = CsrDesign::sample(n, m, n / 2, &seeds.child("design", 0));
+    // One worker, like an engine shard: the kernels are sequential and
+    // the comparison is pure memory traffic, not parallel fan-out.
+    let pool = pooled_par::pool::pool_with_threads(1);
+    pool.install(|| {
+        for &lanes in &BATCHES {
+            let xs = lane_signals(n, k, lanes, &seeds);
+            let xs_u64: Vec<u64> = xs.iter().map(|&v| v as u64).collect();
+
+            let mut arena = FusedArena::new();
+            let (mut y, mut psi, mut dstar) = (vec![0u64; m], vec![0u64; n], vec![0u64; n]);
+            group.bench_function(format!("per_job_fused/B{lanes}"), |b| {
+                b.iter(|| {
+                    for lane in 0..lanes {
+                        decode_sums_fused(
+                            &design,
+                            &xs_u64[lane * n..(lane + 1) * n],
+                            &mut y,
+                            &mut psi,
+                            &mut dstar,
+                            &mut arena,
+                        );
+                    }
+                    black_box(psi.first().copied())
+                });
+            });
+
+            let (mut ys, mut psis, mut dstar_b) =
+                (vec![0u64; lanes * m], vec![0u64; lanes * n], vec![0u64; n]);
+            group.bench_function(format!("batched/B{lanes}"), |b| {
+                b.iter(|| {
+                    decode_sums_fused_batch(&design, &xs, lanes, &mut ys, &mut psis, &mut dstar_b);
+                    black_box(psis.first().copied())
+                });
+            });
+
+            // End-to-end batched decode including the per-lane finish.
+            let decoder = MnDecoder::new(k);
+            let mut bw = BatchWorkspace::new();
+            decode_sums_fused_batch(&design, &xs, lanes, &mut ys, &mut psis, &mut dstar_b);
+            let ys_known = ys.clone();
+            group.bench_function(format!("finish/B{lanes}"), |b| {
+                b.iter(|| {
+                    let mut picked = 0usize;
+                    decoder.decode_batch_with(&design, &ys_known, lanes, &mut bw, |_, ws| {
+                        picked += ws.support().len();
+                    });
+                    black_box(picked)
+                });
+            });
+        }
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched);
+criterion_main!(benches);

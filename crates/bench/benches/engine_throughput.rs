@@ -45,6 +45,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
             queue_capacity: 64,
             results_capacity: 64,
             design_cache_capacity: 8,
+            batch_window: 1,
         });
         let mut out = Vec::with_capacity(JOBS_PER_BATCH);
         engine.run_batch(&specs, &mut out); // warm the cache and scratch
@@ -66,6 +67,7 @@ fn bench_engine_throughput(c: &mut Criterion) {
             queue_capacity: 64,
             results_capacity: 64,
             design_cache_capacity: 2,
+            batch_window: 1,
         });
         group.bench_function(format!("cold/{JOBS_PER_BATCH}jobs_w{workers}"), |b| {
             b.iter(|| {

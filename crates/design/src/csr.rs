@@ -142,26 +142,10 @@ impl CsrDesign {
     }
 
     /// Gather-based Ψ/Δ* accumulation using the transpose (no atomics):
-    /// `psi[i] = Σ_{q ∋ i} w[q]`, `dstar[i] = |∂*x_i|`.
-    pub fn gather_distinct_u64(&self, w: &[u64]) -> (Vec<u64>, Vec<u64>) {
-        assert_eq!(w.len(), self.m, "weight vector length must equal m");
-        let mut psi = vec![0u64; self.n];
-        let mut dstar = vec![0u64; self.n];
-        psi.par_iter_mut().zip(dstar.par_iter_mut()).enumerate().for_each(|(i, (p, d))| {
-            let (qs, _) = self.entry_row(i);
-            let mut acc = 0u64;
-            for &q in qs {
-                acc += w[q as usize];
-            }
-            *p = acc;
-            *d = qs.len() as u64;
-        });
-        (psi, dstar)
-    }
-
-    /// Workspace variant of [`Self::gather_distinct_u64`]: writes into
-    /// caller-provided buffers, allocation-free (entry-parallel, no
-    /// atomics).
+    /// `psi[i] = Σ_{q ∋ i} w[q]`, `dstar[i] = |∂*x_i|`, written into
+    /// caller-provided buffers — allocation-free (entry-parallel). The
+    /// allocating variant this replaced is gone on purpose: no decode
+    /// path allocates per call.
     ///
     /// # Panics
     /// Panics if `w.len() != m` or the outputs are shorter than `n`.
@@ -339,7 +323,9 @@ mod tests {
     fn gather_matches_manual_sum() {
         let d = small_design();
         let w: Vec<u64> = (0..d.m() as u64).map(|q| q * q + 1).collect();
-        let (psi, dstar) = d.gather_distinct_u64(&w);
+        let mut psi = vec![0u64; d.n()];
+        let mut dstar = vec![0u64; d.n()];
+        d.gather_distinct_into(&w, &mut psi, &mut dstar);
         for i in 0..d.n() {
             let (qs, _) = d.entry_row(i);
             let want: u64 = qs.iter().map(|&q| w[q as usize]).sum();
@@ -353,7 +339,9 @@ mod tests {
         let d = CsrDesign::sample(10, 0, 5, &SeedSequence::new(1));
         assert_eq!(d.m(), 0);
         assert_eq!(d.nnz(), 0);
-        let (psi, dstar) = d.gather_distinct_u64(&[]);
+        let mut psi = vec![3u64; 10];
+        let mut dstar = vec![3u64; 10];
+        d.gather_distinct_into(&[], &mut psi, &mut dstar);
         assert!(psi.iter().all(|&x| x == 0));
         assert!(dstar.iter().all(|&x| x == 0));
     }

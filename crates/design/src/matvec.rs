@@ -12,8 +12,9 @@
 //! |---|---|---|---|---|---|
 //! | scatter (atomic) | [`scatter_distinct_u64`] | query-parallel | yes | 1 (+1 for `y`) | per call |
 //! | scatter (blocked) | [`crate::fused::scatter_distinct_into`] | query-parallel, privatized | no | 1 (+1 for `y`) | arena, reused |
-//! | gather | [`crate::csr::CsrDesign::gather_distinct_u64`] | entry-parallel over transpose | no | 1 (+1 for `y`) | per call (`_into` variant: none) |
+//! | gather | [`crate::csr::CsrDesign::gather_distinct_into`] | entry-parallel over transpose | no | 1 (+1 for `y`) | none |
 //! | fused | [`crate::fused::decode_sums_fused`] | query-parallel, privatized | no | **1 total** (`y`, Ψ, Δ*) | arena, reused |
+//! | batched | [`crate::batched::decode_sums_fused_batch`] | sequential per batch (callers parallelize across batches/shards) | no | **1 total for B jobs** | planes, reused |
 //!
 //! Trade-offs: atomic scatter works on *any* [`PoolingDesign`] (including
 //! streaming) with zero extra memory but serializes on hot slots; blocked
@@ -166,7 +167,9 @@ mod tests {
         let d = design();
         let w: Vec<u64> = (0..d.m() as u64).map(|q| 3 * q + 1).collect();
         let (psi_s, ds_s) = scatter_distinct_u64(&d, &w);
-        let (psi_g, ds_g) = d.gather_distinct_u64(&w);
+        let mut psi_g = vec![0u64; d.n()];
+        let mut ds_g = vec![0u64; d.n()];
+        d.gather_distinct_into(&w, &mut psi_g, &mut ds_g);
         assert_eq!(psi_s, psi_g);
         assert_eq!(ds_s, ds_g);
     }

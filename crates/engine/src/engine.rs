@@ -25,7 +25,7 @@ use rayon::ThreadPoolBuilder;
 use crate::cache::{DesignCache, DesignKey};
 use crate::job::{JobResult, JobSpec};
 use crate::queue::{BoundedQueue, TryPushError};
-use crate::worker::{process_job, WorkerScratch};
+use crate::worker::{batch_compatible, process_batch, process_job, WorkerScratch};
 
 /// Engine sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -39,12 +39,27 @@ pub struct EngineConfig {
     pub results_capacity: usize,
     /// Design cache capacity (distinct designs resident at once).
     pub design_cache_capacity: usize,
+    /// Design-affinity batch window: the longest run of same-design MN
+    /// jobs a worker may drain from the queue and serve with **one**
+    /// batched design traversal. `1` (the default) disables batching —
+    /// every job is served individually, exactly as before. Batching is
+    /// fingerprint-invisible; only throughput and timing change. The
+    /// window also bounds fairness: a worker never takes more than
+    /// `batch_window` queued jobs ahead of a non-matching job, and never
+    /// waits for a batch to fill.
+    pub batch_window: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-        Self { workers, queue_capacity: 256, results_capacity: 256, design_cache_capacity: 16 }
+        Self {
+            workers,
+            queue_capacity: 256,
+            results_capacity: 256,
+            design_cache_capacity: 16,
+            batch_window: 1,
+        }
     }
 }
 
@@ -52,6 +67,12 @@ impl EngineConfig {
     /// Default sizing with an explicit worker count.
     pub fn with_workers(workers: usize) -> Self {
         Self { workers, ..Self::default() }
+    }
+
+    /// This configuration with a design-affinity batch window.
+    pub fn with_batch_window(mut self, batch_window: usize) -> Self {
+        self.batch_window = batch_window;
+        self
     }
 }
 
@@ -126,6 +147,8 @@ struct Shared {
     cache: DesignCache,
     telemetry: Mutex<Telemetry>,
     active_workers: AtomicUsize,
+    /// Design-affinity batch window (≥ 1; 1 = per-job serving).
+    batch_window: usize,
     /// Serializes `run_batch` callers: a batch owns the completion stream
     /// while it runs (interleaved batches would steal each other's
     /// results).
@@ -164,6 +187,7 @@ impl Engine {
             cache: DesignCache::new(config.design_cache_capacity),
             telemetry: Mutex::new(Telemetry::new()),
             active_workers: AtomicUsize::new(config.workers),
+            batch_window: config.batch_window.max(1),
             batch_lock: Mutex::new(()),
         });
         let handles = (0..config.workers as u32)
@@ -361,16 +385,40 @@ fn worker_main(shared: &Shared, idx: u32) {
         .build()
         .expect("failed to build shard pool");
     pool.install(|| {
-        let mut scratch = WorkerScratch::new(idx);
-        while let Some(QueuedJob { spec, enqueued }) = shared.jobs.pop() {
-            let queue_micros = enqueued.elapsed().as_micros() as u64;
-            let design = shared.cache.get_or_sample(&DesignKey::of(&spec));
-            let mut result = process_job(&spec, &design, &mut scratch);
-            result.queue_micros = queue_micros;
-            result.total_micros += queue_micros;
-            shared.telemetry.lock().expect("telemetry poisoned").record(&result);
-            if shared.results.push(result).is_err() {
-                break; // results closed: shutdown discards the rest
+        let window = shared.batch_window;
+        let mut scratch = WorkerScratch::with_batch_window(idx, window);
+        // Run buffers, reused forever (capacity = the batch window).
+        let mut run: Vec<QueuedJob> = Vec::with_capacity(window);
+        let mut specs: Vec<crate::job::JobSpec> = Vec::with_capacity(window);
+        let mut served: Vec<JobResult> = Vec::with_capacity(window);
+        'serve: loop {
+            run.clear();
+            // Drain a run of batch-compatible jobs (always 1 when the
+            // window is 1 — the predicate is never consulted then).
+            if shared.jobs.pop_run(window, &mut run, |a, b| batch_compatible(&a.spec, &b.spec)) == 0
+            {
+                break;
+            }
+            // Queue waits end now — service time must not leak into them.
+            let popped = std::time::Instant::now();
+            // One cache access serves the whole run (design affinity).
+            let design = shared.cache.get_or_sample(&DesignKey::of(&run[0].spec));
+            served.clear();
+            if run.len() == 1 {
+                served.push(process_job(&run[0].spec, &design, &mut scratch));
+            } else {
+                specs.clear();
+                specs.extend(run.iter().map(|q| q.spec));
+                process_batch(&specs, &design, &mut scratch, &mut served);
+            }
+            for (queued, result) in run.iter().zip(&mut served) {
+                let queue_micros = popped.duration_since(queued.enqueued).as_micros() as u64;
+                result.queue_micros = queue_micros;
+                result.total_micros += queue_micros;
+                shared.telemetry.lock().expect("telemetry poisoned").record(result);
+                if shared.results.push(*result).is_err() {
+                    break 'serve; // results closed: shutdown discards the rest
+                }
             }
         }
     });
@@ -401,6 +449,7 @@ mod tests {
             queue_capacity: 4,
             results_capacity: 4,
             design_cache_capacity: 2,
+            batch_window: 1,
         });
         let specs: Vec<JobSpec> = (0..40).map(spec).collect();
         let mut out = Vec::new();
@@ -422,6 +471,7 @@ mod tests {
             queue_capacity: 1,
             results_capacity: 1,
             design_cache_capacity: 1,
+            batch_window: 1,
         });
         let specs: Vec<JobSpec> = (0..25).map(spec).collect();
         let mut out = Vec::new();
@@ -437,6 +487,7 @@ mod tests {
             queue_capacity: 32,
             results_capacity: 32,
             design_cache_capacity: 2,
+            batch_window: 1,
         });
         for id in 0..10 {
             engine.submit(spec(id)).unwrap();
@@ -474,6 +525,56 @@ mod tests {
     }
 
     #[test]
+    fn batch_window_is_fingerprint_invisible() {
+        // The same traffic served per-job, with a window of 4, and with a
+        // window larger than the queue must produce bit-identical result
+        // fingerprints — batching may only change timing and throughput.
+        let specs: Vec<JobSpec> = (0..30).map(spec).collect();
+        let mut want: Option<Vec<(u64, u64)>> = None;
+        for window in [1usize, 4, 64] {
+            let engine = Engine::start(EngineConfig {
+                workers: 2,
+                queue_capacity: 16,
+                results_capacity: 16,
+                design_cache_capacity: 2,
+                batch_window: window,
+            });
+            let mut out = Vec::new();
+            engine.run_batch(&specs, &mut out);
+            let stats = engine.shutdown();
+            assert_eq!(stats.jobs_completed, 30, "window {window}");
+            let got: Vec<(u64, u64)> = out.iter().map(|r| (r.id, r.fingerprint())).collect();
+            match &want {
+                None => want = Some(got),
+                Some(w) => assert_eq!(&got, w, "window {window} changed results"),
+            }
+        }
+    }
+
+    #[test]
+    fn batching_shares_one_cache_access_per_run() {
+        // With one hot design and a wide-open window, cache traffic drops
+        // to roughly one access per batch instead of one per job.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 32,
+            results_capacity: 32,
+            design_cache_capacity: 2,
+            batch_window: 8,
+        });
+        let specs: Vec<JobSpec> = (0..32).map(spec).collect();
+        let mut out = Vec::new();
+        engine.run_batch(&specs, &mut out);
+        assert_eq!(out.len(), 32);
+        let stats = engine.shutdown();
+        let accesses = stats.cache_hits + stats.cache_misses;
+        assert!(
+            accesses < 32,
+            "batching should amortize cache lookups: {accesses} accesses for 32 jobs"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Engine::start(EngineConfig {
@@ -481,6 +582,7 @@ mod tests {
             queue_capacity: 1,
             results_capacity: 1,
             design_cache_capacity: 1,
+            batch_window: 1,
         });
     }
 }

@@ -123,6 +123,59 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Blocking pop of a *run*: wait for one item, then — under the same
+    /// lock — keep taking items while the head is `compatible` with the
+    /// run's first item, up to `max` total. Appends the run to `out` and
+    /// returns its length (0 only once the queue is closed and drained).
+    ///
+    /// This is the design-affinity batcher's primitive: a worker drains a
+    /// run of same-design jobs in one lock acquisition without ever
+    /// waiting for more traffic (only items already queued can join a
+    /// run, so batching never adds latency), and without reordering — the
+    /// first incompatible item stays at the head for the next pop, which
+    /// bounds how long mixed traffic can sit behind a batch.
+    ///
+    /// # Panics
+    /// Panics if `max == 0`.
+    pub fn pop_run<F>(&self, max: usize, out: &mut Vec<T>, compatible: F) -> usize
+    where
+        F: Fn(&T, &T) -> bool,
+    {
+        assert!(max > 0, "a run needs room for at least one item");
+        let anchor = out.len();
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(first) = state.buf.pop_front() {
+                out.push(first);
+                let mut taken = 1;
+                while taken < max {
+                    match state.buf.front() {
+                        Some(next) if compatible(&out[anchor], next) => {
+                            let item = state.buf.pop_front().expect("front checked");
+                            out.push(item);
+                            taken += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                drop(state);
+                // A multi-item run frees several slots at once, so wake
+                // every blocked producer; a single pop (the batch_window=1
+                // hot path) wakes one, exactly like `pop`.
+                if taken > 1 {
+                    self.not_full.notify_all();
+                } else {
+                    self.not_full.notify_one();
+                }
+                return taken;
+            }
+            if state.closed {
+                return 0;
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<T> {
         let mut state = self.state.lock().expect("queue poisoned");
@@ -236,5 +289,57 @@ mod tests {
     #[should_panic(expected = "capacity at least 1")]
     fn zero_capacity_rejected() {
         let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn pop_run_drains_compatible_prefix_only() {
+        // Head run [2,4,6] is even; 5 breaks the run and stays queued.
+        let q = BoundedQueue::new(8);
+        for v in [2, 4, 6, 5, 8] {
+            q.try_push(v).unwrap();
+        }
+        let mut run = Vec::new();
+        let taken = q.pop_run(8, &mut run, |a: &i32, b: &i32| a % 2 == b % 2);
+        assert_eq!(taken, 3);
+        assert_eq!(run, vec![2, 4, 6]);
+        assert_eq!(q.len(), 2, "the incompatible head stays for the next pop");
+        run.clear();
+        assert_eq!(q.pop_run(8, &mut run, |a, b| a % 2 == b % 2), 1);
+        assert_eq!(run, vec![5]);
+    }
+
+    #[test]
+    fn pop_run_respects_the_window_bound() {
+        let q = BoundedQueue::new(8);
+        for v in 0..6 {
+            q.try_push(v).unwrap();
+        }
+        let mut run = Vec::new();
+        assert_eq!(q.pop_run(4, &mut run, |_, _| true), 4);
+        assert_eq!(run, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_run_returns_zero_after_close_and_drain() {
+        let q = BoundedQueue::<u8>::new(2);
+        q.try_push(9).unwrap();
+        q.close();
+        let mut run = Vec::new();
+        assert_eq!(q.pop_run(4, &mut run, |_, _| true), 1);
+        assert_eq!(q.pop_run(4, &mut run, |_, _| true), 0);
+        assert_eq!(run, vec![9]);
+    }
+
+    #[test]
+    fn pop_run_compares_against_the_run_anchor() {
+        // Monotone-step predicate: with last-item chaining [0,1,2,3] would
+        // all join; anchored on the first item only 0 and 1 may.
+        let q = BoundedQueue::new(8);
+        for v in 0..4 {
+            q.try_push(v).unwrap();
+        }
+        let mut run = Vec::new();
+        q.pop_run(8, &mut run, |first: &i32, next: &i32| next - first <= 1);
+        assert_eq!(run, vec![0, 1]);
     }
 }

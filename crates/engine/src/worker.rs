@@ -6,15 +6,27 @@
 //! additive queries, decode through the registry, and score against the
 //! truth. After warm-up at a stable job shape the MN paths perform zero
 //! heap allocations per job (pinned by `tests/alloc_free.rs`).
+//!
+//! [`process_batch`] is the design-affinity fast path: a run of MN jobs
+//! sharing one cached design is served by **one** traversal of the design
+//! (`pooled_design::batched::decode_sums_fused_batch`) — query execution
+//! and Ψ accumulation for every lane while each CSR row is in cache, one
+//! shared Δ*, and one overlapped query-latency sleep — instead of
+//! re-streaming the CSR index arrays once per job. Every lane's result is
+//! bit-identical to [`process_job`] on that spec alone.
 
 use std::time::Instant;
 
+use pooled_core::batch::BatchWorkspace;
+use pooled_core::mn::MnDecoder;
 use pooled_core::query::execute_queries_dense_into;
+use pooled_design::batched::decode_sums_fused_batch;
 use pooled_design::factory::AnyDesign;
+use pooled_design::PoolingDesign;
 use pooled_rng::shuffle::sample_distinct_floyd_into;
 use pooled_rng::SeedSequence;
 
-use crate::job::{JobResult, JobSpec};
+use crate::job::{DecoderKind, Digest, JobResult, JobSpec};
 use crate::registry::{decoder, DecodeScratch};
 
 /// All buffers a worker reuses across jobs.
@@ -29,17 +41,45 @@ pub struct WorkerScratch {
     y: Vec<u64>,
     /// Decoder scratch (MN workspace + threshold bits).
     decode: DecodeScratch,
+    /// Batched-path planes (lane-major truths/ys + the batch workspace).
+    batch: BatchScratch,
+}
+
+/// Reusable planes for [`process_batch`].
+#[derive(Default)]
+struct BatchScratch {
+    /// The widest run this worker may be handed (the engine's batch
+    /// window); planes are capacity-reserved for it on first use, so the
+    /// first maximal run after warm-up at a shape never allocates.
+    window: usize,
+    /// Hidden signals, lane-major `lanes × n` dense 0/1.
+    truths: Vec<u8>,
+    /// Query results, lane-major `lanes × m`.
+    ys: Vec<u64>,
+    /// Ψ lanes + shared Δ* + per-lane finish scratch.
+    bw: BatchWorkspace,
 }
 
 impl WorkerScratch {
     /// Empty scratch for shard `worker`; buffers grow on first use.
+    /// Equivalent to [`Self::with_batch_window`] at window 1.
     pub fn new(worker: u32) -> Self {
+        Self::with_batch_window(worker, 1)
+    }
+
+    /// Empty scratch for shard `worker` serving runs of up to
+    /// `batch_window` jobs: the batch planes reserve capacity for the
+    /// full window the first time a traffic shape is seen, so run-length
+    /// jitter (queue timing decides how many jobs a worker drains) can
+    /// never trigger a mid-serving allocation after warm-up.
+    pub fn with_batch_window(worker: u32, batch_window: usize) -> Self {
         Self {
             worker,
             support: Vec::new(),
             truth: Vec::new(),
             y: Vec::new(),
             decode: DecodeScratch::new(),
+            batch: BatchScratch { window: batch_window.max(1), ..BatchScratch::default() },
         }
     }
 
@@ -47,6 +87,17 @@ impl WorkerScratch {
     pub fn worker(&self) -> u32 {
         self.worker
     }
+}
+
+/// Whether `candidate` may join a batch anchored by `first`: both must
+/// request the classic MN decoder (the batched kernel's algorithm) and
+/// resolve to the same design key, so one traversal serves the run.
+/// `k` and the job seed may differ per lane — each lane finishes with its
+/// own decoder weight against its own hidden signal.
+pub fn batch_compatible(first: &JobSpec, candidate: &JobSpec) -> bool {
+    first.decoder == DecoderKind::Mn
+        && candidate.decoder == DecoderKind::Mn
+        && crate::cache::DesignKey::of(first) == crate::cache::DesignKey::of(candidate)
 }
 
 /// Run one job against its (cached) design. Deterministic: every random
@@ -103,6 +154,107 @@ pub fn process_job(spec: &JobSpec, design: &AnyDesign, scratch: &mut WorkerScrat
     }
 }
 
+/// Serve a whole run of batch-compatible jobs (see [`batch_compatible`])
+/// against their shared design: one design traversal for every lane's
+/// query execution and Ψ accumulation, one shared Δ*, and one sleep for
+/// the batch's query latency (the simulated query executions overlap —
+/// they would run on parallel lab equipment — so the batch waits for the
+/// slowest lane, not the sum).
+///
+/// Appends one [`JobResult`] per spec, in spec order. Deterministic:
+/// every lane's result fingerprint equals [`process_job`]'s for the same
+/// spec (exact `u64` sums make the batched accumulation bit-identical);
+/// only the timing fields differ — `decode_micros` is the batch's decode
+/// time split evenly across lanes, and every lane shares the batch's
+/// service time.
+///
+/// # Panics
+/// Panics (debug) if the specs are not mutually batch-compatible.
+pub fn process_batch(
+    specs: &[JobSpec],
+    design: &AnyDesign,
+    scratch: &mut WorkerScratch,
+    out: &mut Vec<JobResult>,
+) {
+    debug_assert!(specs.windows(2).all(|w| batch_compatible(&specs[0], &w[1])));
+    if specs.is_empty() {
+        return;
+    }
+    let started = Instant::now();
+    let csr = design.csr();
+    let (n, m) = (csr.n(), csr.m());
+    let lanes = specs.len();
+    let batch = &mut scratch.batch;
+
+    // Reserve every plane for the widest run this worker can be handed
+    // at this shape: run lengths jitter with queue timing, so without
+    // this a first-ever maximal run after warm-up would allocate.
+    let window = batch.window.max(lanes);
+    batch.bw.reserve(window, n);
+
+    // 1. Draw every lane's hidden weight-k signal into the truth plane.
+    batch.truths.clear();
+    batch.truths.reserve(window * n);
+    batch.truths.resize(lanes * n, 0);
+    for (b, spec) in specs.iter().enumerate() {
+        let mut rng = SeedSequence::new(spec.seed).child("signal", 0).rng();
+        sample_distinct_floyd_into(spec.n, spec.k, &mut rng, &mut scratch.support);
+        let lane = &mut batch.truths[b * n..(b + 1) * n];
+        for &i in &scratch.support {
+            lane[i] = 1;
+        }
+    }
+
+    // 2. One overlapped query-execution sleep for the whole batch.
+    let cost = specs.iter().map(|s| s.query_cost_micros).max().unwrap_or(0);
+    if cost > 0 {
+        std::thread::sleep(std::time::Duration::from_micros(cost as u64));
+    }
+
+    // 3. One traversal: every lane's y = Aᵀσ and Ψ, plus the shared Δ*.
+    let decode_started = Instant::now();
+    batch.ys.clear();
+    batch.ys.reserve(window * m);
+    batch.ys.resize(lanes * m, 0);
+    batch.bw.prepare(lanes, n);
+    {
+        let (psis, dstar) = batch.bw.sums_mut();
+        decode_sums_fused_batch(csr, &batch.truths, lanes, &mut batch.ys, psis, dstar);
+    }
+
+    // 4. Finish each lane with its own decoder weight and score it.
+    let first = out.len();
+    for (b, spec) in specs.iter().enumerate() {
+        let ws = batch.bw.finish_lane(&MnDecoder::new(spec.k), b);
+        let mut d = Digest::new();
+        for &s in ws.scores() {
+            d.push(s as u64);
+        }
+        let truth = &batch.truths[b * n..(b + 1) * n];
+        let hits = ws.support().iter().filter(|&&i| truth[i] == 1).count() as u32;
+        let weight = ws.support().len() as u32;
+        out.push(JobResult {
+            id: spec.id,
+            decoder: spec.decoder,
+            exact: hits as usize == spec.k && weight as usize == spec.k,
+            hits,
+            weight,
+            support_digest: crate::job::digest_support(ws.support()),
+            score_digest: d.finish(),
+            decode_micros: 0, // patched below once the batch is timed
+            queue_micros: 0,  // the engine adds the wait it measured
+            total_micros: 0,
+            worker: scratch.worker,
+        });
+    }
+    let decode_micros = decode_started.elapsed().as_micros() as u64 / lanes as u64;
+    let total_micros = started.elapsed().as_micros() as u64;
+    for result in &mut out[first..] {
+        result.decode_micros = decode_micros;
+        result.total_micros = total_micros;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +295,58 @@ mod tests {
         let ra = process_job(&sa, &design, &mut ws);
         let rb = process_job(&sb, &design, &mut ws);
         assert_ne!(ra.fingerprint(), rb.fingerprint());
+    }
+
+    #[test]
+    fn batch_fingerprints_match_per_job_processing() {
+        // A batch of same-design MN jobs (different seeds, different k)
+        // must produce bit-identical fingerprints to serving each spec
+        // alone — the batcher's core contract.
+        let mut specs: Vec<JobSpec> = (0..7).map(spec).collect();
+        specs[3].k = 9; // mixed weights are batchable
+        let design = DesignKey::of(&specs[0]).sample();
+        let mut per_job = WorkerScratch::new(0);
+        let want: Vec<u64> =
+            specs.iter().map(|s| process_job(s, &design, &mut per_job).fingerprint()).collect();
+        let mut batched = WorkerScratch::new(1);
+        let mut out = Vec::new();
+        process_batch(&specs, &design, &mut batched, &mut out);
+        assert_eq!(out.len(), specs.len());
+        let got: Vec<u64> = out.iter().map(|r| r.fingerprint()).collect();
+        assert_eq!(got, want);
+        assert!(out.iter().all(|r| r.worker == 1));
+    }
+
+    #[test]
+    fn batch_compatibility_requires_mn_and_one_design() {
+        let a = spec(1);
+        let mut other_design = spec(2);
+        other_design.design = DesignSpec::random_regular(99);
+        let mut other_decoder = spec(3);
+        other_decoder.decoder = DecoderKind::GeneralMn;
+        let mut other_k = spec(4);
+        other_k.k = 11;
+        assert!(batch_compatible(&a, &spec(5)));
+        assert!(batch_compatible(&a, &other_k), "k may vary per lane");
+        assert!(!batch_compatible(&a, &other_design));
+        assert!(!batch_compatible(&a, &other_decoder));
+        assert!(!batch_compatible(&other_decoder, &a));
+    }
+
+    #[test]
+    fn batch_sleeps_the_slowest_lane_once() {
+        let mut specs: Vec<JobSpec> = (0..4).map(spec).collect();
+        for (i, s) in specs.iter_mut().enumerate() {
+            s.query_cost_micros = 5_000 * (i as u32 + 1);
+        }
+        let design = DesignKey::of(&specs[0]).sample();
+        let mut ws = WorkerScratch::new(0);
+        let started = Instant::now();
+        let mut out = Vec::new();
+        process_batch(&specs, &design, &mut ws, &mut out);
+        let elapsed = started.elapsed().as_micros() as u64;
+        assert!(elapsed >= 20_000, "batch must wait for the slowest lane ({elapsed}µs)");
+        assert!(elapsed < 50_000, "batch slept lanes serially ({elapsed}µs ≥ sum of costs)");
     }
 
     #[test]

@@ -8,7 +8,11 @@
 //!    Reports jobs/sec and checks that every worker count produced
 //!    **bit-identical** result fingerprints (the engine's determinism
 //!    contract).
-//! 2. **Open-loop Poisson replay** — arrivals at `--rate` jobs/sec that
+//! 2. **Batch-size sweep** — the same warm batch at the top worker count
+//!    with design-affinity batch windows 1, 4, 8, 16: batched vs per-job
+//!    throughput, and a check that the result fingerprint is identical at
+//!    every window (batching must be invisible in results).
+//! 3. **Open-loop Poisson replay** — arrivals at `--rate` jobs/sec that
 //!    do not wait for completions; `try_submit` under backpressure, shed
 //!    jobs counted, p50/p95/p99 latency from the engine histogram.
 //!
@@ -36,6 +40,7 @@ use pooled_theory::thresholds::m_mn_finite;
 /// One measured closed-loop pass.
 struct Pass {
     workers: usize,
+    batch_window: usize,
     cold_jobs_per_sec: f64,
     warm_jobs_per_sec: f64,
     exact_rate: f64,
@@ -82,7 +87,7 @@ fn main() {
     let mut passes = Vec::new();
     println!("workers  cold jobs/s  warm jobs/s  speedup(warm)  exact%  cache-miss");
     for &workers in &sweep {
-        let pass = run_closed_loop(workers, queue, cache, &specs);
+        let pass = run_closed_loop(workers, queue, cache, 1, &specs);
         let base = passes.first().map_or(pass.warm_jobs_per_sec, |p: &Pass| p.warm_jobs_per_sec);
         println!(
             "{:<8} {:<12.1} {:<12.1} {:<14.2} {:<7.1} {}",
@@ -106,14 +111,47 @@ fn main() {
         if deterministic { "yes" } else { "NO" }
     );
 
-    // --- 2. Open-loop Poisson replay -------------------------------------
+    // --- 2. Batch-size sweep ---------------------------------------------
+    // Same warm traffic at the top worker count, with the design-affinity
+    // batch window swept; window 1 is the per-job baseline the speedups
+    // are measured against, and every window must reproduce its
+    // fingerprint exactly.
+    let batch_windows = [1usize, 4, 8, 16];
+    let mut batch_passes = Vec::new();
+    println!("batch    warm jobs/s  speedup(vs per-job)  fingerprint-ok");
+    for &window in &batch_windows {
+        let pass = run_closed_loop(max_workers, queue, cache, window, &specs);
+        let base =
+            batch_passes.first().map_or(pass.warm_jobs_per_sec, |p: &Pass| p.warm_jobs_per_sec);
+        println!(
+            "{:<8} {:<12.1} {:<20.2} {}",
+            window,
+            pass.warm_jobs_per_sec,
+            pass.warm_jobs_per_sec / base,
+            if pass.fingerprint == passes[0].fingerprint { "yes" } else { "NO" },
+        );
+        batch_passes.push(pass);
+    }
+    let batch_deterministic = batch_passes.iter().all(|p| p.fingerprint == passes[0].fingerprint);
+    if !batch_deterministic {
+        eprintln!("engine_load: DETERMINISM VIOLATION — batching changed result fingerprints");
+    }
+    let batched_speedup =
+        batch_passes.last().unwrap().warm_jobs_per_sec / batch_passes[0].warm_jobs_per_sec;
+    println!(
+        "batched speedup at window {}: {batched_speedup:.2}x  |  fingerprints identical: {}",
+        batch_windows.last().unwrap(),
+        if batch_deterministic { "yes" } else { "NO" }
+    );
+
+    // --- 3. Open-loop Poisson replay -------------------------------------
     let open = run_open_loop(max_workers, queue, cache, &profile, jobs, rate, seed);
     println!(
         "open-loop @ {rate:.0}/s: served {} shed {} | latency p50 {}µs p95 {}µs p99 {}µs",
         open.served, open.shed, open.p50, open.p95, open.p99
     );
 
-    // --- 3. Emit BENCH_ENGINE.json ---------------------------------------
+    // --- 4. Emit BENCH_ENGINE.json ---------------------------------------
     let sweep_rows: Vec<serde_json::Value> = passes
         .iter()
         .map(|p| {
@@ -141,6 +179,17 @@ fn main() {
         "latency_p95_micros": open.p95,
         "latency_p99_micros": open.p99,
     });
+    let batch_rows: Vec<serde_json::Value> = batch_passes
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "batch_window": p.batch_window,
+                "warm_jobs_per_sec": p.warm_jobs_per_sec,
+                "speedup_vs_per_job": p.warm_jobs_per_sec / batch_passes[0].warm_jobs_per_sec,
+                "fingerprint": p.fingerprint,
+            })
+        })
+        .collect();
     let report = serde_json::json!({
         "experiment": "engine_load",
         "seed": seed,
@@ -148,23 +197,34 @@ fn main() {
         "closed_loop": sweep_rows,
         "warm_speedup_at_max_workers": speedup,
         "deterministic_across_worker_counts": deterministic,
+        "batch_sweep": batch_rows,
+        "batched_speedup_at_max_window": batched_speedup,
+        "deterministic_across_batch_windows": batch_deterministic,
         "open_loop": open_loop,
     });
     std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serializable"))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("engine_load: wrote {out_path}");
-    if !deterministic {
+    if !deterministic || !batch_deterministic {
         std::process::exit(1);
     }
 }
 
-/// Two batch passes (cold cache, then warm) at a fixed worker count.
-fn run_closed_loop(workers: usize, queue: usize, cache: usize, specs: &[JobSpec]) -> Pass {
+/// Two batch passes (cold cache, then warm) at a fixed worker count and
+/// design-affinity batch window.
+fn run_closed_loop(
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    batch_window: usize,
+    specs: &[JobSpec],
+) -> Pass {
     let engine = Engine::start(EngineConfig {
         workers,
         queue_capacity: queue,
         results_capacity: queue,
         design_cache_capacity: cache,
+        batch_window,
     });
     let mut results = Vec::with_capacity(specs.len());
 
@@ -188,6 +248,7 @@ fn run_closed_loop(workers: usize, queue: usize, cache: usize, specs: &[JobSpec]
     engine.shutdown();
     Pass {
         workers,
+        batch_window,
         cold_jobs_per_sec: specs.len() as f64 / cold,
         warm_jobs_per_sec: specs.len() as f64 / warm,
         exact_rate: exact,
@@ -220,6 +281,7 @@ fn run_open_loop(
         queue_capacity: queue,
         results_capacity: jobs.max(1),
         design_cache_capacity: cache,
+        batch_window: 1,
     });
     let arrivals = poisson_arrivals(rate, jobs, &SeedSequence::new(seed ^ 0xA11));
     // Pregenerate the specs so spec-derivation cost never skews the

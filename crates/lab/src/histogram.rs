@@ -1,19 +1,35 @@
 //! Fixed-footprint latency histograms for serving telemetry.
 //!
 //! The reconstruction engine records one latency observation per job on
-//! its hot path, so the recorder must be allocation-free and O(1): a
-//! power-of-two bucketing over microseconds (bucket `i` covers
-//! `[2^i, 2^{i+1})` µs, bucket 0 covers `[0, 2)` µs) in a fixed 64-slot
-//! array. Quantiles come back as the upper edge of the covering bucket —
-//! at most 2× off, which is the right fidelity for p50/p95/p99 dashboards
-//! and costs nothing to maintain. Exact moments live in
-//! `pooled_stats::summary::Summary`; this type complements it with tail
-//! shape.
+//! its hot path, so the recorder must be allocation-free and O(1). The
+//! original layout was one bucket per power of two, which made quantiles
+//! up to 2× off — and, worse, collapsed them entirely under realistic
+//! serving load: an open-loop replay whose sojourn times all landed
+//! between 32 ms and 64 ms reported p50 = p95 = p99, because a single
+//! octave held every observation.
+//!
+//! The layout here keeps the log₂ octaves but splits each one into
+//! [`SUB_BUCKETS`] linear sub-buckets (HDR-histogram style): values below
+//! [`SUB_BUCKETS`] are recorded exactly, and every larger bucket spans at
+//! most `1/SUB_BUCKETS` (6.25%) of its value — so quantiles over any
+//! realistic spread of sojourn times are distinct and within ~6% of the
+//! truth, while the whole histogram stays a fixed array of
+//! [`LATENCY_BUCKETS`] counters with O(1) bit-twiddling per record.
+//! Exact moments live in `pooled_stats::summary::Summary`; this type
+//! complements it with tail shape.
 
-/// Number of power-of-two buckets; covers the whole `u64` microsecond range.
-pub const LATENCY_BUCKETS: usize = 64;
+/// Linear sub-buckets per log₂ octave (16 ⇒ ≤ 6.25% relative bucket
+/// width everywhere).
+pub const SUB_BUCKETS: usize = 16;
 
-/// An allocation-free log₂-bucketed histogram of microsecond latencies.
+const SUB_BITS: u32 = SUB_BUCKETS.trailing_zeros();
+
+/// Total bucket count; covers the whole `u64` microsecond range at
+/// `1/SUB_BUCKETS` resolution.
+pub const LATENCY_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS + SUB_BUCKETS;
+
+/// An allocation-free log₂-octave × linear-sub-bucket histogram of
+/// microsecond latencies.
 #[derive(Clone, Copy, Debug)]
 pub struct LatencyHistogram {
     buckets: [u64; LATENCY_BUCKETS],
@@ -69,7 +85,8 @@ impl LatencyHistogram {
     }
 
     /// Upper edge of the bucket containing the `q`-quantile (conservative:
-    /// the true quantile is at most this, within the bucket's 2× width).
+    /// the true quantile is at most this, within the bucket's ≤ 6.25%
+    /// relative width).
     ///
     /// # Panics
     /// Panics if the histogram is empty or `q ∉ [0, 1]`.
@@ -99,18 +116,34 @@ impl LatencyHistogram {
     }
 }
 
-/// Bucket index of a microsecond value: `floor(log2(max(v, 1)))`.
+/// Bucket index of a microsecond value: values below [`SUB_BUCKETS`] map
+/// to themselves (exact); above, the octave picks the bucket group and
+/// the top [`SUB_BITS`] mantissa bits below the leading one pick the
+/// linear sub-bucket within it.
 fn bucket_of(micros: u64) -> usize {
-    (63 - micros.max(1).leading_zeros()) as usize
+    if micros < SUB_BUCKETS as u64 {
+        return micros as usize;
+    }
+    let octave = 63 - micros.leading_zeros(); // ≥ SUB_BITS here
+    let group = (octave - SUB_BITS + 1) as usize;
+    let sub = ((micros >> (octave - SUB_BITS)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    group * SUB_BUCKETS + sub
 }
 
-/// Exclusive upper edge of bucket `i`, saturating at `u64::MAX`.
+/// Largest value mapping to bucket `i` (inclusive upper edge), saturating
+/// at `u64::MAX`.
 fn bucket_upper(i: usize) -> u64 {
-    if i + 1 >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << (i + 1)) - 1
+    if i < SUB_BUCKETS {
+        return i as u64;
     }
+    let group = (i / SUB_BUCKETS) as u32;
+    let sub = (i % SUB_BUCKETS) as u64;
+    let shift = group - 1;
+    if shift + SUB_BITS >= 64 {
+        return u64::MAX;
+    }
+    let base = (SUB_BUCKETS as u64 + sub) << shift;
+    base + ((1u64 << shift) - 1)
 }
 
 #[cfg(test)]
@@ -118,15 +151,66 @@ mod tests {
     use super::*;
 
     #[test]
-    fn buckets_are_log2() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 0);
-        assert_eq!(bucket_of(2), 1);
-        assert_eq!(bucket_of(3), 1);
-        assert_eq!(bucket_of(4), 2);
-        assert_eq!(bucket_of(1023), 9);
-        assert_eq!(bucket_of(1024), 10);
-        assert_eq!(bucket_of(u64::MAX), 63);
+    fn small_values_are_exact() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn buckets_partition_the_range() {
+        // Bucket indices are monotone in the value and every bucket's
+        // upper edge maps back into the bucket.
+        let probes: Vec<u64> = (0..2000u64)
+            .map(|i| i * 37 + 1)
+            .chain((0..63u32).map(|s| 1u64 << s))
+            .chain((0..63u32).map(|s| (1u64 << s) + (1u64 << s.saturating_sub(1))))
+            .chain([u64::MAX, u64::MAX - 1])
+            .collect();
+        for &v in &probes {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper(b), "v={v} above its bucket edge");
+            assert_eq!(bucket_of(bucket_upper(b)), b, "edge of bucket {b} escapes");
+            if v > 0 {
+                assert!(bucket_of(v - 1) <= b, "bucketing not monotone at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_resolution_is_bounded() {
+        // Every bucket above the exact range spans < 1/SUB_BUCKETS of its
+        // value: quantiles can never be more than ~6.25% conservative.
+        for &v in &[100u64, 999, 52_956, 1_000_000, 123_456_789] {
+            let upper = bucket_upper(bucket_of(v));
+            let width = (upper - v) as f64 / v as f64;
+            assert!(width < 1.0 / SUB_BUCKETS as f64, "v={v} upper={upper}");
+        }
+    }
+
+    #[test]
+    fn open_loop_regression_distinct_quantiles() {
+        // Regression for the BENCH_ENGINE.json artifact: 255 sojourn
+        // times spread over one octave (32–64 ms) must NOT collapse to
+        // p50 = p95 = p99 — the old one-bucket-per-octave layout reported
+        // 52 956 µs for all three.
+        let mut h = LatencyHistogram::new();
+        for i in 0..255u64 {
+            h.record_micros(33_000 + i * 100); // 33.0 ms … 58.4 ms
+        }
+        let (p50, p95, p99) =
+            (h.quantile_micros(0.50), h.quantile_micros(0.95), h.quantile_micros(0.99));
+        assert!(p50 < p95 && p95 < p99, "quantiles collapsed: {p50}/{p95}/{p99}");
+        // And each is within the documented 6.25% of the exact rank stat.
+        for (q, got) in [(0.50f64, p50), (0.95, p95), (0.99, p99)] {
+            let exact = 33_000 + ((q * 255.0).ceil() as u64 - 1) * 100;
+            assert!(got >= exact, "q={q}: {got} below exact {exact}");
+            assert!(
+                (got - exact) as f64 / exact as f64 <= 1.0 / SUB_BUCKETS as f64,
+                "q={q}: {got} vs exact {exact}"
+            );
+        }
     }
 
     #[test]
@@ -136,9 +220,9 @@ mod tests {
             h.record_micros(v);
         }
         assert_eq!(h.count(), 8);
-        // p50 falls in the bucket of 300–400 ([256, 512)); upper edge 511.
+        // p50 falls in 400's bucket; the edge is within 6.25% above it.
         let p50 = h.quantile_micros(0.5);
-        assert!((400..=511).contains(&p50), "p50={p50}");
+        assert!((400..=425).contains(&p50), "p50={p50}");
         // The max is exact.
         assert_eq!(h.quantile_micros(1.0), 50_000);
         assert_eq!(h.max_micros(), 50_000);
@@ -180,6 +264,15 @@ mod tests {
         let mut h = LatencyHistogram::new();
         h.record_secs(0.002); // 2 ms
         assert_eq!(h.max_micros(), 2000);
+    }
+
+    #[test]
+    fn extreme_values_stay_in_range() {
+        let mut h = LatencyHistogram::new();
+        h.record_micros(0);
+        h.record_micros(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_micros(1.0), u64::MAX);
     }
 
     #[test]

@@ -32,8 +32,9 @@
 //! |---|---|---|---|---|
 //! | scatter (atomic) | [`scatter::AtomicCounters`] | yes | none | sparse updates (`m·Γ ≪ t·n`), streaming designs |
 //! | scatter (blocked) | [`blocked::BlockedScatter`] | no | `t·n` words/plane | dense updates (`m·Γ ≳ 4·t·n`), replicate loops (buffers reused) |
-//! | gather | `CsrDesign::gather_distinct_u64` | no | none | materialized CSR with a transpose already built |
+//! | gather | `CsrDesign::gather_distinct_into` | no | none | materialized CSR with a transpose already built |
 //! | fused | `pooled_design::fused` | no | arena (reused) | Monte-Carlo trials: `y`, Ψ and Δ* from **one** traversal |
+//! | batched | `pooled_design::batched` | no | planes (reused) | B jobs sharing a design: one traversal serves the whole batch |
 //!
 //! [`blocked::choose_scatter`] encodes the density heuristic; the fused
 //! kernels in `pooled_design` call it internally.

@@ -117,6 +117,7 @@ fn engine_steady_state_serving_is_allocation_free_after_warmup() {
         queue_capacity: 32,
         results_capacity: 32,
         design_cache_capacity: 4,
+        batch_window: 1,
     });
     let specs = profile.specs(24);
     let mut results = Vec::with_capacity(256);
@@ -150,6 +151,73 @@ fn engine_steady_state_serving_is_allocation_free_after_warmup() {
         assert_eq!(got, reference);
     }
     engine.shutdown();
+}
+
+#[test]
+fn batched_engine_serving_is_allocation_free_after_warmup() {
+    // The design-affinity batched path — pop_run, one cache hit per run,
+    // lane-major signal draw, the batched fused kernel, per-lane finish,
+    // telemetry, completion queue — must also serve with zero heap
+    // allocations per job at steady state. Same contract as the per-job
+    // path, now with the batch planes in the worker scratch.
+    let profile = LoadProfile {
+        distinct_designs: 1,
+        decoders: vec![DecoderKind::Mn],
+        query_cost: None,
+        ..LoadProfile::default_mix(2000, 9, 300, 78)
+    };
+    let engine = Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 32,
+        results_capacity: 32,
+        design_cache_capacity: 4,
+        batch_window: 8,
+    });
+    let specs = profile.specs(24);
+    let mut results = Vec::with_capacity(256);
+
+    // Warm-up: both workers must have seen full and partial batches at
+    // this shape (run lengths depend on queue timing, so several passes).
+    for _ in 0..6 {
+        results.clear();
+        engine.run_batch(&specs, &mut results);
+    }
+    let reference: Vec<(u64, u64)> = results.iter().map(|r| (r.id, r.fingerprint())).collect();
+
+    results.clear();
+    let before = allocation_count();
+    for _ in 0..4 {
+        engine.run_batch(&specs, &mut results);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state batched serving allocated {} times across {} jobs",
+        after - before,
+        4 * specs.len()
+    );
+
+    // Batched results remain correct, deterministic, and identical to the
+    // per-job engine's fingerprints for the same traffic.
+    for pass in results.chunks(specs.len()) {
+        let got: Vec<(u64, u64)> = pass.iter().map(|r| (r.id, r.fingerprint())).collect();
+        assert_eq!(got, reference);
+    }
+    engine.shutdown();
+
+    let per_job = Engine::start(EngineConfig {
+        workers: 2,
+        queue_capacity: 32,
+        results_capacity: 32,
+        design_cache_capacity: 4,
+        batch_window: 1,
+    });
+    let mut unbatched = Vec::new();
+    per_job.run_batch(&specs, &mut unbatched);
+    per_job.shutdown();
+    let got: Vec<(u64, u64)> = unbatched.iter().map(|r| (r.id, r.fingerprint())).collect();
+    assert_eq!(got, reference, "batching must be fingerprint-invisible");
 }
 
 #[test]

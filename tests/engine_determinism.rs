@@ -15,12 +15,19 @@ use pooled_data::engine::traffic::LoadProfile;
 
 /// Serve `specs`-worth of the profile on a fresh engine and return the
 /// results (sorted by id — `run_batch` guarantees it).
-fn serve(profile: &LoadProfile, jobs: usize, workers: usize, queue: usize) -> Vec<JobResult> {
+fn serve(
+    profile: &LoadProfile,
+    jobs: usize,
+    workers: usize,
+    queue: usize,
+    batch_window: usize,
+) -> Vec<JobResult> {
     let engine = Engine::start(EngineConfig {
         workers,
         queue_capacity: queue,
         results_capacity: queue,
         design_cache_capacity: 4,
+        batch_window,
     });
     let mut out = Vec::new();
     engine.run_batch(&profile.specs(jobs), &mut out);
@@ -36,14 +43,16 @@ fn fingerprints(results: &[JobResult]) -> Vec<(u64, u64)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// 1 worker vs L workers: bit-identical results for every decoder mix
-    /// and design family, under deliberately tight queues (backpressure
-    /// reordering must not leak into results either).
+    /// 1 worker vs L workers (with a random design-affinity batch
+    /// window): bit-identical results for every decoder mix and design
+    /// family, under deliberately tight queues (backpressure reordering
+    /// and batching must not leak into results either).
     #[test]
     fn one_worker_and_l_workers_agree(
         seed in any::<u64>(),
         workers in 2usize..5,
         queue in 1usize..8,
+        batch_window in 1usize..6,
         n in 150usize..400,
         design_idx in 0usize..4,
         jobs in 10usize..40,
@@ -61,8 +70,8 @@ proptest! {
             query_cost: None,
             ..LoadProfile::default_mix(n, k, n / 2, seed)
         };
-        let serial = serve(&profile, jobs, 1, queue);
-        let sharded = serve(&profile, jobs, workers, queue);
+        let serial = serve(&profile, jobs, 1, queue, 1);
+        let sharded = serve(&profile, jobs, workers, queue, batch_window);
         prop_assert_eq!(serial.len(), jobs);
         prop_assert_eq!(fingerprints(&serial), fingerprints(&sharded));
     }
@@ -86,6 +95,7 @@ proptest! {
             queue_capacity: 8,
             results_capacity: 8,
             design_cache_capacity: 2,
+            batch_window: 1,
         });
         let specs = profile.specs(jobs);
         let mut cold = Vec::new();
@@ -111,9 +121,9 @@ fn full_registry_mix_is_worker_count_invariant() {
         query_cost: None,
         ..LoadProfile::default_mix(120, 4, 80, 1905)
     };
-    let a = serve(&profile, 18, 1, 4);
-    let b = serve(&profile, 18, 3, 4);
-    let c = serve(&profile, 18, 2, 2);
+    let a = serve(&profile, 18, 1, 4, 1);
+    let b = serve(&profile, 18, 3, 4, 1);
+    let c = serve(&profile, 18, 2, 2, 4);
     assert_eq!(fingerprints(&a), fingerprints(&b));
     assert_eq!(fingerprints(&a), fingerprints(&c));
     // Every decoder actually ran.

@@ -46,6 +46,7 @@ fn fig3_phase_transition_location() {
         m_grid: vec![(0.3 * m_theory) as usize, (1.6 * m_theory) as usize],
         trials: 30,
         master_seed: 1905,
+        batch: 1,
     };
     let rows = run_mn_sweep(&cfg);
     assert!(rows[0].success_rate <= 0.2, "below threshold: {}", rows[0].success_rate);
