@@ -14,7 +14,8 @@
 //! holds by construction: a job's result depends only on its spec, never
 //! on which shard ran it or how many shards exist.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -132,13 +133,19 @@ impl Telemetry {
     }
 }
 
+/// Route id of the shared completion queue (plain `submit`/`recv`).
+const SHARED_ROUTE: u32 = u32::MAX;
+
 /// A submitted job plus its enqueue instant, so sojourn time (queue
 /// wait plus service) is measurable — under open-loop overload the wait
-/// *is* the latency story.
+/// *is* the latency story. `route` says which completion queue receives
+/// the result: [`SHARED_ROUTE`] for the engine-wide stream, otherwise a
+/// registered per-tenant route (the transport's per-connection queues).
 #[derive(Clone, Copy)]
 struct QueuedJob {
     spec: JobSpec,
     enqueued: std::time::Instant,
+    route: u32,
 }
 
 struct Shared {
@@ -153,6 +160,81 @@ struct Shared {
     /// while it runs (interleaved batches would steal each other's
     /// results).
     batch_lock: Mutex<()>,
+    /// Registered completion routes (`route id → per-tenant queue`).
+    /// Touched per *routed* result only; plain `submit` traffic never
+    /// takes this lock.
+    routes: Mutex<HashMap<u32, Arc<BoundedQueue<JobResult>>>>,
+    /// Next route id (route ids are never reused within an engine).
+    next_route: AtomicU32,
+}
+
+impl Shared {
+    /// Deliver one finished result to its completion queue. Returns
+    /// `false` only when the *shared* stream is closed — full shutdown;
+    /// a closed or vanished per-tenant route just drops the result (the
+    /// tenant disconnected; telemetry already recorded the job).
+    fn deliver(&self, route: u32, result: &JobResult) -> bool {
+        if route == SHARED_ROUTE {
+            return self.results.push(*result).is_ok();
+        }
+        let queue = self.routes.lock().expect("route table poisoned").get(&route).cloned();
+        if let Some(queue) = queue {
+            let _ = queue.push(*result);
+        }
+        true
+    }
+
+    /// Close every registered route queue (wakes blocked tenants and any
+    /// worker mid-push); the routes stay registered so late results are
+    /// dropped by `deliver`, never redirected.
+    fn close_routes(&self) {
+        for queue in self.routes.lock().expect("route table poisoned").values() {
+            queue.close();
+        }
+    }
+}
+
+/// A private completion stream registered with [`Engine::open_route`].
+///
+/// Results of jobs submitted through [`Engine::submit_routed`] /
+/// [`Engine::try_submit_routed`] with this route land in this queue
+/// instead of the engine-wide stream, so concurrent tenants (one per
+/// transport connection) each see exactly their own completions —
+/// including while `run_batch` owns the shared stream.
+///
+/// Clones share the same underlying queue. [`ResultRoute::close`] (or
+/// engine shutdown) closes it: a worker finishing a routed job after
+/// that drops the result — the tenant is gone.
+#[derive(Clone)]
+pub struct ResultRoute {
+    id: u32,
+    queue: Arc<BoundedQueue<JobResult>>,
+    shared: Arc<Shared>,
+}
+
+impl ResultRoute {
+    /// This route's id (unique within its engine, never reused).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Blocking receive; `None` once the route is closed **and** drained.
+    pub fn recv(&self) -> Option<JobResult> {
+        self.queue.pop()
+    }
+
+    /// Non-blocking receive with the tri-state the writer-drain loop
+    /// needs: `Empty` (retry later) vs `Closed` (terminate).
+    pub fn try_recv(&self) -> crate::queue::TryPop<JobResult> {
+        self.queue.try_pop()
+    }
+
+    /// Close and unregister the route. Buffered results stay receivable;
+    /// results finishing after the close are dropped. Idempotent.
+    pub fn close(&self) {
+        self.queue.close();
+        self.shared.routes.lock().expect("route table poisoned").remove(&self.id);
+    }
 }
 
 /// Error: the engine is shutting down; the rejected spec is handed back.
@@ -189,6 +271,8 @@ impl Engine {
             active_workers: AtomicUsize::new(config.workers),
             batch_window: config.batch_window.max(1),
             batch_lock: Mutex::new(()),
+            routes: Mutex::new(HashMap::new()),
+            next_route: AtomicU32::new(0),
         });
         let handles = (0..config.workers as u32)
             .map(|idx| {
@@ -212,9 +296,7 @@ impl Engine {
     /// # Panics
     /// Panics if the spec is infeasible ([`JobSpec::validate`]).
     pub fn submit(&self, spec: JobSpec) -> Result<(), EngineClosed> {
-        spec.validate();
-        let queued = QueuedJob { spec, enqueued: std::time::Instant::now() };
-        self.shared.jobs.push(queued).map_err(|c| EngineClosed(c.0.spec))
+        self.submit_with_route(spec, SHARED_ROUTE)
     }
 
     /// Non-blocking submission; `Backpressure` when the queue is full.
@@ -222,8 +304,50 @@ impl Engine {
     /// # Panics
     /// Panics if the spec is infeasible ([`JobSpec::validate`]).
     pub fn try_submit(&self, spec: JobSpec) -> Result<(), SubmitError> {
+        self.try_submit_with_route(spec, SHARED_ROUTE)
+    }
+
+    /// Register a private completion stream holding up to `capacity`
+    /// buffered results (see [`ResultRoute`]).
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0` or the engine has exhausted route ids.
+    pub fn open_route(&self, capacity: usize) -> ResultRoute {
+        let id = self.shared.next_route.fetch_add(1, Ordering::Relaxed);
+        assert!(id != SHARED_ROUTE, "route ids exhausted");
+        let queue = Arc::new(BoundedQueue::new(capacity));
+        self.shared.routes.lock().expect("route table poisoned").insert(id, Arc::clone(&queue));
+        ResultRoute { id, queue, shared: Arc::clone(&self.shared) }
+    }
+
+    /// Blocking submission whose result is delivered to `route` instead
+    /// of the shared stream.
+    ///
+    /// # Panics
+    /// Panics if the spec is infeasible ([`JobSpec::validate`]).
+    pub fn submit_routed(&self, spec: JobSpec, route: &ResultRoute) -> Result<(), EngineClosed> {
+        self.submit_with_route(spec, route.id)
+    }
+
+    /// Non-blocking submission whose result is delivered to `route`;
+    /// `Backpressure` when the submission queue is full — the transport
+    /// turns that into an explicit `BUSY` reply, never a silent drop.
+    ///
+    /// # Panics
+    /// Panics if the spec is infeasible ([`JobSpec::validate`]).
+    pub fn try_submit_routed(&self, spec: JobSpec, route: &ResultRoute) -> Result<(), SubmitError> {
+        self.try_submit_with_route(spec, route.id)
+    }
+
+    fn submit_with_route(&self, spec: JobSpec, route: u32) -> Result<(), EngineClosed> {
         spec.validate();
-        let queued = QueuedJob { spec, enqueued: std::time::Instant::now() };
+        let queued = QueuedJob { spec, enqueued: std::time::Instant::now(), route };
+        self.shared.jobs.push(queued).map_err(|c| EngineClosed(c.0.spec))
+    }
+
+    fn try_submit_with_route(&self, spec: JobSpec, route: u32) -> Result<(), SubmitError> {
+        spec.validate();
+        let queued = QueuedJob { spec, enqueued: std::time::Instant::now(), route };
         self.shared.jobs.try_push(queued).map_err(|e| match e {
             TryPushError::Full(q) => SubmitError::Backpressure(q.spec),
             TryPushError::Closed(q) => SubmitError::Closed(q.spec),
@@ -236,7 +360,7 @@ impl Engine {
     /// arbitrary subset of results (route by [`JobResult::id`] if several
     /// tenants share one engine).
     pub fn try_recv(&self) -> Option<JobResult> {
-        self.shared.results.try_pop()
+        self.shared.results.try_pop().item()
     }
 
     /// Blocking receive; `None` only after shutdown has drained everything.
@@ -320,6 +444,11 @@ impl Engine {
         let start = out.len();
         let workers = self.handles.len();
         self.shared.jobs.close();
+        // Routed tenants are cut loose first: their queues close so a
+        // worker mid-push can never stall the join below waiting on a
+        // writer that will not drain (disconnected tenants' late results
+        // are dropped, with telemetry already recorded).
+        self.shared.close_routes();
         // Drain until the last exiting worker closes the completion queue
         // (see `ExitGuard`): keeps the queue flowing so a full `results`
         // can never wedge a worker finishing queued jobs, without a spin.
@@ -349,6 +478,7 @@ impl Drop for Engine {
         // A dropped engine must not leave shards parked on the queues.
         self.shared.jobs.close();
         self.shared.results.close();
+        self.shared.close_routes();
     }
 }
 
@@ -365,6 +495,7 @@ fn worker_main(shared: &Shared, idx: u32) {
             if std::thread::panicking() {
                 self.0.jobs.close();
                 self.0.results.close();
+                self.0.close_routes();
             }
             if self.0.active_workers.fetch_sub(1, Ordering::AcqRel) == 1 {
                 self.0.results.close();
@@ -416,8 +547,8 @@ fn worker_main(shared: &Shared, idx: u32) {
                 result.queue_micros = queue_micros;
                 result.total_micros += queue_micros;
                 shared.telemetry.lock().expect("telemetry poisoned").record(result);
-                if shared.results.push(*result).is_err() {
-                    break 'serve; // results closed: shutdown discards the rest
+                if !shared.deliver(queued.route, result) {
+                    break 'serve; // shared results closed: shutdown discards the rest
                 }
             }
         }
@@ -505,7 +636,8 @@ mod tests {
         let engine = Engine::start(EngineConfig::with_workers(1));
         let shared = Arc::clone(&engine.shared);
         engine.shutdown();
-        let queued = QueuedJob { spec: spec(0), enqueued: std::time::Instant::now() };
+        let queued =
+            QueuedJob { spec: spec(0), enqueued: std::time::Instant::now(), route: SHARED_ROUTE };
         assert!(shared.jobs.push(queued).is_err());
     }
 
@@ -572,6 +704,40 @@ mod tests {
             accesses < 32,
             "batching should amortize cache lookups: {accesses} accesses for 32 jobs"
         );
+    }
+
+    #[test]
+    fn routed_results_bypass_the_shared_stream() {
+        let engine = Engine::start(EngineConfig::with_workers(2));
+        let route_a = engine.open_route(16);
+        let route_b = engine.open_route(16);
+        assert_ne!(route_a.id(), route_b.id());
+        for id in 0..6 {
+            let r = if id % 2 == 0 { &route_a } else { &route_b };
+            engine.submit_routed(spec(id), r).unwrap();
+        }
+        let mut got_a: Vec<u64> = (0..3).map(|_| route_a.recv().unwrap().id).collect();
+        let mut got_b: Vec<u64> = (0..3).map(|_| route_b.recv().unwrap().id).collect();
+        got_a.sort_unstable();
+        got_b.sort_unstable();
+        assert_eq!(got_a, vec![0, 2, 4], "route A sees exactly its own jobs");
+        assert_eq!(got_b, vec![1, 3, 5], "route B sees exactly its own jobs");
+        assert!(engine.try_recv().is_none(), "nothing leaked to the shared stream");
+        // A closed route drops late results instead of blocking workers.
+        route_b.close();
+        engine.submit_routed(spec(9), &route_b).unwrap();
+        let stats = engine.shutdown();
+        assert_eq!(stats.jobs_completed, 7, "the dropped result was still served");
+    }
+
+    #[test]
+    fn shutdown_wakes_routed_receivers() {
+        let engine = Engine::start(EngineConfig::with_workers(1));
+        let route = engine.open_route(4);
+        let waiter = std::thread::spawn(move || route.recv());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        engine.shutdown();
+        assert_eq!(waiter.join().unwrap(), None, "shutdown must close routed streams");
     }
 
     #[test]

@@ -132,6 +132,13 @@ impl JobSpec {
             self.design.c_milli
         );
     }
+
+    /// Non-panicking form of [`Self::validate`]'s checks. The transport
+    /// server uses this to answer an infeasible remote spec with a
+    /// `REJECT` frame instead of letting a panic unwind a reader thread.
+    pub fn is_feasible(&self) -> bool {
+        self.n > 0 && self.m > 0 && self.k <= self.n && (1..=1000).contains(&self.design.c_milli)
+    }
 }
 
 /// One completed reconstruction.

@@ -24,6 +24,10 @@
 //!   [`pooled_lab::histogram::LatencyHistogram`]).
 //! * [`traffic`] — deterministic load profiles and Poisson arrivals for
 //!   the `engine_load` generator and the throughput benches.
+//! * [`transport`] — the TCP front: length-prefixed checksummed frames,
+//!   a blocking server feeding the queues (backpressure = explicit
+//!   `BUSY` frames), and a pipelined client whose results are
+//!   bit-identical to in-process submission.
 //!
 //! ```
 //! use pooled_engine::engine::{Engine, EngineConfig};
@@ -44,11 +48,13 @@ pub mod job;
 pub mod queue;
 pub mod registry;
 pub mod traffic;
+pub mod transport;
 pub mod worker;
 
 pub use cache::{DesignCache, DesignKey};
-pub use engine::{Engine, EngineConfig, EngineStats};
+pub use engine::{Engine, EngineConfig, EngineStats, ResultRoute};
 pub use job::{DecoderKind, DesignSpec, JobResult, JobSpec};
 pub use queue::BoundedQueue;
 pub use registry::{decoder, DecodeScratch, EngineDecoder};
-pub use traffic::{poisson_arrivals, LoadProfile};
+pub use traffic::{poisson_arrivals, LoadProfile, PreparedProfile};
+pub use transport::{TransportClient, TransportConfig, TransportServer};

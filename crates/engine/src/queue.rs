@@ -32,6 +32,32 @@ pub enum TryPushError<T> {
     Closed(T),
 }
 
+/// Outcome of a non-blocking pop.
+///
+/// `Empty` and `Closed` are distinct on purpose: a non-blocking consumer
+/// (the transport's writer-drain loop, a poller) must tell "nothing *yet*
+/// — come back" apart from "nothing *ever again* — terminate". Collapsing
+/// both into `None` forced such callers to poll a dead queue forever.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPop<T> {
+    /// One item, in FIFO order.
+    Item(T),
+    /// Momentarily empty; more items may still arrive.
+    Empty,
+    /// Closed **and** drained; no item will ever arrive again.
+    Closed,
+}
+
+impl<T> TryPop<T> {
+    /// The item, if any (`Empty` and `Closed` both map to `None`).
+    pub fn item(self) -> Option<T> {
+        match self {
+            TryPop::Item(item) => Some(item),
+            TryPop::Empty | TryPop::Closed => None,
+        }
+    }
+}
+
 struct State<T> {
     buf: VecDeque<T>,
     closed: bool,
@@ -176,15 +202,19 @@ impl<T> BoundedQueue<T> {
         }
     }
 
-    /// Non-blocking pop.
-    pub fn try_pop(&self) -> Option<T> {
+    /// Non-blocking pop. Buffered items are returned even after close
+    /// (graceful drain); `Closed` means closed **and** drained.
+    pub fn try_pop(&self) -> TryPop<T> {
         let mut state = self.state.lock().expect("queue poisoned");
-        let item = state.buf.pop_front();
-        drop(state);
-        if item.is_some() {
-            self.not_full.notify_one();
+        match state.buf.pop_front() {
+            Some(item) => {
+                drop(state);
+                self.not_full.notify_one();
+                TryPop::Item(item)
+            }
+            None if state.closed => TryPop::Closed,
+            None => TryPop::Empty,
         }
-        item
     }
 
     /// Close the queue: no further pushes are accepted, buffered items
@@ -213,8 +243,28 @@ mod tests {
             q.try_push(i).unwrap();
         }
         assert_eq!(q.try_push(9), Err(TryPushError::Full(9)));
-        assert_eq!((0..4).map(|_| q.try_pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
-        assert!(q.try_pop().is_none());
+        assert_eq!(
+            (0..4).map(|_| q.try_pop().item().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert_eq!(q.try_pop(), TryPop::Empty);
+    }
+
+    #[test]
+    fn try_pop_distinguishes_empty_from_closed_and_drained() {
+        // Regression: a non-blocking consumer must be able to terminate.
+        // `try_pop` used to return `None` both when momentarily empty and
+        // when closed-and-drained, so writer-drain loops could not tell
+        // "retry later" from "shut down".
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_pop(), TryPop::Empty, "open and empty is retryable");
+        q.try_push(7).unwrap();
+        q.close();
+        // Buffered items still drain after close…
+        assert_eq!(q.try_pop(), TryPop::Item(7));
+        // …and only then does the queue report terminal closure.
+        assert_eq!(q.try_pop(), TryPop::Closed);
+        assert_eq!(q.try_pop(), TryPop::Closed, "closure is sticky");
     }
 
     #[test]

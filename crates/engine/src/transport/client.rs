@@ -1,0 +1,244 @@
+//! Blocking TCP client for the engine's transport front.
+//!
+//! [`TransportClient`] speaks the frame protocol over one connection:
+//! `submit`/`poll` for fine-grained control, and [`run_batch`] — a
+//! streaming batch mode mirroring [`Engine::run_batch`] semantics — for
+//! replaying a whole [`LoadProfile`] over the wire. `run_batch` keeps a
+//! bounded submission window in flight and interleaves reads, so it can
+//! never deadlock against the server's bounded queues, and it retries
+//! `BUSY` replies (the server's explicit backpressure signal) until
+//! every job is served. Results come back sorted by id, so the
+//! cross-wire determinism check is `fingerprints(tcp) ==
+//! fingerprints(in_process)` — bit for bit.
+//!
+//! [`run_batch`]: TransportClient::run_batch
+//! [`Engine::run_batch`]: crate::engine::Engine::run_batch
+//! [`LoadProfile`]: crate::traffic::LoadProfile
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Instant;
+
+use pooled_lab::split::LatencySplit;
+
+use crate::job::{JobResult, JobSpec};
+use crate::transport::frame::{read_frame, write_frame, Frame, FrameError};
+
+/// What can go wrong on the client side of the wire.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket-level failure (includes torn frames surfaced as
+    /// `InvalidData` by the stream reader).
+    Io(std::io::Error),
+    /// The server closed the connection mid-conversation.
+    Disconnected,
+    /// The peer sent a frame that is illegal in this direction.
+    Protocol(&'static str),
+    /// The server rejected job `id` as infeasible (terminal; retrying
+    /// cannot succeed).
+    Rejected(u64),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+            TransportError::Disconnected => write!(f, "server closed the connection"),
+            TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            TransportError::Rejected(id) => write!(f, "server rejected job {id} as infeasible"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// A reply frame the server may send.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Reply {
+    /// One completed job.
+    Result(JobResult),
+    /// The submission queue was full when job `id` arrived; retry.
+    Busy(u64),
+    /// Job `id` is infeasible; do not retry.
+    Rejected(u64),
+}
+
+/// One connection to a [`TransportServer`].
+///
+/// [`TransportServer`]: crate::transport::server::TransportServer
+pub struct TransportClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    read_scratch: Vec<u8>,
+    write_scratch: Vec<u8>,
+    window: usize,
+    busy_retries: u64,
+}
+
+impl TransportClient {
+    /// Connect to a transport server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+            read_scratch: Vec::new(),
+            write_scratch: Vec::new(),
+            window: 32,
+            busy_retries: 0,
+        })
+    }
+
+    /// Cap on unanswered submissions [`Self::run_batch`] keeps in flight
+    /// (default 32). Every in-flight frame provokes at most one ~88-byte
+    /// reply, so any window comfortably below the kernel's socket-buffer
+    /// budget keeps the pipeline deadlock-free; larger windows only help
+    /// on high-latency links.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn set_window(&mut self, window: usize) {
+        assert!(window > 0, "the batch pipeline needs a window of at least 1");
+        self.window = window;
+    }
+
+    /// `BUSY` replies absorbed (and retried) by [`Self::run_batch`] calls
+    /// so far — the client-visible face of server backpressure.
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    /// Send one job (buffered until [`Self::flush`] or a batch read).
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<(), TransportError> {
+        write_frame(&mut self.writer, &Frame::Submit(*spec), &mut self.write_scratch)?;
+        Ok(())
+    }
+
+    /// Flush buffered submissions to the socket.
+    pub fn flush(&mut self) -> Result<(), TransportError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Blocking read of the next server reply.
+    pub fn poll(&mut self) -> Result<Reply, TransportError> {
+        match read_frame(&mut self.reader, &mut self.read_scratch)? {
+            None => Err(TransportError::Disconnected),
+            Some(Frame::Result(r)) => Ok(Reply::Result(r)),
+            Some(Frame::Busy(id)) => Ok(Reply::Busy(id)),
+            Some(Frame::Reject(id)) => Ok(Reply::Rejected(id)),
+            Some(Frame::Submit(_)) => Err(TransportError::Protocol("server sent a SUBMIT frame")),
+        }
+    }
+
+    /// Serve a whole batch over the wire: pipeline submissions within the
+    /// window, retry `BUSY` replies, and append exactly `specs.len()`
+    /// results to `out`, **sorted by job id** — the same contract as
+    /// [`Engine::run_batch`], so fingerprint comparisons line up
+    /// element-wise.
+    ///
+    /// [`Engine::run_batch`]: crate::engine::Engine::run_batch
+    ///
+    /// # Panics
+    /// Panics if job ids repeat within the batch (ids are the retry and
+    /// routing key).
+    pub fn run_batch(
+        &mut self,
+        specs: &[JobSpec],
+        out: &mut Vec<JobResult>,
+    ) -> Result<(), TransportError> {
+        self.run_batch_impl(specs, out, None)
+    }
+
+    /// [`Self::run_batch`], additionally folding every job's latency into
+    /// `split`: the engine-reported queue wait and service time, plus the
+    /// wire overhead only this side of the socket can observe.
+    pub fn run_batch_split(
+        &mut self,
+        specs: &[JobSpec],
+        out: &mut Vec<JobResult>,
+        split: &mut LatencySplit,
+    ) -> Result<(), TransportError> {
+        self.run_batch_impl(specs, out, Some(split))
+    }
+
+    fn run_batch_impl(
+        &mut self,
+        specs: &[JobSpec],
+        out: &mut Vec<JobResult>,
+        mut split: Option<&mut LatencySplit>,
+    ) -> Result<(), TransportError> {
+        let start = out.len();
+        let by_id: HashMap<u64, JobSpec> = specs.iter().map(|s| (s.id, *s)).collect();
+        assert_eq!(by_id.len(), specs.len(), "batch job ids must be unique");
+        let mut to_send: VecDeque<u64> = specs.iter().map(|s| s.id).collect();
+        let mut sent_at: HashMap<u64, Instant> = HashMap::with_capacity(specs.len());
+        let mut in_flight = 0usize;
+        let mut got = 0usize;
+        // After a BUSY, prefer draining a reply over instantly resending:
+        // a Result frees a queue slot, so the retry lands; blind resends
+        // would ping-pong BUSY frames while the queue is still full.
+        let mut defer_retries = false;
+        while got < specs.len() {
+            let can_send = in_flight < self.window && !to_send.is_empty() && !defer_retries;
+            if can_send {
+                let id = to_send.pop_front().expect("nonempty");
+                sent_at.insert(id, Instant::now());
+                self.submit(&by_id[&id])?;
+                in_flight += 1;
+                if to_send.is_empty() || in_flight == self.window {
+                    self.flush()?;
+                }
+                continue;
+            }
+            self.flush()?;
+            match self.poll()? {
+                Reply::Result(r) => {
+                    in_flight -= 1;
+                    got += 1;
+                    defer_retries = false;
+                    if let Some(split) = split.as_deref_mut() {
+                        let observed = sent_at[&r.id].elapsed().as_micros() as u64;
+                        split.record_observed(r.queue_micros, r.total_micros, observed);
+                    }
+                    out.push(r);
+                }
+                Reply::Busy(id) => {
+                    assert!(by_id.contains_key(&id), "BUSY for a job this batch never sent");
+                    in_flight -= 1;
+                    self.busy_retries += 1;
+                    to_send.push_back(id);
+                    if in_flight > 0 {
+                        defer_retries = true;
+                    } else {
+                        // Nothing left to wait on: the whole window got
+                        // BUSY'd. Resending is now the *only* source of
+                        // future replies, so retries must not stay
+                        // deferred — just give the queue a moment to
+                        // drain instead of ping-ponging frames.
+                        defer_retries = false;
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+                Reply::Rejected(id) => return Err(TransportError::Rejected(id)),
+            }
+        }
+        out[start..].sort_unstable_by_key(|r| r.id);
+        Ok(())
+    }
+}

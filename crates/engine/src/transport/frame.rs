@@ -1,0 +1,529 @@
+//! Length-prefixed binary framing for the engine's wire types.
+//!
+//! Every frame is `header ‖ payload ‖ checksum` with an **explicit
+//! little-endian field layout** — fields are written byte by byte, never
+//! `unsafe`-transmuted, so the format is identical across platforms and
+//! independent of Rust struct layout:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     magic      (0xD5 — rejects non-protocol peers fast)
+//! 1       1     version    (1; any other value is rejected)
+//! 2       1     msg type   (1=SUBMIT 2=RESULT 3=BUSY 4=REJECT)
+//! 3       1     reserved   (0)
+//! 4       4     payload length, u32 LE (fixed per msg type)
+//! 8       len   payload    (layouts below)
+//! 8+len   8     checksum, u64 LE over header ‖ payload
+//! ```
+//!
+//! The payload length is *redundant* on purpose: each message type has
+//! exactly one legal length, and a mismatch is rejected before any
+//! payload byte is interpreted — a corrupted length can neither trigger
+//! a huge allocation nor desynchronize the stream parser. The checksum
+//! is the workspace's `mix64` chain ([`Digest`]) over the length-tagged
+//! bytes; it detects corruption, not tampering (the transport trusts its
+//! network like the in-process queues trust their callers).
+//!
+//! Payload layouts (all integers little-endian):
+//!
+//! `SUBMIT` — a [`JobSpec`], 60 bytes: `id:u64, n:u64, k:u64, m:u64,
+//! design_seed:u64, job_seed:u64, c_milli:u32, query_cost_micros:u32,
+//! design_kind:u8, decoder:u8, pad:u16(=0)`.
+//!
+//! `RESULT` — a [`JobResult`], 64 bytes: `id:u64, support_digest:u64,
+//! score_digest:u64, decode_micros:u64, queue_micros:u64,
+//! total_micros:u64, hits:u32, weight:u32, worker:u32, decoder:u8,
+//! exact:u8(0|1), pad:u16(=0)`.
+//!
+//! `BUSY` / `REJECT` — 8 bytes: the job `id` the server could not accept
+//! right now (backpressure — retry) or will never accept (infeasible
+//! spec — don't).
+
+use pooled_design::factory::DesignKind;
+
+use crate::job::{DecoderKind, DesignSpec, Digest, JobResult, JobSpec};
+
+/// First byte of every frame.
+pub const MAGIC: u8 = 0xD5;
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size (magic, version, type, reserved, length).
+pub const HEADER_LEN: usize = 8;
+/// Trailing checksum size.
+pub const CHECKSUM_LEN: usize = 8;
+/// `SUBMIT` payload size.
+pub const SPEC_PAYLOAD_LEN: usize = 60;
+/// `RESULT` payload size.
+pub const RESULT_PAYLOAD_LEN: usize = 64;
+/// `BUSY` / `REJECT` payload size.
+pub const ID_PAYLOAD_LEN: usize = 8;
+/// Largest whole frame the protocol can produce.
+pub const MAX_FRAME_LEN: usize = HEADER_LEN + RESULT_PAYLOAD_LEN + CHECKSUM_LEN;
+
+const TYPE_SUBMIT: u8 = 1;
+const TYPE_RESULT: u8 = 2;
+const TYPE_BUSY: u8 = 3;
+const TYPE_REJECT: u8 = 4;
+
+/// One decoded wire message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Frame {
+    /// Client → server: run this job.
+    Submit(JobSpec),
+    /// Server → client: one completed job.
+    Result(JobResult),
+    /// Server → client: the submission queue was full when job `id`
+    /// arrived (backpressure made explicit — the client may retry).
+    Busy(u64),
+    /// Server → client: job `id` is infeasible and will never be
+    /// accepted (do not retry).
+    Reject(u64),
+}
+
+/// Why a byte sequence is not a valid frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// First byte is not [`MAGIC`].
+    BadMagic(u8),
+    /// Version byte differs from [`VERSION`].
+    BadVersion(u8),
+    /// Unknown message type byte.
+    UnknownType(u8),
+    /// Payload length does not match the message type's fixed layout.
+    BadLength {
+        /// The offending message type.
+        msg_type: u8,
+        /// The length the header claimed.
+        got: u32,
+    },
+    /// Fewer bytes than the frame needs.
+    Truncated {
+        /// Bytes the frame needs in total.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// Checksum mismatch — the frame was corrupted in flight.
+    BadChecksum,
+    /// An enum byte is outside its domain.
+    BadEnum {
+        /// Which field.
+        field: &'static str,
+        /// The offending code.
+        code: u8,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic(b) => write!(f, "bad magic byte {b:#04x}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            FrameError::BadLength { msg_type, got } => {
+                write!(f, "payload length {got} is illegal for message type {msg_type}")
+            }
+            FrameError::Truncated { needed, got } => {
+                write!(f, "truncated frame: {got} of {needed} bytes")
+            }
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::BadEnum { field, code } => {
+                write!(f, "field {field} has out-of-domain code {code}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Checksum of the length-tagged byte stream: `mix64`-chained words, the
+/// same digest primitive the determinism fingerprints use.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut d = Digest::new();
+    d.push(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        d.push(u64::from_le_bytes(word));
+    }
+    d.finish()
+}
+
+/// Wire code of a decoder (index in [`DecoderKind::ALL`] — stable because
+/// `ALL` is the presentation order the whole workspace keys on).
+fn decoder_code(kind: DecoderKind) -> u8 {
+    DecoderKind::ALL.iter().position(|&k| k == kind).expect("decoder in ALL") as u8
+}
+
+fn decoder_from_code(code: u8) -> Result<DecoderKind, FrameError> {
+    DecoderKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or(FrameError::BadEnum { field: "decoder", code })
+}
+
+fn design_code(kind: DesignKind) -> u8 {
+    DesignKind::ALL.iter().position(|&k| k == kind).expect("design kind in ALL") as u8
+}
+
+fn design_from_code(code: u8) -> Result<DesignKind, FrameError> {
+    DesignKind::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or(FrameError::BadEnum { field: "design_kind", code })
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn get_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("bounds checked"))
+}
+
+fn get_usize(bytes: &[u8], at: usize, field: &'static str) -> Result<usize, FrameError> {
+    usize::try_from(get_u64(bytes, at)).map_err(|_| FrameError::BadEnum { field, code: u8::MAX })
+}
+
+fn payload_len_of(msg_type: u8) -> Result<usize, FrameError> {
+    match msg_type {
+        TYPE_SUBMIT => Ok(SPEC_PAYLOAD_LEN),
+        TYPE_RESULT => Ok(RESULT_PAYLOAD_LEN),
+        TYPE_BUSY | TYPE_REJECT => Ok(ID_PAYLOAD_LEN),
+        other => Err(FrameError::UnknownType(other)),
+    }
+}
+
+/// Serialize `frame` into `buf` (cleared first; reuse the buffer across
+/// frames to keep the wire path allocation-free after warm-up).
+pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
+    buf.clear();
+    let (msg_type, payload_len) = match frame {
+        Frame::Submit(_) => (TYPE_SUBMIT, SPEC_PAYLOAD_LEN),
+        Frame::Result(_) => (TYPE_RESULT, RESULT_PAYLOAD_LEN),
+        Frame::Busy(_) => (TYPE_BUSY, ID_PAYLOAD_LEN),
+        Frame::Reject(_) => (TYPE_REJECT, ID_PAYLOAD_LEN),
+    };
+    buf.reserve(HEADER_LEN + payload_len + CHECKSUM_LEN);
+    buf.push(MAGIC);
+    buf.push(VERSION);
+    buf.push(msg_type);
+    buf.push(0); // reserved
+    put_u32(buf, payload_len as u32);
+    match frame {
+        Frame::Submit(spec) => {
+            put_u64(buf, spec.id);
+            put_u64(buf, spec.n as u64);
+            put_u64(buf, spec.k as u64);
+            put_u64(buf, spec.m as u64);
+            put_u64(buf, spec.design.seed);
+            put_u64(buf, spec.seed);
+            put_u32(buf, spec.design.c_milli);
+            put_u32(buf, spec.query_cost_micros);
+            buf.push(design_code(spec.design.kind));
+            buf.push(decoder_code(spec.decoder));
+            put_u16(buf, 0); // pad
+        }
+        Frame::Result(r) => {
+            put_u64(buf, r.id);
+            put_u64(buf, r.support_digest);
+            put_u64(buf, r.score_digest);
+            put_u64(buf, r.decode_micros);
+            put_u64(buf, r.queue_micros);
+            put_u64(buf, r.total_micros);
+            put_u32(buf, r.hits);
+            put_u32(buf, r.weight);
+            put_u32(buf, r.worker);
+            buf.push(decoder_code(r.decoder));
+            buf.push(r.exact as u8);
+            put_u16(buf, 0); // pad
+        }
+        Frame::Busy(id) | Frame::Reject(id) => put_u64(buf, *id),
+    }
+    debug_assert_eq!(buf.len(), HEADER_LEN + payload_len);
+    let ck = checksum(buf);
+    put_u64(buf, ck);
+}
+
+/// Parse one frame from the front of `bytes`; returns the frame and how
+/// many bytes it consumed. Never reads past the frame, never allocates,
+/// and never interprets a payload byte before magic, version, type,
+/// length and checksum have all been verified.
+pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Truncated { needed: HEADER_LEN, got: bytes.len() });
+    }
+    if bytes[0] != MAGIC {
+        return Err(FrameError::BadMagic(bytes[0]));
+    }
+    if bytes[1] != VERSION {
+        return Err(FrameError::BadVersion(bytes[1]));
+    }
+    let msg_type = bytes[2];
+    let expected = payload_len_of(msg_type)?;
+    let claimed = get_u32(bytes, 4);
+    if claimed as usize != expected {
+        return Err(FrameError::BadLength { msg_type, got: claimed });
+    }
+    let total = HEADER_LEN + expected + CHECKSUM_LEN;
+    if bytes.len() < total {
+        return Err(FrameError::Truncated { needed: total, got: bytes.len() });
+    }
+    let body = &bytes[..HEADER_LEN + expected];
+    if checksum(body) != get_u64(bytes, HEADER_LEN + expected) {
+        return Err(FrameError::BadChecksum);
+    }
+    let p = &bytes[HEADER_LEN..HEADER_LEN + expected];
+    let frame = match msg_type {
+        TYPE_SUBMIT => Frame::Submit(JobSpec {
+            id: get_u64(p, 0),
+            n: get_usize(p, 8, "n")?,
+            k: get_usize(p, 16, "k")?,
+            m: get_usize(p, 24, "m")?,
+            design: DesignSpec {
+                kind: design_from_code(p[56])?,
+                c_milli: get_u32(p, 48),
+                seed: get_u64(p, 32),
+            },
+            decoder: decoder_from_code(p[57])?,
+            seed: get_u64(p, 40),
+            query_cost_micros: get_u32(p, 52),
+        }),
+        TYPE_RESULT => Frame::Result(JobResult {
+            id: get_u64(p, 0),
+            decoder: decoder_from_code(p[60])?,
+            exact: match p[61] {
+                0 => false,
+                1 => true,
+                code => return Err(FrameError::BadEnum { field: "exact", code }),
+            },
+            hits: get_u32(p, 48),
+            weight: get_u32(p, 52),
+            support_digest: get_u64(p, 8),
+            score_digest: get_u64(p, 16),
+            decode_micros: get_u64(p, 24),
+            queue_micros: get_u64(p, 32),
+            total_micros: get_u64(p, 40),
+            worker: get_u32(p, 56),
+        }),
+        TYPE_BUSY => Frame::Busy(get_u64(p, 0)),
+        TYPE_REJECT => Frame::Reject(get_u64(p, 0)),
+        _ => unreachable!("payload_len_of admitted the type"),
+    };
+    Ok((frame, total))
+}
+
+/// Write one frame to `w` (buffered writers should flush when their
+/// burst ends, not per frame). `scratch` is the reusable encode buffer.
+pub fn write_frame<W: std::io::Write>(
+    w: &mut W,
+    frame: &Frame,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    encode_frame(frame, scratch);
+    w.write_all(scratch)
+}
+
+/// Read one frame from `r`. `Ok(None)` is a clean end of stream (EOF
+/// before the first header byte); an EOF mid-frame is an error. Malformed
+/// frames surface as [`std::io::ErrorKind::InvalidData`] wrapping the
+/// [`FrameError`] — the caller should drop the connection, since a
+/// framing error leaves no way to resynchronize the stream.
+pub fn read_frame<R: std::io::Read>(
+    r: &mut R,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<Option<Frame>> {
+    let mut header = [0u8; HEADER_LEN];
+    // Distinguish clean EOF (no bytes at all) from a torn header.
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let got = r.read(&mut header[filled..])?;
+        if got == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(invalid(FrameError::Truncated { needed: HEADER_LEN, got: filled }));
+        }
+        filled += got;
+    }
+    // Validate the header before trusting its length (bounded by the
+    // fixed per-type layouts, so no attacker-controlled allocation).
+    if header[0] != MAGIC {
+        return Err(invalid(FrameError::BadMagic(header[0])));
+    }
+    if header[1] != VERSION {
+        return Err(invalid(FrameError::BadVersion(header[1])));
+    }
+    let payload_len = payload_len_of(header[2]).map_err(invalid)?;
+    let rest = payload_len + CHECKSUM_LEN;
+    scratch.clear();
+    scratch.extend_from_slice(&header);
+    scratch.resize(HEADER_LEN + rest, 0);
+    r.read_exact(&mut scratch[HEADER_LEN..])?;
+    match decode_frame(scratch) {
+        Ok((frame, _)) => Ok(Some(frame)),
+        Err(e) => Err(invalid(e)),
+    }
+}
+
+fn invalid(e: FrameError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: 42,
+            n: 1000,
+            k: 7,
+            m: 420,
+            design: DesignSpec { kind: DesignKind::NoReplace, c_milli: 350, seed: 0xDEAD_BEEF },
+            decoder: DecoderKind::GeneralMn,
+            seed: 0x1234_5678_9ABC_DEF0,
+            query_cost_micros: 2_000,
+        }
+    }
+
+    fn result() -> JobResult {
+        JobResult {
+            id: 42,
+            decoder: DecoderKind::Mn,
+            exact: true,
+            hits: 7,
+            weight: 7,
+            support_digest: 0x1111_2222_3333_4444,
+            score_digest: 0x5555_6666_7777_8888,
+            decode_micros: 314,
+            queue_micros: 159,
+            total_micros: 2_653,
+            worker: 3,
+        }
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        for frame in
+            [Frame::Submit(spec()), Frame::Result(result()), Frame::Busy(9), Frame::Reject(11)]
+        {
+            encode_frame(&frame, &mut buf);
+            let (decoded, consumed) = decode_frame(&buf).expect("round trip");
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, buf.len());
+        }
+    }
+
+    #[test]
+    fn layout_is_stable_little_endian() {
+        // The byte layout is a wire contract: pin the exact bytes of a
+        // known SUBMIT frame so an accidental field reorder or endianness
+        // change cannot slip through as "still round-trips".
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Submit(spec()), &mut buf);
+        assert_eq!(buf.len(), HEADER_LEN + SPEC_PAYLOAD_LEN + CHECKSUM_LEN);
+        assert_eq!(&buf[..8], &[MAGIC, VERSION, 1, 0, 60, 0, 0, 0]);
+        assert_eq!(&buf[8..16], &42u64.to_le_bytes(), "id");
+        assert_eq!(&buf[16..24], &1000u64.to_le_bytes(), "n");
+        assert_eq!(&buf[56..60], &350u32.to_le_bytes(), "c_milli");
+        assert_eq!(buf[64], 1, "design kind code (NoReplace)");
+        assert_eq!(buf[65], 1, "decoder code (GeneralMn)");
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Result(result()), &mut buf);
+        for cut in 0..buf.len() {
+            let err = decode_frame(&buf[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut at {cut} gave {err:?} instead of Truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        // The checksum covers header and payload, so flipping any byte —
+        // including the padding — must fail decode; flipping checksum
+        // bytes fails by definition.
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Submit(spec()), &mut buf);
+        for i in 0..buf.len() {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x40;
+            assert!(decode_frame(&corrupt).is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn header_errors_take_precedence() {
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Busy(1), &mut buf);
+        let mut bad = buf.clone();
+        bad[0] = 0x00;
+        assert_eq!(decode_frame(&bad), Err(FrameError::BadMagic(0x00)));
+        let mut bad = buf.clone();
+        bad[1] = 9;
+        assert_eq!(decode_frame(&bad), Err(FrameError::BadVersion(9)));
+        let mut bad = buf.clone();
+        bad[2] = 77;
+        assert_eq!(decode_frame(&bad), Err(FrameError::UnknownType(77)));
+    }
+
+    #[test]
+    fn decoder_and_design_codes_cover_all_variants() {
+        for (i, &k) in DecoderKind::ALL.iter().enumerate() {
+            assert_eq!(decoder_code(k), i as u8);
+            assert_eq!(decoder_from_code(i as u8), Ok(k));
+        }
+        assert!(decoder_from_code(DecoderKind::ALL.len() as u8).is_err());
+        for (i, &k) in DesignKind::ALL.iter().enumerate() {
+            assert_eq!(design_code(k), i as u8);
+            assert_eq!(design_from_code(i as u8), Ok(k));
+        }
+        assert!(design_from_code(DesignKind::ALL.len() as u8).is_err());
+    }
+
+    #[test]
+    fn stream_reader_round_trips_and_reports_clean_eof() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        for frame in [Frame::Submit(spec()), Frame::Busy(3), Frame::Result(result())] {
+            write_frame(&mut wire, &frame, &mut scratch).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut rbuf = Vec::new();
+        assert_eq!(read_frame(&mut cursor, &mut rbuf).unwrap(), Some(Frame::Submit(spec())));
+        assert_eq!(read_frame(&mut cursor, &mut rbuf).unwrap(), Some(Frame::Busy(3)));
+        assert_eq!(read_frame(&mut cursor, &mut rbuf).unwrap(), Some(Frame::Result(result())));
+        assert_eq!(read_frame(&mut cursor, &mut rbuf).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn stream_reader_rejects_torn_frames() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut wire, &Frame::Busy(3), &mut scratch).unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut cursor = std::io::Cursor::new(wire);
+        let mut rbuf = Vec::new();
+        let err = read_frame(&mut cursor, &mut rbuf).expect_err("torn frame");
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+    }
+}

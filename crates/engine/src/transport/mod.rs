@@ -1,0 +1,39 @@
+//! Network front for the engine: remote tenants over TCP.
+//!
+//! The engine's queues are in-process; this module puts a socket on
+//! them. Three pieces:
+//!
+//! * [`frame`] — length-prefixed binary framing for [`JobSpec`] /
+//!   [`JobResult`] with an explicit little-endian layout, a version
+//!   byte, and a checksum. Pure functions over byte slices, so the
+//!   codec is testable (and property-tested) without a socket.
+//! * [`server`] — a blocking TCP acceptor feeding the existing
+//!   [`BoundedQueue`]s: per-connection reader thread into
+//!   [`Engine::try_submit_routed`], writer thread draining that
+//!   connection's private [`ResultRoute`]. Backpressure is an explicit
+//!   `BUSY` reply frame — never a silent drop.
+//! * [`client`] — [`TransportClient`]: submit/poll plus a streaming
+//!   batch mode mirroring [`Engine::run_batch`], used by `engine_load
+//!   --transport tcp` to replay a [`LoadProfile`] over loopback.
+//!
+//! The headline invariant, pinned by `tests/transport_loopback.rs` and
+//! the CI smoke job: the same profile submitted over TCP produces
+//! result fingerprints **bit-identical** to in-process submission,
+//! across worker counts and batch windows. The wire may change *when*
+//! a job runs — never *what* it computes.
+//!
+//! [`JobSpec`]: crate::job::JobSpec
+//! [`JobResult`]: crate::job::JobResult
+//! [`BoundedQueue`]: crate::queue::BoundedQueue
+//! [`Engine::try_submit_routed`]: crate::engine::Engine::try_submit_routed
+//! [`Engine::run_batch`]: crate::engine::Engine::run_batch
+//! [`ResultRoute`]: crate::engine::ResultRoute
+//! [`LoadProfile`]: crate::traffic::LoadProfile
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{Reply, TransportClient, TransportError};
+pub use frame::{Frame, FrameError};
+pub use server::{TransportConfig, TransportServer};

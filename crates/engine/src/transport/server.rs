@@ -1,0 +1,336 @@
+//! Blocking TCP front over a running [`Engine`].
+//!
+//! One accept thread, two threads per connection:
+//!
+//! ```text
+//!            ┌─ reader thread:  SUBMIT frames ──► Engine::try_submit_routed
+//!            │        │  full queue ⇒ BUSY(id)   (never a silent drop)
+//!  TcpStream ┤        │  infeasible ⇒ REJECT(id)
+//!            └─ writer thread:  this connection's ResultRoute ──► RESULT frames
+//! ```
+//!
+//! Each connection owns a private [`ResultRoute`], so concurrent tenants
+//! only ever see their own completions, and the engine's shared
+//! completion stream (used by in-process `run_batch` callers) stays
+//! untouched. Backpressure is explicit end to end: a full submission
+//! queue turns into a `BUSY` reply frame carrying the job id — the
+//! client decides whether to retry — and a full per-connection result
+//! queue blocks the worker delivering into it (which the writer thread
+//! drains), exactly like the in-process bounded queues.
+//!
+//! The server trusts determinism, not the network: a malformed frame
+//! (bad magic, bad checksum, torn stream) terminates the connection —
+//! after a framing error there is no way to resynchronize, and decoding
+//! a corrupted `JobSpec` would break the bit-identical-results contract
+//! the loopback suite pins.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::{Engine, ResultRoute, SubmitError};
+use crate::queue::TryPop;
+use crate::transport::frame::{read_frame, write_frame, Frame};
+
+/// Transport sizing knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct TransportConfig {
+    /// Per-connection cap on jobs in flight (accepted but not yet
+    /// written back as `RESULT` frames). Doubles as the connection's
+    /// result-queue bound. A tenant at its cap gets `BUSY` replies, so
+    /// a stalled tenant that pipelines submissions without reading can
+    /// never park an engine worker on its full result queue — tenant
+    /// isolation is a liveness guarantee, not just a routing one.
+    pub route_capacity: usize,
+    /// Upper bound on a remote spec's `n` and `m`. `is_feasible` admits
+    /// any self-consistent shape, but a network peer could send a
+    /// well-formed `SUBMIT` whose buffers would exhaust memory and take
+    /// every tenant down; anything larger than this is `REJECT`ed at
+    /// the door.
+    pub max_dimension: usize,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self { route_capacity: 256, max_dimension: 1 << 24 }
+    }
+}
+
+/// Shared between the accept loop and `stop`.
+struct ServerShared {
+    engine: Arc<Engine>,
+    config: TransportConfig,
+    stopping: AtomicBool,
+    /// `(conn id, socket clone)` per **live** connection, so `stop` can
+    /// shut the sockets down and unblock reader threads parked in
+    /// `read`. Each connection removes its own entry on exit — a
+    /// long-running server must not leak one fd per tenant that ever
+    /// connected.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn: AtomicU64,
+}
+
+/// A listening TCP front. Dropping without [`TransportServer::stop`]
+/// aborts the accept loop on its next wake-up but does not join it;
+/// call `stop` for a deterministic teardown.
+pub struct TransportServer {
+    local_addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl TransportServer {
+    /// Bind `addr` (use port 0 for an ephemeral loopback port) and start
+    /// accepting connections against `engine`.
+    pub fn bind<A: ToSocketAddrs>(
+        engine: Arc<Engine>,
+        addr: A,
+        config: TransportConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            engine,
+            config,
+            stopping: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_handle = std::thread::Builder::new()
+            .name("transport-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("failed to spawn transport accept thread");
+        Ok(Self { local_addr, shared, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Connections currently being served (observability; also pins the
+    /// no-fd-leak contract — a disconnected tenant's entry is gone once
+    /// its threads wind down).
+    pub fn live_connections(&self) -> usize {
+        self.shared.conns.lock().expect("conn list poisoned").len()
+    }
+
+    /// Stop accepting, drop every live connection, and join all transport
+    /// threads. The engine itself keeps running — its owner shuts it down.
+    pub fn stop(mut self) {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop: it only observes `stopping` between
+        // accepts, so poke it with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            handle.join().expect("transport accept thread panicked");
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
+    let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        // Reap finished connections so a long-running server's handle
+        // list tracks live tenants, not every tenant that ever was.
+        conn_handles.retain(|h| !h.is_finished());
+        let stream = match stream {
+            Ok(s) => s,
+            Err(_) => continue, // transient accept error; keep serving
+        };
+        let _ = stream.set_nodelay(true);
+        let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conn list poisoned").push((conn_id, clone));
+        }
+        let conn_shared = Arc::clone(shared);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("transport-conn".into())
+            .spawn(move || serve_connection(conn_id, stream, &conn_shared))
+        {
+            conn_handles.push(handle);
+        }
+    }
+    // Shut every live socket down so reader threads parked in `read`
+    // wake with EOF, then join them (each joins its own writer).
+    for (_, conn) in shared.conns.lock().expect("conn list poisoned").iter() {
+        let _ = conn.shutdown(Shutdown::Both);
+    }
+    for handle in conn_handles {
+        handle.join().expect("transport connection thread panicked");
+    }
+}
+
+/// Frame sink shared by the connection's two producers (the writer
+/// thread streams RESULTs, the reader thread interjects BUSY/REJECT).
+struct WireWriter {
+    w: BufWriter<TcpStream>,
+    scratch: Vec<u8>,
+}
+
+impl WireWriter {
+    fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
+        write_frame(&mut self.w, frame, &mut self.scratch)
+    }
+}
+
+fn serve_connection(conn_id: u64, stream: TcpStream, shared: &ServerShared) {
+    let write_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            forget_connection(conn_id, shared);
+            return;
+        }
+    };
+    let route = shared.engine.open_route(shared.config.route_capacity);
+    let wire =
+        Arc::new(Mutex::new(WireWriter { w: BufWriter::new(write_stream), scratch: Vec::new() }));
+    // Jobs accepted but not yet written back as RESULT frames. Bounding
+    // this at `route_capacity` (reader refuses with BUSY at the cap) is
+    // what keeps workers from ever blocking on this tenant's result
+    // queue: at most `route_capacity` results can exist at once, and the
+    // queue holds exactly that many — a worker's push always finds room,
+    // even if the tenant stops reading forever.
+    let pending = Arc::new(AtomicUsize::new(0));
+
+    // Writer thread: drain this connection's completions. The tri-state
+    // `try_recv` is what makes the loop correct: `Empty` means flush the
+    // burst and park in the blocking `recv`, `Closed` means the tenant or
+    // engine is gone — terminate instead of polling a dead queue.
+    let writer_route = route.clone();
+    let writer_wire = Arc::clone(&wire);
+    let writer_pending = Arc::clone(&pending);
+    let writer = std::thread::Builder::new()
+        .name("transport-writer".into())
+        .spawn(move || writer_loop(&writer_route, &writer_wire, &writer_pending))
+        .expect("failed to spawn transport writer");
+
+    reader_loop(&stream, shared, &route, &wire, &pending);
+
+    // Reader is done (EOF, framing error, or engine shutdown): close the
+    // route so the writer drains what's buffered and exits, and so
+    // workers finishing this tenant's in-flight jobs drop their results
+    // instead of blocking on a queue nobody reads.
+    route.close();
+    writer.join().expect("transport writer panicked");
+    let _ = stream.shutdown(Shutdown::Both);
+    forget_connection(conn_id, shared);
+}
+
+/// Drop this connection's socket clone from the live list (a server
+/// handling short-lived tenants must not leak a descriptor per connect).
+fn forget_connection(conn_id: u64, shared: &ServerShared) {
+    shared.conns.lock().expect("conn list poisoned").retain(|(id, _)| *id != conn_id);
+}
+
+fn writer_loop(route: &ResultRoute, wire: &Mutex<WireWriter>, pending: &AtomicUsize) {
+    loop {
+        match route.try_recv() {
+            TryPop::Item(result) => {
+                let mut w = wire.lock().expect("wire writer poisoned");
+                let sent = w.send(&Frame::Result(result));
+                drop(w);
+                pending.fetch_sub(1, Ordering::AcqRel);
+                if sent.is_err() {
+                    return; // peer gone; reader will observe EOF and close the route
+                }
+            }
+            TryPop::Empty => {
+                // Burst over: flush what the tenant is waiting on, then
+                // park in the blocking pop until traffic resumes.
+                if wire.lock().expect("wire writer poisoned").w.flush().is_err() {
+                    return;
+                }
+                match route.recv() {
+                    Some(result) => {
+                        let mut w = wire.lock().expect("wire writer poisoned");
+                        let sent = w.send(&Frame::Result(result));
+                        drop(w);
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                        if sent.is_err() {
+                            return;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            TryPop::Closed => break,
+        }
+    }
+    let _ = wire.lock().expect("wire writer poisoned").w.flush();
+}
+
+fn reader_loop(
+    stream: &TcpStream,
+    shared: &ServerShared,
+    route: &ResultRoute,
+    wire: &Mutex<WireWriter>,
+    pending: &AtomicUsize,
+) {
+    let mut r = BufReader::new(stream);
+    let mut scratch = Vec::new();
+    loop {
+        let frame = match read_frame(&mut r, &mut scratch) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean disconnect
+            Err(_) => return,   // torn/corrupt stream: no resync possible
+        };
+        match frame {
+            Frame::Submit(spec) => {
+                // Semantic validation without unwinding the thread: remote
+                // peers must not be able to panic a reader with a bad
+                // spec, nor OOM the process with a well-formed spec whose
+                // buffers would be astronomically large.
+                if !spec.is_feasible()
+                    || spec.n > shared.config.max_dimension
+                    || spec.m > shared.config.max_dimension
+                {
+                    if send_now(wire, &Frame::Reject(spec.id)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                // Per-connection in-flight cap (see `serve_connection`):
+                // a tenant at its window gets BUSY like any other
+                // backpressure — explicit, retryable, never a drop.
+                if pending.load(Ordering::Acquire) >= shared.config.route_capacity {
+                    if send_now(wire, &Frame::Busy(spec.id)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                pending.fetch_add(1, Ordering::AcqRel);
+                match shared.engine.try_submit_routed(spec, route) {
+                    Ok(()) => {}
+                    Err(SubmitError::Backpressure(s)) => {
+                        pending.fetch_sub(1, Ordering::AcqRel);
+                        // The explicit backpressure contract: full queue ⇒
+                        // BUSY reply carrying the id, never a silent drop.
+                        if send_now(wire, &Frame::Busy(s.id)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(SubmitError::Closed(_)) => return, // engine shutting down
+                }
+            }
+            // RESULT/BUSY/REJECT flow server→client only; receiving one
+            // here is a protocol violation — drop the connection.
+            Frame::Result(_) | Frame::Busy(_) | Frame::Reject(_) => return,
+        }
+    }
+}
+
+/// Send a reply frame and flush immediately — BUSY/REJECT are answers the
+/// client is actively waiting on; parking them in the buffer could
+/// deadlock a client that blocks on the reply before sending more.
+fn send_now(wire: &Mutex<WireWriter>, frame: &Frame) -> std::io::Result<()> {
+    let mut w = wire.lock().expect("wire writer poisoned");
+    w.send(frame)?;
+    w.w.flush()
+}

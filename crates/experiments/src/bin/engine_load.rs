@@ -15,6 +15,13 @@
 //! 3. **Open-loop Poisson replay** — arrivals at `--rate` jobs/sec that
 //!    do not wait for completions; `try_submit` under backpressure, shed
 //!    jobs counted, p50/p95/p99 latency from the engine histogram.
+//! 4. **TCP loopback replay** (`--transport tcp`) — the same job batch
+//!    submitted through the transport front (frame codec → TCP → reader
+//!    thread → queues) at 1 and `--workers` shards, with the cross-wire
+//!    determinism check: fingerprints must be **bit-identical** to the
+//!    in-process sweep. Reports the queue/service/wire latency split
+//!    only the client side of the socket can observe, and the number of
+//!    BUSY backpressure replies absorbed.
 //!
 //! Jobs carry a simulated query-execution cost (`--latency-micros`,
 //! default 2000): the paper's premise is that queries dominate
@@ -25,15 +32,18 @@
 //! the speedup at the top worker count, and the open-loop tail latencies.
 //! Exits non-zero if any worker count broke determinism.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pooled_engine::engine::{Engine, EngineConfig};
 use pooled_engine::job::{DecoderKind, JobResult};
 use pooled_engine::traffic::{poisson_arrivals, LoadProfile};
+use pooled_engine::transport::{TransportClient, TransportConfig, TransportServer};
 use pooled_engine::JobSpec;
 use pooled_experiments::DEFAULT_SEED;
 use pooled_io::Args;
 use pooled_lab::latency::LatencyModel;
+use pooled_lab::split::LatencySplit;
 use pooled_rng::SeedSequence;
 use pooled_theory::thresholds::m_mn_finite;
 
@@ -65,6 +75,11 @@ fn main() {
     let cache = args.get_usize("cache", 16);
     let distinct_designs = args.get_u64("designs", 1);
     let decoders = parse_decoders(&args.get_str("decoders", "mn"));
+    let transport = args.get_str("transport", "none");
+    assert!(
+        transport == "none" || transport == "tcp",
+        "--transport must be 'none' or 'tcp', got {transport:?}"
+    );
     let out_path = args.get_str("out", "BENCH_ENGINE.json");
 
     let profile = LoadProfile {
@@ -151,6 +166,39 @@ fn main() {
         open.served, open.shed, open.p50, open.p95, open.p99
     );
 
+    // --- 3b. TCP loopback replay (--transport tcp) ------------------------
+    let mut tcp_passes = Vec::new();
+    let mut tcp_deterministic = true;
+    if transport == "tcp" {
+        println!("tcp      jobs/s       fingerprint-ok  busy  queue-p95  service-p95  wire-p95");
+        for &workers in &[1usize, max_workers] {
+            let pass = run_tcp_loop(workers, queue, cache, &specs);
+            let ok = pass.fingerprint == passes[0].fingerprint;
+            tcp_deterministic &= ok;
+            println!(
+                "{:<8} {:<12.1} {:<15} {:<5} {:<10} {:<12} {}",
+                pass.workers,
+                pass.jobs_per_sec,
+                if ok { "yes" } else { "NO" },
+                pass.busy_retries,
+                pass.queue_p95,
+                pass.service_p95,
+                pass.wire_p95,
+            );
+            tcp_passes.push(pass);
+        }
+        if !tcp_deterministic {
+            eprintln!(
+                "engine_load: DETERMINISM VIOLATION — TCP fingerprints differ from in-process"
+            );
+        } else {
+            println!(
+                "cross-wire fingerprints identical to in-process submission at 1 and \
+                 {max_workers} workers"
+            );
+        }
+    }
+
     // --- 4. Emit BENCH_ENGINE.json ---------------------------------------
     let sweep_rows: Vec<serde_json::Value> = passes
         .iter()
@@ -190,7 +238,21 @@ fn main() {
             })
         })
         .collect();
-    let report = serde_json::json!({
+    let tcp_rows: Vec<serde_json::Value> = tcp_passes
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "workers": p.workers,
+                "jobs_per_sec": p.jobs_per_sec,
+                "fingerprint": p.fingerprint,
+                "busy_retries": p.busy_retries,
+                "queue_p95_micros": p.queue_p95,
+                "service_p95_micros": p.service_p95,
+                "wire_p95_micros": p.wire_p95,
+            })
+        })
+        .collect();
+    let mut report = serde_json::json!({
         "experiment": "engine_load",
         "seed": seed,
         "params": params,
@@ -202,11 +264,67 @@ fn main() {
         "deterministic_across_batch_windows": batch_deterministic,
         "open_loop": open_loop,
     });
+    if transport == "tcp" {
+        if let serde_json::Value::Object(members) = &mut report {
+            members.push(("transport".to_string(), serde_json::json!("tcp")));
+            members.push(("tcp_loopback".to_string(), serde_json::Value::Array(tcp_rows)));
+            members.push((
+                "tcp_fingerprints_match_in_process".to_string(),
+                serde_json::Value::Bool(tcp_deterministic),
+            ));
+        }
+    }
     std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serializable"))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("engine_load: wrote {out_path}");
-    if !deterministic || !batch_deterministic {
+    if !deterministic || !batch_deterministic || !tcp_deterministic {
         std::process::exit(1);
+    }
+}
+
+/// One TCP loopback pass.
+struct TcpPass {
+    workers: usize,
+    jobs_per_sec: f64,
+    fingerprint: u64,
+    busy_retries: u64,
+    queue_p95: u64,
+    service_p95: u64,
+    wire_p95: u64,
+}
+
+/// Replay the batch through the transport front on an ephemeral loopback
+/// port: engine + TCP server + pipelined client, with the queue/service/
+/// wire latency split only the socket's client side can measure.
+fn run_tcp_loop(workers: usize, queue: usize, cache: usize, specs: &[JobSpec]) -> TcpPass {
+    let engine = Arc::new(Engine::start(EngineConfig {
+        workers,
+        queue_capacity: queue,
+        results_capacity: queue,
+        design_cache_capacity: cache,
+        batch_window: 1,
+    }));
+    let server =
+        TransportServer::bind(Arc::clone(&engine), "127.0.0.1:0", TransportConfig::default())
+            .expect("bind loopback transport");
+    let mut client = TransportClient::connect(server.local_addr()).expect("connect loopback");
+    let mut results = Vec::with_capacity(specs.len());
+    let mut split = LatencySplit::new();
+    let started = Instant::now();
+    client.run_batch_split(specs, &mut results, &mut split).expect("tcp replay failed");
+    let elapsed = started.elapsed().as_secs_f64();
+    let busy_retries = client.busy_retries();
+    drop(client);
+    server.stop();
+    Arc::try_unwrap(engine).ok().expect("transport released the engine").shutdown();
+    TcpPass {
+        workers,
+        jobs_per_sec: specs.len() as f64 / elapsed,
+        fingerprint: batch_fingerprint(&results),
+        busy_retries,
+        queue_p95: split.queue.quantile_micros(0.95),
+        service_p95: split.service.quantile_micros(0.95),
+        wire_p95: split.wire.quantile_micros(0.95),
     }
 }
 

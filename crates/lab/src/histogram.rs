@@ -52,9 +52,20 @@ impl LatencyHistogram {
 
     /// Record one observation in microseconds. O(1), no allocation.
     pub fn record_micros(&mut self, micros: u64) {
-        self.buckets[bucket_of(micros)] += 1;
-        self.count += 1;
-        self.sum_micros = self.sum_micros.saturating_add(micros);
+        self.record_micros_n(micros, 1);
+    }
+
+    /// Record `n` identical observations in O(1) (pre-binned sources,
+    /// weighted recording, and the saturation regression tests). All
+    /// counters saturate at `u64::MAX` instead of wrapping.
+    pub fn record_micros_n(&mut self, micros: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let b = &mut self.buckets[bucket_of(micros)];
+        *b = b.saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.sum_micros = self.sum_micros.saturating_add(micros.saturating_mul(n));
         self.max_micros = self.max_micros.max(micros);
     }
 
@@ -106,11 +117,17 @@ impl LatencyHistogram {
 
     /// Fold another histogram into this one (parallel-reduction support:
     /// per-worker histograms merge into the engine-wide view).
+    ///
+    /// Every accumulator saturates at `u64::MAX`. `sum_micros` always did,
+    /// but `count` and the bucket counters used to wrap (panic in debug),
+    /// so merging long-lived per-worker histograms near the top of the
+    /// range could report fewer observations than either input — quantile
+    /// ranks computed from a wrapped `count` were garbage.
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum_micros = self.sum_micros.saturating_add(other.sum_micros);
         self.max_micros = self.max_micros.max(other.max_micros);
     }
@@ -256,6 +273,47 @@ mod tests {
         assert_eq!(left.mean_micros(), whole.mean_micros());
         for q in [0.1, 0.5, 0.9, 0.99] {
             assert_eq!(left.quantile_micros(q), whole.quantile_micros(q));
+        }
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        // Regression: `merge` saturated `sum_micros` but wrapped `count`
+        // and the bucket counters. Two histograms whose counts sum past
+        // u64::MAX must clamp to u64::MAX, not wrap to a tiny value that
+        // poisons quantile ranks.
+        let mut a = LatencyHistogram::new();
+        a.record_micros_n(100, u64::MAX - 3);
+        let mut b = LatencyHistogram::new();
+        b.record_micros_n(100, 10);
+        b.record_micros_n(5_000, 2);
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX, "count must saturate, not wrap");
+        // The shared bucket also saturates (it held u64::MAX - 3 and
+        // receives 10 more); quantiles stay well-defined and monotone.
+        let p50 = a.quantile_micros(0.5);
+        assert!((100..=106).contains(&p50), "p50={p50} escaped 100's bucket");
+        assert_eq!(a.max_micros(), 5_000);
+        // Merging *again* keeps everything pinned at the ceiling.
+        a.merge(&b);
+        assert_eq!(a.count(), u64::MAX);
+        assert!(a.mean_micros().is_finite());
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut bulk = LatencyHistogram::new();
+        bulk.record_micros_n(777, 5);
+        bulk.record_micros_n(33, 0); // no-op: records nothing, not even max
+        let mut each = LatencyHistogram::new();
+        for _ in 0..5 {
+            each.record_micros(777);
+        }
+        assert_eq!(bulk.count(), each.count());
+        assert_eq!(bulk.mean_micros(), each.mean_micros());
+        assert_eq!(bulk.max_micros(), each.max_micros());
+        for q in [0.1, 0.5, 0.99] {
+            assert_eq!(bulk.quantile_micros(q), each.quantile_micros(q));
         }
     }
 

@@ -12,6 +12,8 @@
 //! * [`latency`] — per-query duration models (fixed, uniform, log-normal).
 //! * [`histogram`] — allocation-free log₂-bucketed latency histograms for
 //!   serving telemetry (the reconstruction engine records one per job).
+//! * [`split`] — queue-wait vs service vs socket-wait breakdown for
+//!   remote tenants (the TCP transport's replay telemetry).
 //! * [`event`] — a tiny deterministic discrete-event queue.
 //! * [`scheduler`] — greedy list scheduling of `m` queries on `L` units,
 //!   with makespan and utilization accounting.
@@ -23,9 +25,11 @@ pub mod event;
 pub mod histogram;
 pub mod latency;
 pub mod scheduler;
+pub mod split;
 pub mod stages;
 
 pub use histogram::LatencyHistogram;
 pub use latency::LatencyModel;
 pub use scheduler::{schedule, ScheduleReport};
+pub use split::LatencySplit;
 pub use stages::{stage_plan_makespan, TradeoffPoint};
