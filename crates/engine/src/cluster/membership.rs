@@ -1,0 +1,208 @@
+//! Deterministic key placement: rendezvous (HRW) hashing of
+//! [`DesignKey`] → node.
+//!
+//! The cluster's whole point is cache affinity: every job carrying a
+//! given design key must land on the same node, so that node's design
+//! cache serves a stable tenant slice. Rendezvous hashing gives exactly
+//! the properties that need:
+//!
+//! * **Pure function** — placement depends only on the key and the set
+//!   of node ids. No routing state, no arrival-order dependence; two
+//!   router instances over the same membership agree on every key.
+//! * **Minimal migration** — adding a node moves a key if and only if
+//!   the new node wins that key's score contest, so exactly the keys
+//!   the new node now owns migrate and nothing shuffles between the
+//!   survivors. Removing a node relocates only the removed node's keys.
+//!
+//! Scores are `mix64` chains over the key digest and the node id — the
+//! same splitmix finalizer the rest of the workspace uses for digests,
+//! so placement is identical across platforms and runs.
+
+use pooled_rng::splitmix::mix64;
+
+use crate::cache::DesignKey;
+use crate::job::Digest;
+use pooled_design::factory::DesignKind;
+
+/// 64-bit digest of a design key (all five identity fields; the design
+/// kind hashes by its stable position in [`DesignKind::ALL`], the same
+/// code the wire format uses).
+fn key_digest(key: &DesignKey) -> u64 {
+    let kind_code =
+        DesignKind::ALL.iter().position(|&k| k == key.kind).expect("design kind in ALL") as u64;
+    let mut d = Digest::new();
+    d.push(key.n as u64);
+    d.push(key.m as u64);
+    d.push(kind_code);
+    d.push(key.c_milli as u64);
+    d.push(key.seed);
+    d.finish()
+}
+
+/// A node's score for a key: highest score owns the key.
+fn score(node_id: u64, key_digest: u64) -> u64 {
+    mix64(key_digest ^ mix64(node_id))
+}
+
+/// The cluster's placement table: an ordered set of node ids plus the
+/// HRW ownership function. Cheap to clone (a `Vec<u64>`); the router
+/// swaps tables atomically during a rebalance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Membership {
+    nodes: Vec<u64>,
+}
+
+impl Membership {
+    /// A table over `nodes` (ids must be unique; order is irrelevant to
+    /// placement — ownership depends only on the id *set*).
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or contains a duplicate id.
+    pub fn new(nodes: Vec<u64>) -> Self {
+        assert!(!nodes.is_empty(), "a membership needs at least one node");
+        let mut seen = nodes.clone();
+        seen.sort_unstable();
+        assert!(seen.windows(2).all(|w| w[0] != w[1]), "node ids must be unique");
+        Self { nodes }
+    }
+
+    /// The node ids, in construction order (the router's slot order).
+    pub fn node_ids(&self) -> &[u64] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Index (into [`Self::node_ids`]) of the node owning `key`.
+    pub fn owner_index(&self, key: &DesignKey) -> usize {
+        let digest = key_digest(key);
+        let mut best = 0usize;
+        let mut best_score = (score(self.nodes[0], digest), self.nodes[0]);
+        for (i, &id) in self.nodes.iter().enumerate().skip(1) {
+            // Ties (astronomically unlikely) break by id, so ownership is
+            // a function of the id set, never of vector order.
+            let s = (score(id, digest), id);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Id of the node owning `key`.
+    pub fn owner(&self, key: &DesignKey) -> u64 {
+        self.nodes[self.owner_index(key)]
+    }
+
+    /// This table with `id` added (HRW: only keys the new node wins
+    /// migrate to it; every other key keeps its owner).
+    ///
+    /// # Panics
+    /// Panics if `id` is already a member.
+    pub fn with_node(&self, id: u64) -> Membership {
+        assert!(!self.nodes.contains(&id), "node {id} already in the membership");
+        let mut nodes = self.nodes.clone();
+        nodes.push(id);
+        Membership { nodes }
+    }
+
+    /// This table with `id` removed (only the removed node's keys
+    /// migrate, each to its runner-up scorer).
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member or is the last node.
+    pub fn without_node(&self, id: u64) -> Membership {
+        assert!(self.nodes.contains(&id), "node {id} not in the membership");
+        assert!(self.nodes.len() > 1, "cannot remove the last node");
+        Membership { nodes: self.nodes.iter().copied().filter(|&n| n != id).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> DesignKey {
+        DesignKey {
+            n: 400 + (seed % 7) as usize,
+            m: 200,
+            kind: DesignKind::ALL[(seed % DesignKind::ALL.len() as u64) as usize],
+            c_milli: 500,
+            seed,
+        }
+    }
+
+    #[test]
+    fn placement_depends_on_the_id_set_not_the_order() {
+        let a = Membership::new(vec![10, 20, 30]);
+        let b = Membership::new(vec![30, 10, 20]);
+        for s in 0..200 {
+            assert_eq!(a.owner(&key(s)), b.owner(&key(s)), "key {s}");
+        }
+    }
+
+    #[test]
+    fn adding_a_node_only_moves_keys_it_wins() {
+        let old = Membership::new(vec![1, 2, 3]);
+        let new = old.with_node(4);
+        let mut moved = 0;
+        for s in 0..500 {
+            let k = key(s);
+            let before = old.owner(&k);
+            let after = new.owner(&k);
+            if before != after {
+                assert_eq!(after, 4, "key {s} migrated to a survivor, not the new node");
+                moved += 1;
+            }
+        }
+        // Expect roughly 1/4 of keys on the new node; allow wide slack.
+        assert!((50..=250).contains(&moved), "moved {moved}/500");
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_keys() {
+        let old = Membership::new(vec![1, 2, 3, 4]);
+        let new = old.without_node(2);
+        for s in 0..500 {
+            let k = key(s);
+            if old.owner(&k) != 2 {
+                assert_eq!(old.owner(&k), new.owner(&k), "survivor key {s} moved");
+            } else {
+                assert_ne!(new.owner(&k), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn keys_spread_over_all_nodes() {
+        let m = Membership::new(vec![7, 8, 9]);
+        let mut counts = [0usize; 3];
+        for s in 0..600 {
+            counts[m.owner_index(&key(s))] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 100, "node {i} owns only {c}/600 keys");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_ids_rejected() {
+        let _ = Membership::new(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_membership_rejected() {
+        let _ = Membership::new(vec![]);
+    }
+}

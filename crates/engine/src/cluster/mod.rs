@@ -1,0 +1,41 @@
+//! Multi-node serving: the engine as one tier of a scalable system.
+//!
+//! The paper's parallel reconstruction story scales past one machine
+//! only if each shard keeps its design pools hot. This module is that
+//! scaling tier, in three layers:
+//!
+//! * [`node`] — the [`NodeHandle`] abstraction: "a place jobs run",
+//!   with [`LocalNode`] (an in-process [`Engine`] behind a private
+//!   route) and [`RemoteNode`] (one TCP connection speaking the
+//!   transport frame protocol) as interchangeable impls. The transport
+//!   server itself serves per-connection `NodeHandle` sessions minted
+//!   by a [`NodeFactory`], so single-node paths really are a 1-node
+//!   cluster.
+//! * [`membership`] — deterministic placement: rendezvous (HRW)
+//!   hashing of [`DesignKey`] → node, so every job carrying a key
+//!   lands on that key's owner, each node's design cache serves a
+//!   stable slice, and adding a node migrates only the keys the new
+//!   node wins.
+//! * [`router`] — the [`Router`]: per-node in-flight windows,
+//!   BUSY-aware retry against both local (synchronous) and remote
+//!   (frame) backpressure, result fan-in preserving per-job
+//!   determinism fingerprints, and a rebalance step with an explicit
+//!   drain protocol.
+//!
+//! The headline invariant, pinned by `tests/cluster_determinism.rs`
+//! and the CI cluster smoke: a `LoadProfile` replayed through 1 local
+//! node, an N-node local cluster, and an N-node TCP loopback cluster
+//! yields **bit-identical** per-job result fingerprints. The cluster
+//! may change *where* and *when* a job runs — never *what* it
+//! computes.
+//!
+//! [`Engine`]: crate::engine::Engine
+//! [`DesignKey`]: crate::cache::DesignKey
+
+pub mod membership;
+pub mod node;
+pub mod router;
+
+pub use membership::Membership;
+pub use node::{LocalNode, NodeEvent, NodeFactory, NodeHandle, RemoteNode, SubmitOutcome};
+pub use router::{ClusterStats, Router};

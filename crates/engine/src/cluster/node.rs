@@ -1,0 +1,451 @@
+//! "A place jobs run": the [`NodeHandle`] abstraction and its two impls.
+//!
+//! Everything above the engine — the transport server, the cluster
+//! router, `engine_load` — used to talk to a concrete [`Engine`]. This
+//! module lifts that dependency behind a trait so a single in-process
+//! engine, a remote engine across the PR 4 frame protocol, and (later)
+//! anything else that serves [`JobSpec`]s look identical to the tiers
+//! above: single-node paths are just a 1-node cluster.
+//!
+//! * [`LocalNode`] wraps an [`Engine`] plus a private [`ResultRoute`],
+//!   so a node's completion stream never interleaves with another
+//!   tenant's. It either **owns** its engine ([`LocalNode::start`] — the
+//!   router's usual case) or **attaches** to a shared one
+//!   ([`LocalNode::attach`] — the transport server's per-connection
+//!   session).
+//! * [`RemoteNode`] wraps one TCP connection speaking the transport
+//!   frame protocol: submissions are written frames, and a pump thread
+//!   turns reply frames into [`NodeEvent`]s so `recv`/`try_recv` have
+//!   the same non-blocking tri-state as the in-process queues.
+//!
+//! Backpressure is uniform but surfaces at the two places it physically
+//! occurs: a local full queue is *synchronous* ([`SubmitOutcome::Busy`]
+//! from `try_submit`), a remote full queue is *asynchronous* (a `BUSY`
+//! frame arriving later as [`NodeEvent::Busy`]). Callers that handle
+//! both — push the spec back on a retry queue — work unchanged against
+//! either node kind; that is the router's BUSY-aware retry loop.
+
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::cache::DesignKey;
+use crate::engine::{Engine, EngineConfig, EngineStats, ResultRoute, SubmitError};
+use crate::job::{JobResult, JobSpec};
+use crate::queue::{BoundedQueue, TryPop};
+use crate::transport::frame::{read_frame, Frame, FrameWriter};
+
+/// Something a node hands back on its completion stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NodeEvent {
+    /// One completed job.
+    Result(JobResult),
+    /// The node's submission queue was full when job `id` arrived
+    /// (remote backpressure — the wire's `BUSY` frame); resubmit later.
+    Busy(u64),
+    /// The node terminally refused job `id`: the spec passed local
+    /// validation but the node's transport rejected it (e.g. its
+    /// `max_dimension` cap is below the spec shape). Never retry; the
+    /// router resolves the job without a result
+    /// ([`crate::cluster::Router::rejected`]).
+    Rejected(u64),
+}
+
+/// What can go wrong talking to a node.
+#[derive(Debug)]
+pub enum NodeError {
+    /// The node is shutting down (or the connection is gone); the spec
+    /// will never be served here.
+    Closed,
+    /// Socket-level failure on a remote node.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for NodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NodeError::Closed => write!(f, "node closed"),
+            NodeError::Io(e) => write!(f, "node i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+/// Outcome of a non-blocking submission to a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job was accepted (locally queued, or handed to the wire — a
+    /// remote node may still answer with [`NodeEvent::Busy`]).
+    Accepted,
+    /// Local backpressure: the submission queue is full *right now*;
+    /// retry after draining an event.
+    Busy,
+}
+
+/// A place jobs run. Object-safe; `Send + Sync` so one handle can be
+/// shared between a submitting thread and a draining thread (the
+/// transport server's reader/writer pair does exactly that).
+pub trait NodeHandle: Send + Sync {
+    /// Blocking submission: waits out local backpressure, errs once the
+    /// node is gone. (A remote node cannot block on the peer's queue —
+    /// its backpressure arrives later as [`NodeEvent::Busy`].)
+    fn submit(&self, spec: JobSpec) -> Result<(), NodeError>;
+
+    /// Non-blocking submission (see [`SubmitOutcome`]).
+    fn try_submit(&self, spec: JobSpec) -> Result<SubmitOutcome, NodeError>;
+
+    /// Push buffered submissions toward the node. No-op for local nodes;
+    /// remote nodes flush their socket writer. Call before waiting on
+    /// events for jobs just submitted.
+    fn flush(&self) -> Result<(), NodeError> {
+        Ok(())
+    }
+
+    /// Blocking receive; `None` once the node's completion stream is
+    /// closed **and** drained.
+    fn recv(&self) -> Option<NodeEvent>;
+
+    /// Non-blocking receive with the tri-state a fan-in loop needs:
+    /// `Empty` (poll again later) vs `Closed` (this node is done).
+    fn try_recv(&self) -> TryPop<NodeEvent>;
+
+    /// This node's serving telemetry, when observable from here: a local
+    /// node reports its engine's stats, a remote node reports `None`
+    /// (its stats live on the far side of the socket).
+    fn stats(&self) -> Option<EngineStats>;
+
+    /// Close the completion stream: wakes blocked `recv` callers,
+    /// further events are dropped. Idempotent. Does not stop the
+    /// underlying engine — that is [`NodeHandle::shutdown`]'s job.
+    fn close(&self);
+
+    /// Tear the node down. Returns final telemetry when this handle
+    /// owned the serving resources (a [`LocalNode::start`] node shuts
+    /// its engine down); `None` for attached sessions and remote nodes,
+    /// whose engines outlive the handle.
+    fn shutdown(self: Box<Self>) -> Option<EngineStats>;
+}
+
+/// An in-process node: an [`Engine`] behind a private [`ResultRoute`].
+pub struct LocalNode {
+    engine: Arc<Engine>,
+    route: ResultRoute,
+    /// Whether this handle started (and therefore shuts down) the engine.
+    owned: bool,
+}
+
+impl LocalNode {
+    /// Start a fresh engine owned by this node. The node's completion
+    /// stream holds up to `config.results_capacity` buffered results.
+    pub fn start(config: EngineConfig) -> Self {
+        Self::start_prewarmed(config, &[])
+    }
+
+    /// [`Self::start`] with a design-cache warm-up from a key snapshot
+    /// before the node accepts traffic (see
+    /// [`Engine::start_prewarmed`]) — the restarted-node path.
+    pub fn start_prewarmed(config: EngineConfig, prewarm: &[DesignKey]) -> Self {
+        let engine = Arc::new(Engine::start_prewarmed(config, prewarm));
+        let route = engine.open_route(config.results_capacity.max(1));
+        Self { engine, route, owned: true }
+    }
+
+    /// Attach a session to a shared engine: a private completion stream
+    /// holding up to `route_capacity` results. Shutting the session down
+    /// closes only the route — the engine belongs to its owner. This is
+    /// the transport server's per-connection handle.
+    pub fn attach(engine: Arc<Engine>, route_capacity: usize) -> Self {
+        let route = engine.open_route(route_capacity.max(1));
+        Self { engine, route, owned: false }
+    }
+
+    /// The wrapped engine (telemetry, extra routes).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+}
+
+impl NodeHandle for LocalNode {
+    fn submit(&self, spec: JobSpec) -> Result<(), NodeError> {
+        self.engine.submit_routed(spec, &self.route).map_err(|_| NodeError::Closed)
+    }
+
+    fn try_submit(&self, spec: JobSpec) -> Result<SubmitOutcome, NodeError> {
+        match self.engine.try_submit_routed(spec, &self.route) {
+            Ok(()) => Ok(SubmitOutcome::Accepted),
+            Err(SubmitError::Backpressure(_)) => Ok(SubmitOutcome::Busy),
+            Err(SubmitError::Closed(_)) => Err(NodeError::Closed),
+        }
+    }
+
+    fn recv(&self) -> Option<NodeEvent> {
+        self.route.recv().map(NodeEvent::Result)
+    }
+
+    fn try_recv(&self) -> TryPop<NodeEvent> {
+        match self.route.try_recv() {
+            TryPop::Item(r) => TryPop::Item(NodeEvent::Result(r)),
+            TryPop::Empty => TryPop::Empty,
+            TryPop::Closed => TryPop::Closed,
+        }
+    }
+
+    fn stats(&self) -> Option<EngineStats> {
+        Some(self.engine.stats())
+    }
+
+    fn close(&self) {
+        self.route.close();
+    }
+
+    fn shutdown(self: Box<Self>) -> Option<EngineStats> {
+        self.route.close();
+        if !self.owned {
+            return None;
+        }
+        let engine = self.engine;
+        // Attached routes (none for owned nodes) aside, this handle holds
+        // the only Arc; a failure to unwrap means the caller leaked a
+        // clone from `engine()` — let them shut it down instead.
+        Arc::try_unwrap(engine).ok().map(Engine::shutdown)
+    }
+}
+
+/// A node across the wire: one TCP connection to a transport server,
+/// speaking the PR 4 frame protocol. Submissions are `SUBMIT` frames; a
+/// pump thread reads reply frames into a bounded event queue so
+/// `recv`/`try_recv` behave exactly like a local node's.
+pub struct RemoteNode {
+    stream: TcpStream,
+    writer: Mutex<FrameWriter<BufWriter<TcpStream>>>,
+    events: Arc<BoundedQueue<NodeEvent>>,
+    pump: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl RemoteNode {
+    /// Buffered events the pump may hold before backpressuring the
+    /// socket. Far above any router window, so the pump never stalls in
+    /// practice; bounded so a runaway peer cannot grow memory.
+    const EVENT_CAPACITY: usize = 1024;
+
+    /// Connect to a transport server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let read_half = stream.try_clone()?;
+        let write_half = stream.try_clone()?;
+        let events = Arc::new(BoundedQueue::new(Self::EVENT_CAPACITY));
+        let pump_events = Arc::clone(&events);
+        let pump = std::thread::Builder::new()
+            .name("remote-node-pump".into())
+            .spawn(move || pump_replies(read_half, &pump_events))
+            .expect("failed to spawn remote node pump");
+        Ok(Self {
+            stream,
+            writer: Mutex::new(FrameWriter::new(BufWriter::new(write_half))),
+            events,
+            pump: Mutex::new(Some(pump)),
+        })
+    }
+}
+
+impl Drop for RemoteNode {
+    /// A handle dropped without [`NodeHandle::shutdown`] must not leak
+    /// its pump thread (blocked in `read` on a cloned fd, the socket
+    /// would stay open and the server would never see EOF): close the
+    /// connection — which unblocks the pump — and join it. Idempotent
+    /// with `shutdown`, which already took the pump handle.
+    fn drop(&mut self) {
+        self.close();
+        if let Some(pump) = self.pump.lock().expect("pump handle poisoned").take() {
+            pump.join().expect("remote node pump panicked");
+        }
+    }
+}
+
+/// Reader half: turn reply frames into events until the stream ends.
+/// Every exit path closes the event queue — that is how `recv` callers
+/// learn the node is gone.
+fn pump_replies(stream: TcpStream, events: &BoundedQueue<NodeEvent>) {
+    let mut r = BufReader::new(stream);
+    let mut scratch = Vec::new();
+    loop {
+        let event = match read_frame(&mut r, &mut scratch) {
+            Ok(Some(Frame::Result(result))) => NodeEvent::Result(result),
+            Ok(Some(Frame::Busy(id))) => NodeEvent::Busy(id),
+            Ok(Some(Frame::Reject(id))) => NodeEvent::Rejected(id),
+            // A server never sends SUBMIT; EOF and torn frames both end
+            // the conversation (no resync point after a framing error).
+            Ok(Some(Frame::Submit(_))) | Ok(None) | Err(_) => break,
+        };
+        if events.push(event).is_err() {
+            break; // handle closed locally; stop pumping
+        }
+    }
+    events.close();
+}
+
+impl NodeHandle for RemoteNode {
+    fn submit(&self, spec: JobSpec) -> Result<(), NodeError> {
+        // The wire cannot block on the peer's queue; "blocking" submit is
+        // write + flush, and backpressure arrives as a BUSY event.
+        self.try_submit(spec)?;
+        self.flush()
+    }
+
+    fn try_submit(&self, spec: JobSpec) -> Result<SubmitOutcome, NodeError> {
+        let mut writer = self.writer.lock().expect("remote writer poisoned");
+        writer.send(&Frame::Submit(spec)).map_err(NodeError::Io)?;
+        Ok(SubmitOutcome::Accepted)
+    }
+
+    fn flush(&self) -> Result<(), NodeError> {
+        self.writer.lock().expect("remote writer poisoned").flush().map_err(NodeError::Io)
+    }
+
+    fn recv(&self) -> Option<NodeEvent> {
+        // Anything buffered must reach the server before we wait on it.
+        let _ = self.flush();
+        self.events.pop()
+    }
+
+    fn try_recv(&self) -> TryPop<NodeEvent> {
+        let _ = self.flush();
+        self.events.try_pop()
+    }
+
+    fn stats(&self) -> Option<EngineStats> {
+        None // the engine's telemetry lives on the far side of the socket
+    }
+
+    fn close(&self) {
+        self.events.close();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    fn shutdown(self: Box<Self>) -> Option<EngineStats> {
+        self.close();
+        if let Some(pump) = self.pump.lock().expect("pump handle poisoned").take() {
+            pump.join().expect("remote node pump panicked");
+        }
+        None
+    }
+}
+
+/// Mints per-connection [`NodeHandle`] sessions for the transport
+/// server: each accepted connection gets its own completion stream, so
+/// concurrent tenants only ever see their own events.
+pub trait NodeFactory: Send + Sync {
+    /// A fresh session whose completion stream buffers up to
+    /// `route_capacity` events.
+    fn open_session(&self, route_capacity: usize) -> Box<dyn NodeHandle>;
+}
+
+/// The canonical factory: sessions are private routes into one shared
+/// engine — today's transport server, expressed through the trait.
+impl NodeFactory for Arc<Engine> {
+    fn open_session(&self, route_capacity: usize) -> Box<dyn NodeHandle> {
+        Box::new(LocalNode::attach(Arc::clone(self), route_capacity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{DecoderKind, DesignSpec};
+
+    fn spec(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            n: 250,
+            k: 5,
+            m: 160,
+            design: DesignSpec::random_regular(3),
+            decoder: DecoderKind::Mn,
+            seed: 500 + id,
+            query_cost_micros: 0,
+        }
+    }
+
+    #[test]
+    fn local_node_round_trips_jobs_and_reports_stats() {
+        let node = LocalNode::start(EngineConfig::with_workers(2));
+        for id in 0..6 {
+            node.submit(spec(id)).unwrap();
+        }
+        let mut got: Vec<u64> = (0..6)
+            .map(|_| match node.recv().expect("result") {
+                NodeEvent::Result(r) => r.id,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..6).collect::<Vec<u64>>());
+        let stats = node.stats().expect("local nodes report stats");
+        assert_eq!(stats.jobs_completed, 6);
+        let final_stats = Box::new(node).shutdown().expect("owned node returns final stats");
+        assert_eq!(final_stats.jobs_completed, 6);
+    }
+
+    #[test]
+    fn local_backpressure_is_synchronous_busy() {
+        let node = LocalNode::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 1,
+            results_capacity: 8,
+            design_cache_capacity: 2,
+            batch_window: 1,
+        });
+        // Slow job parks the worker; fill the 1-slot queue behind it.
+        let mut slow = spec(0);
+        slow.query_cost_micros = 50_000;
+        node.submit(slow).unwrap();
+        let mut accepted = 0u32;
+        let mut busy = 0u32;
+        for id in 1..16 {
+            match node.try_submit(spec(id)).unwrap() {
+                SubmitOutcome::Accepted => accepted += 1,
+                SubmitOutcome::Busy => busy += 1,
+            }
+        }
+        assert!(busy > 0, "a full local queue must surface synchronous Busy");
+        // Everything accepted is eventually served.
+        for _ in 0..=accepted {
+            assert!(matches!(node.recv(), Some(NodeEvent::Result(_))));
+        }
+        Box::new(node).shutdown();
+    }
+
+    #[test]
+    fn attached_sessions_do_not_own_the_engine() {
+        let engine = Arc::new(Engine::start(EngineConfig::with_workers(1)));
+        let session = LocalNode::attach(Arc::clone(&engine), 8);
+        session.submit(spec(1)).unwrap();
+        assert!(matches!(session.recv(), Some(NodeEvent::Result(_))));
+        assert!(Box::new(session).shutdown().is_none(), "sessions must not shut the engine");
+        // The engine survived the session.
+        let engine = Arc::try_unwrap(engine).ok().expect("session released its Arc");
+        let stats = engine.shutdown();
+        assert_eq!(stats.jobs_completed, 1);
+    }
+
+    #[test]
+    fn close_ends_the_completion_stream() {
+        let node = LocalNode::start(EngineConfig::with_workers(1));
+        node.submit(spec(0)).unwrap();
+        assert!(matches!(node.recv(), Some(NodeEvent::Result(_))));
+        node.close();
+        // The stream is terminally closed: nothing blocks, nothing
+        // arrives, and the tri-state says so.
+        assert_eq!(node.try_recv(), TryPop::Closed);
+        assert!(node.recv().is_none());
+        // The engine itself still runs: a submission after close is
+        // accepted and served; its result is dropped (nobody listens),
+        // never delivered to a resurrected stream.
+        node.submit(spec(1)).unwrap();
+        let stats = Box::new(node).shutdown().expect("owned node returns final stats");
+        assert_eq!(stats.jobs_completed, 2, "the post-close job was still served");
+    }
+}

@@ -1,0 +1,679 @@
+//! The cluster router: N [`NodeHandle`]s behind one submission surface.
+//!
+//! A router owns a set of nodes and a [`Membership`] table. Every job
+//! routes by its [`DesignKey`] — HRW hashing pins a key to one node, so
+//! that node's design cache stays hot for its key slice while the
+//! cluster as a whole serves the full working set. The router keeps a
+//! bounded **in-flight window per node** (pipelining without unbounded
+//! queue growth), absorbs backpressure from either direction — a local
+//! node's synchronous [`SubmitOutcome::Busy`] or a remote node's
+//! asynchronous [`NodeEvent::Busy`] frame — by parking the spec on that
+//! node's retry queue, and fans results into one completion buffer.
+//!
+//! Determinism is inherited, not negotiated: a job's result is a pure
+//! function of its spec on *any* node, so placement, windows, retries
+//! and rebalances can only change timing, never fingerprints — the
+//! invariant `tests/cluster_determinism.rs` pins across 1-node, N-node
+//! and N-TCP-node topologies.
+//!
+//! ## Rebalance (drain protocol)
+//!
+//! [`Router::add_node`] migrates the minimal key slice (an HRW
+//! property: exactly the keys the new node wins) in three steps:
+//!
+//! 1. **Stop routing** migrating keys: queued-but-unsubmitted jobs on
+//!    those keys leave their old node's queues.
+//! 2. **Flush in-flight**: jobs on migrating keys already inside a node
+//!    are served to completion there (results are placement-invariant,
+//!    so finishing on the old owner is safe — draining is about cache
+//!    residency and ordering, not correctness).
+//! 3. **Re-route**: the membership table swaps and the parked jobs go
+//!    to the new owner, whose cache now warms the migrated slice.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use pooled_lab::split::LatencySplit;
+
+use crate::cluster::membership::Membership;
+use crate::cluster::node::{NodeEvent, NodeHandle, SubmitOutcome};
+use crate::engine::EngineStats;
+use crate::job::{JobResult, JobSpec};
+use crate::queue::TryPop;
+
+/// How long the router parks when a full pass makes no progress
+/// (windows full, no events ready). Small enough to be invisible next
+/// to a query-dominated job, large enough not to burn a core.
+const IDLE_PARK: std::time::Duration = std::time::Duration::from_micros(50);
+
+/// One node and the router's bookkeeping for it.
+struct Slot {
+    id: u64,
+    handle: Box<dyn NodeHandle>,
+    /// Routed, not yet submitted (beyond the in-flight window).
+    queue: VecDeque<JobSpec>,
+    /// BUSY'd specs awaiting resubmission (drained before `queue`).
+    retry: VecDeque<JobSpec>,
+    /// Submitted, not yet resolved: `job id → (spec, submit instant)`.
+    /// The spec is the retry payload; the instant feeds the
+    /// router-observed side of the latency split.
+    in_flight: HashMap<u64, (JobSpec, Instant)>,
+}
+
+impl Slot {
+    fn new(id: u64, handle: Box<dyn NodeHandle>) -> Self {
+        Self {
+            id,
+            handle,
+            queue: VecDeque::new(),
+            retry: VecDeque::new(),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// Jobs this slot still has to resolve.
+    fn backlog(&self) -> usize {
+        self.queue.len() + self.retry.len() + self.in_flight.len()
+    }
+}
+
+/// Aggregated cluster telemetry: per-node stats where observable (local
+/// nodes report, remote nodes' stats live server-side) plus the merged
+/// view over every reporting node.
+#[derive(Debug)]
+pub struct ClusterStats {
+    /// `(node id, stats)` per node, in slot order.
+    pub nodes: Vec<(u64, Option<EngineStats>)>,
+    /// Every reporting node folded together ([`EngineStats::merge`]).
+    pub merged: EngineStats,
+    /// BUSY responses absorbed (and retried) by the router so far.
+    pub busy_retries: u64,
+}
+
+/// A router over N nodes. Single-owner (`&mut self` surface): one
+/// submitting context drives it, which is what makes the fan-in
+/// deterministic to reason about. See the module docs for the shape.
+pub struct Router {
+    slots: Vec<Slot>,
+    membership: Membership,
+    /// Per-node in-flight window (max unresolved submissions per node).
+    window: usize,
+    busy_retries: u64,
+    /// Jobs routed but not yet fanned into `completed`.
+    outstanding: usize,
+    /// Fan-in buffer, completion order (FIFO — popped from the front).
+    completed: VecDeque<JobResult>,
+    /// Ids of jobs a node terminally rejected (see [`Router::rejected`]).
+    rejected: Vec<u64>,
+}
+
+impl Router {
+    /// A router over `nodes` (`(id, handle)` pairs) with a per-node
+    /// in-flight window of `window` jobs.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty, ids repeat, or `window == 0`.
+    pub fn new(nodes: Vec<(u64, Box<dyn NodeHandle>)>, window: usize) -> Self {
+        assert!(window > 0, "the router needs an in-flight window of at least 1");
+        let membership = Membership::new(nodes.iter().map(|(id, _)| *id).collect());
+        let slots = nodes.into_iter().map(|(id, handle)| Slot::new(id, handle)).collect();
+        Self {
+            slots,
+            membership,
+            window,
+            busy_retries: 0,
+            outstanding: 0,
+            completed: VecDeque::new(),
+            rejected: Vec::new(),
+        }
+    }
+
+    /// The placement table.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// BUSY responses absorbed (and retried) so far — both synchronous
+    /// (local full queue) and wire (`BUSY` frames).
+    pub fn busy_retries(&self) -> u64 {
+        self.busy_retries
+    }
+
+    /// Jobs accepted but not yet collectable.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Ids of jobs a node **terminally rejected** — a deployment
+    /// mismatch, not a retryable state: the spec passed
+    /// [`JobSpec::validate`] here but a remote node's transport refused
+    /// it (e.g. its `TransportConfig::max_dimension` is below the spec
+    /// shape). Rejected jobs produce no result; streaming callers
+    /// should check this after [`Self::collect`] returns short.
+    /// [`Self::run_batch`] panics instead — a batch is all-or-nothing.
+    pub fn rejected(&self) -> &[u64] {
+        &self.rejected
+    }
+
+    /// Route one job to its key's owner. Never blocks: beyond the
+    /// node's window the job parks in the router's per-node queue.
+    ///
+    /// # Panics
+    /// Panics if the spec is infeasible ([`JobSpec::validate`]).
+    pub fn submit(&mut self, spec: JobSpec) {
+        spec.validate();
+        let idx = self.membership.owner_index(&spec.design_key());
+        self.slots[idx].queue.push_back(spec);
+        self.outstanding += 1;
+        // Start it moving if the window has room; completions are
+        // drained by `collect`/`run_batch`.
+        fill_slot(&mut self.slots[idx], self.window, &mut self.busy_retries);
+    }
+
+    /// Non-blocking fan-in: one completed result, if any is buffered.
+    pub fn poll(&mut self) -> Option<JobResult> {
+        if self.completed.is_empty() {
+            self.step(&mut None);
+        }
+        self.completed.pop_front()
+    }
+
+    /// Blocking fan-in: append up to `count` results to `out`, in
+    /// completion order (callers wanting id order sort afterwards, as
+    /// [`Self::run_batch`] does). Returns the number appended — short
+    /// only when jobs were terminally rejected ([`Self::rejected`]);
+    /// every non-rejected job is waited for.
+    ///
+    /// # Panics
+    /// Panics if fewer than `count` jobs are outstanding, or a node
+    /// fails mid-stream.
+    pub fn collect(&mut self, count: usize, out: &mut Vec<JobResult>) -> usize {
+        self.collect_impl(count, out, &mut None)
+    }
+
+    fn collect_impl(
+        &mut self,
+        count: usize,
+        out: &mut Vec<JobResult>,
+        split: &mut Option<&mut LatencySplit>,
+    ) -> usize {
+        assert!(
+            count <= self.outstanding + self.completed.len(),
+            "collect({count}) with only {} results coming",
+            self.outstanding + self.completed.len()
+        );
+        let mut taken = 0usize;
+        while taken < count {
+            if !self.completed.is_empty() {
+                let take = (count - taken).min(self.completed.len());
+                out.extend(self.completed.drain(..take));
+                taken += take;
+                continue;
+            }
+            // Rejections shrink what's coming; return short rather than
+            // wait for results that will never arrive.
+            if self.outstanding == 0 {
+                break;
+            }
+            if !self.step(split) {
+                std::thread::park_timeout(IDLE_PARK);
+            }
+        }
+        taken
+    }
+
+    /// Serve a whole batch through the cluster: route every spec, fan
+    /// the results back in, and append them to `out` **sorted by job
+    /// id** — the same contract as `Engine::run_batch` and the
+    /// transport client, so fingerprint comparisons line up
+    /// element-wise across 1-node, N-node and remote topologies.
+    ///
+    /// # Panics
+    /// Panics if jobs are already outstanding (batches are exclusive),
+    /// a spec is infeasible, a node fails mid-batch, or a node
+    /// terminally rejects a job (a batch is a unit of work; a
+    /// deployment whose nodes refuse its specs is a caller-visible
+    /// configuration error, named in the panic message).
+    pub fn run_batch(&mut self, specs: &[JobSpec], out: &mut Vec<JobResult>) {
+        self.run_batch_impl(specs, out, &mut None);
+    }
+
+    /// [`Self::run_batch`], additionally folding every job's latency
+    /// into `split`: the engine-reported queue wait and service time,
+    /// plus everything the engine cannot see from here — for a remote
+    /// node the wire, for any node the time a result waits in the
+    /// node's completion stream and the router's fan-in.
+    pub fn run_batch_split(
+        &mut self,
+        specs: &[JobSpec],
+        out: &mut Vec<JobResult>,
+        split: &mut LatencySplit,
+    ) {
+        self.run_batch_impl(specs, out, &mut Some(split));
+    }
+
+    fn run_batch_impl(
+        &mut self,
+        specs: &[JobSpec],
+        out: &mut Vec<JobResult>,
+        split: &mut Option<&mut LatencySplit>,
+    ) {
+        assert!(
+            self.outstanding == 0 && self.completed.is_empty(),
+            "run_batch needs an idle router (a batch owns the fan-in while it runs)"
+        );
+        let start = out.len();
+        let rejected_before = self.rejected.len();
+        for &spec in specs {
+            self.submit(spec);
+        }
+        self.collect_impl(specs.len(), out, split);
+        assert!(
+            self.rejected.len() == rejected_before,
+            "run_batch: node(s) terminally rejected jobs {:?} — a deployment mismatch (e.g. a \
+             remote node's TransportConfig::max_dimension below the spec shape), not a retryable \
+             state",
+            &self.rejected[rejected_before..]
+        );
+        out[start..].sort_unstable_by_key(|r| r.id);
+    }
+
+    /// One non-blocking pass over every node: top up in-flight windows,
+    /// flush wires, drain events. Returns whether anything moved.
+    fn step(&mut self, split: &mut Option<&mut LatencySplit>) -> bool {
+        let mut progressed = false;
+        for slot in &mut self.slots {
+            progressed |= fill_slot(slot, self.window, &mut self.busy_retries);
+        }
+        for slot in &mut self.slots {
+            loop {
+                match slot.handle.try_recv() {
+                    TryPop::Item(NodeEvent::Result(result)) => {
+                        let (_, sent) = slot.in_flight.remove(&result.id).unwrap_or_else(|| {
+                            panic!("node {}: result for unknown job {}", slot.id, result.id)
+                        });
+                        if let Some(split) = split.as_deref_mut() {
+                            let observed = sent.elapsed().as_micros() as u64;
+                            split.record_observed(
+                                result.queue_micros,
+                                result.total_micros,
+                                observed,
+                            );
+                        }
+                        self.completed.push_back(result);
+                        self.outstanding -= 1;
+                        progressed = true;
+                    }
+                    TryPop::Item(NodeEvent::Busy(id)) => {
+                        let (spec, _) = slot.in_flight.remove(&id).unwrap_or_else(|| {
+                            panic!("node {}: BUSY for unknown job {id}", slot.id)
+                        });
+                        self.busy_retries += 1;
+                        slot.retry.push_back(spec);
+                        progressed = true;
+                    }
+                    TryPop::Item(NodeEvent::Rejected(id)) => {
+                        // Terminal, not retryable: the job passed local
+                        // validation but the node's transport refused it
+                        // (a config mismatch like max_dimension). Resolve
+                        // the job without a result; the caller sees it in
+                        // `rejected()` (or run_batch's panic).
+                        slot.in_flight.remove(&id).unwrap_or_else(|| {
+                            panic!("node {}: REJECT for unknown job {id}", slot.id)
+                        });
+                        self.rejected.push(id);
+                        self.outstanding -= 1;
+                        progressed = true;
+                    }
+                    TryPop::Empty => break,
+                    TryPop::Closed => {
+                        assert!(
+                            slot.backlog() == 0,
+                            "node {} closed with {} jobs unresolved",
+                            slot.id,
+                            slot.backlog()
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Add a node, rebalancing with the drain protocol (module docs):
+    /// routing stops for the migrating key slice, in-flight jobs on
+    /// those keys flush to completion on their old owner, then the
+    /// membership swaps and the parked slice re-routes to the new node.
+    /// Safe mid-stream: outstanding jobs elsewhere keep flowing the
+    /// whole time, and results remain bit-identical — placement is
+    /// fingerprint-invisible.
+    ///
+    /// # Panics
+    /// Panics if `id` is already a member.
+    pub fn add_node(&mut self, id: u64, handle: Box<dyn NodeHandle>) {
+        let next = self.membership.with_node(id);
+        // 1. Stop routing the migrating slice (keys the new node wins).
+        let mut parked = extract_migrating(&mut self.slots, &next, id);
+        // 2. Flush in-flight migrating jobs on their old owners. A BUSY
+        //    bounce during the drain lands the spec back in a retry
+        //    queue, so keep extracting while we wait.
+        loop {
+            let draining = self.slots.iter().any(|slot| {
+                slot.in_flight.values().any(|(spec, _)| next.owner(&spec.design_key()) == id)
+            });
+            if !draining {
+                break;
+            }
+            if !self.step(&mut None) {
+                std::thread::park_timeout(IDLE_PARK);
+            }
+            parked.extend(extract_migrating(&mut self.slots, &next, id));
+        }
+        // 3. Swap the table, install the node, re-route the slice.
+        self.membership = next;
+        self.slots.push(Slot::new(id, handle));
+        for spec in parked {
+            let idx = self.membership.owner_index(&spec.design_key());
+            self.slots[idx].queue.push_back(spec);
+            fill_slot(&mut self.slots[idx], self.window, &mut self.busy_retries);
+        }
+    }
+
+    /// Live aggregate telemetry (see [`ClusterStats`]).
+    pub fn stats(&self) -> ClusterStats {
+        let nodes: Vec<(u64, Option<EngineStats>)> =
+            self.slots.iter().map(|s| (s.id, s.handle.stats())).collect();
+        let mut merged = EngineStats::zero();
+        for (_, stats) in nodes.iter() {
+            if let Some(stats) = stats {
+                merged.merge(stats);
+            }
+        }
+        ClusterStats { nodes, merged, busy_retries: self.busy_retries }
+    }
+
+    /// Shut every node down and return final telemetry (owned nodes
+    /// report their engines' final stats; attached/remote nodes report
+    /// `None` — their engines outlive the router).
+    ///
+    /// # Panics
+    /// Panics if jobs are still outstanding (collect them first).
+    pub fn shutdown(mut self) -> ClusterStats {
+        assert!(self.outstanding == 0, "shutdown with {} jobs outstanding", self.outstanding);
+        let busy_retries = self.busy_retries;
+        let mut nodes = Vec::new();
+        let mut merged = EngineStats::zero();
+        for slot in self.slots.drain(..) {
+            let stats = slot.handle.shutdown();
+            if let Some(stats) = &stats {
+                merged.merge(stats);
+            }
+            nodes.push((slot.id, stats));
+        }
+        ClusterStats { nodes, merged, busy_retries }
+    }
+}
+
+/// Top up one node's in-flight window from its retry/queue backlog.
+/// Returns whether anything was submitted. A synchronous `Busy` parks
+/// the spec on the retry queue and stops filling (the queue is full; a
+/// completion must free a slot first).
+fn fill_slot(slot: &mut Slot, window: usize, busy_retries: &mut u64) -> bool {
+    let mut progressed = false;
+    while slot.in_flight.len() < window {
+        let Some(spec) = slot.retry.pop_front().or_else(|| slot.queue.pop_front()) else {
+            break;
+        };
+        match slot.handle.try_submit(spec) {
+            Ok(SubmitOutcome::Accepted) => {
+                slot.in_flight.insert(spec.id, (spec, Instant::now()));
+                progressed = true;
+            }
+            Ok(SubmitOutcome::Busy) => {
+                *busy_retries += 1;
+                slot.retry.push_back(spec);
+                break;
+            }
+            Err(e) => panic!("node {} failed mid-stream: {e}", slot.id),
+        }
+    }
+    if progressed {
+        if let Err(e) = slot.handle.flush() {
+            panic!("node {} failed mid-stream: {e}", slot.id);
+        }
+    }
+    progressed
+}
+
+/// Pull every queued-but-unsubmitted job whose key migrates to `new_id`
+/// under `next` out of the slots (step 1 of the drain protocol).
+fn extract_migrating(slots: &mut [Slot], next: &Membership, new_id: u64) -> Vec<JobSpec> {
+    let mut parked = Vec::new();
+    for slot in slots {
+        for queue in [&mut slot.retry, &mut slot.queue] {
+            let mut keep = VecDeque::with_capacity(queue.len());
+            while let Some(spec) = queue.pop_front() {
+                if next.owner(&spec.design_key()) == new_id {
+                    parked.push(spec);
+                } else {
+                    keep.push_back(spec);
+                }
+            }
+            *queue = keep;
+        }
+    }
+    parked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::node::LocalNode;
+    use crate::engine::EngineConfig;
+    use crate::job::{DecoderKind, DesignSpec};
+
+    fn spec(id: u64) -> JobSpec {
+        JobSpec {
+            id,
+            n: 250,
+            k: 5,
+            m: 160,
+            // Spread ids over distinct designs so keys shard over nodes.
+            design: DesignSpec::random_regular(id % 5),
+            decoder: DecoderKind::Mn,
+            seed: 900 + id,
+            query_cost_micros: 0,
+        }
+    }
+
+    fn local_cluster(nodes: usize, workers: usize) -> Router {
+        let handles: Vec<(u64, Box<dyn NodeHandle>)> = (0..nodes as u64)
+            .map(|id| {
+                let config = EngineConfig {
+                    workers,
+                    queue_capacity: 8,
+                    results_capacity: 8,
+                    design_cache_capacity: 8,
+                    batch_window: 1,
+                };
+                (id, Box::new(LocalNode::start(config)) as Box<dyn NodeHandle>)
+            })
+            .collect();
+        Router::new(handles, 4)
+    }
+
+    #[test]
+    fn batch_results_are_complete_and_id_sorted() {
+        let mut router = local_cluster(3, 2);
+        let specs: Vec<JobSpec> = (0..30).map(spec).collect();
+        let mut out = Vec::new();
+        router.run_batch(&specs, &mut out);
+        assert_eq!(out.len(), 30);
+        assert!(out.windows(2).all(|w| w[0].id < w[1].id));
+        let stats = router.shutdown();
+        assert_eq!(stats.merged.jobs_completed, 30);
+        assert_eq!(stats.nodes.len(), 3);
+    }
+
+    #[test]
+    fn placement_follows_the_membership_table() {
+        let mut router = local_cluster(3, 1);
+        let specs: Vec<JobSpec> = (0..20).map(spec).collect();
+        let mut out = Vec::new();
+        router.run_batch(&specs, &mut out);
+        // Every node served exactly the jobs whose keys it owns.
+        let membership = router.membership().clone();
+        let want: Vec<u64> = specs.iter().map(|s| membership.owner(&s.design_key())).collect();
+        let stats = router.shutdown();
+        for (idx, (id, node_stats)) in stats.nodes.iter().enumerate() {
+            let expected = want.iter().filter(|&&o| o == *id).count() as u64;
+            assert_eq!(
+                node_stats.as_ref().expect("local stats").jobs_completed,
+                expected,
+                "node {idx} served the wrong slice"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_fingerprints_match_a_single_node() {
+        let specs: Vec<JobSpec> = (0..24).map(spec).collect();
+        let mut single = local_cluster(1, 1);
+        let mut want = Vec::new();
+        single.run_batch(&specs, &mut want);
+        single.shutdown();
+        let mut cluster = local_cluster(3, 2);
+        let mut got = Vec::new();
+        cluster.run_batch(&specs, &mut got);
+        cluster.shutdown();
+        let project =
+            |rs: &[JobResult]| rs.iter().map(|r| (r.id, r.fingerprint())).collect::<Vec<_>>();
+        assert_eq!(project(&want), project(&got), "sharding changed results");
+    }
+
+    #[test]
+    fn tiny_node_queues_backpressure_without_deadlock() {
+        // Per-node queue capacity 1 against a window of 4 forces the
+        // synchronous Busy path constantly; everything must still serve.
+        let handles: Vec<(u64, Box<dyn NodeHandle>)> = (0..2u64)
+            .map(|id| {
+                let config = EngineConfig {
+                    workers: 1,
+                    queue_capacity: 1,
+                    results_capacity: 1,
+                    design_cache_capacity: 4,
+                    batch_window: 1,
+                };
+                (id, Box::new(LocalNode::start(config)) as Box<dyn NodeHandle>)
+            })
+            .collect();
+        let mut router = Router::new(handles, 4);
+        let specs: Vec<JobSpec> = (0..25).map(spec).collect();
+        let mut out = Vec::new();
+        router.run_batch(&specs, &mut out);
+        assert_eq!(out.len(), 25);
+        assert!(router.busy_retries() > 0, "tiny queues must exercise the retry path");
+        router.shutdown();
+    }
+
+    #[test]
+    fn mid_stream_rebalance_preserves_results_and_moves_the_minimal_slice() {
+        let specs: Vec<JobSpec> = (0..36).map(spec).collect();
+        // Ground truth from a static 1-node cluster.
+        let mut single = local_cluster(1, 1);
+        let mut want = Vec::new();
+        single.run_batch(&specs, &mut want);
+        single.shutdown();
+
+        // Stream half, rebalance, stream the rest.
+        let mut router = local_cluster(2, 1);
+        let before = router.membership().clone();
+        for &s in &specs[..18] {
+            router.submit(s);
+        }
+        let new_node = Box::new(LocalNode::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+            results_capacity: 8,
+            design_cache_capacity: 8,
+            batch_window: 1,
+        }));
+        router.add_node(7, new_node);
+        let after = router.membership().clone();
+        for &s in &specs[18..] {
+            router.submit(s);
+        }
+        let mut got = Vec::new();
+        router.collect(36, &mut got);
+        got.sort_unstable_by_key(|r| r.id);
+        let project =
+            |rs: &[JobResult]| rs.iter().map(|r| (r.id, r.fingerprint())).collect::<Vec<_>>();
+        assert_eq!(project(&want), project(&got), "rebalance changed results");
+        // HRW minimal migration at the membership level: every key that
+        // changed owner moved to the new node.
+        for s in &specs {
+            let key = s.design_key();
+            if before.owner(&key) != after.owner(&key) {
+                assert_eq!(after.owner(&key), 7);
+            }
+        }
+        router.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "idle router")]
+    fn run_batch_requires_an_idle_router() {
+        let mut router = local_cluster(1, 1);
+        router.submit(spec(0));
+        let mut out = Vec::new();
+        router.run_batch(&[spec(1)], &mut out);
+    }
+
+    #[test]
+    fn remote_rejects_resolve_as_rejected_ids_not_router_panics() {
+        // Regression: a spec can pass JobSpec::validate here yet exceed
+        // a remote node's TransportConfig::max_dimension — a deployment
+        // mismatch the router must surface per job, not crash on. The
+        // streaming API returns short and names the id; every
+        // non-rejected job is still served.
+        use crate::cluster::node::RemoteNode;
+        use crate::engine::Engine;
+        use crate::transport::{TransportConfig, TransportServer};
+        use std::sync::Arc;
+
+        let engine = Arc::new(Engine::start(EngineConfig::with_workers(1)));
+        let server = TransportServer::bind(
+            Arc::clone(&engine),
+            "127.0.0.1:0",
+            TransportConfig { route_capacity: 8, max_dimension: 1 << 10 },
+        )
+        .expect("bind loopback");
+        let remote = RemoteNode::connect(server.local_addr()).expect("connect");
+        let mut router = Router::new(vec![(0, Box::new(remote) as Box<dyn NodeHandle>)], 4);
+
+        let good = spec(1); // n = 250 < 1024: within the node's cap
+        let mut huge = spec(2);
+        huge.n = 1 << 12; // feasible, but beyond the node's max_dimension
+        huge.m = 64;
+        assert!(huge.is_feasible());
+        router.submit(good);
+        router.submit(huge);
+        let mut out = Vec::new();
+        let taken = router.collect(2, &mut out);
+        assert_eq!(taken, 1, "collect returns short on a rejection");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, good.id, "the good job was still served");
+        assert_eq!(router.rejected(), &[huge.id]);
+        assert_eq!(router.outstanding(), 0);
+
+        router.shutdown();
+        server.stop();
+        Arc::try_unwrap(engine).ok().expect("transport released the engine").shutdown();
+    }
+}

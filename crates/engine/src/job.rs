@@ -139,6 +139,13 @@ impl JobSpec {
     pub fn is_feasible(&self) -> bool {
         self.n > 0 && self.m > 0 && self.k <= self.n && (1..=1000).contains(&self.design.c_milli)
     }
+
+    /// The design-cache key this job resolves to — also the cluster
+    /// router's placement key: jobs sharing a design key land on the
+    /// same node, so that node's cache stays hot for its key slice.
+    pub fn design_key(&self) -> crate::cache::DesignKey {
+        crate::cache::DesignKey::of(self)
+    }
 }
 
 /// One completed reconstruction.

@@ -28,6 +28,12 @@
 //!   a blocking server feeding the queues (backpressure = explicit
 //!   `BUSY` frames), and a pipelined client whose results are
 //!   bit-identical to in-process submission.
+//! * [`cluster`] — the multi-node tier: the [`cluster::NodeHandle`]
+//!   abstraction over "a place jobs run" (in-process engine or remote
+//!   engine over the frame protocol), rendezvous-hashed
+//!   `DesignKey → node` placement so each node's design cache serves a
+//!   stable key slice, and a router with per-node in-flight windows,
+//!   BUSY-aware retry and a draining rebalance step.
 //!
 //! ```
 //! use pooled_engine::engine::{Engine, EngineConfig};
@@ -43,6 +49,7 @@
 //! ```
 
 pub mod cache;
+pub mod cluster;
 pub mod engine;
 pub mod job;
 pub mod queue;
@@ -52,6 +59,7 @@ pub mod transport;
 pub mod worker;
 
 pub use cache::{DesignCache, DesignKey};
+pub use cluster::{LocalNode, Membership, NodeHandle, RemoteNode, Router};
 pub use engine::{Engine, EngineConfig, EngineStats, ResultRoute};
 pub use job::{DecoderKind, DesignSpec, JobResult, JobSpec};
 pub use queue::BoundedQueue;

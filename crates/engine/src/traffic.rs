@@ -93,6 +93,16 @@ impl LoadProfile {
         let prepared = self.prepare();
         (0..count as u64).map(|i| prepared.spec(i)).collect()
     }
+
+    /// The distinct design keys this profile circulates, in first-use
+    /// order (job `i` uses key `i % distinct_designs`). This is the
+    /// profile's cache working set — exactly what a node prewarms from
+    /// on restart ([`crate::cache::DesignCache::prewarm`]) and what the
+    /// cluster membership shards across nodes.
+    pub fn design_keys(&self) -> Vec<crate::cache::DesignKey> {
+        let prepared = self.prepare();
+        (0..self.distinct_designs).map(|i| prepared.spec(i).design_key()).collect()
+    }
 }
 
 /// A [`LoadProfile`] with its derivation root hoisted (see
@@ -192,6 +202,18 @@ mod tests {
         let distinct: std::collections::HashSet<u64> =
             specs.iter().map(|s| s.design.seed).collect();
         assert_eq!(distinct.len(), 3);
+    }
+
+    #[test]
+    fn design_keys_enumerate_the_working_set() {
+        let p = profile();
+        let keys = p.design_keys();
+        assert_eq!(keys.len(), 3);
+        // Job i resolves to key i % distinct_designs, so the export is
+        // exactly the set every spec draws from.
+        for (i, s) in p.specs(9).iter().enumerate() {
+            assert_eq!(s.design_key(), keys[i % 3]);
+        }
     }
 
     #[test]

@@ -336,6 +336,33 @@ pub fn write_frame<W: std::io::Write>(
     w.write_all(scratch)
 }
 
+/// A sink plus its reusable encode scratch — the pairing every frame
+/// producer needs (the server's per-connection writer, a remote node's
+/// submission half). One definition here so a future change to the
+/// encode path has exactly one home.
+pub struct FrameWriter<W: std::io::Write> {
+    w: W,
+    scratch: Vec<u8>,
+}
+
+impl<W: std::io::Write> FrameWriter<W> {
+    /// Wrap a sink (callers hand in a `BufWriter` when batching).
+    pub fn new(w: W) -> Self {
+        Self { w, scratch: Vec::new() }
+    }
+
+    /// Encode and write one frame (buffered until [`Self::flush`] when
+    /// the sink buffers).
+    pub fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
+        write_frame(&mut self.w, frame, &mut self.scratch)
+    }
+
+    /// Flush the sink.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+}
+
 /// Read one frame from `r`. `Ok(None)` is a clean end of stream (EOF
 /// before the first header byte); an EOF mid-frame is an error. Malformed
 /// frames surface as [`std::io::ErrorKind::InvalidData`] wrapping the

@@ -7,10 +7,11 @@
 //!   [`JobResult`] with an explicit little-endian layout, a version
 //!   byte, and a checksum. Pure functions over byte slices, so the
 //!   codec is testable (and property-tested) without a socket.
-//! * [`server`] — a blocking TCP acceptor feeding the existing
-//!   [`BoundedQueue`]s: per-connection reader thread into
-//!   [`Engine::try_submit_routed`], writer thread draining that
-//!   connection's private [`ResultRoute`]. Backpressure is an explicit
+//! * [`server`] — a blocking TCP acceptor serving a per-connection
+//!   [`NodeHandle`] session minted by a [`NodeFactory`] (for the
+//!   canonical `Arc<Engine>` factory: a [`LocalNode`] over a private
+//!   [`ResultRoute`]): reader thread into the session's `try_submit`,
+//!   writer thread draining its events. Backpressure is an explicit
 //!   `BUSY` reply frame — never a silent drop.
 //! * [`client`] — [`TransportClient`]: submit/poll plus a streaming
 //!   batch mode mirroring [`Engine::run_batch`], used by `engine_load
@@ -24,8 +25,9 @@
 //!
 //! [`JobSpec`]: crate::job::JobSpec
 //! [`JobResult`]: crate::job::JobResult
-//! [`BoundedQueue`]: crate::queue::BoundedQueue
-//! [`Engine::try_submit_routed`]: crate::engine::Engine::try_submit_routed
+//! [`NodeHandle`]: crate::cluster::node::NodeHandle
+//! [`NodeFactory`]: crate::cluster::node::NodeFactory
+//! [`LocalNode`]: crate::cluster::node::LocalNode
 //! [`Engine::run_batch`]: crate::engine::Engine::run_batch
 //! [`ResultRoute`]: crate::engine::ResultRoute
 //! [`LoadProfile`]: crate::traffic::LoadProfile

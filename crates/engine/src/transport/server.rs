@@ -1,21 +1,30 @@
-//! Blocking TCP front over a running [`Engine`].
+//! Blocking TCP front over a [`NodeHandle`] session per connection.
 //!
 //! One accept thread, two threads per connection:
 //!
 //! ```text
-//!            ┌─ reader thread:  SUBMIT frames ──► Engine::try_submit_routed
-//!            │        │  full queue ⇒ BUSY(id)   (never a silent drop)
+//!            ┌─ reader thread:  SUBMIT frames ──► session.try_submit
+//!            │        │  sync Busy ⇒ BUSY(id)    (never a silent drop)
 //!  TcpStream ┤        │  infeasible ⇒ REJECT(id)
-//!            └─ writer thread:  this connection's ResultRoute ──► RESULT frames
+//!            └─ writer thread:  session.recv events ──► RESULT/BUSY/REJECT frames
 //! ```
 //!
-//! Each connection owns a private [`ResultRoute`], so concurrent tenants
+//! The server no longer knows what an [`Engine`] is: each accepted
+//! connection gets a private [`NodeHandle`] session minted by a
+//! [`NodeFactory`] — for the canonical `Arc<Engine>` factory that is a
+//! [`LocalNode`] attached over its own [`ResultRoute`], which is
+//! exactly the pre-refactor per-connection route, now expressed through
+//! the same abstraction the cluster router uses. Concurrent tenants
 //! only ever see their own completions, and the engine's shared
 //! completion stream (used by in-process `run_batch` callers) stays
-//! untouched. Backpressure is explicit end to end: a full submission
-//! queue turns into a `BUSY` reply frame carrying the job id — the
-//! client decides whether to retry — and a full per-connection result
-//! queue blocks the worker delivering into it (which the writer thread
+//! untouched. Serving a different backend (another engine wrapper, a
+//! router-fronted cluster) is a factory away, not a server rewrite.
+//!
+//! Backpressure is explicit end to end: a full submission queue
+//! surfaces as the session's synchronous [`SubmitOutcome::Busy`] and
+//! turns into a `BUSY` reply frame carrying the job id — the client
+//! decides whether to retry — and a full per-connection event queue
+//! blocks the worker delivering into it (which the writer thread
 //! drains), exactly like the in-process bounded queues.
 //!
 //! The server trusts determinism, not the network: a malformed frame
@@ -23,23 +32,28 @@
 //! after a framing error there is no way to resynchronize, and decoding
 //! a corrupted `JobSpec` would break the bit-identical-results contract
 //! the loopback suite pins.
+//!
+//! [`Engine`]: crate::engine::Engine
+//! [`LocalNode`]: crate::cluster::node::LocalNode
+//! [`ResultRoute`]: crate::engine::ResultRoute
 
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-use crate::engine::{Engine, ResultRoute, SubmitError};
+use crate::cluster::node::{NodeError, NodeEvent, NodeFactory, NodeHandle, SubmitOutcome};
+use crate::engine::Engine;
 use crate::queue::TryPop;
-use crate::transport::frame::{read_frame, write_frame, Frame};
+use crate::transport::frame::{read_frame, Frame, FrameWriter};
 
 /// Transport sizing knobs.
 #[derive(Clone, Copy, Debug)]
 pub struct TransportConfig {
     /// Per-connection cap on jobs in flight (accepted but not yet
     /// written back as `RESULT` frames). Doubles as the connection's
-    /// result-queue bound. A tenant at its cap gets `BUSY` replies, so
+    /// event-queue bound. A tenant at its cap gets `BUSY` replies, so
     /// a stalled tenant that pipelines submissions without reading can
     /// never park an engine worker on its full result queue — tenant
     /// isolation is a liveness guarantee, not just a routing one.
@@ -60,7 +74,7 @@ impl Default for TransportConfig {
 
 /// Shared between the accept loop and `stop`.
 struct ServerShared {
-    engine: Arc<Engine>,
+    factory: Arc<dyn NodeFactory>,
     config: TransportConfig,
     stopping: AtomicBool,
     /// `(conn id, socket clone)` per **live** connection, so `stop` can
@@ -83,16 +97,30 @@ pub struct TransportServer {
 
 impl TransportServer {
     /// Bind `addr` (use port 0 for an ephemeral loopback port) and start
-    /// accepting connections against `engine`.
+    /// accepting connections against `engine` — the canonical factory:
+    /// every connection becomes a [`LocalNode`] session on this engine.
+    ///
+    /// [`LocalNode`]: crate::cluster::node::LocalNode
     pub fn bind<A: ToSocketAddrs>(
         engine: Arc<Engine>,
         addr: A,
         config: TransportConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_with(engine, addr, config)
+    }
+
+    /// Bind `addr` and serve sessions minted by an arbitrary
+    /// [`NodeFactory`] — the general form: what a connection talks to
+    /// is the factory's business, not the server's.
+    pub fn bind_with<F, A>(factory: F, addr: A, config: TransportConfig) -> std::io::Result<Self>
+    where
+        F: NodeFactory + 'static,
+        A: ToSocketAddrs,
+    {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(ServerShared {
-            engine,
+            factory: Arc::new(factory),
             config,
             stopping: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
@@ -119,7 +147,8 @@ impl TransportServer {
     }
 
     /// Stop accepting, drop every live connection, and join all transport
-    /// threads. The engine itself keeps running — its owner shuts it down.
+    /// threads. The nodes behind the factory keep running — their owner
+    /// shuts them down.
     pub fn stop(mut self) {
         self.shared.stopping.store(true, Ordering::SeqCst);
         // Unblock the accept loop: it only observes `stopping` between
@@ -167,18 +196,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
-/// Frame sink shared by the connection's two producers (the writer
-/// thread streams RESULTs, the reader thread interjects BUSY/REJECT).
-struct WireWriter {
-    w: BufWriter<TcpStream>,
-    scratch: Vec<u8>,
-}
-
-impl WireWriter {
-    fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
-        write_frame(&mut self.w, frame, &mut self.scratch)
-    }
-}
+/// The connection's frame sink, shared by its two producers (the
+/// writer thread streams session events, the reader thread interjects
+/// immediate BUSY/REJECT answers).
+type WireWriter = FrameWriter<BufWriter<TcpStream>>;
 
 fn serve_connection(conn_id: u64, stream: TcpStream, shared: &ServerShared) {
     let write_stream = match stream.try_clone() {
@@ -188,36 +209,39 @@ fn serve_connection(conn_id: u64, stream: TcpStream, shared: &ServerShared) {
             return;
         }
     };
-    let route = shared.engine.open_route(shared.config.route_capacity);
-    let wire =
-        Arc::new(Mutex::new(WireWriter { w: BufWriter::new(write_stream), scratch: Vec::new() }));
-    // Jobs accepted but not yet written back as RESULT frames. Bounding
-    // this at `route_capacity` (reader refuses with BUSY at the cap) is
-    // what keeps workers from ever blocking on this tenant's result
-    // queue: at most `route_capacity` results can exist at once, and the
-    // queue holds exactly that many — a worker's push always finds room,
-    // even if the tenant stops reading forever.
+    // This connection's private place-jobs-run: for the `Arc<Engine>`
+    // factory, a LocalNode over a fresh ResultRoute.
+    let session: Arc<dyn NodeHandle> =
+        Arc::from(shared.factory.open_session(shared.config.route_capacity));
+    let wire = Arc::new(Mutex::new(WireWriter::new(BufWriter::new(write_stream))));
+    // Jobs accepted but not yet answered on the wire. Bounding this at
+    // `route_capacity` (reader refuses with BUSY at the cap) is what
+    // keeps workers from ever blocking on this tenant's event queue: at
+    // most `route_capacity` results can exist at once, and the queue
+    // holds exactly that many — a worker's push always finds room, even
+    // if the tenant stops reading forever.
     let pending = Arc::new(AtomicUsize::new(0));
 
-    // Writer thread: drain this connection's completions. The tri-state
-    // `try_recv` is what makes the loop correct: `Empty` means flush the
-    // burst and park in the blocking `recv`, `Closed` means the tenant or
-    // engine is gone — terminate instead of polling a dead queue.
-    let writer_route = route.clone();
+    // Writer thread: drain this connection's session events. The
+    // tri-state `try_recv` is what makes the loop correct: `Empty` means
+    // flush the burst and park in the blocking `recv`, `Closed` means
+    // the tenant or node is gone — terminate instead of polling a dead
+    // stream.
+    let writer_session = Arc::clone(&session);
     let writer_wire = Arc::clone(&wire);
     let writer_pending = Arc::clone(&pending);
     let writer = std::thread::Builder::new()
         .name("transport-writer".into())
-        .spawn(move || writer_loop(&writer_route, &writer_wire, &writer_pending))
+        .spawn(move || writer_loop(writer_session.as_ref(), &writer_wire, &writer_pending))
         .expect("failed to spawn transport writer");
 
-    reader_loop(&stream, shared, &route, &wire, &pending);
+    reader_loop(&stream, shared, session.as_ref(), &wire, &pending);
 
-    // Reader is done (EOF, framing error, or engine shutdown): close the
-    // route so the writer drains what's buffered and exits, and so
+    // Reader is done (EOF, framing error, or node shutdown): close the
+    // session so the writer drains what's buffered and exits, and so
     // workers finishing this tenant's in-flight jobs drop their results
-    // instead of blocking on a queue nobody reads.
-    route.close();
+    // instead of blocking on a stream nobody reads.
+    session.close();
     writer.join().expect("transport writer panicked");
     let _ = stream.shutdown(Shutdown::Both);
     forget_connection(conn_id, shared);
@@ -229,28 +253,39 @@ fn forget_connection(conn_id: u64, shared: &ServerShared) {
     shared.conns.lock().expect("conn list poisoned").retain(|(id, _)| *id != conn_id);
 }
 
-fn writer_loop(route: &ResultRoute, wire: &Mutex<WireWriter>, pending: &AtomicUsize) {
+/// The wire frame answering one session event. Local sessions only emit
+/// results; a proxy session (a remote node chained behind this server)
+/// would also relay its upstream's BUSY/REJECT verdicts.
+fn event_frame(event: NodeEvent) -> Frame {
+    match event {
+        NodeEvent::Result(result) => Frame::Result(result),
+        NodeEvent::Busy(id) => Frame::Busy(id),
+        NodeEvent::Rejected(id) => Frame::Reject(id),
+    }
+}
+
+fn writer_loop(session: &dyn NodeHandle, wire: &Mutex<WireWriter>, pending: &AtomicUsize) {
     loop {
-        match route.try_recv() {
-            TryPop::Item(result) => {
+        match session.try_recv() {
+            TryPop::Item(event) => {
                 let mut w = wire.lock().expect("wire writer poisoned");
-                let sent = w.send(&Frame::Result(result));
+                let sent = w.send(&event_frame(event));
                 drop(w);
                 pending.fetch_sub(1, Ordering::AcqRel);
                 if sent.is_err() {
-                    return; // peer gone; reader will observe EOF and close the route
+                    return; // peer gone; reader will observe EOF and close the session
                 }
             }
             TryPop::Empty => {
                 // Burst over: flush what the tenant is waiting on, then
-                // park in the blocking pop until traffic resumes.
-                if wire.lock().expect("wire writer poisoned").w.flush().is_err() {
+                // park in the blocking recv until traffic resumes.
+                if wire.lock().expect("wire writer poisoned").flush().is_err() {
                     return;
                 }
-                match route.recv() {
-                    Some(result) => {
+                match session.recv() {
+                    Some(event) => {
                         let mut w = wire.lock().expect("wire writer poisoned");
-                        let sent = w.send(&Frame::Result(result));
+                        let sent = w.send(&event_frame(event));
                         drop(w);
                         pending.fetch_sub(1, Ordering::AcqRel);
                         if sent.is_err() {
@@ -263,13 +298,13 @@ fn writer_loop(route: &ResultRoute, wire: &Mutex<WireWriter>, pending: &AtomicUs
             TryPop::Closed => break,
         }
     }
-    let _ = wire.lock().expect("wire writer poisoned").w.flush();
+    let _ = wire.lock().expect("wire writer poisoned").flush();
 }
 
 fn reader_loop(
     stream: &TcpStream,
     shared: &ServerShared,
-    route: &ResultRoute,
+    session: &dyn NodeHandle,
     wire: &Mutex<WireWriter>,
     pending: &AtomicUsize,
 ) {
@@ -306,17 +341,17 @@ fn reader_loop(
                     continue;
                 }
                 pending.fetch_add(1, Ordering::AcqRel);
-                match shared.engine.try_submit_routed(spec, route) {
-                    Ok(()) => {}
-                    Err(SubmitError::Backpressure(s)) => {
+                match session.try_submit(spec) {
+                    Ok(SubmitOutcome::Accepted) => {}
+                    Ok(SubmitOutcome::Busy) => {
                         pending.fetch_sub(1, Ordering::AcqRel);
                         // The explicit backpressure contract: full queue ⇒
                         // BUSY reply carrying the id, never a silent drop.
-                        if send_now(wire, &Frame::Busy(s.id)).is_err() {
+                        if send_now(wire, &Frame::Busy(spec.id)).is_err() {
                             return;
                         }
                     }
-                    Err(SubmitError::Closed(_)) => return, // engine shutting down
+                    Err(NodeError::Closed) | Err(NodeError::Io(_)) => return, // node gone
                 }
             }
             // RESULT/BUSY/REJECT flow server→client only; receiving one
@@ -332,5 +367,5 @@ fn reader_loop(
 fn send_now(wire: &Mutex<WireWriter>, frame: &Frame) -> std::io::Result<()> {
     let mut w = wire.lock().expect("wire writer poisoned");
     w.send(frame)?;
-    w.w.flush()
+    w.flush()
 }

@@ -22,6 +22,18 @@
 //!    in-process sweep. Reports the queue/service/wire latency split
 //!    only the client side of the socket can observe, and the number of
 //!    BUSY backpressure replies absorbed.
+//! 5. **Cluster sweep** (`--cluster N`, default 3; 0 disables) — a
+//!    design-sharded traffic mix replayed through the router tier:
+//!    once on a 1-node cluster (the single-node baseline *is* a 1-node
+//!    cluster now), once over `N` local nodes, and — with `--transport
+//!    tcp` — once over `N` TCP loopback nodes behind transport servers.
+//!    Reports router-level throughput, each node's design-cache hit
+//!    rate on the warm pass (the point of key-affinity sharding: every
+//!    node's cache serves a stable slice, so per-node warm hit rates
+//!    must not fall below the single-node warm rate at equal total
+//!    traffic), the queue/service/wire latency split seen from the
+//!    router, and the cross-topology determinism check: all three
+//!    topologies must produce **bit-identical** result fingerprints.
 //!
 //! Jobs carry a simulated query-execution cost (`--latency-micros`,
 //! default 2000): the paper's premise is that queries dominate
@@ -35,7 +47,8 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use pooled_engine::engine::{Engine, EngineConfig};
+use pooled_engine::cluster::{LocalNode, NodeHandle, RemoteNode, Router};
+use pooled_engine::engine::{Engine, EngineConfig, EngineStats};
 use pooled_engine::job::{DecoderKind, JobResult};
 use pooled_engine::traffic::{poisson_arrivals, LoadProfile};
 use pooled_engine::transport::{TransportClient, TransportConfig, TransportServer};
@@ -80,6 +93,7 @@ fn main() {
         transport == "none" || transport == "tcp",
         "--transport must be 'none' or 'tcp', got {transport:?}"
     );
+    let cluster = args.get_usize("cluster", 3);
     let out_path = args.get_str("out", "BENCH_ENGINE.json");
 
     let profile = LoadProfile {
@@ -199,6 +213,82 @@ fn main() {
         }
     }
 
+    // --- 3c. Cluster sweep (--cluster N) ----------------------------------
+    // A design-sharded mix through the router tier: the same traffic on a
+    // 1-node cluster, an N-node local cluster, and (with --transport tcp)
+    // an N-node TCP loopback cluster. The single-node pass doubles as the
+    // fingerprint baseline and the warm-hit-rate yardstick.
+    let mut cluster_passes: Vec<ClusterPass> = Vec::new();
+    let mut cluster_deterministic = true;
+    let mut cluster_hit_rates_hold = true;
+    let mut single_warm_hit_rate = 0.0f64;
+    let mut cluster_designs = 0u64;
+    if cluster > 0 {
+        // Give each node a key slice to own: at least two distinct
+        // designs per node, never fewer than the profile already has.
+        cluster_designs = distinct_designs.max(2 * cluster as u64);
+        let cluster_profile = LoadProfile { distinct_designs: cluster_designs, ..profile.clone() };
+        let cluster_specs = cluster_profile.specs(jobs);
+        let workers_per_node = (max_workers / cluster).max(1);
+        println!(
+            "cluster  nodes  jobs/s(warm)  fingerprint-ok  busy  min-node-hit%  q-p95  s-p95  w-p95"
+        );
+        let single = run_cluster_local("single", 1, max_workers, queue, cache, &cluster_specs);
+        single_warm_hit_rate = single.min_warm_hit_rate;
+        let mut passes = vec![single];
+        passes.push(run_cluster_local(
+            "local",
+            cluster,
+            workers_per_node,
+            queue,
+            cache,
+            &cluster_specs,
+        ));
+        if transport == "tcp" {
+            passes.push(run_cluster_tcp(cluster, workers_per_node, queue, cache, &cluster_specs));
+        }
+        let baseline = passes[0].fingerprint;
+        for pass in &passes {
+            let ok = pass.fingerprint == baseline;
+            cluster_deterministic &= ok;
+            // Every node that saw traffic must stay at least as warm as
+            // the single-node baseline at equal total traffic.
+            if pass.min_warm_hit_rate < single_warm_hit_rate - 1e-9 {
+                cluster_hit_rates_hold = false;
+            }
+            println!(
+                "{:<8} {:<6} {:<13.1} {:<15} {:<5} {:<14.1} {:<6} {:<6} {}",
+                pass.label,
+                pass.nodes.len(),
+                pass.warm_jobs_per_sec,
+                if ok { "yes" } else { "NO" },
+                pass.busy_retries,
+                100.0 * pass.min_warm_hit_rate,
+                pass.queue_p95,
+                pass.service_p95,
+                pass.wire_p95,
+            );
+        }
+        if !cluster_deterministic {
+            eprintln!(
+                "engine_load: DETERMINISM VIOLATION — cluster fingerprints differ from the \
+                 1-node baseline"
+            );
+        } else {
+            println!(
+                "cluster fingerprints identical across 1-node, {cluster}-node local{} topologies",
+                if transport == "tcp" { format!(" and {cluster}-node TCP") } else { String::new() }
+            );
+        }
+        if !cluster_hit_rates_hold {
+            eprintln!(
+                "engine_load: AFFINITY REGRESSION — a node's warm hit rate fell below the \
+                 single-node warm rate"
+            );
+        }
+        cluster_passes = passes;
+    }
+
     // --- 4. Emit BENCH_ENGINE.json ---------------------------------------
     let sweep_rows: Vec<serde_json::Value> = passes
         .iter()
@@ -274,10 +364,61 @@ fn main() {
             ));
         }
     }
+    if cluster > 0 {
+        let pass_rows: Vec<serde_json::Value> = cluster_passes
+            .iter()
+            .map(|p| {
+                let node_rows: Vec<serde_json::Value> = p
+                    .nodes
+                    .iter()
+                    .map(|n| {
+                        serde_json::json!({
+                            "node": n.id,
+                            "jobs_completed": n.jobs_completed,
+                            "warm_cache_hits": n.warm_hits,
+                            "warm_cache_accesses": n.warm_accesses,
+                            "warm_hit_rate": n.warm_hit_rate(),
+                        })
+                    })
+                    .collect();
+                serde_json::json!({
+                    "topology": p.label,
+                    "nodes": p.nodes.len(),
+                    "warm_jobs_per_sec": p.warm_jobs_per_sec,
+                    "fingerprint": p.fingerprint,
+                    "busy_retries": p.busy_retries,
+                    "min_node_warm_hit_rate": p.min_warm_hit_rate,
+                    "queue_p95_micros": p.queue_p95,
+                    "service_p95_micros": p.service_p95,
+                    "wire_p95_micros": p.wire_p95,
+                    "per_node": node_rows,
+                })
+            })
+            .collect();
+        if let serde_json::Value::Object(members) = &mut report {
+            members.push((
+                "cluster_sweep".to_string(),
+                serde_json::json!({
+                    "cluster_nodes": cluster,
+                    "distinct_designs": cluster_designs,
+                    "single_node_warm_hit_rate": single_warm_hit_rate,
+                    "passes": pass_rows,
+                }),
+            ));
+            members.push((
+                "cluster_fingerprints_match_single_node".to_string(),
+                serde_json::Value::Bool(cluster_deterministic),
+            ));
+            members.push((
+                "cluster_node_hit_rates_at_least_single_node_warm_rate".to_string(),
+                serde_json::Value::Bool(cluster_hit_rates_hold),
+            ));
+        }
+    }
     std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serializable"))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("engine_load: wrote {out_path}");
-    if !deterministic || !batch_deterministic || !tcp_deterministic {
+    if !deterministic || !batch_deterministic || !tcp_deterministic || !cluster_deterministic {
         std::process::exit(1);
     }
 }
@@ -326,6 +467,214 @@ fn run_tcp_loop(workers: usize, queue: usize, cache: usize, specs: &[JobSpec]) -
         service_p95: split.service.quantile_micros(0.95),
         wire_p95: split.wire.quantile_micros(0.95),
     }
+}
+
+/// One node's view of a cluster pass (warm-pass cache delta).
+struct NodeReport {
+    id: u64,
+    jobs_completed: u64,
+    warm_hits: u64,
+    warm_accesses: u64,
+}
+
+impl NodeReport {
+    /// Between-passes delta: cold stats subtracted from final stats.
+    fn from_delta(id: u64, cold: &EngineStats, total: &EngineStats) -> Self {
+        let warm_hits = total.cache_hits - cold.cache_hits;
+        let warm_misses = total.cache_misses - cold.cache_misses;
+        Self {
+            id,
+            jobs_completed: total.jobs_completed,
+            warm_hits,
+            warm_accesses: warm_hits + warm_misses,
+        }
+    }
+
+    /// Warm-pass hit rate; an idle node (no accesses) is vacuously warm.
+    fn warm_hit_rate(&self) -> f64 {
+        if self.warm_accesses == 0 {
+            1.0
+        } else {
+            self.warm_hits as f64 / self.warm_accesses as f64
+        }
+    }
+}
+
+/// One measured cluster topology (cold pass, then timed warm pass).
+struct ClusterPass {
+    label: &'static str,
+    warm_jobs_per_sec: f64,
+    fingerprint: u64,
+    busy_retries: u64,
+    min_warm_hit_rate: f64,
+    queue_p95: u64,
+    service_p95: u64,
+    wire_p95: u64,
+    nodes: Vec<NodeReport>,
+}
+
+impl ClusterPass {
+    fn build(
+        label: &'static str,
+        warm_jobs_per_sec: f64,
+        fingerprint: u64,
+        busy_retries: u64,
+        split: &LatencySplit,
+        nodes: Vec<NodeReport>,
+    ) -> Self {
+        let min_warm_hit_rate = nodes
+            .iter()
+            .filter(|n| n.warm_accesses > 0)
+            .map(NodeReport::warm_hit_rate)
+            .fold(1.0f64, f64::min);
+        Self {
+            label,
+            warm_jobs_per_sec,
+            fingerprint,
+            busy_retries,
+            min_warm_hit_rate,
+            queue_p95: split.queue.quantile_micros(0.95),
+            service_p95: split.service.quantile_micros(0.95),
+            wire_p95: split.wire.quantile_micros(0.95),
+            nodes,
+        }
+    }
+}
+
+fn node_config(workers: usize, queue: usize, cache: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        queue_capacity: queue,
+        results_capacity: queue,
+        design_cache_capacity: cache,
+        batch_window: 1,
+    }
+}
+
+/// Per-node in-flight window for the router (pipelining depth).
+const ROUTER_WINDOW: usize = 16;
+
+/// Replay the batch through a router over `nodes` in-process engines:
+/// cold pass, then a timed warm pass with the router-observed latency
+/// split. Per-node warm hit rates come from the between-pass cache
+/// delta.
+fn run_cluster_local(
+    label: &'static str,
+    nodes: usize,
+    workers_per_node: usize,
+    queue: usize,
+    cache: usize,
+    specs: &[JobSpec],
+) -> ClusterPass {
+    let handles: Vec<(u64, Box<dyn NodeHandle>)> = (0..nodes as u64)
+        .map(|id| {
+            let node = LocalNode::start(node_config(workers_per_node, queue, cache));
+            (id, Box::new(node) as Box<dyn NodeHandle>)
+        })
+        .collect();
+    let mut router = Router::new(handles, ROUTER_WINDOW);
+    let mut results = Vec::with_capacity(specs.len());
+    router.run_batch(specs, &mut results);
+    let fingerprint = batch_fingerprint(&results);
+    let cold: Vec<(u64, EngineStats)> = router
+        .stats()
+        .nodes
+        .into_iter()
+        .map(|(id, s)| (id, s.expect("local nodes report stats")))
+        .collect();
+
+    results.clear();
+    let mut split = LatencySplit::new();
+    let started = Instant::now();
+    router.run_batch_split(specs, &mut results, &mut split);
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(batch_fingerprint(&results), fingerprint, "{label}: warm pass diverged");
+
+    let busy_retries = router.busy_retries();
+    let final_stats = router.shutdown();
+    let node_reports: Vec<NodeReport> = final_stats
+        .nodes
+        .iter()
+        .zip(&cold)
+        .map(|((id, total), (_, cold))| {
+            NodeReport::from_delta(*id, cold, total.as_ref().expect("local nodes report stats"))
+        })
+        .collect();
+    ClusterPass::build(
+        label,
+        specs.len() as f64 / elapsed,
+        fingerprint,
+        busy_retries,
+        &split,
+        node_reports,
+    )
+}
+
+/// Replay the batch through a router over `nodes` TCP loopback nodes:
+/// each node is an engine behind its own transport server, reached
+/// through a [`RemoteNode`] connection — the full wire path per shard.
+/// The engines stay in our hands, so per-node cache telemetry is read
+/// directly even though the router only sees sockets.
+fn run_cluster_tcp(
+    nodes: usize,
+    workers_per_node: usize,
+    queue: usize,
+    cache: usize,
+    specs: &[JobSpec],
+) -> ClusterPass {
+    let engines: Vec<Arc<Engine>> = (0..nodes)
+        .map(|_| Arc::new(Engine::start(node_config(workers_per_node, queue, cache))))
+        .collect();
+    let servers: Vec<TransportServer> = engines
+        .iter()
+        .map(|engine| {
+            TransportServer::bind(Arc::clone(engine), "127.0.0.1:0", TransportConfig::default())
+                .expect("bind loopback transport")
+        })
+        .collect();
+    let handles: Vec<(u64, Box<dyn NodeHandle>)> = servers
+        .iter()
+        .enumerate()
+        .map(|(id, server)| {
+            let node = RemoteNode::connect(server.local_addr()).expect("connect loopback node");
+            (id as u64, Box::new(node) as Box<dyn NodeHandle>)
+        })
+        .collect();
+    let mut router = Router::new(handles, ROUTER_WINDOW);
+    let mut results = Vec::with_capacity(specs.len());
+    router.run_batch(specs, &mut results);
+    let fingerprint = batch_fingerprint(&results);
+    let cold: Vec<EngineStats> = engines.iter().map(|e| e.stats()).collect();
+
+    results.clear();
+    let mut split = LatencySplit::new();
+    let started = Instant::now();
+    router.run_batch_split(specs, &mut results, &mut split);
+    let elapsed = started.elapsed().as_secs_f64();
+    assert_eq!(batch_fingerprint(&results), fingerprint, "tcp cluster: warm pass diverged");
+
+    let busy_retries = router.busy_retries();
+    router.shutdown();
+    let node_reports: Vec<NodeReport> = engines
+        .iter()
+        .zip(&cold)
+        .enumerate()
+        .map(|(id, (engine, cold))| NodeReport::from_delta(id as u64, cold, &engine.stats()))
+        .collect();
+    for server in servers {
+        server.stop();
+    }
+    for engine in engines {
+        Arc::try_unwrap(engine).ok().expect("transport released the engine").shutdown();
+    }
+    ClusterPass::build(
+        "tcp",
+        specs.len() as f64 / elapsed,
+        fingerprint,
+        busy_retries,
+        &split,
+        node_reports,
+    )
 }
 
 /// Two batch passes (cold cache, then warm) at a fixed worker count and

@@ -104,6 +104,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.clear();
     }
 
+    /// Iterate over the resident keys, in no particular order (does not
+    /// touch recency). The engine's snapshot-lite path uses this to
+    /// export the design cache's working set as keys only — values
+    /// resample bit-identically from their keys.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+
     fn evict_lru(&mut self) -> Option<(K, V)> {
         let key = self.map.iter().min_by_key(|(_, (_, stamp))| *stamp).map(|(k, _)| k.clone())?;
         self.map.remove_entry(&key).map(|(k, (v, _))| (k, v))
@@ -182,6 +190,19 @@ mod tests {
         assert_eq!(lru.capacity(), 2);
         lru.insert(2, 2);
         assert_eq!(lru.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn keys_export_the_resident_set_without_touching_recency() {
+        let mut lru = LruCache::new(3);
+        lru.insert(1, ());
+        lru.insert(2, ());
+        lru.insert(3, ());
+        let mut keys: Vec<i32> = lru.keys().copied().collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![1, 2, 3]);
+        // Exporting keys must not refresh anyone: 1 is still the LRU entry.
+        assert_eq!(lru.insert(4, ()), Some((1, ())));
     }
 
     #[test]
