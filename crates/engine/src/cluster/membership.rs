@@ -81,26 +81,52 @@ impl Membership {
         self.nodes.is_empty()
     }
 
-    /// Index (into [`Self::node_ids`]) of the node owning `key`.
-    pub fn owner_index(&self, key: &DesignKey) -> usize {
+    /// Indexes (into [`Self::node_ids`]) of the **top-2** scorers for
+    /// `key`: the owner, and — when the table has at least two nodes —
+    /// the runner-up. The runner-up is the failure-domain standby: HRW
+    /// guarantees it is exactly the node that inherits the key when the
+    /// owner leaves (`without_node(owner).owner(key)`), so keeping it
+    /// warm makes failover cold-miss-free.
+    pub fn top2_indices(&self, key: &DesignKey) -> (usize, Option<usize>) {
         let digest = key_digest(key);
         let mut best = 0usize;
         let mut best_score = (score(self.nodes[0], digest), self.nodes[0]);
+        let mut second: Option<(usize, (u64, u64))> = None;
         for (i, &id) in self.nodes.iter().enumerate().skip(1) {
             // Ties (astronomically unlikely) break by id, so ownership is
             // a function of the id set, never of vector order.
             let s = (score(id, digest), id);
             if s > best_score {
+                second = Some((best, best_score));
                 best_score = s;
                 best = i;
+            } else if second.is_none_or(|(_, ss)| s > ss) {
+                second = Some((i, s));
             }
         }
-        best
+        (best, second.map(|(i, _)| i))
+    }
+
+    /// Index (into [`Self::node_ids`]) of the node owning `key`.
+    pub fn owner_index(&self, key: &DesignKey) -> usize {
+        self.top2_indices(key).0
     }
 
     /// Id of the node owning `key`.
     pub fn owner(&self, key: &DesignKey) -> u64 {
         self.nodes[self.owner_index(key)]
+    }
+
+    /// Index of `key`'s standby — the HRW runner-up that inherits the
+    /// key if its owner leaves. `None` for a 1-node table (nowhere to
+    /// fail over to).
+    pub fn standby_index(&self, key: &DesignKey) -> Option<usize> {
+        self.top2_indices(key).1
+    }
+
+    /// Id of `key`'s standby node (see [`Self::standby_index`]).
+    pub fn standby(&self, key: &DesignKey) -> Option<u64> {
+        self.standby_index(key).map(|i| self.nodes[i])
     }
 
     /// This table with `id` added (HRW: only keys the new node wins
@@ -192,6 +218,40 @@ mod tests {
         for (i, &c) in counts.iter().enumerate() {
             assert!(c > 100, "node {i} owns only {c}/600 keys");
         }
+    }
+
+    #[test]
+    fn standby_is_exactly_the_post_failure_owner() {
+        // The property the warm-standby path rides on: the HRW runner-up
+        // for a key is the node that inherits it when the owner dies.
+        let m = Membership::new(vec![11, 22, 33, 44]);
+        for s in 0..400 {
+            let k = key(s);
+            let owner = m.owner(&k);
+            let standby = m.standby(&k).expect("4-node table has a runner-up");
+            assert_ne!(standby, owner, "key {s}: standby must differ from owner");
+            assert_eq!(
+                standby,
+                m.without_node(owner).owner(&k),
+                "key {s}: runner-up is not the failover owner"
+            );
+        }
+    }
+
+    #[test]
+    fn standby_depends_on_the_id_set_not_the_order() {
+        let a = Membership::new(vec![10, 20, 30]);
+        let b = Membership::new(vec![30, 10, 20]);
+        for s in 0..200 {
+            assert_eq!(a.standby(&key(s)), b.standby(&key(s)), "key {s}");
+        }
+    }
+
+    #[test]
+    fn single_node_table_has_no_standby() {
+        let m = Membership::new(vec![5]);
+        assert_eq!(m.standby(&key(0)), None);
+        assert_eq!(m.standby_index(&key(0)), None);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
@@ -35,6 +36,7 @@ use crate::engine::{Engine, EngineConfig, EngineStats, ResultRoute, SubmitError}
 use crate::job::{JobResult, JobSpec};
 use crate::queue::{BoundedQueue, TryPop};
 use crate::transport::frame::{read_frame, Frame, FrameWriter};
+use crate::transport::{connect_stream, WireTimeouts};
 
 /// Something a node hands back on its completion stream.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,6 +52,11 @@ pub enum NodeEvent {
     /// router resolves the job without a result
     /// ([`crate::cluster::Router::rejected`]).
     Rejected(u64),
+    /// The node is gone while it still owed replies: its connection
+    /// dropped, broke framing, or stayed silent past the read deadline
+    /// with submissions outstanding. Everything in flight there is lost;
+    /// the router re-routes to the survivors.
+    Down,
 }
 
 /// What can go wrong talking to a node.
@@ -110,6 +117,14 @@ pub trait NodeHandle: Send + Sync {
     /// Non-blocking receive with the tri-state a fan-in loop needs:
     /// `Empty` (poll again later) vs `Closed` (this node is done).
     fn try_recv(&self) -> TryPop<NodeEvent>;
+
+    /// Warm this node's design cache for `keys` ahead of traffic — the
+    /// cluster's standby keep-warm path. Best-effort and administrative:
+    /// a node that cannot warm simply pays the cold miss later. Default
+    /// is a no-op for node kinds without a cache to warm.
+    fn prewarm(&self, _keys: &[DesignKey]) -> Result<(), NodeError> {
+        Ok(())
+    }
 
     /// This node's serving telemetry, when observable from here: a local
     /// node reports its engine's stats, a remote node reports `None`
@@ -192,6 +207,11 @@ impl NodeHandle for LocalNode {
         }
     }
 
+    fn prewarm(&self, keys: &[DesignKey]) -> Result<(), NodeError> {
+        self.engine.prewarm(keys);
+        Ok(())
+    }
+
     fn stats(&self) -> Option<EngineStats> {
         Some(self.engine.stats())
     }
@@ -221,6 +241,10 @@ pub struct RemoteNode {
     stream: TcpStream,
     writer: Mutex<FrameWriter<BufWriter<TcpStream>>>,
     events: Arc<BoundedQueue<NodeEvent>>,
+    /// Submissions written minus replies received: how many answers the
+    /// peer still owes. Read-deadline silence is only fatal while this
+    /// is nonzero — an idle connection may be silent forever.
+    owed: Arc<AtomicU64>,
     pump: Mutex<Option<JoinHandle<()>>>,
 }
 
@@ -230,22 +254,37 @@ impl RemoteNode {
     /// practice; bounded so a runaway peer cannot grow memory.
     const EVENT_CAPACITY: usize = 1024;
 
-    /// Connect to a transport server.
+    /// Connect to a transport server with the default [`WireTimeouts`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, WireTimeouts::default())
+    }
+
+    /// Connect with explicit deadlines. A read deadline turns a half-dead
+    /// peer from an eternal hang into a typed [`NodeEvent::Down`]: when
+    /// the socket stays silent past `timeouts.read` *while replies are
+    /// owed*, the pump declares the node down and ends the stream.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        timeouts: WireTimeouts,
+    ) -> std::io::Result<Self> {
+        let stream = connect_stream(addr, timeouts.connect)?;
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
+        read_half.set_read_timeout(timeouts.read)?;
         let write_half = stream.try_clone()?;
         let events = Arc::new(BoundedQueue::new(Self::EVENT_CAPACITY));
+        let owed = Arc::new(AtomicU64::new(0));
         let pump_events = Arc::clone(&events);
+        let pump_owed = Arc::clone(&owed);
         let pump = std::thread::Builder::new()
             .name("remote-node-pump".into())
-            .spawn(move || pump_replies(read_half, &pump_events))
+            .spawn(move || pump_replies(read_half, &pump_events, &pump_owed))
             .expect("failed to spawn remote node pump");
         Ok(Self {
             stream,
             writer: Mutex::new(FrameWriter::new(BufWriter::new(write_half))),
             events,
+            owed,
             pump: Mutex::new(Some(pump)),
         })
     }
@@ -267,8 +306,10 @@ impl Drop for RemoteNode {
 
 /// Reader half: turn reply frames into events until the stream ends.
 /// Every exit path closes the event queue — that is how `recv` callers
-/// learn the node is gone.
-fn pump_replies(stream: TcpStream, events: &BoundedQueue<NodeEvent>) {
+/// learn the node is gone. A terminal exit *while replies are owed*
+/// pushes [`NodeEvent::Down`] first, so the router learns the difference
+/// between a clean goodbye and a node that died holding its jobs.
+fn pump_replies(stream: TcpStream, events: &BoundedQueue<NodeEvent>, owed: &AtomicU64) {
     let mut r = BufReader::new(stream);
     let mut scratch = Vec::new();
     loop {
@@ -276,10 +317,39 @@ fn pump_replies(stream: TcpStream, events: &BoundedQueue<NodeEvent>) {
             Ok(Some(Frame::Result(result))) => NodeEvent::Result(result),
             Ok(Some(Frame::Busy(id))) => NodeEvent::Busy(id),
             Ok(Some(Frame::Reject(id))) => NodeEvent::Rejected(id),
-            // A server never sends SUBMIT; EOF and torn frames both end
-            // the conversation (no resync point after a framing error).
-            Ok(Some(Frame::Submit(_))) | Ok(None) | Err(_) => break,
+            // The read deadline expired. Idle silence is legal — keep
+            // listening. Silence while replies are owed means the peer
+            // is half-dead: declare it down.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if owed.load(Ordering::Acquire) == 0 {
+                    continue;
+                }
+                let _ = events.push(NodeEvent::Down);
+                break;
+            }
+            // Clean EOF: only a failure if the peer still owed replies.
+            Ok(None) => {
+                if owed.load(Ordering::Acquire) > 0 {
+                    let _ = events.push(NodeEvent::Down);
+                }
+                break;
+            }
+            // A server never sends SUBMIT/PREWARM; torn frames leave no
+            // resync point. Either way the conversation is over — and
+            // abnormal, so it surfaces as Down.
+            Ok(Some(Frame::Submit(_) | Frame::Prewarm(_))) | Err(_) => {
+                let _ = events.push(NodeEvent::Down);
+                break;
+            }
         };
+        // A reply settles one owed submission (guard against a buggy
+        // peer answering more often than asked).
+        let _ = owed.fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| v.checked_sub(1));
         if events.push(event).is_err() {
             break; // handle closed locally; stop pumping
         }
@@ -297,8 +367,21 @@ impl NodeHandle for RemoteNode {
 
     fn try_submit(&self, spec: JobSpec) -> Result<SubmitOutcome, NodeError> {
         let mut writer = self.writer.lock().expect("remote writer poisoned");
+        // Count the submission as owed before it can possibly be
+        // answered; a failed write fails the node anyway.
+        self.owed.fetch_add(1, Ordering::AcqRel);
         writer.send(&Frame::Submit(spec)).map_err(NodeError::Io)?;
         Ok(SubmitOutcome::Accepted)
+    }
+
+    fn prewarm(&self, keys: &[DesignKey]) -> Result<(), NodeError> {
+        // Fire-and-forget PREWARM frames: never answered, so they do not
+        // count as owed replies.
+        let mut writer = self.writer.lock().expect("remote writer poisoned");
+        for key in keys {
+            writer.send(&Frame::Prewarm(*key)).map_err(NodeError::Io)?;
+        }
+        writer.flush().map_err(NodeError::Io)
     }
 
     fn flush(&self) -> Result<(), NodeError> {
@@ -429,6 +512,52 @@ mod tests {
         let engine = Arc::try_unwrap(engine).ok().expect("session released its Arc");
         let stats = engine.shutdown();
         assert_eq!(stats.jobs_completed, 1);
+    }
+
+    #[test]
+    fn a_peer_dying_with_owed_replies_surfaces_down() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            use std::io::Read;
+            let (mut conn, _) = listener.accept().unwrap();
+            // Swallow one SUBMIT frame, then vanish without replying.
+            let mut frame = [0u8; 76];
+            let _ = conn.read_exact(&mut frame);
+        });
+        let node = RemoteNode::connect(addr).unwrap();
+        node.submit(spec(0)).unwrap();
+        assert_eq!(node.recv(), Some(NodeEvent::Down), "death with owed replies must be Down");
+        assert!(node.recv().is_none(), "the stream is closed after Down");
+        server.join().unwrap();
+        Box::new(node).shutdown();
+    }
+
+    #[test]
+    fn owed_reply_silence_past_the_read_deadline_is_down_but_idle_silence_is_not() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            // Accept, then hold the connection open in silence forever.
+            let (_conn, _) = listener.accept().unwrap();
+            let _ = hold_rx.recv();
+        });
+        let timeouts = WireTimeouts {
+            connect: Some(std::time::Duration::from_secs(2)),
+            read: Some(std::time::Duration::from_millis(40)),
+        };
+        let node = RemoteNode::connect_with(addr, timeouts).unwrap();
+        // Idle well past the read deadline: the pump must keep waiting,
+        // not declare an idle connection dead.
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        assert_eq!(node.try_recv(), TryPop::Empty, "idle silence must not end the stream");
+        // Now a submission goes unanswered past the deadline: Down.
+        node.submit(spec(0)).unwrap();
+        assert_eq!(node.recv(), Some(NodeEvent::Down));
+        drop(hold_tx);
+        server.join().unwrap();
+        Box::new(node).shutdown();
     }
 
     #[test]

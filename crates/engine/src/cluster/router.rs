@@ -11,10 +11,11 @@
 //! node's retry queue, and fans results into one completion buffer.
 //!
 //! Determinism is inherited, not negotiated: a job's result is a pure
-//! function of its spec on *any* node, so placement, windows, retries
-//! and rebalances can only change timing, never fingerprints — the
-//! invariant `tests/cluster_determinism.rs` pins across 1-node, N-node
-//! and N-TCP-node topologies.
+//! function of its spec on *any* node, so placement, windows, retries,
+//! rebalances and failovers can only change timing, never fingerprints
+//! — the invariant `tests/cluster_determinism.rs` and
+//! `tests/cluster_failover.rs` pin across 1-node, N-node, N-TCP-node
+//! and kill-a-node-mid-stream topologies.
 //!
 //! ## Rebalance (drain protocol)
 //!
@@ -29,12 +30,43 @@
 //!    residency and ordering, not correctness).
 //! 3. **Re-route**: the membership table swaps and the parked jobs go
 //!    to the new owner, whose cache now warms the migrated slice.
+//!
+//! [`Router::remove_node`] is the planned inverse: drain the departing
+//! node's in-flight jobs to completion, then swap the table and
+//! re-route its parked slice to the survivors.
+//!
+//! ## Failure domain (health-checked failover)
+//!
+//! Node death is a handled event, not a hang. Three triggers mark a
+//! node failed: a transport error from submit/flush, a
+//! [`NodeEvent::Down`] or closed completion stream with work
+//! unresolved, and **probation** — a node holding in-flight jobs that
+//! has produced no event for [`FailoverConfig::probation`] (catches
+//! black-holed peers that accept writes but never answer). Failover
+//! removes the node from the membership, reclaims every spec it held
+//! (queued, retrying, or in flight), and re-routes them to the
+//! survivors under bounded retry with deterministic per-job jitter.
+//! A job that exhausts [`FailoverConfig::max_retries`] fails
+//! *terminally per job* ([`Router::failed`]) — the fan-in never wedges.
+//! Because results are spec-pure, a job served twice (submitted to a
+//! dying node that answered anyway, then re-served by a survivor) is
+//! harmless: the duplicate resolution is counted in
+//! [`Router::stale_events`] and dropped.
+//!
+//! HRW **top-2 placement** makes failover cheap: every key's
+//! runner-up node ([`Membership::standby`]) is exactly the owner the
+//! table elects once the current owner leaves, so the router keeps
+//! standbys warm ([`NodeHandle::prewarm`]) as keys first appear — the
+//! failed-over slice lands on a cache that already holds its designs,
+//! costing zero cold misses.
 
-use std::collections::{HashMap, VecDeque};
-use std::time::Instant;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
 use pooled_lab::split::LatencySplit;
+use pooled_rng::splitmix::mix64;
 
+use crate::cache::DesignKey;
 use crate::cluster::membership::Membership;
 use crate::cluster::node::{NodeEvent, NodeHandle, SubmitOutcome};
 use crate::engine::EngineStats;
@@ -46,18 +78,58 @@ use crate::queue::TryPop;
 /// to a query-dominated job, large enough not to burn a core.
 const IDLE_PARK: std::time::Duration = std::time::Duration::from_micros(50);
 
+/// Failure-handling knobs for a [`Router`]. The defaults suit
+/// production-shaped deployments; tests shrink the timers.
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverConfig {
+    /// How long a node may hold in-flight jobs without producing a
+    /// single event before it is declared dead. This is the black-hole
+    /// detector: transport errors and closed streams fail a node
+    /// immediately, probation catches the peer that accepts writes and
+    /// then goes silent.
+    pub probation: Duration,
+    /// Per-job cap on failover re-routes. A spec that has been
+    /// reclaimed from this many dead nodes fails terminally
+    /// ([`Router::failed`]) instead of cycling forever.
+    pub max_retries: u32,
+    /// Base delay before a reclaimed spec resubmits. Attempt `k` waits
+    /// `base * 2^(k-1)` plus a deterministic per-job jitter in
+    /// `[0, base)` — bounded exponential backoff that never
+    /// synchronizes a thundering herd.
+    pub retry_backoff: Duration,
+    /// Keep each key's HRW standby warm via [`NodeHandle::prewarm`] as
+    /// keys first appear, so failover costs zero cold design misses.
+    pub warm_standbys: bool,
+}
+
+impl Default for FailoverConfig {
+    fn default() -> Self {
+        Self {
+            probation: Duration::from_secs(2),
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(2),
+            warm_standbys: true,
+        }
+    }
+}
+
 /// One node and the router's bookkeeping for it.
 struct Slot {
     id: u64,
     handle: Box<dyn NodeHandle>,
     /// Routed, not yet submitted (beyond the in-flight window).
     queue: VecDeque<JobSpec>,
-    /// BUSY'd specs awaiting resubmission (drained before `queue`).
-    retry: VecDeque<JobSpec>,
+    /// Parked specs awaiting resubmission (drained before `queue` once
+    /// their ready instant passes): BUSY bounces resubmit immediately,
+    /// failover re-routes after their backoff.
+    retry: VecDeque<(JobSpec, Instant)>,
     /// Submitted, not yet resolved: `job id → (spec, submit instant)`.
     /// The spec is the retry payload; the instant feeds the
     /// router-observed side of the latency split.
     in_flight: HashMap<u64, (JobSpec, Instant)>,
+    /// Last sign of life: the most recent accepted submission or
+    /// received event. Probation measures silence from here.
+    last_event: Instant,
 }
 
 impl Slot {
@@ -68,6 +140,7 @@ impl Slot {
             queue: VecDeque::new(),
             retry: VecDeque::new(),
             in_flight: HashMap::new(),
+            last_event: Instant::now(),
         }
     }
 
@@ -75,19 +148,39 @@ impl Slot {
     fn backlog(&self) -> usize {
         self.queue.len() + self.retry.len() + self.in_flight.len()
     }
+
+    /// Every spec this slot holds, in job-id order (failover reclaim).
+    fn reclaim(&mut self) -> Vec<JobSpec> {
+        let mut specs: Vec<JobSpec> = self.queue.drain(..).collect();
+        specs.extend(self.retry.drain(..).map(|(spec, _)| spec));
+        specs.extend(self.in_flight.drain().map(|(_, (spec, _))| spec));
+        // The in-flight map iterates in hash order; sort so failover
+        // re-routes deterministically.
+        specs.sort_unstable_by_key(|spec| spec.id);
+        specs
+    }
 }
 
 /// Aggregated cluster telemetry: per-node stats where observable (local
 /// nodes report, remote nodes' stats live server-side) plus the merged
-/// view over every reporting node.
+/// view over every reporting node — including nodes that already left
+/// the cluster (failed over or removed), so totals stay complete.
 #[derive(Debug)]
 pub struct ClusterStats {
-    /// `(node id, stats)` per node, in slot order.
+    /// `(node id, stats)` per node, in slot order (current members only).
     pub nodes: Vec<(u64, Option<EngineStats>)>,
-    /// Every reporting node folded together ([`EngineStats::merge`]).
+    /// Every reporting node folded together ([`EngineStats::merge`]),
+    /// departed nodes included.
     pub merged: EngineStats,
     /// BUSY responses absorbed (and retried) by the router so far.
     pub busy_retries: u64,
+    /// Jobs that failed terminally under failover ([`Router::failed`]).
+    pub jobs_failed: u64,
+    /// Late, duplicate or post-failover events tolerated and dropped
+    /// ([`Router::stale_events`]).
+    pub stale_events: u64,
+    /// Ids of nodes removed by failover, in failure order.
+    pub failed_nodes: Vec<u64>,
 }
 
 /// A router over N nodes. Single-owner (`&mut self` surface): one
@@ -98,6 +191,7 @@ pub struct Router {
     membership: Membership,
     /// Per-node in-flight window (max unresolved submissions per node).
     window: usize,
+    config: FailoverConfig,
     busy_retries: u64,
     /// Jobs routed but not yet fanned into `completed`.
     outstanding: usize,
@@ -105,15 +199,42 @@ pub struct Router {
     completed: VecDeque<JobResult>,
     /// Ids of jobs a node terminally rejected (see [`Router::rejected`]).
     rejected: Vec<u64>,
+    /// Ids of jobs that failed terminally under failover (see
+    /// [`Router::failed`]).
+    failed: Vec<u64>,
+    /// Per-job failover attempt counts (cleared on resolution).
+    attempts: HashMap<u64, u32>,
+    /// Late/duplicate events tolerated (see [`Router::stale_events`]).
+    stale_events: u64,
+    /// Nodes removed by failover, in failure order.
+    failed_nodes: Vec<u64>,
+    /// Keys whose standby has been prewarmed under the current
+    /// membership (cleared whenever the table changes).
+    warmed: HashSet<DesignKey>,
+    /// Final stats of nodes that left the cluster (failover or
+    /// `remove_node`), folded into every merged view.
+    departed: EngineStats,
 }
 
 impl Router {
     /// A router over `nodes` (`(id, handle)` pairs) with a per-node
-    /// in-flight window of `window` jobs.
+    /// in-flight window of `window` jobs and default failover handling.
     ///
     /// # Panics
     /// Panics if `nodes` is empty, ids repeat, or `window == 0`.
     pub fn new(nodes: Vec<(u64, Box<dyn NodeHandle>)>, window: usize) -> Self {
+        Self::with_config(nodes, window, FailoverConfig::default())
+    }
+
+    /// [`Self::new`] with explicit [`FailoverConfig`] knobs.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty, ids repeat, or `window == 0`.
+    pub fn with_config(
+        nodes: Vec<(u64, Box<dyn NodeHandle>)>,
+        window: usize,
+        config: FailoverConfig,
+    ) -> Self {
         assert!(window > 0, "the router needs an in-flight window of at least 1");
         let membership = Membership::new(nodes.iter().map(|(id, _)| *id).collect());
         let slots = nodes.into_iter().map(|(id, handle)| Slot::new(id, handle)).collect();
@@ -121,10 +242,17 @@ impl Router {
             slots,
             membership,
             window,
+            config,
             busy_retries: 0,
             outstanding: 0,
             completed: VecDeque::new(),
             rejected: Vec::new(),
+            failed: Vec::new(),
+            attempts: HashMap::new(),
+            stale_events: 0,
+            failed_nodes: Vec::new(),
+            warmed: HashSet::new(),
+            departed: EngineStats::zero(),
         }
     }
 
@@ -133,7 +261,7 @@ impl Router {
         &self.membership
     }
 
-    /// Number of nodes.
+    /// Number of live nodes.
     pub fn nodes(&self) -> usize {
         self.slots.len()
     }
@@ -160,19 +288,53 @@ impl Router {
         &self.rejected
     }
 
+    /// Ids of jobs that **failed terminally under failover**: their
+    /// spec was reclaimed from more than [`FailoverConfig::max_retries`]
+    /// dead nodes, or the last node died with them pending. Failed jobs
+    /// produce no result; streaming callers should check this after
+    /// [`Self::collect`] returns short. [`Self::run_batch`] panics
+    /// instead — a batch is all-or-nothing.
+    pub fn failed(&self) -> &[u64] {
+        &self.failed
+    }
+
+    /// Events tolerated and dropped because no in-flight job matched:
+    /// duplicated frames, and results that raced a failover decision (a
+    /// slow node answered after its jobs were re-routed — harmless, the
+    /// re-served result is bit-identical).
+    pub fn stale_events(&self) -> u64 {
+        self.stale_events
+    }
+
+    /// Ids of nodes removed by **failover** (not by
+    /// [`Self::remove_node`]), in failure order.
+    pub fn failed_nodes(&self) -> &[u64] {
+        &self.failed_nodes
+    }
+
     /// Route one job to its key's owner. Never blocks: beyond the
-    /// node's window the job parks in the router's per-node queue.
+    /// node's window the job parks in the router's per-node queue. If
+    /// every node has failed, the job fails terminally
+    /// ([`Self::failed`]) instead of panicking.
     ///
     /// # Panics
     /// Panics if the spec is infeasible ([`JobSpec::validate`]).
     pub fn submit(&mut self, spec: JobSpec) {
         spec.validate();
-        let idx = self.membership.owner_index(&spec.design_key());
+        if self.slots.is_empty() {
+            self.failed.push(spec.id);
+            return;
+        }
+        let key = spec.design_key();
+        self.warm_standby(&key);
+        let idx = self.membership.owner_index(&key);
         self.slots[idx].queue.push_back(spec);
         self.outstanding += 1;
         // Start it moving if the window has room; completions are
         // drained by `collect`/`run_batch`.
-        fill_slot(&mut self.slots[idx], self.window, &mut self.busy_retries);
+        if fill_slot(&mut self.slots[idx], self.window, &mut self.busy_retries).is_err() {
+            self.fail_over(idx);
+        }
     }
 
     /// Non-blocking fan-in: one completed result, if any is buffered.
@@ -186,12 +348,12 @@ impl Router {
     /// Blocking fan-in: append up to `count` results to `out`, in
     /// completion order (callers wanting id order sort afterwards, as
     /// [`Self::run_batch`] does). Returns the number appended — short
-    /// only when jobs were terminally rejected ([`Self::rejected`]);
-    /// every non-rejected job is waited for.
+    /// only when jobs were terminally rejected ([`Self::rejected`]) or
+    /// failed under failover ([`Self::failed`]); every other job is
+    /// waited for.
     ///
     /// # Panics
-    /// Panics if fewer than `count` jobs are outstanding, or a node
-    /// fails mid-stream.
+    /// Panics if fewer than `count` jobs are outstanding.
     pub fn collect(&mut self, count: usize, out: &mut Vec<JobResult>) -> usize {
         self.collect_impl(count, out, &mut None)
     }
@@ -215,8 +377,9 @@ impl Router {
                 taken += take;
                 continue;
             }
-            // Rejections shrink what's coming; return short rather than
-            // wait for results that will never arrive.
+            // Rejections and terminal failures shrink what's coming;
+            // return short rather than wait for results that will never
+            // arrive.
             if self.outstanding == 0 {
                 break;
             }
@@ -235,10 +398,9 @@ impl Router {
     ///
     /// # Panics
     /// Panics if jobs are already outstanding (batches are exclusive),
-    /// a spec is infeasible, a node fails mid-batch, or a node
-    /// terminally rejects a job (a batch is a unit of work; a
-    /// deployment whose nodes refuse its specs is a caller-visible
-    /// configuration error, named in the panic message).
+    /// a spec is infeasible, a node terminally rejects a job, or a job
+    /// fails terminally under failover (a batch is a unit of work; the
+    /// streaming API surfaces these per job instead).
     pub fn run_batch(&mut self, specs: &[JobSpec], out: &mut Vec<JobResult>) {
         self.run_batch_impl(specs, out, &mut None);
     }
@@ -269,6 +431,7 @@ impl Router {
         );
         let start = out.len();
         let rejected_before = self.rejected.len();
+        let failed_before = self.failed.len();
         for &spec in specs {
             self.submit(spec);
         }
@@ -280,76 +443,204 @@ impl Router {
              state",
             &self.rejected[rejected_before..]
         );
+        assert!(
+            self.failed.len() == failed_before,
+            "run_batch: jobs {:?} failed terminally under failover (retries exhausted or no \
+             surviving nodes)",
+            &self.failed[failed_before..]
+        );
         out[start..].sort_unstable_by_key(|r| r.id);
     }
 
     /// One non-blocking pass over every node: top up in-flight windows,
-    /// flush wires, drain events. Returns whether anything moved.
+    /// flush wires, drain events, check probation. Returns whether
+    /// anything moved. At most one node fails over per pass (the next
+    /// pass catches any other).
     fn step(&mut self, split: &mut Option<&mut LatencySplit>) -> bool {
-        let mut progressed = false;
-        for slot in &mut self.slots {
-            progressed |= fill_slot(slot, self.window, &mut self.busy_retries);
-        }
-        for slot in &mut self.slots {
+        let mut progressed = self.fill_all();
+        let mut down: Option<usize> = None;
+        'slots: for idx in 0..self.slots.len() {
             loop {
-                match slot.handle.try_recv() {
-                    TryPop::Item(NodeEvent::Result(result)) => {
-                        let (_, sent) = slot.in_flight.remove(&result.id).unwrap_or_else(|| {
-                            panic!("node {}: result for unknown job {}", slot.id, result.id)
-                        });
-                        if let Some(split) = split.as_deref_mut() {
-                            let observed = sent.elapsed().as_micros() as u64;
-                            split.record_observed(
-                                result.queue_micros,
-                                result.total_micros,
-                                observed,
-                            );
+                match self.slots[idx].handle.try_recv() {
+                    TryPop::Item(event) => {
+                        self.slots[idx].last_event = Instant::now();
+                        match event {
+                            NodeEvent::Result(result) => {
+                                let Some((_, sent)) = self.slots[idx].in_flight.remove(&result.id)
+                                else {
+                                    // A duplicated frame, or a slow node
+                                    // answering after failover re-routed
+                                    // the job. The accepted resolution is
+                                    // bit-identical; drop this one.
+                                    self.stale_events += 1;
+                                    continue;
+                                };
+                                self.attempts.remove(&result.id);
+                                if let Some(split) = split.as_deref_mut() {
+                                    let observed = sent.elapsed().as_micros() as u64;
+                                    split.record_observed(
+                                        result.queue_micros,
+                                        result.total_micros,
+                                        observed,
+                                    );
+                                }
+                                self.completed.push_back(result);
+                                self.outstanding -= 1;
+                                progressed = true;
+                            }
+                            NodeEvent::Busy(id) => {
+                                let Some((spec, _)) = self.slots[idx].in_flight.remove(&id) else {
+                                    self.stale_events += 1;
+                                    continue;
+                                };
+                                self.busy_retries += 1;
+                                self.slots[idx].retry.push_back((spec, Instant::now()));
+                                progressed = true;
+                            }
+                            NodeEvent::Rejected(id) => {
+                                // Terminal, not retryable: the job passed
+                                // local validation but the node's transport
+                                // refused it (a config mismatch like
+                                // max_dimension). Resolve the job without a
+                                // result; the caller sees it in
+                                // `rejected()` (or run_batch's panic).
+                                if self.slots[idx].in_flight.remove(&id).is_none() {
+                                    self.stale_events += 1;
+                                    continue;
+                                }
+                                self.attempts.remove(&id);
+                                self.rejected.push(id);
+                                self.outstanding -= 1;
+                                progressed = true;
+                            }
+                            NodeEvent::Down => {
+                                down = Some(idx);
+                                break 'slots;
+                            }
                         }
-                        self.completed.push_back(result);
-                        self.outstanding -= 1;
-                        progressed = true;
-                    }
-                    TryPop::Item(NodeEvent::Busy(id)) => {
-                        let (spec, _) = slot.in_flight.remove(&id).unwrap_or_else(|| {
-                            panic!("node {}: BUSY for unknown job {id}", slot.id)
-                        });
-                        self.busy_retries += 1;
-                        slot.retry.push_back(spec);
-                        progressed = true;
-                    }
-                    TryPop::Item(NodeEvent::Rejected(id)) => {
-                        // Terminal, not retryable: the job passed local
-                        // validation but the node's transport refused it
-                        // (a config mismatch like max_dimension). Resolve
-                        // the job without a result; the caller sees it in
-                        // `rejected()` (or run_batch's panic).
-                        slot.in_flight.remove(&id).unwrap_or_else(|| {
-                            panic!("node {}: REJECT for unknown job {id}", slot.id)
-                        });
-                        self.rejected.push(id);
-                        self.outstanding -= 1;
-                        progressed = true;
                     }
                     TryPop::Empty => break,
                     TryPop::Closed => {
-                        assert!(
-                            slot.backlog() == 0,
-                            "node {} closed with {} jobs unresolved",
-                            slot.id,
-                            slot.backlog()
-                        );
+                        if self.slots[idx].backlog() > 0 {
+                            // The completion stream died under unresolved
+                            // work — the node is gone.
+                            down = Some(idx);
+                            break 'slots;
+                        }
                         break;
                     }
+                }
+            }
+        }
+        if down.is_none() {
+            down = self.probation_expired();
+        }
+        if let Some(idx) = down {
+            self.fail_over(idx);
+            return true;
+        }
+        progressed
+    }
+
+    /// Top up every slot's window; a slot whose transport errors fails
+    /// over in place. Returns whether anything was submitted.
+    fn fill_all(&mut self) -> bool {
+        let mut progressed = false;
+        let mut idx = 0;
+        while idx < self.slots.len() {
+            match fill_slot(&mut self.slots[idx], self.window, &mut self.busy_retries) {
+                Ok(moved) => {
+                    progressed |= moved;
+                    idx += 1;
+                }
+                Err(()) => {
+                    // `fail_over` removes the slot; re-check this index.
+                    self.fail_over(idx);
+                    progressed = true;
                 }
             }
         }
         progressed
     }
 
+    /// The first slot holding in-flight work that has been silent past
+    /// probation, if any.
+    fn probation_expired(&self) -> Option<usize> {
+        self.slots.iter().position(|slot| {
+            !slot.in_flight.is_empty() && slot.last_event.elapsed() > self.config.probation
+        })
+    }
+
+    /// Remove slot `idx` as **failed**: reclaim every spec it held and
+    /// re-route to the survivors under bounded retry, or fail the jobs
+    /// terminally when retries are exhausted (or no survivors remain).
+    fn fail_over(&mut self, idx: usize) {
+        // `remove` (not `swap_remove`): slot order must stay aligned
+        // with the membership table's node order.
+        let mut slot = self.slots.remove(idx);
+        let node_id = slot.id;
+        self.failed_nodes.push(node_id);
+        let reclaimed = slot.reclaim();
+        // Sever the node and bank whatever telemetry it can still
+        // report, so merged totals stay complete.
+        slot.handle.close();
+        let Slot { handle, .. } = slot;
+        if let Some(stats) = handle.shutdown() {
+            self.departed.merge(&stats);
+        }
+        // Standby assignments shift with the table.
+        self.warmed.clear();
+        if self.slots.is_empty() {
+            // No survivors: every reclaimed job fails terminally. The
+            // fan-in unblocks (outstanding hits zero) instead of
+            // wedging forever.
+            for spec in reclaimed {
+                self.attempts.remove(&spec.id);
+                self.failed.push(spec.id);
+                self.outstanding -= 1;
+            }
+            return;
+        }
+        self.membership = self.membership.without_node(node_id);
+        let now = Instant::now();
+        for spec in reclaimed {
+            let attempt = {
+                let count = self.attempts.entry(spec.id).or_insert(0);
+                *count += 1;
+                *count
+            };
+            if attempt > self.config.max_retries {
+                self.attempts.remove(&spec.id);
+                self.failed.push(spec.id);
+                self.outstanding -= 1;
+                continue;
+            }
+            let key = spec.design_key();
+            self.warm_standby(&key);
+            let target = self.membership.owner_index(&key);
+            let ready = now + retry_delay(self.config.retry_backoff, attempt, spec.id);
+            self.slots[target].retry.push_back((spec, ready));
+        }
+        let _ = self.fill_all();
+    }
+
+    /// Prewarm `key`'s standby once per membership epoch, so a failover
+    /// of its owner lands on a cache that already holds the design.
+    fn warm_standby(&mut self, key: &DesignKey) {
+        if !self.config.warm_standbys || self.slots.len() < 2 || !self.warmed.insert(*key) {
+            return;
+        }
+        if let Some(idx) = self.membership.standby_index(key) {
+            // Best-effort: a standby that cannot warm pays the cold
+            // miss later (and a dead one is failover's problem).
+            let _ = self.slots[idx].handle.prewarm(std::slice::from_ref(key));
+        }
+    }
+
     /// Add a node, rebalancing with the drain protocol (module docs):
     /// routing stops for the migrating key slice, in-flight jobs on
     /// those keys flush to completion on their old owner, then the
-    /// membership swaps and the parked slice re-routes to the new node.
+    /// membership swaps and the parked jobs go to the new node.
     /// Safe mid-stream: outstanding jobs elsewhere keep flowing the
     /// whole time, and results remain bit-identical — placement is
     /// fingerprint-invisible.
@@ -376,31 +667,113 @@ impl Router {
             parked.extend(extract_migrating(&mut self.slots, &next, id));
         }
         // 3. Swap the table, install the node, re-route the slice.
-        self.membership = next;
+        // (Recompute the table rather than reusing `next`: a failover
+        // during the drain may have shrunk the membership.)
+        self.membership = self.membership.with_node(id);
+        self.warmed.clear();
         self.slots.push(Slot::new(id, handle));
         for spec in parked {
             let idx = self.membership.owner_index(&spec.design_key());
             self.slots[idx].queue.push_back(spec);
-            fill_slot(&mut self.slots[idx], self.window, &mut self.busy_retries);
         }
+        let _ = self.fill_all();
+    }
+
+    /// Remove node `id` **gracefully** — the planned inverse of
+    /// [`Self::add_node`]: stop routing to it, let its in-flight jobs
+    /// flush to completion there (results are placement-invariant),
+    /// then swap the table, re-route its parked slice to the survivors
+    /// and shut the node down. Returns the node's final stats when the
+    /// handle owned its engine (these are also folded into the router's
+    /// merged telemetry), or `None` for remote/attached nodes — or if
+    /// the node died mid-drain, in which case failover already
+    /// re-routed its in-flight work.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a member or is the last node (drain the
+    /// router and call [`Self::shutdown`] instead).
+    pub fn remove_node(&mut self, id: u64) -> Option<EngineStats> {
+        assert!(self.slots.iter().any(|slot| slot.id == id), "remove_node({id}): not a member");
+        assert!(self.slots.len() > 1, "cannot remove the last node — use shutdown instead");
+        // 1. Stop routing to the departing node; park its queued work.
+        // 2. Flush its in-flight jobs to completion where they are.
+        let mut parked: Vec<JobSpec> = Vec::new();
+        loop {
+            let Some(idx) = self.slots.iter().position(|slot| slot.id == id) else {
+                // The node died mid-drain: failover reclaimed and
+                // re-routed its in-flight work. Re-route what we parked
+                // ourselves and report no stats.
+                self.reroute(parked);
+                return None;
+            };
+            let slot = &mut self.slots[idx];
+            parked.extend(slot.queue.drain(..));
+            parked.extend(slot.retry.drain(..).map(|(spec, _)| spec));
+            if slot.in_flight.is_empty() {
+                break;
+            }
+            if !self.step(&mut None) {
+                std::thread::park_timeout(IDLE_PARK);
+            }
+        }
+        // 3. Swap the table, drop the node, re-route the parked slice.
+        let idx = self.slots.iter().position(|slot| slot.id == id).expect("drained in place");
+        self.membership = self.membership.without_node(id);
+        self.warmed.clear();
+        let Slot { handle, .. } = self.slots.remove(idx);
+        let stats = handle.shutdown();
+        if let Some(stats) = &stats {
+            self.departed.merge(stats);
+        }
+        self.reroute(parked);
+        stats
+    }
+
+    /// Queue `specs` on their current owners (warming standbys) and
+    /// start them moving. Outstanding counts are unchanged — these are
+    /// jobs the router already accepted.
+    fn reroute(&mut self, mut specs: Vec<JobSpec>) {
+        specs.sort_unstable_by_key(|spec| spec.id);
+        for spec in specs {
+            if self.slots.is_empty() {
+                self.attempts.remove(&spec.id);
+                self.failed.push(spec.id);
+                self.outstanding -= 1;
+                continue;
+            }
+            let key = spec.design_key();
+            self.warm_standby(&key);
+            let idx = self.membership.owner_index(&key);
+            self.slots[idx].queue.push_back(spec);
+        }
+        let _ = self.fill_all();
     }
 
     /// Live aggregate telemetry (see [`ClusterStats`]).
     pub fn stats(&self) -> ClusterStats {
         let nodes: Vec<(u64, Option<EngineStats>)> =
             self.slots.iter().map(|s| (s.id, s.handle.stats())).collect();
-        let mut merged = EngineStats::zero();
+        let mut merged = self.departed.clone();
         for (_, stats) in nodes.iter() {
             if let Some(stats) = stats {
                 merged.merge(stats);
             }
         }
-        ClusterStats { nodes, merged, busy_retries: self.busy_retries }
+        ClusterStats {
+            nodes,
+            merged,
+            busy_retries: self.busy_retries,
+            jobs_failed: self.failed.len() as u64,
+            stale_events: self.stale_events,
+            failed_nodes: self.failed_nodes.clone(),
+        }
     }
 
     /// Shut every node down and return final telemetry (owned nodes
     /// report their engines' final stats; attached/remote nodes report
-    /// `None` — their engines outlive the router).
+    /// `None` — their engines outlive the router). Nodes that already
+    /// left (failover, [`Self::remove_node`]) stay folded into
+    /// `merged`.
     ///
     /// # Panics
     /// Panics if jobs are still outstanding (collect them first).
@@ -408,7 +781,7 @@ impl Router {
         assert!(self.outstanding == 0, "shutdown with {} jobs outstanding", self.outstanding);
         let busy_retries = self.busy_retries;
         let mut nodes = Vec::new();
-        let mut merged = EngineStats::zero();
+        let mut merged = self.departed.clone();
         for slot in self.slots.drain(..) {
             let stats = slot.handle.shutdown();
             if let Some(stats) = &stats {
@@ -416,39 +789,67 @@ impl Router {
             }
             nodes.push((slot.id, stats));
         }
-        ClusterStats { nodes, merged, busy_retries }
+        ClusterStats {
+            nodes,
+            merged,
+            busy_retries,
+            jobs_failed: self.failed.len() as u64,
+            stale_events: self.stale_events,
+            failed_nodes: self.failed_nodes.clone(),
+        }
     }
 }
 
-/// Top up one node's in-flight window from its retry/queue backlog.
-/// Returns whether anything was submitted. A synchronous `Busy` parks
-/// the spec on the retry queue and stops filling (the queue is full; a
-/// completion must free a slot first).
-fn fill_slot(slot: &mut Slot, window: usize, busy_retries: &mut u64) -> bool {
+/// Top up one node's in-flight window from its retry/queue backlog
+/// (retries whose ready instant has passed take priority). Returns
+/// whether anything was submitted, or `Err(())` when the node's
+/// transport failed — the caller must fail the node over (the
+/// unsubmitted spec is back at the front of its retry queue, so the
+/// reclaim loses nothing). A synchronous `Busy` parks the spec on the
+/// retry queue and stops filling (the queue is full; a completion must
+/// free a slot first).
+fn fill_slot(slot: &mut Slot, window: usize, busy_retries: &mut u64) -> Result<bool, ()> {
     let mut progressed = false;
     while slot.in_flight.len() < window {
-        let Some(spec) = slot.retry.pop_front().or_else(|| slot.queue.pop_front()) else {
-            break;
+        let now = Instant::now();
+        let spec = if slot.retry.front().is_some_and(|(_, ready)| *ready <= now) {
+            slot.retry.pop_front().map(|(spec, _)| spec)
+        } else {
+            slot.queue.pop_front()
         };
+        let Some(spec) = spec else { break };
         match slot.handle.try_submit(spec) {
             Ok(SubmitOutcome::Accepted) => {
-                slot.in_flight.insert(spec.id, (spec, Instant::now()));
+                slot.last_event = now;
+                slot.in_flight.insert(spec.id, (spec, now));
                 progressed = true;
             }
             Ok(SubmitOutcome::Busy) => {
                 *busy_retries += 1;
-                slot.retry.push_back(spec);
+                slot.retry.push_back((spec, now));
                 break;
             }
-            Err(e) => panic!("node {} failed mid-stream: {e}", slot.id),
+            Err(_) => {
+                slot.retry.push_front((spec, now));
+                return Err(());
+            }
         }
     }
-    if progressed {
-        if let Err(e) = slot.handle.flush() {
-            panic!("node {} failed mid-stream: {e}", slot.id);
-        }
+    if progressed && slot.handle.flush().is_err() {
+        return Err(());
     }
-    progressed
+    Ok(progressed)
+}
+
+/// Deterministic bounded backoff for failover attempt `attempt` of job
+/// `id`: `base * 2^min(attempt-1, 6)` plus a per-job jitter in
+/// `[0, base)` derived from the job id — reproducible, and never
+/// synchronized across jobs.
+fn retry_delay(base: Duration, attempt: u32, id: u64) -> Duration {
+    let backoff = base * (1u32 << (attempt - 1).min(6));
+    let base_micros = (base.as_micros() as u64).max(1);
+    let jitter = mix64(id ^ (u64::from(attempt) << 32)) % base_micros;
+    backoff + Duration::from_micros(jitter)
 }
 
 /// Pull every queued-but-unsubmitted job whose key migrates to `new_id`
@@ -456,17 +857,24 @@ fn fill_slot(slot: &mut Slot, window: usize, busy_retries: &mut u64) -> bool {
 fn extract_migrating(slots: &mut [Slot], next: &Membership, new_id: u64) -> Vec<JobSpec> {
     let mut parked = Vec::new();
     for slot in slots {
-        for queue in [&mut slot.retry, &mut slot.queue] {
-            let mut keep = VecDeque::with_capacity(queue.len());
-            while let Some(spec) = queue.pop_front() {
-                if next.owner(&spec.design_key()) == new_id {
-                    parked.push(spec);
-                } else {
-                    keep.push_back(spec);
-                }
+        let mut keep = VecDeque::with_capacity(slot.queue.len());
+        while let Some(spec) = slot.queue.pop_front() {
+            if next.owner(&spec.design_key()) == new_id {
+                parked.push(spec);
+            } else {
+                keep.push_back(spec);
             }
-            *queue = keep;
         }
+        slot.queue = keep;
+        let mut keep = VecDeque::with_capacity(slot.retry.len());
+        while let Some((spec, ready)) = slot.retry.pop_front() {
+            if next.owner(&spec.design_key()) == new_id {
+                parked.push(spec);
+            } else {
+                keep.push_back((spec, ready));
+            }
+        }
+        slot.retry = keep;
     }
     parked
 }
@@ -519,6 +927,8 @@ mod tests {
         let stats = router.shutdown();
         assert_eq!(stats.merged.jobs_completed, 30);
         assert_eq!(stats.nodes.len(), 3);
+        assert_eq!(stats.jobs_failed, 0);
+        assert!(stats.failed_nodes.is_empty());
     }
 
     #[test]
@@ -627,12 +1037,64 @@ mod tests {
     }
 
     #[test]
+    fn mid_stream_remove_node_preserves_results() {
+        let specs: Vec<JobSpec> = (0..36).map(spec).collect();
+        let mut single = local_cluster(1, 1);
+        let mut want = Vec::new();
+        single.run_batch(&specs, &mut want);
+        single.shutdown();
+
+        // Stream half through 3 nodes, drain one out, stream the rest.
+        let mut router = local_cluster(3, 1);
+        for &s in &specs[..18] {
+            router.submit(s);
+        }
+        let stats = router.remove_node(1).expect("owned local node reports stats");
+        assert_eq!(router.nodes(), 2);
+        assert!(
+            !router.membership().node_ids().contains(&1),
+            "the membership must drop the removed node"
+        );
+        for &s in &specs[18..] {
+            router.submit(s);
+        }
+        let mut got = Vec::new();
+        router.collect(36, &mut got);
+        got.sort_unstable_by_key(|r| r.id);
+        let project =
+            |rs: &[JobResult]| rs.iter().map(|r| (r.id, r.fingerprint())).collect::<Vec<_>>();
+        assert_eq!(project(&want), project(&got), "remove_node changed results");
+        // The departed node's work is not lost from the merged view.
+        let final_stats = router.shutdown();
+        assert_eq!(
+            final_stats.merged.jobs_completed, 36,
+            "merged stats must include the removed node's {} jobs",
+            stats.jobs_completed
+        );
+        assert!(final_stats.failed_nodes.is_empty(), "a planned drain is not a failure");
+    }
+
+    #[test]
     #[should_panic(expected = "idle router")]
     fn run_batch_requires_an_idle_router() {
         let mut router = local_cluster(1, 1);
         router.submit(spec(0));
         let mut out = Vec::new();
         router.run_batch(&[spec(1)], &mut out);
+    }
+
+    #[test]
+    fn retry_delays_grow_and_stay_bounded() {
+        let base = Duration::from_millis(2);
+        let d1 = retry_delay(base, 1, 42);
+        let d2 = retry_delay(base, 2, 42);
+        let d9 = retry_delay(base, 9, 42);
+        assert!(d1 >= base && d1 < base * 2, "attempt 1 is base + jitter: {d1:?}");
+        assert!(d2 >= base * 2 && d2 < base * 3, "attempt 2 doubles: {d2:?}");
+        assert!(d9 < base * 65, "the backoff exponent is capped: {d9:?}");
+        // Jitter is deterministic per (id, attempt) and varies by id.
+        assert_eq!(retry_delay(base, 1, 42), d1);
+        assert_ne!(retry_delay(base, 1, 42), retry_delay(base, 1, 43));
     }
 
     #[test]

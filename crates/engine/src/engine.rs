@@ -358,6 +358,16 @@ impl Engine {
         self.handles.len()
     }
 
+    /// Warm the design cache for `keys` while the engine is live — the
+    /// cluster's standby keep-warm path: a node designated as a key's
+    /// failover target samples the design *before* any failover, so
+    /// inheriting the key costs zero cold misses. Resident keys are
+    /// skipped; like [`Self::start_prewarmed`], warming never touches
+    /// the hit/miss telemetry (it is administrative, not traffic).
+    pub fn prewarm(&self, keys: &[DesignKey]) {
+        self.shared.cache.prewarm(keys);
+    }
+
     /// Blocking submission: waits under backpressure, errs on shutdown.
     ///
     /// # Panics
@@ -602,12 +612,37 @@ fn worker_main(shared: &Shared, idx: u32) {
             // One cache access serves the whole run (design affinity).
             let design = shared.cache.get_or_sample(&DesignKey::of(&run[0].spec));
             served.clear();
+            // Contain decode-stage panics to the job that caused them: a
+            // panicking decoder yields a REJECT-class poisoned result and
+            // the shard keeps serving. The scratch buffers are safe to
+            // reuse after an unwind — every stage resizes/clears them at
+            // use, none carries cross-job state.
             if run.len() == 1 {
-                served.push(process_job(&run[0].spec, &design, &mut scratch));
+                let spec = run[0].spec;
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    process_job(&spec, &design, &mut scratch)
+                }));
+                served.push(outcome.unwrap_or_else(|_| JobResult::decode_poisoned(&spec, idx)));
             } else {
                 specs.clear();
                 specs.extend(run.iter().map(|q| q.spec));
-                process_batch(&specs, &design, &mut scratch, &mut served);
+                let whole = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    process_batch(&specs, &design, &mut scratch, &mut served)
+                }));
+                if whole.is_err() {
+                    // One lane poisoned the fused batch: re-serve per job
+                    // so exactly the offending spec fails.
+                    served.clear();
+                    for spec in &specs {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                process_job(spec, &design, &mut scratch)
+                            }));
+                        served.push(
+                            outcome.unwrap_or_else(|_| JobResult::decode_poisoned(spec, idx)),
+                        );
+                    }
+                }
             }
             for (queued, result) in run.iter().zip(&mut served) {
                 let queue_micros = popped.duration_since(queued.enqueued).as_micros() as u64;
@@ -660,6 +695,61 @@ mod tests {
         // (single-flight); afterwards everything hits.
         assert_eq!(stats.cache_misses, 1, "racing cold misses must single-flight");
         assert_eq!(stats.cache_hits + stats.cache_misses, 40);
+    }
+
+    #[test]
+    fn a_panicking_decoder_fails_its_job_and_the_shard_keeps_serving() {
+        // Panic containment: the hidden probe decoder panics mid-decode;
+        // that one job must come back as a poisoned REJECT-class result
+        // while every other job — including later ones on the *same*
+        // single shard — completes normally.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+            results_capacity: 8,
+            design_cache_capacity: 2,
+            batch_window: 1,
+        });
+        let mut specs: Vec<JobSpec> = (0..6).map(spec).collect();
+        specs[2].decoder = DecoderKind::PanicProbe;
+        let mut out = Vec::new();
+        engine.run_batch(&specs, &mut out);
+        assert_eq!(out.len(), 6, "the poisoned shard must keep serving");
+        for r in &out {
+            if r.id == 2 {
+                assert!(r.is_decode_poisoned(), "the probe job must fail poisoned");
+                assert!(!r.exact);
+            } else {
+                assert!(!r.is_decode_poisoned(), "job {} wrongly poisoned", r.id);
+                assert_eq!(r.weight, 5);
+            }
+        }
+        let stats = engine.shutdown();
+        assert_eq!(stats.jobs_completed, 6);
+    }
+
+    #[test]
+    fn a_panicking_lane_poisons_only_itself_in_a_batched_run() {
+        // Under a batching window the probe job (never batch-compatible,
+        // so it serves alone between fused runs) still fails alone while
+        // the surrounding Mn batches complete; the fused path's unwind
+        // fallback re-serves per job for the same guarantee.
+        let engine = Engine::start(EngineConfig {
+            workers: 1,
+            queue_capacity: 16,
+            results_capacity: 16,
+            design_cache_capacity: 2,
+            batch_window: 8,
+        });
+        let mut specs: Vec<JobSpec> = (0..8).map(spec).collect();
+        specs[5].decoder = DecoderKind::PanicProbe;
+        let mut out = Vec::new();
+        engine.run_batch(&specs, &mut out);
+        assert_eq!(out.len(), 8);
+        let poisoned: Vec<u64> =
+            out.iter().filter(|r| r.is_decode_poisoned()).map(|r| r.id).collect();
+        assert_eq!(poisoned, vec![5], "exactly the probe lane fails");
+        engine.shutdown();
     }
 
     #[test]

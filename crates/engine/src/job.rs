@@ -33,6 +33,13 @@ pub enum DecoderKind {
     RandomGuess,
     /// Orthogonal Matching Pursuit baseline (densifies; small jobs only).
     Omp,
+    /// Deliberately panicking probe used by the worker panic-containment
+    /// tests. Hidden on purpose: absent from [`Self::ALL`] (so it is
+    /// never offered to real traffic, enumerated by sweeps, or accepted
+    /// by [`Self::from_name`]) and carried on the wire under a reserved
+    /// code.
+    #[doc(hidden)]
+    PanicProbe,
 }
 
 impl DecoderKind {
@@ -55,10 +62,12 @@ impl DecoderKind {
             DecoderKind::PsiOnly => "psi_only",
             DecoderKind::RandomGuess => "random_guess",
             DecoderKind::Omp => "omp",
+            DecoderKind::PanicProbe => "panic_probe",
         }
     }
 
-    /// Inverse of [`Self::name`].
+    /// Inverse of [`Self::name`] over [`Self::ALL`] (the hidden panic
+    /// probe is deliberately not reachable by name).
     pub fn from_name(name: &str) -> Option<DecoderKind> {
         DecoderKind::ALL.iter().copied().find(|k| k.name() == name)
     }
@@ -177,7 +186,39 @@ pub struct JobResult {
     pub worker: u32,
 }
 
+/// Sentinel `support_digest` marking a result whose decoder panicked and
+/// was contained (see [`JobResult::decode_poisoned`]). A real decode
+/// cannot plausibly produce this exact digest with `weight == 0`.
+pub const POISONED_SUPPORT_DIGEST: u64 = 0xFA11_ED00_DEC0_DE99;
+
 impl JobResult {
+    /// The REJECT-class result minted when `spec`'s decoder panicked:
+    /// `exact = false`, zero hits/weight, and the poisoned sentinel
+    /// digest. A pure function of the spec (no timings, no randomness),
+    /// so containment preserves the determinism contract — every replay
+    /// of a poisoned job fingerprints identically.
+    pub fn decode_poisoned(spec: &JobSpec, worker: u32) -> JobResult {
+        JobResult {
+            id: spec.id,
+            decoder: spec.decoder,
+            exact: false,
+            hits: 0,
+            weight: 0,
+            support_digest: POISONED_SUPPORT_DIGEST,
+            score_digest: 0,
+            decode_micros: 0,
+            queue_micros: 0,
+            total_micros: 0,
+            worker,
+        }
+    }
+
+    /// Whether this result marks a contained decoder panic rather than a
+    /// completed decode.
+    pub fn is_decode_poisoned(&self) -> bool {
+        self.weight == 0 && self.support_digest == POISONED_SUPPORT_DIGEST
+    }
+
     /// Digest of every *deterministic* field — everything except timings
     /// and worker placement. Two runs of the same spec must produce equal
     /// fingerprints regardless of worker count or scheduling.

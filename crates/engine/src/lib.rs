@@ -31,9 +31,12 @@
 //! * [`cluster`] — the multi-node tier: the [`cluster::NodeHandle`]
 //!   abstraction over "a place jobs run" (in-process engine or remote
 //!   engine over the frame protocol), rendezvous-hashed
-//!   `DesignKey → node` placement so each node's design cache serves a
-//!   stable key slice, and a router with per-node in-flight windows,
-//!   BUSY-aware retry and a draining rebalance step.
+//!   `DesignKey → node` placement with top-2 warm-standby assignment,
+//!   and a router with per-node in-flight windows, BUSY-aware retry, a
+//!   draining rebalance step (add/remove), health-checked failover
+//!   that re-routes a dead node's jobs to prewarmed survivors, and a
+//!   deterministic fault-injection wrapper ([`cluster::ChaosNode`])
+//!   for testing all of it.
 //!
 //! ```
 //! use pooled_engine::engine::{Engine, EngineConfig};
@@ -59,7 +62,7 @@ pub mod transport;
 pub mod worker;
 
 pub use cache::{DesignCache, DesignKey};
-pub use cluster::{LocalNode, Membership, NodeHandle, RemoteNode, Router};
+pub use cluster::{FailoverConfig, LocalNode, Membership, NodeHandle, RemoteNode, Router};
 pub use engine::{Engine, EngineConfig, EngineStats, ResultRoute};
 pub use job::{DecoderKind, DesignSpec, JobResult, JobSpec};
 pub use queue::BoundedQueue;

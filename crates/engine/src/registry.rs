@@ -92,6 +92,7 @@ pub fn decoder(kind: DecoderKind) -> &'static dyn EngineDecoder {
         DecoderKind::PsiOnly => &PsiOnlyEngine,
         DecoderKind::RandomGuess => &RandomGuessEngine,
         DecoderKind::Omp => &OmpEngine,
+        DecoderKind::PanicProbe => &PanicProbeEngine,
     }
 }
 
@@ -263,6 +264,30 @@ impl EngineDecoder for OmpEngine {
     ) -> DecodeOutcome {
         let estimate = OmpDecoder::new().reconstruct(design.csr(), y, k);
         outcome(estimate.support(), 0, truth)
+    }
+}
+
+/// The hidden probe behind [`DecoderKind::PanicProbe`]: always panics.
+/// Exists so the panic-containment tests can poison a worker's decode
+/// stage on demand; never reachable from real traffic (the kind is not
+/// in [`DecoderKind::ALL`]).
+struct PanicProbeEngine;
+
+impl EngineDecoder for PanicProbeEngine {
+    fn name(&self) -> &'static str {
+        "panic_probe"
+    }
+
+    fn decode(
+        &self,
+        _design: &AnyDesign,
+        _y: &[u64],
+        _k: usize,
+        _seed: u64,
+        _truth: &[u8],
+        _scratch: &mut DecodeScratch,
+    ) -> DecodeOutcome {
+        panic!("panic probe decoder: deliberate decode-stage panic");
     }
 }
 

@@ -24,6 +24,7 @@ use pooled_lab::split::LatencySplit;
 
 use crate::job::{JobResult, JobSpec};
 use crate::transport::frame::{read_frame, write_frame, Frame, FrameError};
+use crate::transport::{connect_stream, WireTimeouts};
 
 /// What can go wrong on the client side of the wire.
 #[derive(Debug)]
@@ -38,6 +39,11 @@ pub enum TransportError {
     /// The server rejected job `id` as infeasible (terminal; retrying
     /// cannot succeed).
     Rejected(u64),
+    /// The read deadline ([`WireTimeouts::read`]) expired while waiting
+    /// for a reply — the peer is half-dead or badly stalled. The
+    /// connection should be considered unusable (the deadline may have
+    /// cut a frame in half).
+    TimedOut,
 }
 
 impl std::fmt::Display for TransportError {
@@ -47,6 +53,7 @@ impl std::fmt::Display for TransportError {
             TransportError::Disconnected => write!(f, "server closed the connection"),
             TransportError::Protocol(what) => write!(f, "protocol violation: {what}"),
             TransportError::Rejected(id) => write!(f, "server rejected job {id} as infeasible"),
+            TransportError::TimedOut => write!(f, "read deadline expired waiting for a reply"),
         }
     }
 }
@@ -89,11 +96,23 @@ pub struct TransportClient {
 }
 
 impl TransportClient {
-    /// Connect to a transport server.
+    /// Connect to a transport server with the default [`WireTimeouts`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, WireTimeouts::default())
+    }
+
+    /// Connect with explicit deadlines: a bounded connect, and a read
+    /// deadline that turns an eternal [`Self::poll`] against a half-dead
+    /// server into [`TransportError::TimedOut`].
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        timeouts: WireTimeouts,
+    ) -> std::io::Result<Self> {
+        let stream = connect_stream(addr, timeouts.connect)?;
         stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let read_half = stream.try_clone()?;
+        read_half.set_read_timeout(timeouts.read)?;
+        let reader = BufReader::new(read_half);
         Ok(Self {
             reader,
             writer: BufWriter::new(stream),
@@ -135,14 +154,24 @@ impl TransportClient {
         Ok(())
     }
 
-    /// Blocking read of the next server reply.
+    /// Blocking read of the next server reply (bounded by the connect
+    /// call's [`WireTimeouts::read`], surfacing as
+    /// [`TransportError::TimedOut`]).
     pub fn poll(&mut self) -> Result<Reply, TransportError> {
-        match read_frame(&mut self.reader, &mut self.read_scratch)? {
+        let frame = read_frame(&mut self.reader, &mut self.read_scratch).map_err(|e| {
+            if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+                TransportError::TimedOut
+            } else {
+                TransportError::Io(e)
+            }
+        })?;
+        match frame {
             None => Err(TransportError::Disconnected),
             Some(Frame::Result(r)) => Ok(Reply::Result(r)),
             Some(Frame::Busy(id)) => Ok(Reply::Busy(id)),
             Some(Frame::Reject(id)) => Ok(Reply::Rejected(id)),
             Some(Frame::Submit(_)) => Err(TransportError::Protocol("server sent a SUBMIT frame")),
+            Some(Frame::Prewarm(_)) => Err(TransportError::Protocol("server sent a PREWARM frame")),
         }
     }
 

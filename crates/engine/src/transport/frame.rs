@@ -9,7 +9,7 @@
 //! offset  size  field
 //! 0       1     magic      (0xD5 — rejects non-protocol peers fast)
 //! 1       1     version    (1; any other value is rejected)
-//! 2       1     msg type   (1=SUBMIT 2=RESULT 3=BUSY 4=REJECT)
+//! 2       1     msg type   (1=SUBMIT 2=RESULT 3=BUSY 4=REJECT 5=PREWARM)
 //! 3       1     reserved   (0)
 //! 4       4     payload length, u32 LE (fixed per msg type)
 //! 8       len   payload    (layouts below)
@@ -38,9 +38,16 @@
 //! `BUSY` / `REJECT` — 8 bytes: the job `id` the server could not accept
 //! right now (backpressure — retry) or will never accept (infeasible
 //! spec — don't).
+//!
+//! `PREWARM` — a [`DesignKey`], 32 bytes: `n:u64, m:u64, design_seed:u64,
+//! c_milli:u32, design_kind:u8, pad:[u8;3](=0)`. Client → server,
+//! fire-and-forget: warm the node's design cache for this key (the
+//! router's standby-warming path). No reply — a node that cannot warm
+//! simply pays the miss later.
 
 use pooled_design::factory::DesignKind;
 
+use crate::cache::DesignKey;
 use crate::job::{DecoderKind, DesignSpec, Digest, JobResult, JobSpec};
 
 /// First byte of every frame.
@@ -57,6 +64,8 @@ pub const SPEC_PAYLOAD_LEN: usize = 60;
 pub const RESULT_PAYLOAD_LEN: usize = 64;
 /// `BUSY` / `REJECT` payload size.
 pub const ID_PAYLOAD_LEN: usize = 8;
+/// `PREWARM` payload size.
+pub const KEY_PAYLOAD_LEN: usize = 32;
 /// Largest whole frame the protocol can produce.
 pub const MAX_FRAME_LEN: usize = HEADER_LEN + RESULT_PAYLOAD_LEN + CHECKSUM_LEN;
 
@@ -64,6 +73,7 @@ const TYPE_SUBMIT: u8 = 1;
 const TYPE_RESULT: u8 = 2;
 const TYPE_BUSY: u8 = 3;
 const TYPE_REJECT: u8 = 4;
+const TYPE_PREWARM: u8 = 5;
 
 /// One decoded wire message.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -78,6 +88,9 @@ pub enum Frame {
     /// Server → client: job `id` is infeasible and will never be
     /// accepted (do not retry).
     Reject(u64),
+    /// Client → server, fire-and-forget: warm the design cache for this
+    /// key before traffic arrives (standby keep-warm). Never answered.
+    Prewarm(DesignKey),
 }
 
 /// Why a byte sequence is not a valid frame.
@@ -149,13 +162,25 @@ fn checksum(bytes: &[u8]) -> u64 {
     d.finish()
 }
 
+/// Reserved wire code of the hidden panic-probe decoder, which is
+/// deliberately absent from [`DecoderKind::ALL`] (it exists only to
+/// exercise worker panic containment) yet must survive the wire so the
+/// containment tests run over TCP too.
+const DECODER_CODE_PANIC_PROBE: u8 = 0xFE;
+
 /// Wire code of a decoder (index in [`DecoderKind::ALL`] — stable because
 /// `ALL` is the presentation order the whole workspace keys on).
 fn decoder_code(kind: DecoderKind) -> u8 {
+    if kind == DecoderKind::PanicProbe {
+        return DECODER_CODE_PANIC_PROBE;
+    }
     DecoderKind::ALL.iter().position(|&k| k == kind).expect("decoder in ALL") as u8
 }
 
 fn decoder_from_code(code: u8) -> Result<DecoderKind, FrameError> {
+    if code == DECODER_CODE_PANIC_PROBE {
+        return Ok(DecoderKind::PanicProbe);
+    }
     DecoderKind::ALL
         .get(code as usize)
         .copied()
@@ -202,6 +227,7 @@ fn payload_len_of(msg_type: u8) -> Result<usize, FrameError> {
         TYPE_SUBMIT => Ok(SPEC_PAYLOAD_LEN),
         TYPE_RESULT => Ok(RESULT_PAYLOAD_LEN),
         TYPE_BUSY | TYPE_REJECT => Ok(ID_PAYLOAD_LEN),
+        TYPE_PREWARM => Ok(KEY_PAYLOAD_LEN),
         other => Err(FrameError::UnknownType(other)),
     }
 }
@@ -215,6 +241,7 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
         Frame::Result(_) => (TYPE_RESULT, RESULT_PAYLOAD_LEN),
         Frame::Busy(_) => (TYPE_BUSY, ID_PAYLOAD_LEN),
         Frame::Reject(_) => (TYPE_REJECT, ID_PAYLOAD_LEN),
+        Frame::Prewarm(_) => (TYPE_PREWARM, KEY_PAYLOAD_LEN),
     };
     buf.reserve(HEADER_LEN + payload_len + CHECKSUM_LEN);
     buf.push(MAGIC);
@@ -251,6 +278,14 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
             put_u16(buf, 0); // pad
         }
         Frame::Busy(id) | Frame::Reject(id) => put_u64(buf, *id),
+        Frame::Prewarm(key) => {
+            put_u64(buf, key.n as u64);
+            put_u64(buf, key.m as u64);
+            put_u64(buf, key.seed);
+            put_u32(buf, key.c_milli);
+            buf.push(design_code(key.kind));
+            buf.extend_from_slice(&[0u8; 3]); // pad
+        }
     }
     debug_assert_eq!(buf.len(), HEADER_LEN + payload_len);
     let ck = checksum(buf);
@@ -320,6 +355,13 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
         }),
         TYPE_BUSY => Frame::Busy(get_u64(p, 0)),
         TYPE_REJECT => Frame::Reject(get_u64(p, 0)),
+        TYPE_PREWARM => Frame::Prewarm(DesignKey {
+            n: get_usize(p, 0, "n")?,
+            m: get_usize(p, 8, "m")?,
+            kind: design_from_code(p[28])?,
+            c_milli: get_u32(p, 24),
+            seed: get_u64(p, 16),
+        }),
         _ => unreachable!("payload_len_of admitted the type"),
     };
     Ok((frame, total))
@@ -442,17 +484,44 @@ mod tests {
         }
     }
 
+    fn design_key() -> DesignKey {
+        DesignKey { n: 1000, m: 420, kind: DesignKind::NoReplace, c_milli: 350, seed: 0xDEAD_BEEF }
+    }
+
     #[test]
     fn frames_round_trip() {
         let mut buf = Vec::new();
-        for frame in
-            [Frame::Submit(spec()), Frame::Result(result()), Frame::Busy(9), Frame::Reject(11)]
-        {
+        for frame in [
+            Frame::Submit(spec()),
+            Frame::Result(result()),
+            Frame::Busy(9),
+            Frame::Reject(11),
+            Frame::Prewarm(design_key()),
+        ] {
             encode_frame(&frame, &mut buf);
             let (decoded, consumed) = decode_frame(&buf).expect("round trip");
             assert_eq!(decoded, frame);
             assert_eq!(consumed, buf.len());
         }
+    }
+
+    #[test]
+    fn prewarm_layout_is_stable_little_endian() {
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Prewarm(design_key()), &mut buf);
+        assert_eq!(buf.len(), HEADER_LEN + KEY_PAYLOAD_LEN + CHECKSUM_LEN);
+        assert_eq!(&buf[..8], &[MAGIC, VERSION, 5, 0, 32, 0, 0, 0]);
+        assert_eq!(&buf[8..16], &1000u64.to_le_bytes(), "n");
+        assert_eq!(&buf[16..24], &420u64.to_le_bytes(), "m");
+        assert_eq!(&buf[24..32], &0xDEAD_BEEFu64.to_le_bytes(), "seed");
+        assert_eq!(&buf[32..36], &350u32.to_le_bytes(), "c_milli");
+        assert_eq!(buf[36], 1, "design kind code (NoReplace)");
+    }
+
+    #[test]
+    fn panic_probe_decoder_survives_the_wire_under_its_reserved_code() {
+        assert_eq!(decoder_code(DecoderKind::PanicProbe), DECODER_CODE_PANIC_PROBE);
+        assert_eq!(decoder_from_code(DECODER_CODE_PANIC_PROBE), Ok(DecoderKind::PanicProbe));
     }
 
     #[test]

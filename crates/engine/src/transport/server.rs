@@ -255,25 +255,37 @@ fn forget_connection(conn_id: u64, shared: &ServerShared) {
 
 /// The wire frame answering one session event. Local sessions only emit
 /// results; a proxy session (a remote node chained behind this server)
-/// would also relay its upstream's BUSY/REJECT verdicts.
-fn event_frame(event: NodeEvent) -> Frame {
+/// would also relay its upstream's BUSY/REJECT verdicts. `Down` has no
+/// wire form — a proxied upstream dying ends this connection too
+/// (`None`), and the client's own health checking takes over from there.
+fn event_frame(event: NodeEvent) -> Option<Frame> {
     match event {
-        NodeEvent::Result(result) => Frame::Result(result),
-        NodeEvent::Busy(id) => Frame::Busy(id),
-        NodeEvent::Rejected(id) => Frame::Reject(id),
+        NodeEvent::Result(result) => Some(Frame::Result(result)),
+        NodeEvent::Busy(id) => Some(Frame::Busy(id)),
+        NodeEvent::Rejected(id) => Some(Frame::Reject(id)),
+        NodeEvent::Down => None,
     }
+}
+
+/// Relay one session event onto the wire. `false` means the connection
+/// should end (peer gone, or the event was terminal).
+fn relay_event(event: NodeEvent, wire: &Mutex<WireWriter>, pending: &AtomicUsize) -> bool {
+    let Some(frame) = event_frame(event) else {
+        return false;
+    };
+    let mut w = wire.lock().expect("wire writer poisoned");
+    let sent = w.send(&frame);
+    drop(w);
+    pending.fetch_sub(1, Ordering::AcqRel);
+    sent.is_ok()
 }
 
 fn writer_loop(session: &dyn NodeHandle, wire: &Mutex<WireWriter>, pending: &AtomicUsize) {
     loop {
         match session.try_recv() {
             TryPop::Item(event) => {
-                let mut w = wire.lock().expect("wire writer poisoned");
-                let sent = w.send(&event_frame(event));
-                drop(w);
-                pending.fetch_sub(1, Ordering::AcqRel);
-                if sent.is_err() {
-                    return; // peer gone; reader will observe EOF and close the session
+                if !relay_event(event, wire, pending) {
+                    return; // peer or upstream gone; reader closes the session
                 }
             }
             TryPop::Empty => {
@@ -284,11 +296,7 @@ fn writer_loop(session: &dyn NodeHandle, wire: &Mutex<WireWriter>, pending: &Ato
                 }
                 match session.recv() {
                     Some(event) => {
-                        let mut w = wire.lock().expect("wire writer poisoned");
-                        let sent = w.send(&event_frame(event));
-                        drop(w);
-                        pending.fetch_sub(1, Ordering::AcqRel);
-                        if sent.is_err() {
+                        if !relay_event(event, wire, pending) {
                             return;
                         }
                     }
@@ -353,6 +361,22 @@ fn reader_loop(
                     }
                     Err(NodeError::Closed) | Err(NodeError::Io(_)) => return, // node gone
                 }
+            }
+            Frame::Prewarm(key) => {
+                // Administrative fire-and-forget (no reply channel, no
+                // pending slot). Same door policy as SUBMIT: a shape past
+                // the dimension cap could OOM the node via the sampler,
+                // so oversized or degenerate keys are silently ignored —
+                // the worst case is a cold miss later.
+                if key.n == 0
+                    || key.m == 0
+                    || key.n > shared.config.max_dimension
+                    || key.m > shared.config.max_dimension
+                    || !(1..=1000).contains(&key.c_milli)
+                {
+                    continue;
+                }
+                let _ = session.prewarm(std::slice::from_ref(&key));
             }
             // RESULT/BUSY/REJECT flow server→client only; receiving one
             // here is a protocol violation — drop the connection.

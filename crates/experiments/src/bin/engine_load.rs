@@ -34,6 +34,14 @@
 //!    traffic), the queue/service/wire latency split seen from the
 //!    router, and the cross-topology determinism check: all three
 //!    topologies must produce **bit-identical** result fingerprints.
+//! 6. **Kill-node failover sweep** (`--kill-node`) — degraded-mode
+//!    serving: the cluster mix replayed fault-free for a baseline, then
+//!    replayed on a chaos-wrapped cluster that **loses a node halfway
+//!    through the stream**. Records the throughput dip and recovery
+//!    time, the survivors' cold-miss count after the kill (zero when
+//!    the HRW top-2 standby prewarm did its job), and the headline
+//!    check: fingerprints of the kill run **bit-identical** to the
+//!    fault-free run, with zero terminally failed jobs.
 //!
 //! Jobs carry a simulated query-execution cost (`--latency-micros`,
 //! default 2000): the paper's premise is that queries dominate
@@ -45,9 +53,9 @@
 //! Exits non-zero if any worker count broke determinism.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use pooled_engine::cluster::{LocalNode, NodeHandle, RemoteNode, Router};
+use pooled_engine::cluster::{chaos, ChaosConfig, LocalNode, NodeHandle, RemoteNode, Router};
 use pooled_engine::engine::{Engine, EngineConfig, EngineStats};
 use pooled_engine::job::{DecoderKind, JobResult};
 use pooled_engine::traffic::{poisson_arrivals, LoadProfile};
@@ -94,6 +102,7 @@ fn main() {
         "--transport must be 'none' or 'tcp', got {transport:?}"
     );
     let cluster = args.get_usize("cluster", 3);
+    let kill_node = args.flag("kill-node");
     let out_path = args.get_str("out", "BENCH_ENGINE.json");
 
     let profile = LoadProfile {
@@ -289,6 +298,45 @@ fn main() {
         cluster_passes = passes;
     }
 
+    // --- 3d. Kill-node failover sweep (--kill-node) ------------------------
+    // Degraded-mode serving: the cluster mix fault-free for a baseline,
+    // then again on a chaos-wrapped cluster that loses a node halfway
+    // through the stream. The headline check is bit-identity with the
+    // fault-free run; the telemetry is the throughput dip, the recovery
+    // gap, and the survivors' cold-miss count after the kill (zero when
+    // the HRW top-2 standby prewarm kept them warm).
+    let mut failover: Option<FailoverSweep> = None;
+    let mut failover_ok = true;
+    if kill_node {
+        let fo_nodes = if cluster > 0 { cluster.max(2) } else { 3 };
+        let fo_designs = distinct_designs.max(2 * fo_nodes as u64);
+        let fo_profile = LoadProfile { distinct_designs: fo_designs, ..profile.clone() };
+        let fo_specs = fo_profile.specs(jobs);
+        let fo_workers = (max_workers / fo_nodes).max(1);
+        let sweep = run_failover_sweep(fo_nodes, fo_workers, queue, cache, &fo_specs);
+        failover_ok = sweep.fingerprints_match && sweep.failed_jobs == 0;
+        println!(
+            "failover: killed node {} at job {}/{} | pre-kill {:.1}/s post-kill {:.1}/s | \
+             recovery {}µs | survivor cold misses {} | failed jobs {} | bit-identical: {}",
+            sweep.killed_node,
+            sweep.kill_at,
+            jobs,
+            sweep.pre_kill_jobs_per_sec,
+            sweep.post_kill_jobs_per_sec,
+            sweep.recovery_micros,
+            sweep.survivor_cold_misses_after_kill,
+            sweep.failed_jobs,
+            if failover_ok { "yes" } else { "NO" },
+        );
+        if !failover_ok {
+            eprintln!(
+                "engine_load: FAILOVER VIOLATION — the kill run lost jobs or changed bits \
+                 vs the fault-free run"
+            );
+        }
+        failover = Some(sweep);
+    }
+
     // --- 4. Emit BENCH_ENGINE.json ---------------------------------------
     let sweep_rows: Vec<serde_json::Value> = passes
         .iter()
@@ -415,10 +463,39 @@ fn main() {
             ));
         }
     }
+    if let Some(sweep) = &failover {
+        if let serde_json::Value::Object(members) = &mut report {
+            members.push((
+                "failover_sweep".to_string(),
+                serde_json::json!({
+                    "cluster_nodes": sweep.nodes,
+                    "killed_node": sweep.killed_node,
+                    "killed_at_job": sweep.kill_at,
+                    "jobs": jobs,
+                    "baseline_warm_jobs_per_sec": sweep.baseline_jobs_per_sec,
+                    "pre_kill_jobs_per_sec": sweep.pre_kill_jobs_per_sec,
+                    "post_kill_jobs_per_sec": sweep.post_kill_jobs_per_sec,
+                    "recovery_micros": sweep.recovery_micros,
+                    "survivor_cold_misses_after_kill": sweep.survivor_cold_misses_after_kill,
+                    "standby_kept_survivors_warm": sweep.survivor_cold_misses_after_kill == 0,
+                    "failed_jobs": sweep.failed_jobs,
+                }),
+            ));
+            members.push((
+                "failover_fingerprints_match_fault_free".to_string(),
+                serde_json::Value::Bool(failover_ok),
+            ));
+        }
+    }
     std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serializable"))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("engine_load: wrote {out_path}");
-    if !deterministic || !batch_deterministic || !tcp_deterministic || !cluster_deterministic {
+    if !deterministic
+        || !batch_deterministic
+        || !tcp_deterministic
+        || !cluster_deterministic
+        || !failover_ok
+    {
         std::process::exit(1);
     }
 }
@@ -675,6 +752,153 @@ fn run_cluster_tcp(
         &split,
         node_reports,
     )
+}
+
+/// What the kill-node failover sweep measured.
+struct FailoverSweep {
+    nodes: usize,
+    killed_node: u64,
+    kill_at: usize,
+    baseline_jobs_per_sec: f64,
+    pre_kill_jobs_per_sec: f64,
+    post_kill_jobs_per_sec: f64,
+    recovery_micros: u64,
+    survivor_cold_misses_after_kill: u64,
+    failed_jobs: usize,
+    fingerprints_match: bool,
+}
+
+/// Sum of design-cache misses over every live node except `victim` —
+/// the survivors' cold-miss count. `DesignCache::prewarm` is telemetry-
+/// silent, so a zero delta across the kill is direct evidence that the
+/// HRW top-2 standby prewarm (not luck) kept the survivors warm.
+fn survivor_misses(router: &Router, victim: u64) -> u64 {
+    router
+        .stats()
+        .nodes
+        .iter()
+        .filter(|(id, _)| *id != victim)
+        .filter_map(|(_, s)| s.as_ref().map(|s| s.cache_misses))
+        .sum()
+}
+
+/// Degraded-mode sweep: a fault-free baseline pass over `nodes` local
+/// engines, then the same stream on a chaos-wrapped cluster whose
+/// victim node — the owner of the first spec's key — is killed after
+/// half the completions have arrived. Completions are timestamped to
+/// split throughput into pre/post-kill and to measure the recovery gap
+/// (kill → next completion surfaced).
+fn run_failover_sweep(
+    nodes: usize,
+    workers_per_node: usize,
+    queue: usize,
+    cache: usize,
+    specs: &[JobSpec],
+) -> FailoverSweep {
+    assert!(nodes >= 2, "failover needs a survivor");
+    assert!(specs.len() >= 2, "failover needs jobs on both sides of the kill");
+
+    // Fault-free baseline on an identical topology: cold pass to warm
+    // the caches, then a timed warm pass for the reference fingerprint
+    // and throughput.
+    let (baseline_fp, baseline_jps) = {
+        let handles: Vec<(u64, Box<dyn NodeHandle>)> = (0..nodes as u64)
+            .map(|id| {
+                let node = LocalNode::start(node_config(workers_per_node, queue, cache));
+                (id, Box::new(node) as Box<dyn NodeHandle>)
+            })
+            .collect();
+        let mut router = Router::new(handles, ROUTER_WINDOW);
+        let mut results = Vec::with_capacity(specs.len());
+        router.run_batch(specs, &mut results);
+        let fp = batch_fingerprint(&results);
+        results.clear();
+        let started = Instant::now();
+        router.run_batch(specs, &mut results);
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(batch_fingerprint(&results), fp, "failover baseline warm pass diverged");
+        router.shutdown();
+        (fp, specs.len() as f64 / elapsed)
+    };
+
+    // The kill cluster: every node behind a quiet chaos wrapper, so the
+    // only fault in the run is the one explicit mid-stream kill.
+    let mut controllers = Vec::with_capacity(nodes);
+    let handles: Vec<(u64, Box<dyn NodeHandle>)> = (0..nodes as u64)
+        .map(|id| {
+            let node = LocalNode::start(node_config(workers_per_node, queue, cache));
+            let (wrapped, controller) = chaos::wrap(Box::new(node), ChaosConfig::quiet(id));
+            controllers.push(controller);
+            (id, Box::new(wrapped) as Box<dyn NodeHandle>)
+        })
+        .collect();
+    let mut router = Router::new(handles, ROUTER_WINDOW);
+    // Cold pass: warms every owner's cache — and, through the router's
+    // standby prewarm, every key's HRW runner-up.
+    let mut results = Vec::with_capacity(specs.len());
+    router.run_batch(specs, &mut results);
+    assert_eq!(
+        batch_fingerprint(&results),
+        baseline_fp,
+        "chaos-wrapped cold pass diverged before any fault"
+    );
+    let victim = router.membership().owner(&specs[0].design_key());
+
+    // The measured stream: submit everything, timestamp completions,
+    // pull the kill switch once half of them have surfaced.
+    results.clear();
+    let kill_at = (specs.len() / 2).max(1);
+    let started = Instant::now();
+    for &spec in specs {
+        router.submit(spec);
+    }
+    let mut killed_at: Option<Instant> = None;
+    let mut first_after_kill: Option<Instant> = None;
+    let mut misses_at_kill = 0u64;
+    loop {
+        if let Some(result) = router.poll() {
+            results.push(result);
+            if killed_at.is_some() && first_after_kill.is_none() {
+                first_after_kill = Some(Instant::now());
+            }
+            if results.len() == kill_at && killed_at.is_none() {
+                misses_at_kill = survivor_misses(&router, victim);
+                controllers[victim as usize].kill();
+                killed_at = Some(Instant::now());
+            }
+        } else if router.outstanding() == 0 {
+            break;
+        } else {
+            std::thread::park_timeout(Duration::from_micros(50));
+        }
+    }
+    let finished = Instant::now();
+    let killed_at = killed_at.expect("the kill point is inside the stream");
+
+    let survivor_cold_misses = survivor_misses(&router, victim) - misses_at_kill;
+    let failed_jobs = router.failed().len();
+    // Poll order is completion order; fingerprints compare in id order.
+    results.sort_by_key(|r| r.id);
+    let fingerprints_match =
+        results.len() == specs.len() && batch_fingerprint(&results) == baseline_fp;
+    router.shutdown();
+
+    let post_kill_jobs = results.len().saturating_sub(kill_at);
+    FailoverSweep {
+        nodes,
+        killed_node: victim,
+        kill_at,
+        baseline_jobs_per_sec: baseline_jps,
+        pre_kill_jobs_per_sec: kill_at as f64
+            / killed_at.duration_since(started).as_secs_f64().max(f64::EPSILON),
+        post_kill_jobs_per_sec: post_kill_jobs as f64
+            / finished.duration_since(killed_at).as_secs_f64().max(f64::EPSILON),
+        recovery_micros: first_after_kill
+            .map_or(0, |t| t.duration_since(killed_at).as_micros() as u64),
+        survivor_cold_misses_after_kill: survivor_cold_misses,
+        failed_jobs,
+        fingerprints_match,
+    }
 }
 
 /// Two batch passes (cold cache, then warm) at a fixed worker count and

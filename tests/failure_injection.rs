@@ -1,5 +1,7 @@
 //! Failure injection: corrupt inputs, adversarial results, and robustness
-//! envelopes across the decoder stack.
+//! envelopes — across the decoder stack (below) and the cluster tier
+//! (the `cluster_tier` module: a Byzantine wire peer forging RESULT
+//! frames that arrive torn or bit-flipped).
 
 use pooled_data::core::refine::{refine, RefineConfig};
 use pooled_data::design::CsrDesign;
@@ -118,4 +120,159 @@ fn overestimated_k_still_captures_support() {
         worst = worst.min(captured);
     }
     assert!(worst >= 7, "a top-2k list lost {} true ones", 8 - worst);
+}
+
+/// Cluster-tier failure injection: a **Byzantine node** on the wire.
+///
+/// The adversary here is worse than a dead peer: it answers — with a
+/// forged RESULT frame carrying wrong digests — but the frame arrives
+/// damaged (truncated mid-frame, or with a flipped payload bit). The
+/// contract under test: the checksum/length layer rejects the frame,
+/// the connection fails closed, the router fails the node over, and
+/// the job is **re-served correctly on the standby** — never silently
+/// miscounted from the forged bytes.
+mod cluster_tier {
+    use std::io::Write;
+    use std::net::{Shutdown, SocketAddr, TcpListener};
+
+    use pooled_data::engine::cluster::{LocalNode, Membership, NodeHandle, RemoteNode, Router};
+    use pooled_data::engine::engine::EngineConfig;
+    use pooled_data::engine::job::{DecoderKind, JobResult, JobSpec};
+    use pooled_data::engine::traffic::LoadProfile;
+    use pooled_data::engine::transport::frame::{encode_frame, read_frame, Frame, HEADER_LEN};
+
+    #[derive(Clone, Copy)]
+    enum Sabotage {
+        /// Flip one payload byte after the checksum is computed: the
+        /// frame parses as damaged, not as a different valid result.
+        BitFlip,
+        /// Send only a prefix of the frame, then slam the connection.
+        Truncate,
+    }
+
+    /// A server that forges a plausible-but-wrong RESULT for every
+    /// SUBMIT it reads, delivered via `mode`'s damage.
+    fn byzantine_server(mode: Sabotage) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+            let mut scratch = Vec::new();
+            loop {
+                match read_frame(&mut reader, &mut scratch) {
+                    Ok(Some(Frame::Submit(spec))) => {
+                        // Wrong on purpose: if these bytes ever reach a
+                        // fingerprint, the test's comparison catches it.
+                        let forged = JobResult {
+                            id: spec.id,
+                            decoder: spec.decoder,
+                            exact: true,
+                            hits: spec.k as u32,
+                            weight: spec.k as u32,
+                            support_digest: 0xBAD0_BAD0_BAD0_BAD0,
+                            score_digest: 0xBAD1_BAD1_BAD1_BAD1,
+                            decode_micros: 1,
+                            queue_micros: 1,
+                            total_micros: 2,
+                            worker: 0,
+                        };
+                        let mut buf = Vec::new();
+                        encode_frame(&Frame::Result(forged), &mut buf);
+                        match mode {
+                            Sabotage::BitFlip => {
+                                buf[HEADER_LEN + 8] ^= 0x40;
+                                if stream.write_all(&buf).is_err() {
+                                    return;
+                                }
+                                let _ = stream.flush();
+                            }
+                            Sabotage::Truncate => {
+                                let _ = stream.write_all(&buf[..buf.len() - 5]);
+                                let _ = stream.flush();
+                                let _ = stream.shutdown(Shutdown::Both);
+                                return;
+                            }
+                        }
+                    }
+                    // PREWARM and anything else: ignore and keep reading.
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => return,
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    fn node_config() -> EngineConfig {
+        EngineConfig {
+            workers: 1,
+            queue_capacity: 8,
+            results_capacity: 8,
+            design_cache_capacity: 8,
+            batch_window: 1,
+        }
+    }
+
+    /// A spec whose `DesignKey` the 2-node membership `[0, 1]` routes
+    /// to node 0 — the Byzantine one.
+    fn spec_owned_by_evil_node() -> JobSpec {
+        let membership = Membership::new(vec![0, 1]);
+        let p = LoadProfile {
+            distinct_designs: 6,
+            decoders: vec![DecoderKind::Mn],
+            query_cost: None,
+            ..LoadProfile::default_mix(300, 5, 180, 909)
+        };
+        p.specs(64)
+            .into_iter()
+            .find(|s| membership.owner(&s.design_key()) == 0)
+            .expect("some key must land on node 0")
+    }
+
+    fn forged_frames_are_rejected_and_the_job_reserved(mode: Sabotage) {
+        let spec = spec_owned_by_evil_node();
+        // Ground truth from an honest bare node.
+        let truth = {
+            let node = LocalNode::start(node_config());
+            node.submit(spec).expect("submit");
+            let event = node.recv().expect("one result");
+            let pooled_data::engine::cluster::NodeEvent::Result(r) = event else {
+                panic!("expected a result event");
+            };
+            Box::new(node).shutdown();
+            r.fingerprint()
+        };
+
+        let (addr, server) = byzantine_server(mode);
+        let evil: Box<dyn NodeHandle> =
+            Box::new(RemoteNode::connect(addr).expect("connect loopback"));
+        let honest: Box<dyn NodeHandle> = Box::new(LocalNode::start(node_config()));
+        let mut router = Router::new(vec![(0, evil), (1, honest)], 4);
+
+        router.submit(spec);
+        let mut out = Vec::new();
+        assert_eq!(router.collect(1, &mut out), 1, "the job must complete, not vanish");
+        assert_eq!(out[0].id, spec.id);
+        assert_eq!(
+            out[0].fingerprint(),
+            truth,
+            "the forged result leaked through — the job was silently miscounted"
+        );
+        assert_ne!(out[0].support_digest, 0xBAD0_BAD0_BAD0_BAD0, "forged digest surfaced");
+        assert!(router.failed().is_empty(), "the job must be re-served, not failed");
+        assert_eq!(router.failed_nodes(), &[0], "the Byzantine node must be failed over");
+        router.shutdown();
+        server.join().expect("byzantine server panicked");
+    }
+
+    #[test]
+    fn a_bit_flipped_result_frame_fails_the_node_not_the_job() {
+        forged_frames_are_rejected_and_the_job_reserved(Sabotage::BitFlip);
+    }
+
+    #[test]
+    fn a_truncated_result_frame_fails_the_node_not_the_job() {
+        forged_frames_are_rejected_and_the_job_reserved(Sabotage::Truncate);
+    }
 }
