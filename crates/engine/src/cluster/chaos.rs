@@ -33,6 +33,7 @@ use crate::cluster::node::{NodeError, NodeEvent, NodeHandle, SubmitOutcome};
 use crate::engine::EngineStats;
 use crate::job::JobSpec;
 use crate::queue::TryPop;
+use crate::telemetry::{CausalKind, FlightRecorder};
 
 /// Fault schedule for a [`ChaosNode`]. Rates are per-mille (`0..=1000`)
 /// so integer arithmetic stays exact; every roll is a pure function of
@@ -130,6 +131,11 @@ pub struct ChaosNode {
     pending: Mutex<VecDeque<NodeEvent>>,
     /// Ensures the kill severs the inner node exactly once.
     kill_applied: AtomicBool,
+    /// Optional flight recorder: every injected fault leaves a causal
+    /// record, so a post-mortem dump shows *why* the cluster limped.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Node id stamped into causal records (set with the recorder).
+    node_id: u64,
 }
 
 /// Wrap `inner` in a fault-injecting [`ChaosNode`], returning the node
@@ -144,11 +150,36 @@ pub fn wrap(inner: Box<dyn NodeHandle>, config: ChaosConfig) -> (ChaosNode, Chao
         state,
         pending: Mutex::new(VecDeque::new()),
         kill_applied: AtomicBool::new(false),
+        recorder: None,
+        node_id: 0,
     };
     (node, controller)
 }
 
+/// Job id carried by a node event, for causal-record tagging.
+fn event_job_id(event: &NodeEvent) -> u64 {
+    match event {
+        NodeEvent::Result(r) => r.id,
+        NodeEvent::Busy(id) | NodeEvent::Rejected(id) => *id,
+        NodeEvent::Down => 0,
+    }
+}
+
 impl ChaosNode {
+    /// Attach a [`FlightRecorder`]: from here on every injected fault
+    /// (kill, drop, delay, duplicate) lands as a causal record tagged
+    /// with `node_id`, joining the router's failover records in the
+    /// same dump.
+    pub fn attach_recorder(&mut self, recorder: Arc<FlightRecorder>, node_id: u64) {
+        self.recorder = Some(recorder);
+        self.node_id = node_id;
+    }
+
+    fn record_causal(&self, kind: CausalKind, job: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record_causal(kind, self.node_id, job);
+        }
+    }
     /// One deterministic per-mille roll: stream separates fault kinds,
     /// counter advances per decision.
     fn roll(&self, stream: u64, counter: u64) -> u32 {
@@ -164,6 +195,7 @@ impl ChaosNode {
             return false;
         }
         if !self.kill_applied.swap(true, Ordering::AcqRel) {
+            self.record_causal(CausalKind::ChaosKill, 0);
             self.inner.close();
         }
         true
@@ -189,6 +221,14 @@ impl NodeHandle for ChaosNode {
     }
 
     fn try_submit(&self, spec: JobSpec) -> Result<SubmitOutcome, NodeError> {
+        self.try_submit_stamped(spec, None)
+    }
+
+    fn try_submit_stamped(
+        &self,
+        spec: JobSpec,
+        wire_rx: Option<std::time::Instant>,
+    ) -> Result<SubmitOutcome, NodeError> {
         if self.check_killed() {
             return Err(NodeError::Closed);
         }
@@ -204,9 +244,14 @@ impl NodeHandle for ChaosNode {
             // Swallow it: the caller believes the peer has the job; the
             // peer never answers. Probation must catch this.
             self.state.dropped.fetch_add(1, Ordering::AcqRel);
+            self.record_causal(CausalKind::ChaosDrop, spec.id);
             return Ok(SubmitOutcome::Accepted);
         }
-        self.inner.try_submit(spec)
+        self.inner.try_submit_stamped(spec, wire_rx)
+    }
+
+    fn note_wire_tx(&self, id: u64) {
+        self.inner.note_wire_tx(id);
     }
 
     fn flush(&self) -> Result<(), NodeError> {
@@ -240,11 +285,13 @@ impl NodeHandle for ChaosNode {
                 let seq = self.state.events.fetch_add(1, Ordering::AcqRel);
                 if self.roll(2, seq) < self.config.delay_milli {
                     self.state.delayed.fetch_add(1, Ordering::AcqRel);
+                    self.record_causal(CausalKind::ChaosDelay, event_job_id(&event));
                     self.push_pending(event);
                     return TryPop::Empty;
                 }
                 if self.roll(3, seq) < self.config.duplicate_milli {
                     self.state.duplicated.fetch_add(1, Ordering::AcqRel);
+                    self.record_causal(CausalKind::ChaosDuplicate, event_job_id(&event));
                     self.push_pending(event);
                 }
                 TryPop::Item(event)
@@ -261,6 +308,12 @@ impl NodeHandle for ChaosNode {
     }
 
     fn stats(&self) -> Option<EngineStats> {
+        // A dead peer cannot be scraped: once killed, stats go
+        // unavailable (the cluster view must mark the blind spot, not
+        // zero-merge it).
+        if self.check_killed() {
+            return None;
+        }
         self.inner.stats()
     }
 

@@ -28,14 +28,16 @@
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::cache::DesignKey;
 use crate::engine::{Engine, EngineConfig, EngineStats, ResultRoute, SubmitError};
 use crate::job::{JobResult, JobSpec};
 use crate::queue::{BoundedQueue, TryPop};
-use crate::transport::frame::{read_frame, Frame, FrameWriter};
+use crate::telemetry::{Metric, MetricsRegistry};
+use crate::transport::frame::{read_frame_metered, Frame, FrameWriter, StatsReply};
 use crate::transport::{connect_stream, WireTimeouts};
 
 /// Something a node hands back on its completion stream.
@@ -103,6 +105,24 @@ pub trait NodeHandle: Send + Sync {
     /// Non-blocking submission (see [`SubmitOutcome`]).
     fn try_submit(&self, spec: JobSpec) -> Result<SubmitOutcome, NodeError>;
 
+    /// [`Self::try_submit`] carrying the monotonic instant the spec's
+    /// SUBMIT frame was read off a socket, so a sampled job's trace can
+    /// show wire ingress → admit. Nodes without a local trace clock
+    /// ignore the stamp (the default).
+    fn try_submit_stamped(
+        &self,
+        spec: JobSpec,
+        _wire_rx: Option<Instant>,
+    ) -> Result<SubmitOutcome, NodeError> {
+        self.try_submit(spec)
+    }
+
+    /// Note that job `id`'s RESULT frame just left a server socket —
+    /// the wire-tx counterpart of a trace already drained to the flight
+    /// recorder, recorded as a causal event. Default no-op for node
+    /// kinds with no recorder to write to.
+    fn note_wire_tx(&self, _id: u64) {}
+
     /// Push buffered submissions toward the node. No-op for local nodes;
     /// remote nodes flush their socket writer. Call before waiting on
     /// events for jobs just submitted.
@@ -126,9 +146,12 @@ pub trait NodeHandle: Send + Sync {
         Ok(())
     }
 
-    /// This node's serving telemetry, when observable from here: a local
-    /// node reports its engine's stats, a remote node reports `None`
-    /// (its stats live on the far side of the socket).
+    /// This node's serving telemetry: a local node reads its engine's
+    /// stats directly, a remote node **scrapes** them over the wire
+    /// (`STATS_REQUEST` → `STATS`, bounded wait). `None` means the stats
+    /// are *unavailable right now* (scrape timeout, dead connection, or
+    /// a session with nothing to observe) — callers must surface that
+    /// distinctly, never treat it as zeros.
     fn stats(&self) -> Option<EngineStats>;
 
     /// Close the completion stream: wakes blocked `recv` callers,
@@ -188,11 +211,23 @@ impl NodeHandle for LocalNode {
     }
 
     fn try_submit(&self, spec: JobSpec) -> Result<SubmitOutcome, NodeError> {
-        match self.engine.try_submit_routed(spec, &self.route) {
+        self.try_submit_stamped(spec, None)
+    }
+
+    fn try_submit_stamped(
+        &self,
+        spec: JobSpec,
+        wire_rx: Option<Instant>,
+    ) -> Result<SubmitOutcome, NodeError> {
+        match self.engine.try_submit_routed_stamped(spec, &self.route, wire_rx) {
             Ok(()) => Ok(SubmitOutcome::Accepted),
             Err(SubmitError::Backpressure(_)) => Ok(SubmitOutcome::Busy),
             Err(SubmitError::Closed(_)) => Err(NodeError::Closed),
         }
+    }
+
+    fn note_wire_tx(&self, id: u64) {
+        self.engine.note_wire_tx(id);
     }
 
     fn recv(&self) -> Option<NodeEvent> {
@@ -233,6 +268,20 @@ impl NodeHandle for LocalNode {
     }
 }
 
+/// Rendezvous between a stats scrape (the requester, blocked in
+/// [`NodeHandle::stats`]) and the reply pump, which reads the `STATS`
+/// frame off the socket and deposits it here. Token-matched so a reply
+/// that arrives after its scrape already timed out is discarded instead
+/// of answering the *next* scrape with stale numbers.
+#[derive(Debug, Default)]
+struct ScrapeState {
+    reply: Option<StatsReply>,
+    /// Set when the pump exits: no reply will ever arrive again.
+    closed: bool,
+}
+
+type ScrapeSlot = (Mutex<ScrapeState>, Condvar);
+
 /// A node across the wire: one TCP connection to a transport server,
 /// speaking the PR 4 frame protocol. Submissions are `SUBMIT` frames; a
 /// pump thread reads reply frames into a bounded event queue so
@@ -246,6 +295,12 @@ pub struct RemoteNode {
     /// is nonzero — an idle connection may be silent forever.
     owed: Arc<AtomicU64>,
     pump: Mutex<Option<JoinHandle<()>>>,
+    /// Wire accounting for this connection (bytes/frames both ways).
+    metrics: Arc<MetricsRegistry>,
+    /// Where the pump deposits `STATS` replies for a waiting scrape.
+    scrape: Arc<ScrapeSlot>,
+    /// Correlation tokens for scrapes, unique per request.
+    scrape_token: AtomicU64,
 }
 
 impl RemoteNode {
@@ -253,6 +308,10 @@ impl RemoteNode {
     /// socket. Far above any router window, so the pump never stalls in
     /// practice; bounded so a runaway peer cannot grow memory.
     const EVENT_CAPACITY: usize = 1024;
+
+    /// How long a stats scrape waits for the far side's `STATS` reply
+    /// before reporting the node's stats unavailable.
+    const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
 
     /// Connect to a transport server with the default [`WireTimeouts`].
     pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
@@ -274,19 +333,38 @@ impl RemoteNode {
         let write_half = stream.try_clone()?;
         let events = Arc::new(BoundedQueue::new(Self::EVENT_CAPACITY));
         let owed = Arc::new(AtomicU64::new(0));
+        let metrics = Arc::new(MetricsRegistry::new());
+        let scrape: Arc<ScrapeSlot> =
+            Arc::new((Mutex::new(ScrapeState::default()), Condvar::new()));
         let pump_events = Arc::clone(&events);
         let pump_owed = Arc::clone(&owed);
+        let pump_metrics = Arc::clone(&metrics);
+        let pump_scrape = Arc::clone(&scrape);
         let pump = std::thread::Builder::new()
             .name("remote-node-pump".into())
-            .spawn(move || pump_replies(read_half, &pump_events, &pump_owed))
+            .spawn(move || {
+                pump_replies(read_half, &pump_events, &pump_owed, &pump_metrics, &pump_scrape)
+            })
             .expect("failed to spawn remote node pump");
         Ok(Self {
             stream,
-            writer: Mutex::new(FrameWriter::new(BufWriter::new(write_half))),
+            writer: Mutex::new(FrameWriter::with_metrics(
+                BufWriter::new(write_half),
+                Arc::clone(&metrics),
+            )),
             events,
             owed,
             pump: Mutex::new(Some(pump)),
+            metrics,
+            scrape,
+            scrape_token: AtomicU64::new(0),
         })
+    }
+
+    /// This connection's wire accounting (frame/byte counters both ways
+    /// plus scrape outcomes).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.metrics)
     }
 }
 
@@ -309,14 +387,29 @@ impl Drop for RemoteNode {
 /// learn the node is gone. A terminal exit *while replies are owed*
 /// pushes [`NodeEvent::Down`] first, so the router learns the difference
 /// between a clean goodbye and a node that died holding its jobs.
-fn pump_replies(stream: TcpStream, events: &BoundedQueue<NodeEvent>, owed: &AtomicU64) {
+fn pump_replies(
+    stream: TcpStream,
+    events: &BoundedQueue<NodeEvent>,
+    owed: &AtomicU64,
+    metrics: &MetricsRegistry,
+    scrape: &ScrapeSlot,
+) {
     let mut r = BufReader::new(stream);
     let mut scratch = Vec::new();
     loop {
-        let event = match read_frame(&mut r, &mut scratch) {
+        let event = match read_frame_metered(&mut r, &mut scratch, metrics) {
             Ok(Some(Frame::Result(result))) => NodeEvent::Result(result),
             Ok(Some(Frame::Busy(id))) => NodeEvent::Busy(id),
             Ok(Some(Frame::Reject(id))) => NodeEvent::Rejected(id),
+            // A STATS reply answers a scrape, not a submission: hand it
+            // to the waiting scraper without touching `owed` and without
+            // occupying an event slot.
+            Ok(Some(Frame::Stats(reply))) => {
+                let (slot, cvar) = scrape;
+                slot.lock().expect("scrape slot poisoned").reply = Some(reply);
+                cvar.notify_all();
+                continue;
+            }
             // The read deadline expired. Idle silence is legal — keep
             // listening. Silence while replies are owed means the peer
             // is half-dead: declare it down.
@@ -339,10 +432,10 @@ fn pump_replies(stream: TcpStream, events: &BoundedQueue<NodeEvent>, owed: &Atom
                 }
                 break;
             }
-            // A server never sends SUBMIT/PREWARM; torn frames leave no
-            // resync point. Either way the conversation is over — and
-            // abnormal, so it surfaces as Down.
-            Ok(Some(Frame::Submit(_) | Frame::Prewarm(_))) | Err(_) => {
+            // A server never sends SUBMIT/PREWARM/STATS_REQUEST; torn
+            // frames leave no resync point. Either way the conversation
+            // is over — and abnormal, so it surfaces as Down.
+            Ok(Some(Frame::Submit(_) | Frame::Prewarm(_) | Frame::StatsRequest(_))) | Err(_) => {
                 let _ = events.push(NodeEvent::Down);
                 break;
             }
@@ -355,6 +448,10 @@ fn pump_replies(stream: TcpStream, events: &BoundedQueue<NodeEvent>, owed: &Atom
         }
     }
     events.close();
+    // Wake any scrape still waiting: its reply can never arrive now.
+    let (slot, cvar) = scrape;
+    slot.lock().expect("scrape slot poisoned").closed = true;
+    cvar.notify_all();
 }
 
 impl NodeHandle for RemoteNode {
@@ -399,8 +496,50 @@ impl NodeHandle for RemoteNode {
         self.events.try_pop()
     }
 
+    /// Scrape the far side's engine stats over the wire: send a
+    /// `STATS_REQUEST` and wait (bounded by [`Self::SCRAPE_TIMEOUT`])
+    /// for the pump to deposit the token-matching `STATS` reply. `None`
+    /// means the node's stats are *unavailable* — send failure, dead
+    /// pump, or deadline expiry — and the caller must surface that
+    /// rather than zero-merge.
     fn stats(&self) -> Option<EngineStats> {
-        None // the engine's telemetry lives on the far side of the socket
+        let token = self.scrape_token.fetch_add(1, Ordering::Relaxed).wrapping_add(1);
+        {
+            // Clear any stale reply from a scrape that timed out before
+            // its answer landed.
+            let (slot, _) = &*self.scrape;
+            slot.lock().expect("scrape slot poisoned").reply = None;
+        }
+        {
+            let mut writer = self.writer.lock().expect("remote writer poisoned");
+            if writer.send(&Frame::StatsRequest(token)).is_err() || writer.flush().is_err() {
+                return None;
+            }
+        }
+        let (slot, cvar) = &*self.scrape;
+        let mut state = slot.lock().expect("scrape slot poisoned");
+        let deadline = Instant::now() + Self::SCRAPE_TIMEOUT;
+        loop {
+            if let Some(reply) = state.reply.take() {
+                if reply.token == token {
+                    self.metrics.inc(Metric::StatsScrapes);
+                    return Some(reply.stats);
+                }
+                // Stale token: discard and keep waiting for ours.
+            }
+            if state.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.metrics.inc(Metric::StatsScrapeTimeouts);
+                return None;
+            }
+            let (next, _) = cvar
+                .wait_timeout(state, deadline.saturating_duration_since(now))
+                .expect("scrape slot poisoned");
+            state = next;
+        }
     }
 
     fn close(&self) {

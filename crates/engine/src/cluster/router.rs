@@ -61,6 +61,7 @@
 //! costing zero cold misses.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pooled_lab::split::LatencySplit;
@@ -72,6 +73,7 @@ use crate::cluster::node::{NodeEvent, NodeHandle, SubmitOutcome};
 use crate::engine::EngineStats;
 use crate::job::{JobResult, JobSpec};
 use crate::queue::TryPop;
+use crate::telemetry::{CausalKind, FlightRecorder, Metric, MetricsRegistry};
 
 /// How long the router parks when a full pass makes no progress
 /// (windows full, no events ready). Small enough to be invisible next
@@ -181,6 +183,12 @@ pub struct ClusterStats {
     pub stale_events: u64,
     /// Ids of nodes removed by failover, in failure order.
     pub failed_nodes: Vec<u64>,
+    /// Ids of member nodes whose stats could **not** be observed for
+    /// this snapshot (a remote scrape timed out or the connection is
+    /// gone). Their contribution is missing from `merged` — explicitly
+    /// marked here rather than silently zero-merged, so dashboards can
+    /// tell "idle node" from "blind spot".
+    pub stats_unavailable: Vec<u64>,
 }
 
 /// A router over N nodes. Single-owner (`&mut self` surface): one
@@ -214,6 +222,12 @@ pub struct Router {
     /// Final stats of nodes that left the cluster (failover or
     /// `remove_node`), folded into every merged view.
     departed: EngineStats,
+    /// Causal-record sink for failovers, removals, stale events and
+    /// scrape blind spots (see [`Self::attach_recorder`]).
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Counter sink for router-tier outcomes (see
+    /// [`Self::attach_metrics`]).
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Router {
@@ -253,6 +267,28 @@ impl Router {
             failed_nodes: Vec::new(),
             warmed: HashSet::new(),
             departed: EngineStats::zero(),
+            recorder: None,
+            metrics: None,
+        }
+    }
+
+    /// Send the router's causal events — failovers, planned removals,
+    /// stale events, scrape blind spots — to a [`FlightRecorder`]
+    /// (typically the serving engine's, so job traces and cluster
+    /// causality land in one dump).
+    pub fn attach_recorder(&mut self, recorder: Arc<FlightRecorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Count router-tier outcomes (today: [`Metric::JobsFailedOver`])
+    /// in a [`MetricsRegistry`].
+    pub fn attach_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = Some(metrics);
+    }
+
+    fn record_causal(&self, kind: CausalKind, node: u64, job: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record_causal(kind, node, job);
         }
     }
 
@@ -473,6 +509,11 @@ impl Router {
                                     // the job. The accepted resolution is
                                     // bit-identical; drop this one.
                                     self.stale_events += 1;
+                                    self.record_causal(
+                                        CausalKind::StaleEvent,
+                                        self.slots[idx].id,
+                                        result.id,
+                                    );
                                     continue;
                                 };
                                 self.attempts.remove(&result.id);
@@ -491,6 +532,11 @@ impl Router {
                             NodeEvent::Busy(id) => {
                                 let Some((spec, _)) = self.slots[idx].in_flight.remove(&id) else {
                                     self.stale_events += 1;
+                                    self.record_causal(
+                                        CausalKind::StaleEvent,
+                                        self.slots[idx].id,
+                                        id,
+                                    );
                                     continue;
                                 };
                                 self.busy_retries += 1;
@@ -506,6 +552,11 @@ impl Router {
                                 // `rejected()` (or run_batch's panic).
                                 if self.slots[idx].in_flight.remove(&id).is_none() {
                                     self.stale_events += 1;
+                                    self.record_causal(
+                                        CausalKind::StaleEvent,
+                                        self.slots[idx].id,
+                                        id,
+                                    );
                                     continue;
                                 }
                                 self.attempts.remove(&id);
@@ -581,6 +632,10 @@ impl Router {
         let node_id = slot.id;
         self.failed_nodes.push(node_id);
         let reclaimed = slot.reclaim();
+        self.record_causal(CausalKind::Failover, node_id, 0);
+        if let Some(metrics) = &self.metrics {
+            metrics.add(Metric::JobsFailedOver, reclaimed.len() as u64);
+        }
         // Sever the node and bank whatever telemetry it can still
         // report, so merged totals stay complete.
         slot.handle.close();
@@ -720,6 +775,7 @@ impl Router {
         let idx = self.slots.iter().position(|slot| slot.id == id).expect("drained in place");
         self.membership = self.membership.without_node(id);
         self.warmed.clear();
+        self.record_causal(CausalKind::NodeRemoved, id, 0);
         let Slot { handle, .. } = self.slots.remove(idx);
         let stats = handle.shutdown();
         if let Some(stats) = &stats {
@@ -749,14 +805,23 @@ impl Router {
         let _ = self.fill_all();
     }
 
-    /// Live aggregate telemetry (see [`ClusterStats`]).
+    /// Live aggregate telemetry (see [`ClusterStats`]). Remote nodes
+    /// are scraped over the wire here (`STATS_REQUEST`/`STATS`, bounded
+    /// wait); a node whose scrape fails lands in
+    /// [`ClusterStats::stats_unavailable`] instead of zero-diluting the
+    /// merged view.
     pub fn stats(&self) -> ClusterStats {
         let nodes: Vec<(u64, Option<EngineStats>)> =
             self.slots.iter().map(|s| (s.id, s.handle.stats())).collect();
-        let mut merged = self.departed.clone();
-        for (_, stats) in nodes.iter() {
-            if let Some(stats) = stats {
-                merged.merge(stats);
+        let mut merged = self.departed;
+        let mut stats_unavailable = Vec::new();
+        for (id, stats) in nodes.iter() {
+            match stats {
+                Some(stats) => merged.merge(stats),
+                None => {
+                    stats_unavailable.push(*id);
+                    self.record_causal(CausalKind::StatsUnavailable, *id, 0);
+                }
             }
         }
         ClusterStats {
@@ -766,6 +831,7 @@ impl Router {
             jobs_failed: self.failed.len() as u64,
             stale_events: self.stale_events,
             failed_nodes: self.failed_nodes.clone(),
+            stats_unavailable,
         }
     }
 
@@ -781,11 +847,17 @@ impl Router {
         assert!(self.outstanding == 0, "shutdown with {} jobs outstanding", self.outstanding);
         let busy_retries = self.busy_retries;
         let mut nodes = Vec::new();
-        let mut merged = self.departed.clone();
+        let mut merged = self.departed;
+        let mut stats_unavailable = Vec::new();
         for slot in self.slots.drain(..) {
             let stats = slot.handle.shutdown();
-            if let Some(stats) = &stats {
-                merged.merge(stats);
+            match &stats {
+                Some(stats) => merged.merge(stats),
+                // At shutdown `None` means the node's engine outlives
+                // this handle (attached/remote) — its final stats are
+                // its owner's to report, so it is "unavailable from
+                // here" in the same sense as a failed live scrape.
+                None => stats_unavailable.push(slot.id),
             }
             nodes.push((slot.id, stats));
         }
@@ -796,6 +868,7 @@ impl Router {
             jobs_failed: self.failed.len() as u64,
             stale_events: self.stale_events,
             failed_nodes: self.failed_nodes.clone(),
+            stats_unavailable,
         }
     }
 }

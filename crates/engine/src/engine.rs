@@ -25,7 +25,10 @@ use rayon::ThreadPoolBuilder;
 
 use crate::cache::{DesignCache, DesignKey};
 use crate::job::{JobResult, JobSpec};
-use crate::queue::{BoundedQueue, TryPushError};
+use crate::queue::{snapshot_lens, BoundedQueue, TryPushError};
+use crate::telemetry::{
+    CausalKind, FlightRecorder, JobTrace, Metric, MetricsRegistry, Span, TelemetryConfig,
+};
 use crate::worker::{batch_compatible, process_batch, process_job, WorkerScratch};
 
 /// Engine sizing knobs.
@@ -78,10 +81,17 @@ impl EngineConfig {
 }
 
 /// Aggregate serving telemetry (see [`Engine::stats`]).
-#[derive(Clone, Debug)]
+///
+/// `Copy` and `PartialEq` are part of the wire contract: the transport's
+/// STATS frame carries a whole `EngineStats` by value, and the codec
+/// round-trip tests compare decoded stats bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EngineStats {
     /// Jobs fully served.
     pub jobs_completed: u64,
+    /// Of those, jobs whose decoder panicked and came back as a
+    /// contained, poisoned REJECT-class result.
+    pub jobs_poisoned: u64,
     /// Of those, exact recoveries.
     pub exact_recoveries: u64,
     /// Per-job sojourn latency (µs): queue wait + service.
@@ -111,6 +121,7 @@ impl EngineStats {
     pub fn zero() -> Self {
         Self {
             jobs_completed: 0,
+            jobs_poisoned: 0,
             exact_recoveries: 0,
             total_latency: Summary::new(),
             decode_latency: Summary::new(),
@@ -131,6 +142,7 @@ impl EngineStats {
     /// latency moments merge exactly via [`Summary::merge`].
     pub fn merge(&mut self, other: &EngineStats) {
         self.jobs_completed = self.jobs_completed.saturating_add(other.jobs_completed);
+        self.jobs_poisoned = self.jobs_poisoned.saturating_add(other.jobs_poisoned);
         self.exact_recoveries = self.exact_recoveries.saturating_add(other.exact_recoveries);
         self.total_latency.merge(&other.total_latency);
         self.decode_latency.merge(&other.decode_latency);
@@ -155,20 +167,20 @@ impl EngineStats {
     }
 }
 
-/// Telemetry the workers fold into under a mutex (one short lock per job).
-struct Telemetry {
-    jobs_completed: u64,
-    exact_recoveries: u64,
+/// Per-worker latency telemetry. Plain counters live in the lock-free
+/// [`MetricsRegistry`]; the moment/histogram instruments (which need
+/// more than an atomic add) fold into one of these slots — each worker
+/// owns its own, so the per-job lock below is uncontended in steady
+/// state (only [`Engine::stats`] readers ever share it).
+struct WorkerTelemetry {
     total_latency: Summary,
     decode_latency: Summary,
     histogram: LatencyHistogram,
 }
 
-impl Telemetry {
+impl WorkerTelemetry {
     fn new() -> Self {
         Self {
-            jobs_completed: 0,
-            exact_recoveries: 0,
             total_latency: Summary::new(),
             decode_latency: Summary::new(),
             histogram: LatencyHistogram::new(),
@@ -176,8 +188,6 @@ impl Telemetry {
     }
 
     fn record(&mut self, result: &JobResult) {
-        self.jobs_completed += 1;
-        self.exact_recoveries += result.exact as u64;
         self.total_latency.push(result.total_micros as f64);
         self.decode_latency.push(result.decode_micros as f64);
         self.histogram.record_micros(result.total_micros);
@@ -197,13 +207,23 @@ struct QueuedJob {
     spec: JobSpec,
     enqueued: std::time::Instant,
     route: u32,
+    /// Span timeline riding with the job — `Copy`, inert padding when
+    /// the sampling knob skipped this job.
+    trace: JobTrace,
 }
 
 struct Shared {
     jobs: BoundedQueue<QueuedJob>,
     results: BoundedQueue<JobResult>,
     cache: DesignCache,
-    telemetry: Mutex<Telemetry>,
+    /// Per-worker latency slots, indexed by shard id.
+    worker_telemetry: Vec<Mutex<WorkerTelemetry>>,
+    /// Lock-free counters (per-outcome job counts et al).
+    metrics: Arc<MetricsRegistry>,
+    /// Bounded trace + causal rings for postmortems.
+    recorder: Arc<FlightRecorder>,
+    /// Trace-sampling knobs.
+    tel: TelemetryConfig,
     active_workers: AtomicUsize,
     /// Design-affinity batch window (≥ 1; 1 = per-job serving).
     batch_window: usize,
@@ -316,6 +336,17 @@ impl Engine {
         Self::start_prewarmed(config, &[])
     }
 
+    /// [`Self::start`] with explicit telemetry knobs (trace sampling and
+    /// flight-recorder capacity). The plain constructors run with
+    /// tracing off; either way the lock-free metric counters are always
+    /// live, and fingerprints are bit-identical at any sampling rate.
+    ///
+    /// # Panics
+    /// Panics if `config.workers == 0` or a worker thread cannot spawn.
+    pub fn start_with(config: EngineConfig, telemetry: TelemetryConfig) -> Self {
+        Self::start_prewarmed_with(config, &[], telemetry)
+    }
+
     /// [`Self::start`], but warm the design cache from a key snapshot
     /// **before** any worker accepts traffic — the snapshot/restore-lite
     /// path: designs resample bit-identically from their keys
@@ -327,12 +358,30 @@ impl Engine {
     /// # Panics
     /// Panics if `config.workers == 0` or a worker thread cannot spawn.
     pub fn start_prewarmed(config: EngineConfig, prewarm: &[DesignKey]) -> Self {
+        Self::start_prewarmed_with(config, prewarm, TelemetryConfig::off())
+    }
+
+    /// [`Self::start_prewarmed`] with explicit telemetry knobs (see
+    /// [`Self::start_with`]).
+    ///
+    /// # Panics
+    /// Panics if `config.workers == 0` or a worker thread cannot spawn.
+    pub fn start_prewarmed_with(
+        config: EngineConfig,
+        prewarm: &[DesignKey],
+        telemetry: TelemetryConfig,
+    ) -> Self {
         assert!(config.workers > 0, "engine needs at least one worker");
         let shared = Arc::new(Shared {
             jobs: BoundedQueue::new(config.queue_capacity),
             results: BoundedQueue::new(config.results_capacity),
             cache: DesignCache::new(config.design_cache_capacity),
-            telemetry: Mutex::new(Telemetry::new()),
+            worker_telemetry: (0..config.workers)
+                .map(|_| Mutex::new(WorkerTelemetry::new()))
+                .collect(),
+            metrics: Arc::new(MetricsRegistry::new()),
+            recorder: Arc::new(FlightRecorder::new(config.workers, telemetry.recorder_capacity)),
+            tel: telemetry,
             active_workers: AtomicUsize::new(config.workers),
             batch_window: config.batch_window.max(1),
             batch_lock: Mutex::new(()),
@@ -356,6 +405,19 @@ impl Engine {
     /// Number of worker shards.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The engine's lock-free metrics registry — scrape freely from any
+    /// thread; reads never block a worker.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// The engine's flight recorder (per-shard trace rings plus the
+    /// causal-event ring); share it with a cluster router so failover
+    /// records land next to the job traces they explain.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder)
     }
 
     /// Warm the design cache for `keys` while the engine is live — the
@@ -416,17 +478,68 @@ impl Engine {
         self.try_submit_with_route(spec, route.id)
     }
 
+    /// [`Self::try_submit_routed`] carrying the monotonic instant the
+    /// spec's SUBMIT frame came off a socket: a sampled job's trace gets
+    /// its `wire_rx` span stamped so wire-path timelines show ingress →
+    /// admit. `None` behaves exactly like [`Self::try_submit_routed`].
+    ///
+    /// # Panics
+    /// Panics if the spec is infeasible ([`JobSpec::validate`]).
+    pub fn try_submit_routed_stamped(
+        &self,
+        spec: JobSpec,
+        route: &ResultRoute,
+        wire_rx: Option<std::time::Instant>,
+    ) -> Result<(), SubmitError> {
+        spec.validate();
+        let mut job = self.queued(spec, route.id);
+        if let (true, Some(at)) = (job.trace.sampled, wire_rx) {
+            let micros = at
+                .checked_duration_since(self.shared.recorder.epoch())
+                .map_or(0, |d| d.as_micros() as u64);
+            job.trace.stamp(Span::WireRx, micros);
+        }
+        self.try_push_queued(job)
+    }
+
+    /// Record the wire-tx causal counterpart for job `id` — the
+    /// transport server calls this as the job's RESULT frame leaves its
+    /// socket, after the trace itself has already been drained to the
+    /// flight recorder. No-op unless the sampling knob selects the id.
+    pub fn note_wire_tx(&self, id: u64) {
+        let every = self.shared.tel.trace_sample_every;
+        if every != 0 && id.is_multiple_of(every) {
+            self.shared.recorder.record_causal(CausalKind::WireTx, 0, id);
+        }
+    }
+
+    /// Wrap a validated spec for the queue, opening its span trace when
+    /// the sampling knob selects it (the `admit` span is stamped here).
+    fn queued(&self, spec: JobSpec, route: u32) -> QueuedJob {
+        let mut trace = JobTrace::empty();
+        if self.shared.tel.samples(&spec) {
+            trace = JobTrace::sampled_for(spec.id);
+            trace.stamp(Span::Admit, self.shared.recorder.now_micros());
+        }
+        QueuedJob { spec, enqueued: std::time::Instant::now(), route, trace }
+    }
+
     fn submit_with_route(&self, spec: JobSpec, route: u32) -> Result<(), EngineClosed> {
         spec.validate();
-        let queued = QueuedJob { spec, enqueued: std::time::Instant::now(), route };
-        self.shared.jobs.push(queued).map_err(|c| EngineClosed(c.0.spec))
+        self.shared.jobs.push(self.queued(spec, route)).map_err(|c| EngineClosed(c.0.spec))
     }
 
     fn try_submit_with_route(&self, spec: JobSpec, route: u32) -> Result<(), SubmitError> {
         spec.validate();
-        let queued = QueuedJob { spec, enqueued: std::time::Instant::now(), route };
-        self.shared.jobs.try_push(queued).map_err(|e| match e {
-            TryPushError::Full(q) => SubmitError::Backpressure(q.spec),
+        self.try_push_queued(self.queued(spec, route))
+    }
+
+    fn try_push_queued(&self, job: QueuedJob) -> Result<(), SubmitError> {
+        self.shared.jobs.try_push(job).map_err(|e| match e {
+            TryPushError::Full(q) => {
+                self.shared.metrics.inc(Metric::JobsBusyShed);
+                SubmitError::Backpressure(q.spec)
+            }
             TryPushError::Closed(q) => SubmitError::Closed(q.spec),
         })
     }
@@ -496,20 +609,37 @@ impl Engine {
     }
 
     /// Current aggregate telemetry.
+    ///
+    /// The three occupancy gauges (`queued_jobs`, `pending_results`,
+    /// `cache_len`) are read from **one** consistent snapshot — both
+    /// queue locks held together while the cache length is sampled —
+    /// instead of three racy point reads, so a job can never be counted
+    /// in two gauges at once or vanish from both.
     pub fn stats(&self) -> EngineStats {
         let (cache_hits, cache_misses) = self.shared.cache.stats();
-        let t = self.shared.telemetry.lock().expect("telemetry poisoned");
+        let mut total_latency = Summary::new();
+        let mut decode_latency = Summary::new();
+        let mut histogram = LatencyHistogram::new();
+        for slot in &self.shared.worker_telemetry {
+            let t = slot.lock().expect("telemetry poisoned");
+            total_latency.merge(&t.total_latency);
+            decode_latency.merge(&t.decode_latency);
+            histogram.merge(&t.histogram);
+        }
+        let (queued_jobs, pending_results, cache_len) =
+            snapshot_lens(&self.shared.jobs, &self.shared.results, || self.shared.cache.len());
         EngineStats {
-            jobs_completed: t.jobs_completed,
-            exact_recoveries: t.exact_recoveries,
-            total_latency: t.total_latency,
-            decode_latency: t.decode_latency,
-            histogram: t.histogram,
+            jobs_completed: self.shared.metrics.get(Metric::JobsCompleted),
+            jobs_poisoned: self.shared.metrics.get(Metric::JobsPoisoned),
+            exact_recoveries: self.shared.metrics.get(Metric::ExactRecoveries),
+            total_latency,
+            decode_latency,
+            histogram,
             cache_hits,
             cache_misses,
-            cache_len: self.shared.cache.len(),
-            queued_jobs: self.shared.jobs.len(),
-            pending_results: self.shared.results.len(),
+            cache_len,
+            queued_jobs,
+            pending_results,
             workers: self.handles.len(),
         }
     }
@@ -609,8 +739,26 @@ fn worker_main(shared: &Shared, idx: u32) {
             }
             // Queue waits end now — service time must not leak into them.
             let popped = std::time::Instant::now();
+            // One clock read stamps the whole run's queue-exit spans.
+            let tracing = run.iter().any(|q| q.trace.sampled);
+            if tracing {
+                let now = shared.recorder.now_micros();
+                for q in &mut run {
+                    if q.trace.sampled {
+                        q.trace.stamp(Span::Dequeue, now);
+                    }
+                }
+            }
             // One cache access serves the whole run (design affinity).
             let design = shared.cache.get_or_sample(&DesignKey::of(&run[0].spec));
+            if tracing {
+                let now = shared.recorder.now_micros();
+                for q in &mut run {
+                    if q.trace.sampled {
+                        q.trace.stamp(Span::CacheProbe, now);
+                    }
+                }
+            }
             served.clear();
             // Contain decode-stage panics to the job that caused them: a
             // panicking decoder yields a REJECT-class poisoned result and
@@ -619,9 +767,14 @@ fn worker_main(shared: &Shared, idx: u32) {
             // use, none carries cross-job state.
             if run.len() == 1 {
                 let spec = run[0].spec;
+                let mut trace = run[0].trace;
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    process_job(&spec, &design, &mut scratch)
+                    let tracing = trace.sampled.then(|| (&*shared.recorder, &mut trace));
+                    crate::worker::process_job_traced(&spec, &design, &mut scratch, tracing)
                 }));
+                // A poisoned decode leaves `decode_start` stamped with no
+                // `decode_end` — exactly what a postmortem wants to see.
+                run[0].trace = trace;
                 served.push(outcome.unwrap_or_else(|_| JobResult::decode_poisoned(&spec, idx)));
             } else {
                 specs.clear();
@@ -643,12 +796,48 @@ fn worker_main(shared: &Shared, idx: u32) {
                         );
                     }
                 }
+                // Derived decode spans for batched lanes: the fused
+                // traversal has no per-lane decode window, so each
+                // lane's start is back-computed from its (evenly split)
+                // decode time at the batch's shared serve end.
+                if tracing {
+                    let end = shared.recorder.now_micros();
+                    for (q, r) in run.iter_mut().zip(&served) {
+                        if q.trace.sampled {
+                            q.trace.stamp(Span::DecodeEnd, end);
+                            q.trace.stamp(Span::DecodeStart, end.saturating_sub(r.decode_micros));
+                        }
+                    }
+                }
             }
             for (queued, result) in run.iter().zip(&mut served) {
                 let queue_micros = popped.duration_since(queued.enqueued).as_micros() as u64;
                 result.queue_micros = queue_micros;
                 result.total_micros += queue_micros;
-                shared.telemetry.lock().expect("telemetry poisoned").record(result);
+                // This worker's own slot: uncontended in steady state.
+                shared.worker_telemetry[idx as usize]
+                    .lock()
+                    .expect("telemetry poisoned")
+                    .record(result);
+                shared.metrics.inc(Metric::JobsCompleted);
+                if result.exact {
+                    shared.metrics.inc(Metric::ExactRecoveries);
+                }
+                if result.is_decode_poisoned() {
+                    shared.metrics.inc(Metric::JobsPoisoned);
+                }
+                // Drain the trace *before* delivery: once a caller
+                // observes the result, its trace is guaranteed to be in
+                // the recorder.
+                let mut trace = queued.trace;
+                if trace.sampled {
+                    trace.worker = idx;
+                    trace.stamp(Span::RouteHop, shared.recorder.now_micros());
+                    if shared.recorder.record_trace(idx as usize, &trace) {
+                        shared.metrics.inc(Metric::TracesDropped);
+                    }
+                    shared.metrics.inc(Metric::TracesRecorded);
+                }
                 if !shared.deliver(queued.route, result) {
                     break 'serve; // shared results closed: shutdown discards the rest
                 }
@@ -793,8 +982,12 @@ mod tests {
         let engine = Engine::start(EngineConfig::with_workers(1));
         let shared = Arc::clone(&engine.shared);
         engine.shutdown();
-        let queued =
-            QueuedJob { spec: spec(0), enqueued: std::time::Instant::now(), route: SHARED_ROUTE };
+        let queued = QueuedJob {
+            spec: spec(0),
+            enqueued: std::time::Instant::now(),
+            route: SHARED_ROUTE,
+            trace: JobTrace::empty(),
+        };
         assert!(shared.jobs.push(queued).is_err());
     }
 

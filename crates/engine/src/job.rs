@@ -155,6 +155,18 @@ impl JobSpec {
     pub fn design_key(&self) -> crate::cache::DesignKey {
         crate::cache::DesignKey::of(self)
     }
+
+    /// Whether the trace-sampling knob `every` selects this job for span
+    /// tracing: `0` never, `1` always, `k` when `id % k == 0`. A pure
+    /// function of the job id — a sampled run records the *same* jobs
+    /// regardless of worker count, topology, or timing, so sampled
+    /// postmortems are comparable across configurations.
+    pub fn trace_sampled(&self, every: u64) -> bool {
+        match every {
+            0 => false,
+            k => self.id.is_multiple_of(k),
+        }
+    }
 }
 
 /// One completed reconstruction.

@@ -22,6 +22,13 @@
 //! * [`engine`] — the shards themselves: graceful shutdown, per-job
 //!   latency/throughput telemetry ([`pooled_stats::summary::Summary`] +
 //!   [`pooled_lab::histogram::LatencyHistogram`]).
+//! * [`telemetry`] — the observability plane: a lock-free
+//!   [`telemetry::MetricsRegistry`] of named counters, per-job
+//!   [`telemetry::JobTrace`] span timelines under a sampling knob, the
+//!   bounded [`telemetry::FlightRecorder`] (trace + causal rings,
+//!   JSON-dumpable), and Prometheus/JSON exposition renderers — all
+//!   zero-allocation on the serving hot path and fingerprint-invisible
+//!   at any sampling rate.
 //! * [`traffic`] — deterministic load profiles and Poisson arrivals for
 //!   the `engine_load` generator and the throughput benches.
 //! * [`transport`] — the TCP front: length-prefixed checksummed frames,
@@ -57,6 +64,7 @@ pub mod engine;
 pub mod job;
 pub mod queue;
 pub mod registry;
+pub mod telemetry;
 pub mod traffic;
 pub mod transport;
 pub mod worker;
@@ -67,5 +75,9 @@ pub use engine::{Engine, EngineConfig, EngineStats, ResultRoute};
 pub use job::{DecoderKind, DesignSpec, JobResult, JobSpec};
 pub use queue::BoundedQueue;
 pub use registry::{decoder, DecodeScratch, EngineDecoder};
+pub use telemetry::{
+    render_json, render_prometheus, FlightRecorder, JobTrace, Metric, MetricsRegistry,
+    MetricsSnapshot, TelemetryConfig,
+};
 pub use traffic::{poisson_arrivals, LoadProfile, PreparedProfile};
 pub use transport::{TransportClient, TransportConfig, TransportServer};

@@ -231,6 +231,25 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+/// One consistent snapshot of two queue occupancies plus an arbitrary
+/// companion read: both queue locks are held while `with` runs, so the
+/// three values describe a single instant — an item mid-hand-off
+/// between the queues can never be double-counted by one reading and
+/// missed by the other, which is exactly what three independent point
+/// reads allow. Locks are taken in argument order and `with` must not
+/// touch either queue; callers must agree on one global order (the
+/// engine's only call site passes `jobs` then `results`).
+pub fn snapshot_lens<A, B, R>(
+    a: &BoundedQueue<A>,
+    b: &BoundedQueue<B>,
+    with: impl FnOnce() -> R,
+) -> (usize, usize, R) {
+    let sa = a.state.lock().expect("queue poisoned");
+    let sb = b.state.lock().expect("queue poisoned");
+    let r = with();
+    (sa.buf.len(), sb.buf.len(), r)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +358,30 @@ mod tests {
     #[should_panic(expected = "capacity at least 1")]
     fn zero_capacity_rejected() {
         let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    #[test]
+    fn snapshot_lens_reads_both_queues_under_one_critical_section() {
+        let a = BoundedQueue::new(4);
+        let b = BoundedQueue::new(4);
+        a.try_push(1u8).unwrap();
+        a.try_push(2u8).unwrap();
+        b.try_push(9u64).unwrap();
+        let (la, lb, companion) = snapshot_lens(&a, &b, || 42);
+        assert_eq!((la, lb, companion), (2, 1, 42));
+        // The companion closure runs while both locks are held: another
+        // thread's push cannot land between the two length reads.
+        let a = Arc::new(a);
+        let a2 = Arc::clone(&a);
+        let (la, lb, pusher) = snapshot_lens(&a, &b, || {
+            let pusher = std::thread::spawn(move || a2.push(3u8).unwrap());
+            // The push above must block until the snapshot releases `a`.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            pusher
+        });
+        assert_eq!((la, lb), (2, 1), "a concurrent push cannot skew the snapshot");
+        pusher.join().unwrap();
+        assert_eq!(a.len(), 3, "the blocked push lands after the snapshot");
     }
 
     #[test]

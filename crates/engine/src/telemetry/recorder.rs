@@ -1,0 +1,347 @@
+//! The flight recorder: bounded rings of recent traces and causal
+//! events, kept in memory for postmortems.
+//!
+//! Every ring is preallocated at construction and **overwrites its
+//! oldest entry** when full — recording is an index write under a
+//! short uncontended lock (each worker shard drains into its own
+//! ring), never an allocation, so the steady-state allocation-free
+//! guarantee of the serving path extends to full tracing
+//! (`tests/alloc_free.rs`). Alongside the per-shard [`JobTrace`] rings,
+//! one causal ring absorbs the cluster tier's "why did that happen"
+//! records: failovers, stale events from dead nodes, chaos injections,
+//! and stats-scrape timeouts. [`FlightRecorder::dump_json`] renders
+//! the whole recorder as JSON (a cold path that allocates freely).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use super::trace::{JobTrace, Span};
+
+/// What kind of causal event a [`CausalRecord`] explains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CausalKind {
+    /// Placeholder for a never-written ring slot (not recorded).
+    #[default]
+    None,
+    /// A node was declared dead and its jobs reclaimed.
+    Failover,
+    /// A node was drained and removed on purpose.
+    NodeRemoved,
+    /// An event arrived from a node already failed over (absorbed,
+    /// not double-counted).
+    StaleEvent,
+    /// The chaos injector severed a node.
+    ChaosKill,
+    /// The chaos injector swallowed a submission.
+    ChaosDrop,
+    /// The chaos injector delayed an event.
+    ChaosDelay,
+    /// The chaos injector duplicated an event.
+    ChaosDuplicate,
+    /// A STATS scrape of a remote node timed out (the node's stats are
+    /// marked unavailable, not silently zero-merged).
+    StatsUnavailable,
+    /// A RESULT frame left the server socket (the wire-tx counterpart
+    /// of a trace already drained to the recorder).
+    WireTx,
+}
+
+impl CausalKind {
+    /// The kind's name in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            CausalKind::None => "none",
+            CausalKind::Failover => "failover",
+            CausalKind::NodeRemoved => "node_removed",
+            CausalKind::StaleEvent => "stale_event",
+            CausalKind::ChaosKill => "chaos_kill",
+            CausalKind::ChaosDrop => "chaos_drop",
+            CausalKind::ChaosDelay => "chaos_delay",
+            CausalKind::ChaosDuplicate => "chaos_duplicate",
+            CausalKind::StatsUnavailable => "stats_unavailable",
+            CausalKind::WireTx => "wire_tx",
+        }
+    }
+}
+
+/// One causal event: what happened, to which node, about which job,
+/// when.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CausalRecord {
+    /// Microseconds since the recorder epoch.
+    pub at_micros: u64,
+    /// What happened.
+    pub kind: CausalKind,
+    /// Node id the event concerns (0 when not node-scoped).
+    pub node: u64,
+    /// Job id the event concerns (0 when not job-scoped).
+    pub job: u64,
+}
+
+/// A fixed-capacity overwrite-oldest ring.
+#[derive(Debug)]
+struct Ring<T> {
+    buf: Vec<T>,
+    next: usize,
+    len: usize,
+}
+
+impl<T: Copy + Default> Ring<T> {
+    fn new(capacity: usize) -> Self {
+        Self { buf: vec![T::default(); capacity.max(1)], next: 0, len: 0 }
+    }
+
+    /// Store `v`, returning `true` if an old entry was overwritten.
+    fn push(&mut self, v: T) -> bool {
+        let overwrote = self.len == self.buf.len();
+        self.buf[self.next] = v;
+        self.next = (self.next + 1) % self.buf.len();
+        if !overwrote {
+            self.len += 1;
+        }
+        overwrote
+    }
+
+    /// Entries oldest → newest (cold path; allocates).
+    fn in_order(&self) -> Vec<T> {
+        let cap = self.buf.len();
+        let start = if self.len == cap { self.next } else { 0 };
+        (0..self.len).map(|i| self.buf[(start + i) % cap]).collect()
+    }
+}
+
+/// Bounded in-memory recorder of recent traces and causal events (see
+/// the module docs).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    epoch: Instant,
+    shards: Vec<Mutex<Ring<JobTrace>>>,
+    causal: Mutex<Ring<CausalRecord>>,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder with `shards` trace rings (one per worker shard) of
+    /// `capacity` entries each, plus a causal ring of the same
+    /// capacity. Both clamp to at least one shard / one entry.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Ring::new(capacity))).collect(),
+            causal: Mutex::new(Ring::new(capacity)),
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The instant all span timestamps are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// Microseconds elapsed since the epoch — the clock every span
+    /// stamp and causal record uses.
+    pub fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Number of trace rings.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Drain one completed trace into shard `shard`'s ring (modular, so
+    /// any index is safe). Unsampled traces are ignored. Returns whether
+    /// an older trace was evicted to make room.
+    pub fn record_trace(&self, shard: usize, trace: &JobTrace) -> bool {
+        if !trace.sampled {
+            return false;
+        }
+        let ring = &self.shards[shard % self.shards.len()];
+        let overwrote = ring.lock().expect("trace ring poisoned").push(*trace);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        if overwrote {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        overwrote
+    }
+
+    /// Record a causal event at the current clock.
+    pub fn record_causal(&self, kind: CausalKind, node: u64, job: u64) {
+        let rec = CausalRecord { at_micros: self.now_micros(), kind, node, job };
+        let overwrote = self.causal.lock().expect("causal ring poisoned").push(rec);
+        if overwrote {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Traces ever recorded (including ones since overwritten).
+    pub fn traces_recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by ring overwrites (traces and causal records).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// All retained traces, per shard, oldest → newest (cold path).
+    pub fn traces(&self) -> Vec<Vec<JobTrace>> {
+        self.shards.iter().map(|s| s.lock().expect("trace ring poisoned").in_order()).collect()
+    }
+
+    /// All retained causal records, oldest → newest (cold path).
+    pub fn causal_records(&self) -> Vec<CausalRecord> {
+        self.causal.lock().expect("causal ring poisoned").in_order()
+    }
+
+    /// Render the recorder as a JSON document for postmortems:
+    /// `{"dropped":…,"shards":[{"shard":0,"traces":[{"id":…,"worker":…,
+    /// "spans":{"admit":…}}]}],"causal":[{"at_micros":…,"kind":"…",
+    /// "node":…,"job":…}]}`. Span slots that were never stamped are
+    /// omitted. Cold path; allocates freely.
+    pub fn dump_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"dropped\":");
+        out.push_str(&self.dropped().to_string());
+        out.push_str(",\"shards\":[");
+        for (i, traces) in self.traces().into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"shard\":");
+            out.push_str(&i.to_string());
+            out.push_str(",\"traces\":[");
+            for (j, t) in traces.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"id\":");
+                out.push_str(&t.id.to_string());
+                out.push_str(",\"worker\":");
+                out.push_str(&t.worker.to_string());
+                out.push_str(",\"spans\":{");
+                let mut first = true;
+                for &span in &Span::ALL {
+                    if let Some(at) = t.span_micros(span) {
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        out.push('"');
+                        out.push_str(span.name());
+                        out.push_str("\":");
+                        out.push_str(&at.to_string());
+                    }
+                }
+                out.push_str("}}");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"causal\":[");
+        for (i, rec) in self.causal_records().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"at_micros\":");
+            out.push_str(&rec.at_micros.to_string());
+            out.push_str(",\"kind\":\"");
+            out.push_str(rec.kind.name());
+            out.push_str("\",\"node\":");
+            out.push_str(&rec.node.to_string());
+            out.push_str(",\"job\":");
+            out.push_str(&rec.job.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, admit: u64) -> JobTrace {
+        let mut t = JobTrace::sampled_for(id);
+        t.stamp(Span::Admit, admit);
+        t
+    }
+
+    #[test]
+    fn rings_retain_the_newest_entries_in_order() {
+        let rec = FlightRecorder::new(2, 3);
+        for id in 0..5 {
+            rec.record_trace(0, &trace(id, id * 10));
+        }
+        rec.record_trace(1, &trace(99, 1));
+        let shards = rec.traces();
+        let ids: Vec<u64> = shards[0].iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![2, 3, 4], "oldest overwritten, order kept");
+        assert_eq!(shards[1].len(), 1);
+        assert_eq!(rec.traces_recorded(), 6);
+        assert_eq!(rec.dropped(), 2);
+    }
+
+    #[test]
+    fn unsampled_traces_are_ignored() {
+        let rec = FlightRecorder::new(1, 4);
+        rec.record_trace(0, &JobTrace::empty());
+        assert_eq!(rec.traces_recorded(), 0);
+        assert!(rec.traces()[0].is_empty());
+    }
+
+    #[test]
+    fn causal_records_carry_kind_node_job() {
+        let rec = FlightRecorder::new(1, 4);
+        rec.record_causal(CausalKind::Failover, 7, 0);
+        rec.record_causal(CausalKind::StaleEvent, 7, 31);
+        let recs = rec.causal_records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, CausalKind::Failover);
+        assert_eq!(recs[0].node, 7);
+        assert_eq!(recs[1].job, 31);
+        assert!(recs[1].at_micros >= recs[0].at_micros, "clock is monotone");
+    }
+
+    #[test]
+    fn dump_json_is_well_formed_and_omits_unset_spans() {
+        let rec = FlightRecorder::new(1, 4);
+        let mut t = trace(5, 100);
+        t.stamp(Span::DecodeStart, 150);
+        rec.record_trace(0, &t);
+        rec.record_causal(CausalKind::ChaosKill, 2, 0);
+        let json = rec.dump_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"id\":5"));
+        assert!(json.contains("\"admit\":100"));
+        assert!(json.contains("\"decode_start\":150"));
+        assert!(!json.contains("wire_tx"), "unstamped spans are omitted");
+        assert!(json.contains("\"kind\":\"chaos_kill\""));
+        // Balanced braces/brackets — a cheap well-formedness check that
+        // needs no JSON parser in the dependency tree.
+        let (mut braces, mut brackets) = (0i64, 0i64);
+        for c in json.chars() {
+            match c {
+                '{' => braces += 1,
+                '}' => braces -= 1,
+                '[' => brackets += 1,
+                ']' => brackets -= 1,
+                _ => {}
+            }
+            assert!(braces >= 0 && brackets >= 0);
+        }
+        assert_eq!((braces, brackets), (0, 0));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_instead_of_panicking() {
+        let rec = FlightRecorder::new(0, 0);
+        rec.record_trace(3, &trace(1, 1));
+        rec.record_causal(CausalKind::Failover, 1, 0);
+        assert_eq!(rec.traces()[0].len(), 1);
+        assert_eq!(rec.causal_records().len(), 1);
+    }
+}

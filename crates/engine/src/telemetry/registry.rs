@@ -1,0 +1,233 @@
+//! The lock-free metrics registry: a fixed enum-indexed array of named
+//! atomic counters.
+//!
+//! Dynamic metric registries (string keys, hash maps, registration
+//! locks) put allocation and contention exactly where the engine cannot
+//! afford them — on the per-job hot path. The serving stack's metric
+//! set is closed and known at compile time, so the registry here is an
+//! enum-indexed `[AtomicU64; METRIC_COUNT]`: incrementing is one
+//! relaxed atomic add with no lock, no branch on a key, and no heap;
+//! names are `'static` strings resolved only at exposition time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of registered metrics (the length of [`Metric::ALL`]).
+pub const METRIC_COUNT: usize = 15;
+
+/// Every counter the serving stack exports, in exposition order.
+///
+/// The per-outcome job counters partition a submission's fates across
+/// the tiers that observe them: the engine counts `JobsCompleted`,
+/// `JobsPoisoned` (decode panics contained by a worker) and
+/// `JobsBusyShed` (non-blocking submissions refused at a full queue);
+/// the transport server counts `JobsRejected` (infeasible or oversized
+/// specs); the cluster router counts `JobsFailedOver` (specs re-routed
+/// off a dead node). Wire counters are incremented by whichever
+/// endpoint owns the socket half.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Metric {
+    /// Jobs completed and delivered to a result stream.
+    JobsCompleted,
+    /// Jobs refused as infeasible (terminal REJECT).
+    JobsRejected,
+    /// Non-blocking submissions shed at a full queue (BUSY-class).
+    JobsBusyShed,
+    /// Jobs whose decoder panicked and was contained to a poisoned
+    /// result.
+    JobsPoisoned,
+    /// Specs reclaimed from a dead node and re-routed to a survivor.
+    JobsFailedOver,
+    /// Completed jobs that recovered the hidden signal exactly.
+    ExactRecoveries,
+    /// Job traces drained into the flight recorder.
+    TracesRecorded,
+    /// Ring-buffer overwrites: traces or causal records evicted before
+    /// anyone dumped them.
+    TracesDropped,
+    /// Frame bytes written to a socket.
+    WireBytesTx,
+    /// Frame bytes read from a socket.
+    WireBytesRx,
+    /// Frames written to a socket.
+    WireFramesTx,
+    /// Frames read (and verified) from a socket.
+    WireFramesRx,
+    /// Frames dropped for a checksum mismatch (the connection dies with
+    /// them — there is no resync point).
+    WireChecksumRejects,
+    /// STATS scrapes answered (server) or completed (client).
+    StatsScrapes,
+    /// STATS scrapes that timed out waiting for the far side.
+    StatsScrapeTimeouts,
+}
+
+impl Metric {
+    /// All metrics, index-aligned with the registry's counter array.
+    pub const ALL: [Metric; METRIC_COUNT] = [
+        Metric::JobsCompleted,
+        Metric::JobsRejected,
+        Metric::JobsBusyShed,
+        Metric::JobsPoisoned,
+        Metric::JobsFailedOver,
+        Metric::ExactRecoveries,
+        Metric::TracesRecorded,
+        Metric::TracesDropped,
+        Metric::WireBytesTx,
+        Metric::WireBytesRx,
+        Metric::WireFramesTx,
+        Metric::WireFramesRx,
+        Metric::WireChecksumRejects,
+        Metric::StatsScrapes,
+        Metric::StatsScrapeTimeouts,
+    ];
+
+    /// The metric's exposition name (Prometheus conventions: `_total`
+    /// suffix on monotonic counters, unit in the name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::JobsCompleted => "pooled_jobs_completed_total",
+            Metric::JobsRejected => "pooled_jobs_rejected_total",
+            Metric::JobsBusyShed => "pooled_jobs_busy_shed_total",
+            Metric::JobsPoisoned => "pooled_jobs_poisoned_total",
+            Metric::JobsFailedOver => "pooled_jobs_failed_over_total",
+            Metric::ExactRecoveries => "pooled_exact_recoveries_total",
+            Metric::TracesRecorded => "pooled_traces_recorded_total",
+            Metric::TracesDropped => "pooled_traces_dropped_total",
+            Metric::WireBytesTx => "pooled_wire_bytes_tx_total",
+            Metric::WireBytesRx => "pooled_wire_bytes_rx_total",
+            Metric::WireFramesTx => "pooled_wire_frames_tx_total",
+            Metric::WireFramesRx => "pooled_wire_frames_rx_total",
+            Metric::WireChecksumRejects => "pooled_wire_checksum_rejects_total",
+            Metric::StatsScrapes => "pooled_stats_scrapes_total",
+            Metric::StatsScrapeTimeouts => "pooled_stats_scrape_timeouts_total",
+        }
+    }
+}
+
+/// A fixed-size set of lock-free counters, shared by `Arc` across the
+/// workers, queues, and socket threads of one serving tier.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: [AtomicU64; METRIC_COUNT],
+}
+
+impl MetricsRegistry {
+    /// All counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one to `metric`. Relaxed ordering: counters are statistics,
+    /// not synchronization.
+    pub fn inc(&self, metric: Metric) {
+        self.add(metric, 1);
+    }
+
+    /// Add `n` to `metric` (bulk recording, e.g. bytes per frame).
+    pub fn add(&self, metric: Metric, n: u64) {
+        self.counters[metric as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of `metric`.
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.counters[metric as usize].load(Ordering::Relaxed)
+    }
+
+    /// Copy every counter out (each read is individually torn-free;
+    /// the set is as consistent as relaxed counters can be).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut values = [0u64; METRIC_COUNT];
+        for (v, c) in values.iter_mut().zip(&self.counters) {
+            *v = c.load(Ordering::Relaxed);
+        }
+        MetricsSnapshot { values }
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    values: [u64; METRIC_COUNT],
+}
+
+impl MetricsSnapshot {
+    /// Value of `metric` at snapshot time.
+    pub fn get(&self, metric: Metric) -> u64 {
+        self.values[metric as usize]
+    }
+
+    /// `(name, value)` pairs in exposition order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Metric::ALL.iter().map(move |&m| (m.name(), self.values[m as usize]))
+    }
+
+    /// Fold another snapshot in, saturating (cluster-wide sums).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (a, b) in self.values.iter_mut().zip(&other.values) {
+            *a = a.saturating_add(*b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_align_with_indices_and_are_unique() {
+        for (i, &m) in Metric::ALL.iter().enumerate() {
+            assert_eq!(m as usize, i, "{:?} out of order", m);
+        }
+        let mut names: Vec<_> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), METRIC_COUNT, "duplicate metric name");
+        for name in names {
+            assert!(name.starts_with("pooled_"), "{name} missing namespace");
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.inc(Metric::JobsCompleted);
+        reg.add(Metric::JobsCompleted, 4);
+        reg.add(Metric::WireBytesTx, 1024);
+        assert_eq!(reg.get(Metric::JobsCompleted), 5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get(Metric::JobsCompleted), 5);
+        assert_eq!(snap.get(Metric::WireBytesTx), 1024);
+        assert_eq!(snap.get(Metric::JobsPoisoned), 0);
+        assert_eq!(snap.iter().count(), METRIC_COUNT);
+    }
+
+    #[test]
+    fn concurrent_increments_never_lose_counts() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        reg.inc(Metric::JobsCompleted);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.get(Metric::JobsCompleted), 40_000);
+    }
+
+    #[test]
+    fn snapshot_merge_saturates() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::JobsCompleted, u64::MAX - 1);
+        let mut a = reg.snapshot();
+        let b = reg.snapshot();
+        a.merge(&b);
+        assert_eq!(a.get(Metric::JobsCompleted), u64::MAX);
+    }
+}

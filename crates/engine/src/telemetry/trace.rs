@@ -1,0 +1,168 @@
+//! Per-job trace spans: a fixed-size timeline of where one job spent
+//! its life.
+//!
+//! A [`JobTrace`] is `Copy` and rides alongside the queued job through
+//! the engine's bounded queues — no allocation, no pointer chasing, no
+//! effect on the decode path (timestamps never feed a seed or a
+//! kernel), so result fingerprints are bit-identical whether tracing is
+//! off, sampled, or recording every job. Timestamps are microseconds
+//! since the owning flight recorder's epoch, stamped from a monotonic
+//! clock.
+
+/// Number of span slots in a [`JobTrace`] (the length of [`Span::ALL`]).
+pub const TRACE_SPANS: usize = 8;
+
+/// Sentinel for a span slot that was never stamped.
+const UNSET: u64 = u64::MAX;
+
+/// The stages of a job's life a trace can stamp, in causal order.
+///
+/// In-process serving stamps `Admit` through `RouteHop`; the wire spans
+/// are stamped only on paths that cross a socket (`WireRx` by the
+/// transport server at frame ingress, `WireTx` as a causal record when
+/// the result frame leaves — the trace itself has already been drained
+/// to the recorder by then).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Span {
+    /// Submission accepted into the job queue.
+    Admit,
+    /// A worker popped the job off the queue.
+    Dequeue,
+    /// Design-cache probe resolved (hit or single-flight sample).
+    CacheProbe,
+    /// Decode kernel entered.
+    DecodeStart,
+    /// Decode kernel returned.
+    DecodeEnd,
+    /// Result handed to its delivery route (the fan-in hop toward the
+    /// tenant).
+    RouteHop,
+    /// SUBMIT frame arrived at the transport server (wire paths only).
+    WireRx,
+    /// RESULT frame written back to the socket (wire paths only; see
+    /// the type-level note on stamping).
+    WireTx,
+}
+
+impl Span {
+    /// All spans, index-aligned with the trace's slot array.
+    pub const ALL: [Span; TRACE_SPANS] = [
+        Span::Admit,
+        Span::Dequeue,
+        Span::CacheProbe,
+        Span::DecodeStart,
+        Span::DecodeEnd,
+        Span::RouteHop,
+        Span::WireRx,
+        Span::WireTx,
+    ];
+
+    /// The span's name in dumps and exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            Span::Admit => "admit",
+            Span::Dequeue => "dequeue",
+            Span::CacheProbe => "cache_probe",
+            Span::DecodeStart => "decode_start",
+            Span::DecodeEnd => "decode_end",
+            Span::RouteHop => "route_hop",
+            Span::WireRx => "wire_rx",
+            Span::WireTx => "wire_tx",
+        }
+    }
+}
+
+/// A fixed-size per-job span timeline (see the module docs for the
+/// determinism contract).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobTrace {
+    /// The traced job's id.
+    pub id: u64,
+    /// Worker shard that served the job (stamped at completion).
+    pub worker: u32,
+    /// Whether the sampling knob selected this job; unsampled traces
+    /// ride the queue as inert padding and are never recorded.
+    pub sampled: bool,
+    spans: [u64; TRACE_SPANS],
+}
+
+impl Default for JobTrace {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl JobTrace {
+    /// An inert, unsampled trace (what unsampled jobs carry).
+    pub fn empty() -> Self {
+        Self { id: 0, worker: 0, sampled: false, spans: [UNSET; TRACE_SPANS] }
+    }
+
+    /// A live trace for job `id`, ready to stamp.
+    pub fn sampled_for(id: u64) -> Self {
+        Self { id, sampled: true, ..Self::empty() }
+    }
+
+    /// Record `span` at `micros` since the recorder epoch. Last stamp
+    /// wins (a failed-over job re-admits, overwriting its first admit).
+    pub fn stamp(&mut self, span: Span, micros: u64) {
+        // u64::MAX is reserved as "unset"; a stamp that collides with it
+        // (292 000 years past the epoch) clamps down one microsecond.
+        self.spans[span as usize] = micros.min(UNSET - 1);
+    }
+
+    /// The stamped time of `span`, or `None` if it never happened.
+    pub fn span_micros(&self, span: Span) -> Option<u64> {
+        let v = self.spans[span as usize];
+        (v != UNSET).then_some(v)
+    }
+
+    /// Elapsed microseconds from `from` to `to`, if both were stamped
+    /// in that order.
+    pub fn between_micros(&self, from: Span, to: Span) -> Option<u64> {
+        let (a, b) = (self.span_micros(from)?, self.span_micros(to)?);
+        b.checked_sub(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_align_with_indices_and_have_unique_names() {
+        for (i, &s) in Span::ALL.iter().enumerate() {
+            assert_eq!(s as usize, i);
+        }
+        let mut names: Vec<_> = Span::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TRACE_SPANS);
+    }
+
+    #[test]
+    fn stamping_and_deltas() {
+        let mut t = JobTrace::sampled_for(42);
+        assert!(t.sampled);
+        assert_eq!(t.span_micros(Span::Admit), None);
+        t.stamp(Span::Admit, 100);
+        t.stamp(Span::Dequeue, 250);
+        t.stamp(Span::DecodeStart, 300);
+        t.stamp(Span::DecodeEnd, 900);
+        assert_eq!(t.span_micros(Span::Admit), Some(100));
+        assert_eq!(t.between_micros(Span::Admit, Span::Dequeue), Some(150));
+        assert_eq!(t.between_micros(Span::DecodeStart, Span::DecodeEnd), Some(600));
+        assert_eq!(t.between_micros(Span::Admit, Span::RouteHop), None, "unstamped");
+        // Out-of-order stamps surface as None, not a wrapped huge delta.
+        t.stamp(Span::RouteHop, 50);
+        assert_eq!(t.between_micros(Span::Admit, Span::RouteHop), None);
+    }
+
+    #[test]
+    fn the_unset_sentinel_cannot_be_stamped() {
+        let mut t = JobTrace::sampled_for(1);
+        t.stamp(Span::Admit, u64::MAX);
+        assert_eq!(t.span_micros(Span::Admit), Some(u64::MAX - 1));
+    }
+}

@@ -172,6 +172,14 @@ impl TransportClient {
             Some(Frame::Reject(id)) => Ok(Reply::Rejected(id)),
             Some(Frame::Submit(_)) => Err(TransportError::Protocol("server sent a SUBMIT frame")),
             Some(Frame::Prewarm(_)) => Err(TransportError::Protocol("server sent a PREWARM frame")),
+            // This client never scrapes, so a STATS reply is as illegal
+            // as a server-originated request would be.
+            Some(Frame::Stats(_)) => {
+                Err(TransportError::Protocol("server sent an unsolicited STATS frame"))
+            }
+            Some(Frame::StatsRequest(_)) => {
+                Err(TransportError::Protocol("server sent a STATS_REQUEST frame"))
+            }
         }
     }
 

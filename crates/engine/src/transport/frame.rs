@@ -9,7 +9,8 @@
 //! offset  size  field
 //! 0       1     magic      (0xD5 — rejects non-protocol peers fast)
 //! 1       1     version    (1; any other value is rejected)
-//! 2       1     msg type   (1=SUBMIT 2=RESULT 3=BUSY 4=REJECT 5=PREWARM)
+//! 2       1     msg type   (1=SUBMIT 2=RESULT 3=BUSY 4=REJECT 5=PREWARM
+//!                           6=STATS 7=STATS_REQUEST)
 //! 3       1     reserved   (0)
 //! 4       4     payload length, u32 LE (fixed per msg type)
 //! 8       len   payload    (layouts below)
@@ -44,11 +45,32 @@
 //! fire-and-forget: warm the node's design cache for this key (the
 //! router's standby-warming path). No reply — a node that cannot warm
 //! simply pays the miss later.
+//!
+//! `STATS` — a token-correlated [`EngineStats`] snapshot, 7992 bytes of
+//! u64 LE words (server → client, answering `STATS_REQUEST`): the echoed
+//! request token, the scalar counters and gauges, both latency
+//! [`Summary`] accumulators as raw Welford parts (`count` plus
+//! `mean/m2/min/max` as `f64::to_bits` words — lossless, so the far
+//! side's merged moments are bit-identical to a local merge), and the
+//! full [`LatencyHistogram`]: `count`, `sum_micros`, `max_micros`, then
+//! all [`LATENCY_BUCKETS`] bucket counters. Fixed-size like every other
+//! frame — one legal length, checked before any payload byte is read.
+//!
+//! `STATS_REQUEST` — 8 bytes: an opaque correlation token the server
+//! echoes back in its `STATS` reply (client → server). A server whose
+//! session cannot observe engine stats sends no reply; the scraper's
+//! read deadline turns that silence into a `stats_unavailable` marker.
+
+use std::sync::Arc;
 
 use pooled_design::factory::DesignKind;
+use pooled_lab::histogram::{LatencyHistogram, LATENCY_BUCKETS};
+use pooled_stats::summary::Summary;
 
 use crate::cache::DesignKey;
+use crate::engine::EngineStats;
 use crate::job::{DecoderKind, DesignSpec, Digest, JobResult, JobSpec};
+use crate::telemetry::{Metric, MetricsRegistry};
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xD5;
@@ -66,16 +88,41 @@ pub const RESULT_PAYLOAD_LEN: usize = 64;
 pub const ID_PAYLOAD_LEN: usize = 8;
 /// `PREWARM` payload size.
 pub const KEY_PAYLOAD_LEN: usize = 32;
+/// `STATS` payload size: token + 9 scalar words + 2×5 summary words +
+/// 3 histogram scalars + [`LATENCY_BUCKETS`] bucket counters, 8 bytes
+/// each.
+pub const STATS_PAYLOAD_LEN: usize = (1 + 9 + 10 + 3 + LATENCY_BUCKETS) * 8;
+/// `STATS_REQUEST` payload size (the correlation token).
+pub const STATS_REQUEST_PAYLOAD_LEN: usize = 8;
 /// Largest whole frame the protocol can produce.
-pub const MAX_FRAME_LEN: usize = HEADER_LEN + RESULT_PAYLOAD_LEN + CHECKSUM_LEN;
+pub const MAX_FRAME_LEN: usize = HEADER_LEN + STATS_PAYLOAD_LEN + CHECKSUM_LEN;
 
 const TYPE_SUBMIT: u8 = 1;
 const TYPE_RESULT: u8 = 2;
 const TYPE_BUSY: u8 = 3;
 const TYPE_REJECT: u8 = 4;
 const TYPE_PREWARM: u8 = 5;
+const TYPE_STATS: u8 = 6;
+const TYPE_STATS_REQUEST: u8 = 7;
+
+/// A server's answer to a `STATS_REQUEST`: the far-side engine's
+/// telemetry snapshot, tagged with the request's correlation token so a
+/// scraper can discard stale replies after a timeout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StatsReply {
+    /// Echo of the request token this snapshot answers.
+    pub token: u64,
+    /// The serving engine's stats at scrape time.
+    pub stats: EngineStats,
+}
 
 /// One decoded wire message.
+//
+// The STATS variant embeds a full fixed-size histogram (~8 KiB), which
+// dwarfs the other variants; boxing it would forfeit `Copy` for the hot
+// SUBMIT/RESULT frames and put an allocation on the scrape path, so the
+// size skew is accepted deliberately.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Frame {
     /// Client → server: run this job.
@@ -91,6 +138,13 @@ pub enum Frame {
     /// Client → server, fire-and-forget: warm the design cache for this
     /// key before traffic arrives (standby keep-warm). Never answered.
     Prewarm(DesignKey),
+    /// Server → client: the engine-stats snapshot answering a
+    /// [`Frame::StatsRequest`] with the same token.
+    Stats(StatsReply),
+    /// Client → server: scrape the serving engine's stats. The reply is
+    /// a [`Frame::Stats`] echoing the token; a session with no stats to
+    /// report stays silent and lets the scraper's deadline expire.
+    StatsRequest(u64),
 }
 
 /// Why a byte sequence is not a valid frame.
@@ -228,8 +282,31 @@ fn payload_len_of(msg_type: u8) -> Result<usize, FrameError> {
         TYPE_RESULT => Ok(RESULT_PAYLOAD_LEN),
         TYPE_BUSY | TYPE_REJECT => Ok(ID_PAYLOAD_LEN),
         TYPE_PREWARM => Ok(KEY_PAYLOAD_LEN),
+        TYPE_STATS => Ok(STATS_PAYLOAD_LEN),
+        TYPE_STATS_REQUEST => Ok(STATS_REQUEST_PAYLOAD_LEN),
         other => Err(FrameError::UnknownType(other)),
     }
+}
+
+/// Append a [`Summary`]'s raw Welford parts as 5 LE words (`f64`s via
+/// `to_bits`, so the far side reconstructs the accumulator bit-exactly).
+fn put_summary(buf: &mut Vec<u8>, s: &Summary) {
+    let (count, mean, m2, min, max) = s.raw_parts();
+    put_u64(buf, count);
+    put_u64(buf, mean.to_bits());
+    put_u64(buf, m2.to_bits());
+    put_u64(buf, min.to_bits());
+    put_u64(buf, max.to_bits());
+}
+
+fn get_summary(bytes: &[u8], at: usize) -> Summary {
+    Summary::from_raw_parts(
+        get_u64(bytes, at),
+        f64::from_bits(get_u64(bytes, at + 8)),
+        f64::from_bits(get_u64(bytes, at + 16)),
+        f64::from_bits(get_u64(bytes, at + 24)),
+        f64::from_bits(get_u64(bytes, at + 32)),
+    )
 }
 
 /// Serialize `frame` into `buf` (cleared first; reuse the buffer across
@@ -242,6 +319,8 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
         Frame::Busy(_) => (TYPE_BUSY, ID_PAYLOAD_LEN),
         Frame::Reject(_) => (TYPE_REJECT, ID_PAYLOAD_LEN),
         Frame::Prewarm(_) => (TYPE_PREWARM, KEY_PAYLOAD_LEN),
+        Frame::Stats(_) => (TYPE_STATS, STATS_PAYLOAD_LEN),
+        Frame::StatsRequest(_) => (TYPE_STATS_REQUEST, STATS_REQUEST_PAYLOAD_LEN),
     };
     buf.reserve(HEADER_LEN + payload_len + CHECKSUM_LEN);
     buf.push(MAGIC);
@@ -286,6 +365,28 @@ pub fn encode_frame(frame: &Frame, buf: &mut Vec<u8>) {
             buf.push(design_code(key.kind));
             buf.extend_from_slice(&[0u8; 3]); // pad
         }
+        Frame::Stats(reply) => {
+            let s = &reply.stats;
+            put_u64(buf, reply.token);
+            put_u64(buf, s.jobs_completed);
+            put_u64(buf, s.jobs_poisoned);
+            put_u64(buf, s.exact_recoveries);
+            put_u64(buf, s.cache_hits);
+            put_u64(buf, s.cache_misses);
+            put_u64(buf, s.cache_len as u64);
+            put_u64(buf, s.queued_jobs as u64);
+            put_u64(buf, s.pending_results as u64);
+            put_u64(buf, s.workers as u64);
+            put_summary(buf, &s.total_latency);
+            put_summary(buf, &s.decode_latency);
+            put_u64(buf, s.histogram.count());
+            put_u64(buf, s.histogram.sum_micros());
+            put_u64(buf, s.histogram.max_micros());
+            for &b in s.histogram.bucket_counts() {
+                put_u64(buf, b);
+            }
+        }
+        Frame::StatsRequest(token) => put_u64(buf, *token),
     }
     debug_assert_eq!(buf.len(), HEADER_LEN + payload_len);
     let ck = checksum(buf);
@@ -362,6 +463,35 @@ pub fn decode_frame(bytes: &[u8]) -> Result<(Frame, usize), FrameError> {
             c_milli: get_u32(p, 24),
             seed: get_u64(p, 16),
         }),
+        TYPE_STATS => {
+            let mut buckets = [0u64; LATENCY_BUCKETS];
+            for (i, b) in buckets.iter_mut().enumerate() {
+                *b = get_u64(p, 184 + i * 8);
+            }
+            Frame::Stats(StatsReply {
+                token: get_u64(p, 0),
+                stats: EngineStats {
+                    jobs_completed: get_u64(p, 8),
+                    jobs_poisoned: get_u64(p, 16),
+                    exact_recoveries: get_u64(p, 24),
+                    cache_hits: get_u64(p, 32),
+                    cache_misses: get_u64(p, 40),
+                    cache_len: get_usize(p, 48, "cache_len")?,
+                    queued_jobs: get_usize(p, 56, "queued_jobs")?,
+                    pending_results: get_usize(p, 64, "pending_results")?,
+                    workers: get_usize(p, 72, "workers")?,
+                    total_latency: get_summary(p, 80),
+                    decode_latency: get_summary(p, 120),
+                    histogram: LatencyHistogram::from_raw_parts(
+                        buckets,
+                        get_u64(p, 160),
+                        get_u64(p, 168),
+                        get_u64(p, 176),
+                    ),
+                },
+            })
+        }
+        TYPE_STATS_REQUEST => Frame::StatsRequest(get_u64(p, 0)),
         _ => unreachable!("payload_len_of admitted the type"),
     };
     Ok((frame, total))
@@ -385,18 +515,31 @@ pub fn write_frame<W: std::io::Write>(
 pub struct FrameWriter<W: std::io::Write> {
     w: W,
     scratch: Vec<u8>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<W: std::io::Write> FrameWriter<W> {
     /// Wrap a sink (callers hand in a `BufWriter` when batching).
     pub fn new(w: W) -> Self {
-        Self { w, scratch: Vec::new() }
+        Self { w, scratch: Vec::new(), metrics: None }
+    }
+
+    /// [`Self::new`] with wire accounting: every frame that reaches the
+    /// sink adds its encoded byte count to [`Metric::WireBytesTx`] and
+    /// bumps [`Metric::WireFramesTx`].
+    pub fn with_metrics(w: W, metrics: Arc<MetricsRegistry>) -> Self {
+        Self { w, scratch: Vec::new(), metrics: Some(metrics) }
     }
 
     /// Encode and write one frame (buffered until [`Self::flush`] when
     /// the sink buffers).
     pub fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
-        write_frame(&mut self.w, frame, &mut self.scratch)
+        write_frame(&mut self.w, frame, &mut self.scratch)?;
+        if let Some(metrics) = &self.metrics {
+            metrics.add(Metric::WireBytesTx, self.scratch.len() as u64);
+            metrics.inc(Metric::WireFramesTx);
+        }
+        Ok(())
     }
 
     /// Flush the sink.
@@ -447,6 +590,33 @@ pub fn read_frame<R: std::io::Read>(
     }
 }
 
+/// [`read_frame`] with wire accounting: a decoded frame adds its whole
+/// byte count (header ‖ payload ‖ checksum) to [`Metric::WireBytesRx`]
+/// and bumps [`Metric::WireFramesRx`]; a checksum mismatch bumps
+/// [`Metric::WireChecksumRejects`] before the error surfaces.
+pub fn read_frame_metered<R: std::io::Read>(
+    r: &mut R,
+    scratch: &mut Vec<u8>,
+    metrics: &MetricsRegistry,
+) -> std::io::Result<Option<Frame>> {
+    let out = read_frame(r, scratch);
+    match &out {
+        Ok(Some(_)) => {
+            metrics.add(Metric::WireBytesRx, scratch.len() as u64);
+            metrics.inc(Metric::WireFramesRx);
+        }
+        Err(e) if is_checksum_reject(e) => metrics.inc(Metric::WireChecksumRejects),
+        _ => {}
+    }
+    out
+}
+
+fn is_checksum_reject(e: &std::io::Error) -> bool {
+    e.get_ref()
+        .and_then(|inner| inner.downcast_ref::<FrameError>())
+        .is_some_and(|fe| *fe == FrameError::BadChecksum)
+}
+
 fn invalid(e: FrameError) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, e)
 }
@@ -488,6 +658,25 @@ mod tests {
         DesignKey { n: 1000, m: 420, kind: DesignKind::NoReplace, c_milli: 350, seed: 0xDEAD_BEEF }
     }
 
+    fn stats_reply() -> StatsReply {
+        let mut stats = EngineStats::zero();
+        stats.jobs_completed = 1234;
+        stats.jobs_poisoned = 3;
+        stats.exact_recoveries = 1200;
+        stats.cache_hits = 999;
+        stats.cache_misses = 17;
+        stats.cache_len = 16;
+        stats.queued_jobs = 5;
+        stats.pending_results = 2;
+        stats.workers = 8;
+        for i in 0..100u64 {
+            stats.total_latency.push(4_000.0 + i as f64 * 13.5);
+            stats.decode_latency.push(250.0 + i as f64);
+            stats.histogram.record_micros(4_000 + i * 13);
+        }
+        StatsReply { token: 0xFEED_F00D_CAFE_0001, stats }
+    }
+
     #[test]
     fn frames_round_trip() {
         let mut buf = Vec::new();
@@ -497,11 +686,80 @@ mod tests {
             Frame::Busy(9),
             Frame::Reject(11),
             Frame::Prewarm(design_key()),
+            Frame::Stats(stats_reply()),
+            Frame::StatsRequest(0xA5A5),
         ] {
             encode_frame(&frame, &mut buf);
             let (decoded, consumed) = decode_frame(&buf).expect("round trip");
             assert_eq!(decoded, frame);
             assert_eq!(consumed, buf.len());
+            assert!(buf.len() <= MAX_FRAME_LEN);
+        }
+    }
+
+    #[test]
+    fn stats_layout_is_stable_little_endian() {
+        let reply = stats_reply();
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Stats(reply), &mut buf);
+        assert_eq!(buf.len(), HEADER_LEN + STATS_PAYLOAD_LEN + CHECKSUM_LEN);
+        assert_eq!(buf.len(), MAX_FRAME_LEN);
+        let len = STATS_PAYLOAD_LEN as u32;
+        assert_eq!(&buf[..4], &[MAGIC, VERSION, 6, 0]);
+        assert_eq!(&buf[4..8], &len.to_le_bytes());
+        assert_eq!(&buf[8..16], &0xFEED_F00D_CAFE_0001u64.to_le_bytes(), "token");
+        assert_eq!(&buf[16..24], &1234u64.to_le_bytes(), "jobs_completed");
+        assert_eq!(&buf[24..32], &3u64.to_le_bytes(), "jobs_poisoned");
+        assert_eq!(&buf[80..88], &8u64.to_le_bytes(), "workers");
+        assert_eq!(&buf[88..96], &100u64.to_le_bytes(), "total_latency count");
+        // The summary's mean travels as raw f64 bits — lossless.
+        let mean = f64::from_le_bytes(buf[96..104].try_into().unwrap());
+        assert_eq!(mean.to_bits(), reply.stats.total_latency.mean().to_bits());
+
+        let mut buf = Vec::new();
+        encode_frame(&Frame::StatsRequest(7), &mut buf);
+        assert_eq!(&buf[..8], &[MAGIC, VERSION, 7, 0, 8, 0, 0, 0]);
+        assert_eq!(&buf[8..16], &7u64.to_le_bytes(), "token");
+    }
+
+    #[test]
+    fn stats_round_trip_preserves_moments_and_quantiles_bit_exactly() {
+        // The far side must be able to merge a scraped snapshot into its
+        // cluster view exactly as if the histogram had been recorded
+        // locally — that's what makes remote ClusterStats sums complete.
+        let reply = stats_reply();
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Stats(reply), &mut buf);
+        let (decoded, _) = decode_frame(&buf).expect("round trip");
+        let Frame::Stats(back) = decoded else { panic!("wrong frame type") };
+        assert_eq!(back.token, reply.token);
+        let (a, b) = (&back.stats, &reply.stats);
+        assert_eq!(a.total_latency.mean().to_bits(), b.total_latency.mean().to_bits());
+        assert_eq!(a.total_latency.variance().to_bits(), b.total_latency.variance().to_bits());
+        assert_eq!(a.decode_latency.min().to_bits(), b.decode_latency.min().to_bits());
+        assert_eq!(a.histogram.quantile_micros(0.99), b.histogram.quantile_micros(0.99));
+        assert_eq!(a.histogram.sum_micros(), b.histogram.sum_micros());
+        // An empty snapshot round-trips too (±∞ summary sentinels).
+        let empty = StatsReply { token: 0, stats: EngineStats::zero() };
+        encode_frame(&Frame::Stats(empty), &mut buf);
+        let (decoded, _) = decode_frame(&buf).expect("empty round trip");
+        assert_eq!(decoded, Frame::Stats(empty));
+    }
+
+    #[test]
+    fn every_stats_truncation_and_corruption_is_rejected() {
+        let mut buf = Vec::new();
+        encode_frame(&Frame::Stats(stats_reply()), &mut buf);
+        for cut in [0, 1, 7, 8, 100, HEADER_LEN + STATS_PAYLOAD_LEN, buf.len() - 1] {
+            let err = decode_frame(&buf[..cut]).expect_err("truncation must fail");
+            assert!(matches!(err, FrameError::Truncated { .. }), "cut {cut}: {err:?}");
+        }
+        // Checksum coverage: flip a byte in the header, the scalar block,
+        // the bucket array, and the checksum itself.
+        for i in [2usize, 20, 500, 5_000, buf.len() - 3] {
+            let mut corrupt = buf.clone();
+            corrupt[i] ^= 0x40;
+            assert!(decode_frame(&corrupt).is_err(), "flip at byte {i} went undetected");
         }
     }
 
@@ -609,6 +867,38 @@ mod tests {
         assert_eq!(read_frame(&mut cursor, &mut rbuf).unwrap(), Some(Frame::Busy(3)));
         assert_eq!(read_frame(&mut cursor, &mut rbuf).unwrap(), Some(Frame::Result(result())));
         assert_eq!(read_frame(&mut cursor, &mut rbuf).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn metered_io_counts_bytes_frames_and_checksum_rejects() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        write_frame(&mut wire, &Frame::Busy(1), &mut scratch).unwrap();
+        let frame_len = wire.len() as u64;
+
+        let metrics = MetricsRegistry::new();
+        let mut cursor = std::io::Cursor::new(wire.clone());
+        let mut rbuf = Vec::new();
+        assert_eq!(
+            read_frame_metered(&mut cursor, &mut rbuf, &metrics).unwrap(),
+            Some(Frame::Busy(1))
+        );
+        assert_eq!(metrics.get(Metric::WireBytesRx), frame_len);
+        assert_eq!(metrics.get(Metric::WireFramesRx), 1);
+
+        let mut corrupt = wire;
+        corrupt[HEADER_LEN + 2] ^= 0x40;
+        let mut cursor = std::io::Cursor::new(corrupt);
+        let err = read_frame_metered(&mut cursor, &mut rbuf, &metrics).expect_err("corrupt");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert_eq!(metrics.get(Metric::WireChecksumRejects), 1);
+        assert_eq!(metrics.get(Metric::WireFramesRx), 1, "rejected frames are not counted rx");
+
+        let tx = Arc::new(MetricsRegistry::new());
+        let mut w = FrameWriter::with_metrics(Vec::new(), Arc::clone(&tx));
+        w.send(&Frame::Busy(1)).unwrap();
+        assert_eq!(tx.get(Metric::WireBytesTx), frame_len);
+        assert_eq!(tx.get(Metric::WireFramesTx), 1);
     }
 
     #[test]

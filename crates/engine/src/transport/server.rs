@@ -46,7 +46,8 @@ use std::thread::JoinHandle;
 use crate::cluster::node::{NodeError, NodeEvent, NodeFactory, NodeHandle, SubmitOutcome};
 use crate::engine::Engine;
 use crate::queue::TryPop;
-use crate::transport::frame::{read_frame, Frame, FrameWriter};
+use crate::telemetry::{Metric, MetricsRegistry};
+use crate::transport::frame::{read_frame_metered, Frame, FrameWriter, StatsReply};
 
 /// Transport sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -84,6 +85,10 @@ struct ServerShared {
     /// connected.
     conns: Mutex<Vec<(u64, TcpStream)>>,
     next_conn: AtomicU64,
+    /// Server-wide wire accounting (all connections share one registry:
+    /// frames/bytes both ways, checksum rejects, rejected jobs,
+    /// answered scrapes).
+    metrics: Arc<MetricsRegistry>,
 }
 
 /// A listening TCP front. Dropping without [`TransportServer::stop`]
@@ -125,6 +130,7 @@ impl TransportServer {
             stopping: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
+            metrics: Arc::new(MetricsRegistry::new()),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
@@ -137,6 +143,11 @@ impl TransportServer {
     /// The bound address (resolves the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// This server's wire accounting, summed over all connections.
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics)
     }
 
     /// Connections currently being served (observability; also pins the
@@ -213,7 +224,10 @@ fn serve_connection(conn_id: u64, stream: TcpStream, shared: &ServerShared) {
     // factory, a LocalNode over a fresh ResultRoute.
     let session: Arc<dyn NodeHandle> =
         Arc::from(shared.factory.open_session(shared.config.route_capacity));
-    let wire = Arc::new(Mutex::new(WireWriter::new(BufWriter::new(write_stream))));
+    let wire = Arc::new(Mutex::new(WireWriter::with_metrics(
+        BufWriter::new(write_stream),
+        Arc::clone(&shared.metrics),
+    )));
     // Jobs accepted but not yet answered on the wire. Bounding this at
     // `route_capacity` (reader refuses with BUSY at the cap) is what
     // keeps workers from ever blocking on this tenant's event queue: at
@@ -269,7 +283,12 @@ fn event_frame(event: NodeEvent) -> Option<Frame> {
 
 /// Relay one session event onto the wire. `false` means the connection
 /// should end (peer gone, or the event was terminal).
-fn relay_event(event: NodeEvent, wire: &Mutex<WireWriter>, pending: &AtomicUsize) -> bool {
+fn relay_event(
+    event: NodeEvent,
+    session: &dyn NodeHandle,
+    wire: &Mutex<WireWriter>,
+    pending: &AtomicUsize,
+) -> bool {
     let Some(frame) = event_frame(event) else {
         return false;
     };
@@ -277,6 +296,13 @@ fn relay_event(event: NodeEvent, wire: &Mutex<WireWriter>, pending: &AtomicUsize
     let sent = w.send(&frame);
     drop(w);
     pending.fetch_sub(1, Ordering::AcqRel);
+    if sent.is_ok() {
+        if let NodeEvent::Result(r) = event {
+            // The trace itself drained at delivery; this is its wire-tx
+            // causal counterpart in the flight recorder.
+            session.note_wire_tx(r.id);
+        }
+    }
     sent.is_ok()
 }
 
@@ -284,7 +310,7 @@ fn writer_loop(session: &dyn NodeHandle, wire: &Mutex<WireWriter>, pending: &Ato
     loop {
         match session.try_recv() {
             TryPop::Item(event) => {
-                if !relay_event(event, wire, pending) {
+                if !relay_event(event, session, wire, pending) {
                     return; // peer or upstream gone; reader closes the session
                 }
             }
@@ -296,7 +322,7 @@ fn writer_loop(session: &dyn NodeHandle, wire: &Mutex<WireWriter>, pending: &Ato
                 }
                 match session.recv() {
                     Some(event) => {
-                        if !relay_event(event, wire, pending) {
+                        if !relay_event(event, session, wire, pending) {
                             return;
                         }
                     }
@@ -319,11 +345,14 @@ fn reader_loop(
     let mut r = BufReader::new(stream);
     let mut scratch = Vec::new();
     loop {
-        let frame = match read_frame(&mut r, &mut scratch) {
+        let frame = match read_frame_metered(&mut r, &mut scratch, &shared.metrics) {
             Ok(Some(frame)) => frame,
             Ok(None) => return, // clean disconnect
             Err(_) => return,   // torn/corrupt stream: no resync possible
         };
+        // When this frame is a SUBMIT whose job gets sampled, this is
+        // the instant its trace's `wire_rx` span records.
+        let received = std::time::Instant::now();
         match frame {
             Frame::Submit(spec) => {
                 // Semantic validation without unwinding the thread: remote
@@ -334,6 +363,7 @@ fn reader_loop(
                     || spec.n > shared.config.max_dimension
                     || spec.m > shared.config.max_dimension
                 {
+                    shared.metrics.inc(Metric::JobsRejected);
                     if send_now(wire, &Frame::Reject(spec.id)).is_err() {
                         return;
                     }
@@ -349,7 +379,7 @@ fn reader_loop(
                     continue;
                 }
                 pending.fetch_add(1, Ordering::AcqRel);
-                match session.try_submit(spec) {
+                match session.try_submit_stamped(spec, Some(received)) {
                     Ok(SubmitOutcome::Accepted) => {}
                     Ok(SubmitOutcome::Busy) => {
                         pending.fetch_sub(1, Ordering::AcqRel);
@@ -378,9 +408,23 @@ fn reader_loop(
                 }
                 let _ = session.prewarm(std::slice::from_ref(&key));
             }
-            // RESULT/BUSY/REJECT flow server→client only; receiving one
-            // here is a protocol violation — drop the connection.
-            Frame::Result(_) | Frame::Busy(_) | Frame::Reject(_) => return,
+            Frame::StatsRequest(token) => {
+                // Scrape: answer with this session's observable stats,
+                // echoing the token. A session with nothing to observe
+                // stays silent — the scraper's deadline turns that into
+                // a stats-unavailable marker, which is honest, whereas
+                // an all-zeros reply would silently dilute merges.
+                if let Some(stats) = session.stats() {
+                    shared.metrics.inc(Metric::StatsScrapes);
+                    if send_now(wire, &Frame::Stats(StatsReply { token, stats })).is_err() {
+                        return;
+                    }
+                }
+            }
+            // RESULT/BUSY/REJECT/STATS flow server→client only;
+            // receiving one here is a protocol violation — drop the
+            // connection.
+            Frame::Result(_) | Frame::Busy(_) | Frame::Reject(_) | Frame::Stats(_) => return,
         }
     }
 }

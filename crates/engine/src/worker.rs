@@ -28,6 +28,7 @@ use pooled_rng::SeedSequence;
 
 use crate::job::{DecoderKind, Digest, JobResult, JobSpec};
 use crate::registry::{decoder, DecodeScratch};
+use crate::telemetry::{FlightRecorder, JobTrace, Span};
 
 /// All buffers a worker reuses across jobs.
 pub struct WorkerScratch {
@@ -104,6 +105,21 @@ pub fn batch_compatible(first: &JobSpec, candidate: &JobSpec) -> bool {
 /// draw derives from `spec.seed` / `spec.design.seed`, so the result
 /// fingerprint is independent of worker placement and timing.
 pub fn process_job(spec: &JobSpec, design: &AnyDesign, scratch: &mut WorkerScratch) -> JobResult {
+    process_job_traced(spec, design, scratch, None)
+}
+
+/// [`process_job`] with span tracing: when `tracing` carries a flight
+/// recorder and a live trace, the decode stage's entry and exit are
+/// stamped on the recorder's clock (`decode_start` / `decode_end`).
+/// Timestamps never feed a seed or a kernel input, so the result is
+/// bit-identical to the untraced call — tracing is fingerprint-invisible
+/// by construction.
+pub fn process_job_traced(
+    spec: &JobSpec,
+    design: &AnyDesign,
+    scratch: &mut WorkerScratch,
+    mut tracing: Option<(&FlightRecorder, &mut JobTrace)>,
+) -> JobResult {
     let started = Instant::now();
     let seeds = SeedSequence::new(spec.seed);
 
@@ -127,6 +143,9 @@ pub fn process_job(spec: &JobSpec, design: &AnyDesign, scratch: &mut WorkerScrat
     execute_queries_dense_into(design, &scratch.truth, &mut scratch.y);
 
     // 4. Decode through the registry.
+    if let Some((recorder, trace)) = tracing.as_mut() {
+        trace.stamp(Span::DecodeStart, recorder.now_micros());
+    }
     let decode_started = Instant::now();
     let out = decoder(spec.decoder).decode(
         design,
@@ -137,6 +156,9 @@ pub fn process_job(spec: &JobSpec, design: &AnyDesign, scratch: &mut WorkerScrat
         &mut scratch.decode,
     );
     let decode_micros = decode_started.elapsed().as_micros() as u64;
+    if let Some((recorder, trace)) = tracing.as_mut() {
+        trace.stamp(Span::DecodeEnd, recorder.now_micros());
+    }
 
     JobResult {
         id: spec.id,

@@ -58,6 +58,7 @@ use std::time::{Duration, Instant};
 use pooled_engine::cluster::{chaos, ChaosConfig, LocalNode, NodeHandle, RemoteNode, Router};
 use pooled_engine::engine::{Engine, EngineConfig, EngineStats};
 use pooled_engine::job::{DecoderKind, JobResult};
+use pooled_engine::telemetry::{render_prometheus, TelemetryConfig};
 use pooled_engine::traffic::{poisson_arrivals, LoadProfile};
 use pooled_engine::transport::{TransportClient, TransportConfig, TransportServer};
 use pooled_engine::JobSpec;
@@ -103,6 +104,7 @@ fn main() {
     );
     let cluster = args.get_usize("cluster", 3);
     let kill_node = args.flag("kill-node");
+    let metrics_mode = args.flag("metrics");
     let out_path = args.get_str("out", "BENCH_ENGINE.json");
 
     let profile = LoadProfile {
@@ -337,6 +339,46 @@ fn main() {
         failover = Some(sweep);
     }
 
+    // --- 3e. Telemetry overhead (--metrics) --------------------------------
+    // The observability plane's price tag: the same warm batch at the top
+    // worker count with tracing off, then with every job traced at full
+    // sampling into the flight recorder. Tracing must stay under 5%
+    // throughput overhead and — the hard invariant — must not move a
+    // single result bit. Also emits the Prometheus exposition so CI can
+    // assert the scrape surface actually parses.
+    let mut telemetry_sweep: Option<TelemetrySweep> = None;
+    let mut telemetry_deterministic = true;
+    if metrics_mode {
+        let (off, full) = run_telemetry_sweep(max_workers, queue, cache, &specs);
+        telemetry_deterministic =
+            off.fingerprint == passes[0].fingerprint && full.fingerprint == passes[0].fingerprint;
+        let overhead_pct = 100.0 * (1.0 - full.warm_jobs_per_sec / off.warm_jobs_per_sec);
+        let within_5pct = overhead_pct <= 5.0;
+        println!(
+            "telemetry: off {:.1}/s  full-tracing {:.1}/s  overhead {:.2}%  within-5%: {}  \
+             bit-identical: {}",
+            off.warm_jobs_per_sec,
+            full.warm_jobs_per_sec,
+            overhead_pct,
+            if within_5pct { "yes" } else { "NO" },
+            if telemetry_deterministic { "yes" } else { "NO" },
+        );
+        if !telemetry_deterministic {
+            eprintln!("engine_load: DETERMINISM VIOLATION — tracing changed result fingerprints");
+        }
+        // The flight-recorder dump must be real JSON, not JSON-shaped.
+        serde_json::from_str(&full.recorder_json).expect("flight recorder dump must parse as JSON");
+        println!("--- prometheus exposition (full tracing) ---");
+        print!("{}", full.prometheus);
+        println!("--- end prometheus exposition ---");
+        telemetry_sweep = Some(TelemetrySweep {
+            warm_jobs_per_sec_off: off.warm_jobs_per_sec,
+            warm_jobs_per_sec_full_tracing: full.warm_jobs_per_sec,
+            overhead_pct,
+            within_5pct,
+        });
+    }
+
     // --- 4. Emit BENCH_ENGINE.json ---------------------------------------
     let sweep_rows: Vec<serde_json::Value> = passes
         .iter()
@@ -463,6 +505,23 @@ fn main() {
             ));
         }
     }
+    if let Some(sweep) = &telemetry_sweep {
+        if let serde_json::Value::Object(members) = &mut report {
+            members.push((
+                "telemetry_overhead".to_string(),
+                serde_json::json!({
+                    "warm_jobs_per_sec_off": sweep.warm_jobs_per_sec_off,
+                    "warm_jobs_per_sec_full_tracing": sweep.warm_jobs_per_sec_full_tracing,
+                    "overhead_pct": sweep.overhead_pct,
+                    "telemetry_overhead_within_5pct": sweep.within_5pct,
+                }),
+            ));
+            members.push((
+                "telemetry_fingerprints_match_untraced".to_string(),
+                serde_json::Value::Bool(telemetry_deterministic),
+            ));
+        }
+    }
     if let Some(sweep) = &failover {
         if let serde_json::Value::Object(members) = &mut report {
             members.push((
@@ -495,9 +554,87 @@ fn main() {
         || !tcp_deterministic
         || !cluster_deterministic
         || !failover_ok
+        || !telemetry_deterministic
     {
         std::process::exit(1);
     }
+}
+
+/// What the telemetry-overhead sweep measured.
+struct TelemetrySweep {
+    warm_jobs_per_sec_off: f64,
+    warm_jobs_per_sec_full_tracing: f64,
+    overhead_pct: f64,
+    within_5pct: bool,
+}
+
+/// One telemetry pass: cold warm-up, then a timed warm pass, under the
+/// given tracing config. Captures the Prometheus exposition and the
+/// flight-recorder JSON dump before shutdown.
+struct TelemetryPass {
+    warm_jobs_per_sec: f64,
+    fingerprint: u64,
+    prometheus: String,
+    recorder_json: String,
+}
+
+/// Measure the tracing overhead with interleaved best-of-5 trials: one
+/// engine with tracing off, one tracing every job, warm both, then
+/// alternate timed passes between them. Interleaving means machine-load
+/// drift hits both sides equally, and taking each side's fastest pass
+/// discards scheduler-jitter outliers — the jobs are sleep-dominated, so
+/// the true overhead is small and a single short pass is all noise.
+fn run_telemetry_sweep(
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    specs: &[JobSpec],
+) -> (TelemetryPass, TelemetryPass) {
+    let engine_off = Engine::start_with(node_config(workers, queue, cache), TelemetryConfig::off());
+    let engine_full =
+        Engine::start_with(node_config(workers, queue, cache), TelemetryConfig::full());
+    let mut results = Vec::with_capacity(specs.len());
+    engine_off.run_batch(specs, &mut results);
+    let fingerprint_off = batch_fingerprint(&results);
+    results.clear();
+    engine_full.run_batch(specs, &mut results);
+    let fingerprint_full = batch_fingerprint(&results);
+
+    let mut elapsed_off = f64::INFINITY;
+    let mut elapsed_full = f64::INFINITY;
+    for _ in 0..5 {
+        results.clear();
+        let started = Instant::now();
+        engine_off.run_batch(specs, &mut results);
+        elapsed_off = elapsed_off.min(started.elapsed().as_secs_f64());
+        assert_eq!(batch_fingerprint(&results), fingerprint_off, "untraced warm pass diverged");
+
+        results.clear();
+        let started = Instant::now();
+        engine_full.run_batch(specs, &mut results);
+        elapsed_full = elapsed_full.min(started.elapsed().as_secs_f64());
+        assert_eq!(batch_fingerprint(&results), fingerprint_full, "traced warm pass diverged");
+    }
+
+    let snapshot = engine_full.metrics().snapshot();
+    let prometheus = render_prometheus(&engine_full.stats(), Some(&snapshot));
+    let recorder_json = engine_full.flight_recorder().dump_json();
+    engine_off.shutdown();
+    engine_full.shutdown();
+    (
+        TelemetryPass {
+            warm_jobs_per_sec: specs.len() as f64 / elapsed_off,
+            fingerprint: fingerprint_off,
+            prometheus: String::new(),
+            recorder_json: String::new(),
+        },
+        TelemetryPass {
+            warm_jobs_per_sec: specs.len() as f64 / elapsed_full,
+            fingerprint: fingerprint_full,
+            prometheus,
+            recorder_json,
+        },
+    )
 }
 
 /// One TCP loopback pass.

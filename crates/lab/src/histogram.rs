@@ -30,7 +30,7 @@ pub const LATENCY_BUCKETS: usize = (64 - SUB_BITS as usize) * SUB_BUCKETS + SUB_
 
 /// An allocation-free log₂-octave × linear-sub-bucket histogram of
 /// microsecond latencies.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LatencyHistogram {
     buckets: [u64; LATENCY_BUCKETS],
     count: u64,
@@ -113,6 +113,42 @@ impl LatencyHistogram {
             }
         }
         self.max_micros
+    }
+
+    /// Sum of all recorded observations in microseconds (saturating).
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros
+    }
+
+    /// The raw bucket counters, index-aligned with the fixed
+    /// log₂-octave × sub-bucket layout — for wire encodings and
+    /// Prometheus-style exposition that must transport the histogram
+    /// losslessly.
+    pub fn bucket_counts(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Inclusive upper edge in microseconds of bucket `i` (saturating at
+    /// `u64::MAX`) — pairs with [`Self::bucket_counts`] so an exporter
+    /// can render cumulative `le` buckets without knowing the layout.
+    ///
+    /// # Panics
+    /// Panics if `i >= LATENCY_BUCKETS`.
+    pub fn bucket_upper_micros(i: usize) -> u64 {
+        assert!(i < LATENCY_BUCKETS, "bucket index {i} out of range");
+        bucket_upper(i)
+    }
+
+    /// Rebuild a histogram from raw parts (wire decode); the exact
+    /// inverse of reading [`Self::bucket_counts`], [`Self::count`],
+    /// [`Self::sum_micros`] and [`Self::max_micros`].
+    pub fn from_raw_parts(
+        buckets: [u64; LATENCY_BUCKETS],
+        count: u64,
+        sum_micros: u64,
+        max_micros: u64,
+    ) -> Self {
+        Self { buckets, count, sum_micros, max_micros }
     }
 
     /// Fold another histogram into this one (parallel-reduction support:
@@ -337,5 +373,30 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_of_empty_panics() {
         let _ = LatencyHistogram::new().quantile_micros(0.5);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_preserves_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for v in [3u64, 700, 52_956, 1_000_000, u64::MAX] {
+            h.record_micros(v);
+        }
+        let back = LatencyHistogram::from_raw_parts(
+            *h.bucket_counts(),
+            h.count(),
+            h.sum_micros(),
+            h.max_micros(),
+        );
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.sum_micros(), h.sum_micros());
+        assert_eq!(back.max_micros(), h.max_micros());
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(back.quantile_micros(q), h.quantile_micros(q));
+        }
+        // The exposed bucket edges agree with the internal layout, so an
+        // exporter can label cumulative buckets without re-deriving it.
+        for i in [0usize, SUB_BUCKETS, 200, LATENCY_BUCKETS - 1] {
+            assert_eq!(LatencyHistogram::bucket_upper_micros(i), bucket_upper(i));
+        }
     }
 }

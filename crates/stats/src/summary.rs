@@ -2,7 +2,7 @@
 
 /// Single-pass mean/variance/min/max accumulator (Welford's algorithm —
 /// numerically stable for long streams).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -81,6 +81,21 @@ impl Summary {
     /// Largest observation (`−∞` when empty).
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// Raw accumulator state `(count, mean, m2, min, max)`, for wire
+    /// encodings that must transport the accumulator losslessly (the
+    /// `m2` term cannot be recovered from the public `variance()` view
+    /// without rounding).
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuild an accumulator from [`Self::raw_parts`] output (wire
+    /// decode). Round-trips bit-exactly, including the empty state's
+    /// `±∞` sentinels.
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self { count, mean, m2, min, max }
     }
 }
 
@@ -176,5 +191,28 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn quantile_rejects_empty() {
         let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn raw_parts_round_trip_is_bit_exact() {
+        let mut s = Summary::new();
+        for x in [3.25, -1.5, 0.125, 9.75, 2.0] {
+            s.push(x);
+        }
+        let (count, mean, m2, min, max) = s.raw_parts();
+        let back = Summary::from_raw_parts(count, mean, m2, min, max);
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), s.variance().to_bits());
+        assert_eq!(back.min().to_bits(), s.min().to_bits());
+        assert_eq!(back.max().to_bits(), s.max().to_bits());
+
+        // The empty state's ±∞ sentinels survive too, so a merge into
+        // the rebuilt accumulator behaves exactly like a fresh one.
+        let (count, mean, m2, min, max) = Summary::new().raw_parts();
+        let empty = Summary::from_raw_parts(count, mean, m2, min, max);
+        let mut merged = empty;
+        merged.merge(&s);
+        assert_eq!(merged.mean().to_bits(), s.mean().to_bits());
     }
 }

@@ -221,6 +221,72 @@ fn batched_engine_serving_is_allocation_free_after_warmup() {
 }
 
 #[test]
+fn full_tracing_engine_serving_is_allocation_free_after_warmup() {
+    // The telemetry plane's zero-allocation contract: with every job
+    // traced (sampling 1-in-1) and every span landing in the flight
+    // recorder's ring, steady-state serving still performs zero heap
+    // allocations per job. The ring overwrites its oldest slot instead
+    // of growing, metric counters are fixed atomics, and JobTrace rides
+    // the queue by value — so tracing at full rate must be invisible to
+    // the allocator once workers are warm.
+    use pooled_data::engine::telemetry::{Metric, TelemetryConfig};
+
+    let profile = LoadProfile {
+        distinct_designs: 1,
+        decoders: vec![DecoderKind::Mn, DecoderKind::GeneralMn],
+        query_cost: None,
+        ..LoadProfile::default_mix(2000, 9, 300, 79)
+    };
+    let engine = Engine::start_with(
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 32,
+            results_capacity: 32,
+            design_cache_capacity: 4,
+            batch_window: 1,
+        },
+        TelemetryConfig::full(),
+    );
+    let specs = profile.specs(24);
+    let mut results = Vec::with_capacity(256);
+
+    // Warm-up: same regime as the untraced test — both workers, both
+    // decoder kinds, every ring and scratch buffer at final shape.
+    for _ in 0..6 {
+        results.clear();
+        engine.run_batch(&specs, &mut results);
+    }
+    let reference: Vec<(u64, u64)> = results.iter().map(|r| (r.id, r.fingerprint())).collect();
+
+    results.clear();
+    let before = allocation_count();
+    for _ in 0..4 {
+        engine.run_batch(&specs, &mut results);
+    }
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "full-tracing steady-state serving allocated {} times across {} jobs",
+        after - before,
+        4 * specs.len()
+    );
+
+    // Tracing actually happened (this wasn't a vacuous pass)...
+    let metrics = engine.metrics();
+    assert!(
+        metrics.get(Metric::TracesRecorded) >= (10 * specs.len()) as u64,
+        "full sampling must trace every job"
+    );
+    // ...and did not move a single result bit.
+    for pass in results.chunks(specs.len()) {
+        let got: Vec<(u64, u64)> = pass.iter().map(|r| (r.id, r.fingerprint())).collect();
+        assert_eq!(got, reference);
+    }
+    engine.shutdown();
+}
+
+#[test]
 fn allocating_api_allocates_per_decode() {
     // Sanity check on the counter itself: the one-shot API must allocate.
     let (n, m, k) = (2_000usize, 100usize, 6usize);
