@@ -46,6 +46,18 @@ impl BernoulliDesign {
         Self { csr: CsrDesign::from_pools(n, &pools), p }
     }
 
+    /// Wrap already-materialized CSR storage with its membership
+    /// probability (the durable tier's snapshot-reload path). `p` is the
+    /// only state beyond the CSR; reload recovers it from the design
+    /// key's density, which is exactly what sampling was given.
+    ///
+    /// # Panics
+    /// Panics if `p ∉ [0, 1]`.
+    pub fn from_csr(csr: CsrDesign, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "membership probability p={p} outside [0,1]");
+        Self { csr, p }
+    }
+
     /// Membership probability `p`.
     pub fn p(&self) -> f64 {
         self.p

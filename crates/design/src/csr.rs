@@ -78,6 +78,34 @@ impl CsrDesign {
         Self::from_rle_pools(n, gamma, rle)
     }
 
+    /// Rebuild a design from its serialized forward rows: per query the
+    /// sorted `(entry, multiplicity)` run-length pairs, exactly what
+    /// [`Self::query_row`] exposes. The transpose is *not* an input — it
+    /// is reassembled by the same deterministic count → scan → scatter
+    /// pass construction uses, so a design round-tripped through its
+    /// forward rows is bit-identical to the original (the durable tier's
+    /// snapshot-reload path relies on this).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, a row is not strictly ascending, an entry is
+    /// out of range, or a multiplicity is zero. Callers deserializing
+    /// untrusted bytes must validate first (the engine's snapshot loader
+    /// does) — this constructor pins structural invariants, it does not
+    /// report decode errors.
+    pub fn from_sorted_rle_rows(n: usize, gamma: usize, rows: Vec<Vec<(u32, u32)>>) -> Self {
+        assert!(n > 0, "design needs at least one entry");
+        for (q, row) in rows.iter().enumerate() {
+            for w in row.windows(2) {
+                assert!(w[0].0 < w[1].0, "row {q} not strictly ascending");
+            }
+            for &(e, c) in row {
+                assert!((e as usize) < n, "row {q}: entry {e} out of range for n={n}");
+                assert!(c >= 1, "row {q}: zero multiplicity at entry {e}");
+            }
+        }
+        Self::from_rle_pools(n, gamma, rows)
+    }
+
     fn from_rle_pools(n: usize, gamma: usize, pools: Vec<Vec<(u32, u32)>>) -> Self {
         let m = pools.len();
         // Assemble forward CSR.
@@ -332,6 +360,36 @@ mod tests {
             assert_eq!(psi[i], want, "entry {i}");
             assert_eq!(dstar[i], qs.len() as u64);
         }
+    }
+
+    #[test]
+    fn forward_rows_round_trip_rebuilds_identical_transpose() {
+        // The snapshot-reload contract: a design rebuilt from its forward
+        // rows matches the original in both orientations, bit for bit.
+        let d = small_design();
+        let rows: Vec<Vec<(u32, u32)>> = (0..d.m())
+            .map(|q| {
+                let (es, cs) = d.query_row(q);
+                es.iter().copied().zip(cs.iter().copied()).collect()
+            })
+            .collect();
+        let rebuilt = CsrDesign::from_sorted_rle_rows(d.n(), d.gamma(), rows);
+        assert_eq!(rebuilt.n(), d.n());
+        assert_eq!(rebuilt.m(), d.m());
+        assert_eq!(rebuilt.gamma(), d.gamma());
+        assert_eq!(rebuilt.nnz(), d.nnz());
+        for q in 0..d.m() {
+            assert_eq!(rebuilt.query_row(q), d.query_row(q), "query {q}");
+        }
+        for i in 0..d.n() {
+            assert_eq!(rebuilt.entry_row(i), d.entry_row(i), "entry {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly ascending")]
+    fn from_sorted_rle_rows_rejects_unsorted_rows() {
+        let _ = CsrDesign::from_sorted_rle_rows(5, 2, vec![vec![(3, 1), (1, 1)]]);
     }
 
     #[test]

@@ -63,6 +63,21 @@ impl EntryRegularDesign {
         Self { csr: CsrDesign::from_pools(n, &pools), delta, pool_lens }
     }
 
+    /// Wrap already-materialized CSR storage with its per-entry degree
+    /// (the durable tier's snapshot-reload path). The per-query pool
+    /// lengths are recomputed from the rows — a pool's length is the sum
+    /// of its draw multiplicities — so the reloaded design answers
+    /// [`PoolingDesign::pool_len`] identically to the sampled original.
+    pub fn from_csr(csr: CsrDesign, delta: usize) -> Self {
+        let pool_lens = (0..csr.m())
+            .map(|q| {
+                let (_, mults) = csr.query_row(q);
+                mults.iter().sum::<u32>()
+            })
+            .collect();
+        Self { csr, delta, pool_lens }
+    }
+
     /// The exact per-entry degree `Δ`.
     pub fn delta(&self) -> usize {
         self.delta

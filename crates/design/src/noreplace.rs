@@ -43,6 +43,17 @@ impl NoReplaceDesign {
         Self { csr: CsrDesign::from_pools(n, &pools) }
     }
 
+    /// Wrap already-materialized CSR storage (the durable tier's
+    /// snapshot-reload path: the CSR was serialized from a sampled
+    /// design, so re-wrapping it reproduces that design bit-identically
+    /// without resampling). The caller guarantees the rows actually came
+    /// from a without-replacement sample; this type adds no state beyond
+    /// the CSR, so no invariant can be broken here that
+    /// [`CsrDesign::from_sorted_rle_rows`] did not already check.
+    pub fn from_csr(csr: CsrDesign) -> Self {
+        Self { csr }
+    }
+
     /// Borrow the underlying CSR storage (for the gather decode path).
     pub fn csr(&self) -> &CsrDesign {
         &self.csr

@@ -29,6 +29,7 @@ use pooled_design::factory::{AnyDesign, DesignKind};
 use pooled_par::lru::LruCache;
 use pooled_rng::SeedSequence;
 
+use crate::durability::DesignJournal;
 use crate::job::JobSpec;
 
 /// Full identity of a sampled design. Equal keys ⇒ bit-identical designs
@@ -115,6 +116,11 @@ pub struct DesignCache {
     /// exists exactly while one sampler works; racing misses on the same
     /// key wait on it instead of sampling again.
     sampling: Mutex<HashMap<DesignKey, Arc<InFlight>>>,
+    /// The durable tier's observer, if this cache is journaled: every
+    /// admission and eviction is reported so a write-ahead log can
+    /// reconstruct the live set after a crash
+    /// ([`crate::durability::WalJournal`]).
+    journal: Mutex<Option<Arc<dyn DesignJournal>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -125,9 +131,53 @@ impl DesignCache {
         Self {
             inner: Mutex::new(LruCache::new(capacity)),
             sampling: Mutex::new(HashMap::new()),
+            journal: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Attach the durable tier's journal. From here on every admission
+    /// and eviction is reported to it. Designs already resident are
+    /// *not* retroactively reported — the caller checkpoints the live
+    /// set right after attaching ([`crate::engine::Engine`] does).
+    pub fn set_journal(&self, journal: Arc<dyn DesignJournal>) {
+        *self.journal.lock().expect("design journal poisoned") = Some(journal);
+    }
+
+    /// Recovery-time restore: place an already-built design directly
+    /// into the cache (skipping resident keys), with no telemetry and
+    /// no journal traffic — the design came *from* the journal.
+    pub(crate) fn install(&self, key: &DesignKey, design: Arc<AnyDesign>) {
+        let mut inner = self.inner.lock().expect("design cache poisoned");
+        if inner.get(key).is_none() {
+            inner.insert(*key, design);
+        }
+    }
+
+    /// The single admission point: report to the journal (write-ahead:
+    /// the record lands before the design serves), insert, and report
+    /// whatever the insertion evicted. Returns the resident design —
+    /// the existing one if another path admitted `key` first.
+    fn admit(&self, key: &DesignKey, design: Arc<AnyDesign>) -> Arc<AnyDesign> {
+        let journal = self.journal.lock().expect("design journal poisoned").clone();
+        if let Some(j) = &journal {
+            j.admitted(key, &design);
+        }
+        let (shared, evicted) = {
+            let mut inner = self.inner.lock().expect("design cache poisoned");
+            match inner.get(key) {
+                Some(d) => (Arc::clone(d), None),
+                None => {
+                    let evicted = inner.insert(*key, Arc::clone(&design));
+                    (design, evicted)
+                }
+            }
+        };
+        if let (Some(j), Some((evicted_key, _))) = (&journal, &evicted) {
+            j.evicted(evicted_key);
+        }
+        shared
     }
 
     /// The design for `key`: cached on a hit, sampled (outside the lock)
@@ -187,11 +237,7 @@ impl DesignCache {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let fresh = Arc::new(key.sample());
-        let shared = self
-            .inner
-            .lock()
-            .expect("design cache poisoned")
-            .get_or_insert_with(key, || Arc::clone(&fresh));
+        let shared = self.admit(key, fresh);
         guard.armed = false;
         self.publish(key, SampleState::Ready(Arc::clone(&shared)));
         shared
@@ -238,8 +284,11 @@ impl DesignCache {
                 continue;
             }
             // Sample outside the lock, exactly like a traffic miss.
+            // Admissions still flow through the journal (when one is
+            // attached): a standby prewarmed at runtime must be able to
+            // recover its warm set too.
             let fresh = Arc::new(key.sample());
-            self.inner.lock().expect("design cache poisoned").get_or_insert_with(key, || fresh);
+            let _ = self.admit(key, fresh);
         }
     }
 

@@ -190,6 +190,20 @@ impl LocalNode {
         Self { engine, route, owned: true }
     }
 
+    /// [`Self::start`] with crash recovery from a durability directory
+    /// and a live write-ahead log (see [`Engine::start_durable`]): the
+    /// node replays its WAL, reloads spilled designs, and reaches full
+    /// warmth before the route opens — a crashed cluster member rejoins
+    /// with the cache it died with.
+    pub fn start_durable(
+        config: EngineConfig,
+        durability: crate::durability::DurabilityConfig,
+    ) -> std::io::Result<Self> {
+        let engine = Arc::new(Engine::start_durable(config, durability)?);
+        let route = engine.open_route(config.results_capacity.max(1));
+        Ok(Self { engine, route, owned: true })
+    }
+
     /// Attach a session to a shared engine: a private completion stream
     /// holding up to `route_capacity` results. Shutting the session down
     /// closes only the route — the engine belongs to its owner. This is

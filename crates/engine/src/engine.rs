@@ -15,6 +15,7 @@
 //! on which shard ran it or how many shards exist.
 
 use std::collections::HashMap;
+use std::io;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -24,6 +25,7 @@ use pooled_stats::summary::Summary;
 use rayon::ThreadPoolBuilder;
 
 use crate::cache::{DesignCache, DesignKey};
+use crate::durability::{self, DesignJournal, DurabilityConfig, WalJournal};
 use crate::job::{JobResult, JobSpec};
 use crate::queue::{snapshot_lens, BoundedQueue, TryPushError};
 use crate::telemetry::{
@@ -237,6 +239,15 @@ struct Shared {
     routes: Mutex<HashMap<u32, Arc<BoundedQueue<JobResult>>>>,
     /// Next route id (route ids are never reused within an engine).
     next_route: AtomicU32,
+    /// Telemetry recovered from a previous incarnation's checkpoint
+    /// (zero for non-durable engines). [`Engine::stats`] merges it in,
+    /// so counters and latency histograms are cumulative across
+    /// restarts; point-in-time gauges in the baseline are pre-zeroed
+    /// ([`durability::Recovery::stats_baseline`]).
+    recovered: Mutex<EngineStats>,
+    /// The durable tier's journal when this engine was started with
+    /// [`Engine::start_durable`]; shutdown checkpoints through it.
+    journal: Mutex<Option<Arc<WalJournal>>>,
 }
 
 impl Shared {
@@ -371,6 +382,79 @@ impl Engine {
         prewarm: &[DesignKey],
         telemetry: TelemetryConfig,
     ) -> Self {
+        Self::start_full(config, telemetry, Arc::new(MetricsRegistry::new()), |shared| {
+            shared.cache.prewarm(prewarm)
+        })
+    }
+
+    /// [`Self::start`] with crash recovery and a live write-ahead log:
+    /// replay the WAL prefix in `durability.dir`, load spilled design
+    /// snapshots (resampling any key whose snapshot is missing or
+    /// rejected), restore the persisted stats/histogram checkpoint, and
+    /// only then spawn workers — a recovered node is at full warmth
+    /// *before* it accepts its first job. Once running, every cache
+    /// admission/eviction is journaled, so the next crash recovers this
+    /// incarnation's working set too.
+    ///
+    /// Errors are filesystem failures or a corrupt WAL segment before
+    /// the log's tail ([`durability::wal::WalError::CorruptSegment`],
+    /// surfaced as [`std::io::ErrorKind::InvalidData`]) — recovery
+    /// refuses to guess rather than serve from a wrong key set. A torn
+    /// *tail* is the expected crash shape and recovers the valid prefix.
+    ///
+    /// # Panics
+    /// Panics if `config.workers == 0` or a worker thread cannot spawn.
+    pub fn start_durable(config: EngineConfig, durability: DurabilityConfig) -> io::Result<Self> {
+        Self::start_durable_with(config, durability, TelemetryConfig::off())
+    }
+
+    /// [`Self::start_durable`] with explicit telemetry knobs (see
+    /// [`Self::start_with`]).
+    ///
+    /// # Panics
+    /// Panics if `config.workers == 0` or a worker thread cannot spawn.
+    pub fn start_durable_with(
+        config: EngineConfig,
+        durability: DurabilityConfig,
+        telemetry: TelemetryConfig,
+    ) -> io::Result<Self> {
+        let metrics = Arc::new(MetricsRegistry::new());
+        std::fs::create_dir_all(&durability.dir)?;
+        let recovery = durability::recover(&durability, &metrics).map_err(|e| match e {
+            durability::wal::WalError::Io(e) => e,
+            corrupt => io::Error::new(io::ErrorKind::InvalidData, corrupt.to_string()),
+        })?;
+        let journal = Arc::new(WalJournal::open(&durability, Arc::clone(&metrics))?);
+        let engine = Self::start_full(config, telemetry, metrics, |shared| {
+            // Loaded snapshots install directly (no resampling); every
+            // other recovered key resamples bit-identically from itself.
+            for (key, design) in &recovery.designs {
+                shared.cache.install(key, Arc::clone(design));
+            }
+            shared.cache.prewarm(&recovery.keys);
+            *shared.recovered.lock().expect("recovered stats poisoned") = recovery.stats_baseline();
+        });
+        // Checkpoint the recovered state (compacting the replayed log
+        // down to the live set), then attach the journal. No traffic
+        // can interleave here: the caller holds the only handle.
+        let baseline = *engine.shared.recovered.lock().expect("recovered stats poisoned");
+        journal.checkpoint(&engine.shared.cache.keys(), &baseline)?;
+        engine.shared.cache.set_journal(Arc::clone(&journal) as Arc<dyn DesignJournal>);
+        *engine.shared.journal.lock().expect("journal slot poisoned") = Some(journal);
+        Ok(engine)
+    }
+
+    /// The one true constructor: build the shared state, run `warm`
+    /// (cache prewarm or crash recovery) before any worker exists, then
+    /// spawn the shards. Every public `start_*` routes here, so the
+    /// "warm before traffic" guarantee is structural — there is no
+    /// ordering to get wrong at a call site.
+    fn start_full(
+        config: EngineConfig,
+        telemetry: TelemetryConfig,
+        metrics: Arc<MetricsRegistry>,
+        warm: impl FnOnce(&Shared),
+    ) -> Self {
         assert!(config.workers > 0, "engine needs at least one worker");
         let shared = Arc::new(Shared {
             jobs: BoundedQueue::new(config.queue_capacity),
@@ -379,7 +463,7 @@ impl Engine {
             worker_telemetry: (0..config.workers)
                 .map(|_| Mutex::new(WorkerTelemetry::new()))
                 .collect(),
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
             recorder: Arc::new(FlightRecorder::new(config.workers, telemetry.recorder_capacity)),
             tel: telemetry,
             active_workers: AtomicUsize::new(config.workers),
@@ -387,9 +471,11 @@ impl Engine {
             batch_lock: Mutex::new(()),
             routes: Mutex::new(HashMap::new()),
             next_route: AtomicU32::new(0),
+            recovered: Mutex::new(EngineStats::zero()),
+            journal: Mutex::new(None),
         });
         // Workers don't exist yet, so the warm-up can never race traffic.
-        shared.cache.prewarm(prewarm);
+        warm(&shared);
         let handles = (0..config.workers as u32)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
@@ -628,7 +714,7 @@ impl Engine {
         }
         let (queued_jobs, pending_results, cache_len) =
             snapshot_lens(&self.shared.jobs, &self.shared.results, || self.shared.cache.len());
-        EngineStats {
+        let mut stats = EngineStats {
             jobs_completed: self.shared.metrics.get(Metric::JobsCompleted),
             jobs_poisoned: self.shared.metrics.get(Metric::JobsPoisoned),
             exact_recoveries: self.shared.metrics.get(Metric::ExactRecoveries),
@@ -641,7 +727,13 @@ impl Engine {
             queued_jobs,
             pending_results,
             workers: self.handles.len(),
-        }
+        };
+        // Durable engines report cumulative-across-restarts telemetry:
+        // fold in the recovered checkpoint (gauges there are pre-zeroed,
+        // so the live gauge values above pass through unchanged).
+        let recovered = *self.shared.recovered.lock().expect("recovered stats poisoned");
+        stats.merge(&recovered);
+        stats
     }
 
     /// Graceful shutdown: stop accepting jobs, let the shards finish
@@ -669,6 +761,15 @@ impl Engine {
         self.shared.results.close();
         let mut stats = self.stats();
         stats.workers = workers;
+        // Clean shutdown checkpoints the durable tier: the log compacts
+        // to the final live set and the *cumulative* stats (baseline
+        // included), so the next incarnation's counters keep counting
+        // from here. An abrupt drop skips this — that's the crash path,
+        // and per-admission WAL records already cover the key set.
+        let journal = self.shared.journal.lock().expect("journal slot poisoned").clone();
+        if let Some(journal) = journal {
+            let _ = journal.checkpoint(&self.shared.cache.keys(), &stats);
+        }
         stats
     }
 

@@ -44,6 +44,15 @@
 //!   that re-routes a dead node's jobs to prewarmed survivors, and a
 //!   deterministic fault-injection wrapper ([`cluster::ChaosNode`])
 //!   for testing all of it.
+//! * [`durability`] — the durable tier: a checksummed write-ahead
+//!   design log with segment rotation and compaction, disk-spilled
+//!   design snapshots, crash recovery
+//!   ([`engine::Engine::start_durable`] replays the WAL prefix and
+//!   reaches full warmth *before* accepting traffic), persisted
+//!   engine stats/histograms, and deterministic storage-fault
+//!   injection ([`durability::fault::StorageFault`]) pinning the
+//!   invariant: a correct prefix of the log or a clean error — never
+//!   a wrong design.
 //!
 //! ```
 //! use pooled_engine::engine::{Engine, EngineConfig};
@@ -60,6 +69,7 @@
 
 pub mod cache;
 pub mod cluster;
+pub mod durability;
 pub mod engine;
 pub mod job;
 pub mod queue;
@@ -71,6 +81,7 @@ pub mod worker;
 
 pub use cache::{DesignCache, DesignKey};
 pub use cluster::{FailoverConfig, LocalNode, Membership, NodeHandle, RemoteNode, Router};
+pub use durability::{DesignJournal, DurabilityConfig, Recovery, WalJournal};
 pub use engine::{Engine, EngineConfig, EngineStats, ResultRoute};
 pub use job::{DecoderKind, DesignSpec, JobResult, JobSpec};
 pub use queue::BoundedQueue;

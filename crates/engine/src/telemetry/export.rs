@@ -223,12 +223,21 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.add(Metric::JobsCompleted, 10);
         reg.add(Metric::WireBytesTx, 880);
+        reg.add(Metric::WalAppends, 7);
+        reg.add(Metric::WalBytes, 336);
+        reg.add(Metric::RecoveryRecordsReplayed, 5);
         let snap = reg.snapshot();
         let text = render_prometheus(&stats(), Some(&snap));
         for needle in [
             "pooled_jobs_completed_total 10",
             "pooled_wire_bytes_tx_total 880",
             "pooled_jobs_failed_over_total 0",
+            "pooled_wal_appends_total 7",
+            "pooled_wal_bytes_total 336",
+            "pooled_wal_fsyncs_total 0",
+            "pooled_wal_segments_compacted_total 0",
+            "pooled_recovery_records_replayed_total 5",
+            "pooled_recovery_torn_tail_total 0",
             "pooled_cache_hits_total 8",
             "pooled_workers 4",
             "pooled_total_latency_micros{stat=\"mean\"}",
@@ -262,6 +271,18 @@ mod tests {
         assert!(text.contains("pooled_jobs_completed_total 10"));
         assert!(text.contains("pooled_exact_recoveries_total 9"));
         assert!(!text.contains("pooled_wire_bytes_tx_total"), "no registry, no wire counters");
+    }
+
+    #[test]
+    fn json_exposition_carries_the_wal_counters() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::WalAppends, 3);
+        reg.inc(Metric::RecoveryTornTail);
+        let snap = reg.snapshot();
+        let text = render_json(&stats(), Some(&snap));
+        assert!(text.contains("\"pooled_wal_appends_total\":3"), "{text}");
+        assert!(text.contains("\"pooled_recovery_torn_tail_total\":1"), "{text}");
+        assert!(text.contains("\"pooled_wal_fsyncs_total\":0"), "{text}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of registered metrics (the length of [`Metric::ALL`]).
-pub const METRIC_COUNT: usize = 15;
+pub const METRIC_COUNT: usize = 21;
 
 /// Every counter the serving stack exports, in exposition order.
 ///
@@ -60,6 +60,21 @@ pub enum Metric {
     StatsScrapes,
     /// STATS scrapes that timed out waiting for the far side.
     StatsScrapeTimeouts,
+    /// Records appended to the write-ahead design log.
+    WalAppends,
+    /// Bytes appended to the write-ahead design log (headers, payloads
+    /// and checksums included).
+    WalBytes,
+    /// `fsync` calls issued by the WAL writer.
+    WalFsyncs,
+    /// WAL compactions: a live-set-only segment written and every older
+    /// segment deleted.
+    WalSegmentsCompacted,
+    /// WAL records successfully replayed during crash recovery.
+    RecoveryRecordsReplayed,
+    /// Recoveries that stopped at a torn or corrupt tail record (the
+    /// valid prefix was kept; the tail was discarded).
+    RecoveryTornTail,
 }
 
 impl Metric {
@@ -80,6 +95,12 @@ impl Metric {
         Metric::WireChecksumRejects,
         Metric::StatsScrapes,
         Metric::StatsScrapeTimeouts,
+        Metric::WalAppends,
+        Metric::WalBytes,
+        Metric::WalFsyncs,
+        Metric::WalSegmentsCompacted,
+        Metric::RecoveryRecordsReplayed,
+        Metric::RecoveryTornTail,
     ];
 
     /// The metric's exposition name (Prometheus conventions: `_total`
@@ -101,6 +122,12 @@ impl Metric {
             Metric::WireChecksumRejects => "pooled_wire_checksum_rejects_total",
             Metric::StatsScrapes => "pooled_stats_scrapes_total",
             Metric::StatsScrapeTimeouts => "pooled_stats_scrape_timeouts_total",
+            Metric::WalAppends => "pooled_wal_appends_total",
+            Metric::WalBytes => "pooled_wal_bytes_total",
+            Metric::WalFsyncs => "pooled_wal_fsyncs_total",
+            Metric::WalSegmentsCompacted => "pooled_wal_segments_compacted_total",
+            Metric::RecoveryRecordsReplayed => "pooled_recovery_records_replayed_total",
+            Metric::RecoveryTornTail => "pooled_recovery_torn_tail_total",
         }
     }
 }

@@ -204,8 +204,11 @@ impl std::fmt::Display for FrameError {
 impl std::error::Error for FrameError {}
 
 /// Checksum of the length-tagged byte stream: `mix64`-chained words, the
-/// same digest primitive the determinism fingerprints use.
-fn checksum(bytes: &[u8]) -> u64 {
+/// same digest primitive the determinism fingerprints use. Shared with
+/// the durable tier — WAL records and design snapshots carry exactly
+/// this checksum, so the on-disk and on-wire formats corrupt-detect the
+/// same way.
+pub(crate) fn checksum(bytes: &[u8]) -> u64 {
     let mut d = Digest::new();
     d.push(bytes.len() as u64);
     for chunk in bytes.chunks(8) {

@@ -43,6 +43,18 @@
 //!    check: fingerprints of the kill run **bit-identical** to the
 //!    fault-free run, with zero terminally failed jobs.
 //!
+//! 7. **Durability restart sweep** (`--wal-dir <d>`) — crash recovery
+//!    against a real on-disk WAL: a fresh engine produces the
+//!    ground-truth fingerprint, a durable engine journals the same
+//!    traffic into `<d>` and then **crashes** (dropped without a
+//!    shutdown checkpoint), and a restarted engine recovers from disk
+//!    alone. Reports the restart's time-to-warm (recovery happens
+//!    before `start_durable` returns), the first-100-jobs cold-miss
+//!    count (zero when recovery worked), and the headline check:
+//!    recovered fingerprints **bit-identical** to the never-crashed
+//!    run. The directory is left populated, so running the binary
+//!    again with the same `--wal-dir` starts warm across processes.
+//!
 //! Jobs carry a simulated query-execution cost (`--latency-micros`,
 //! default 2000): the paper's premise is that queries dominate
 //! reconstruction time, and overlapping that cost across shards is
@@ -58,10 +70,10 @@ use std::time::{Duration, Instant};
 use pooled_engine::cluster::{chaos, ChaosConfig, LocalNode, NodeHandle, RemoteNode, Router};
 use pooled_engine::engine::{Engine, EngineConfig, EngineStats};
 use pooled_engine::job::{DecoderKind, JobResult};
-use pooled_engine::telemetry::{render_prometheus, TelemetryConfig};
+use pooled_engine::telemetry::{render_prometheus, Metric, TelemetryConfig};
 use pooled_engine::traffic::{poisson_arrivals, LoadProfile};
 use pooled_engine::transport::{TransportClient, TransportConfig, TransportServer};
-use pooled_engine::JobSpec;
+use pooled_engine::{DurabilityConfig, JobSpec};
 use pooled_experiments::DEFAULT_SEED;
 use pooled_io::Args;
 use pooled_lab::latency::LatencyModel;
@@ -105,6 +117,7 @@ fn main() {
     let cluster = args.get_usize("cluster", 3);
     let kill_node = args.flag("kill-node");
     let metrics_mode = args.flag("metrics");
+    let wal_dir = args.get_str("wal-dir", "");
     let out_path = args.get_str("out", "BENCH_ENGINE.json");
 
     let profile = LoadProfile {
@@ -379,6 +392,37 @@ fn main() {
         });
     }
 
+    // --- 3f. Durability restart sweep (--wal-dir <d>) ----------------------
+    // Crash recovery end to end: ground-truth fingerprint from a fresh
+    // engine, a durable incarnation that journals the traffic and then
+    // crashes without a checkpoint, and a restart that must come back
+    // warm from disk alone — zero cold misses over its first 100 jobs
+    // and bit-identical results.
+    let mut durability_sweep: Option<DurabilitySweep> = None;
+    let mut durability_ok = true;
+    if !wal_dir.is_empty() {
+        let sweep = run_durability_sweep(max_workers, queue, cache, &specs, &wal_dir);
+        durability_ok = sweep.fingerprints_match && sweep.restart_first_100_cold_misses == 0;
+        println!(
+            "durability: cold first-100 misses {} | incarnation-1 started {} ({} records) | \
+             restart warm in {}µs, {} records, first-100 cold misses {} | bit-identical: {}",
+            sweep.cold_first_100_misses,
+            if sweep.incarnation_started_warm { "warm" } else { "cold" },
+            sweep.incarnation_records_replayed,
+            sweep.restart_recovery_micros,
+            sweep.restart_records_replayed,
+            sweep.restart_first_100_cold_misses,
+            if sweep.fingerprints_match { "yes" } else { "NO" },
+        );
+        if !durability_ok {
+            eprintln!(
+                "engine_load: DURABILITY VIOLATION — the recovered engine served cold or \
+                 changed bits vs the never-crashed run"
+            );
+        }
+        durability_sweep = Some(sweep);
+    }
+
     // --- 4. Emit BENCH_ENGINE.json ---------------------------------------
     let sweep_rows: Vec<serde_json::Value> = passes
         .iter()
@@ -546,6 +590,30 @@ fn main() {
             ));
         }
     }
+    if let Some(sweep) = &durability_sweep {
+        if let serde_json::Value::Object(members) = &mut report {
+            members.push((
+                "durability_sweep".to_string(),
+                serde_json::json!({
+                    "wal_dir": sweep.wal_dir,
+                    "cold_pass_micros": sweep.cold_pass_micros,
+                    "cold_first_100_misses": sweep.cold_first_100_misses,
+                    "incarnation_started_warm": sweep.incarnation_started_warm,
+                    "incarnation_records_replayed": sweep.incarnation_records_replayed,
+                    "incarnation_recovery_micros": sweep.incarnation_recovery_micros,
+                    "incarnation_first_100_misses": sweep.incarnation_first_100_misses,
+                    "restart_recovery_micros": sweep.restart_recovery_micros,
+                    "restart_records_replayed": sweep.restart_records_replayed,
+                    "restart_first_100_cold_misses": sweep.restart_first_100_cold_misses,
+                    "restart_warm_jobs_per_sec": sweep.restart_warm_jobs_per_sec,
+                }),
+            ));
+            members.push((
+                "durability_fingerprints_match".to_string(),
+                serde_json::Value::Bool(sweep.fingerprints_match),
+            ));
+        }
+    }
     std::fs::write(&out_path, serde_json::to_string_pretty(&report).expect("serializable"))
         .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("engine_load: wrote {out_path}");
@@ -555,8 +623,110 @@ fn main() {
         || !cluster_deterministic
         || !failover_ok
         || !telemetry_deterministic
+        || !durability_ok
     {
         std::process::exit(1);
+    }
+}
+
+/// What the durability restart sweep measured.
+struct DurabilitySweep {
+    wal_dir: String,
+    cold_pass_micros: u64,
+    cold_first_100_misses: u64,
+    incarnation_started_warm: bool,
+    incarnation_records_replayed: u64,
+    incarnation_recovery_micros: u64,
+    incarnation_first_100_misses: u64,
+    restart_recovery_micros: u64,
+    restart_records_replayed: u64,
+    restart_first_100_cold_misses: u64,
+    restart_warm_jobs_per_sec: f64,
+    fingerprints_match: bool,
+}
+
+/// Crash-recovery sweep against a real durability directory. Three
+/// incarnations: a fresh engine (no WAL) for the ground-truth
+/// fingerprint and the cold-miss yardstick; a durable engine that
+/// journals the same traffic into `wal_dir` and then **crashes** —
+/// dropped without a shutdown checkpoint, so recovery has only the
+/// per-admission WAL records and spilled snapshots to work with; and a
+/// restart that recovers from disk alone. `Engine::start_durable`
+/// returns only after replay + prewarm, so the restart's construction
+/// time *is* its time-to-warm, and its first 100 jobs must take zero
+/// cold misses. The directory is deliberately left populated (the
+/// restart shuts down cleanly, checkpointing the log): running the
+/// binary again with the same `--wal-dir` starts incarnation 1 warm,
+/// which is the cross-process recovery CI pins by invoking this twice.
+fn run_durability_sweep(
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    specs: &[JobSpec],
+    wal_dir: &str,
+) -> DurabilitySweep {
+    let first = &specs[..specs.len().min(100)];
+    let mut results = Vec::with_capacity(specs.len());
+
+    // Ground truth: a never-durable, never-crashed engine.
+    let engine = Engine::start(node_config(workers, queue, cache));
+    let started = Instant::now();
+    engine.run_batch(first, &mut results);
+    let cold_first_100_misses = engine.stats().cache_misses;
+    results.clear();
+    engine.run_batch(specs, &mut results);
+    let cold_pass_micros = started.elapsed().as_micros() as u64;
+    let fingerprint = batch_fingerprint(&results);
+    engine.shutdown();
+
+    // Incarnation 1: journal the traffic, then crash. Starts warm when
+    // `wal_dir` already holds a previous process's log.
+    let started = Instant::now();
+    let durable =
+        Engine::start_durable(node_config(workers, queue, cache), DurabilityConfig::new(wal_dir))
+            .expect("open durability dir");
+    let incarnation_recovery_micros = started.elapsed().as_micros() as u64;
+    let incarnation_records_replayed = durable.metrics().get(Metric::RecoveryRecordsReplayed);
+    let miss_base = durable.stats().cache_misses;
+    results.clear();
+    durable.run_batch(first, &mut results);
+    let incarnation_first_100_misses = durable.stats().cache_misses - miss_base;
+    results.clear();
+    durable.run_batch(specs, &mut results);
+    let mut fingerprints_match = batch_fingerprint(&results) == fingerprint;
+    drop(durable); // the crash: no shutdown, no checkpoint
+
+    // The restart: disk is all it has.
+    let started = Instant::now();
+    let recovered =
+        Engine::start_durable(node_config(workers, queue, cache), DurabilityConfig::new(wal_dir))
+            .expect("recover durability dir");
+    let restart_recovery_micros = started.elapsed().as_micros() as u64;
+    let restart_records_replayed = recovered.metrics().get(Metric::RecoveryRecordsReplayed);
+    let miss_base = recovered.stats().cache_misses;
+    results.clear();
+    recovered.run_batch(first, &mut results);
+    let restart_first_100_cold_misses = recovered.stats().cache_misses - miss_base;
+    results.clear();
+    let warm_start = Instant::now();
+    recovered.run_batch(specs, &mut results);
+    let warm_elapsed = warm_start.elapsed().as_secs_f64();
+    fingerprints_match &= batch_fingerprint(&results) == fingerprint;
+    recovered.shutdown(); // clean: checkpoints for the next process
+
+    DurabilitySweep {
+        wal_dir: wal_dir.to_string(),
+        cold_pass_micros,
+        cold_first_100_misses,
+        incarnation_started_warm: incarnation_records_replayed > 0,
+        incarnation_records_replayed,
+        incarnation_recovery_micros,
+        incarnation_first_100_misses,
+        restart_recovery_micros,
+        restart_records_replayed,
+        restart_first_100_cold_misses,
+        restart_warm_jobs_per_sec: specs.len() as f64 / warm_elapsed,
+        fingerprints_match,
     }
 }
 
