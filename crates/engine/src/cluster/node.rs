@@ -130,6 +130,13 @@ pub trait NodeHandle: Send + Sync {
         Ok(())
     }
 
+    /// Install a waker fired after every event delivery to this
+    /// session's completion stream (and at stream close), so an
+    /// event-loop consumer can park in `poll(2)` and drain
+    /// [`NodeHandle::try_recv`] only when woken. Default is a no-op for
+    /// node kinds whose consumers block in [`NodeHandle::recv`] instead.
+    fn register_waker(&self, _waker: crate::engine::RouteWaker) {}
+
     /// Blocking receive; `None` once the node's completion stream is
     /// closed **and** drained.
     fn recv(&self) -> Option<NodeEvent>;
@@ -242,6 +249,10 @@ impl NodeHandle for LocalNode {
 
     fn note_wire_tx(&self, id: u64) {
         self.engine.note_wire_tx(id);
+    }
+
+    fn register_waker(&self, waker: crate::engine::RouteWaker) {
+        self.route.register_waker(waker);
     }
 
     fn recv(&self) -> Option<NodeEvent> {

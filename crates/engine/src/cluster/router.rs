@@ -1186,7 +1186,11 @@ mod tests {
         let server = TransportServer::bind(
             Arc::clone(&engine),
             "127.0.0.1:0",
-            TransportConfig { route_capacity: 8, max_dimension: 1 << 10 },
+            TransportConfig {
+                route_capacity: 8,
+                max_dimension: 1 << 10,
+                ..TransportConfig::default()
+            },
         )
         .expect("bind loopback");
         let remote = RemoteNode::connect(server.local_addr()).expect("connect");

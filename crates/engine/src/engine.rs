@@ -233,10 +233,10 @@ struct Shared {
     /// while it runs (interleaved batches would steal each other's
     /// results).
     batch_lock: Mutex<()>,
-    /// Registered completion routes (`route id → per-tenant queue`).
-    /// Touched per *routed* result only; plain `submit` traffic never
-    /// takes this lock.
-    routes: Mutex<HashMap<u32, Arc<BoundedQueue<JobResult>>>>,
+    /// Registered completion routes (`route id → per-tenant queue` plus
+    /// its optional waker). Touched per *routed* result only; plain
+    /// `submit` traffic never takes this lock.
+    routes: Mutex<HashMap<u32, RouteEntry>>,
     /// Next route id (route ids are never reused within an engine).
     next_route: AtomicU32,
     /// Telemetry recovered from a previous incarnation's checkpoint
@@ -250,28 +250,57 @@ struct Shared {
     journal: Mutex<Option<Arc<WalJournal>>>,
 }
 
+/// Callback fired after a result lands in a route's queue (and on route
+/// close), so an event-loop consumer parked in `poll(2)` learns of
+/// completions without polling the queue. Must be cheap and non-blocking
+/// — it runs on the worker that finished the job.
+pub type RouteWaker = Arc<dyn Fn() + Send + Sync>;
+
+/// A registered completion route: the per-tenant result queue plus the
+/// optional waker its consumer installed.
+struct RouteEntry {
+    queue: Arc<BoundedQueue<JobResult>>,
+    waker: Option<RouteWaker>,
+}
+
 impl Shared {
-    /// Deliver one finished result to its completion queue. Returns
-    /// `false` only when the *shared* stream is closed — full shutdown;
-    /// a closed or vanished per-tenant route just drops the result (the
-    /// tenant disconnected; telemetry already recorded the job).
+    /// Deliver one finished result to its completion queue, then fire
+    /// the route's waker (push-then-wake: by the time the consumer runs,
+    /// the result is visible). Returns `false` only when the *shared*
+    /// stream is closed — full shutdown; a closed or vanished per-tenant
+    /// route just drops the result (the tenant disconnected; telemetry
+    /// already recorded the job).
     fn deliver(&self, route: u32, result: &JobResult) -> bool {
         if route == SHARED_ROUTE {
             return self.results.push(*result).is_ok();
         }
-        let queue = self.routes.lock().expect("route table poisoned").get(&route).cloned();
-        if let Some(queue) = queue {
+        let entry = {
+            let routes = self.routes.lock().expect("route table poisoned");
+            routes.get(&route).map(|e| (Arc::clone(&e.queue), e.waker.clone()))
+        };
+        if let Some((queue, waker)) = entry {
             let _ = queue.push(*result);
+            if let Some(waker) = waker {
+                waker();
+            }
         }
         true
     }
 
     /// Close every registered route queue (wakes blocked tenants and any
-    /// worker mid-push); the routes stay registered so late results are
-    /// dropped by `deliver`, never redirected.
+    /// worker mid-push) and fire their wakers (a consumer parked in
+    /// `poll` must observe the close too); the routes stay registered so
+    /// late results are dropped by `deliver`, never redirected.
     fn close_routes(&self) {
-        for queue in self.routes.lock().expect("route table poisoned").values() {
+        let entries: Vec<_> = {
+            let routes = self.routes.lock().expect("route table poisoned");
+            routes.values().map(|e| (Arc::clone(&e.queue), e.waker.clone())).collect()
+        };
+        for (queue, waker) in entries {
             queue.close();
+            if let Some(waker) = waker {
+                waker();
+            }
         }
     }
 }
@@ -316,6 +345,20 @@ impl ResultRoute {
     pub fn close(&self) {
         self.queue.close();
         self.shared.routes.lock().expect("route table poisoned").remove(&self.id);
+    }
+
+    /// Install (or replace) the waker fired after every delivery to this
+    /// route — the push half of the event-loop integration: workers
+    /// push-then-wake, the loop drains [`Self::try_recv`] until `Empty`.
+    /// The waker also fires when the engine closes its routes at
+    /// shutdown, so a parked consumer observes `Closed` promptly. A
+    /// no-op on a route already unregistered by [`Self::close`].
+    pub fn register_waker(&self, waker: RouteWaker) {
+        if let Some(entry) =
+            self.shared.routes.lock().expect("route table poisoned").get_mut(&self.id)
+        {
+            entry.waker = Some(waker);
+        }
     }
 }
 
@@ -541,7 +584,11 @@ impl Engine {
         let id = self.shared.next_route.fetch_add(1, Ordering::Relaxed);
         assert!(id != SHARED_ROUTE, "route ids exhausted");
         let queue = Arc::new(BoundedQueue::new(capacity));
-        self.shared.routes.lock().expect("route table poisoned").insert(id, Arc::clone(&queue));
+        self.shared
+            .routes
+            .lock()
+            .expect("route table poisoned")
+            .insert(id, RouteEntry { queue: Arc::clone(&queue), waker: None });
         ResultRoute { id, queue, shared: Arc::clone(&self.shared) }
     }
 
@@ -1189,6 +1236,38 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         engine.shutdown();
         assert_eq!(waiter.join().unwrap(), None, "shutdown must close routed streams");
+    }
+
+    #[test]
+    fn route_waker_fires_after_delivery_and_at_shutdown() {
+        let engine = Engine::start(EngineConfig::with_workers(1));
+        let route = engine.open_route(8);
+        let wakes = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&wakes);
+        route.register_waker(Arc::new(move || {
+            counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }));
+        engine.submit_routed(spec(0), &route).unwrap();
+        engine.submit_routed(spec(1), &route).unwrap();
+        // Push-then-wake: once a wake is observed, at least one result
+        // is already in the queue.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while wakes.load(std::sync::atomic::Ordering::SeqCst) < 2 {
+            assert!(std::time::Instant::now() < deadline, "waker never fired twice");
+            std::thread::yield_now();
+        }
+        let mut got = 0;
+        while let crate::queue::TryPop::Item(_) = route.try_recv() {
+            got += 1;
+        }
+        assert_eq!(got, 2, "both results visible after their wakes");
+        let before = wakes.load(std::sync::atomic::Ordering::SeqCst);
+        engine.shutdown();
+        assert!(
+            wakes.load(std::sync::atomic::Ordering::SeqCst) > before,
+            "close_routes must fire the waker so parked consumers see Closed"
+        );
+        assert!(matches!(route.try_recv(), crate::queue::TryPop::Closed));
     }
 
     #[test]

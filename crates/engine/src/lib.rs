@@ -32,9 +32,10 @@
 //! * [`traffic`] — deterministic load profiles and Poisson arrivals for
 //!   the `engine_load` generator and the throughput benches.
 //! * [`transport`] — the TCP front: length-prefixed checksummed frames,
-//!   a blocking server feeding the queues (backpressure = explicit
-//!   `BUSY` frames), and a pipelined client whose results are
-//!   bit-identical to in-process submission.
+//!   a readiness-driven event-loop server multiplexing every connection
+//!   over a few `poll(2)` threads (backpressure = explicit `BUSY`
+//!   frames), and a pipelined client whose results are bit-identical to
+//!   in-process submission.
 //! * [`cluster`] — the multi-node tier: the [`cluster::NodeHandle`]
 //!   abstraction over "a place jobs run" (in-process engine or remote
 //!   engine over the frame protocol), rendezvous-hashed
@@ -82,7 +83,7 @@ pub mod worker;
 pub use cache::{DesignCache, DesignKey};
 pub use cluster::{FailoverConfig, LocalNode, Membership, NodeHandle, RemoteNode, Router};
 pub use durability::{DesignJournal, DurabilityConfig, Recovery, WalJournal};
-pub use engine::{Engine, EngineConfig, EngineStats, ResultRoute};
+pub use engine::{Engine, EngineConfig, EngineStats, ResultRoute, RouteWaker};
 pub use job::{DecoderKind, DesignSpec, JobResult, JobSpec};
 pub use queue::BoundedQueue;
 pub use registry::{decoder, DecodeScratch, EngineDecoder};

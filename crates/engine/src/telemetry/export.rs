@@ -99,8 +99,12 @@ pub fn render_prometheus(stats: &EngineStats, metrics: Option<&MetricsSnapshot>)
     let mut out = String::with_capacity(4096);
     match metrics {
         Some(snap) => {
-            for (name, value) in snap.iter() {
-                counter(&mut out, name, value);
+            for m in Metric::ALL {
+                if m.is_gauge() {
+                    gauge(&mut out, m.name(), snap.get(m));
+                } else {
+                    counter(&mut out, m.name(), snap.get(m));
+                }
             }
         }
         None => {
@@ -263,6 +267,31 @@ mod tests {
             last = v;
         }
         assert_eq!(last, 10);
+    }
+
+    #[test]
+    fn transport_metrics_expose_with_gauge_and_counter_types() {
+        let reg = MetricsRegistry::new();
+        reg.add(Metric::TransportConnections, 12);
+        reg.dec(Metric::TransportConnections);
+        reg.add(Metric::ReactorWakeups, 41);
+        reg.inc(Metric::ReactorReadBudgetExhausted);
+        reg.inc(Metric::TransportIdleEvictions);
+        let snap = reg.snapshot();
+        let text = render_prometheus(&stats(), Some(&snap));
+        for needle in [
+            "# TYPE pooled_transport_connections gauge\npooled_transport_connections 11",
+            "# TYPE pooled_reactor_wakeups_total counter\npooled_reactor_wakeups_total 41",
+            "pooled_reactor_read_budget_exhausted_total 1",
+            "pooled_transport_idle_evictions_total 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let json = render_json(&stats(), Some(&snap));
+        assert!(json.contains("\"pooled_transport_connections\":11"), "{json}");
+        assert!(json.contains("\"pooled_reactor_wakeups_total\":41"), "{json}");
+        assert!(json.contains("\"pooled_reactor_read_budget_exhausted_total\":1"), "{json}");
+        assert!(json.contains("\"pooled_transport_idle_evictions_total\":1"), "{json}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of registered metrics (the length of [`Metric::ALL`]).
-pub const METRIC_COUNT: usize = 21;
+pub const METRIC_COUNT: usize = 25;
 
 /// Every counter the serving stack exports, in exposition order.
 ///
@@ -75,6 +75,20 @@ pub enum Metric {
     /// Recoveries that stopped at a torn or corrupt tail record (the
     /// valid prefix was kept; the tail was discarded).
     RecoveryTornTail,
+    /// Live transport connections (a **gauge**: incremented at accept,
+    /// decremented at close/eviction — it goes down).
+    TransportConnections,
+    /// Event-loop wakeups actually signaled through the self-pipe
+    /// (coalesced wakes that piggybacked on one in flight don't count —
+    /// this measures parks interrupted, not results delivered).
+    ReactorWakeups,
+    /// Readiness ticks on which a connection hit its per-tick read
+    /// budget with socket bytes still pending (the firehose-containment
+    /// path: the loop moved on and came back).
+    ReactorReadBudgetExhausted,
+    /// Connections evicted for exceeding the idle timeout without a
+    /// byte of progress in either direction (Slowloris reclamation).
+    TransportIdleEvictions,
 }
 
 impl Metric {
@@ -101,6 +115,10 @@ impl Metric {
         Metric::WalSegmentsCompacted,
         Metric::RecoveryRecordsReplayed,
         Metric::RecoveryTornTail,
+        Metric::TransportConnections,
+        Metric::ReactorWakeups,
+        Metric::ReactorReadBudgetExhausted,
+        Metric::TransportIdleEvictions,
     ];
 
     /// The metric's exposition name (Prometheus conventions: `_total`
@@ -128,7 +146,20 @@ impl Metric {
             Metric::WalSegmentsCompacted => "pooled_wal_segments_compacted_total",
             Metric::RecoveryRecordsReplayed => "pooled_recovery_records_replayed_total",
             Metric::RecoveryTornTail => "pooled_recovery_torn_tail_total",
+            Metric::TransportConnections => "pooled_transport_connections",
+            Metric::ReactorWakeups => "pooled_reactor_wakeups_total",
+            Metric::ReactorReadBudgetExhausted => "pooled_reactor_read_budget_exhausted_total",
+            Metric::TransportIdleEvictions => "pooled_transport_idle_evictions_total",
         }
+    }
+
+    /// Whether the metric is a gauge (its value can go down) rather
+    /// than a monotonic counter. Gauges carry no `_total` suffix and
+    /// are exposed with `# TYPE … gauge`; cluster-level merges still
+    /// sum them (the sum of per-node live connections is the cluster's
+    /// live connections).
+    pub fn is_gauge(self) -> bool {
+        matches!(self, Metric::TransportConnections)
     }
 }
 
@@ -154,6 +185,17 @@ impl MetricsRegistry {
     /// Add `n` to `metric` (bulk recording, e.g. bytes per frame).
     pub fn add(&self, metric: Metric, n: u64) {
         self.counters[metric as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract one from a gauge, saturating at zero (a close racing a
+    /// snapshot must never wrap a gauge to 2⁶⁴−1).
+    pub fn dec(&self, metric: Metric) {
+        debug_assert!(metric.is_gauge(), "{metric:?} is monotonic — dec would corrupt it");
+        let _ = self.counters[metric as usize].fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |v| v.checked_sub(1),
+        );
     }
 
     /// Current value of `metric`.
@@ -210,9 +252,27 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), METRIC_COUNT, "duplicate metric name");
-        for name in names {
+        for &m in Metric::ALL.iter() {
+            let name = m.name();
             assert!(name.starts_with("pooled_"), "{name} missing namespace");
+            assert_eq!(
+                name.ends_with("_total"),
+                !m.is_gauge(),
+                "{name}: counters carry _total, gauges must not"
+            );
         }
+    }
+
+    #[test]
+    fn gauges_go_down_and_saturate_at_zero() {
+        let reg = MetricsRegistry::new();
+        reg.inc(Metric::TransportConnections);
+        reg.inc(Metric::TransportConnections);
+        reg.dec(Metric::TransportConnections);
+        assert_eq!(reg.get(Metric::TransportConnections), 1);
+        reg.dec(Metric::TransportConnections);
+        reg.dec(Metric::TransportConnections); // one dec too many
+        assert_eq!(reg.get(Metric::TransportConnections), 0, "gauge must not wrap");
     }
 
     #[test]

@@ -11,19 +11,30 @@
 //! cross-wire determinism check is `fingerprints(tcp) ==
 //! fingerprints(in_process)` — bit for bit.
 //!
+//! The waiting contract is explicit: [`poll`] **blocks in the kernel**
+//! (`read(2)` on an empty socket parks the thread; zero CPU until the
+//! reply or the [`WireTimeouts::read`] deadline), and [`try_poll`]
+//! **never blocks** (`WouldBlock` maps to `Ok(None)`). Both sides of
+//! the contract decode through a [`FrameAssembler`], so a deadline or
+//! `WouldBlock` landing mid-frame leaves the partial frame buffered —
+//! it never desynchronizes the stream.
+//!
 //! [`run_batch`]: TransportClient::run_batch
+//! [`poll`]: TransportClient::poll
+//! [`try_poll`]: TransportClient::try_poll
 //! [`Engine::run_batch`]: crate::engine::Engine::run_batch
 //! [`LoadProfile`]: crate::traffic::LoadProfile
+//! [`FrameAssembler`]: crate::transport::frame::FrameAssembler
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Instant;
 
 use pooled_lab::split::LatencySplit;
 
 use crate::job::{JobResult, JobSpec};
-use crate::transport::frame::{read_frame, write_frame, Frame, FrameError};
+use crate::transport::frame::{write_frame, Frame, FrameAssembler, FrameError};
 use crate::transport::{connect_stream, WireTimeouts};
 
 /// What can go wrong on the client side of the wire.
@@ -40,9 +51,10 @@ pub enum TransportError {
     /// cannot succeed).
     Rejected(u64),
     /// The read deadline ([`WireTimeouts::read`]) expired while waiting
-    /// for a reply — the peer is half-dead or badly stalled. The
-    /// connection should be considered unusable (the deadline may have
-    /// cut a frame in half).
+    /// for a reply — the peer is half-dead or badly stalled. The stream
+    /// itself stays consistent (a frame cut in half by the deadline is
+    /// held by the assembler), but a peer silent past its deadline
+    /// should be considered down.
     TimedOut,
 }
 
@@ -87,9 +99,14 @@ pub enum Reply {
 ///
 /// [`TransportServer`]: crate::transport::server::TransportServer
 pub struct TransportClient {
-    reader: BufReader<TcpStream>,
+    /// The read half (a clone of the writer's stream; carries the read
+    /// deadline). Reads go straight to the socket — partial-frame state
+    /// lives in the assembler, not a buffered reader, so blocking and
+    /// non-blocking reads can interleave safely.
+    read_half: TcpStream,
     writer: BufWriter<TcpStream>,
-    read_scratch: Vec<u8>,
+    asm: FrameAssembler,
+    read_buf: Vec<u8>,
     write_scratch: Vec<u8>,
     window: usize,
     busy_retries: u64,
@@ -112,11 +129,11 @@ impl TransportClient {
         stream.set_nodelay(true)?;
         let read_half = stream.try_clone()?;
         read_half.set_read_timeout(timeouts.read)?;
-        let reader = BufReader::new(read_half);
         Ok(Self {
-            reader,
+            read_half,
             writer: BufWriter::new(stream),
-            read_scratch: Vec::new(),
+            asm: FrameAssembler::new(),
+            read_buf: vec![0u8; 16 * 1024],
             write_scratch: Vec::new(),
             window: 32,
             busy_retries: 0,
@@ -154,32 +171,68 @@ impl TransportClient {
         Ok(())
     }
 
-    /// Blocking read of the next server reply (bounded by the connect
-    /// call's [`WireTimeouts::read`], surfacing as
-    /// [`TransportError::TimedOut`]).
+    /// **Blocking** read of the next server reply: with nothing buffered
+    /// the thread parks in the kernel's `read(2)` — no spinning, no CPU
+    /// — until a reply arrives or [`WireTimeouts::read`] expires
+    /// (surfacing as [`TransportError::TimedOut`]). For a non-blocking
+    /// probe, use [`Self::try_poll`].
     pub fn poll(&mut self) -> Result<Reply, TransportError> {
-        let frame = read_frame(&mut self.reader, &mut self.read_scratch).map_err(|e| {
-            if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
-                TransportError::TimedOut
-            } else {
-                TransportError::Io(e)
+        loop {
+            if let Some((frame, _)) = self.asm.next_frame()? {
+                return classify(frame);
             }
-        })?;
-        match frame {
-            None => Err(TransportError::Disconnected),
-            Some(Frame::Result(r)) => Ok(Reply::Result(r)),
-            Some(Frame::Busy(id)) => Ok(Reply::Busy(id)),
-            Some(Frame::Reject(id)) => Ok(Reply::Rejected(id)),
-            Some(Frame::Submit(_)) => Err(TransportError::Protocol("server sent a SUBMIT frame")),
-            Some(Frame::Prewarm(_)) => Err(TransportError::Protocol("server sent a PREWARM frame")),
-            // This client never scrapes, so a STATS reply is as illegal
-            // as a server-originated request would be.
-            Some(Frame::Stats(_)) => {
-                Err(TransportError::Protocol("server sent an unsolicited STATS frame"))
+            let got = self.read_half.read(&mut self.read_buf).map_err(|e| {
+                if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut)
+                {
+                    TransportError::TimedOut
+                } else {
+                    TransportError::Io(e)
+                }
+            })?;
+            if got == 0 {
+                return Err(self.eof_error());
             }
-            Some(Frame::StatsRequest(_)) => {
-                Err(TransportError::Protocol("server sent a STATS_REQUEST frame"))
+            self.asm.extend(&self.read_buf[..got]);
+        }
+    }
+
+    /// **Non-blocking** read of the next server reply: `Ok(None)` means
+    /// no complete reply is available *right now* — never an error, and
+    /// never a parked thread. A reply split across packets stays
+    /// buffered in the assembler until its remaining bytes arrive.
+    pub fn try_poll(&mut self) -> Result<Option<Reply>, TransportError> {
+        loop {
+            if let Some((frame, _)) = self.asm.next_frame()? {
+                return classify(frame).map(Some);
             }
+            self.read_half.set_nonblocking(true)?;
+            let got = self.read_half.read(&mut self.read_buf);
+            // Restore before interpreting the result: the blocking
+            // contract of every other method must hold even if this
+            // probe came up empty or errored.
+            self.read_half.set_nonblocking(false)?;
+            match got {
+                Ok(0) => return Err(self.eof_error()),
+                Ok(n) => self.asm.extend(&self.read_buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(TransportError::Io(e)),
+            }
+        }
+    }
+
+    /// EOF classification: clean between frames is [`Disconnected`];
+    /// mid-frame means the server died with half a reply on the wire.
+    ///
+    /// [`Disconnected`]: TransportError::Disconnected
+    fn eof_error(&self) -> TransportError {
+        if self.asm.buffered() == 0 {
+            TransportError::Disconnected
+        } else {
+            TransportError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame",
+            ))
         }
     }
 
@@ -277,5 +330,23 @@ impl TransportClient {
         }
         out[start..].sort_unstable_by_key(|r| r.id);
         Ok(())
+    }
+}
+
+/// Map a server→client frame to its [`Reply`], rejecting frames that
+/// are illegal in this direction.
+fn classify(frame: Frame) -> Result<Reply, TransportError> {
+    match frame {
+        Frame::Result(r) => Ok(Reply::Result(r)),
+        Frame::Busy(id) => Ok(Reply::Busy(id)),
+        Frame::Reject(id) => Ok(Reply::Rejected(id)),
+        Frame::Submit(_) => Err(TransportError::Protocol("server sent a SUBMIT frame")),
+        Frame::Prewarm(_) => Err(TransportError::Protocol("server sent a PREWARM frame")),
+        // This client never scrapes, so a STATS reply is as illegal
+        // as a server-originated request would be.
+        Frame::Stats(_) => Err(TransportError::Protocol("server sent an unsolicited STATS frame")),
+        Frame::StatsRequest(_) => {
+            Err(TransportError::Protocol("server sent a STATS_REQUEST frame"))
+        }
     }
 }

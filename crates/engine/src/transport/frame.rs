@@ -549,6 +549,18 @@ impl<W: std::io::Write> FrameWriter<W> {
     pub fn flush(&mut self) -> std::io::Result<()> {
         self.w.flush()
     }
+
+    /// The underlying sink (the event-loop server keeps a connection's
+    /// outbound ring inside its writer and drains it against the socket
+    /// between readiness ticks).
+    pub fn get_ref(&self) -> &W {
+        &self.w
+    }
+
+    /// Mutable access to the underlying sink.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.w
+    }
 }
 
 /// Read one frame from `r`. `Ok(None)` is a clean end of stream (EOF
@@ -612,6 +624,107 @@ pub fn read_frame_metered<R: std::io::Read>(
         _ => {}
     }
     out
+}
+
+/// Incremental frame decoder for nonblocking reads: feed whatever byte
+/// run the socket produced via [`FrameAssembler::extend`], then pull
+/// complete frames with [`FrameAssembler::next_frame`] until it returns
+/// `Ok(None)` ("need more bytes"). Partial frames stay buffered across
+/// calls, so a tenant dribbling one byte per readiness tick still
+/// decodes correctly — just slowly, and at its own expense only.
+///
+/// Unlike [`read_frame`], truncation is *not* an error here — it is the
+/// steady state between reads. Every other [`FrameError`] is fatal to
+/// the stream (no resync point), exactly as on the blocking path.
+#[derive(Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` — decoded frames are logically removed
+    /// by advancing this, and physically removed by [`Self::compact`]
+    /// so a long-lived connection doesn't grow the buffer forever.
+    pos: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler (per-connection; holds no fd).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (a partial frame, or complete
+    /// frames not yet pulled).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decode the next complete frame, returning it with its encoded
+    /// byte count (for wire accounting). `Ok(None)` means the buffer
+    /// holds only a frame prefix — extend and retry after the next
+    /// read. Any `Err` is unrecoverable: drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<(Frame, usize)>, FrameError> {
+        // Eager desync detection: magic, version, and type are each a
+        // single byte, so a stream gone bad is caught on the first bad
+        // byte — a garbage-spraying peer is dropped immediately instead
+        // of being buffered until a full header accumulates.
+        let pending = &self.buf[self.pos..];
+        if !pending.is_empty() && pending[0] != MAGIC {
+            return Err(FrameError::BadMagic(pending[0]));
+        }
+        if pending.len() >= 2 && pending[1] != VERSION {
+            return Err(FrameError::BadVersion(pending[1]));
+        }
+        if pending.len() >= 3 {
+            payload_len_of(pending[2])?;
+        }
+        match decode_frame(&self.buf[self.pos..]) {
+            Ok((frame, consumed)) => {
+                self.pos += consumed;
+                if self.pos == self.buf.len() {
+                    self.buf.clear();
+                    self.pos = 0;
+                }
+                Ok(Some((frame, consumed)))
+            }
+            Err(FrameError::Truncated { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// [`Self::next_frame`] with the wire accounting contract of
+    /// [`read_frame_metered`]: each decoded frame adds its whole byte
+    /// count to [`Metric::WireBytesRx`] and bumps
+    /// [`Metric::WireFramesRx`]; a checksum mismatch bumps
+    /// [`Metric::WireChecksumRejects`] before the error surfaces.
+    pub fn next_frame_metered(
+        &mut self,
+        metrics: &MetricsRegistry,
+    ) -> Result<Option<(Frame, usize)>, FrameError> {
+        let out = self.next_frame();
+        match &out {
+            Ok(Some((_, consumed))) => {
+                metrics.add(Metric::WireBytesRx, *consumed as u64);
+                metrics.inc(Metric::WireFramesRx);
+            }
+            Err(FrameError::BadChecksum) => metrics.inc(Metric::WireChecksumRejects),
+            _ => {}
+        }
+        out
+    }
+
+    /// Physically drop the consumed prefix once it dominates the buffer
+    /// (amortized O(1) per byte — each byte moves at most once).
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
 }
 
 fn is_checksum_reject(e: &std::io::Error) -> bool {
@@ -698,6 +811,122 @@ mod tests {
             assert_eq!(consumed, buf.len());
             assert!(buf.len() <= MAX_FRAME_LEN);
         }
+    }
+
+    #[test]
+    fn assembler_reassembles_frames_from_single_byte_feeds() {
+        // The adversarial dribbler scenario in miniature: every byte of
+        // a multi-frame burst arrives alone, and the assembler must
+        // yield exactly the original frame sequence with exact counts.
+        let frames = [
+            Frame::Submit(spec()),
+            Frame::Busy(9),
+            Frame::Result(result()),
+            Frame::Prewarm(design_key()),
+            Frame::Stats(stats_reply()),
+            Frame::StatsRequest(0xA5A5),
+            Frame::Reject(11),
+        ];
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        for frame in &frames {
+            encode_frame(frame, &mut scratch);
+            wire.extend_from_slice(&scratch);
+        }
+        let mut asm = FrameAssembler::new();
+        let mut decoded = Vec::new();
+        let mut accounted = 0usize;
+        for byte in &wire {
+            asm.extend(std::slice::from_ref(byte));
+            while let Some((frame, consumed)) = asm.next_frame().expect("valid stream") {
+                decoded.push(frame);
+                accounted += consumed;
+            }
+        }
+        assert_eq!(decoded.as_slice(), frames.as_slice());
+        assert_eq!(accounted, wire.len(), "every wire byte belongs to exactly one frame");
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_yields_all_frames_of_a_burst_then_holds_the_tail() {
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        for frame in [Frame::Busy(1), Frame::Busy(2), Frame::Busy(3)] {
+            encode_frame(&frame, &mut scratch);
+            wire.extend_from_slice(&scratch);
+        }
+        // Deliver two complete frames plus half of the third in one read.
+        let split = wire.len() - scratch.len() / 2;
+        let mut asm = FrameAssembler::new();
+        asm.extend(&wire[..split]);
+        assert_eq!(asm.next_frame().unwrap().map(|(f, _)| f), Some(Frame::Busy(1)));
+        assert_eq!(asm.next_frame().unwrap().map(|(f, _)| f), Some(Frame::Busy(2)));
+        assert!(asm.next_frame().unwrap().is_none(), "half a frame is not a frame");
+        assert!(asm.buffered() > 0);
+        asm.extend(&wire[split..]);
+        assert_eq!(asm.next_frame().unwrap().map(|(f, _)| f), Some(Frame::Busy(3)));
+        assert!(asm.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn assembler_surfaces_stream_corruption_as_fatal() {
+        let mut wire = Vec::new();
+        encode_frame(&Frame::Busy(1), &mut wire);
+        let tail = wire.len() - 1;
+        wire[tail] ^= 0xFF; // corrupt the checksum
+        let mut asm = FrameAssembler::new();
+        asm.extend(&wire);
+        assert_eq!(asm.next_frame(), Err(FrameError::BadChecksum));
+        let mut asm = FrameAssembler::new();
+        asm.extend(&[0x00, 0x01, 0x02]); // garbage, wrong magic
+        assert!(asm.next_frame().is_err(), "desynced stream must not look like 'need more'");
+    }
+
+    #[test]
+    fn assembler_compaction_keeps_long_lived_buffers_bounded() {
+        let mut frame_bytes = Vec::new();
+        encode_frame(&Frame::Submit(spec()), &mut frame_bytes);
+        let mut asm = FrameAssembler::new();
+        for _ in 0..10_000 {
+            asm.extend(&frame_bytes);
+            let (_, consumed) = asm.next_frame().expect("valid").expect("complete");
+            assert_eq!(consumed, frame_bytes.len());
+        }
+        assert_eq!(asm.buffered(), 0);
+        // 10k frames passed through; the retained allocation must stay
+        // on the order of one compaction window, not the stream size.
+        assert!(asm.buf.capacity() < 64 * 1024, "buffer grew to {}", asm.buf.capacity());
+    }
+
+    #[test]
+    fn assembler_metering_matches_the_blocking_reader_contract() {
+        let metrics = MetricsRegistry::new();
+        let mut wire = Vec::new();
+        let mut scratch = Vec::new();
+        for frame in [Frame::Busy(7), Frame::Reject(8)] {
+            encode_frame(&frame, &mut scratch);
+            wire.extend_from_slice(&scratch);
+        }
+        let mut asm = FrameAssembler::new();
+        asm.extend(&wire);
+        while asm.next_frame_metered(&metrics).expect("valid").is_some() {}
+        assert_eq!(metrics.get(Metric::WireFramesRx), 2);
+        assert_eq!(metrics.get(Metric::WireBytesRx), wire.len() as u64);
+        assert_eq!(metrics.get(Metric::WireChecksumRejects), 0);
+
+        let mut bad = Vec::new();
+        encode_frame(&Frame::Busy(9), &mut bad);
+        let tail = bad.len() - 1;
+        bad[tail] ^= 0xFF;
+        asm.extend(&bad);
+        assert!(asm.next_frame_metered(&metrics).is_err());
+        assert_eq!(metrics.get(Metric::WireChecksumRejects), 1);
+        assert_eq!(
+            metrics.get(Metric::WireFramesRx),
+            2,
+            "rejected frame is not counted as received"
+        );
     }
 
     #[test]

@@ -7,12 +7,16 @@
 //!   [`JobResult`] with an explicit little-endian layout, a version
 //!   byte, and a checksum. Pure functions over byte slices, so the
 //!   codec is testable (and property-tested) without a socket.
-//! * [`server`] — a blocking TCP acceptor serving a per-connection
-//!   [`NodeHandle`] session minted by a [`NodeFactory`] (for the
-//!   canonical `Arc<Engine>` factory: a [`LocalNode`] over a private
-//!   [`ResultRoute`]): reader thread into the session's `try_submit`,
-//!   writer thread draining its events. Backpressure is an explicit
-//!   `BUSY` reply frame — never a silent drop.
+//! * [`reactor`] — the readiness core: a thin `poll(2)` shim, a
+//!   self-pipe wakeup channel, and process introspection helpers. No
+//!   dependencies beyond the libc `std` already links.
+//! * [`server`] — a readiness-driven event-loop front: an accept
+//!   thread hands nonblocking sockets to N loop threads, each
+//!   multiplexing thousands of per-connection state machines (one
+//!   [`NodeHandle`] session per connection, minted by a
+//!   [`NodeFactory`]; for the canonical `Arc<Engine>` factory: a
+//!   [`LocalNode`] over a private [`ResultRoute`]). Backpressure is an
+//!   explicit `BUSY` reply frame — never a silent drop.
 //! * [`client`] — [`TransportClient`]: submit/poll plus a streaming
 //!   batch mode mirroring [`Engine::run_batch`], used by `engine_load
 //!   --transport tcp` to replay a [`LoadProfile`] over loopback.
@@ -37,6 +41,7 @@ use std::time::Duration;
 
 pub mod client;
 pub mod frame;
+pub mod reactor;
 pub mod server;
 
 pub use client::{Reply, TransportClient, TransportError};

@@ -1,53 +1,73 @@
-//! Blocking TCP front over a [`NodeHandle`] session per connection.
+//! Readiness-driven TCP front over a [`NodeHandle`] session per
+//! connection.
 //!
-//! One accept thread, two threads per connection:
+//! One accept thread, N event-loop threads, zero per-connection
+//! threads:
 //!
 //! ```text
-//!            ┌─ reader thread:  SUBMIT frames ──► session.try_submit
-//!            │        │  sync Busy ⇒ BUSY(id)    (never a silent drop)
-//!  TcpStream ┤        │  infeasible ⇒ REJECT(id)
-//!            └─ writer thread:  session.recv events ──► RESULT/BUSY/REJECT frames
+//!  accept ──(conn_id % N)──► loop thread: poll(wake pipe + every conn fd)
+//!                              │
+//!                              ├─ readable ► budgeted read ► FrameAssembler
+//!                              │      SUBMIT ► session.try_submit (sync Busy ⇒ BUSY(id))
+//!                              │      infeasible ⇒ REJECT(id)   (never a silent drop)
+//!                              ├─ route waker ► session.try_recv drain ► out ring
+//!                              └─ writable ► partial-write resume from out ring
 //! ```
 //!
-//! The server no longer knows what an [`Engine`] is: each accepted
+//! Each connection is a state machine, not a thread pair: an inbound
+//! [`FrameAssembler`] that decodes across partial reads, an outbound
+//! byte ring with partial-write resume, and a per-tick read budget.
+//! The loop parks in `poll(2)` and is roused by socket readiness or by
+//! the engine-side route waker ([`NodeHandle::register_waker`]) when a
+//! worker finishes a job — results are pushed to the loop, never
+//! polled for.
+//!
+//! Tenant isolation is a liveness guarantee at three layers:
+//!
+//! * a tenant at its in-flight cap gets `BUSY` (its results queue can
+//!   never fill, so workers never block on a slow socket);
+//! * a write-blocked tenant accumulates output only to a bounded high
+//!   water, after which the loop stops *reading* from it (its own
+//!   submissions stall, nobody else's);
+//! * a firehose tenant is cut off at the per-tick read budget and
+//!   resumed next tick; an idle or Slowloris tenant is evicted after
+//!   [`TransportConfig::idle_timeout`].
+//!
+//! The server still doesn't know what an [`Engine`] is: each accepted
 //! connection gets a private [`NodeHandle`] session minted by a
 //! [`NodeFactory`] — for the canonical `Arc<Engine>` factory that is a
-//! [`LocalNode`] attached over its own [`ResultRoute`], which is
-//! exactly the pre-refactor per-connection route, now expressed through
-//! the same abstraction the cluster router uses. Concurrent tenants
-//! only ever see their own completions, and the engine's shared
-//! completion stream (used by in-process `run_batch` callers) stays
-//! untouched. Serving a different backend (another engine wrapper, a
-//! router-fronted cluster) is a factory away, not a server rewrite.
-//!
-//! Backpressure is explicit end to end: a full submission queue
-//! surfaces as the session's synchronous [`SubmitOutcome::Busy`] and
-//! turns into a `BUSY` reply frame carrying the job id — the client
-//! decides whether to retry — and a full per-connection event queue
-//! blocks the worker delivering into it (which the writer thread
-//! drains), exactly like the in-process bounded queues.
+//! [`LocalNode`] attached over its own [`ResultRoute`]. Concurrent
+//! tenants only ever see their own completions, and the engine's
+//! shared completion stream stays untouched.
 //!
 //! The server trusts determinism, not the network: a malformed frame
 //! (bad magic, bad checksum, torn stream) terminates the connection —
-//! after a framing error there is no way to resynchronize, and decoding
-//! a corrupted `JobSpec` would break the bit-identical-results contract
-//! the loopback suite pins.
+//! after a framing error there is no way to resynchronize, and
+//! decoding a corrupted `JobSpec` would break the bit-identical
+//! results contract the loopback suite pins.
 //!
 //! [`Engine`]: crate::engine::Engine
 //! [`LocalNode`]: crate::cluster::node::LocalNode
 //! [`ResultRoute`]: crate::engine::ResultRoute
+//! [`FrameAssembler`]: crate::transport::frame::FrameAssembler
 
-use std::io::{BufReader, BufWriter};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::cluster::node::{NodeError, NodeEvent, NodeFactory, NodeHandle, SubmitOutcome};
 use crate::engine::Engine;
 use crate::queue::TryPop;
 use crate::telemetry::{Metric, MetricsRegistry};
-use crate::transport::frame::{read_frame_metered, Frame, FrameWriter, StatsReply};
+use crate::transport::frame::{Frame, FrameAssembler, FrameWriter, StatsReply};
+use crate::transport::reactor::{
+    poll_fds, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT,
+};
 
 /// Transport sizing knobs.
 #[derive(Clone, Copy, Debug)]
@@ -65,39 +85,90 @@ pub struct TransportConfig {
     /// every tenant down; anything larger than this is `REJECT`ed at
     /// the door.
     pub max_dimension: usize,
+    /// Event-loop threads. Connections are assigned at accept time
+    /// (`conn_id % event_loops`); each loop multiplexes its share with
+    /// `poll(2)`. Server thread count is `1 + event_loops`, independent
+    /// of connection count.
+    pub event_loops: usize,
+    /// Per-connection, per-tick read budget in bytes. A firehose tenant
+    /// that keeps the kernel buffer full is cut off at this budget each
+    /// tick and resumed the next, so it pays latency for its own volume
+    /// instead of starving the other tenants on its loop.
+    pub read_budget: usize,
+    /// Evict a connection after this long without a byte of progress in
+    /// either direction (Slowloris/abandoned-tenant reclamation).
+    /// `None` disables eviction.
+    pub idle_timeout: Option<Duration>,
+    /// Accept-time cap on concurrent connections; connection attempts
+    /// beyond it are dropped at the door (the fd is the scarce resource
+    /// being protected, so no protocol reply is owed).
+    pub max_connections: usize,
 }
 
 impl Default for TransportConfig {
     fn default() -> Self {
-        Self { route_capacity: 256, max_dimension: 1 << 24 }
+        Self {
+            route_capacity: 256,
+            max_dimension: 1 << 24,
+            event_loops: 2,
+            read_budget: 64 * 1024,
+            idle_timeout: Some(Duration::from_secs(300)),
+            max_connections: 65_536,
+        }
     }
 }
 
-/// Shared between the accept loop and `stop`.
+/// Read-chunk size: one `read` syscall per chunk, sized so a typical
+/// submit burst lands in one go.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Shared between the accept loop, the event loops, and `stop`.
 struct ServerShared {
     factory: Arc<dyn NodeFactory>,
     config: TransportConfig,
     stopping: AtomicBool,
-    /// `(conn id, socket clone)` per **live** connection, so `stop` can
-    /// shut the sockets down and unblock reader threads parked in
-    /// `read`. Each connection removes its own entry on exit — a
-    /// long-running server must not leak one fd per tenant that ever
-    /// connected.
-    conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Live connection count (accept increments, teardown decrements);
+    /// mirrored by the `pooled_transport_connections` gauge.
+    live: AtomicUsize,
     next_conn: AtomicU64,
     /// Server-wide wire accounting (all connections share one registry:
     /// frames/bytes both ways, checksum rejects, rejected jobs,
-    /// answered scrapes).
+    /// answered scrapes, reactor wakeups/budget/evictions).
     metrics: Arc<MetricsRegistry>,
+    /// One inbox per event loop: the accept thread and route wakers
+    /// post to it, the loop drains it at the top of every tick.
+    inboxes: Vec<Arc<LoopInbox>>,
+}
+
+/// Cross-thread mailbox of one event loop.
+struct LoopInbox {
+    /// Connections accepted but not yet registered with the loop.
+    new_conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Connections whose session has undrained events (posted by route
+    /// wakers, deduplicated by each connection's `queued` flag).
+    ready: Mutex<Vec<u64>>,
+    /// Rouses the loop out of `poll(2)`.
+    wake: WakePipe,
+}
+
+impl LoopInbox {
+    /// Wake the loop, counting wakeups that actually signaled the pipe
+    /// (coalesced wakes are free and uncounted).
+    fn wake(&self, metrics: &MetricsRegistry) {
+        if self.wake.wake() {
+            metrics.inc(Metric::ReactorWakeups);
+        }
+    }
 }
 
 /// A listening TCP front. Dropping without [`TransportServer::stop`]
-/// aborts the accept loop on its next wake-up but does not join it;
-/// call `stop` for a deterministic teardown.
+/// abandons the threads (they exit on their next wake-up after the
+/// process-exit teardown); call `stop` for a deterministic teardown.
 pub struct TransportServer {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
     accept_handle: Option<JoinHandle<()>>,
+    loop_handles: Vec<JoinHandle<()>>,
 }
 
 impl TransportServer {
@@ -124,20 +195,40 @@ impl TransportServer {
     {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let loops = config.event_loops.max(1);
+        let mut inboxes = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            inboxes.push(Arc::new(LoopInbox {
+                new_conns: Mutex::new(Vec::new()),
+                ready: Mutex::new(Vec::new()),
+                wake: WakePipe::new()?,
+            }));
+        }
         let shared = Arc::new(ServerShared {
             factory: Arc::new(factory),
             config,
             stopping: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            live: AtomicUsize::new(0),
             next_conn: AtomicU64::new(0),
             metrics: Arc::new(MetricsRegistry::new()),
+            inboxes,
         });
+        let mut loop_handles = Vec::with_capacity(loops);
+        for loop_id in 0..loops {
+            let loop_shared = Arc::clone(&shared);
+            loop_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("transport-loop-{loop_id}"))
+                    .spawn(move || event_loop(loop_id, &loop_shared))
+                    .expect("failed to spawn transport event loop"),
+            );
+        }
         let accept_shared = Arc::clone(&shared);
         let accept_handle = std::thread::Builder::new()
             .name("transport-accept".into())
             .spawn(move || accept_loop(&listener, &accept_shared))
             .expect("failed to spawn transport accept thread");
-        Ok(Self { local_addr, shared, accept_handle: Some(accept_handle) })
+        Ok(Self { local_addr, shared, accept_handle: Some(accept_handle), loop_handles })
     }
 
     /// The bound address (resolves the ephemeral port).
@@ -151,15 +242,15 @@ impl TransportServer {
     }
 
     /// Connections currently being served (observability; also pins the
-    /// no-fd-leak contract — a disconnected tenant's entry is gone once
-    /// its threads wind down).
+    /// no-fd-leak contract — a disconnected tenant's count is gone once
+    /// its loop reaps the connection).
     pub fn live_connections(&self) -> usize {
-        self.shared.conns.lock().expect("conn list poisoned").len()
+        self.shared.live.load(Ordering::Acquire)
     }
 
-    /// Stop accepting, drop every live connection, and join all transport
-    /// threads. The nodes behind the factory keep running — their owner
-    /// shuts them down.
+    /// Stop accepting, drop every live connection, and join all
+    /// transport threads. The nodes behind the factory keep running —
+    /// their owner shuts them down.
     pub fn stop(mut self) {
         self.shared.stopping.store(true, Ordering::SeqCst);
         // Unblock the accept loop: it only observes `stopping` between
@@ -168,103 +259,334 @@ impl TransportServer {
         if let Some(handle) = self.accept_handle.take() {
             handle.join().expect("transport accept thread panicked");
         }
+        for inbox in &self.shared.inboxes {
+            inbox.wake(&self.shared.metrics);
+        }
+        for handle in self.loop_handles.drain(..) {
+            handle.join().expect("transport event loop panicked");
+        }
     }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
-    let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+    let loops = shared.inboxes.len() as u64;
     for stream in listener.incoming() {
         if shared.stopping.load(Ordering::SeqCst) {
             break;
         }
-        // Reap finished connections so a long-running server's handle
-        // list tracks live tenants, not every tenant that ever was.
-        conn_handles.retain(|h| !h.is_finished());
         let stream = match stream {
             Ok(s) => s,
             Err(_) => continue, // transient accept error; keep serving
         };
+        if shared.live.load(Ordering::Acquire) >= shared.config.max_connections {
+            continue; // at capacity: drop at the door (fd is the scarce resource)
+        }
         let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            continue; // a socket the loop can't poll is unusable
+        }
         let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().expect("conn list poisoned").push((conn_id, clone));
-        }
-        let conn_shared = Arc::clone(shared);
-        if let Ok(handle) = std::thread::Builder::new()
-            .name("transport-conn".into())
-            .spawn(move || serve_connection(conn_id, stream, &conn_shared))
-        {
-            conn_handles.push(handle);
-        }
-    }
-    // Shut every live socket down so reader threads parked in `read`
-    // wake with EOF, then join them (each joins its own writer).
-    for (_, conn) in shared.conns.lock().expect("conn list poisoned").iter() {
-        let _ = conn.shutdown(Shutdown::Both);
-    }
-    for handle in conn_handles {
-        handle.join().expect("transport connection thread panicked");
+        shared.live.fetch_add(1, Ordering::AcqRel);
+        shared.metrics.inc(Metric::TransportConnections);
+        let inbox = &shared.inboxes[(conn_id % loops) as usize];
+        inbox.new_conns.lock().expect("inbox poisoned").push((conn_id, stream));
+        inbox.wake(&shared.metrics);
     }
 }
 
-/// The connection's frame sink, shared by its two producers (the
-/// writer thread streams session events, the reader thread interjects
-/// immediate BUSY/REJECT answers).
-type WireWriter = FrameWriter<BufWriter<TcpStream>>;
+/// A connection's outbound byte ring: frames are appended at the tail
+/// (through the connection's [`FrameWriter`]) and drained from `pos`
+/// against the nonblocking socket — partial-write resume is just "keep
+/// `pos`". The consumed prefix is dropped lazily, amortized O(1)/byte.
+#[derive(Default)]
+struct OutRing {
+    buf: Vec<u8>,
+    pos: usize,
+}
 
-fn serve_connection(conn_id: u64, stream: TcpStream, shared: &ServerShared) {
-    let write_stream = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => {
-            forget_connection(conn_id, shared);
-            return;
+impl OutRing {
+    fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
         }
-    };
-    // This connection's private place-jobs-run: for the `Arc<Engine>`
-    // factory, a LocalNode over a fresh ResultRoute.
+    }
+}
+
+impl Write for OutRing {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        if self.pos >= 4096 && self.pos >= self.buf.len() / 2 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(()) // the event loop drains the ring; nothing buffers below it
+    }
+}
+
+/// One connection's state machine. No threads, no locks — everything
+/// here is owned by exactly one event loop. The only cross-thread piece
+/// is `queued`, shared with the route waker closure.
+struct Conn {
+    stream: TcpStream,
+    session: Arc<dyn NodeHandle>,
+    asm: FrameAssembler,
+    /// Outbound frames ride inside the metered writer; its sink is the
+    /// [`OutRing`] the write phase drains.
+    wire: FrameWriter<OutRing>,
+    /// Jobs accepted but not yet answered on the wire. Bounding this at
+    /// `route_capacity` (reads refuse with BUSY at the cap) is what
+    /// keeps workers from ever blocking on this tenant's event queue:
+    /// at most `route_capacity` results can exist at once, and the
+    /// queue holds exactly that many — a worker's push always finds
+    /// room, even if the tenant stops reading forever.
+    pending: usize,
+    /// Wake dedup flag shared with this connection's route waker: set
+    /// by the waker when it posts to the loop's ready list, cleared by
+    /// the loop before draining, so each burst of deliveries costs one
+    /// inbox entry.
+    queued: Arc<AtomicBool>,
+    /// Last instant a byte moved in either direction (idle eviction).
+    last_activity: Instant,
+    /// Read budget ran out with socket bytes possibly still pending —
+    /// the loop polls with zero timeout and returns to this conn next
+    /// tick (fairness without starvation).
+    hot: bool,
+    /// Out ring passed high water: stop reading from this tenant until
+    /// it drains its results (a write-blocked tenant stalls itself,
+    /// never the loop and never a worker).
+    read_paused: bool,
+    /// Session reported `Closed`: flush what's buffered, then die.
+    draining: bool,
+    /// Terminal; reaped at end of tick.
+    dead: bool,
+}
+
+impl Conn {
+    /// Output high water: past this, reading from the tenant pauses.
+    /// Sized so the cap-bounded result backlog always fits (a RESULT
+    /// frame is 80 bytes; 96 leaves headroom) plus a burst of replies.
+    fn pause_high(config: &TransportConfig) -> usize {
+        16 * 1024 + config.route_capacity * 96
+    }
+}
+
+fn event_loop(loop_id: usize, shared: &Arc<ServerShared>) {
+    let inbox = Arc::clone(&shared.inboxes[loop_id]);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut pollfds: Vec<PollFd> = Vec::new();
+    let mut poll_ids: Vec<u64> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let sweep_interval = shared
+        .config
+        .idle_timeout
+        .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
+    let mut last_sweep = Instant::now();
+
+    while !shared.stopping.load(Ordering::SeqCst) {
+        // ── build the poll set ───────────────────────────────────────
+        pollfds.clear();
+        poll_ids.clear();
+        pollfds.push(PollFd { fd: inbox.wake.read_fd(), events: POLLIN, revents: 0 });
+        poll_ids.push(u64::MAX);
+        let mut any_hot = false;
+        for (&id, conn) in conns.iter() {
+            let mut events = 0i16;
+            if !conn.read_paused {
+                events |= POLLIN;
+            }
+            if conn.wire.get_ref().pending() > 0 {
+                events |= POLLOUT;
+            }
+            any_hot |= conn.hot;
+            pollfds.push(PollFd { fd: conn.stream.as_raw_fd(), events, revents: 0 });
+            poll_ids.push(id);
+        }
+
+        // ── park ─────────────────────────────────────────────────────
+        let timeout = if any_hot { Some(Duration::ZERO) } else { sweep_interval };
+        let _ = poll_fds(&mut pollfds, timeout);
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        inbox.wake.drain();
+
+        // ── adopt newly accepted connections ─────────────────────────
+        let fresh = std::mem::take(&mut *inbox.new_conns.lock().expect("inbox poisoned"));
+        for (id, stream) in fresh {
+            let mut conn = register_conn(id, stream, shared, &inbox);
+            // The socket may already hold the tenant's first burst (it
+            // was live before the loop ever polled it).
+            read_conn(&mut conn, shared, &mut scratch);
+            conns.insert(id, conn);
+        }
+
+        // ── drain sessions the wakers flagged ────────────────────────
+        let ready = std::mem::take(&mut *inbox.ready.lock().expect("inbox poisoned"));
+        for id in ready {
+            if let Some(conn) = conns.get_mut(&id) {
+                drain_session(conn);
+            }
+        }
+
+        // ── read phase ───────────────────────────────────────────────
+        for (i, pfd) in pollfds.iter().enumerate().skip(1) {
+            let Some(conn) = conns.get_mut(&poll_ids[i]) else { continue };
+            if conn.dead {
+                continue;
+            }
+            if pfd.revents & (POLLERR | POLLNVAL) != 0 {
+                conn.dead = true;
+                continue;
+            }
+            if conn.hot || pfd.revents & (POLLIN | POLLHUP) != 0 {
+                read_conn(conn, shared, &mut scratch);
+            }
+        }
+
+        // ── write phase (always attempted: reads and session drains
+        //    appended frames the peer is waiting on) ──────────────────
+        for conn in conns.values_mut() {
+            if !conn.dead && conn.wire.get_ref().pending() > 0 {
+                write_conn(conn, shared);
+            }
+            if conn.draining && conn.wire.get_ref().pending() == 0 {
+                conn.dead = true;
+            }
+        }
+
+        // ── idle sweep ───────────────────────────────────────────────
+        if let (Some(timeout), Some(interval)) = (shared.config.idle_timeout, sweep_interval) {
+            let now = Instant::now();
+            if now.duration_since(last_sweep) >= interval {
+                last_sweep = now;
+                for conn in conns.values_mut() {
+                    if !conn.dead && now.duration_since(conn.last_activity) > timeout {
+                        shared.metrics.inc(Metric::TransportIdleEvictions);
+                        conn.dead = true;
+                    }
+                }
+            }
+        }
+
+        // ── reap ─────────────────────────────────────────────────────
+        conns.retain(|_, conn| {
+            if !conn.dead {
+                return true;
+            }
+            teardown_conn(conn, shared);
+            false
+        });
+    }
+
+    // Loop exit: tear down every served connection plus any the accept
+    // thread posted that we never adopted.
+    for conn in conns.values_mut() {
+        teardown_conn(conn, shared);
+    }
+    for (_, stream) in std::mem::take(&mut *inbox.new_conns.lock().expect("inbox poisoned")) {
+        let _ = stream.shutdown(Shutdown::Both);
+        shared.live.fetch_sub(1, Ordering::AcqRel);
+        shared.metrics.dec(Metric::TransportConnections);
+    }
+}
+
+/// Mint the session, install the route waker, and build the state
+/// machine for a freshly accepted connection.
+fn register_conn(
+    id: u64,
+    stream: TcpStream,
+    shared: &Arc<ServerShared>,
+    inbox: &Arc<LoopInbox>,
+) -> Conn {
     let session: Arc<dyn NodeHandle> =
         Arc::from(shared.factory.open_session(shared.config.route_capacity));
-    let wire = Arc::new(Mutex::new(WireWriter::with_metrics(
-        BufWriter::new(write_stream),
-        Arc::clone(&shared.metrics),
-    )));
-    // Jobs accepted but not yet answered on the wire. Bounding this at
-    // `route_capacity` (reader refuses with BUSY at the cap) is what
-    // keeps workers from ever blocking on this tenant's event queue: at
-    // most `route_capacity` results can exist at once, and the queue
-    // holds exactly that many — a worker's push always finds room, even
-    // if the tenant stops reading forever.
-    let pending = Arc::new(AtomicUsize::new(0));
-
-    // Writer thread: drain this connection's session events. The
-    // tri-state `try_recv` is what makes the loop correct: `Empty` means
-    // flush the burst and park in the blocking `recv`, `Closed` means
-    // the tenant or node is gone — terminate instead of polling a dead
-    // stream.
-    let writer_session = Arc::clone(&session);
-    let writer_wire = Arc::clone(&wire);
-    let writer_pending = Arc::clone(&pending);
-    let writer = std::thread::Builder::new()
-        .name("transport-writer".into())
-        .spawn(move || writer_loop(writer_session.as_ref(), &writer_wire, &writer_pending))
-        .expect("failed to spawn transport writer");
-
-    reader_loop(&stream, shared, session.as_ref(), &wire, &pending);
-
-    // Reader is done (EOF, framing error, or node shutdown): close the
-    // session so the writer drains what's buffered and exits, and so
-    // workers finishing this tenant's in-flight jobs drop their results
-    // instead of blocking on a stream nobody reads.
-    session.close();
-    writer.join().expect("transport writer panicked");
-    let _ = stream.shutdown(Shutdown::Both);
-    forget_connection(conn_id, shared);
+    let queued = Arc::new(AtomicBool::new(false));
+    {
+        let queued = Arc::clone(&queued);
+        let inbox = Arc::clone(inbox);
+        let metrics = Arc::clone(&shared.metrics);
+        // Push-then-wake, dedup'd: the first delivery of a burst posts
+        // the conn id and signals the pipe; the rest ride along free.
+        session.register_waker(Arc::new(move || {
+            if !queued.swap(true, Ordering::AcqRel) {
+                inbox.ready.lock().expect("inbox poisoned").push(id);
+                inbox.wake(&metrics);
+            }
+        }));
+    }
+    Conn {
+        stream,
+        session,
+        asm: FrameAssembler::new(),
+        wire: FrameWriter::with_metrics(OutRing::default(), Arc::clone(&shared.metrics)),
+        pending: 0,
+        queued,
+        last_activity: Instant::now(),
+        hot: false,
+        read_paused: false,
+        draining: false,
+        dead: false,
+    }
 }
 
-/// Drop this connection's socket clone from the live list (a server
-/// handling short-lived tenants must not leak a descriptor per connect).
-fn forget_connection(conn_id: u64, shared: &ServerShared) {
-    shared.conns.lock().expect("conn list poisoned").retain(|(id, _)| *id != conn_id);
+/// Close the session and the socket, and release the connection's slot
+/// in the live count/gauge.
+fn teardown_conn(conn: &mut Conn, shared: &ServerShared) {
+    conn.session.close();
+    let _ = conn.stream.shutdown(Shutdown::Both);
+    shared.live.fetch_sub(1, Ordering::AcqRel);
+    shared.metrics.dec(Metric::TransportConnections);
+}
+
+/// Drain the session's event queue into the out ring (non-blocking; the
+/// route waker re-posts if a delivery races the drain).
+fn drain_session(conn: &mut Conn) {
+    // Clear the dedup flag *before* draining: a delivery that lands
+    // after this store re-posts the conn, so nothing is lost; one that
+    // lands before is picked up by this very drain.
+    conn.queued.store(false, Ordering::Release);
+    loop {
+        if conn.dead || conn.draining {
+            return;
+        }
+        match conn.session.try_recv() {
+            TryPop::Item(event) => {
+                let Some(frame) = event_frame(event) else {
+                    // A proxied upstream died (`Down` has no wire form):
+                    // this connection ends with it.
+                    conn.dead = true;
+                    return;
+                };
+                conn.pending = conn.pending.saturating_sub(1);
+                if conn.wire.send(&frame).is_err() {
+                    conn.dead = true;
+                    return;
+                }
+                if let Frame::Result(r) = frame {
+                    // The trace itself drained at delivery; this is its
+                    // wire-tx causal counterpart in the flight recorder.
+                    conn.session.note_wire_tx(r.id);
+                }
+            }
+            TryPop::Empty => return,
+            TryPop::Closed => {
+                // Engine/session gone: whatever is already encoded still
+                // goes out, then the connection closes.
+                conn.draining = true;
+                return;
+            }
+        }
+    }
 }
 
 /// The wire frame answering one session event. Local sessions only emit
@@ -281,82 +603,70 @@ fn event_frame(event: NodeEvent) -> Option<Frame> {
     }
 }
 
-/// Relay one session event onto the wire. `false` means the connection
-/// should end (peer gone, or the event was terminal).
-fn relay_event(
-    event: NodeEvent,
-    session: &dyn NodeHandle,
-    wire: &Mutex<WireWriter>,
-    pending: &AtomicUsize,
-) -> bool {
-    let Some(frame) = event_frame(event) else {
-        return false;
-    };
-    let mut w = wire.lock().expect("wire writer poisoned");
-    let sent = w.send(&frame);
-    drop(w);
-    pending.fetch_sub(1, Ordering::AcqRel);
-    if sent.is_ok() {
-        if let NodeEvent::Result(r) = event {
-            // The trace itself drained at delivery; this is its wire-tx
-            // causal counterpart in the flight recorder.
-            session.note_wire_tx(r.id);
-        }
-    }
-    sent.is_ok()
-}
-
-fn writer_loop(session: &dyn NodeHandle, wire: &Mutex<WireWriter>, pending: &AtomicUsize) {
+/// Budgeted nonblocking read: pull at most `read_budget` bytes this
+/// tick, feeding the assembler and processing every complete frame.
+fn read_conn(conn: &mut Conn, shared: &ServerShared, scratch: &mut [u8]) {
+    let mut budget = shared.config.read_budget.max(1);
+    conn.hot = false;
     loop {
-        match session.try_recv() {
-            TryPop::Item(event) => {
-                if !relay_event(event, session, wire, pending) {
-                    return; // peer or upstream gone; reader closes the session
-                }
+        if conn.dead || conn.draining || conn.read_paused {
+            return;
+        }
+        if budget == 0 {
+            // Bytes may still be pending in the kernel buffer; come
+            // back next tick so siblings on this loop get their turn.
+            conn.hot = true;
+            shared.metrics.inc(Metric::ReactorReadBudgetExhausted);
+            return;
+        }
+        let want = budget.min(scratch.len());
+        match (&conn.stream).read(&mut scratch[..want]) {
+            Ok(0) => {
+                // Clean EOF: the tenant hung up. In-flight results have
+                // nowhere to go — teardown drops them, as the blocking
+                // front did.
+                conn.dead = true;
+                return;
             }
-            TryPop::Empty => {
-                // Burst over: flush what the tenant is waiting on, then
-                // park in the blocking recv until traffic resumes.
-                if wire.lock().expect("wire writer poisoned").flush().is_err() {
+            Ok(n) => {
+                budget -= n;
+                conn.last_activity = Instant::now();
+                conn.asm.extend(&scratch[..n]);
+                if !process_frames(conn, shared) {
+                    conn.dead = true;
                     return;
                 }
-                match session.recv() {
-                    Some(event) => {
-                        if !relay_event(event, session, wire, pending) {
-                            return;
-                        }
-                    }
-                    None => break,
+                if n < want {
+                    return; // short read: kernel buffer is drained
                 }
             }
-            TryPop::Closed => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
         }
     }
-    let _ = wire.lock().expect("wire writer poisoned").flush();
 }
 
-fn reader_loop(
-    stream: &TcpStream,
-    shared: &ServerShared,
-    session: &dyn NodeHandle,
-    wire: &Mutex<WireWriter>,
-    pending: &AtomicUsize,
-) {
-    let mut r = BufReader::new(stream);
-    let mut scratch = Vec::new();
+/// Decode and serve every complete frame the assembler holds. Returns
+/// `false` when the connection must end (torn stream, protocol
+/// violation, or the node behind it is gone).
+fn process_frames(conn: &mut Conn, shared: &ServerShared) -> bool {
     loop {
-        let frame = match read_frame_metered(&mut r, &mut scratch, &shared.metrics) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => return, // clean disconnect
-            Err(_) => return,   // torn/corrupt stream: no resync possible
+        let frame = match conn.asm.next_frame_metered(&shared.metrics) {
+            Ok(Some((frame, _))) => frame,
+            Ok(None) => return true, // partial frame: wait for more bytes
+            Err(_) => return false,  // torn/corrupt stream: no resync possible
         };
         // When this frame is a SUBMIT whose job gets sampled, this is
         // the instant its trace's `wire_rx` span records.
-        let received = std::time::Instant::now();
+        let received = Instant::now();
         match frame {
             Frame::Submit(spec) => {
-                // Semantic validation without unwinding the thread: remote
-                // peers must not be able to panic a reader with a bad
+                // Semantic validation without unwinding the loop: remote
+                // peers must not be able to panic the server with a bad
                 // spec, nor OOM the process with a well-formed spec whose
                 // buffers would be astronomically large.
                 if !spec.is_feasible()
@@ -364,32 +674,31 @@ fn reader_loop(
                     || spec.m > shared.config.max_dimension
                 {
                     shared.metrics.inc(Metric::JobsRejected);
-                    if send_now(wire, &Frame::Reject(spec.id)).is_err() {
-                        return;
+                    if conn.wire.send(&Frame::Reject(spec.id)).is_err() {
+                        return false;
                     }
-                    continue;
-                }
-                // Per-connection in-flight cap (see `serve_connection`):
-                // a tenant at its window gets BUSY like any other
-                // backpressure — explicit, retryable, never a drop.
-                if pending.load(Ordering::Acquire) >= shared.config.route_capacity {
-                    if send_now(wire, &Frame::Busy(spec.id)).is_err() {
-                        return;
+                } else if conn.pending >= shared.config.route_capacity {
+                    // Per-connection in-flight cap: a tenant at its
+                    // window gets BUSY like any other backpressure —
+                    // explicit, retryable, never a drop.
+                    if conn.wire.send(&Frame::Busy(spec.id)).is_err() {
+                        return false;
                     }
-                    continue;
-                }
-                pending.fetch_add(1, Ordering::AcqRel);
-                match session.try_submit_stamped(spec, Some(received)) {
-                    Ok(SubmitOutcome::Accepted) => {}
-                    Ok(SubmitOutcome::Busy) => {
-                        pending.fetch_sub(1, Ordering::AcqRel);
-                        // The explicit backpressure contract: full queue ⇒
-                        // BUSY reply carrying the id, never a silent drop.
-                        if send_now(wire, &Frame::Busy(spec.id)).is_err() {
-                            return;
+                } else {
+                    conn.pending += 1;
+                    match conn.session.try_submit_stamped(spec, Some(received)) {
+                        Ok(SubmitOutcome::Accepted) => {}
+                        Ok(SubmitOutcome::Busy) => {
+                            conn.pending -= 1;
+                            // The explicit backpressure contract: full
+                            // queue ⇒ BUSY reply carrying the id, never
+                            // a silent drop.
+                            if conn.wire.send(&Frame::Busy(spec.id)).is_err() {
+                                return false;
+                            }
                         }
+                        Err(NodeError::Closed) | Err(NodeError::Io(_)) => return false,
                     }
-                    Err(NodeError::Closed) | Err(NodeError::Io(_)) => return, // node gone
                 }
             }
             Frame::Prewarm(key) => {
@@ -406,7 +715,7 @@ fn reader_loop(
                 {
                     continue;
                 }
-                let _ = session.prewarm(std::slice::from_ref(&key));
+                let _ = conn.session.prewarm(std::slice::from_ref(&key));
             }
             Frame::StatsRequest(token) => {
                 // Scrape: answer with this session's observable stats,
@@ -414,26 +723,63 @@ fn reader_loop(
                 // stays silent — the scraper's deadline turns that into
                 // a stats-unavailable marker, which is honest, whereas
                 // an all-zeros reply would silently dilute merges.
-                if let Some(stats) = session.stats() {
+                if let Some(stats) = conn.session.stats() {
                     shared.metrics.inc(Metric::StatsScrapes);
-                    if send_now(wire, &Frame::Stats(StatsReply { token, stats })).is_err() {
-                        return;
+                    if conn.wire.send(&Frame::Stats(StatsReply { token, stats })).is_err() {
+                        return false;
                     }
                 }
             }
             // RESULT/BUSY/REJECT/STATS flow server→client only;
             // receiving one here is a protocol violation — drop the
             // connection.
-            Frame::Result(_) | Frame::Busy(_) | Frame::Reject(_) | Frame::Stats(_) => return,
+            Frame::Result(_) | Frame::Busy(_) | Frame::Reject(_) | Frame::Stats(_) => return false,
+        }
+        // A tenant that won't read its replies gets its output bounded:
+        // past high water the loop stops reading from it, so it can
+        // stall only itself (its cap-bounded results always fit).
+        if conn.wire.get_ref().pending() >= Conn::pause_high(&shared.config) {
+            conn.read_paused = true;
+            return true;
         }
     }
 }
 
-/// Send a reply frame and flush immediately — BUSY/REJECT are answers the
-/// client is actively waiting on; parking them in the buffer could
-/// deadlock a client that blocks on the reply before sending more.
-fn send_now(wire: &Mutex<WireWriter>, frame: &Frame) -> std::io::Result<()> {
-    let mut w = wire.lock().expect("wire writer poisoned");
-    w.send(frame)?;
-    w.flush()
+/// Drain the out ring against the nonblocking socket; partial writes
+/// resume next tick (the poll set registers `POLLOUT` while bytes
+/// remain).
+fn write_conn(conn: &mut Conn, shared: &ServerShared) {
+    loop {
+        let ring = conn.wire.get_mut();
+        let pending = ring.pending();
+        if pending == 0 {
+            break;
+        }
+        let window = &ring.buf[ring.pos..];
+        match (&conn.stream).write(window) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(n) => {
+                ring.advance(n);
+                conn.last_activity = Instant::now();
+                if n < pending {
+                    break; // kernel send buffer is full; resume next tick
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    // Resuming reads at half the pause threshold (not zero) keeps a
+    // borderline tenant from flapping between paused and resumed on
+    // every frame.
+    if conn.read_paused && conn.wire.get_ref().pending() < Conn::pause_high(&shared.config) / 2 {
+        conn.read_paused = false;
+    }
 }

@@ -55,6 +55,18 @@
 //!    run. The directory is left populated, so running the binary
 //!    again with the same `--wal-dir` starts warm across processes.
 //!
+//! 8. **Connection-front sweep** (`--connections N`, with `--transport
+//!    tcp`) — the readiness-driven front under tenant fan-out: 10, 100,
+//!    1000, … up to `N` concurrent loopback tenants on one server, each
+//!    serving its own slice of the batch. Reports per-tier throughput,
+//!    the queue/service/wire p95 split, and the peak process thread
+//!    count — which must stay O(event loops + workers + drivers), never
+//!    O(connections) — plus the headline check: the merged per-tenant
+//!    results **bit-identical** to one in-process `run_batch` of the
+//!    same jobs. Tiers that would exceed the process fd limit (three
+//!    fds per loopback connection: the client end, its cloned read
+//!    half, and the server end) are clamped, loudly.
+//!
 //! Jobs carry a simulated query-execution cost (`--latency-micros`,
 //! default 2000): the paper's premise is that queries dominate
 //! reconstruction time, and overlapping that cost across shards is
@@ -72,6 +84,7 @@ use pooled_engine::engine::{Engine, EngineConfig, EngineStats};
 use pooled_engine::job::{DecoderKind, JobResult};
 use pooled_engine::telemetry::{render_prometheus, Metric, TelemetryConfig};
 use pooled_engine::traffic::{poisson_arrivals, LoadProfile};
+use pooled_engine::transport::reactor::{raise_fd_limit, thread_count};
 use pooled_engine::transport::{TransportClient, TransportConfig, TransportServer};
 use pooled_engine::{DurabilityConfig, JobSpec};
 use pooled_experiments::DEFAULT_SEED;
@@ -115,6 +128,11 @@ fn main() {
         "--transport must be 'none' or 'tcp', got {transport:?}"
     );
     let cluster = args.get_usize("cluster", 3);
+    let connections = args.get_usize("connections", 0);
+    assert!(
+        connections == 0 || transport == "tcp",
+        "--connections sweeps the TCP front; pass --transport tcp"
+    );
     let kill_node = args.flag("kill-node");
     let metrics_mode = args.flag("metrics");
     let wal_dir = args.get_str("wal-dir", "");
@@ -423,6 +441,74 @@ fn main() {
         durability_sweep = Some(sweep);
     }
 
+    // --- 3g. Connection-front sweep (--connections N) -----------------------
+    // The readiness-driven front under tenant fan-out: decade tiers of
+    // concurrent loopback tenants up to N, each serving a disjoint slice
+    // of one batch. Two headline checks ride every tier: the merged
+    // per-tenant results are bit-identical to a single in-process
+    // run_batch of the same jobs, and the peak process thread count is
+    // O(event loops + workers + drivers) — the whole point of retiring
+    // thread-per-connection.
+    let mut connection_tiers: Vec<ConnectionTier> = Vec::new();
+    let mut connection_fingerprints_ok = true;
+    let mut connection_threads_bounded = true;
+    if connections > 0 {
+        let tiers: Vec<usize> = std::iter::successors(Some(10usize), |c| Some(c * 10))
+            .take_while(|&c| c < connections)
+            .chain(std::iter::once(connections))
+            .collect();
+        let mut truth = std::collections::HashMap::new();
+        println!(
+            "conns    jobs     jobs/s       fingerprint-ok  threads  bound  busy   q-p95   \
+             s-p95   w-p95"
+        );
+        for &tier_conns in &tiers {
+            let tier = run_connection_tier(
+                tier_conns,
+                max_workers,
+                queue,
+                cache,
+                &profile,
+                jobs,
+                &mut truth,
+            );
+            connection_fingerprints_ok &= tier.fingerprints_match;
+            connection_threads_bounded &= tier.threads_bounded;
+            println!(
+                "{:<8} {:<8} {:<12.1} {:<15} {:<8} {:<6} {:<6} {:<7} {:<7} {}",
+                tier.connections,
+                tier.total_jobs,
+                tier.jobs_per_sec,
+                if tier.fingerprints_match { "yes" } else { "NO" },
+                tier.peak_threads,
+                tier.thread_bound,
+                tier.busy_retries,
+                tier.queue_p95,
+                tier.service_p95,
+                tier.wire_p95,
+            );
+            connection_tiers.push(tier);
+        }
+        if !connection_fingerprints_ok {
+            eprintln!(
+                "engine_load: DETERMINISM VIOLATION — connection-sweep results differ from \
+                 in-process submission"
+            );
+        }
+        if !connection_threads_bounded {
+            eprintln!(
+                "engine_load: THREAD REGRESSION — server thread count scaled with connections"
+            );
+        }
+        if connection_fingerprints_ok && connection_threads_bounded {
+            println!(
+                "connection front held to {} tenants: fingerprints bit-identical, threads \
+                 O(event loops)",
+                connection_tiers.last().map_or(0, |t| t.connections)
+            );
+        }
+    }
+
     // --- 4. Emit BENCH_ENGINE.json ---------------------------------------
     let sweep_rows: Vec<serde_json::Value> = passes
         .iter()
@@ -566,6 +652,45 @@ fn main() {
             ));
         }
     }
+    if connections > 0 {
+        let tier_rows: Vec<serde_json::Value> = connection_tiers
+            .iter()
+            .map(|t| {
+                serde_json::json!({
+                    "requested_connections": t.requested,
+                    "connections": t.connections,
+                    "total_jobs": t.total_jobs,
+                    "jobs_per_sec": t.jobs_per_sec,
+                    "fingerprints_match": t.fingerprints_match,
+                    "peak_threads": t.peak_threads,
+                    "thread_bound": t.thread_bound,
+                    "threads_bounded": t.threads_bounded,
+                    "busy_retries": t.busy_retries,
+                    "queue_p95_micros": t.queue_p95,
+                    "service_p95_micros": t.service_p95,
+                    "wire_p95_micros": t.wire_p95,
+                    "fd_limit": t.fd_limit,
+                })
+            })
+            .collect();
+        if let serde_json::Value::Object(members) = &mut report {
+            members.push((
+                "connection_sweep".to_string(),
+                serde_json::json!({
+                    "requested_max": connections,
+                    "tiers": tier_rows,
+                }),
+            ));
+            members.push((
+                "connection_fingerprints_match_in_process".to_string(),
+                serde_json::Value::Bool(connection_fingerprints_ok),
+            ));
+            members.push((
+                "connection_threads_bounded".to_string(),
+                serde_json::Value::Bool(connection_threads_bounded),
+            ));
+        }
+    }
     if let Some(sweep) = &failover {
         if let serde_json::Value::Object(members) = &mut report {
             members.push((
@@ -624,6 +749,8 @@ fn main() {
         || !failover_ok
         || !telemetry_deterministic
         || !durability_ok
+        || !connection_fingerprints_ok
+        || !connection_threads_bounded
     {
         std::process::exit(1);
     }
@@ -850,6 +977,168 @@ fn run_tcp_loop(workers: usize, queue: usize, cache: usize, specs: &[JobSpec]) -
         queue_p95: split.queue.quantile_micros(0.95),
         service_p95: split.service.quantile_micros(0.95),
         wire_p95: split.wire.quantile_micros(0.95),
+    }
+}
+
+/// One tier of the connection-front sweep.
+struct ConnectionTier {
+    requested: usize,
+    connections: usize,
+    total_jobs: usize,
+    jobs_per_sec: f64,
+    fingerprints_match: bool,
+    peak_threads: usize,
+    thread_bound: usize,
+    threads_bounded: bool,
+    busy_retries: u64,
+    queue_p95: u64,
+    service_p95: u64,
+    wire_p95: u64,
+    fd_limit: u64,
+}
+
+/// One fan-out tier: `requested` concurrent loopback tenants against a
+/// single event-loop server, each replaying its own contiguous id slice
+/// of one `total_jobs`-job batch (so the merged results compare 1:1
+/// against a single in-process `run_batch`). At most 8 driver threads
+/// own the tenants round-robin and serve them serially — tenant
+/// concurrency lives in the server's event loops, not in the load
+/// generator. The thread count is sampled while every tenant is
+/// connected, *before* the serve phase, which is exactly when a
+/// thread-per-connection design would be caught red-handed.
+#[allow(clippy::too_many_arguments)]
+fn run_connection_tier(
+    requested: usize,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    profile: &LoadProfile,
+    base_jobs: usize,
+    truth: &mut std::collections::HashMap<usize, u64>,
+) -> ConnectionTier {
+    // Three fds per loopback connection — the client's stream, the
+    // client's cloned read half, and the server's end — plus slack for
+    // the engine, wake pipes, and whatever the process already holds. A
+    // tier the fd limit cannot host is clamped — loudly, and recorded
+    // in the report, never silently passed off as the full run.
+    const FD_SLACK: u64 = 400;
+    let fd_limit = raise_fd_limit(3 * requested as u64 + FD_SLACK);
+    let conns = requested.min((fd_limit.saturating_sub(FD_SLACK) / 3) as usize).max(1);
+    if conns < requested {
+        eprintln!(
+            "engine_load: fd limit {fd_limit} clamps the {requested}-connection tier to {conns}"
+        );
+    }
+    let total_jobs = base_jobs.max(conns);
+    let specs = profile.specs(total_jobs);
+    let want = *truth.entry(total_jobs).or_insert_with(|| {
+        let engine = Engine::start(node_config(workers, queue, cache));
+        let mut results = Vec::with_capacity(total_jobs);
+        engine.run_batch(&specs, &mut results);
+        engine.shutdown();
+        batch_fingerprint(&results)
+    });
+
+    let config = TransportConfig { max_connections: conns + 8, ..TransportConfig::default() };
+    let event_loops = config.event_loops;
+    let engine = Arc::new(Engine::start(node_config(workers, queue, cache)));
+    let server = TransportServer::bind(Arc::clone(&engine), "127.0.0.1:0", config)
+        .expect("bind connection-sweep server");
+    let addr = server.local_addr();
+
+    // Tenant t's slice: total_jobs / conns jobs, the remainder spread
+    // over the first tenants, ids contiguous.
+    let per = total_jobs / conns;
+    let extra = total_jobs % conns;
+    let mut slices = Vec::with_capacity(conns);
+    let mut at = 0usize;
+    for t in 0..conns {
+        let len = per + usize::from(t < extra);
+        slices.push(specs[at..at + len].to_vec());
+        at += len;
+    }
+
+    let drivers = conns.min(8);
+    let barrier = Arc::new(std::sync::Barrier::new(drivers + 1));
+    let mut handles = Vec::with_capacity(drivers);
+    for d in 0..drivers {
+        let mine: Vec<Vec<JobSpec>> = slices.iter().skip(d).step_by(drivers).cloned().collect();
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            // A transient connect failure (listen backlog, fd pressure)
+            // must not kill a driver thread — the barrier would deadlock
+            // the whole sweep. Retry briefly before giving up.
+            let connect = |t: usize| {
+                let mut last = None;
+                for attempt in 0..4 {
+                    match TransportClient::connect(addr) {
+                        Ok(client) => return client,
+                        Err(err) => {
+                            last = Some(err);
+                            std::thread::sleep(Duration::from_millis(50 << attempt));
+                        }
+                    }
+                }
+                panic!("tenant {t} connect failed after retries: {:?}", last.unwrap());
+            };
+            let mut clients: Vec<TransportClient> = (0..mine.len()).map(connect).collect();
+            barrier.wait(); // every driver's tenants are connected
+            barrier.wait(); // main has sampled the thread count
+            let mut results = Vec::new();
+            let mut split = LatencySplit::new();
+            for (client, batch) in clients.iter_mut().zip(&mine) {
+                client.run_batch_split(batch, &mut results, &mut split).expect("tenant batch");
+            }
+            let busy = clients.iter().map(TransportClient::busy_retries).sum::<u64>();
+            (results, split, busy)
+        }));
+    }
+    barrier.wait(); // connect phase done from the drivers' side...
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while server.live_connections() < conns && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5)); // ...let the loops adopt
+    }
+    let live = server.live_connections();
+    assert_eq!(live, conns, "only {live}/{conns} tenants came up");
+    let peak_threads = thread_count().unwrap_or(0);
+    let started = Instant::now();
+    barrier.wait(); // release the serve phase
+    let mut merged: Vec<JobResult> = Vec::with_capacity(total_jobs);
+    let mut split = LatencySplit::new();
+    let mut busy_retries = 0u64;
+    for handle in handles {
+        let (results, driver_split, busy) = handle.join().expect("driver panicked");
+        merged.extend(results);
+        split.queue.merge(&driver_split.queue);
+        split.service.merge(&driver_split.service);
+        split.wire.merge(&driver_split.wire);
+        busy_retries += busy;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    server.stop();
+    Arc::try_unwrap(engine).ok().expect("server released the engine").shutdown();
+
+    merged.sort_unstable_by_key(|r| r.id);
+    let fingerprints_match = batch_fingerprint(&merged) == want;
+    // O(event loops), never O(connections): the loops, the accept
+    // thread, the engine's workers, the sweep's own drivers, and a fixed
+    // allowance for the runtime (main thread, telemetry, allocator...).
+    let thread_bound = event_loops + 1 + workers + drivers + 16;
+    let threads_bounded = peak_threads > 0 && peak_threads <= thread_bound;
+    ConnectionTier {
+        requested,
+        connections: conns,
+        total_jobs,
+        jobs_per_sec: total_jobs as f64 / elapsed,
+        fingerprints_match,
+        peak_threads,
+        thread_bound,
+        threads_bounded,
+        busy_retries,
+        queue_p95: split.queue.quantile_micros(0.95),
+        service_p95: split.service.quantile_micros(0.95),
+        wire_p95: split.wire.quantile_micros(0.95),
+        fd_limit,
     }
 }
 

@@ -285,7 +285,7 @@ fn oversized_feasible_specs_are_rejected_at_the_door() {
     let server = TransportServer::bind(
         Arc::clone(&engine),
         "127.0.0.1:0",
-        TransportConfig { route_capacity: 8, max_dimension: 1 << 20 },
+        TransportConfig { route_capacity: 8, max_dimension: 1 << 20, ..TransportConfig::default() },
     )
     .expect("bind");
     let mut client = TransportClient::connect(server.local_addr()).expect("connect");
@@ -315,7 +315,7 @@ fn a_tenant_at_its_window_gets_busy_not_a_parked_worker() {
     let server = TransportServer::bind(
         Arc::clone(&engine),
         "127.0.0.1:0",
-        TransportConfig { route_capacity: 1, max_dimension: 1 << 24 },
+        TransportConfig { route_capacity: 1, ..TransportConfig::default() },
     )
     .expect("bind");
     let mut client = TransportClient::connect(server.local_addr()).expect("connect");
