@@ -295,6 +295,39 @@ mod tests {
     }
 
     #[test]
+    fn backend_and_readiness_metrics_expose_in_both_formats() {
+        let reg = MetricsRegistry::new();
+        reg.set(Metric::TransportBackend, 1);
+        reg.add(Metric::TransportTicks, 500);
+        reg.add(Metric::TransportReadyFds, 750);
+        reg.add(Metric::TransportWritevCalls, 320);
+        reg.add(Metric::TransportPartialWrites, 6);
+        let snap = reg.snapshot();
+        let text = render_prometheus(&stats(), Some(&snap));
+        for needle in [
+            // The backend marker is a gauge (0=poll/1=epoll): no
+            // `_total`, typed gauge.
+            "# TYPE pooled_transport_backend gauge\npooled_transport_backend 1",
+            "# TYPE pooled_transport_ticks_total counter\npooled_transport_ticks_total 500",
+            "pooled_transport_ready_fds_total 750",
+            "pooled_transport_writev_calls_total 320",
+            "pooled_transport_partial_writes_total 6",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        let json = render_json(&stats(), Some(&snap));
+        for needle in [
+            "\"pooled_transport_backend\":1",
+            "\"pooled_transport_ticks_total\":500",
+            "\"pooled_transport_ready_fds_total\":750",
+            "\"pooled_transport_writev_calls_total\":320",
+            "\"pooled_transport_partial_writes_total\":6",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+        }
+    }
+
+    #[test]
     fn without_a_registry_the_engine_counters_fall_back_to_the_snapshot() {
         let text = render_prometheus(&stats(), None);
         assert!(text.contains("pooled_jobs_completed_total 10"));

@@ -511,17 +511,39 @@ pub fn write_frame<W: std::io::Write>(
     w.write_all(scratch)
 }
 
+/// A segment-queue sink: accepts whole encoded frames as discrete
+/// owned buffers instead of a byte stream.
+///
+/// This is the zero-copy outbound contract. [`FrameWriter::send_segment`]
+/// borrows a recycled buffer from the sink, encodes the frame straight
+/// into it, and hands the buffer back as the queue entry — after the
+/// encode, no byte of the frame is ever copied or memmoved again; the
+/// drain side (a vectored `writev` over the queued segments) only
+/// advances an offset.
+pub trait SegmentSink {
+    /// A cleared, reusable buffer to encode the next frame into (the
+    /// sink's recycle pool keeps the steady state allocation-free).
+    fn take_buffer(&mut self) -> Vec<u8>;
+    /// Queue `segment` — one whole encoded frame — for transmission.
+    fn push_segment(&mut self, segment: Vec<u8>);
+}
+
 /// A sink plus its reusable encode scratch — the pairing every frame
 /// producer needs (the server's per-connection writer, a remote node's
 /// submission half). One definition here so a future change to the
 /// encode path has exactly one home.
-pub struct FrameWriter<W: std::io::Write> {
+///
+/// The sink is either a byte stream ([`std::io::Write`]: `send` encodes
+/// into the shared scratch and streams it) or a [`SegmentSink`]
+/// (`send_segment` encodes into a sink-owned buffer that *becomes* the
+/// queue entry — the event-loop server's zero-copy outbound path).
+pub struct FrameWriter<W> {
     w: W,
     scratch: Vec<u8>,
     metrics: Option<Arc<MetricsRegistry>>,
 }
 
-impl<W: std::io::Write> FrameWriter<W> {
+impl<W> FrameWriter<W> {
     /// Wrap a sink (callers hand in a `BufWriter` when batching).
     pub fn new(w: W) -> Self {
         Self { w, scratch: Vec::new(), metrics: None }
@@ -534,25 +556,16 @@ impl<W: std::io::Write> FrameWriter<W> {
         Self { w, scratch: Vec::new(), metrics: Some(metrics) }
     }
 
-    /// Encode and write one frame (buffered until [`Self::flush`] when
-    /// the sink buffers).
-    pub fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
-        write_frame(&mut self.w, frame, &mut self.scratch)?;
+    fn meter(&self, encoded_len: usize) {
         if let Some(metrics) = &self.metrics {
-            metrics.add(Metric::WireBytesTx, self.scratch.len() as u64);
+            metrics.add(Metric::WireBytesTx, encoded_len as u64);
             metrics.inc(Metric::WireFramesTx);
         }
-        Ok(())
-    }
-
-    /// Flush the sink.
-    pub fn flush(&mut self) -> std::io::Result<()> {
-        self.w.flush()
     }
 
     /// The underlying sink (the event-loop server keeps a connection's
-    /// outbound ring inside its writer and drains it against the socket
-    /// between readiness ticks).
+    /// outbound segment queue inside its writer and drains it against
+    /// the socket between readiness ticks).
     pub fn get_ref(&self) -> &W {
         &self.w
     }
@@ -560,6 +573,35 @@ impl<W: std::io::Write> FrameWriter<W> {
     /// Mutable access to the underlying sink.
     pub fn get_mut(&mut self) -> &mut W {
         &mut self.w
+    }
+}
+
+impl<W: std::io::Write> FrameWriter<W> {
+    /// Encode and write one frame (buffered until [`Self::flush`] when
+    /// the sink buffers).
+    pub fn send(&mut self, frame: &Frame) -> std::io::Result<()> {
+        write_frame(&mut self.w, frame, &mut self.scratch)?;
+        self.meter(self.scratch.len());
+        Ok(())
+    }
+
+    /// Flush the sink.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.w.flush()
+    }
+}
+
+impl<W: SegmentSink> FrameWriter<W> {
+    /// Encode one frame directly into a sink-recycled buffer and queue
+    /// it as a discrete segment. Infallible: queueing into memory has
+    /// no I/O to fail — backpressure is the *caller's* contract (the
+    /// server pauses reading a tenant whose queue passes high water).
+    pub fn send_segment(&mut self, frame: &Frame) {
+        let mut segment = self.w.take_buffer();
+        encode_frame(frame, &mut segment);
+        let len = segment.len();
+        self.w.push_segment(segment);
+        self.meter(len);
     }
 }
 
@@ -811,6 +853,55 @@ mod tests {
             assert_eq!(consumed, buf.len());
             assert!(buf.len() <= MAX_FRAME_LEN);
         }
+    }
+
+    #[test]
+    fn segment_writer_emits_one_decodable_segment_per_frame() {
+        /// Minimal recording sink: keeps every segment it was handed
+        /// and counts how many recycled buffers were requested.
+        #[derive(Default)]
+        struct RecordingSink {
+            segments: Vec<Vec<u8>>,
+            recycled: Vec<Vec<u8>>,
+        }
+        impl SegmentSink for RecordingSink {
+            fn take_buffer(&mut self) -> Vec<u8> {
+                self.recycled.pop().unwrap_or_default()
+            }
+            fn push_segment(&mut self, segment: Vec<u8>) {
+                self.segments.push(segment);
+            }
+        }
+
+        let metrics = Arc::new(MetricsRegistry::new());
+        let mut writer = FrameWriter::with_metrics(RecordingSink::default(), Arc::clone(&metrics));
+        let frames =
+            [Frame::Submit(spec()), Frame::Result(result()), Frame::Busy(9), Frame::Reject(11)];
+        let mut expected_bytes = 0u64;
+        for frame in &frames {
+            writer.send_segment(frame);
+            expected_bytes += writer.get_ref().segments.last().expect("segment").len() as u64;
+        }
+        let sink = writer.get_mut();
+        assert_eq!(sink.segments.len(), frames.len(), "exactly one segment per frame");
+        for (segment, frame) in sink.segments.iter().zip(&frames) {
+            let (decoded, consumed) = decode_frame(segment).expect("segment decodes standalone");
+            assert_eq!(&decoded, frame);
+            assert_eq!(consumed, segment.len(), "segment holds exactly one frame");
+        }
+        // A recycled dirty buffer must be fully overwritten, not appended to.
+        sink.recycled.push(vec![0xFF; 300]);
+        let before = sink.segments.len();
+        writer.send_segment(&Frame::Busy(77));
+        let sink = writer.get_ref();
+        let (decoded, consumed) =
+            decode_frame(&sink.segments[before]).expect("recycled segment decodes");
+        assert_eq!(decoded, Frame::Busy(77));
+        assert_eq!(consumed, sink.segments[before].len());
+        // Wire accounting matches the byte-stream path: bytes + frames.
+        let last = sink.segments[before].len() as u64;
+        assert_eq!(metrics.get(Metric::WireBytesTx), expected_bytes + last);
+        assert_eq!(metrics.get(Metric::WireFramesTx), frames.len() as u64 + 1);
     }
 
     #[test]

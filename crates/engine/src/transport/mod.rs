@@ -7,16 +7,21 @@
 //!   [`JobResult`] with an explicit little-endian layout, a version
 //!   byte, and a checksum. Pure functions over byte slices, so the
 //!   codec is testable (and property-tested) without a socket.
-//! * [`reactor`] — the readiness core: a thin `poll(2)` shim, a
-//!   self-pipe wakeup channel, and process introspection helpers. No
-//!   dependencies beyond the libc `std` already links.
+//! * [`reactor`] — the readiness core: the [`EventBackend`] trait with
+//!   raw epoll (Linux) and `poll(2)` (portable) implementations, a
+//!   vectored `writev` shim, a self-pipe wakeup channel, and process
+//!   introspection helpers. No dependencies beyond the libc `std`
+//!   already links.
 //! * [`server`] — a readiness-driven event-loop front: an accept
 //!   thread hands nonblocking sockets to N loop threads, each
 //!   multiplexing thousands of per-connection state machines (one
 //!   [`NodeHandle`] session per connection, minted by a
 //!   [`NodeFactory`]; for the canonical `Arc<Engine>` factory: a
-//!   [`LocalNode`] over a private [`ResultRoute`]). Backpressure is an
-//!   explicit `BUSY` reply frame — never a silent drop.
+//!   [`LocalNode`] over a private [`ResultRoute`]). A tick costs
+//!   O(active): the backend holds fd interest across ticks, and
+//!   outbound frames queue as encoded segments drained by `writev` —
+//!   no post-encode byte is ever copied. Backpressure is an explicit
+//!   `BUSY` reply frame — never a silent drop.
 //! * [`client`] — [`TransportClient`]: submit/poll plus a streaming
 //!   batch mode mirroring [`Engine::run_batch`], used by `engine_load
 //!   --transport tcp` to replay a [`LoadProfile`] over loopback.
@@ -35,6 +40,7 @@
 //! [`Engine::run_batch`]: crate::engine::Engine::run_batch
 //! [`ResultRoute`]: crate::engine::ResultRoute
 //! [`LoadProfile`]: crate::traffic::LoadProfile
+//! [`EventBackend`]: reactor::EventBackend
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -46,6 +52,7 @@ pub mod server;
 
 pub use client::{Reply, TransportClient, TransportError};
 pub use frame::{Frame, FrameError};
+pub use reactor::{BackendChoice, BackendKind};
 pub use server::{TransportConfig, TransportServer};
 
 /// Connect/read deadlines for a wire peer. Blocking reads without a

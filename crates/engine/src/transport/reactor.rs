@@ -3,24 +3,33 @@
 //! The serving target is tens of thousands of concurrent tenants, which
 //! rules out thread-per-connection — but this workspace is built in an
 //! offline container, so an async runtime or an epoll crate is not on
-//! the table. What the front actually needs from the OS is tiny:
+//! the table. What the front actually needs from the OS is tiny, and it
+//! is abstracted here behind one trait:
 //!
-//! * **`poll(2)`** — block until any registered fd is readable/writable
-//!   (a thin `extern "C"` shim over the libc already linked by `std`;
-//!   `poll` is POSIX, needs no registration syscalls, and at the
-//!   few-thousand-fds-per-loop scale this server runs, the O(fds) scan
-//!   is nanoseconds against socket work).
+//! * **[`EventBackend`]** — register/modify/deregister fd interest and
+//!   block until something is ready. Two implementations share the
+//!   trait: [`PollBackend`] over **`poll(2)`** (POSIX-portable, no
+//!   registration syscalls, O(registered fds) per wait) and
+//!   [`EpollBackend`] over raw **`epoll`** (Linux,
+//!   `epoll_create1`/`epoll_ctl`/`epoll_wait` via the same
+//!   zero-dependency `extern "C"` idiom, O(1) interest updates and
+//!   O(ready fds) per wait — the difference that makes a 10k-tenant
+//!   idle herd free).
 //! * **a wakeup pipe** — the classic self-pipe trick, so engine workers
-//!   finishing a job can rouse a loop parked in `poll` without the loop
-//!   ever polling the result queues.
+//!   finishing a job can rouse a loop parked in the backend without the
+//!   loop ever polling the result queues.
+//! * **[`writev_fd`]** — vectored writes, so the server's outbound
+//!   segment queue drains many encoded frames in one syscall without
+//!   ever flattening them into a contiguous buffer.
 //!
 //! Everything else (nonblocking sockets, fd extraction) comes from
 //! `std::net` and `std::os::fd`. The handful of process introspection
 //! helpers at the bottom ([`thread_count`], [`thread_cpu_time`],
-//! [`raise_fd_limit`]) exist for the connection-sweep bench and the
-//! no-busy-wait regression tests — they are diagnostics, not serving
-//! machinery.
+//! [`thread_cpu_time_by_name`], [`raise_fd_limit`]) exist for the
+//! connection-sweep bench and the no-busy-wait regression tests — they
+//! are diagnostics, not serving machinery.
 
+use std::collections::HashMap;
 use std::io;
 use std::os::fd::RawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -56,6 +65,17 @@ const F_SETFL: i32 = 4;
 const O_NONBLOCK: i32 = 0o4000;
 const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
 const RLIMIT_NOFILE: i32 = 7;
+const SC_CLK_TCK: i32 = 2;
+
+// epoll interface constants (Linux UAPI; unused off-Linux but harmless).
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
 
 #[repr(C)]
 struct Timespec {
@@ -69,16 +89,92 @@ struct Rlimit {
     rlim_max: u64,
 }
 
+/// `struct epoll_event`. The kernel packs it on x86-64 only (the
+/// `EPOLL_PACKED` attribute in the UAPI header); other architectures
+/// use natural alignment — mirror both or `epoll_wait` scribbles over
+/// the wrong offsets.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// `struct iovec` for [`writev_fd`]. Scatter-gather entry: base pointer
+/// plus length, borrowed from a caller-owned buffer for the duration of
+/// one syscall.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct IoVec {
+    base: *const u8,
+    len: usize,
+}
+
+impl IoVec {
+    /// An entry covering `slice` (the slice must outlive the `writev`
+    /// call that consumes this entry — enforced by the borrow in
+    /// [`writev_fd`]'s caller, not by this type, which is raw).
+    pub fn from_slice(slice: &[u8]) -> Self {
+        Self { base: slice.as_ptr(), len: slice.len() }
+    }
+
+    /// A zeroed placeholder for fixed-size iovec arrays.
+    pub fn empty() -> Self {
+        Self { base: std::ptr::null(), len: 0 }
+    }
+
+    /// Bytes this entry covers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the entry covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+// An IoVec is an inert (pointer, length) pair; it dereferences nothing
+// on its own, so moving it across threads is safe.
+unsafe impl Send for IoVec {}
+
 extern "C" {
     fn poll(fds: *mut PollFd, nfds: std::os::raw::c_ulong, timeout: i32) -> i32;
     fn pipe(fds: *mut i32) -> i32;
     fn fcntl(fd: i32, cmd: i32, ...) -> i32;
     fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
     fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn writev(fd: i32, iov: *const IoVec, iovcnt: i32) -> isize;
     fn close(fd: i32) -> i32;
     fn clock_gettime(clockid: i32, tp: *mut Timespec) -> i32;
     fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
     fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    fn sysconf(name: i32) -> i64;
+    #[cfg(target_os = "linux")]
+    fn epoll_create1(flags: i32) -> i32;
+    #[cfg(target_os = "linux")]
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    #[cfg(target_os = "linux")]
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+}
+
+/// Vectored write: transmit the concatenation of `iovs` to `fd` in one
+/// syscall, without ever copying the segments into a contiguous buffer.
+/// Returns the byte count the kernel accepted (possibly a prefix —
+/// partial-write resume is the caller's job). `EINTR` is retried;
+/// `EWOULDBLOCK` surfaces as an error for the caller to classify.
+pub fn writev_fd(fd: RawFd, iovs: &[IoVec]) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { writev(fd, iovs.as_ptr(), iovs.len().min(i32::MAX as usize) as i32) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
 }
 
 /// Block until an entry in `fds` has a ready event, `timeout` expires,
@@ -192,6 +288,351 @@ impl Drop for WakePipe {
 unsafe impl Send for WakePipe {}
 unsafe impl Sync for WakePipe {}
 
+/// Which readiness events a registered fd wants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Interest {
+    /// Deliver when a read would not block (or the peer hung up).
+    pub readable: bool,
+    /// Deliver when a write would not block.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read interest only — the state every connection registers with.
+    pub const READ: Interest = Interest { readable: true, writable: false };
+}
+
+/// One ready fd, reported by [`EventBackend::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReadyEvent {
+    /// The caller's token from `register` (connection id; the wake pipe
+    /// uses a sentinel).
+    pub token: u64,
+    /// A read would not block.
+    pub readable: bool,
+    /// A write would not block.
+    pub writable: bool,
+    /// Error condition (`POLLERR`/`POLLNVAL`/`EPOLLERR`) — terminal.
+    pub error: bool,
+    /// Peer hung up; drain what remains, then expect EOF.
+    pub hup: bool,
+}
+
+/// Requested readiness backend ([`super::TransportConfig::backend`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// Resolve per-platform: epoll on Linux, poll elsewhere.
+    #[default]
+    Auto,
+    /// Force the portable `poll(2)` backend.
+    Poll,
+    /// Force the epoll backend (bind fails off Linux — there is no
+    /// silent fallback, so a deployment that asked for O(active) ticks
+    /// finds out at startup, not in a flame graph).
+    Epoll,
+}
+
+/// The backend actually in force after [`BackendChoice`] resolution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendKind {
+    /// `poll(2)`: O(registered fds) scanned per wait.
+    Poll,
+    /// epoll: O(ready fds) per wait, O(1) interest updates.
+    Epoll,
+}
+
+impl BackendChoice {
+    /// The kind this choice resolves to on the current platform.
+    pub fn resolve(self) -> BackendKind {
+        match self {
+            BackendChoice::Poll => BackendKind::Poll,
+            BackendChoice::Epoll => BackendKind::Epoll,
+            BackendChoice::Auto => {
+                if cfg!(target_os = "linux") {
+                    BackendKind::Epoll
+                } else {
+                    BackendKind::Poll
+                }
+            }
+        }
+    }
+}
+
+impl BackendKind {
+    /// Stable lowercase name (bench JSON, logs, CI greps).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Poll => "poll",
+            BackendKind::Epoll => "epoll",
+        }
+    }
+}
+
+/// Readiness multiplexer behind one event loop: register fds with a
+/// token, adjust interest on edges, park until something is ready.
+///
+/// The contract both implementations honor:
+///
+/// * level-triggered — an fd stays reported while its condition holds,
+///   so a budget-bounded reader that leaves bytes in the kernel buffer
+///   is re-reported next wait, and no readiness is ever lost;
+/// * `error`/`hup` are always delivered, whatever the interest mask;
+/// * `deregister` of an fd that was never registered is a no-op (a
+///   connection that died before adoption tears down uniformly);
+/// * `wait` returns the number of fd entries it *touched* — delivered
+///   events under epoll, the whole registered set scanned under poll.
+///   That count is the `pooled_transport_ready_fds_total` metric, and
+///   the per-tick gap between the two backends is exactly the
+///   O(active) vs O(connections) claim the bench pins.
+pub trait EventBackend: Send {
+    /// Which implementation this is (the `pooled_transport_backend`
+    /// gauge and the bench JSON report it).
+    fn kind(&self) -> BackendKind;
+    /// Watch `fd` with `interest`; `wait` reports it as `token`.
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+    /// Replace the interest mask of a registered fd (an *edge* — the
+    /// caller only invokes this on pause/resume and write-arm/disarm
+    /// transitions, never per tick).
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+    /// Stop watching `fd`. Must be called before the fd closes (poll
+    /// would report `POLLNVAL` forever; epoll auto-forgets closed fds
+    /// but the explicit bookkeeping keeps both backends identical).
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()>;
+    /// Park until readiness or `timeout` (`None` = forever). Clears and
+    /// refills `out` with the ready set; returns the touched-entry
+    /// count (see trait docs).
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<ReadyEvent>) -> io::Result<usize>;
+}
+
+/// Portable `poll(2)` backend: a persistent registration array, updated
+/// in place (O(1) per edge thanks to an fd→slot index) and handed to
+/// the kernel wholesale each wait. The kernel and the revents scan both
+/// walk every registered fd — the O(connections) cost per tick that
+/// [`EpollBackend`] removes.
+pub struct PollBackend {
+    fds: Vec<PollFd>,
+    tokens: Vec<u64>,
+    index: HashMap<RawFd, usize>,
+}
+
+impl PollBackend {
+    /// An empty registration set.
+    pub fn new() -> Self {
+        Self { fds: Vec::new(), tokens: Vec::new(), index: HashMap::new() }
+    }
+}
+
+impl Default for PollBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn interest_to_poll(interest: Interest) -> i16 {
+    let mut events = 0i16;
+    if interest.readable {
+        events |= POLLIN;
+    }
+    if interest.writable {
+        events |= POLLOUT;
+    }
+    events
+}
+
+impl EventBackend for PollBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Poll
+    }
+
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if self.index.contains_key(&fd) {
+            return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd already registered"));
+        }
+        self.index.insert(fd, self.fds.len());
+        self.fds.push(PollFd { fd, events: interest_to_poll(interest), revents: 0 });
+        self.tokens.push(token);
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let &slot = self
+            .index
+            .get(&fd)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+        self.fds[slot].events = interest_to_poll(interest);
+        self.tokens[slot] = token;
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        let Some(slot) = self.index.remove(&fd) else {
+            return Ok(()); // never registered: uniform teardown no-op
+        };
+        // Swap-remove keeps the array dense; re-point the mover's slot.
+        self.fds.swap_remove(slot);
+        self.tokens.swap_remove(slot);
+        if slot < self.fds.len() {
+            self.index.insert(self.fds[slot].fd, slot);
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<ReadyEvent>) -> io::Result<usize> {
+        out.clear();
+        let n = poll_fds(&mut self.fds, timeout)?;
+        if n > 0 {
+            for (pfd, &token) in self.fds.iter().zip(&self.tokens) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                out.push(ReadyEvent {
+                    token,
+                    readable: pfd.revents & POLLIN != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    error: pfd.revents & (POLLERR | POLLNVAL) != 0,
+                    hup: pfd.revents & POLLHUP != 0,
+                });
+            }
+        }
+        // Touched = the whole registered set: poll scanned it in the
+        // kernel and this backend scanned revents — the honest per-tick
+        // cost, which is what the ready-fds metric exists to expose.
+        Ok(self.fds.len())
+    }
+}
+
+/// Linux epoll backend: the kernel holds the interest set, so a wait
+/// touches only ready fds and interest updates are single syscalls.
+#[cfg(target_os = "linux")]
+pub struct EpollBackend {
+    epfd: RawFd,
+    /// Kernel-filled event buffer, reused across waits. 1024 entries is
+    /// a per-tick delivery window, not a capacity: level-triggered
+    /// epoll re-reports anything still ready on the next wait.
+    events: Vec<EpollEvent>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    /// Create the epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { epfd, events: vec![EpollEvent { events: 0, data: 0 }; 1024] })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut events = 0u32;
+        if interest.readable {
+            events |= EPOLLIN;
+        }
+        if interest.writable {
+            events |= EPOLLOUT;
+        }
+        let mut ev = EpollEvent { events, data: token };
+        if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollBackend {
+    fn drop(&mut self) {
+        unsafe { close(self.epfd) };
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl EventBackend for EpollBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Epoll
+    }
+
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::default()) {
+            Ok(()) => Ok(()),
+            // Never registered (or already auto-forgotten): no-op, per
+            // the trait contract.
+            Err(e) if e.raw_os_error() == Some(2) => Ok(()), // ENOENT
+            Err(e) if e.raw_os_error() == Some(9) => Ok(()), // EBADF (already closed)
+            Err(e) => Err(e),
+        }
+    }
+
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<ReadyEvent>) -> io::Result<usize> {
+        out.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            // Round up like `poll_fds`: a 100µs request must park, not
+            // degenerate into a hot 0ms spin.
+            Some(t) => {
+                t.as_millis().min(i32::MAX as u128) as i32
+                    + i32::from(t.subsec_micros() % 1000 != 0 && t.as_millis() < i32::MAX as u128)
+            }
+        };
+        let n = loop {
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.events.as_mut_ptr(),
+                    self.events.len() as i32,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &self.events[..n] {
+            // Copy out of the (possibly packed) struct before touching
+            // the fields — references into packed layouts are UB.
+            let bits = ev.events;
+            out.push(ReadyEvent {
+                token: ev.data,
+                readable: bits & EPOLLIN != 0,
+                writable: bits & EPOLLOUT != 0,
+                error: bits & EPOLLERR != 0,
+                hup: bits & EPOLLHUP != 0,
+            });
+        }
+        // Touched = delivered events only: the kernel woke us with the
+        // ready list, nothing scanned the idle herd.
+        Ok(n)
+    }
+}
+
+/// Construct the backend for `choice`. Errors are loud: a forced epoll
+/// off Linux or a failed `epoll_create1` fails the caller's bind — the
+/// server never silently downgrades to poll.
+pub fn new_backend(choice: BackendChoice) -> io::Result<Box<dyn EventBackend>> {
+    match choice.resolve() {
+        BackendKind::Poll => Ok(Box::new(PollBackend::new())),
+        #[cfg(target_os = "linux")]
+        BackendKind::Epoll => Ok(Box::new(EpollBackend::new()?)),
+        #[cfg(not(target_os = "linux"))]
+        BackendKind::Epoll => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll backend requires Linux; use BackendChoice::Poll or Auto",
+        )),
+    }
+}
+
 /// CPU time consumed by the calling thread (kernel-accounted, so a
 /// thread parked in `poll`/`read` accrues none). This is how the tests
 /// pin "waiting burns no CPU" — wall time elapses, this doesn't.
@@ -212,6 +653,45 @@ pub fn thread_count() -> Option<usize> {
         .lines()
         .find_map(|line| line.strip_prefix("Threads:"))
         .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// Summed CPU time (user + system) of every live thread in this
+/// process whose name starts with `prefix`, read from
+/// `/proc/self/task/*/stat`. `None` off Linux procfs or when no thread
+/// matches.
+///
+/// This is the out-of-band counterpart to [`thread_cpu_time`]: the
+/// idle-herd regression test uses it to pin the *event loops'* CPU from
+/// the test thread — kernel-accounted at clock-tick (10ms) granularity,
+/// so it bounds work coarsely but can't be fooled by wall time spent
+/// parked.
+pub fn thread_cpu_time_by_name(prefix: &str) -> Option<Duration> {
+    let tick_hz = match unsafe { sysconf(SC_CLK_TCK) } {
+        t if t > 0 => t as u64,
+        _ => 100,
+    };
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    let mut ticks = 0u64;
+    let mut matched = false;
+    for task in tasks.flatten() {
+        let Ok(stat) = std::fs::read_to_string(task.path().join("stat")) else {
+            continue; // thread exited mid-scan
+        };
+        // Field 2 is `(comm)` and may contain spaces; everything after
+        // the closing paren is space-separated, with utime/stime at
+        // (1-indexed) fields 14/15 — i.e. 11/12 past the paren.
+        let open = stat.find('(')?;
+        let close = stat.rfind(')')?;
+        if !stat[open + 1..close].starts_with(prefix) {
+            continue;
+        }
+        let mut rest = stat[close + 1..].split_ascii_whitespace();
+        let utime: u64 = rest.nth(11)?.parse().ok()?;
+        let stime: u64 = rest.next()?.parse().ok()?;
+        ticks += utime + stime;
+        matched = true;
+    }
+    matched.then(|| Duration::from_millis(ticks.saturating_mul(1000) / tick_hz))
 }
 
 /// Best-effort `RLIMIT_NOFILE` raise to at least `want` descriptors
@@ -335,5 +815,144 @@ mod tests {
     fn fd_limit_raise_reports_a_usable_limit() {
         let now = raise_fd_limit(256);
         assert!(now >= 256, "any sane environment grants 256 fds, got {now}");
+    }
+
+    /// Exercise one backend through the full interest-edge lifecycle
+    /// against a pipe: register read-side, observe readability only
+    /// after bytes arrive, arm and disarm write interest on the write
+    /// side, deregister (including the never-registered no-op).
+    fn backend_lifecycle(mut backend: Box<dyn EventBackend>) {
+        let pipe = WakePipe::new().expect("pipe");
+        let mut out = Vec::new();
+        backend.register(pipe.read_fd(), 7, Interest::READ).expect("register");
+        let touched = backend.wait(Some(Duration::from_millis(10)), &mut out).expect("wait");
+        assert!(out.is_empty(), "empty pipe must not be readable: {out:?}");
+        assert!(touched <= 1, "at most the registered fd is touched, got {touched}");
+
+        pipe.wake();
+        backend.wait(Some(Duration::from_secs(5)), &mut out).expect("wait");
+        assert_eq!(out.len(), 1, "one ready fd expected: {out:?}");
+        assert_eq!(out[0].token, 7);
+        assert!(out[0].readable && !out[0].writable);
+
+        // Masking read interest hides the pending byte (level-triggered
+        // delivery honors the mask) without losing it.
+        backend.modify(pipe.read_fd(), 7, Interest::default()).expect("mask");
+        backend.wait(Some(Duration::from_millis(10)), &mut out).expect("wait");
+        assert!(out.is_empty(), "masked fd must not report: {out:?}");
+        backend.modify(pipe.read_fd(), 7, Interest::READ).expect("unmask");
+        backend.wait(Some(Duration::from_millis(10)), &mut out).expect("wait");
+        assert_eq!(out.len(), 1, "unmasked fd reports the still-pending byte");
+
+        // An empty pipe's write side is writable the moment it's armed.
+        backend
+            .register(pipe.write_fd, 9, Interest { readable: false, writable: true })
+            .expect("register write side");
+        backend.wait(Some(Duration::from_secs(5)), &mut out).expect("wait");
+        assert!(
+            out.iter().any(|ev| ev.token == 9 && ev.writable),
+            "write side must report writable: {out:?}"
+        );
+
+        backend.deregister(pipe.read_fd()).expect("deregister");
+        backend.deregister(pipe.write_fd).expect("deregister");
+        backend.deregister(pipe.read_fd()).expect("double deregister is a no-op");
+        let touched = backend.wait(Some(Duration::ZERO), &mut out).expect("wait");
+        assert!(out.is_empty() && touched == 0, "empty set: nothing touched");
+    }
+
+    #[test]
+    fn poll_backend_lifecycle() {
+        backend_lifecycle(Box::new(PollBackend::new()));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_lifecycle() {
+        backend_lifecycle(Box::new(EpollBackend::new().expect("epoll_create1")));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn auto_choice_resolves_to_epoll_on_linux() {
+        assert_eq!(BackendChoice::Auto.resolve(), BackendKind::Epoll);
+        assert_eq!(new_backend(BackendChoice::Auto).expect("auto").kind(), BackendKind::Epoll);
+        assert_eq!(new_backend(BackendChoice::Poll).expect("poll").kind(), BackendKind::Poll);
+    }
+
+    #[test]
+    fn writev_gathers_segments_in_one_syscall() {
+        let pipe = WakePipe::new().expect("pipe");
+        let (a, b, c) = (b"hello ".as_slice(), b"vectored ".as_slice(), b"world".as_slice());
+        let iovs = [IoVec::from_slice(a), IoVec::from_slice(b), IoVec::from_slice(c)];
+        let wrote = writev_fd(pipe.write_fd, &iovs).expect("writev");
+        assert_eq!(wrote, a.len() + b.len() + c.len());
+        let mut got = [0u8; 64];
+        let n = unsafe { read(pipe.read_fd(), got.as_mut_ptr(), got.len()) };
+        assert_eq!(&got[..n as usize], b"hello vectored world");
+    }
+
+    #[test]
+    fn writev_partial_write_reports_the_accepted_prefix() {
+        let pipe = WakePipe::new().expect("pipe");
+        // A pipe's capacity is finite (64KiB default); two oversized
+        // segments cannot both land, so the kernel takes a prefix.
+        let big = vec![0xABu8; 1 << 20];
+        let iovs = [IoVec::from_slice(&big), IoVec::from_slice(&big)];
+        let wrote = writev_fd(pipe.write_fd, &iovs).expect("writev");
+        assert!(wrote > 0, "nonblocking pipe accepts something");
+        assert!(wrote < 2 * big.len(), "a 2MiB gather cannot fit a pipe");
+        // The pipe is now full: the next vectored write must refuse,
+        // not block (the event loop relies on this).
+        let mut drained = 0usize;
+        let mut buf = vec![0u8; 1 << 16];
+        loop {
+            match writev_fd(pipe.write_fd, &iovs) {
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Ok(n) => {
+                    // Kernel found room (scheduling); drain and retry.
+                    assert!(n > 0);
+                    let got = unsafe { read(pipe.read_fd(), buf.as_mut_ptr(), buf.len()) };
+                    assert!(got > 0);
+                    drained += got as usize;
+                    assert!(drained < 64 << 20, "pipe never fills? drained {drained}");
+                }
+                Err(e) => panic!("unexpected writev error: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn thread_cpu_by_name_accounts_a_spinning_thread() {
+        if !std::path::Path::new("/proc/self/task").exists() {
+            return; // helper is allowed to opt out off procfs
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let spinner = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("reactor-spin-probe".into())
+                .spawn(move || {
+                    let mut acc = 1u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    acc
+                })
+                .expect("spawn")
+        };
+        // Spin long enough to cross several 10ms accounting ticks.
+        std::thread::sleep(Duration::from_millis(120));
+        let burned = thread_cpu_time_by_name("reactor-spin").expect("matched the spinner");
+        stop.store(true, Ordering::Relaxed);
+        assert!(spinner.join().expect("spinner") != 42);
+        assert!(
+            burned >= Duration::from_millis(20),
+            "a 120ms spin must account ≥20ms of CPU, saw {burned:?}"
+        );
+        assert!(
+            thread_cpu_time_by_name("no-such-thread-name").is_none(),
+            "unmatched prefix reports None"
+        );
     }
 }

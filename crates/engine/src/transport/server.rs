@@ -5,22 +5,32 @@
 //! threads:
 //!
 //! ```text
-//!  accept ──(conn_id % N)──► loop thread: poll(wake pipe + every conn fd)
-//!                              │
+//!  accept ──(conn_id % N)──► loop thread: EventBackend::wait(ready fds only)
+//!                              │   (epoll on Linux; poll(2) fallback)
 //!                              ├─ readable ► budgeted read ► FrameAssembler
 //!                              │      SUBMIT ► session.try_submit (sync Busy ⇒ BUSY(id))
 //!                              │      infeasible ⇒ REJECT(id)   (never a silent drop)
-//!                              ├─ route waker ► session.try_recv drain ► out ring
-//!                              └─ writable ► partial-write resume from out ring
+//!                              ├─ route waker ► session.try_recv drain ► segment queue
+//!                              └─ writable ► vectored writev, resume at head offset
 //! ```
 //!
 //! Each connection is a state machine, not a thread pair: an inbound
 //! [`FrameAssembler`] that decodes across partial reads, an outbound
-//! byte ring with partial-write resume, and a per-tick read budget.
-//! The loop parks in `poll(2)` and is roused by socket readiness or by
-//! the engine-side route waker ([`NodeHandle::register_waker`]) when a
+//! queue of encoded frame segments drained by vectored writes with
+//! partial-write resume, and a per-tick read budget. The loop parks in
+//! its [`EventBackend`] and is roused by socket readiness or by the
+//! engine-side route waker ([`NodeHandle::register_waker`]) when a
 //! worker finishes a job — results are pushed to the loop, never
 //! polled for.
+//!
+//! A tick costs O(active), not O(connections). The backend holds the
+//! interest set across ticks (registered at adoption, modified only on
+//! pause/resume and write-arm/disarm edges, deregistered at close), so
+//! under epoll a wait returns exactly the ready fds and an idle herd of
+//! tenants is never scanned; idle eviction rides a coarse timer wheel
+//! ([`IdleWheel`]) that examines a connection once per timeout period,
+//! not once per sweep; and the outbound path never compacts — a
+//! partial write just advances an offset into the segment queue.
 //!
 //! Tenant isolation is a liveness guarantee at three layers:
 //!
@@ -51,8 +61,8 @@
 //! [`ResultRoute`]: crate::engine::ResultRoute
 //! [`FrameAssembler`]: crate::transport::frame::FrameAssembler
 
-use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -64,9 +74,10 @@ use crate::cluster::node::{NodeError, NodeEvent, NodeFactory, NodeHandle, Submit
 use crate::engine::Engine;
 use crate::queue::TryPop;
 use crate::telemetry::{Metric, MetricsRegistry};
-use crate::transport::frame::{Frame, FrameAssembler, FrameWriter, StatsReply};
+use crate::transport::frame::{Frame, FrameAssembler, FrameWriter, SegmentSink, StatsReply};
 use crate::transport::reactor::{
-    poll_fds, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLNVAL, POLLOUT,
+    new_backend, writev_fd, BackendChoice, BackendKind, EventBackend, Interest, IoVec, ReadyEvent,
+    WakePipe,
 };
 
 /// Transport sizing knobs.
@@ -86,9 +97,9 @@ pub struct TransportConfig {
     /// the door.
     pub max_dimension: usize,
     /// Event-loop threads. Connections are assigned at accept time
-    /// (`conn_id % event_loops`); each loop multiplexes its share with
-    /// `poll(2)`. Server thread count is `1 + event_loops`, independent
-    /// of connection count.
+    /// (`conn_id % event_loops`); each loop multiplexes its share
+    /// through its own [`EventBackend`]. Server thread count is
+    /// `1 + event_loops`, independent of connection count.
     pub event_loops: usize,
     /// Per-connection, per-tick read budget in bytes. A firehose tenant
     /// that keeps the kernel buffer full is cut off at this budget each
@@ -103,6 +114,11 @@ pub struct TransportConfig {
     /// beyond it are dropped at the door (the fd is the scarce resource
     /// being protected, so no protocol reply is owed).
     pub max_connections: usize,
+    /// Readiness backend: `Auto` resolves to epoll on Linux (O(active)
+    /// per tick) and `poll(2)` elsewhere; either can be forced. A
+    /// forced-but-unavailable backend fails `bind` — there is no silent
+    /// fallback.
+    pub backend: BackendChoice,
 }
 
 impl Default for TransportConfig {
@@ -114,6 +130,7 @@ impl Default for TransportConfig {
             read_budget: 64 * 1024,
             idle_timeout: Some(Duration::from_secs(300)),
             max_connections: 65_536,
+            backend: BackendChoice::Auto,
         }
     }
 }
@@ -167,6 +184,7 @@ impl LoopInbox {
 pub struct TransportServer {
     local_addr: SocketAddr,
     shared: Arc<ServerShared>,
+    backend: BackendKind,
     accept_handle: Option<JoinHandle<()>>,
     loop_handles: Vec<JoinHandle<()>>,
 }
@@ -196,6 +214,14 @@ impl TransportServer {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let loops = config.event_loops.max(1);
+        // Construct every backend before spawning anything: a forced
+        // epoll off Linux (or a failed `epoll_create1`) fails the bind
+        // loudly instead of silently serving with the wrong backend.
+        let mut backends = Vec::with_capacity(loops);
+        for _ in 0..loops {
+            backends.push(new_backend(config.backend)?);
+        }
+        let backend = backends[0].kind();
         let mut inboxes = Vec::with_capacity(loops);
         for _ in 0..loops {
             inboxes.push(Arc::new(LoopInbox {
@@ -213,13 +239,14 @@ impl TransportServer {
             metrics: Arc::new(MetricsRegistry::new()),
             inboxes,
         });
+        shared.metrics.set(Metric::TransportBackend, u64::from(backend == BackendKind::Epoll));
         let mut loop_handles = Vec::with_capacity(loops);
-        for loop_id in 0..loops {
+        for (loop_id, backend) in backends.into_iter().enumerate() {
             let loop_shared = Arc::clone(&shared);
             loop_handles.push(
                 std::thread::Builder::new()
                     .name(format!("transport-loop-{loop_id}"))
-                    .spawn(move || event_loop(loop_id, &loop_shared))
+                    .spawn(move || event_loop(loop_id, &loop_shared, backend))
                     .expect("failed to spawn transport event loop"),
             );
         }
@@ -228,12 +255,18 @@ impl TransportServer {
             .name("transport-accept".into())
             .spawn(move || accept_loop(&listener, &accept_shared))
             .expect("failed to spawn transport accept thread");
-        Ok(Self { local_addr, shared, accept_handle: Some(accept_handle), loop_handles })
+        Ok(Self { local_addr, shared, backend, accept_handle: Some(accept_handle), loop_handles })
     }
 
     /// The bound address (resolves the ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The readiness backend actually in force (post-`Auto` resolution;
+    /// also exposed as the `pooled_transport_backend` gauge).
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// This server's wire accounting, summed over all connections.
@@ -294,42 +327,93 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<ServerShared>) {
     }
 }
 
-/// A connection's outbound byte ring: frames are appended at the tail
-/// (through the connection's [`FrameWriter`]) and drained from `pos`
-/// against the nonblocking socket — partial-write resume is just "keep
-/// `pos`". The consumed prefix is dropped lazily, amortized O(1)/byte.
+/// Most segments a single `writev` gathers. 64 RESULT frames is ~5KiB —
+/// comfortably one syscall's worth — and the array lives on the stack.
+const MAX_IOV: usize = 64;
+
+/// Retired segment buffers a connection keeps for reuse. The cap bounds
+/// idle memory; under steady load the pool cycles and the outbound path
+/// stops allocating entirely.
+const SPARE_SEGMENTS: usize = 64;
+
+/// A connection's outbound queue of encoded frame segments.
+///
+/// Zero-copy by construction: each frame is encoded once, directly into
+/// a recycled buffer ([`SegmentSink::take_buffer`] →
+/// [`FrameWriter::send_segment`]), and that buffer *is* the queue
+/// entry. Draining gathers the segments into one vectored `writev`;
+/// a partial write advances `head` into the front segment and fully
+/// sent segments pop into the spare pool. No byte is memmoved or
+/// re-copied after encode — the compaction memmove the byte-ring
+/// predecessor paid on every append (`buf.drain(..pos)`) is gone, and
+/// the regression tests pin that by watching segment addresses stay put
+/// while a write-blocked tenant accumulates frames.
 #[derive(Default)]
 struct OutRing {
-    buf: Vec<u8>,
-    pos: usize,
+    /// Encoded frames awaiting transmission, oldest first.
+    segs: VecDeque<Vec<u8>>,
+    /// Bytes of `segs[0]` already accepted by the kernel.
+    head: usize,
+    /// Total unsent bytes across all segments (kept incrementally so
+    /// high-water checks are O(1), not O(segments)).
+    pending: usize,
+    /// Retired segment buffers, cleared and ready for reuse.
+    spare: Vec<Vec<u8>>,
 }
 
 impl OutRing {
+    /// Unsent bytes queued on this connection.
     fn pending(&self) -> usize {
-        self.buf.len() - self.pos
+        self.pending
     }
 
-    fn advance(&mut self, n: usize) {
-        self.pos += n;
-        if self.pos == self.buf.len() {
-            self.buf.clear();
-            self.pos = 0;
+    /// Fill `iovs` with the unsent byte ranges (the front segment from
+    /// `head`, then whole segments), up to the array's length. Returns
+    /// the entry count and the total bytes they cover.
+    fn fill_iovs(&self, iovs: &mut [IoVec; MAX_IOV]) -> (usize, usize) {
+        let mut count = 0;
+        let mut bytes = 0;
+        for (i, seg) in self.segs.iter().take(MAX_IOV).enumerate() {
+            let slice = if i == 0 { &seg[self.head..] } else { &seg[..] };
+            iovs[count] = IoVec::from_slice(slice);
+            bytes += slice.len();
+            count += 1;
+        }
+        (count, bytes)
+    }
+
+    /// Record that the kernel accepted `n` bytes: advance the head
+    /// offset, retire fully sent segments into the spare pool. Only
+    /// bookkeeping moves — never frame bytes.
+    fn advance(&mut self, mut n: usize) {
+        debug_assert!(n <= self.pending, "advance past the queue");
+        self.pending -= n;
+        while n > 0 {
+            let remaining = self.segs[0].len() - self.head;
+            if n < remaining {
+                self.head += n;
+                return;
+            }
+            n -= remaining;
+            self.head = 0;
+            let mut seg = self.segs.pop_front().expect("accounted segment");
+            if self.spare.len() < SPARE_SEGMENTS {
+                seg.clear();
+                self.spare.push(seg);
+            }
         }
     }
 }
 
-impl Write for OutRing {
-    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
-        if self.pos >= 4096 && self.pos >= self.buf.len() / 2 {
-            self.buf.drain(..self.pos);
-            self.pos = 0;
-        }
-        self.buf.extend_from_slice(bytes);
-        Ok(bytes.len())
+impl SegmentSink for OutRing {
+    fn take_buffer(&mut self) -> Vec<u8> {
+        self.spare.pop().unwrap_or_default()
     }
 
-    fn flush(&mut self) -> std::io::Result<()> {
-        Ok(()) // the event loop drains the ring; nothing buffers below it
+    fn push_segment(&mut self, segment: Vec<u8>) {
+        debug_assert!(!segment.is_empty(), "a frame never encodes to zero bytes");
+        self.pending += segment.len();
+        self.segs.push_back(segment);
     }
 }
 
@@ -357,6 +441,16 @@ struct Conn {
     queued: Arc<AtomicBool>,
     /// Last instant a byte moved in either direction (idle eviction).
     last_activity: Instant,
+    /// Interest mask currently registered with the event backend. The
+    /// loop recomputes the desired mask after touching a connection and
+    /// issues a backend `modify` only when it differs — interest
+    /// updates happen on pause/resume and write-arm/disarm *edges*,
+    /// never per tick.
+    interest: Interest,
+    /// Tick stamp of the last budgeted read, so a connection that is
+    /// both in the ready set and on the carried-over hot list gets one
+    /// read budget per tick, not two.
+    serviced_tick: u64,
     /// Read budget ran out with socket bytes possibly still pending —
     /// the loop polls with zero timeout and returns to this conn next
     /// tick (fairness without starvation).
@@ -378,114 +472,240 @@ impl Conn {
     fn pause_high(config: &TransportConfig) -> usize {
         16 * 1024 + config.route_capacity * 96
     }
+
+    /// The interest mask this connection's state calls for right now:
+    /// read unless paused, write while unsent segments remain.
+    fn desired_interest(&self) -> Interest {
+        Interest { readable: !self.read_paused, writable: self.wire.get_ref().pending() > 0 }
+    }
 }
 
-fn event_loop(loop_id: usize, shared: &Arc<ServerShared>) {
+/// Coarse single-level timer wheel for idle eviction, keyed by
+/// last-activity bucket.
+///
+/// The predecessor swept *every* connection each interval — another
+/// O(connections) tick cost. The wheel checks only connections whose
+/// scheduled bucket has come due: activity never touches the wheel
+/// (`Conn::last_activity` just advances), and a due connection that
+/// turns out to be alive is rescheduled into the bucket matching its
+/// actual deadline. Each connection sits in exactly one bucket, so the
+/// amortized cost per interval is O(due connections), and an idle herd
+/// is examined once per timeout period instead of once per sweep.
+struct IdleWheel {
+    /// `buckets[cursor]` is due now; slot `cursor + k` is due in `k`
+    /// granules.
+    buckets: Vec<Vec<u64>>,
+    cursor: usize,
+    granularity: Duration,
+    last_advance: Instant,
+    timeout: Duration,
+}
+
+impl IdleWheel {
+    fn new(timeout: Duration, granularity: Duration, now: Instant) -> Self {
+        // Enough slots to park a fresh connection a full timeout out,
+        // plus slack so "due" and "just scheduled" never collide.
+        let slots = (timeout.as_nanos() / granularity.as_nanos().max(1)) as usize + 2;
+        Self {
+            buckets: vec![Vec::new(); slots],
+            cursor: 0,
+            granularity,
+            last_advance: now,
+            timeout,
+        }
+    }
+
+    /// Park `id` in the bucket matching `deadline` (its last activity
+    /// plus the timeout), clamped into the wheel's horizon.
+    fn schedule(&mut self, id: u64, deadline: Instant, now: Instant) {
+        let granules = if deadline <= now {
+            1 // already due: next advance picks it up
+        } else {
+            let nanos = (deadline - now).as_nanos();
+            let g = nanos.div_ceil(self.granularity.as_nanos().max(1)) as usize;
+            g.clamp(1, self.buckets.len() - 1)
+        };
+        let slot = (self.cursor + granules) % self.buckets.len();
+        self.buckets[slot].push(id);
+    }
+
+    /// Advance the cursor over every granule that has elapsed since the
+    /// last call, draining due buckets into `due` (the caller checks
+    /// each id's real `last_activity` and either evicts or reschedules).
+    fn collect_due(&mut self, now: Instant, due: &mut Vec<u64>) {
+        due.clear();
+        let mut steps = 0;
+        while now.duration_since(self.last_advance) >= self.granularity {
+            self.last_advance += self.granularity;
+            self.cursor = (self.cursor + 1) % self.buckets.len();
+            due.append(&mut self.buckets[self.cursor]);
+            // A long stall (debugger, suspended VM) must not spin the
+            // wheel forever: one full revolution visits every bucket.
+            steps += 1;
+            if steps >= self.buckets.len() {
+                self.last_advance = now;
+                break;
+            }
+        }
+    }
+}
+
+/// Backend token of the loop's wake pipe (connection ids count up from
+/// zero and can never reach it).
+const WAKE_TOKEN: u64 = u64::MAX;
+
+fn event_loop(loop_id: usize, shared: &Arc<ServerShared>, mut backend: Box<dyn EventBackend>) {
     let inbox = Arc::clone(&shared.inboxes[loop_id]);
     let mut conns: HashMap<u64, Conn> = HashMap::new();
-    let mut pollfds: Vec<PollFd> = Vec::new();
-    let mut poll_ids: Vec<u64> = Vec::new();
+    let mut ready: Vec<ReadyEvent> = Vec::new();
+    let mut hot_ids: Vec<u64> = Vec::new();
+    let mut dead_ids: Vec<u64> = Vec::new();
+    let mut due_ids: Vec<u64> = Vec::new();
     let mut scratch = vec![0u8; READ_CHUNK];
+    let mut tick: u64 = 0;
     let sweep_interval = shared
         .config
         .idle_timeout
         .map(|t| (t / 4).clamp(Duration::from_millis(10), Duration::from_secs(1)));
-    let mut last_sweep = Instant::now();
+    let mut wheel = match (shared.config.idle_timeout, sweep_interval) {
+        (Some(timeout), Some(granularity)) => {
+            Some(IdleWheel::new(timeout, granularity, Instant::now()))
+        }
+        _ => None,
+    };
+    if backend.register(inbox.wake.read_fd(), WAKE_TOKEN, Interest::READ).is_err() {
+        return; // no wakeup channel, no loop — bind's smoke tests catch this
+    }
 
     while !shared.stopping.load(Ordering::SeqCst) {
-        // ── build the poll set ───────────────────────────────────────
-        pollfds.clear();
-        poll_ids.clear();
-        pollfds.push(PollFd { fd: inbox.wake.read_fd(), events: POLLIN, revents: 0 });
-        poll_ids.push(u64::MAX);
-        let mut any_hot = false;
-        for (&id, conn) in conns.iter() {
-            let mut events = 0i16;
-            if !conn.read_paused {
-                events |= POLLIN;
-            }
-            if conn.wire.get_ref().pending() > 0 {
-                events |= POLLOUT;
-            }
-            any_hot |= conn.hot;
-            pollfds.push(PollFd { fd: conn.stream.as_raw_fd(), events, revents: 0 });
-            poll_ids.push(id);
-        }
+        tick = tick.wrapping_add(1);
 
-        // ── park ─────────────────────────────────────────────────────
-        let timeout = if any_hot { Some(Duration::ZERO) } else { sweep_interval };
-        let _ = poll_fds(&mut pollfds, timeout);
+        // ── park: only ready fds come back, idle tenants cost nothing ─
+        let timeout = if hot_ids.is_empty() { sweep_interval } else { Some(Duration::ZERO) };
+        let touched = backend.wait(timeout, &mut ready).unwrap_or(0);
+        shared.metrics.inc(Metric::TransportTicks);
+        shared.metrics.add(Metric::TransportReadyFds, touched as u64);
         if shared.stopping.load(Ordering::SeqCst) {
             break;
         }
         inbox.wake.drain();
+        let prev_hot = std::mem::take(&mut hot_ids);
 
-        // ── adopt newly accepted connections ─────────────────────────
+        // ── adopt newly accepted connections (interest: register) ────
         let fresh = std::mem::take(&mut *inbox.new_conns.lock().expect("inbox poisoned"));
         for (id, stream) in fresh {
             let mut conn = register_conn(id, stream, shared, &inbox);
-            // The socket may already hold the tenant's first burst (it
-            // was live before the loop ever polled it).
-            read_conn(&mut conn, shared, &mut scratch);
+            if backend.register(conn.stream.as_raw_fd(), id, Interest::READ).is_err() {
+                conn.dead = true;
+            } else {
+                // The socket may already hold the tenant's first burst
+                // (it was live before the loop ever waited on it).
+                conn.serviced_tick = tick;
+                read_conn(&mut conn, shared, &mut scratch);
+                flush_out(&mut conn, shared);
+                sync_interest(id, &mut conn, backend.as_mut());
+            }
+            if conn.hot {
+                hot_ids.push(id);
+            }
+            if conn.dead {
+                dead_ids.push(id);
+            } else if let Some(wheel) = &mut wheel {
+                let now = Instant::now();
+                wheel.schedule(id, conn.last_activity + wheel.timeout, now);
+            }
             conns.insert(id, conn);
         }
 
         // ── drain sessions the wakers flagged ────────────────────────
-        let ready = std::mem::take(&mut *inbox.ready.lock().expect("inbox poisoned"));
-        for id in ready {
-            if let Some(conn) = conns.get_mut(&id) {
-                drain_session(conn);
-            }
-        }
-
-        // ── read phase ───────────────────────────────────────────────
-        for (i, pfd) in pollfds.iter().enumerate().skip(1) {
-            let Some(conn) = conns.get_mut(&poll_ids[i]) else { continue };
+        let flagged = std::mem::take(&mut *inbox.ready.lock().expect("inbox poisoned"));
+        for id in flagged {
+            let Some(conn) = conns.get_mut(&id) else { continue };
             if conn.dead {
                 continue;
             }
-            if pfd.revents & (POLLERR | POLLNVAL) != 0 {
-                conn.dead = true;
+            drain_session(conn);
+            flush_out(conn, shared);
+            sync_interest(id, conn, backend.as_mut());
+            if conn.dead {
+                dead_ids.push(id);
+            }
+        }
+
+        // ── readiness events: read, then drain what the read queued ──
+        for ev in &ready {
+            if ev.token == WAKE_TOKEN {
                 continue;
             }
-            if conn.hot || pfd.revents & (POLLIN | POLLHUP) != 0 {
+            let Some(conn) = conns.get_mut(&ev.token) else { continue };
+            if conn.dead {
+                continue;
+            }
+            if ev.error {
+                conn.dead = true;
+                dead_ids.push(ev.token);
+                continue;
+            }
+            if (ev.readable || ev.hup) && conn.serviced_tick != tick {
+                conn.serviced_tick = tick;
                 read_conn(conn, shared, &mut scratch);
             }
-        }
-
-        // ── write phase (always attempted: reads and session drains
-        //    appended frames the peer is waiting on) ──────────────────
-        for conn in conns.values_mut() {
-            if !conn.dead && conn.wire.get_ref().pending() > 0 {
-                write_conn(conn, shared);
+            flush_out(conn, shared);
+            sync_interest(ev.token, conn, backend.as_mut());
+            if conn.hot {
+                hot_ids.push(ev.token);
             }
-            if conn.draining && conn.wire.get_ref().pending() == 0 {
-                conn.dead = true;
+            if conn.dead {
+                dead_ids.push(ev.token);
             }
         }
 
-        // ── idle sweep ───────────────────────────────────────────────
-        if let (Some(timeout), Some(interval)) = (shared.config.idle_timeout, sweep_interval) {
+        // ── hot carry-over: budget-bounded readers get their next turn
+        //    even if readiness reporting raced the budget edge ────────
+        for id in prev_hot {
+            let Some(conn) = conns.get_mut(&id) else { continue };
+            if conn.dead || !conn.hot || conn.serviced_tick == tick {
+                continue; // gone, cooled off, or already served above
+            }
+            conn.serviced_tick = tick;
+            read_conn(conn, shared, &mut scratch);
+            flush_out(conn, shared);
+            sync_interest(id, conn, backend.as_mut());
+            if conn.hot {
+                hot_ids.push(id);
+            }
+            if conn.dead {
+                dead_ids.push(id);
+            }
+        }
+
+        // ── idle wheel: examine only connections whose bucket is due ─
+        if let Some(wheel) = &mut wheel {
             let now = Instant::now();
-            if now.duration_since(last_sweep) >= interval {
-                last_sweep = now;
-                for conn in conns.values_mut() {
-                    if !conn.dead && now.duration_since(conn.last_activity) > timeout {
-                        shared.metrics.inc(Metric::TransportIdleEvictions);
-                        conn.dead = true;
-                    }
+            wheel.collect_due(now, &mut due_ids);
+            for &id in &due_ids {
+                let Some(conn) = conns.get_mut(&id) else { continue };
+                if conn.dead {
+                    continue; // already on the reap list this tick
+                }
+                if now.duration_since(conn.last_activity) > wheel.timeout {
+                    shared.metrics.inc(Metric::TransportIdleEvictions);
+                    conn.dead = true;
+                    dead_ids.push(id);
+                } else {
+                    wheel.schedule(id, conn.last_activity + wheel.timeout, now);
                 }
             }
         }
 
-        // ── reap ─────────────────────────────────────────────────────
-        conns.retain(|_, conn| {
-            if !conn.dead {
-                return true;
-            }
-            teardown_conn(conn, shared);
-            false
-        });
+        // ── reap (interest: deregister) ──────────────────────────────
+        for id in dead_ids.drain(..) {
+            // A connection can earn multiple dead entries in one tick;
+            // the first removal wins and the rest no-op here.
+            let Some(mut conn) = conns.remove(&id) else { continue };
+            let _ = backend.deregister(conn.stream.as_raw_fd());
+            teardown_conn(&mut conn, shared);
+        }
     }
 
     // Loop exit: tear down every served connection plus any the accept
@@ -532,10 +752,44 @@ fn register_conn(
         pending: 0,
         queued,
         last_activity: Instant::now(),
+        interest: Interest::READ,
+        serviced_tick: 0,
         hot: false,
         read_paused: false,
         draining: false,
         dead: false,
+    }
+}
+
+/// Push the connection's interest edges to the backend: recompute the
+/// desired mask and issue a `modify` only when it drifted from what is
+/// registered. This is the O(1)-per-edge half of the O(active) tick —
+/// a connection whose state didn't change costs no syscall at all.
+fn sync_interest(id: u64, conn: &mut Conn, backend: &mut dyn EventBackend) {
+    if conn.dead {
+        return;
+    }
+    let want = conn.desired_interest();
+    if want == conn.interest {
+        return;
+    }
+    if backend.modify(conn.stream.as_raw_fd(), id, want).is_err() {
+        conn.dead = true;
+        return;
+    }
+    conn.interest = want;
+}
+
+/// Drain freshly queued output and settle a drain-then-close: results
+/// go out on the tick they are produced (the kernel buffer is almost
+/// always writable), and a `draining` connection whose queue just
+/// emptied dies here.
+fn flush_out(conn: &mut Conn, shared: &ServerShared) {
+    if !conn.dead && conn.wire.get_ref().pending() > 0 {
+        write_conn(conn, shared);
+    }
+    if conn.draining && conn.wire.get_ref().pending() == 0 {
+        conn.dead = true;
     }
 }
 
@@ -568,10 +822,7 @@ fn drain_session(conn: &mut Conn) {
                     return;
                 };
                 conn.pending = conn.pending.saturating_sub(1);
-                if conn.wire.send(&frame).is_err() {
-                    conn.dead = true;
-                    return;
-                }
+                conn.wire.send_segment(&frame);
                 if let Frame::Result(r) = frame {
                     // The trace itself drained at delivery; this is its
                     // wire-tx causal counterpart in the flight recorder.
@@ -674,16 +925,12 @@ fn process_frames(conn: &mut Conn, shared: &ServerShared) -> bool {
                     || spec.m > shared.config.max_dimension
                 {
                     shared.metrics.inc(Metric::JobsRejected);
-                    if conn.wire.send(&Frame::Reject(spec.id)).is_err() {
-                        return false;
-                    }
+                    conn.wire.send_segment(&Frame::Reject(spec.id));
                 } else if conn.pending >= shared.config.route_capacity {
                     // Per-connection in-flight cap: a tenant at its
                     // window gets BUSY like any other backpressure —
                     // explicit, retryable, never a drop.
-                    if conn.wire.send(&Frame::Busy(spec.id)).is_err() {
-                        return false;
-                    }
+                    conn.wire.send_segment(&Frame::Busy(spec.id));
                 } else {
                     conn.pending += 1;
                     match conn.session.try_submit_stamped(spec, Some(received)) {
@@ -693,9 +940,7 @@ fn process_frames(conn: &mut Conn, shared: &ServerShared) -> bool {
                             // The explicit backpressure contract: full
                             // queue ⇒ BUSY reply carrying the id, never
                             // a silent drop.
-                            if conn.wire.send(&Frame::Busy(spec.id)).is_err() {
-                                return false;
-                            }
+                            conn.wire.send_segment(&Frame::Busy(spec.id));
                         }
                         Err(NodeError::Closed) | Err(NodeError::Io(_)) => return false,
                     }
@@ -725,9 +970,7 @@ fn process_frames(conn: &mut Conn, shared: &ServerShared) -> bool {
                 // an all-zeros reply would silently dilute merges.
                 if let Some(stats) = conn.session.stats() {
                     shared.metrics.inc(Metric::StatsScrapes);
-                    if conn.wire.send(&Frame::Stats(StatsReply { token, stats })).is_err() {
-                        return false;
-                    }
+                    conn.wire.send_segment(&Frame::Stats(StatsReply { token, stats }));
                 }
             }
             // RESULT/BUSY/REJECT/STATS flow server→client only;
@@ -745,30 +988,36 @@ fn process_frames(conn: &mut Conn, shared: &ServerShared) -> bool {
     }
 }
 
-/// Drain the out ring against the nonblocking socket; partial writes
-/// resume next tick (the poll set registers `POLLOUT` while bytes
-/// remain).
+/// Drain the outbound segment queue against the nonblocking socket
+/// with vectored writes — every queued frame rides one `writev`
+/// gather, and a partial write advances the queue's head offset so the
+/// resume (next tick, when the backend reports writability again)
+/// starts mid-segment without any byte ever being copied.
 fn write_conn(conn: &mut Conn, shared: &ServerShared) {
+    let fd = conn.stream.as_raw_fd();
     loop {
+        let mut iovs = [IoVec::empty(); MAX_IOV];
         let ring = conn.wire.get_mut();
-        let pending = ring.pending();
-        if pending == 0 {
+        let (count, attempted) = ring.fill_iovs(&mut iovs);
+        if count == 0 {
             break;
         }
-        let window = &ring.buf[ring.pos..];
-        match (&conn.stream).write(window) {
+        shared.metrics.inc(Metric::TransportWritevCalls);
+        match writev_fd(fd, &iovs[..count]) {
             Ok(0) => {
                 conn.dead = true;
                 return;
             }
             Ok(n) => {
+                if n < attempted {
+                    shared.metrics.inc(Metric::TransportPartialWrites);
+                }
                 ring.advance(n);
                 conn.last_activity = Instant::now();
-                if n < pending {
+                if n < attempted {
                     break; // kernel send buffer is full; resume next tick
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
             Err(_) => {
                 conn.dead = true;
@@ -781,5 +1030,188 @@ fn write_conn(conn: &mut Conn, shared: &ServerShared) {
     // every frame.
     if conn.read_paused && conn.wire.get_ref().pending() < Conn::pause_high(&shared.config) / 2 {
         conn.read_paused = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Encoded wire bytes of one BUSY frame (convenient fixed-size
+    /// segment for queue arithmetic).
+    fn busy_len() -> usize {
+        let mut writer = FrameWriter::new(OutRing::default());
+        writer.send_segment(&Frame::Busy(0));
+        writer.get_ref().pending()
+    }
+
+    /// The zero-copy regression the old byte ring failed: while a
+    /// partial write is outstanding, appending more frames must not
+    /// move a single already-encoded byte. The byte ring compacted with
+    /// `buf.drain(..pos)` on append — every unsent byte memmoved, O(n)
+    /// per append for a write-blocked tenant. The segment queue is
+    /// pinned here by address: the storage of every queued segment
+    /// stays exactly where the encoder left it.
+    #[test]
+    fn appends_never_move_queued_bytes_while_a_partial_write_is_outstanding() {
+        let mut writer = FrameWriter::new(OutRing::default());
+        writer.send_segment(&Frame::Busy(1));
+        writer.send_segment(&Frame::Busy(2));
+        let frame_len = busy_len();
+
+        // A partial write consumed half of the front segment…
+        writer.get_mut().advance(frame_len / 2);
+        let ring = writer.get_ref();
+        assert_eq!(ring.head, frame_len / 2);
+        let pinned: Vec<(usize, Vec<u8>)> =
+            ring.segs.iter().map(|s| (s.as_ptr() as usize, s.clone())).collect();
+
+        // …and the write-blocked tenant keeps accumulating replies.
+        for id in 3..300u64 {
+            writer.send_segment(&Frame::Busy(id));
+        }
+        let ring = writer.get_ref();
+        for (i, (ptr, bytes)) in pinned.iter().enumerate() {
+            assert_eq!(
+                ring.segs[i].as_ptr() as usize,
+                *ptr,
+                "segment {i} storage moved on append — the outbound path re-copied bytes"
+            );
+            assert_eq!(&ring.segs[i], bytes, "segment {i} content changed on append");
+        }
+        assert_eq!(ring.head, frame_len / 2, "append must not disturb the resume offset");
+        assert_eq!(ring.pending(), 299 * frame_len - frame_len / 2);
+    }
+
+    /// Partial-write resume walks segment boundaries correctly and
+    /// retires drained segments into the spare pool, whose buffers the
+    /// encoder then reuses — steady-state appends allocate nothing.
+    #[test]
+    fn advance_retires_segments_and_recycles_their_buffers() {
+        let mut writer = FrameWriter::new(OutRing::default());
+        for id in 0..4u64 {
+            writer.send_segment(&Frame::Busy(id));
+        }
+        let frame_len = busy_len();
+        let retired_ptr = writer.get_ref().segs[0].as_ptr() as usize;
+
+        // Drain 1.5 frames: segment 0 retires, segment 1 is half done.
+        writer.get_mut().advance(frame_len + frame_len / 2);
+        let ring = writer.get_ref();
+        assert_eq!(ring.segs.len(), 3);
+        assert_eq!(ring.head, frame_len / 2);
+        assert_eq!(ring.pending(), 3 * frame_len - frame_len / 2);
+        assert_eq!(ring.spare.len(), 1, "drained segment joins the spare pool");
+
+        // The next encode reuses the retired buffer, byte-for-byte.
+        writer.send_segment(&Frame::Busy(99));
+        let ring = writer.get_ref();
+        assert_eq!(
+            ring.segs.back().expect("queued").as_ptr() as usize,
+            retired_ptr,
+            "encoder must reuse the recycled segment buffer"
+        );
+
+        // Draining everything empties the queue and zeroes the offset.
+        let rest = writer.get_ref().pending();
+        writer.get_mut().advance(rest);
+        let ring = writer.get_ref();
+        assert_eq!((ring.pending(), ring.head, ring.segs.len()), (0, 0, 0));
+    }
+
+    /// `fill_iovs` exposes exactly the unsent bytes: the front segment
+    /// from its head offset, then whole segments, capped at `MAX_IOV`.
+    #[test]
+    fn fill_iovs_covers_the_unsent_suffix_only() {
+        let mut writer = FrameWriter::new(OutRing::default());
+        for id in 0..3u64 {
+            writer.send_segment(&Frame::Busy(id));
+        }
+        let frame_len = busy_len();
+        writer.get_mut().advance(5);
+        let mut iovs = [IoVec::empty(); MAX_IOV];
+        let (count, bytes) = writer.get_ref().fill_iovs(&mut iovs);
+        assert_eq!(count, 3);
+        assert_eq!(bytes, 3 * frame_len - 5);
+        assert_eq!(iovs[0].len(), frame_len - 5);
+        assert_eq!(iovs[1].len(), frame_len);
+
+        // Over MAX_IOV segments: one gather's worth, the rest next call.
+        for id in 0..(MAX_IOV as u64 + 40) {
+            writer.send_segment(&Frame::Busy(id));
+        }
+        let (count, _) = writer.get_ref().fill_iovs(&mut iovs);
+        assert_eq!(count, MAX_IOV);
+    }
+
+    #[test]
+    fn idle_wheel_examines_a_connection_once_per_timeout_not_per_sweep() {
+        let start = Instant::now();
+        let timeout = Duration::from_millis(100);
+        let granularity = Duration::from_millis(25);
+        let mut wheel = IdleWheel::new(timeout, granularity, start);
+        let mut due = Vec::new();
+
+        wheel.schedule(7, start + timeout, start);
+        // Three sweeps' worth of advancing: the id must not surface
+        // early (the per-sweep full scan is what the wheel replaces).
+        wheel.collect_due(start + Duration::from_millis(80), &mut due);
+        assert!(due.is_empty(), "id surfaced {due:?} before its deadline bucket");
+        // Crossing the deadline granule surfaces it exactly once.
+        wheel.collect_due(start + Duration::from_millis(105), &mut due);
+        assert_eq!(due, vec![7]);
+        wheel.collect_due(start + Duration::from_millis(130), &mut due);
+        assert!(due.is_empty(), "an id never surfaces twice without a reschedule");
+    }
+
+    #[test]
+    fn idle_wheel_reschedule_tracks_fresh_activity() {
+        let start = Instant::now();
+        let timeout = Duration::from_millis(100);
+        let mut wheel = IdleWheel::new(timeout, Duration::from_millis(25), start);
+        let mut due = Vec::new();
+        wheel.schedule(3, start + timeout, start);
+        let now = start + Duration::from_millis(105);
+        wheel.collect_due(now, &mut due);
+        assert_eq!(due, vec![3]);
+        // The connection was active at +90ms: the loop reschedules it
+        // for +190ms rather than evicting.
+        let last_activity = start + Duration::from_millis(90);
+        wheel.schedule(3, last_activity + timeout, now);
+        wheel.collect_due(start + Duration::from_millis(180), &mut due);
+        assert!(due.is_empty(), "rescheduled id must wait for its new deadline");
+        wheel.collect_due(start + Duration::from_millis(200), &mut due);
+        assert_eq!(due, vec![3]);
+    }
+
+    #[test]
+    fn idle_wheel_survives_a_long_stall_without_spinning() {
+        let start = Instant::now();
+        let mut wheel = IdleWheel::new(Duration::from_secs(1), Duration::from_millis(250), start);
+        let mut due = Vec::new();
+        wheel.schedule(1, start + Duration::from_secs(1), start);
+        // A multi-minute stall (suspended VM) advances at most one full
+        // revolution and still surfaces everything scheduled.
+        wheel.collect_due(start + Duration::from_secs(300), &mut due);
+        assert_eq!(due, vec![1]);
+        wheel.collect_due(start + Duration::from_secs(301), &mut due);
+        assert!(due.is_empty());
+    }
+
+    /// Past-due and far-future deadlines clamp into the wheel instead
+    /// of panicking or parking forever.
+    #[test]
+    fn idle_wheel_clamps_deadlines_into_its_horizon() {
+        let start = Instant::now();
+        let timeout = Duration::from_millis(100);
+        let granularity = Duration::from_millis(25);
+        let mut wheel = IdleWheel::new(timeout, granularity, start);
+        let mut due = Vec::new();
+        wheel.schedule(1, start, start); // already due
+        wheel.schedule(2, start + Duration::from_secs(3600), start); // far out
+        wheel.collect_due(start + granularity, &mut due);
+        assert_eq!(due, vec![1], "past-due lands in the very next granule");
+        wheel.collect_due(start + timeout + 2 * granularity, &mut due);
+        assert_eq!(due, vec![2], "far deadlines clamp to the wheel horizon");
     }
 }

@@ -85,7 +85,9 @@ use pooled_engine::job::{DecoderKind, JobResult};
 use pooled_engine::telemetry::{render_prometheus, Metric, TelemetryConfig};
 use pooled_engine::traffic::{poisson_arrivals, LoadProfile};
 use pooled_engine::transport::reactor::{raise_fd_limit, thread_count};
-use pooled_engine::transport::{TransportClient, TransportConfig, TransportServer};
+use pooled_engine::transport::{
+    BackendChoice, BackendKind, TransportClient, TransportConfig, TransportServer,
+};
 use pooled_engine::{DurabilityConfig, JobSpec};
 use pooled_experiments::DEFAULT_SEED;
 use pooled_io::Args;
@@ -133,6 +135,13 @@ fn main() {
         connections == 0 || transport == "tcp",
         "--connections sweeps the TCP front; pass --transport tcp"
     );
+    let backend_requested = args.get_str("backend", "auto");
+    let backend_choice = match backend_requested.as_str() {
+        "auto" => BackendChoice::Auto,
+        "poll" => BackendChoice::Poll,
+        "epoll" => BackendChoice::Epoll,
+        other => panic!("--backend must be 'auto', 'poll', or 'epoll', got {other:?}"),
+    };
     let kill_node = args.flag("kill-node");
     let metrics_mode = args.flag("metrics");
     let wal_dir = args.get_str("wal-dir", "");
@@ -450,17 +459,31 @@ fn main() {
     // O(event loops + workers + drivers) — the whole point of retiring
     // thread-per-connection.
     let mut connection_tiers: Vec<ConnectionTier> = Vec::new();
+    let mut alternate_tiers: Vec<ConnectionTier> = Vec::new();
     let mut connection_fingerprints_ok = true;
     let mut connection_threads_bounded = true;
+    let backend_resolved = backend_choice.resolve();
     if connections > 0 {
+        // The headline tiers run on the requested backend; each tier
+        // also reruns on the other backend (when the platform has one)
+        // so the report can put epoll's delivered-events-per-tick next
+        // to poll's scanned-set-per-tick on identical traffic.
+        let alternate_choice = match backend_resolved {
+            BackendKind::Epoll => Some(BackendChoice::Poll),
+            BackendKind::Poll => cfg!(target_os = "linux").then_some(BackendChoice::Epoll),
+        };
         let tiers: Vec<usize> = std::iter::successors(Some(10usize), |c| Some(c * 10))
             .take_while(|&c| c < connections)
             .chain(std::iter::once(connections))
             .collect();
         let mut truth = std::collections::HashMap::new();
         println!(
+            "connection sweep backend: {} (requested {backend_requested})",
+            backend_resolved.name()
+        );
+        println!(
             "conns    jobs     jobs/s       fingerprint-ok  threads  bound  busy   q-p95   \
-             s-p95   w-p95"
+             s-p95   w-p95   ready/tick"
         );
         for &tier_conns in &tiers {
             let tier = run_connection_tier(
@@ -470,12 +493,13 @@ fn main() {
                 cache,
                 &profile,
                 jobs,
+                backend_choice,
                 &mut truth,
             );
             connection_fingerprints_ok &= tier.fingerprints_match;
             connection_threads_bounded &= tier.threads_bounded;
             println!(
-                "{:<8} {:<8} {:<12.1} {:<15} {:<8} {:<6} {:<6} {:<7} {:<7} {}",
+                "{:<8} {:<8} {:<12.1} {:<15} {:<8} {:<6} {:<6} {:<7} {:<7} {:<7} {:.1}",
                 tier.connections,
                 tier.total_jobs,
                 tier.jobs_per_sec,
@@ -486,7 +510,36 @@ fn main() {
                 tier.queue_p95,
                 tier.service_p95,
                 tier.wire_p95,
+                tier.ready_fds_per_tick(),
             );
+            if let Some(alt) = alternate_choice {
+                let other = run_connection_tier(
+                    tier_conns,
+                    max_workers,
+                    queue,
+                    cache,
+                    &profile,
+                    jobs,
+                    alt,
+                    &mut truth,
+                );
+                connection_fingerprints_ok &= other.fingerprints_match;
+                connection_threads_bounded &= other.threads_bounded;
+                println!(
+                    "backend-compare @ {}: {} {:.1}/s ({:.1} ready/tick over {} ticks) vs \
+                     {} {:.1}/s ({:.1} ready/tick over {} ticks)",
+                    tier.connections,
+                    tier.backend,
+                    tier.jobs_per_sec,
+                    tier.ready_fds_per_tick(),
+                    tier.ticks,
+                    other.backend,
+                    other.jobs_per_sec,
+                    other.ready_fds_per_tick(),
+                    other.ticks,
+                );
+                alternate_tiers.push(other);
+            }
             connection_tiers.push(tier);
         }
         if !connection_fingerprints_ok {
@@ -659,6 +712,7 @@ fn main() {
                 serde_json::json!({
                     "requested_connections": t.requested,
                     "connections": t.connections,
+                    "backend": t.backend,
                     "total_jobs": t.total_jobs,
                     "jobs_per_sec": t.jobs_per_sec,
                     "fingerprints_match": t.fingerprints_match,
@@ -669,18 +723,44 @@ fn main() {
                     "queue_p95_micros": t.queue_p95,
                     "service_p95_micros": t.service_p95,
                     "wire_p95_micros": t.wire_p95,
+                    "ticks": t.ticks,
+                    "ready_fds": t.ready_fds,
+                    "ready_fds_per_tick": t.ready_fds_per_tick(),
+                    "writev_calls": t.writev_calls,
+                    "partial_writes": t.partial_writes,
                     "fd_limit": t.fd_limit,
                 })
             })
             .collect();
+        // Side-by-side rows keyed by backend name: identical traffic,
+        // the only variable is the readiness mechanism.
+        let compare_rows: Vec<serde_json::Value> = connection_tiers
+            .iter()
+            .map(|t| {
+                let mut row = vec![("connections".to_string(), serde_json::json!(t.connections))];
+                let mut matched = t.fingerprints_match;
+                row.push((t.backend.to_string(), backend_tier_json(t)));
+                if let Some(o) = alternate_tiers.iter().find(|o| o.connections == t.connections) {
+                    matched &= o.fingerprints_match;
+                    row.push((o.backend.to_string(), backend_tier_json(o)));
+                }
+                row.push(("fingerprints_match".to_string(), serde_json::json!(matched)));
+                serde_json::Value::Object(row)
+            })
+            .collect();
         if let serde_json::Value::Object(members) = &mut report {
+            members.push(("backend_requested".to_string(), serde_json::json!(backend_requested)));
+            members
+                .push(("backend_resolved".to_string(), serde_json::json!(backend_resolved.name())));
             members.push((
                 "connection_sweep".to_string(),
                 serde_json::json!({
                     "requested_max": connections,
+                    "backend": backend_resolved.name(),
                     "tiers": tier_rows,
                 }),
             ));
+            members.push(("backend_compare".to_string(), serde_json::Value::Array(compare_rows)));
             members.push((
                 "connection_fingerprints_match_in_process".to_string(),
                 serde_json::Value::Bool(connection_fingerprints_ok),
@@ -984,6 +1064,8 @@ fn run_tcp_loop(workers: usize, queue: usize, cache: usize, specs: &[JobSpec]) -
 struct ConnectionTier {
     requested: usize,
     connections: usize,
+    /// The backend the server actually ran ("poll"/"epoll").
+    backend: &'static str,
     total_jobs: usize,
     jobs_per_sec: f64,
     fingerprints_match: bool,
@@ -994,7 +1076,37 @@ struct ConnectionTier {
     queue_p95: u64,
     service_p95: u64,
     wire_p95: u64,
+    /// Event-loop ticks over the tier's whole lifetime (adopt + serve).
+    ticks: u64,
+    /// Backend-reported touched fds: events delivered under epoll, the
+    /// registered set scanned under poll — so this column per tick is
+    /// the O(active) vs O(connections) comparison in one number.
+    ready_fds: u64,
+    writev_calls: u64,
+    partial_writes: u64,
     fd_limit: u64,
+}
+
+impl ConnectionTier {
+    fn ready_fds_per_tick(&self) -> f64 {
+        self.ready_fds as f64 / self.ticks.max(1) as f64
+    }
+}
+
+/// The per-backend half of a `backend_compare` row.
+fn backend_tier_json(t: &ConnectionTier) -> serde_json::Value {
+    serde_json::json!({
+        "jobs_per_sec": t.jobs_per_sec,
+        "queue_p95_micros": t.queue_p95,
+        "service_p95_micros": t.service_p95,
+        "wire_p95_micros": t.wire_p95,
+        "ticks": t.ticks,
+        "ready_fds": t.ready_fds,
+        "ready_fds_per_tick": t.ready_fds_per_tick(),
+        "writev_calls": t.writev_calls,
+        "partial_writes": t.partial_writes,
+        "fingerprints_match": t.fingerprints_match,
+    })
 }
 
 /// One fan-out tier: `requested` concurrent loopback tenants against a
@@ -1014,6 +1126,7 @@ fn run_connection_tier(
     cache: usize,
     profile: &LoadProfile,
     base_jobs: usize,
+    backend: BackendChoice,
     truth: &mut std::collections::HashMap<usize, u64>,
 ) -> ConnectionTier {
     // Three fds per loopback connection — the client's stream, the
@@ -1039,7 +1152,8 @@ fn run_connection_tier(
         batch_fingerprint(&results)
     });
 
-    let config = TransportConfig { max_connections: conns + 8, ..TransportConfig::default() };
+    let config =
+        TransportConfig { max_connections: conns + 8, backend, ..TransportConfig::default() };
     let event_loops = config.event_loops;
     let engine = Arc::new(Engine::start(node_config(workers, queue, cache)));
     let server = TransportServer::bind(Arc::clone(&engine), "127.0.0.1:0", config)
@@ -1115,6 +1229,10 @@ fn run_connection_tier(
         busy_retries += busy;
     }
     let elapsed = started.elapsed().as_secs_f64();
+    // Read the readiness counters before `stop` tears the loops down:
+    // the tick/touched-fd ratio is the backend-compare evidence.
+    let snap = server.metrics().snapshot();
+    let ran_backend = server.backend().name();
     server.stop();
     Arc::try_unwrap(engine).ok().expect("server released the engine").shutdown();
 
@@ -1128,6 +1246,7 @@ fn run_connection_tier(
     ConnectionTier {
         requested,
         connections: conns,
+        backend: ran_backend,
         total_jobs,
         jobs_per_sec: total_jobs as f64 / elapsed,
         fingerprints_match,
@@ -1138,6 +1257,10 @@ fn run_connection_tier(
         queue_p95: split.queue.quantile_micros(0.95),
         service_p95: split.service.quantile_micros(0.95),
         wire_p95: split.wire.quantile_micros(0.95),
+        ticks: snap.get(Metric::TransportTicks),
+        ready_fds: snap.get(Metric::TransportReadyFds),
+        writev_calls: snap.get(Metric::TransportWritevCalls),
+        partial_writes: snap.get(Metric::TransportPartialWrites),
         fd_limit,
     }
 }
